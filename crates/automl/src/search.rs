@@ -1,0 +1,298 @@
+//! Candidate search: random search and successive halving.
+//!
+//! Both strategies produce a leaderboard of [`TrainedCandidate`]s scored by
+//! balanced accuracy on a held-out validation split. Candidate training is
+//! embarrassingly parallel and runs on crossbeam scoped threads when
+//! `parallelism > 1`; results are reassembled in sampling order so the
+//! outcome is identical to a sequential run.
+
+use aml_dataset::Dataset;
+use aml_models::metrics::balanced_accuracy;
+use aml_models::Classifier;
+use crate::space::{CandidateConfig, ModelFamily};
+use crate::{AutoMlError, Result};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How the searcher allocates its candidate budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Sample `n_candidates` configs, train each on the full training split.
+    Random,
+    /// Successive halving: train all candidates on a small data fraction,
+    /// keep the best half, double the fraction, repeat until one rung uses
+    /// the full data.
+    SuccessiveHalving,
+}
+
+/// A fitted candidate with its validation score.
+pub struct TrainedCandidate {
+    /// The sampled configuration.
+    pub config: CandidateConfig,
+    /// Fitted pipeline (refit on the full training split at final rung).
+    pub model: Arc<dyn Classifier>,
+    /// Balanced accuracy on the validation split.
+    pub val_score: f64,
+    /// Validation probability matrix (row per validation sample) — cached
+    /// for greedy ensemble selection so members aren't re-predicted.
+    pub val_proba: Vec<Vec<f64>>,
+}
+
+/// SplitMix64 seed derivation (matches aml-models' forests).
+pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Round-robin family assignment so every family appears in the candidate
+/// pool even for small budgets.
+pub(crate) fn assign_families(n: usize, families: &[ModelFamily]) -> Vec<ModelFamily> {
+    (0..n).map(|i| families[i % families.len()]).collect()
+}
+
+/// Train one candidate and score it on the validation split. Returns `None`
+/// if this particular configuration failed (e.g. a degenerate bootstrap) so
+/// the search can continue with the survivors.
+fn train_one(
+    config: CandidateConfig,
+    train: &Dataset,
+    val: &Dataset,
+) -> Option<TrainedCandidate> {
+    let model = config.fit(train).ok()?;
+    let val_proba = model.predict_proba(val).ok()?;
+    let preds: Vec<usize> = val_proba.iter().map(|p| aml_models::model::argmax(p)).collect();
+    let val_score = balanced_accuracy(val.labels(), &preds, val.n_classes()).ok()?;
+    Some(TrainedCandidate {
+        config,
+        model,
+        val_score,
+        val_proba,
+    })
+}
+
+/// Train `configs` (in order) with up to `parallelism` worker threads.
+/// Output preserves input order; failed candidates are dropped.
+fn train_all(
+    configs: Vec<CandidateConfig>,
+    train: &Dataset,
+    val: &Dataset,
+    parallelism: usize,
+) -> Vec<TrainedCandidate> {
+    if parallelism <= 1 || configs.len() <= 1 {
+        return configs
+            .into_iter()
+            .filter_map(|c| train_one(c, train, val))
+            .collect();
+    }
+    let n = configs.len();
+    let mut slots: Vec<Option<TrainedCandidate>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let jobs: Vec<(usize, CandidateConfig)> = configs.into_iter().enumerate().collect();
+    let chunk = n.div_ceil(parallelism);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in jobs.chunks(chunk) {
+            let piece: Vec<(usize, CandidateConfig)> = piece.to_vec();
+            handles.push(scope.spawn(move |_| {
+                piece
+                    .into_iter()
+                    .map(|(i, c)| (i, train_one(c, train, val)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            for (i, result) in h.join().expect("candidate training threads don't panic") {
+                slots[i] = result;
+            }
+        }
+    })
+    .expect("crossbeam scope never fails to join");
+
+    slots.into_iter().flatten().collect()
+}
+
+/// Run the search, returning candidates sorted by descending validation
+/// score (ties broken by sampling order for determinism).
+///
+/// `train`/`val` are the inner split of the user's training data.
+pub fn run_search(
+    strategy: SearchStrategy,
+    n_candidates: usize,
+    families: &[ModelFamily],
+    train: &Dataset,
+    val: &Dataset,
+    seed: u64,
+    parallelism: usize,
+) -> Result<Vec<TrainedCandidate>> {
+    if n_candidates == 0 {
+        return Err(AutoMlError::InvalidConfig("n_candidates must be >= 1".into()));
+    }
+    if families.is_empty() {
+        return Err(AutoMlError::InvalidConfig("families must not be empty".into()));
+    }
+    let assigned = assign_families(n_candidates, families);
+    let configs: Vec<CandidateConfig> = assigned
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| CandidateConfig::sample(f, derive_seed(seed, i as u64)))
+        .collect();
+
+    let mut survivors: Vec<CandidateConfig> = match strategy {
+        SearchStrategy::Random => configs,
+        SearchStrategy::SuccessiveHalving => {
+            halving_survivors(configs, train, val, seed, parallelism)?
+        }
+    };
+
+    // Final rung: full training data.
+    let mut trained = train_all(std::mem::take(&mut survivors), train, val, parallelism);
+    if trained.is_empty() {
+        return Err(AutoMlError::AllCandidatesFailed(
+            "no candidate produced a valid model".into(),
+        ));
+    }
+    // Stable sort keeps sampling order among score ties.
+    trained.sort_by(|a, b| b.val_score.partial_cmp(&a.val_score).expect("scores are finite"));
+    Ok(trained)
+}
+
+/// Successive-halving rungs on growing data fractions; returns the surviving
+/// configs to be refit on the full training split.
+fn halving_survivors(
+    mut configs: Vec<CandidateConfig>,
+    train: &Dataset,
+    val: &Dataset,
+    seed: u64,
+    parallelism: usize,
+) -> Result<Vec<CandidateConfig>> {
+    let mut fraction = 0.25f64;
+    let mut rung = 0u64;
+    while configs.len() > 2 && fraction < 1.0 {
+        let n_sub = ((train.n_rows() as f64 * fraction) as usize).max(16).min(train.n_rows());
+        // Deterministic subsample for this rung.
+        let idx = subsample_indices(train.n_rows(), n_sub, derive_seed(seed, 1000 + rung));
+        let sub = train.subset(&idx)?;
+        let trained = train_all(configs.clone(), &sub, val, parallelism);
+        if trained.is_empty() {
+            // All failed at this rung (tiny subsample may be degenerate) —
+            // skip the rung rather than aborting the search.
+            fraction *= 2.0;
+            rung += 1;
+            continue;
+        }
+        let mut scored: Vec<(f64, CandidateConfig)> =
+            trained.into_iter().map(|t| (t.val_score, t.config)).collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        let keep = (scored.len() / 2).max(2);
+        configs = scored.into_iter().take(keep).map(|(_, c)| c).collect();
+        fraction *= 2.0;
+        rung += 1;
+    }
+    Ok(configs)
+}
+
+fn subsample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::{split::train_test_split, synth};
+
+    fn splits() -> (Dataset, Dataset) {
+        let ds = synth::two_moons(300, 0.2, 5).unwrap();
+        train_test_split(&ds, 0.25, true, 1).unwrap()
+    }
+
+    #[test]
+    fn random_search_returns_sorted_leaderboard() {
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            8,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            1,
+        )
+        .unwrap();
+        assert_eq!(out.len(), 8);
+        for w in out.windows(2) {
+            assert!(w[0].val_score >= w[1].val_score);
+        }
+        assert!(out[0].val_score > 0.8, "best candidate {}", out[0].val_score);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (train, val) = splits();
+        let seq = run_search(SearchStrategy::Random, 6, &ModelFamily::ALL, &train, &val, 9, 1)
+            .unwrap();
+        let par = run_search(SearchStrategy::Random, 6, &ModelFamily::ALL, &train, &val, 9, 4)
+            .unwrap();
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.val_score, b.val_score);
+        }
+    }
+
+    #[test]
+    fn halving_prunes_candidates() {
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::SuccessiveHalving,
+            12,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            7,
+            1,
+        )
+        .unwrap();
+        assert!(out.len() < 12, "halving should prune, kept {}", out.len());
+        assert!(out.len() >= 2);
+    }
+
+    #[test]
+    fn round_robin_covers_families() {
+        let fams = assign_families(10, &ModelFamily::ALL);
+        for f in &ModelFamily::ALL {
+            assert!(fams.contains(f));
+        }
+    }
+
+    #[test]
+    fn zero_candidates_rejected() {
+        let (train, val) = splits();
+        assert!(run_search(SearchStrategy::Random, 0, &ModelFamily::ALL, &train, &val, 0, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn restricted_family_list_respected() {
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            4,
+            &[ModelFamily::Knn],
+            &train,
+            &val,
+            2,
+            1,
+        )
+        .unwrap();
+        assert!(out.iter().all(|c| c.config.family() == ModelFamily::Knn));
+    }
+}

@@ -1,0 +1,207 @@
+//! Caruana greedy ensemble selection (the algorithm auto-sklearn uses).
+//!
+//! Starting from an empty bag, repeatedly add — **with replacement** — the
+//! candidate whose inclusion maximizes the bag's balanced accuracy on the
+//! validation split, for a fixed number of rounds. A model picked `c` times
+//! receives weight `c / rounds`. Selection with replacement acts as implicit
+//! regularization: strong models accumulate weight instead of forcing weak
+//! ones in.
+
+use aml_models::metrics::balanced_accuracy;
+use aml_models::model::argmax;
+use crate::search::TrainedCandidate;
+use crate::{AutoMlError, Result};
+
+/// Result of greedy selection: per-candidate counts and the bag's
+/// validation balanced accuracy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionOutcome {
+    /// Times each candidate (by leaderboard index) was picked.
+    pub counts: Vec<usize>,
+    /// Validation balanced accuracy of the final weighted bag.
+    pub val_score: f64,
+}
+
+/// Run greedy forward selection with replacement for `rounds` rounds.
+///
+/// `val_labels` are the validation-set labels matching every candidate's
+/// cached `val_proba`. `init_top_k` seeds the bag with the first
+/// `init_top_k` candidates (one pick each) before the greedy rounds —
+/// auto-sklearn's `ensemble_nbest` regularization. This guarantees the
+/// final ensemble contains multiple *distinct* members, which the paper's
+/// feedback algorithm requires ("a bag of (sufficiently diverse) ML
+/// models"); pass 0 for pure greedy selection.
+pub fn greedy_ensemble_selection(
+    candidates: &[TrainedCandidate],
+    val_labels: &[usize],
+    n_classes: usize,
+    rounds: usize,
+    init_top_k: usize,
+) -> Result<SelectionOutcome> {
+    if candidates.is_empty() {
+        return Err(AutoMlError::AllCandidatesFailed("empty candidate list".into()));
+    }
+    if rounds == 0 {
+        return Err(AutoMlError::InvalidConfig("selection rounds must be >= 1".into()));
+    }
+    let n_val = val_labels.len();
+    for c in candidates {
+        if c.val_proba.len() != n_val {
+            return Err(AutoMlError::InvalidConfig(format!(
+                "candidate has {} validation predictions, expected {n_val}",
+                c.val_proba.len()
+            )));
+        }
+    }
+
+    // Running sum of the bag's probability mass per validation row.
+    let mut sum: Vec<Vec<f64>> = vec![vec![0.0; n_classes]; n_val];
+    let mut counts = vec![0usize; candidates.len()];
+    let mut picked = 0usize;
+    let mut best_bag_score = 0.0;
+
+    // Seed with the leaderboard's best `init_top_k` candidates.
+    for ci in 0..init_top_k.min(candidates.len()) {
+        counts[ci] += 1;
+        for i in 0..n_val {
+            for c in 0..n_classes {
+                sum[i][c] += candidates[ci].val_proba[i][c];
+            }
+        }
+    }
+
+    for _round in 0..rounds {
+        let mut best: Option<(f64, usize)> = None;
+        for (ci, cand) in candidates.iter().enumerate() {
+            // Score of the bag if `cand` were added.
+            let preds: Vec<usize> = (0..n_val)
+                .map(|i| {
+                    let merged: Vec<f64> = (0..n_classes)
+                        .map(|c| sum[i][c] + cand.val_proba[i][c])
+                        .collect();
+                    argmax(&merged)
+                })
+                .collect();
+            let score = balanced_accuracy(val_labels, &preds, n_classes)?;
+            // Strict improvement keeps the earliest (strongest-leaderboard)
+            // candidate on ties → deterministic.
+            if best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, ci));
+            }
+        }
+        let (score, ci) = best.expect("candidates is non-empty");
+        counts[ci] += 1;
+        picked += 1;
+        for i in 0..n_val {
+            for c in 0..n_classes {
+                sum[i][c] += candidates[ci].val_proba[i][c];
+            }
+        }
+        best_bag_score = score;
+    }
+    debug_assert_eq!(picked, rounds);
+
+    Ok(SelectionOutcome {
+        counts,
+        val_score: best_bag_score,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::CandidateConfig;
+    use crate::ModelFamily;
+    use aml_dataset::synth;
+    use aml_models::Classifier;
+    use std::sync::Arc;
+
+    /// Build a fake candidate whose validation probabilities are fixed.
+    fn fake(val_proba: Vec<Vec<f64>>, train: &aml_dataset::Dataset) -> TrainedCandidate {
+        let config = CandidateConfig::sample(ModelFamily::NaiveBayes, 0);
+        let model: Arc<dyn Classifier> = config.fit(train).unwrap();
+        TrainedCandidate {
+            config,
+            model,
+            val_score: 0.0,
+            val_proba,
+        }
+    }
+
+    #[test]
+    fn picks_the_perfect_candidate() {
+        let train = synth::two_moons(60, 0.2, 1).unwrap();
+        let val_labels = vec![0, 1, 0, 1];
+        let perfect = fake(
+            vec![
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+            ],
+            &train,
+        );
+        let awful = fake(
+            vec![
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+                vec![0.1, 0.9],
+                vec![0.9, 0.1],
+            ],
+            &train,
+        );
+        let out =
+            greedy_ensemble_selection(&[awful, perfect], &val_labels, 2, 5, 0).unwrap();
+        // Round 1 must pick the perfect candidate (strict improvement over
+        // the empty bag); later rounds may tie once the bag is already
+        // perfect, but the bag never becomes imperfect.
+        assert!(out.counts[1] >= 1, "perfect candidate never picked: {:?}", out.counts);
+        assert_eq!(out.val_score, 1.0);
+    }
+
+    #[test]
+    fn complementary_candidates_both_selected() {
+        let train = synth::two_moons(60, 0.2, 2).unwrap();
+        let val_labels = vec![0, 0, 1, 1];
+        // A nails rows 0-1, coin-flips 2-3 slightly wrong; B the reverse.
+        let a = fake(
+            vec![
+                vec![1.0, 0.0],
+                vec![1.0, 0.0],
+                vec![0.55, 0.45],
+                vec![0.55, 0.45],
+            ],
+            &train,
+        );
+        let b = fake(
+            vec![
+                vec![0.45, 0.55],
+                vec![0.45, 0.55],
+                vec![0.0, 1.0],
+                vec![0.0, 1.0],
+            ],
+            &train,
+        );
+        let out = greedy_ensemble_selection(&[a, b], &val_labels, 2, 6, 0).unwrap();
+        assert!(out.counts[0] > 0 && out.counts[1] > 0, "counts {:?}", out.counts);
+        assert_eq!(out.val_score, 1.0, "the blend is perfect");
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_rounds() {
+        assert!(greedy_ensemble_selection(&[], &[0], 2, 3, 0).is_err());
+        let train = synth::two_moons(60, 0.2, 3).unwrap();
+        let c = fake(vec![vec![0.5, 0.5]], &train);
+        assert!(greedy_ensemble_selection(&[c], &[0], 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn counts_sum_to_rounds() {
+        let train = synth::two_moons(60, 0.2, 4).unwrap();
+        let val_labels = vec![0, 1];
+        let c1 = fake(vec![vec![0.6, 0.4], vec![0.4, 0.6]], &train);
+        let c2 = fake(vec![vec![0.7, 0.3], vec![0.6, 0.4]], &train);
+        let out = greedy_ensemble_selection(&[c1, c2], &val_labels, 2, 9, 0).unwrap();
+        assert_eq!(out.counts.iter().sum::<usize>(), 9);
+    }
+}

@@ -1,0 +1,292 @@
+//! The AutoML search space: model families, hyperparameter sampling, and
+//! candidate fitting.
+//!
+//! Eight model families mirror auto-sklearn's classical-model core. Each
+//! family defines (a) a hyperparameter prior to sample configurations from
+//! and (b) which scaler its pipeline uses — distance/gradient models get a
+//! standardizer, tree models run on raw features.
+
+use aml_dataset::Dataset;
+use aml_models::adaboost::AdaBoostParams;
+use aml_models::forest::ForestParams;
+use aml_models::gbdt::GbdtParams;
+use aml_models::knn::{KnnParams, KnnWeights};
+use aml_models::linear_svm::SvmParams;
+use aml_models::logistic::LogRegParams;
+use aml_models::naive_bayes::NbParams;
+use aml_models::preprocess::ScalerKind;
+use aml_models::tree::{Criterion, Splitter, TreeParams};
+use aml_models::{
+    AdaBoost, Classifier, ExtraTrees, GaussianNaiveBayes, GradientBoosting, KNearestNeighbors,
+    LinearSvm, LogisticRegression, Pipeline, RandomForest,
+};
+use crate::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The model families the searcher can draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Single CART tree.
+    DecisionTree,
+    /// Bagged random forest.
+    RandomForest,
+    /// Extremely randomized trees.
+    ExtraTrees,
+    /// Gradient-boosted trees.
+    GradientBoosting,
+    /// k-nearest neighbours (standardized).
+    Knn,
+    /// Gaussian naive Bayes.
+    NaiveBayes,
+    /// Multinomial logistic regression (standardized).
+    LogisticRegression,
+    /// One-vs-rest linear SVM (standardized).
+    LinearSvm,
+    /// AdaBoost.SAMME over shallow trees.
+    AdaBoost,
+}
+
+impl ModelFamily {
+    /// All families, in a fixed order (round-robin sampling uses this).
+    pub const ALL: [ModelFamily; 9] = [
+        ModelFamily::DecisionTree,
+        ModelFamily::RandomForest,
+        ModelFamily::ExtraTrees,
+        ModelFamily::GradientBoosting,
+        ModelFamily::Knn,
+        ModelFamily::NaiveBayes,
+        ModelFamily::LogisticRegression,
+        ModelFamily::LinearSvm,
+        ModelFamily::AdaBoost,
+    ];
+
+    /// Short stable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelFamily::DecisionTree => "decision_tree",
+            ModelFamily::RandomForest => "random_forest",
+            ModelFamily::ExtraTrees => "extra_trees",
+            ModelFamily::GradientBoosting => "gradient_boosting",
+            ModelFamily::Knn => "knn",
+            ModelFamily::NaiveBayes => "gaussian_nb",
+            ModelFamily::LogisticRegression => "logistic_regression",
+            ModelFamily::LinearSvm => "linear_svm",
+            ModelFamily::AdaBoost => "adaboost",
+        }
+    }
+}
+
+/// A sampled hyperparameter configuration (family + params + scaler).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CandidateConfig {
+    /// CART tree.
+    DecisionTree(TreeParams),
+    /// Random forest.
+    RandomForest(ForestParams),
+    /// Extra trees.
+    ExtraTrees(ForestParams),
+    /// Gradient boosting.
+    GradientBoosting(GbdtParams),
+    /// kNN plus its scaler.
+    Knn(KnnParams, ScalerKind),
+    /// Gaussian NB.
+    NaiveBayes(NbParams),
+    /// Logistic regression plus its scaler.
+    LogisticRegression(LogRegParams, ScalerKind),
+    /// Linear SVM plus its scaler.
+    LinearSvm(SvmParams, ScalerKind),
+    /// AdaBoost.SAMME.
+    AdaBoost(AdaBoostParams),
+}
+
+impl CandidateConfig {
+    /// The family this configuration belongs to.
+    pub fn family(&self) -> ModelFamily {
+        match self {
+            CandidateConfig::DecisionTree(_) => ModelFamily::DecisionTree,
+            CandidateConfig::RandomForest(_) => ModelFamily::RandomForest,
+            CandidateConfig::ExtraTrees(_) => ModelFamily::ExtraTrees,
+            CandidateConfig::GradientBoosting(_) => ModelFamily::GradientBoosting,
+            CandidateConfig::Knn(..) => ModelFamily::Knn,
+            CandidateConfig::NaiveBayes(_) => ModelFamily::NaiveBayes,
+            CandidateConfig::LogisticRegression(..) => ModelFamily::LogisticRegression,
+            CandidateConfig::LinearSvm(..) => ModelFamily::LinearSvm,
+            CandidateConfig::AdaBoost(_) => ModelFamily::AdaBoost,
+        }
+    }
+
+    /// Sample a configuration for `family` from its hyperparameter prior.
+    pub fn sample(family: ModelFamily, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            ModelFamily::DecisionTree => CandidateConfig::DecisionTree(TreeParams {
+                max_depth: rng.gen_range(2..=16),
+                min_samples_split: 2,
+                min_samples_leaf: rng.gen_range(1..=16),
+                criterion: if rng.gen() { Criterion::Gini } else { Criterion::Entropy },
+                splitter: Splitter::Best,
+                max_features: None,
+                seed,
+            }),
+            ModelFamily::RandomForest => CandidateConfig::RandomForest(ForestParams {
+                n_trees: rng.gen_range(16..=64),
+                max_depth: rng.gen_range(4..=14),
+                min_samples_leaf: rng.gen_range(1..=8),
+                max_features: None,
+                criterion: if rng.gen() { Criterion::Gini } else { Criterion::Entropy },
+                seed,
+            }),
+            ModelFamily::ExtraTrees => CandidateConfig::ExtraTrees(ForestParams {
+                n_trees: rng.gen_range(16..=64),
+                max_depth: rng.gen_range(4..=14),
+                min_samples_leaf: rng.gen_range(1..=8),
+                max_features: None,
+                criterion: Criterion::Gini,
+                seed,
+            }),
+            ModelFamily::GradientBoosting => CandidateConfig::GradientBoosting(GbdtParams {
+                n_rounds: rng.gen_range(15..=50),
+                learning_rate: *[0.05, 0.1, 0.2]
+                    .get(rng.gen_range(0..3))
+                    .expect("index in range"),
+                max_depth: rng.gen_range(2..=4),
+                min_samples_leaf: rng.gen_range(2..=10),
+            }),
+            ModelFamily::Knn => CandidateConfig::Knn(
+                KnnParams {
+                    // Odd k avoids binary ties.
+                    k: 2 * rng.gen_range(0..=12) + 1,
+                    weights: if rng.gen() { KnnWeights::Uniform } else { KnnWeights::Distance },
+                },
+                ScalerKind::Standard,
+            ),
+            ModelFamily::NaiveBayes => CandidateConfig::NaiveBayes(NbParams {
+                var_smoothing: 10f64.powf(rng.gen_range(-9.0..-5.0)),
+            }),
+            ModelFamily::LogisticRegression => CandidateConfig::LogisticRegression(
+                LogRegParams {
+                    l2: 10f64.powf(rng.gen_range(-5.0..0.0)),
+                    learning_rate: 0.2,
+                    max_iter: 200,
+                    tol: 1e-5,
+                },
+                ScalerKind::Standard,
+            ),
+            ModelFamily::LinearSvm => CandidateConfig::LinearSvm(
+                SvmParams {
+                    lambda: 10f64.powf(rng.gen_range(-5.0..-1.0)),
+                    epochs: rng.gen_range(10..=30),
+                    seed,
+                },
+                ScalerKind::Standard,
+            ),
+            ModelFamily::AdaBoost => CandidateConfig::AdaBoost(AdaBoostParams {
+                n_rounds: rng.gen_range(20..=60),
+                max_depth: rng.gen_range(1..=3),
+                learning_rate: *[0.5, 1.0]
+                    .get(rng.gen_range(0..2))
+                    .expect("index in range"),
+            }),
+        }
+    }
+
+    /// Fit this configuration on `train`, producing a pipeline classifier.
+    pub fn fit(&self, train: &Dataset) -> Result<Arc<dyn Classifier>> {
+        let pipeline: Pipeline = match self {
+            CandidateConfig::DecisionTree(p) => {
+                Pipeline::fit_with(train, ScalerKind::None, |d| {
+                    Ok(Arc::new(aml_models::DecisionTree::fit(d, p.clone())?))
+                })?
+            }
+            CandidateConfig::RandomForest(p) => {
+                Pipeline::fit_with(train, ScalerKind::None, |d| {
+                    Ok(Arc::new(RandomForest::fit(d, p.clone())?))
+                })?
+            }
+            CandidateConfig::ExtraTrees(p) => {
+                Pipeline::fit_with(train, ScalerKind::None, |d| {
+                    Ok(Arc::new(ExtraTrees::fit(d, p.clone())?))
+                })?
+            }
+            CandidateConfig::GradientBoosting(p) => {
+                Pipeline::fit_with(train, ScalerKind::None, |d| {
+                    Ok(Arc::new(GradientBoosting::fit(d, p.clone())?))
+                })?
+            }
+            CandidateConfig::Knn(p, scaler) => Pipeline::fit_with(train, *scaler, |d| {
+                Ok(Arc::new(KNearestNeighbors::fit(d, p.clone())?))
+            })?,
+            CandidateConfig::NaiveBayes(p) => Pipeline::fit_with(train, ScalerKind::None, |d| {
+                Ok(Arc::new(GaussianNaiveBayes::fit(d, p.clone())?))
+            })?,
+            CandidateConfig::LogisticRegression(p, scaler) => {
+                Pipeline::fit_with(train, *scaler, |d| {
+                    Ok(Arc::new(LogisticRegression::fit(d, p.clone())?))
+                })?
+            }
+            CandidateConfig::LinearSvm(p, scaler) => Pipeline::fit_with(train, *scaler, |d| {
+                Ok(Arc::new(LinearSvm::fit(d, p.clone())?))
+            })?,
+            CandidateConfig::AdaBoost(p) => Pipeline::fit_with(train, ScalerKind::None, |d| {
+                Ok(Arc::new(AdaBoost::fit(d, p.clone())?))
+            })?,
+        };
+        Ok(Arc::new(pipeline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::synth;
+    use aml_models::metrics::accuracy;
+
+    #[test]
+    fn sample_is_deterministic_per_seed() {
+        for family in ModelFamily::ALL {
+            let a = CandidateConfig::sample(family, 42);
+            let b = CandidateConfig::sample(family, 42);
+            assert_eq!(a, b, "{family:?}");
+            assert_eq!(a.family(), family);
+        }
+    }
+
+    #[test]
+    fn different_seeds_vary_hyperparameters() {
+        let configs: Vec<CandidateConfig> = (0..8)
+            .map(|s| CandidateConfig::sample(ModelFamily::DecisionTree, s))
+            .collect();
+        let distinct = configs
+            .iter()
+            .filter(|c| **c != configs[0])
+            .count();
+        assert!(distinct > 0, "hyperparameter prior should not be a point mass");
+    }
+
+    #[test]
+    fn every_family_fits_and_predicts_blobs() {
+        let train = synth::gaussian_blobs(160, 2, 2, 1.0, 3).unwrap();
+        let test = synth::gaussian_blobs(80, 2, 2, 1.0, 4).unwrap();
+        for family in ModelFamily::ALL {
+            let cfg = CandidateConfig::sample(family, 7);
+            let model = cfg.fit(&train).unwrap();
+            let acc = accuracy(test.labels(), &model.predict(&test).unwrap()).unwrap();
+            assert!(
+                acc > 0.7,
+                "{} only reached accuracy {acc} on easy blobs",
+                family.name()
+            );
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<&str> = ModelFamily::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ModelFamily::ALL.len());
+    }
+}

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the interpretation layer: single-model ALE
+//! curves, cross-model bands, PDP (the alternative), and region
+//! extraction + sampling. ALE dominates the feedback algorithm's cost
+//! (2 model evaluations per row per feature), so its scaling with grid
+//! resolution matters.
+
+use aml_core::{AleFeedback, ThresholdRule};
+use aml_dataset::synth;
+use aml_interpret::ale::{ale_curve, AleConfig};
+use aml_interpret::grid::Grid;
+use aml_interpret::pdp::pdp_curve;
+use aml_interpret::region::FeatureRegions;
+use aml_interpret::variance::ale_band;
+use aml_models::forest::ForestParams;
+use aml_models::tree::TreeParams;
+use aml_models::{Classifier, DecisionTree, RandomForest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ale_curve(c: &mut Criterion) {
+    let ds = synth::gaussian_blobs(500, 4, 2, 2.0, 1).unwrap();
+    let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+    let forest = RandomForest::fit(&ds, ForestParams { n_trees: 30, ..Default::default() }).unwrap();
+    let mut group = c.benchmark_group("ale_curve_500rows");
+    for k in [8usize, 16, 32, 64] {
+        let grid = Grid::quantile(&ds.column(0).unwrap(), k).unwrap();
+        group.bench_with_input(BenchmarkId::new("tree", k), &grid, |b, g| {
+            b.iter(|| ale_curve(&tree, &ds, 0, g, &AleConfig::default()).expect("ale"))
+        });
+        group.bench_with_input(BenchmarkId::new("forest30", k), &grid, |b, g| {
+            b.iter(|| ale_curve(&forest, &ds, 0, g, &AleConfig::default()).expect("ale"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ale_vs_pdp(c: &mut Criterion) {
+    let ds = synth::gaussian_blobs(500, 4, 2, 2.0, 1).unwrap();
+    let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+    let grid = Grid::quantile(&ds.column(0).unwrap(), 24).unwrap();
+    let mut group = c.benchmark_group("interpretation_method");
+    group.bench_function("ale_24", |b| {
+        b.iter(|| ale_curve(&tree, &ds, 0, &grid, &AleConfig::default()).expect("ale"))
+    });
+    group.bench_function("pdp_24", |b| {
+        b.iter(|| pdp_curve(&tree, &ds, 0, &grid, &AleConfig::default()).expect("pdp"))
+    });
+    group.finish();
+}
+
+fn bench_band_and_regions(c: &mut Criterion) {
+    let ds = synth::gaussian_blobs(400, 4, 2, 2.0, 1).unwrap();
+    let models: Vec<Box<dyn Classifier>> = (0..6)
+        .map(|s| {
+            Box::new(
+                DecisionTree::fit(
+                    &ds,
+                    TreeParams { seed: s, max_features: Some(2), ..Default::default() },
+                )
+                .unwrap(),
+            ) as Box<dyn Classifier>
+        })
+        .collect();
+    let refs: Vec<&dyn Classifier> = models.iter().map(|m| m.as_ref()).collect();
+    c.bench_function("ale_band_6models", |b| {
+        b.iter(|| ale_band(&refs, &ds, 0, 24, &AleConfig::default()).expect("band"))
+    });
+    let band = ale_band(&refs, &ds, 0, 24, &AleConfig::default()).unwrap();
+    let domain = ds.domain(0).unwrap();
+    c.bench_function("region_extraction", |b| {
+        b.iter(|| FeatureRegions::from_band(&band, 0.01, domain).expect("regions"))
+    });
+    let _ = AleFeedback {
+        threshold: ThresholdRule::Fixed(0.01),
+        ..Default::default()
+    };
+}
+
+criterion_group!(benches, bench_ale_curve, bench_ale_vs_pdp, bench_band_and_regions);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks for the feedback layer: the Wilcoxon test (exact
+//! DP vs normal approximation), SMOTE, QBC selection, and the end-to-end
+//! Within-ALE analysis on a fitted AutoML ensemble.
+
+use aml_automl::{AutoMl, AutoMlConfig};
+use aml_core::qbc::qbc_select;
+use aml_core::upsampling::smote;
+use aml_core::AleFeedback;
+use aml_dataset::synth;
+use aml_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_wilcoxon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wilcoxon");
+    for n in [10usize, 20, 25, 26, 100, 1000] {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() + 0.1).collect();
+        // n ≤ 25 exercises the exact DP, above it the normal approximation.
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(x, y), |b, (x, y)| {
+            b.iter(|| wilcoxon_signed_rank(x, y, Alternative::Less).expect("test"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_smote(c: &mut Criterion) {
+    // 90/10 imbalance, 500 rows.
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..450 {
+        rows.push(vec![i as f64 * 0.01, (i % 7) as f64]);
+        labels.push(0usize);
+    }
+    for i in 0..50 {
+        rows.push(vec![100.0 + i as f64 * 0.01, (i % 5) as f64]);
+        labels.push(1usize);
+    }
+    let ds = aml_dataset::Dataset::from_rows(&rows, &labels, 2).unwrap();
+    c.bench_function("smote_500rows_90_10", |b| {
+        b.iter(|| smote(&ds, 5, 1).expect("smote"))
+    });
+}
+
+fn bench_qbc_and_ale(c: &mut Criterion) {
+    let train = synth::two_moons(300, 0.25, 1).unwrap();
+    let pool = synth::two_moons(500, 0.25, 2).unwrap();
+    let run = AutoMl::new(AutoMlConfig {
+        n_candidates: 8,
+        seed: 1,
+        ..Default::default()
+    })
+    .fit(&train)
+    .expect("automl");
+
+    c.bench_function("qbc_select_500pool", |b| {
+        b.iter(|| qbc_select(run.ensemble(), &pool, 50).expect("qbc"))
+    });
+
+    let runs = [run];
+    let ale = AleFeedback::default();
+    c.bench_function("within_ale_analysis_300rows", |b| {
+        b.iter(|| ale.analyze(&runs, &train).expect("analysis"))
+    });
+}
+
+criterion_group!(benches, bench_wilcoxon, bench_smote, bench_qbc_and_ale);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the network simulator: full simulation runs
+//! per protocol and condition-labeling cost (the data-generation hot
+//! path behind every Scream-vs-rest dataset).
+
+use aml_netsim::cc::CcKind;
+use aml_netsim::runner::label_condition;
+use aml_netsim::sim::{SimConfig, Simulation};
+use aml_netsim::NetworkCondition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn cond(mbps: f64, rtt: f64, loss: f64, flows: usize) -> NetworkCondition {
+    NetworkCondition {
+        link_rate_mbps: mbps,
+        rtt_ms: rtt,
+        loss_rate: loss,
+        n_flows: flows,
+    }
+}
+
+fn bench_single_protocol_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_run_10mbps_40ms");
+    group.sample_size(10);
+    for kind in CcKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &k| {
+            b.iter(|| {
+                Simulation::new(SimConfig::for_condition(cond(10.0, 40.0, 0.0, 1), k, 1))
+                    .expect("config")
+                    .run()
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_labeling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("label_condition_all6");
+    group.sample_size(10);
+    let scenarios = [
+        ("slow_3mbps", cond(3.0, 40.0, 0.01, 1)),
+        ("mid_20mbps", cond(20.0, 60.0, 0.0, 2)),
+        ("fast_100mbps", cond(100.0, 30.0, 0.0, 1)),
+    ];
+    for (name, condition) in scenarios {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &condition, |b, &cnd| {
+            b.iter(|| label_condition(cnd, 7).expect("label"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_protocol_run, bench_labeling);
+criterion_main!(benches);

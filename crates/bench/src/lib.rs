@@ -1,0 +1,185 @@
+//! # aml-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper (see DESIGN.md §4 for the index):
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig1_scream_ale` | Figure 1 — ALE band of `config.link_rate` |
+//! | `table1_scream` | Table 1 — Scream-vs-rest balanced accuracy + Wilcoxon p-values |
+//! | `fig2_firewall_ale` | Figures 2a/2b — firewall src/dst-port ALE bands |
+//! | `table2_firewall` | §4.2 — firewall accuracy comparison |
+//! | `threshold_sweep` | §4 "Setting the threshold" — coverage vs 𝒯 |
+//! | `ablations` | design-choice ablations (committee size, runs, grid) |
+//!
+//! All binaries accept `--quick` (scaled-down but same-shape run),
+//! `--full` (paper-scale), `--seed N` and `--out DIR`; the default scale
+//! ("medium") reproduces the paper's qualitative results in minutes on a
+//! laptop. Generated datasets are cached as CSV under the output directory
+//! so repeated runs don't re-simulate.
+
+use aml_dataset::Dataset;
+use std::path::{Path, PathBuf};
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Minutes-scale smoke run; same shape, large error bars.
+    Quick,
+    /// Default: qualitative reproduction in tens of minutes.
+    Medium,
+    /// Paper-scale sample sizes.
+    Full,
+}
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSV/SVG/JSON artifacts.
+    pub out_dir: PathBuf,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl RunOpts {
+    /// Parse from `std::env::args` (ignores unknown flags).
+    pub fn parse() -> RunOpts {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = RunOpts {
+            scale: Scale::Medium,
+            seed: 1,
+            out_dir: PathBuf::from("target/experiments"),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        };
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--full" => opts.scale = Scale::Full,
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--out" if i + 1 < args.len() => {
+                    opts.out_dir = PathBuf::from(&args[i + 1]);
+                    i += 1;
+                }
+                "--threads" if i + 1 < args.len() => {
+                    opts.threads = args[i + 1].parse().unwrap_or(opts.threads);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        std::fs::create_dir_all(&opts.out_dir).ok();
+        opts
+    }
+
+    /// Pick a value by scale.
+    pub fn by_scale<T: Copy>(&self, quick: T, medium: T, full: T) -> T {
+        match self.scale {
+            Scale::Quick => quick,
+            Scale::Medium => medium,
+            Scale::Full => full,
+        }
+    }
+
+    /// Print the run header (seed etc.) so results are reproducible.
+    pub fn banner(&self, name: &str) {
+        println!(
+            "== {name} | scale {:?} | seed {} | {} threads | artifacts -> {} ==\n",
+            self.scale,
+            self.seed,
+            self.threads,
+            self.out_dir.display()
+        );
+    }
+}
+
+/// Write a text artifact to the output directory.
+pub fn write_artifact(out_dir: &Path, name: &str, content: &str) {
+    let path = out_dir.join(name);
+    if let Err(e) = std::fs::write(&path, content) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Write a JSON artifact.
+pub fn write_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
+    match serde_json::to_string_pretty(value) {
+        Ok(s) => write_artifact(out_dir, name, &s),
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Load a cached dataset or generate-and-cache it. The cache key must
+/// uniquely identify the generation parameters (include n and seed!).
+pub fn cached_dataset(
+    out_dir: &Path,
+    key: &str,
+    generate: impl FnOnce() -> Dataset,
+) -> Dataset {
+    let path = out_dir.join(format!("{key}.csv"));
+    if path.exists() {
+        if let Ok(ds) = aml_dataset::csv::read_csv(&path) {
+            println!("loaded cached {key} ({} rows)", ds.n_rows());
+            return ds;
+        }
+    }
+    let ds = generate();
+    if aml_dataset::csv::write_csv(&ds, &path).is_ok() {
+        println!("cached {key} ({} rows)", ds.n_rows());
+    }
+    ds
+}
+
+/// Mean of a slice (experiment reporting helper).
+pub fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::synth;
+
+    #[test]
+    fn by_scale_picks_correctly() {
+        let mut o = RunOpts {
+            scale: Scale::Quick,
+            seed: 0,
+            out_dir: PathBuf::from("/tmp"),
+            threads: 1,
+        };
+        assert_eq!(o.by_scale(1, 2, 3), 1);
+        o.scale = Scale::Medium;
+        assert_eq!(o.by_scale(1, 2, 3), 2);
+        o.scale = Scale::Full;
+        assert_eq!(o.by_scale(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn dataset_cache_round_trips() {
+        let dir = std::env::temp_dir().join("aml_bench_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let key = "test_ds_cache";
+        std::fs::remove_file(dir.join(format!("{key}.csv"))).ok();
+        let first = cached_dataset(&dir, key, || synth::two_moons(30, 0.1, 1).unwrap());
+        let second = cached_dataset(&dir, key, || panic!("must hit the cache"));
+        assert_eq!(first.n_rows(), second.n_rows());
+        assert_eq!(first.labels(), second.labels());
+        std::fs::remove_file(dir.join(format!("{key}.csv"))).ok();
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared feedback vocabulary: what a strategy suggests, and the labeling
+//! oracle abstraction.
+
+use aml_dataset::Dataset;
+use aml_interpret::region::FeatureRegions;
+use aml_interpret::variance::AleBand;
+use crate::Result;
+
+/// What a feedback strategy proposes the operator do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Suggestion {
+    /// Sample new points freely from these per-feature high-variance
+    /// regions (the interpretable ALE feedback — the regions *are* the
+    /// explanation's actionable half).
+    Regions(Vec<FeatureRegions>),
+    /// Label these specific rows of the provided candidate pool
+    /// (active-learning style; indices into the pool dataset).
+    PoolIndices(Vec<usize>),
+    /// Add these already-labelled synthetic rows to the training set
+    /// (upsampling / SMOTE — no new information, rebalanced emphasis).
+    SyntheticRows {
+        /// Feature rows to append.
+        rows: Vec<Vec<f64>>,
+        /// Label per row.
+        labels: Vec<usize>,
+    },
+    /// Nothing to suggest.
+    None,
+}
+
+/// A strategy's full output: the actionable suggestion plus the
+/// human-readable explanation (mean±std ALE bands and region descriptions
+/// — step 6 of the paper's algorithm).
+#[derive(Debug, Clone)]
+pub struct Feedback {
+    /// Actionable half.
+    pub suggestion: Suggestion,
+    /// ALE bands per feature (empty for non-ALE strategies).
+    pub explanations: Vec<AleBand>,
+    /// Free-form notes ("threshold 0.02 = median of per-feature std", …).
+    pub notes: String,
+}
+
+impl Feedback {
+    /// Render the paper-style textual explanation: one region description
+    /// per feature with flagged intervals.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        if !self.notes.is_empty() {
+            out.push_str(&self.notes);
+            out.push('\n');
+        }
+        if let Suggestion::Regions(regions) = &self.suggestion {
+            for r in regions {
+                if !r.intervals.is_empty() {
+                    out.push_str("  sample more data where ");
+                    out.push_str(&r.describe());
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A labeling oracle: given feature rows, produce a labelled dataset.
+///
+/// For the Scream-vs-rest experiments this is the network simulator
+/// ("because we collect the data through emulation, we can easily collect
+/// any additional data the feedback solution specifies"); tests use
+/// synthetic oracles.
+pub trait Labeler {
+    /// Label the rows. The returned dataset must contain the same rows in
+    /// order (implementations may clamp values into physical validity).
+    fn label_rows(&self, rows: &[Vec<f64>]) -> Result<Dataset>;
+}
+
+/// Blanket implementation so plain closures work as labelers in tests and
+/// examples: `&|rows| { ... }`.
+impl<F> Labeler for F
+where
+    F: Fn(&[Vec<f64>]) -> Result<Dataset>,
+{
+    fn label_rows(&self, rows: &[Vec<f64>]) -> Result<Dataset> {
+        self(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::FeatureDomain;
+    use aml_interpret::region::Interval;
+
+    #[test]
+    fn describe_renders_regions_and_notes() {
+        let fb = Feedback {
+            suggestion: Suggestion::Regions(vec![FeatureRegions {
+                feature: 0,
+                feature_name: "config.link_rate".into(),
+                threshold: 0.02,
+                intervals: vec![Interval { lo: 1.0, hi: 45.0 }],
+                domain: FeatureDomain::continuous(1.0, 120.0),
+            }]),
+            explanations: vec![],
+            notes: "threshold = 0.02".into(),
+        };
+        let d = fb.describe();
+        assert!(d.contains("threshold = 0.02"));
+        assert!(d.contains("config.link_rate <= 45"));
+    }
+
+    #[test]
+    fn closure_is_a_labeler() {
+        let oracle = |rows: &[Vec<f64>]| -> Result<Dataset> {
+            let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.5)).collect();
+            Ok(Dataset::from_rows(rows, &labels, 2)?)
+        };
+        let ds = oracle.label_rows(&[vec![0.1, 0.0], vec![0.9, 0.0]]).unwrap();
+        assert_eq!(ds.labels(), &[0, 1]);
+    }
+}

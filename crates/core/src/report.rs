@@ -1,0 +1,118 @@
+//! Table-1-style reporting: balanced accuracy `mean ± std` per strategy
+//! plus the one-sided Wilcoxon p-value columns.
+
+use aml_stats::summary::PairwiseMatrix;
+use crate::experiment::{Strategy, StrategyOutcome};
+use crate::Result;
+
+/// A rendered experiment table.
+pub struct Table {
+    matrix: PairwiseMatrix,
+    points_added: Vec<(Strategy, usize)>,
+}
+
+impl Table {
+    /// Assemble from strategy outcomes (paired scores).
+    pub fn build(outcomes: &[StrategyOutcome]) -> Result<Table> {
+        let mut matrix = PairwiseMatrix::new();
+        let mut points_added = Vec::new();
+        for out in outcomes {
+            let name = if matches!(out.strategy, Strategy::WithinAlePool | Strategy::CrossAlePool)
+            {
+                format!("{} ({} points)", out.strategy.name(), out.n_points_added)
+            } else {
+                out.strategy.name().to_string()
+            };
+            matrix.add(name, out.scores.clone())?;
+            points_added.push((out.strategy, out.n_points_added));
+        }
+        Ok(Table {
+            matrix,
+            points_added,
+        })
+    }
+
+    /// The underlying pairwise matrix (for further analysis).
+    pub fn matrix(&self) -> &PairwiseMatrix {
+        &self.matrix
+    }
+
+    /// Points added per strategy.
+    pub fn points_added(&self) -> &[(Strategy, usize)] {
+        &self.points_added
+    }
+
+    /// Render in the paper's layout: `P(X, no feedback)`, `P(X, within)`,
+    /// `P(X, cross)` columns.
+    pub fn render(&self) -> Result<String> {
+        Ok(self.matrix.render(&[
+            Strategy::NoFeedback.name(),
+            Strategy::WithinAle.name(),
+            Strategy::CrossAle.name(),
+        ])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run_strategy, ExperimentConfig, Strategy};
+    use aml_automl::AutoMlConfig;
+    use aml_dataset::{split::split_into_k, synth};
+
+    #[test]
+    fn table_builds_and_renders() {
+        let train = synth::two_moons(120, 0.25, 1).unwrap();
+        let test = synth::two_moons(200, 0.25, 2).unwrap();
+        let tests = split_into_k(&test, 4, 3).unwrap();
+        let cfg = ExperimentConfig {
+            automl: AutoMlConfig {
+                n_candidates: 4,
+                ensemble_rounds: 3,
+                ..Default::default()
+            },
+            n_feedback_points: 20,
+            n_cross_runs: 2,
+            seed: 1,
+            ..Default::default()
+        };
+        let outcomes = vec![
+            run_strategy(Strategy::NoFeedback, &cfg, &train, None, None, &tests).unwrap(),
+            run_strategy(Strategy::Upsampling, &cfg, &train, None, None, &tests).unwrap(),
+        ];
+        let table = Table::build(&outcomes).unwrap();
+        let rendered = table.render().unwrap();
+        assert!(rendered.contains("Without feedback"));
+        assert!(rendered.contains("Upsampling"));
+        assert!(rendered.contains("P(X, Without feedback)"));
+        assert!(rendered.contains('%'));
+    }
+
+    #[test]
+    fn pool_strategy_name_includes_point_count() {
+        let train = synth::noisy_xor(120, 0.05, 3).unwrap();
+        let pool = synth::noisy_xor(200, 0.05, 4).unwrap();
+        let test = synth::noisy_xor(120, 0.0, 5).unwrap();
+        let tests = split_into_k(&test, 3, 6).unwrap();
+        let cfg = ExperimentConfig {
+            automl: AutoMlConfig {
+                n_candidates: 4,
+                ensemble_rounds: 3,
+                ..Default::default()
+            },
+            n_feedback_points: 15,
+            n_cross_runs: 2,
+            seed: 2,
+            ..Default::default()
+        };
+        let out =
+            run_strategy(Strategy::WithinAlePool, &cfg, &train, Some(&pool), None, &tests)
+                .unwrap();
+        let table = Table::build(&[out]).unwrap();
+        let rendered = table.render().unwrap();
+        assert!(
+            rendered.contains("Within-ALE-Pool ("),
+            "pool row shows its point count: {rendered}"
+        );
+    }
+}

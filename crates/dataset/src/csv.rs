@@ -1,0 +1,191 @@
+//! Minimal CSV I/O for datasets.
+//!
+//! Format: a header row with feature names followed by a `label` column;
+//! each data row holds the feature values and the class *name*. This is the
+//! interchange format the bench harness uses to dump generated datasets so
+//! experiments can be re-run on identical data.
+//!
+//! The parser is intentionally strict (no quoting, no embedded commas) —
+//! every file it reads is produced by [`write_csv`]/[`to_csv_string`].
+
+use crate::dataset::Dataset;
+use crate::feature::FeatureMeta;
+use crate::{DataError, Result};
+use std::io::Write;
+use std::path::Path;
+
+/// Serialize a dataset to CSV text.
+pub fn to_csv_string(ds: &Dataset) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = ds.features().iter().map(|f| f.name.as_str()).collect();
+    out.push_str(&names.join(","));
+    if !names.is_empty() {
+        out.push(',');
+    }
+    out.push_str("label\n");
+    for i in 0..ds.n_rows() {
+        let row = ds.row(i);
+        for v in row {
+            // 17 significant digits round-trips f64 exactly.
+            out.push_str(&format!("{v:.17e},"));
+        }
+        out.push_str(&ds.class_names()[ds.label(i)]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a dataset to a CSV file at `path`.
+pub fn write_csv(ds: &Dataset, path: &Path) -> Result<()> {
+    let mut f = std::fs::File::create(path).map_err(|e| DataError::Io(e.to_string()))?;
+    f.write_all(to_csv_string(ds).as_bytes())
+        .map_err(|e| DataError::Io(e.to_string()))
+}
+
+/// Parse a dataset from CSV text produced by [`to_csv_string`].
+///
+/// Feature domains are inferred from the data (as in
+/// [`Dataset::from_rows`]) but feature *names* come from the header, and
+/// class names/indices from the label column (first-appearance order).
+pub fn from_csv_string(text: &str) -> Result<Dataset> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(DataError::Parse("empty file".into()))?;
+    let cols: Vec<&str> = header.split(',').collect();
+    if cols.last() != Some(&"label") {
+        return Err(DataError::Parse("last header column must be `label`".into()));
+    }
+    let feat_names: Vec<String> = cols[..cols.len() - 1].iter().map(|s| s.to_string()).collect();
+    let n_features = feat_names.len();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut label_names: Vec<String> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != n_features + 1 {
+            return Err(DataError::Parse(format!(
+                "line {}: expected {} columns, got {}",
+                lineno + 2,
+                n_features + 1,
+                parts.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(n_features);
+        for p in &parts[..n_features] {
+            row.push(
+                p.parse::<f64>()
+                    .map_err(|e| DataError::Parse(format!("line {}: {e}", lineno + 2)))?,
+            );
+        }
+        let label_name = parts[n_features].to_string();
+        let label = match label_names.iter().position(|l| l == &label_name) {
+            Some(i) => i,
+            None => {
+                label_names.push(label_name);
+                label_names.len() - 1
+            }
+        };
+        rows.push(row);
+        labels.push(label);
+    }
+    if rows.is_empty() {
+        return Err(DataError::Empty);
+    }
+    let mut ds = Dataset::from_rows(&rows, &labels, label_names.len())?;
+    // Restore the original feature names (domains stay inferred).
+    let metas: Vec<FeatureMeta> = ds
+        .features()
+        .iter()
+        .zip(&feat_names)
+        .map(|(m, name)| FeatureMeta {
+            name: name.clone(),
+            domain: m.domain,
+        })
+        .collect();
+    ds.set_features(metas)?;
+    // Restore class names by rebuilding with explicit names.
+    let mut out = Dataset::new(ds.features().to_vec(), label_names)?;
+    for i in 0..ds.n_rows() {
+        out.push_row(ds.row(i), ds.label(i))?;
+    }
+    Ok(out)
+}
+
+/// Read a dataset from a CSV file.
+pub fn read_csv(path: &Path) -> Result<Dataset> {
+    let text = std::fs::read_to_string(path).map_err(|e| DataError::Io(e.to_string()))?;
+    from_csv_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn round_trip_preserves_everything_observable() {
+        let ds = synth::gaussian_blobs(40, 3, 2, 1.0, 9).unwrap();
+        let text = to_csv_string(&ds);
+        let back = from_csv_string(&text).unwrap();
+        assert_eq!(back.n_rows(), ds.n_rows());
+        assert_eq!(back.n_features(), ds.n_features());
+        assert_eq!(back.labels(), ds.labels());
+        for i in 0..ds.n_rows() {
+            for j in 0..ds.n_features() {
+                assert!(
+                    (back.row(i)[j] - ds.row(i)[j]).abs() < 1e-12,
+                    "value mismatch at ({i},{j})"
+                );
+            }
+        }
+        let names: Vec<&str> = back.features().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["x0", "x1", "x2"]);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = synth::two_moons(20, 0.1, 4).unwrap();
+        let dir = std::env::temp_dir().join("aml_dataset_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("moons.csv");
+        write_csv(&ds, &path).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.n_rows(), 20);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_label_header() {
+        assert!(matches!(
+            from_csv_string("a,b\n1,2\n"),
+            Err(DataError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let e = from_csv_string("a,label\n1.0,x\n1.0,2.0,x\n");
+        assert!(matches!(e, Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_unparseable_number() {
+        let e = from_csv_string("a,label\nfoo,x\n");
+        assert!(matches!(e, Err(DataError::Parse(_))));
+    }
+
+    #[test]
+    fn class_name_order_is_first_appearance() {
+        let ds = from_csv_string("a,label\n1.0,zebra\n2.0,ant\n3.0,zebra\n").unwrap();
+        assert_eq!(ds.class_names(), &["zebra".to_string(), "ant".to_string()]);
+        assert_eq!(ds.labels(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_body_is_error() {
+        assert!(from_csv_string("a,label\n").is_err());
+    }
+}

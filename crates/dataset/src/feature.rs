@@ -1,0 +1,168 @@
+//! Feature metadata: names and value domains.
+//!
+//! The paper's feedback algorithm takes "the feature-set X and the domain of
+//! each feature in that set: `R(X_s)` for each `X_s ∈ X` (the range of
+//! values each feature can take in ℝ)" as input — the suggested sampling
+//! regions are sub-intervals of those domains, and free-sampling strategies
+//! (Uniform, ALE-region sampling) draw from them directly.
+
+use serde::{Deserialize, Serialize};
+
+/// The domain `R(X_s)` of a feature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FeatureDomain {
+    /// A real-valued interval `[lo, hi]`.
+    Continuous {
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// An integer-valued interval `[lo, hi]` (e.g. port numbers, flow
+    /// counts). Stored as f64 in the matrix but sampled on integers.
+    Integer {
+        /// Inclusive lower bound.
+        lo: i64,
+        /// Inclusive upper bound.
+        hi: i64,
+    },
+}
+
+impl FeatureDomain {
+    /// Continuous domain constructor; `lo`/`hi` are swapped if reversed.
+    pub fn continuous(lo: f64, hi: f64) -> Self {
+        if lo <= hi {
+            FeatureDomain::Continuous { lo, hi }
+        } else {
+            FeatureDomain::Continuous { lo: hi, hi: lo }
+        }
+    }
+
+    /// Integer domain constructor; `lo`/`hi` are swapped if reversed.
+    pub fn integer(lo: i64, hi: i64) -> Self {
+        if lo <= hi {
+            FeatureDomain::Integer { lo, hi }
+        } else {
+            FeatureDomain::Integer { lo: hi, hi: lo }
+        }
+    }
+
+    /// Lower bound as f64.
+    pub fn lo(&self) -> f64 {
+        match self {
+            FeatureDomain::Continuous { lo, .. } => *lo,
+            FeatureDomain::Integer { lo, .. } => *lo as f64,
+        }
+    }
+
+    /// Upper bound as f64.
+    pub fn hi(&self) -> f64 {
+        match self {
+            FeatureDomain::Continuous { hi, .. } => *hi,
+            FeatureDomain::Integer { hi, .. } => *hi as f64,
+        }
+    }
+
+    /// Width of the domain.
+    pub fn width(&self) -> f64 {
+        self.hi() - self.lo()
+    }
+
+    /// Whether `x` lies inside the domain (integer domains also require
+    /// integrality up to 1e-9).
+    pub fn contains(&self, x: f64) -> bool {
+        match self {
+            FeatureDomain::Continuous { lo, hi } => x >= *lo && x <= *hi,
+            FeatureDomain::Integer { lo, hi } => {
+                x >= *lo as f64 && x <= *hi as f64 && (x - x.round()).abs() < 1e-9
+            }
+        }
+    }
+
+    /// Clamp `x` into the domain (and round for integer domains).
+    pub fn clamp(&self, x: f64) -> f64 {
+        match self {
+            FeatureDomain::Continuous { lo, hi } => x.clamp(*lo, *hi),
+            FeatureDomain::Integer { lo, hi } => x.round().clamp(*lo as f64, *hi as f64),
+        }
+    }
+}
+
+/// Name + domain of one feature column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureMeta {
+    /// Human-readable column name (e.g. `config.link_rate`).
+    pub name: String,
+    /// Value domain `R(X_s)`.
+    pub domain: FeatureDomain,
+}
+
+impl FeatureMeta {
+    /// Continuous feature metadata.
+    pub fn continuous(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        FeatureMeta {
+            name: name.into(),
+            domain: FeatureDomain::continuous(lo, hi),
+        }
+    }
+
+    /// Integer feature metadata.
+    pub fn integer(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        FeatureMeta {
+            name: name.into(),
+            domain: FeatureDomain::integer(lo, hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_bounds_are_normalized() {
+        let d = FeatureDomain::continuous(5.0, 1.0);
+        assert_eq!(d.lo(), 1.0);
+        assert_eq!(d.hi(), 5.0);
+        let di = FeatureDomain::integer(10, -2);
+        assert_eq!(di.lo(), -2.0);
+        assert_eq!(di.hi(), 10.0);
+    }
+
+    #[test]
+    fn contains_checks_integrality() {
+        let d = FeatureDomain::integer(0, 10);
+        assert!(d.contains(3.0));
+        assert!(!d.contains(3.5));
+        assert!(!d.contains(11.0));
+        let c = FeatureDomain::continuous(0.0, 1.0);
+        assert!(c.contains(0.5));
+        assert!(!c.contains(1.01));
+    }
+
+    #[test]
+    fn clamp_rounds_integer_domains() {
+        let d = FeatureDomain::integer(0, 10);
+        assert_eq!(d.clamp(3.7), 4.0);
+        assert_eq!(d.clamp(-5.0), 0.0);
+        assert_eq!(d.clamp(99.0), 10.0);
+        let c = FeatureDomain::continuous(0.0, 1.0);
+        assert_eq!(c.clamp(0.37), 0.37);
+        assert_eq!(c.clamp(9.0), 1.0);
+    }
+
+    #[test]
+    fn width() {
+        assert_eq!(FeatureDomain::continuous(2.0, 5.0).width(), 3.0);
+        assert_eq!(FeatureDomain::integer(0, 65535).width(), 65535.0);
+    }
+
+    #[test]
+    fn meta_constructors() {
+        let m = FeatureMeta::continuous("rtt_ms", 1.0, 500.0);
+        assert_eq!(m.name, "rtt_ms");
+        assert_eq!(m.domain.hi(), 500.0);
+        let i = FeatureMeta::integer("dst_port", 0, 65535);
+        assert!(i.domain.contains(443.0));
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic toy datasets for tests, docs, and the quickstart example.
+//!
+//! These are deliberately simple, deterministic generators: Gaussian blobs
+//! (linearly separable-ish multiclass), two interleaved moons (nonlinear
+//! binary), and noisy XOR (a problem that defeats linear models — handy for
+//! checking that the AutoML search actually prefers trees there).
+
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Sample from a standard normal via Box–Muller (keeps us off rand_distr;
+/// the basic `rand` crate only gives uniform draws).
+pub(crate) fn normal(rng: &mut StdRng) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// `n` points in `dim` dimensions from `n_classes` Gaussian blobs with the
+/// given per-axis standard deviation. Blob centers are placed deterministically
+/// on a scaled lattice so classes are separable when `std` is small.
+///
+/// Rows are generated class-round-robin so class counts differ by at most 1.
+pub fn gaussian_blobs(
+    n: usize,
+    dim: usize,
+    n_classes: usize,
+    std: f64,
+    seed: u64,
+) -> Result<Dataset> {
+    if n == 0 || dim == 0 || n_classes == 0 {
+        return Err(DataError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Deterministic, well-separated centers.
+    let centers: Vec<Vec<f64>> = (0..n_classes)
+        .map(|c| {
+            (0..dim)
+                .map(|d| (((c * 7 + d * 3) % (n_classes * 2)) as f64) * 4.0)
+                .collect()
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % n_classes;
+        let row: Vec<f64> = centers[c].iter().map(|&m| m + std * normal(&mut rng)).collect();
+        rows.push(row);
+        labels.push(c);
+    }
+    Dataset::from_rows(&rows, &labels, n_classes)
+}
+
+/// Two interleaved half-circles ("moons") with Gaussian noise — a binary
+/// nonlinear benchmark.
+pub fn two_moons(n: usize, noise: f64, seed: u64) -> Result<Dataset> {
+    if n < 2 {
+        return Err(DataError::Empty);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = std::f64::consts::PI * rng.gen::<f64>();
+        let (x, y, label) = if i % 2 == 0 {
+            (t.cos(), t.sin(), 0usize)
+        } else {
+            (1.0 - t.cos(), 0.5 - t.sin(), 1usize)
+        };
+        rows.push(vec![x + noise * normal(&mut rng), y + noise * normal(&mut rng)]);
+        labels.push(label);
+    }
+    Dataset::from_rows(&rows, &labels, 2)
+}
+
+/// Noisy XOR in the unit square: label = (x > 0.5) ⊕ (y > 0.5), with a
+/// fraction `flip` of labels flipped at random. Linear models score ~50%
+/// here while trees/forests approach `1 - flip`.
+pub fn noisy_xor(n: usize, flip: f64, seed: u64) -> Result<Dataset> {
+    if n < 2 {
+        return Err(DataError::Empty);
+    }
+    if !(0.0..=0.5).contains(&flip) {
+        return Err(DataError::InvalidFraction(flip));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: f64 = rng.gen();
+        let y: f64 = rng.gen();
+        let mut label = usize::from((x > 0.5) != (y > 0.5));
+        if rng.gen::<f64>() < flip {
+            label = 1 - label;
+        }
+        rows.push(vec![x, y]);
+        labels.push(label);
+    }
+    Dataset::from_rows(&rows, &labels, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_have_balanced_classes() {
+        let ds = gaussian_blobs(90, 2, 3, 0.5, 1).unwrap();
+        assert_eq!(ds.class_counts(), vec![30, 30, 30]);
+        assert_eq!(ds.n_features(), 2);
+    }
+
+    #[test]
+    fn blobs_deterministic() {
+        let a = gaussian_blobs(50, 3, 2, 1.0, 42).unwrap();
+        let b = gaussian_blobs(50, 3, 2, 1.0, 42).unwrap();
+        assert_eq!(a, b);
+        let c = gaussian_blobs(50, 3, 2, 1.0, 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn blobs_separable_when_tight() {
+        // With tiny std the nearest center classifies perfectly.
+        let ds = gaussian_blobs(60, 2, 2, 0.01, 7).unwrap();
+        // Class 0 center: (0,12)*... just check classes have distinct means.
+        let mut means = vec![vec![0.0; 2]; 2];
+        let counts = ds.class_counts();
+        for i in 0..ds.n_rows() {
+            let c = ds.label(i);
+            for j in 0..2 {
+                means[c][j] += ds.row(i)[j] / counts[c] as f64;
+            }
+        }
+        let dist: f64 = means[0]
+            .iter()
+            .zip(&means[1])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 1.0, "centers must be separated, got {dist}");
+    }
+
+    #[test]
+    fn moons_binary() {
+        let ds = two_moons(100, 0.05, 3).unwrap();
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![50, 50]);
+    }
+
+    #[test]
+    fn xor_rejects_large_flip() {
+        assert!(noisy_xor(10, 0.9, 0).is_err());
+    }
+
+    #[test]
+    fn xor_labels_match_quadrants_when_noise_free() {
+        let ds = noisy_xor(200, 0.0, 5).unwrap();
+        for i in 0..ds.n_rows() {
+            let r = ds.row(i);
+            let expect = usize::from((r[0] > 0.5) != (r[1] > 0.5));
+            assert_eq!(ds.label(i), expect);
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let xs: Vec<f64> = (0..20000).map(|_| normal(&mut rng)).collect();
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!(m.abs() < 0.05, "mean {m}");
+        assert!((v - 1.0).abs() < 0.1, "var {v}");
+    }
+}

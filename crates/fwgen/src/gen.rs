@@ -1,0 +1,301 @@
+//! The top-level dataset generator.
+
+use aml_dataset::Dataset;
+use crate::profiles::{confuse_action_for_low_src, sample_row_with, LOW_SRC_PORT_RATE};
+use crate::schema::{class_names, feature_metas, FwAction};
+use crate::{FwGenError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Generator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FwGenConfig {
+    /// Number of rows to generate.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Override of the class priors (must sum to ~1). `None` uses the
+    /// UCI-like imbalance from [`FwAction::prior`].
+    pub priors: Option<[f64; 4]>,
+}
+
+impl Default for FwGenConfig {
+    fn default() -> Self {
+        FwGenConfig {
+            n: 65_532, // the real dataset's size
+            seed: 0,
+            priors: None,
+        }
+    }
+}
+
+/// Generate a synthetic firewall dataset.
+///
+/// # Errors
+/// `n == 0`, or priors that don't form a distribution.
+pub fn generate(config: &FwGenConfig) -> Result<Dataset> {
+    if config.n == 0 {
+        return Err(FwGenError::InvalidConfig("n must be >= 1".into()));
+    }
+    let priors: Vec<f64> = match config.priors {
+        Some(p) => {
+            if p.iter().any(|&x| x < 0.0) || (p.iter().sum::<f64>() - 1.0).abs() > 1e-6 {
+                return Err(FwGenError::InvalidConfig(
+                    "priors must be non-negative and sum to 1".into(),
+                ));
+            }
+            p.to_vec()
+        }
+        None => FwAction::ALL.iter().map(|a| a.prior()).collect(),
+    };
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut ds = Dataset::new(feature_metas(), class_names())?;
+    for _ in 0..config.n {
+        let action = draw_action(&priors, &mut rng);
+        let low_src = rng.gen::<f64>() < LOW_SRC_PORT_RATE;
+        let row = sample_row_with(action, low_src, &mut rng);
+        // Label-noise mechanisms (applied AFTER feature sampling so the
+        // features keep the true action's signature while the label is
+        // noisy — that mismatch is what makes ensemble members disagree):
+        //
+        // * low source ports get a near-uniform confused label (Figure 2a);
+        // * the 443-445 destination region mixes rate-limited legitimate
+        //   flows and slipped-through attacks (Figure 2b).
+        let label = if low_src {
+            confuse_action_for_low_src(action, &mut rng)
+        } else {
+            https_ambiguity(action, &row, &mut rng)
+        };
+        ds.push_row(&row, label.class())?;
+    }
+    Ok(ds)
+}
+
+/// Port-conditional ambiguity in the HTTPS region (Figure 2b's mechanism).
+///
+/// In dst ports 443–445 the firewall applies an extra **rate-limiting
+/// rule**: allow-profiled flows sending more than ~30 packets are blocked
+/// (soft threshold), and a slice of attack traffic slips through as
+/// allowed. The blocked/allowed boundary inside the 443 region therefore
+/// depends on a *feature interaction* (`dst_port × pkts_sent`) plus noise —
+/// model families with different inductive biases (axis-aligned trees,
+/// Gaussian NB, linear models) summarize that interaction differently, so
+/// their one-dimensional `dst_port` ALE curves genuinely disagree there,
+/// which is exactly the Figure 2b signal. Everywhere else the label
+/// follows the profile.
+fn https_ambiguity(action: FwAction, row: &[f64], rng: &mut StdRng) -> FwAction {
+    let dst_port = row[1];
+    if !(443.0..=445.0).contains(&dst_port) {
+        return action;
+    }
+    let pkts_sent = row[9];
+    match action {
+        FwAction::Allow => {
+            // Soft rate-limit threshold at ~15 packets: the block
+            // probability jumps from 10% (small flows) to 90% (large).
+            let p_block = if pkts_sent > 15.0 { 0.9 } else { 0.1 };
+            if rng.gen::<f64>() < p_block {
+                if rng.gen() {
+                    FwAction::Deny
+                } else {
+                    FwAction::Drop
+                }
+            } else {
+                FwAction::Allow
+            }
+        }
+        FwAction::Deny | FwAction::Drop if rng.gen::<f64>() < 0.15 => FwAction::Allow,
+        other => other,
+    }
+}
+
+fn draw_action(priors: &[f64], rng: &mut StdRng) -> FwAction {
+    let r: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, &p) in priors.iter().enumerate() {
+        acc += p;
+        if r < acc {
+            return FwAction::ALL[i];
+        }
+    }
+    FwAction::ALL[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows_and_schema() {
+        let ds = generate(&FwGenConfig { n: 500, seed: 1, priors: None }).unwrap();
+        assert_eq!(ds.n_rows(), 500);
+        assert_eq!(ds.n_features(), 11);
+        assert_eq!(
+            ds.class_names(),
+            &["allow", "deny", "drop", "reset-both"].map(String::from)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&FwGenConfig { n: 300, seed: 9, priors: None }).unwrap();
+        let b = generate(&FwGenConfig { n: 300, seed: 9, priors: None }).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&FwGenConfig { n: 300, seed: 10, priors: None }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn class_imbalance_matches_priors() {
+        let ds = generate(&FwGenConfig { n: 20_000, seed: 2, priors: None }).unwrap();
+        let counts = ds.class_counts();
+        let total: usize = counts.iter().sum();
+        let frac = |c: usize| counts[c] as f64 / total as f64;
+        // Effective fractions differ slightly from the raw priors because
+        // the 443-region ambiguity moves ~6% of allow mass to deny/drop and
+        // ~3% back: allow ≈ 0.54, deny ≈ 0.25, drop ≈ 0.21.
+        assert!((frac(0) - 0.54).abs() < 0.04, "allow {}", frac(0));
+        assert!((frac(1) - 0.245).abs() < 0.04, "deny {}", frac(1));
+        assert!((frac(2) - 0.21).abs() < 0.04, "drop {}", frac(2));
+        assert!(counts[3] > 0, "reset-both must appear");
+    }
+
+    #[test]
+    fn custom_priors_respected() {
+        let ds = generate(&FwGenConfig {
+            n: 4000,
+            seed: 3,
+            priors: Some([0.25, 0.25, 0.25, 0.25]),
+        })
+        .unwrap();
+        let counts = ds.class_counts();
+        for c in 0..4 {
+            let frac = counts[c] as f64 / ds.n_rows() as f64;
+            assert!((frac - 0.25).abs() < 0.05, "class {c}: {frac}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(generate(&FwGenConfig { n: 0, seed: 0, priors: None }).is_err());
+        assert!(generate(&FwGenConfig {
+            n: 10,
+            seed: 0,
+            priors: Some([0.5, 0.5, 0.5, 0.5])
+        })
+        .is_err());
+        assert!(generate(&FwGenConfig {
+            n: 10,
+            seed: 0,
+            priors: Some([-0.5, 0.5, 0.5, 0.5])
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn low_source_ports_are_rare_but_present() {
+        let ds = generate(&FwGenConfig { n: 20_000, seed: 4, priors: None }).unwrap();
+        let low = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] < 1024.0).count();
+        let frac = low as f64 / ds.n_rows() as f64;
+        assert!(frac > 0.005 && frac < 0.05, "low-src-port fraction {frac}");
+    }
+
+    #[test]
+    fn low_source_port_labels_are_noisier_than_average() {
+        // Measure label entropy among low-src-port rows vs the rest; the
+        // confusion mechanism should visibly raise it.
+        let ds = generate(&FwGenConfig { n: 40_000, seed: 5, priors: None }).unwrap();
+        let entropy = |rows: &[usize]| -> f64 {
+            let mut counts = [0usize; 4];
+            for &i in rows {
+                counts[ds.label(i)] += 1;
+            }
+            let total = rows.len() as f64;
+            counts
+                .iter()
+                .filter(|&&c| c > 0)
+                .map(|&c| {
+                    let p = c as f64 / total;
+                    -p * p.log2()
+                })
+                .sum()
+        };
+        let low: Vec<usize> = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] < 1024.0).collect();
+        let high: Vec<usize> = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] >= 1024.0).collect();
+        assert!(low.len() > 100);
+        assert!(
+            entropy(&low) > entropy(&high) + 0.1,
+            "low-port entropy {} must exceed high-port entropy {}",
+            entropy(&low),
+            entropy(&high)
+        );
+    }
+
+    #[test]
+    fn https_region_has_cross_profile_labels() {
+        // The 443-445 ambiguity: some allow-profiled rows (NAT translated,
+        // bytes received) carry blocked labels and vice versa.
+        let ds = generate(&FwGenConfig { n: 30_000, seed: 8, priors: None }).unwrap();
+        let mut allow_features_blocked_label = 0usize;
+        let mut blocked_features_allow_label = 0usize;
+        for i in 0..ds.n_rows() {
+            let row = ds.row(i);
+            if !(443.0..=445.0).contains(&row[1]) {
+                continue;
+            }
+            let nat_translated = row[2] > 0.0;
+            match (nat_translated, ds.label(i)) {
+                (true, 1) | (true, 2) => allow_features_blocked_label += 1,
+                (false, 0) => blocked_features_allow_label += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            allow_features_blocked_label > 50,
+            "rate-limited legit flows: {allow_features_blocked_label}"
+        );
+        assert!(
+            blocked_features_allow_label > 50,
+            "slipped-through attacks: {blocked_features_allow_label}"
+        );
+    }
+
+    #[test]
+    fn ambiguity_is_confined_to_https_region() {
+        // Outside 443-445 (and away from low src ports) the features fully
+        // determine the label: NAT translation implies allow.
+        let ds = generate(&FwGenConfig { n: 20_000, seed: 9, priors: None }).unwrap();
+        for i in 0..ds.n_rows() {
+            let row = ds.row(i);
+            if row[0] < 1024.0 || (443.0..=445.0).contains(&row[1]) {
+                continue;
+            }
+            if row[2] > 0.0 {
+                assert_eq!(ds.label(i), 0, "NAT-translated non-HTTPS row must be allow");
+            }
+        }
+    }
+
+    #[test]
+    fn dst_443_region_is_label_mixed() {
+        // The 443–445 region must contain both allowed and blocked traffic
+        // in real proportion — the precondition for Figure 2b's confusion.
+        let ds = generate(&FwGenConfig { n: 30_000, seed: 6, priors: None }).unwrap();
+        let mut allow = 0usize;
+        let mut blocked = 0usize;
+        for i in 0..ds.n_rows() {
+            let dst = ds.row(i)[1];
+            if (443.0..=445.0).contains(&dst) {
+                match ds.label(i) {
+                    0 => allow += 1,
+                    1 | 2 => blocked += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(allow > 500, "legit HTTPS present: {allow}");
+        assert!(blocked > 500, "DDoS traffic present: {blocked}");
+    }
+}

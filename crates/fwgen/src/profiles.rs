@@ -1,0 +1,294 @@
+//! Per-action generative traffic profiles.
+//!
+//! Each profile draws an 11-feature row conditioned on the action, encoding
+//! the mechanisms documented in the crate docs. The sampling helpers
+//! implement the handful of distributions needed (log-normal via
+//! Box–Muller, categorical, bounded uniforms) on top of plain `rand`.
+
+use crate::schema::FwAction;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal with the given log-scale parameters, clamped to `[0, cap]`.
+fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64, cap: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp().clamp(0.0, cap)
+}
+
+/// An ephemeral (kernel-assigned) source port: 49152–65535 dominates, with
+/// the 1024–49151 registered range as a minority.
+fn ephemeral_port(rng: &mut StdRng) -> f64 {
+    if rng.gen::<f64>() < 0.8 {
+        rng.gen_range(49152..=65535) as f64
+    } else {
+        rng.gen_range(1024..=49151) as f64
+    }
+}
+
+/// A low source port (< 1024): rare, and deliberately *contradictory* —
+/// legacy services and spoofing scanners both live here, so the label
+/// signal at low source ports is weak. This sparse inconsistent region is
+/// what makes ensemble members disagree (Figure 2a).
+fn low_src_port(rng: &mut StdRng) -> f64 {
+    rng.gen_range(1..1024) as f64
+}
+
+/// Well-known service destination ports with realistic frequencies.
+fn service_dst_port(rng: &mut StdRng) -> f64 {
+    let r: f64 = rng.gen();
+    if r < 0.40 {
+        443.0
+    } else if r < 0.62 {
+        80.0
+    } else if r < 0.74 {
+        53.0
+    } else if r < 0.80 {
+        25.0
+    } else if r < 0.84 {
+        445.0
+    } else if r < 0.88 {
+        22.0
+    } else {
+        rng.gen_range(1024..=65535) as f64
+    }
+}
+
+/// Probability that a generated sample uses a low (< 1024) source port.
+pub const LOW_SRC_PORT_RATE: f64 = 0.02;
+
+/// Fraction of blocked (deny/drop) traffic that is part of the HTTPS DDoS
+/// campaign concentrated on destination ports 443–445.
+pub const DDOS_FRACTION: f64 = 0.45;
+
+/// Draw one feature row for `action`, with the low-source-port coin drawn
+/// internally at [`LOW_SRC_PORT_RATE`].
+///
+/// Row layout matches [`crate::schema::FEATURE_NAMES`].
+pub fn sample_row(action: FwAction, rng: &mut StdRng) -> Vec<f64> {
+    let low_src = rng.gen::<f64>() < LOW_SRC_PORT_RATE;
+    sample_row_with(action, low_src, rng)
+}
+
+/// Draw one feature row for `action` with the low-source-port choice made
+/// by the caller (the generator controls the exact low-port rate this way).
+pub fn sample_row_with(action: FwAction, low_src: bool, rng: &mut StdRng) -> Vec<f64> {
+    let src_port = if low_src { low_src_port(rng) } else { ephemeral_port(rng) };
+
+    match action {
+        FwAction::Allow => {
+            // Legitimate service traffic, NAT-translated, real volume.
+            let dst_port = service_dst_port(rng);
+            let nat_src = ephemeral_port(rng);
+            let nat_dst = dst_port;
+            let pkts_sent = lognormal(rng, 2.3, 1.2, 5e5).max(1.0).round();
+            let pkts_received = lognormal(rng, 2.1, 1.3, 5e5).round();
+            let packets = pkts_sent + pkts_received;
+            let bytes_sent = (pkts_sent * lognormal(rng, 6.0, 0.8, 9000.0).max(60.0)).min(5e7);
+            let bytes_received =
+                (pkts_received * lognormal(rng, 6.3, 0.9, 9000.0).max(60.0)).min(5e7);
+            let elapsed = lognormal(rng, 1.5, 1.5, 9_000.0);
+            vec![
+                src_port,
+                dst_port,
+                nat_src,
+                nat_dst,
+                bytes_sent + bytes_received,
+                bytes_sent,
+                bytes_received,
+                packets,
+                elapsed,
+                pkts_sent,
+                pkts_received,
+            ]
+        }
+        FwAction::Deny | FwAction::Drop => {
+            // Blocked traffic: a blend of a 443-targeted DDoS campaign and
+            // background scanning. NAT ports are zero (never translated).
+            let ddos = rng.gen::<f64>() < DDOS_FRACTION;
+            let dst_port = if ddos {
+                // The campaign hits 443 mostly, bleeding into 444/445.
+                let r: f64 = rng.gen();
+                if r < 0.7 {
+                    443.0
+                } else if r < 0.85 {
+                    444.0
+                } else {
+                    445.0
+                }
+            } else if rng.gen::<f64>() < 0.3 {
+                service_dst_port(rng)
+            } else {
+                rng.gen_range(1..=65535) as f64
+            };
+            let pkts_sent = if ddos {
+                lognormal(rng, 1.2, 0.8, 1e4).max(1.0).round()
+            } else {
+                (1.0 + rng.gen_range(0..3) as f64).round()
+            };
+            let bytes_sent = pkts_sent * rng.gen_range(60.0..120.0);
+            // A *deny* actively rejects (TCP RST / ICMP unreachable), so a
+            // small notification comes back; a *drop* is silent. This is
+            // the real dataset's distinguishing structure between the two
+            // blocked classes.
+            let (pkts_back, bytes_back) = if action == FwAction::Deny {
+                let p = 1.0 + rng.gen_range(0..2) as f64;
+                (p, p * rng.gen_range(40.0..80.0))
+            } else {
+                (0.0, 0.0)
+            };
+            vec![
+                src_port,
+                dst_port,
+                0.0, // nat_src_port
+                0.0, // nat_dst_port
+                bytes_sent + bytes_back,
+                bytes_sent,
+                bytes_back,
+                pkts_sent + pkts_back,
+                0.0, // blocked flows have no duration
+                pkts_sent,
+                pkts_back,
+            ]
+        }
+        FwAction::ResetBoth => {
+            // Rare TCP resets: tiny symmetric exchanges on service ports.
+            let dst_port = service_dst_port(rng);
+            let pkts = 2.0 + rng.gen_range(0..4) as f64;
+            let bytes = pkts * rng.gen_range(40.0..80.0);
+            vec![
+                src_port,
+                dst_port,
+                0.0,
+                0.0,
+                bytes,
+                bytes / 2.0,
+                bytes / 2.0,
+                pkts,
+                0.0,
+                (pkts / 2.0).ceil(),
+                (pkts / 2.0).floor(),
+            ]
+        }
+    }
+}
+
+/// For low source ports the label is re-drawn to be contradictory: a
+/// near-uniform mixture regardless of the traffic's other properties
+/// (legacy services and spoofing scanners share this range). Callers apply
+/// this *after* sampling the row, so the features keep the original
+/// action's signature while the label is noise — the recipe for ensemble
+/// disagreement.
+pub fn confuse_action_for_low_src(action: FwAction, rng: &mut StdRng) -> FwAction {
+    // 50%: keep; 50%: uniformly random action.
+    if rng.gen::<f64>() < 0.5 {
+        action
+    } else {
+        FwAction::ALL[rng.gen_range(0..4)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn rows_have_eleven_features() {
+        let mut r = rng(1);
+        for action in FwAction::ALL {
+            assert_eq!(sample_row(action, &mut r).len(), 11);
+        }
+    }
+
+    #[test]
+    fn dropped_traffic_has_zero_nat_and_no_response() {
+        let mut r = rng(2);
+        for _ in 0..100 {
+            let row = sample_row(FwAction::Drop, &mut r);
+            assert_eq!(row[2], 0.0, "nat_src_port");
+            assert_eq!(row[3], 0.0, "nat_dst_port");
+            assert_eq!(row[6], 0.0, "bytes_received");
+            assert_eq!(row[8], 0.0, "elapsed");
+        }
+    }
+
+    #[test]
+    fn denied_traffic_gets_a_rejection_notification() {
+        let mut r = rng(12);
+        for _ in 0..100 {
+            let row = sample_row(FwAction::Deny, &mut r);
+            assert_eq!(row[2], 0.0, "nat_src_port still zero");
+            assert!(row[6] > 0.0, "deny sends bytes back");
+            assert!(row[10] >= 1.0, "deny sends packets back");
+        }
+    }
+
+    #[test]
+    fn allowed_traffic_is_translated_and_voluminous() {
+        let mut r = rng(3);
+        let mut total_bytes = 0.0;
+        for _ in 0..200 {
+            let row = sample_row(FwAction::Allow, &mut r);
+            assert!(row[2] >= 1024.0, "allow NAT src port is ephemeral");
+            assert_eq!(row[3], row[1], "allow NAT dst = dst");
+            assert_eq!(row[4], row[5] + row[6], "bytes = sent + received");
+            total_bytes += row[4];
+        }
+        assert!(total_bytes / 200.0 > 1_000.0, "allowed flows carry real volume");
+    }
+
+    #[test]
+    fn ddos_concentrates_blocked_traffic_on_443_445() {
+        let mut r = rng(4);
+        let mut in_region = 0;
+        let n = 2000;
+        for _ in 0..n {
+            let row = sample_row(FwAction::Deny, &mut r);
+            if (443.0..=445.0).contains(&row[1]) {
+                in_region += 1;
+            }
+        }
+        let frac = in_region as f64 / n as f64;
+        assert!(
+            frac > 0.35 && frac < 0.65,
+            "~45% of blocked traffic targets 443-445, got {frac}"
+        );
+    }
+
+    #[test]
+    fn ports_are_valid_u16() {
+        let mut r = rng(5);
+        for action in FwAction::ALL {
+            for _ in 0..200 {
+                let row = sample_row(action, &mut r);
+                for j in 0..4 {
+                    assert!((0.0..=65535.0).contains(&row[j]), "feature {j} = {}", row[j]);
+                    assert_eq!(row[j], row[j].round(), "ports are integral");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_mixes_labels() {
+        let mut r = rng(6);
+        let mut changed = 0;
+        for _ in 0..400 {
+            if confuse_action_for_low_src(FwAction::Allow, &mut r) != FwAction::Allow {
+                changed += 1;
+            }
+        }
+        // 50% redraw × 75% different = 37.5% expected change rate.
+        assert!((100..200).contains(&changed), "changed {changed} of 400");
+    }
+}

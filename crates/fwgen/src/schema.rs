@@ -1,0 +1,134 @@
+//! The firewall dataset schema: feature names/domains and the 4 actions.
+//!
+//! Feature order mirrors the UCI "Internet Firewall Data" columns.
+
+use aml_dataset::FeatureMeta;
+use serde::{Deserialize, Serialize};
+
+/// The 11 numeric feature columns, in dataset order.
+pub const FEATURE_NAMES: [&str; 11] = [
+    "src_port",
+    "dst_port",
+    "nat_src_port",
+    "nat_dst_port",
+    "bytes",
+    "bytes_sent",
+    "bytes_received",
+    "packets",
+    "elapsed_s",
+    "pkts_sent",
+    "pkts_received",
+];
+
+/// The firewall's action — the 4-class label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FwAction {
+    /// Traffic permitted and forwarded.
+    Allow,
+    /// Traffic rejected with notification.
+    Deny,
+    /// Traffic silently dropped.
+    Drop,
+    /// Both sides sent TCP RST.
+    ResetBoth,
+}
+
+impl FwAction {
+    /// All actions in label order (class index = position).
+    pub const ALL: [FwAction; 4] = [
+        FwAction::Allow,
+        FwAction::Deny,
+        FwAction::Drop,
+        FwAction::ResetBoth,
+    ];
+
+    /// Class index of this action.
+    pub fn class(&self) -> usize {
+        match self {
+            FwAction::Allow => 0,
+            FwAction::Deny => 1,
+            FwAction::Drop => 2,
+            FwAction::ResetBoth => 3,
+        }
+    }
+
+    /// Stable name matching the UCI labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FwAction::Allow => "allow",
+            FwAction::Deny => "deny",
+            FwAction::Drop => "drop",
+            FwAction::ResetBoth => "reset-both",
+        }
+    }
+
+    /// Marginal probability of each action, approximating the real
+    /// dataset's imbalance (allow 57.4%, deny 22.9%, drop 19.6%,
+    /// reset-both 0.08% — we lift reset-both to 0.3% so stratified splits
+    /// of modest samples keep at least a couple of examples).
+    pub fn prior(&self) -> f64 {
+        match self {
+            FwAction::Allow => 0.574,
+            FwAction::Deny => 0.229,
+            FwAction::Drop => 0.194,
+            FwAction::ResetBoth => 0.003,
+        }
+    }
+}
+
+/// Feature metadata (names + domains `R(X_s)`) for the generated dataset.
+pub fn feature_metas() -> Vec<FeatureMeta> {
+    vec![
+        FeatureMeta::integer("src_port", 0, 65535),
+        FeatureMeta::integer("dst_port", 0, 65535),
+        FeatureMeta::integer("nat_src_port", 0, 65535),
+        FeatureMeta::integer("nat_dst_port", 0, 65535),
+        FeatureMeta::continuous("bytes", 0.0, 1e8),
+        FeatureMeta::continuous("bytes_sent", 0.0, 1e8),
+        FeatureMeta::continuous("bytes_received", 0.0, 1e8),
+        FeatureMeta::continuous("packets", 0.0, 1e6),
+        FeatureMeta::continuous("elapsed_s", 0.0, 10_000.0),
+        FeatureMeta::continuous("pkts_sent", 0.0, 1e6),
+        FeatureMeta::continuous("pkts_received", 0.0, 1e6),
+    ]
+}
+
+/// Class names in label order.
+pub fn class_names() -> Vec<String> {
+    FwAction::ALL.iter().map(|a| a.name().to_string()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priors_sum_to_one() {
+        let s: f64 = FwAction::ALL.iter().map(|a| a.prior()).sum();
+        assert!((s - 1.0).abs() < 1e-9, "priors sum to {s}");
+    }
+
+    #[test]
+    fn class_indices_match_positions() {
+        for (i, a) in FwAction::ALL.iter().enumerate() {
+            assert_eq!(a.class(), i);
+        }
+    }
+
+    #[test]
+    fn schema_sizes_agree() {
+        assert_eq!(feature_metas().len(), FEATURE_NAMES.len());
+        assert_eq!(class_names().len(), 4);
+        for (m, n) in feature_metas().iter().zip(FEATURE_NAMES) {
+            assert_eq!(m.name, n);
+        }
+    }
+
+    #[test]
+    fn port_domains_are_16_bit() {
+        let metas = feature_metas();
+        assert_eq!(metas[0].domain.lo(), 0.0);
+        assert_eq!(metas[0].domain.hi(), 65535.0);
+        assert!(metas[1].domain.contains(443.0));
+    }
+}

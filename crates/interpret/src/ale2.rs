@@ -1,0 +1,381 @@
+//! Second-order (two-feature) Accumulated Local Effects.
+//!
+//! The first-order ALE of [`crate::ale`] explains single features; when the
+//! model's behaviour hinges on an *interaction* — like the firewall
+//! generator's rate-limit rule, where `dst_port ∈ [443, 445]` changes the
+//! meaning of `pkts_sent` — the 1-D curves only show the marginal shadows.
+//! The second-order ALE surface isolates the pure interaction effect: how
+//! much the joint influence of `(x_j, x_k)` deviates from the sum of their
+//! individual effects.
+//!
+//! Implementation follows Apley & Zhu §3: per 2-D grid cell, accumulate the
+//! mean second-order finite difference
+//!
+//! ```text
+//! Δ²f = [f(z_j, z_k) − f(z_j−1, z_k)] − [f(z_j, z_k−1) − f(z_j−1, z_k−1)]
+//! ```
+//!
+//! over the rows whose `(x_j, x_k)` falls in the cell, double-accumulate
+//! over both axes, then subtract the accumulated first-order row/column
+//! means so the surface is centered with zero marginal effects.
+
+use aml_dataset::Dataset;
+use aml_models::Classifier;
+use crate::ale::AleConfig;
+use crate::grid::Grid;
+use crate::{InterpretError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A second-order ALE surface on a 2-D grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AleSurface {
+    /// First feature (rows of `values`).
+    pub feature_j: usize,
+    /// Second feature (columns of `values`).
+    pub feature_k: usize,
+    /// Grid points along feature j (length `nj + 1`).
+    pub grid_j: Vec<f64>,
+    /// Grid points along feature k (length `nk + 1`).
+    pub grid_k: Vec<f64>,
+    /// Centered interaction values, `values[a][b]` at `(grid_j[a],
+    /// grid_k[b])`.
+    pub values: Vec<Vec<f64>>,
+    /// Rows per cell (`nj × nk`).
+    pub cell_counts: Vec<Vec<usize>>,
+}
+
+impl AleSurface {
+    /// The largest absolute interaction value — a scalar "interaction
+    /// strength" usable for ranking feature pairs.
+    pub fn max_abs(&self) -> f64 {
+        self.values
+            .iter()
+            .flatten()
+            .map(|v| v.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Compute the second-order ALE of `model` for the feature pair
+/// `(feature_j, feature_k)` over `data`.
+///
+/// # Errors
+/// Bad feature indices, a feature pair with `j == k`, empty data, or
+/// degenerate grids.
+pub fn ale_surface(
+    model: &dyn Classifier,
+    data: &Dataset,
+    feature_j: usize,
+    feature_k: usize,
+    grid_j: &Grid,
+    grid_k: &Grid,
+    config: &AleConfig,
+) -> Result<AleSurface> {
+    if data.is_empty() {
+        return Err(InterpretError::EmptyData);
+    }
+    if feature_j == feature_k {
+        return Err(InterpretError::InvalidParameter(
+            "second-order ALE needs two distinct features".into(),
+        ));
+    }
+    for f in [feature_j, feature_k] {
+        if f >= data.n_features() {
+            return Err(InterpretError::BadFeature {
+                index: f,
+                n_features: data.n_features(),
+            });
+        }
+    }
+    if config.target_class >= model.n_classes() {
+        return Err(InterpretError::BadClass {
+            class: config.target_class,
+            n_classes: model.n_classes(),
+        });
+    }
+
+    let nj = grid_j.n_intervals();
+    let nk = grid_k.n_intervals();
+    let mut sums = vec![vec![0.0; nk]; nj];
+    let mut counts = vec![vec![0usize; nk]; nj];
+
+    let mut buf = vec![0.0; data.n_features()];
+    for i in 0..data.n_rows() {
+        let row = data.row(i);
+        let cj = grid_j.interval_of(row[feature_j]);
+        let ck = grid_k.interval_of(row[feature_k]);
+        let (jl, jh) = (grid_j.points()[cj], grid_j.points()[cj + 1]);
+        let (kl, kh) = (grid_k.points()[ck], grid_k.points()[ck + 1]);
+
+        let mut eval = |vj: f64, vk: f64| -> Result<f64> {
+            buf.copy_from_slice(row);
+            buf[feature_j] = vj;
+            buf[feature_k] = vk;
+            Ok(model.predict_proba_row(&buf)?[config.target_class])
+        };
+        let d2 = (eval(jh, kh)? - eval(jl, kh)?) - (eval(jh, kl)? - eval(jl, kl)?);
+        sums[cj][ck] += d2;
+        counts[cj][ck] += 1;
+    }
+
+    // Mean local second differences; empty cells contribute zero.
+    let mut local = vec![vec![0.0; nk]; nj];
+    for a in 0..nj {
+        for b in 0..nk {
+            if counts[a][b] > 0 {
+                local[a][b] = sums[a][b] / counts[a][b] as f64;
+            }
+        }
+    }
+
+    // Double accumulation to grid nodes ((nj+1) × (nk+1)).
+    let mut acc = vec![vec![0.0; nk + 1]; nj + 1];
+    for a in 1..=nj {
+        for b in 1..=nk {
+            acc[a][b] = acc[a - 1][b] + acc[a][b - 1] - acc[a - 1][b - 1] + local[a - 1][b - 1];
+        }
+    }
+
+    // Center: remove data-weighted accumulated row and column means (the
+    // first-order shadows), then the global mean — Apley & Zhu's centering,
+    // using cell counts as the weights.
+    let total: usize = counts.iter().flatten().sum();
+    if total > 0 {
+        // Row effect per j-node: weighted mean over k of cell midpoints.
+        let node_val = |a: usize, b: usize| -> f64 {
+            // Mean of the 4 surrounding nodes = cell midpoint value.
+            0.25 * (acc[a][b] + acc[a + 1][b] + acc[a][b + 1] + acc[a + 1][b + 1])
+        };
+        let mut row_effect = vec![0.0; nj];
+        let mut col_effect = vec![0.0; nk];
+        let mut row_w = vec![0usize; nj];
+        let mut col_w = vec![0usize; nk];
+        for a in 0..nj {
+            for b in 0..nk {
+                row_effect[a] += node_val(a, b) * counts[a][b] as f64;
+                col_effect[b] += node_val(a, b) * counts[a][b] as f64;
+                row_w[a] += counts[a][b];
+                col_w[b] += counts[a][b];
+            }
+        }
+        for a in 0..nj {
+            if row_w[a] > 0 {
+                row_effect[a] /= row_w[a] as f64;
+            }
+        }
+        for b in 0..nk {
+            if col_w[b] > 0 {
+                col_effect[b] /= col_w[b] as f64;
+            }
+        }
+        let grand: f64 = (0..nj)
+            .flat_map(|a| (0..nk).map(move |b| (a, b)))
+            .map(|(a, b)| node_val(a, b) * counts[a][b] as f64)
+            .sum::<f64>()
+            / total as f64;
+
+        // Subtract marginal effects at the node level (nearest cell's
+        // effects; boundary nodes use the adjacent cell).
+        for a in 0..=nj {
+            for b in 0..=nk {
+                let ra = a.min(nj - 1);
+                let cb = b.min(nk - 1);
+                acc[a][b] = acc[a][b] - row_effect[ra] - col_effect[cb] + grand;
+            }
+        }
+    }
+
+    Ok(AleSurface {
+        feature_j,
+        feature_k,
+        grid_j: grid_j.points().to_vec(),
+        grid_k: grid_k.points().to_vec(),
+        values: acc,
+        cell_counts: counts,
+    })
+}
+
+/// Rank all feature pairs of `data` by interaction strength
+/// ([`AleSurface::max_abs`]), strongest first. Quadratic in features — fine
+/// for the ≤ a-dozen-feature datasets of this paper.
+pub fn rank_interactions(
+    model: &dyn Classifier,
+    data: &Dataset,
+    n_intervals: usize,
+    config: &AleConfig,
+) -> Result<Vec<(usize, usize, f64)>> {
+    let mut out = Vec::new();
+    for j in 0..data.n_features() {
+        for k in (j + 1)..data.n_features() {
+            let gj = match Grid::quantile(&data.column(j)?, n_intervals) {
+                Ok(g) => g,
+                Err(InterpretError::DegenerateGrid) => continue, // constant feature
+                Err(e) => return Err(e),
+            };
+            let gk = match Grid::quantile(&data.column(k)?, n_intervals) {
+                Ok(g) => g,
+                Err(InterpretError::DegenerateGrid) => continue,
+                Err(e) => return Err(e),
+            };
+            let surface = ale_surface(model, data, j, k, &gj, &gk, config)?;
+            out.push((j, k, surface.max_abs()));
+        }
+    }
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("strengths are finite"));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::synth;
+    use aml_models::tree::TreeParams;
+    use aml_models::DecisionTree;
+
+    /// Additive model: p = clamp(0.5·x0 + 0.5·x1, 0, 1) — NO interaction.
+    struct Additive;
+    impl Classifier for Additive {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn n_features(&self) -> usize {
+            2
+        }
+        fn predict_proba_row(&self, row: &[f64]) -> aml_models::Result<Vec<f64>> {
+            let p = (0.5 * row[0] + 0.5 * row[1]).clamp(0.0, 1.0);
+            Ok(vec![1.0 - p, p])
+        }
+        fn name(&self) -> &'static str {
+            "additive"
+        }
+    }
+
+    /// Pure interaction: p = x0 · x1 (both in [0,1]).
+    struct Product;
+    impl Classifier for Product {
+        fn n_classes(&self) -> usize {
+            2
+        }
+        fn n_features(&self) -> usize {
+            2
+        }
+        fn predict_proba_row(&self, row: &[f64]) -> aml_models::Result<Vec<f64>> {
+            let p = (row[0] * row[1]).clamp(0.0, 1.0);
+            Ok(vec![1.0 - p, p])
+        }
+        fn name(&self) -> &'static str {
+            "product"
+        }
+    }
+
+    fn unit_square(n: usize, seed: u64) -> Dataset {
+        synth::noisy_xor(n, 0.0, seed).unwrap()
+    }
+
+    fn grids(ds: &Dataset, k: usize) -> (Grid, Grid) {
+        (
+            Grid::quantile(&ds.column(0).unwrap(), k).unwrap(),
+            Grid::quantile(&ds.column(1).unwrap(), k).unwrap(),
+        )
+    }
+
+    #[test]
+    fn additive_model_has_near_zero_interaction() {
+        let ds = unit_square(400, 1);
+        let (gj, gk) = grids(&ds, 8);
+        let s = ale_surface(&Additive, &ds, 0, 1, &gj, &gk, &AleConfig::default()).unwrap();
+        assert!(
+            s.max_abs() < 0.02,
+            "additive model interaction should vanish, got {}",
+            s.max_abs()
+        );
+    }
+
+    #[test]
+    fn product_model_has_clear_interaction() {
+        let ds = unit_square(400, 2);
+        let (gj, gk) = grids(&ds, 8);
+        let s = ale_surface(&Product, &ds, 0, 1, &gj, &gk, &AleConfig::default()).unwrap();
+        assert!(
+            s.max_abs() > 0.05,
+            "x0·x1 interaction must register, got {}",
+            s.max_abs()
+        );
+    }
+
+    #[test]
+    fn ranking_puts_product_pair_first() {
+        // 3 features: x0·x1 interaction, x2 independent noise.
+        struct ProductPlusNoise;
+        impl Classifier for ProductPlusNoise {
+            fn n_classes(&self) -> usize {
+                2
+            }
+            fn n_features(&self) -> usize {
+                3
+            }
+            fn predict_proba_row(&self, row: &[f64]) -> aml_models::Result<Vec<f64>> {
+                let p = (row[0] * row[1] + 0.1 * row[2]).clamp(0.0, 1.0);
+                Ok(vec![1.0 - p, p])
+            }
+            fn name(&self) -> &'static str {
+                "product_plus_noise"
+            }
+        }
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<f64>> = (0..500)
+            .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])
+            .collect();
+        let labels = vec![0usize; 500];
+        let mut ds = Dataset::from_rows(&rows, &labels, 2).unwrap();
+        // from_rows requires 2 classes represented for models, but here we
+        // only interrogate a stub model — patch one label.
+        let _ = &mut ds;
+        let ranked =
+            rank_interactions(&ProductPlusNoise, &ds, 6, &AleConfig::default()).unwrap();
+        assert_eq!((ranked[0].0, ranked[0].1), (0, 1), "ranking: {ranked:?}");
+    }
+
+    #[test]
+    fn tree_on_xor_shows_interaction() {
+        // XOR is the canonical pure interaction; a fitted tree's surface
+        // must register it strongly.
+        let ds = unit_square(500, 4);
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        let (gj, gk) = grids(&ds, 8);
+        let s = ale_surface(&tree, &ds, 0, 1, &gj, &gk, &AleConfig::default()).unwrap();
+        assert!(s.max_abs() > 0.1, "XOR interaction strength {}", s.max_abs());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = unit_square(50, 5);
+        let (gj, gk) = grids(&ds, 4);
+        assert!(matches!(
+            ale_surface(&Additive, &ds, 0, 0, &gj, &gk, &AleConfig::default()),
+            Err(InterpretError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            ale_surface(&Additive, &ds, 0, 9, &gj, &gk, &AleConfig::default()),
+            Err(InterpretError::BadFeature { .. })
+        ));
+        let empty = ds.empty_like();
+        assert!(matches!(
+            ale_surface(&Additive, &empty, 0, 1, &gj, &gk, &AleConfig::default()),
+            Err(InterpretError::EmptyData)
+        ));
+    }
+
+    #[test]
+    fn cell_counts_partition_data() {
+        let ds = unit_square(300, 6);
+        let (gj, gk) = grids(&ds, 6);
+        let s = ale_surface(&Product, &ds, 0, 1, &gj, &gk, &AleConfig::default()).unwrap();
+        let total: usize = s.cell_counts.iter().flatten().sum();
+        assert_eq!(total, 300);
+        assert_eq!(s.values.len(), s.grid_j.len());
+        assert_eq!(s.values[0].len(), s.grid_k.len());
+    }
+}

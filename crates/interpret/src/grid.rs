@@ -1,0 +1,191 @@
+//! Feature grids for ALE/PDP evaluation.
+//!
+//! ALE accumulates over intervals between grid points. Quantile grids (the
+//! standard choice) put roughly equal data mass in every interval, so no
+//! interval's local effect is estimated from a handful of points; uniform
+//! grids are available for plotting against an evenly spaced axis.
+
+use aml_dataset::FeatureDomain;
+use crate::{InterpretError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A strictly increasing sequence of grid points over one feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    points: Vec<f64>,
+}
+
+impl Grid {
+    /// Build a quantile grid with (up to) `k` intervals from observed
+    /// `values`. Duplicate quantiles (heavily tied data) are collapsed, so
+    /// the result may have fewer intervals but is always strictly
+    /// increasing.
+    ///
+    /// # Errors
+    /// Empty input, `k == 0`, or all values identical (no interval).
+    pub fn quantile(values: &[f64], k: usize) -> Result<Self> {
+        if values.is_empty() {
+            return Err(InterpretError::EmptyData);
+        }
+        if k == 0 {
+            return Err(InterpretError::InvalidParameter("k must be >= 1".into()));
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("dataset values are finite"));
+        let n = sorted.len();
+        let mut points = Vec::with_capacity(k + 1);
+        for q in 0..=k {
+            // Nearest-rank quantile; endpoints land exactly on min/max.
+            let pos = (q as f64 / k as f64) * (n - 1) as f64;
+            points.push(sorted[pos.round() as usize]);
+        }
+        points.dedup();
+        if points.len() < 2 {
+            return Err(InterpretError::DegenerateGrid);
+        }
+        Ok(Grid { points })
+    }
+
+    /// Build a uniform grid with `k` intervals spanning `domain`.
+    pub fn uniform(domain: FeatureDomain, k: usize) -> Result<Self> {
+        if k == 0 {
+            return Err(InterpretError::InvalidParameter("k must be >= 1".into()));
+        }
+        let (lo, hi) = (domain.lo(), domain.hi());
+        if !(hi > lo) {
+            return Err(InterpretError::DegenerateGrid);
+        }
+        let points = (0..=k)
+            .map(|i| lo + (hi - lo) * i as f64 / k as f64)
+            .collect();
+        Ok(Grid { points })
+    }
+
+    /// Build directly from explicit points (validated strictly increasing).
+    pub fn from_points(points: Vec<f64>) -> Result<Self> {
+        if points.len() < 2 {
+            return Err(InterpretError::DegenerateGrid);
+        }
+        if points.windows(2).any(|w| !(w[1] > w[0])) || points.iter().any(|p| !p.is_finite()) {
+            return Err(InterpretError::InvalidParameter(
+                "grid points must be finite and strictly increasing".into(),
+            ));
+        }
+        Ok(Grid { points })
+    }
+
+    /// The grid points (length = intervals + 1).
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// Number of intervals.
+    pub fn n_intervals(&self) -> usize {
+        self.points.len() - 1
+    }
+
+    /// Smallest grid point.
+    pub fn lo(&self) -> f64 {
+        self.points[0]
+    }
+
+    /// Largest grid point.
+    pub fn hi(&self) -> f64 {
+        *self.points.last().expect("grid has >= 2 points")
+    }
+
+    /// Index of the interval containing `x`: intervals are
+    /// `(z_{k-1}, z_k]` for `k = 1..=n`, with values at or below `z_0`
+    /// assigned to interval 0 and values above `z_n` clamped to the last —
+    /// the conventional ALE binning.
+    pub fn interval_of(&self, x: f64) -> usize {
+        if x <= self.points[0] {
+            return 0;
+        }
+        // partition_point returns the first index whose point is >= x; the
+        // interval index is that minus one.
+        let idx = self.points.partition_point(|&p| p < x);
+        idx.saturating_sub(1).min(self.n_intervals() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_grid_spans_data() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let g = Grid::quantile(&values, 10).unwrap();
+        assert_eq!(g.lo(), 0.0);
+        assert_eq!(g.hi(), 99.0);
+        assert_eq!(g.n_intervals(), 10);
+    }
+
+    #[test]
+    fn quantile_grid_collapses_ties() {
+        let mut values = vec![5.0; 50];
+        values.extend(vec![9.0; 50]);
+        let g = Grid::quantile(&values, 10).unwrap();
+        assert_eq!(g.points(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn constant_data_is_degenerate() {
+        assert_eq!(
+            Grid::quantile(&[3.0; 10], 5),
+            Err(InterpretError::DegenerateGrid)
+        );
+    }
+
+    #[test]
+    fn uniform_grid_is_even() {
+        let g = Grid::uniform(FeatureDomain::continuous(0.0, 10.0), 5).unwrap();
+        assert_eq!(g.points(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn interval_of_binning_convention() {
+        let g = Grid::from_points(vec![0.0, 1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(g.interval_of(-5.0), 0); // below the grid
+        assert_eq!(g.interval_of(0.0), 0); // at z_0
+        assert_eq!(g.interval_of(0.5), 0);
+        assert_eq!(g.interval_of(1.0), 0); // (z_0, z_1] is interval 0
+        assert_eq!(g.interval_of(1.1), 1);
+        assert_eq!(g.interval_of(3.0), 2);
+        assert_eq!(g.interval_of(99.0), 2); // above the grid → clamped
+    }
+
+    #[test]
+    fn from_points_rejects_disorder() {
+        assert!(Grid::from_points(vec![0.0, 0.0, 1.0]).is_err());
+        assert!(Grid::from_points(vec![1.0, 0.0]).is_err());
+        assert!(Grid::from_points(vec![1.0]).is_err());
+        assert!(Grid::from_points(vec![0.0, f64::NAN]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// interval_of always returns a valid interval, and the chosen
+        /// interval actually contains the clamped value.
+        #[test]
+        fn prop_interval_of_in_bounds(
+            x in -1e4f64..1e4,
+            k in 2usize..32,
+        ) {
+            let g = Grid::uniform(
+                aml_dataset::FeatureDomain::continuous(-100.0, 100.0), k).unwrap();
+            let i = g.interval_of(x);
+            prop_assert!(i < g.n_intervals());
+            let lo = g.points()[i];
+            let hi = g.points()[i + 1];
+            let clamped = x.clamp(g.lo(), g.hi());
+            prop_assert!(clamped >= lo - 1e-9 && clamped <= hi + 1e-9);
+        }
+    }
+}

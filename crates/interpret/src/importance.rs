@@ -1,0 +1,146 @@
+//! Permutation feature importance.
+//!
+//! A complementary interpretability tool for the operator's triage: the ALE
+//! band says *where along a feature* the ensemble is confused; permutation
+//! importance says *how much the model relies on the feature at all*. The
+//! firewall walk-through pairs them — a feature with high ALE variance but
+//! near-zero importance (like `src_port`) is safe to discard, exactly the
+//! §4.2 operator's reasoning.
+
+use aml_dataset::Dataset;
+use aml_models::metrics::balanced_accuracy;
+use aml_models::Classifier;
+use crate::{InterpretError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Importance of one feature: the balanced-accuracy drop when its column
+/// is shuffled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureImportance {
+    /// Feature index.
+    pub feature: usize,
+    /// Feature name.
+    pub feature_name: String,
+    /// Mean accuracy drop over the repeats (≥ 0 means the feature helps;
+    /// small negatives are shuffle noise).
+    pub importance: f64,
+    /// Std of the drop across repeats.
+    pub std: f64,
+}
+
+/// Compute permutation importance for every feature.
+///
+/// For each feature, its column is shuffled `repeats` times (seeded) and
+/// the model's balanced-accuracy drop relative to the unshuffled baseline
+/// is averaged.
+pub fn permutation_importance(
+    model: &dyn Classifier,
+    data: &Dataset,
+    repeats: usize,
+    seed: u64,
+) -> Result<Vec<FeatureImportance>> {
+    if data.is_empty() {
+        return Err(InterpretError::EmptyData);
+    }
+    if repeats == 0 {
+        return Err(InterpretError::InvalidParameter("repeats must be >= 1".into()));
+    }
+    let baseline_preds = model.predict(data)?;
+    let baseline = balanced_accuracy(data.labels(), &baseline_preds, data.n_classes())
+        .map_err(InterpretError::Model)?;
+
+    let n = data.n_rows();
+    let mut out = Vec::with_capacity(data.n_features());
+    for feature in 0..data.n_features() {
+        let column = data.column(feature)?;
+        let mut drops = Vec::with_capacity(repeats);
+        for r in 0..repeats {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (feature as u64 * 1000 + r as u64 + 1));
+            let mut shuffled = column.clone();
+            shuffled.shuffle(&mut rng);
+            // Predict with the shuffled column patched in row-by-row.
+            let mut preds = Vec::with_capacity(n);
+            let mut row_buf = vec![0.0; data.n_features()];
+            for i in 0..n {
+                row_buf.copy_from_slice(data.row(i));
+                row_buf[feature] = shuffled[i];
+                preds.push(model.predict_row(&row_buf)?);
+            }
+            let acc = balanced_accuracy(data.labels(), &preds, data.n_classes())
+                .map_err(InterpretError::Model)?;
+            drops.push(baseline - acc);
+        }
+        let mean = drops.iter().sum::<f64>() / repeats as f64;
+        let var = drops.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / repeats as f64;
+        out.push(FeatureImportance {
+            feature,
+            feature_name: data.features()[feature].name.clone(),
+            importance: mean,
+            std: var.sqrt(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::Dataset;
+    use aml_models::tree::TreeParams;
+    use aml_models::DecisionTree;
+
+    /// Label depends only on feature 0; feature 1 is pure noise.
+    fn one_informative_feature(seed: u64) -> Dataset {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..300)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
+        let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.5)).collect();
+        Dataset::from_rows(&rows, &labels, 2).unwrap()
+    }
+
+    #[test]
+    fn informative_feature_dominates() {
+        let ds = one_informative_feature(1);
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        let imp = permutation_importance(&tree, &ds, 3, 7).unwrap();
+        assert!(imp[0].importance > 0.3, "x0 importance {}", imp[0].importance);
+        assert!(
+            imp[1].importance.abs() < 0.05,
+            "x1 is noise, importance {}",
+            imp[1].importance
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = one_informative_feature(2);
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        let a = permutation_importance(&tree, &ds, 2, 3).unwrap();
+        let b = permutation_importance(&tree, &ds, 2, 3).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ds = one_informative_feature(3);
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        assert!(permutation_importance(&tree, &ds, 0, 0).is_err());
+        let empty = ds.empty_like();
+        assert!(permutation_importance(&tree, &empty, 1, 0).is_err());
+    }
+
+    #[test]
+    fn importances_carry_names() {
+        let ds = one_informative_feature(4);
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        let imp = permutation_importance(&tree, &ds, 1, 1).unwrap();
+        assert_eq!(imp[0].feature_name, "x0");
+        assert_eq!(imp[1].feature_name, "x1");
+    }
+}

@@ -1,0 +1,209 @@
+//! Rendering of ALE bands: CSV (machine-readable), ASCII (terminal) and SVG
+//! (figures). Step 6 of the paper's algorithm returns "the average ALE plots
+//! (along with error-bars) as explanations to the user" — these renderers
+//! are that explanation surface.
+
+use crate::variance::AleBand;
+use std::fmt::Write as _;
+
+/// CSV with columns `grid,mean,std` (one row per grid point).
+pub fn band_to_csv(band: &AleBand) -> String {
+    let mut out = String::from("grid,mean,std\n");
+    for i in 0..band.grid.len() {
+        let _ = writeln!(out, "{},{},{}", band.grid[i], band.mean[i], band.std[i]);
+    }
+    out
+}
+
+/// A fixed-size ASCII plot of the mean curve with `+`/`-` error whiskers.
+///
+/// `width`/`height` are the plot area in characters (axes add a margin).
+pub fn band_to_ascii(band: &AleBand, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let (gmin, gmax) = (band.grid[0], *band.grid.last().expect("non-empty grid"));
+    let lo = band
+        .mean
+        .iter()
+        .zip(&band.std)
+        .map(|(m, s)| m - s)
+        .fold(f64::INFINITY, f64::min);
+    let hi = band
+        .mean
+        .iter()
+        .zip(&band.std)
+        .map(|(m, s)| m + s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+
+    let mut cells = vec![vec![b' '; width]; height];
+    let col_of = |x: f64| -> usize {
+        (((x - gmin) / (gmax - gmin).max(1e-12)) * (width - 1) as f64).round() as usize
+    };
+    let row_of = |y: f64| -> usize {
+        let r = ((hi - y) / span) * (height - 1) as f64;
+        (r.round() as usize).min(height - 1)
+    };
+
+    for i in 0..band.grid.len() {
+        let c = col_of(band.grid[i]);
+        let top = row_of(band.mean[i] + band.std[i]);
+        let bot = row_of(band.mean[i] - band.std[i]);
+        for cell in cells.iter_mut().take(bot + 1).skip(top) {
+            if cell[c] == b' ' {
+                cell[c] = b'.';
+            }
+        }
+        cells[row_of(band.mean[i])][c] = b'*';
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ALE of {} across {} models (y: [{:.4}, {:.4}])",
+        band.feature_name, band.n_models, lo, hi
+    );
+    for row in &cells {
+        out.push('|');
+        out.push_str(std::str::from_utf8(row).expect("ASCII bytes"));
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let _ = writeln!(out, " x: [{gmin:.4}, {gmax:.4}]  (* mean, . ±1 std)");
+    out
+}
+
+/// A minimal self-contained SVG of the mean curve with a shaded ±1 std band
+/// and an optional horizontal threshold line on the std axis is *not* drawn
+/// (std is encoded as the band width, matching the paper's figures).
+pub fn band_to_svg(band: &AleBand, width: u32, height: u32) -> String {
+    let w = width.max(100) as f64;
+    let h = height.max(80) as f64;
+    let margin = 40.0;
+    let (gmin, gmax) = (band.grid[0], *band.grid.last().expect("non-empty grid"));
+    let lo = band
+        .mean
+        .iter()
+        .zip(&band.std)
+        .map(|(m, s)| m - s)
+        .fold(f64::INFINITY, f64::min);
+    let hi = band
+        .mean
+        .iter()
+        .zip(&band.std)
+        .map(|(m, s)| m + s)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    let gspan = (gmax - gmin).max(1e-12);
+
+    let px = |x: f64| margin + (x - gmin) / gspan * (w - 2.0 * margin);
+    let py = |y: f64| margin + (hi - y) / span * (h - 2.0 * margin);
+
+    // Shaded band polygon: upper edge left→right then lower edge right→left.
+    let mut poly = String::new();
+    for i in 0..band.grid.len() {
+        let _ = write!(poly, "{:.2},{:.2} ", px(band.grid[i]), py(band.mean[i] + band.std[i]));
+    }
+    for i in (0..band.grid.len()).rev() {
+        let _ = write!(poly, "{:.2},{:.2} ", px(band.grid[i]), py(band.mean[i] - band.std[i]));
+    }
+    let mut line = String::new();
+    for (i, (&g, &m)) in band.grid.iter().zip(&band.mean).enumerate() {
+        let cmd = if i == 0 { 'M' } else { 'L' };
+        let _ = write!(line, "{cmd}{:.2} {:.2} ", px(g), py(m));
+    }
+
+    format!(
+        concat!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">"#,
+            r#"<rect width="100%" height="100%" fill="white"/>"#,
+            r##"<polygon points="{poly}" fill="#9ecae1" fill-opacity="0.5"/>"##,
+            r##"<path d="{line}" stroke="#08519c" fill="none" stroke-width="2"/>"##,
+            r#"<text x="{tx}" y="20" font-family="monospace" font-size="12" text-anchor="middle">ALE of {name} ({n} models)</text>"#,
+            r#"<text x="{tx}" y="{by}" font-family="monospace" font-size="10" text-anchor="middle">{gmin:.3} … {gmax:.3}</text>"#,
+            "</svg>"
+        ),
+        w = w,
+        h = h,
+        poly = poly.trim_end(),
+        line = line.trim_end(),
+        tx = w / 2.0,
+        by = h - 8.0,
+        name = band.feature_name,
+        n = band.n_models,
+        gmin = gmin,
+        gmax = gmax,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::AleBand;
+
+    fn demo_band() -> AleBand {
+        AleBand {
+            feature: 0,
+            feature_name: "config.link_rate".into(),
+            grid: vec![0.0, 25.0, 50.0, 75.0, 100.0],
+            mean: vec![-0.02, 0.01, 0.03, 0.01, -0.03],
+            std: vec![0.03, 0.01, 0.005, 0.01, 0.04],
+            n_models: 10,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let csv = band_to_csv(&demo_band());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "grid,mean,std");
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].starts_with("0,"));
+    }
+
+    #[test]
+    fn ascii_contains_curve_and_axes() {
+        let a = band_to_ascii(&demo_band(), 40, 10);
+        assert!(a.contains("config.link_rate"));
+        assert!(a.contains('*'));
+        assert!(a.contains('.'));
+        assert!(a.contains("10 models"));
+    }
+
+    #[test]
+    fn ascii_clamps_tiny_dimensions() {
+        // Must not panic even with absurd sizes.
+        let a = band_to_ascii(&demo_band(), 1, 1);
+        assert!(a.contains('*'));
+    }
+
+    #[test]
+    fn svg_is_wellformed_enough() {
+        let s = band_to_svg(&demo_band(), 400, 240);
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>"));
+        assert!(s.contains("<polygon"));
+        assert!(s.contains("<path"));
+        assert!(s.contains("config.link_rate"));
+        // Balanced tags.
+        assert_eq!(s.matches("<svg").count(), s.matches("</svg>").count());
+    }
+
+    #[test]
+    fn flat_band_renders_without_nan() {
+        let band = AleBand {
+            feature: 0,
+            feature_name: "flat".into(),
+            grid: vec![0.0, 1.0],
+            mean: vec![0.0, 0.0],
+            std: vec![0.0, 0.0],
+            n_models: 1,
+        };
+        let s = band_to_svg(&band, 200, 100);
+        assert!(!s.contains("NaN"));
+        let a = band_to_ascii(&band, 20, 6);
+        assert!(!a.contains("NaN"));
+    }
+}

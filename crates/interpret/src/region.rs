@@ -1,0 +1,375 @@
+//! Extraction of high-variance feature subspaces.
+//!
+//! Step 5 of the paper's algorithm: *"Return the subspace where the standard
+//! deviation is high (higher than 𝒯) as the region for the user to sample
+//! more points from. These subspaces are essentially a collection of
+//! hyperplanes ∪ᵢ Aᵢx ≤ bᵢ … the space need not be continuous: … our
+//! feedback returns x ≤ 45 ∪ x ≥ 99."*
+//!
+//! Implementation: along one feature's grid, collect the maximal runs of
+//! grid intervals whose endpoint std exceeds 𝒯 into closed intervals, clamp
+//! to the declared feature domain, and expose each interval as a tiny
+//! half-space system `Aᵢx ≤ bᵢ` over the full feature vector.
+
+use aml_dataset::FeatureDomain;
+use crate::variance::AleBand;
+use crate::{InterpretError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A closed interval `[lo, hi]` on one feature's axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// Whether `x` lies inside.
+    pub fn contains(&self, x: f64) -> bool {
+        x >= self.lo && x <= self.hi
+    }
+}
+
+/// One `Aᵢ x ≤ bᵢ` system describing a single interval of a single feature
+/// inside the full `|X|`-dimensional feature space: two rows, `x_j ≤ hi`
+/// and `−x_j ≤ −lo`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HalfspaceSystem {
+    /// Coefficient matrix, `m × n_features` (row-major rows).
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand side, length `m`.
+    pub b: Vec<f64>,
+}
+
+impl HalfspaceSystem {
+    /// Whether the full feature vector `x` satisfies `Ax ≤ b`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        self.a.iter().zip(&self.b).all(|(row, &bi)| {
+            let lhs: f64 = row.iter().zip(x).map(|(a, v)| a * v).sum();
+            lhs <= bi + 1e-12
+        })
+    }
+}
+
+/// The high-variance regions of one feature: a union of intervals, i.e. the
+/// paper's `∪ᵢ Aᵢx ≤ bᵢ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureRegions {
+    /// Feature index.
+    pub feature: usize,
+    /// Feature name (for the human-readable explanation).
+    pub feature_name: String,
+    /// The threshold used.
+    pub threshold: f64,
+    /// Maximal high-variance intervals, left to right, non-overlapping.
+    pub intervals: Vec<Interval>,
+    /// The feature's full domain (for rendering one-sided bounds).
+    pub domain: FeatureDomain,
+}
+
+impl FeatureRegions {
+    /// Extract regions from an ALE band: maximal runs of grid points with
+    /// `std > threshold`, each run widened to the span of grid intervals it
+    /// touches and clamped to `domain`.
+    ///
+    /// # Errors
+    /// Negative/non-finite threshold.
+    pub fn from_band(band: &AleBand, threshold: f64, domain: FeatureDomain) -> Result<Self> {
+        if !threshold.is_finite() || threshold < 0.0 {
+            return Err(InterpretError::InvalidParameter(format!(
+                "threshold {threshold} must be finite and >= 0"
+            )));
+        }
+        let g = &band.grid;
+        let mut intervals: Vec<Interval> = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for (i, &s) in band.std.iter().enumerate() {
+            if s > threshold {
+                run_start.get_or_insert(i);
+            } else if let Some(start) = run_start.take() {
+                intervals.push(make_interval(g, start, i - 1, domain));
+            }
+        }
+        if let Some(start) = run_start {
+            intervals.push(make_interval(g, start, g.len() - 1, domain));
+        }
+        // Widening each run by one grid interval can make neighbouring runs
+        // touch or overlap; merge them so the union is minimal.
+        let intervals = merge_touching(intervals);
+        Ok(FeatureRegions {
+            feature: band.feature,
+            feature_name: band.feature_name.clone(),
+            threshold,
+            intervals,
+            domain,
+        })
+    }
+
+    /// Whether any interval contains `x`.
+    pub fn contains(&self, x: f64) -> bool {
+        self.intervals.iter().any(|iv| iv.contains(x))
+    }
+
+    /// Total width of the suggested subspace (the "area for the user to
+    /// sample" that the paper's threshold discussion trades off).
+    pub fn total_width(&self) -> f64 {
+        self.intervals.iter().map(Interval::width).sum()
+    }
+
+    /// Fraction of the feature's domain covered by the regions.
+    pub fn coverage(&self) -> f64 {
+        let w = self.domain.width();
+        if w > 0.0 {
+            (self.total_width() / w).min(1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The `∪ᵢ Aᵢx ≤ bᵢ` representation over an `n_features`-dimensional
+    /// feature space.
+    pub fn halfspaces(&self, n_features: usize) -> Vec<HalfspaceSystem> {
+        self.intervals
+            .iter()
+            .map(|iv| {
+                let mut upper = vec![0.0; n_features];
+                upper[self.feature] = 1.0; //  x_j ≤ hi
+                let mut lower = vec![0.0; n_features];
+                lower[self.feature] = -1.0; // −x_j ≤ −lo
+                HalfspaceSystem {
+                    a: vec![upper, lower],
+                    b: vec![iv.hi, -iv.lo],
+                }
+            })
+            .collect()
+    }
+
+    /// Paper-style human-readable rendering: one-sided at domain edges,
+    /// e.g. `config.link_rate <= 45 ∪ config.link_rate >= 99`.
+    pub fn describe(&self) -> String {
+        if self.intervals.is_empty() {
+            return format!("{}: no region exceeds threshold {}", self.feature_name, self.threshold);
+        }
+        let eps = 1e-9 * self.domain.width().max(1.0);
+        let parts: Vec<String> = self
+            .intervals
+            .iter()
+            .map(|iv| {
+                let at_lo = (iv.lo - self.domain.lo()).abs() < eps;
+                let at_hi = (self.domain.hi() - iv.hi).abs() < eps;
+                match (at_lo, at_hi) {
+                    (true, true) => format!("{} unbounded (entire domain)", self.feature_name),
+                    (true, false) => format!("{} <= {:.4}", self.feature_name, iv.hi),
+                    (false, true) => format!("{} >= {:.4}", self.feature_name, iv.lo),
+                    (false, false) =>
+
+                        format!("{:.4} <= {} <= {:.4}", iv.lo, self.feature_name, iv.hi),
+                }
+            })
+            .collect();
+        parts.join(" \u{222a} ")
+    }
+}
+
+/// Merge sorted intervals that touch or overlap.
+fn merge_touching(intervals: Vec<Interval>) -> Vec<Interval> {
+    let mut out: Vec<Interval> = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        match out.last_mut() {
+            Some(last) if iv.lo <= last.hi => last.hi = last.hi.max(iv.hi),
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+/// Widen a run of flagged grid *points* `[start, end]` to the span of grid
+/// intervals that touch them: a flagged point means the curve is uncertain
+/// there, so both adjacent intervals are worth sampling.
+fn make_interval(grid: &[f64], start: usize, end: usize, domain: FeatureDomain) -> Interval {
+    let lo = if start == 0 { domain.lo() } else { grid[start - 1] };
+    let hi = if end + 1 >= grid.len() {
+        domain.hi()
+    } else {
+        grid[end + 1]
+    };
+    Interval {
+        lo: lo.max(domain.lo()),
+        hi: hi.min(domain.hi()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variance::AleBand;
+
+    fn band(std: Vec<f64>) -> AleBand {
+        let n = std.len();
+        AleBand {
+            feature: 0,
+            feature_name: "config.link_rate".into(),
+            grid: (0..n).map(|i| i as f64 * 10.0).collect(),
+            mean: vec![0.0; n],
+            std,
+            n_models: 3,
+        }
+    }
+
+    fn dom() -> FeatureDomain {
+        FeatureDomain::continuous(0.0, 100.0)
+    }
+
+    #[test]
+    fn no_region_when_all_below_threshold() {
+        let b = band(vec![0.01; 11]);
+        let r = FeatureRegions::from_band(&b, 0.02, dom()).unwrap();
+        assert!(r.intervals.is_empty());
+        assert!(r.describe().contains("no region"));
+        assert_eq!(r.coverage(), 0.0);
+    }
+
+    #[test]
+    fn paper_example_shape_low_and_high_ends() {
+        // High variance at both ends of the link-rate axis, quiet middle —
+        // exactly Figure 1's shape. Grid points at 0,10,…,100.
+        let mut std = vec![0.005; 11];
+        std[0] = 0.05;
+        std[1] = 0.05;
+        std[2] = 0.05;
+        std[3] = 0.05;
+        std[4] = 0.05; // points 0..=4 → x in [0, 50]
+        std[10] = 0.05; // point 10 → x in [90, 100]
+        let r = FeatureRegions::from_band(&band(std), 0.02, dom()).unwrap();
+        assert_eq!(r.intervals.len(), 2);
+        assert_eq!(r.intervals[0].lo, 0.0);
+        assert_eq!(r.intervals[0].hi, 50.0);
+        assert_eq!(r.intervals[1].lo, 90.0);
+        assert_eq!(r.intervals[1].hi, 100.0);
+        let d = r.describe();
+        assert!(d.contains("config.link_rate <= 50"), "{d}");
+        assert!(d.contains("config.link_rate >= 90"), "{d}");
+        assert!(d.contains('\u{222a}'), "{d}");
+    }
+
+    #[test]
+    fn interior_region_is_two_sided() {
+        let mut std = vec![0.0; 11];
+        std[5] = 1.0;
+        let r = FeatureRegions::from_band(&band(std), 0.5, dom()).unwrap();
+        assert_eq!(r.intervals.len(), 1);
+        // Point 5 (x = 50) flagged → widened to adjacent grid points [40, 60].
+        assert_eq!(r.intervals[0].lo, 40.0);
+        assert_eq!(r.intervals[0].hi, 60.0);
+        assert!(r.describe().contains("40.0000 <= config.link_rate <= 60.0000"));
+    }
+
+    #[test]
+    fn halfspace_systems_match_intervals() {
+        let mut std = vec![0.0; 11];
+        std[2] = 1.0;
+        std[8] = 1.0;
+        let r = FeatureRegions::from_band(&band(std), 0.5, dom()).unwrap();
+        let systems = r.halfspaces(3);
+        assert_eq!(systems.len(), 2);
+        for (sys, iv) in systems.iter().zip(&r.intervals) {
+            // A point inside the interval (other features arbitrary).
+            let mid = 0.5 * (iv.lo + iv.hi);
+            assert!(sys.contains(&[mid, -999.0, 999.0]));
+            // A point outside.
+            assert!(!sys.contains(&[iv.hi + 1.0, 0.0, 0.0]));
+            assert!(!sys.contains(&[iv.lo - 1.0, 0.0, 0.0]));
+        }
+    }
+
+    #[test]
+    fn contains_and_coverage() {
+        let mut std = vec![0.0; 11];
+        std[0] = 1.0; // [0, 10]
+        let r = FeatureRegions::from_band(&band(std), 0.5, dom()).unwrap();
+        assert!(r.contains(5.0));
+        assert!(!r.contains(50.0));
+        assert!((r.coverage() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn whole_domain_flagged() {
+        let r = FeatureRegions::from_band(&band(vec![1.0; 11]), 0.5, dom()).unwrap();
+        assert_eq!(r.intervals.len(), 1);
+        assert_eq!(r.intervals[0].lo, 0.0);
+        assert_eq!(r.intervals[0].hi, 100.0);
+        assert!(r.describe().contains("entire domain"));
+    }
+
+    #[test]
+    fn lower_threshold_gives_wider_regions() {
+        // The paper's threshold discussion: lower 𝒯 ⇒ larger subspaces.
+        let std = vec![0.01, 0.03, 0.05, 0.03, 0.01, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let tight = FeatureRegions::from_band(&band(std.clone()), 0.04, dom()).unwrap();
+        let loose = FeatureRegions::from_band(&band(std), 0.02, dom()).unwrap();
+        assert!(loose.total_width() > tight.total_width());
+    }
+
+    #[test]
+    fn invalid_threshold_rejected() {
+        let b = band(vec![0.0; 4]);
+        assert!(FeatureRegions::from_band(&b, -1.0, dom()).is_err());
+        assert!(FeatureRegions::from_band(&b, f64::NAN, dom()).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::variance::AleBand;
+    use proptest::prelude::*;
+
+    fn band_of(std: Vec<f64>) -> AleBand {
+        let n = std.len();
+        AleBand {
+            feature: 0,
+            feature_name: "f".into(),
+            grid: (0..n).map(|i| i as f64).collect(),
+            mean: vec![0.0; n],
+            std,
+            n_models: 2,
+        }
+    }
+
+    proptest! {
+        /// Every flagged grid point ends up inside some interval, and every
+        /// interval endpoint stays within the domain. Raising the threshold
+        /// never increases coverage.
+        #[test]
+        fn prop_regions_cover_flagged_points(
+            std in proptest::collection::vec(0.0f64..0.1, 3..40),
+            t1 in 0.0f64..0.1,
+            t2 in 0.0f64..0.1,
+        ) {
+            let n = std.len();
+            let dom = FeatureDomain::continuous(0.0, (n - 1) as f64);
+            let b = band_of(std.clone());
+            let (lo_t, hi_t) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            let loose = FeatureRegions::from_band(&b, lo_t, dom).unwrap();
+            let tight = FeatureRegions::from_band(&b, hi_t, dom).unwrap();
+            for (i, &s) in std.iter().enumerate() {
+                if s > lo_t {
+                    prop_assert!(loose.contains(i as f64),
+                        "flagged point {i} not covered");
+                }
+            }
+            for iv in loose.intervals.iter().chain(&tight.intervals) {
+                prop_assert!(iv.lo >= dom.lo() - 1e-9 && iv.hi <= dom.hi() + 1e-9);
+                prop_assert!(iv.lo <= iv.hi);
+            }
+            prop_assert!(loose.total_width() >= tight.total_width() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! Random forests and extremely randomized trees.
+//!
+//! Both aggregate the leaf class distributions of many decorrelated
+//! [`DecisionTree`]s by probability averaging. They differ in where the
+//! randomness comes from: forests bootstrap-resample rows and subsample
+//! features per split; extra-trees keep all rows but draw random thresholds.
+
+use aml_dataset::Dataset;
+use crate::model::{check_row, check_training, Classifier};
+use crate::tree::{Criterion, DecisionTree, Splitter, TreeParams};
+use crate::{ModelError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters shared by [`RandomForest`] and [`ExtraTrees`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = `sqrt(n_features)`).
+    pub max_features: Option<usize>,
+    /// Impurity criterion.
+    pub criterion: Criterion,
+    /// Master seed; per-tree seeds are derived deterministically.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 50,
+            max_depth: 12,
+            min_samples_leaf: 1,
+            max_features: None,
+            criterion: Criterion::Gini,
+            seed: 0,
+        }
+    }
+}
+
+impl ForestParams {
+    fn validate(&self) -> Result<()> {
+        if self.n_trees == 0 {
+            return Err(ModelError::InvalidHyperparameter("n_trees must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    fn tree_params(&self, ds: &Dataset, splitter: Splitter, tree_seed: u64) -> TreeParams {
+        let default_mf = (ds.n_features() as f64).sqrt().round().max(1.0) as usize;
+        TreeParams {
+            max_depth: self.max_depth,
+            min_samples_split: (2 * self.min_samples_leaf).max(2),
+            min_samples_leaf: self.min_samples_leaf,
+            criterion: self.criterion,
+            splitter,
+            max_features: Some(self.max_features.unwrap_or(default_mf).min(ds.n_features())),
+            seed: tree_seed,
+        }
+    }
+}
+
+/// Deterministic per-member seed derivation (SplitMix64 step).
+pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
+    let mut z = master ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Bagged forest of best-split trees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl RandomForest {
+    /// Fit `params.n_trees` trees on bootstrap resamples of `ds`.
+    pub fn fit(ds: &Dataset, params: ForestParams) -> Result<Self> {
+        check_training(ds)?;
+        params.validate()?;
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for t in 0..params.n_trees {
+            let seed = derive_seed(params.seed, t as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Bootstrap sample; retry a few times if the resample lost all
+            // but one class (possible on small or imbalanced data).
+            let mut tree = None;
+            for attempt in 0..8 {
+                let idx: Vec<usize> =
+                    (0..ds.n_rows()).map(|_| rng.gen_range(0..ds.n_rows())).collect();
+                let sample = ds.subset(&idx)?;
+                match DecisionTree::fit(
+                    &sample,
+                    params.tree_params(ds, Splitter::Best, derive_seed(seed, attempt)),
+                ) {
+                    Ok(t) => {
+                        tree = Some(t);
+                        break;
+                    }
+                    Err(ModelError::SingleClass) => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+            // Fall back to fitting on the full data if bootstrapping kept
+            // collapsing to one class.
+            let tree = match tree {
+                Some(t) => t,
+                None => DecisionTree::fit(
+                    ds,
+                    params.tree_params(ds, Splitter::Best, seed),
+                )?,
+            };
+            trees.push(tree);
+        }
+        Ok(RandomForest {
+            trees,
+            n_classes: ds.n_classes(),
+            n_features: ds.n_features(),
+        })
+    }
+
+    /// Number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for RandomForest {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        check_row(row, self.n_features)?;
+        let mut acc = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict_proba_row(row)?;
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "random_forest"
+    }
+}
+
+/// Extremely randomized trees: no bootstrap, random thresholds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtraTrees {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl ExtraTrees {
+    /// Fit `params.n_trees` random-split trees on the full data.
+    pub fn fit(ds: &Dataset, params: ForestParams) -> Result<Self> {
+        check_training(ds)?;
+        params.validate()?;
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for t in 0..params.n_trees {
+            let seed = derive_seed(params.seed ^ 0xE57A, t as u64);
+            trees.push(DecisionTree::fit(
+                ds,
+                params.tree_params(ds, Splitter::Random, seed),
+            )?);
+        }
+        Ok(ExtraTrees {
+            trees,
+            n_classes: ds.n_classes(),
+            n_features: ds.n_features(),
+        })
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl Classifier for ExtraTrees {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        check_row(row, self.n_features)?;
+        let mut acc = vec![0.0; self.n_classes];
+        for tree in &self.trees {
+            let p = tree.predict_proba_row(row)?;
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += v;
+            }
+        }
+        let n = self.trees.len() as f64;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "extra_trees"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::synth;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn forest_beats_chance_on_moons() {
+        let train = synth::two_moons(300, 0.2, 1).unwrap();
+        let test = synth::two_moons(200, 0.2, 2).unwrap();
+        let f = RandomForest::fit(
+            &train,
+            ForestParams { n_trees: 30, ..Default::default() },
+        )
+        .unwrap();
+        let acc = accuracy(test.labels(), &f.predict(&test).unwrap()).unwrap();
+        assert!(acc > 0.9, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn extra_trees_beats_chance_on_moons() {
+        let train = synth::two_moons(300, 0.2, 3).unwrap();
+        let test = synth::two_moons(200, 0.2, 4).unwrap();
+        let f = ExtraTrees::fit(
+            &train,
+            ForestParams { n_trees: 30, ..Default::default() },
+        )
+        .unwrap();
+        let acc = accuracy(test.labels(), &f.predict(&test).unwrap()).unwrap();
+        assert!(acc > 0.85, "extra-trees accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_average_to_distribution() {
+        let ds = synth::gaussian_blobs(90, 2, 3, 1.0, 5).unwrap();
+        let f = RandomForest::fit(&ds, ForestParams { n_trees: 7, ..Default::default() }).unwrap();
+        let p = f.predict_proba_row(ds.row(0)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = synth::two_moons(100, 0.2, 9).unwrap();
+        let a = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
+            .unwrap();
+        let b = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_model() {
+        let ds = synth::two_moons(100, 0.2, 9).unwrap();
+        let a = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
+            .unwrap();
+        let c = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 4, ..Default::default() })
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let ds = synth::two_moons(40, 0.1, 0).unwrap();
+        assert!(RandomForest::fit(&ds, ForestParams { n_trees: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn trees_in_forest_differ() {
+        // Bootstrap + feature subsampling should decorrelate trees: their
+        // individual predictions on some point should not all be identical
+        // probabilities.
+        let ds = synth::two_moons(200, 0.3, 21).unwrap();
+        let f = RandomForest::fit(
+            &ds,
+            ForestParams { n_trees: 10, max_depth: 4, ..Default::default() },
+        )
+        .unwrap();
+        let probes: Vec<Vec<f64>> = (0..10)
+            .map(|i| f.trees[i].predict_proba_row(&[0.5, 0.25]).unwrap())
+            .collect();
+        let first = &probes[0];
+        assert!(
+            probes.iter().any(|p| (p[0] - first[0]).abs() > 1e-9),
+            "all trees produced identical probabilities — no diversity"
+        );
+    }
+}

@@ -1,0 +1,132 @@
+//! The [`Classifier`] trait — the single interface every model, pipeline and
+//! ensemble implements, and that the AutoML searcher, the QBC committee and
+//! the ALE interpreter consume.
+//!
+//! The trait is object safe (`Box<dyn Classifier>` / `Arc<dyn Classifier>`)
+//! because AutoML assembles heterogeneous ensembles, and the ALE feedback
+//! algorithm iterates over "each model in ℳ" without caring what it is.
+
+use aml_dataset::Dataset;
+use crate::{ModelError, Result};
+
+/// A fitted probabilistic classifier.
+///
+/// Implementations must be deterministic at prediction time: the feedback
+/// algorithms difference ALE values across models, which would be meaningless
+/// if `predict_proba_row` were stochastic.
+pub trait Classifier: Send + Sync {
+    /// Number of classes the model predicts probabilities for.
+    fn n_classes(&self) -> usize;
+
+    /// Number of input features expected.
+    fn n_features(&self) -> usize;
+
+    /// Class-probability vector for one feature row (`n_classes` entries,
+    /// non-negative, summing to 1 up to rounding).
+    ///
+    /// # Errors
+    /// [`ModelError::DimensionMismatch`] when `row.len() != n_features()`.
+    fn predict_proba_row(&self, row: &[f64]) -> Result<Vec<f64>>;
+
+    /// A short human-readable identifier, e.g. `"random_forest"`.
+    fn name(&self) -> &'static str;
+
+    /// Predicted class for one row (argmax of probabilities; ties broken
+    /// toward the lower class index for determinism).
+    fn predict_row(&self, row: &[f64]) -> Result<usize> {
+        let p = self.predict_proba_row(row)?;
+        Ok(argmax(&p))
+    }
+
+    /// Probability matrix for every row of `ds`.
+    fn predict_proba(&self, ds: &Dataset) -> Result<Vec<Vec<f64>>> {
+        (0..ds.n_rows()).map(|i| self.predict_proba_row(ds.row(i))).collect()
+    }
+
+    /// Predicted class per row of `ds`.
+    fn predict(&self, ds: &Dataset) -> Result<Vec<usize>> {
+        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+    }
+}
+
+/// Index of the maximum element; first index wins ties (deterministic).
+pub fn argmax(xs: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Validate that a prediction row matches the expected feature count.
+pub(crate) fn check_row(row: &[f64], expected: usize) -> Result<()> {
+    if row.len() != expected {
+        return Err(ModelError::DimensionMismatch {
+            expected,
+            got: row.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Normalize a non-negative vector to sum to one; uniform fallback when the
+/// sum is zero (e.g. a probability mass that underflowed).
+pub(crate) fn normalize(mut p: Vec<f64>) -> Vec<f64> {
+    let s: f64 = p.iter().sum();
+    if s > 0.0 && s.is_finite() {
+        for v in &mut p {
+            *v /= s;
+        }
+    } else {
+        let u = 1.0 / p.len() as f64;
+        for v in &mut p {
+            *v = u;
+        }
+    }
+    p
+}
+
+/// Validate common training preconditions: non-empty data and at least two
+/// distinct classes present. Returns the per-class counts.
+pub(crate) fn check_training(ds: &Dataset) -> Result<Vec<usize>> {
+    if ds.is_empty() {
+        return Err(ModelError::EmptyTrainingSet);
+    }
+    let counts = ds.class_counts();
+    if counts.iter().filter(|&&c| c > 0).count() < 2 {
+        return Err(ModelError::SingleClass);
+    }
+    Ok(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_ties_break_low() {
+        assert_eq!(argmax(&[0.4, 0.4, 0.2]), 0);
+        assert_eq!(argmax(&[0.1, 0.5, 0.4]), 1);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let p = normalize(vec![2.0, 6.0]);
+        assert!((p[0] - 0.25).abs() < 1e-12);
+        assert!((p[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_mass_goes_uniform() {
+        let p = normalize(vec![0.0, 0.0, 0.0, 0.0]);
+        assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-12));
+    }
+
+    #[test]
+    fn check_training_rejects_single_class() {
+        let ds = Dataset::from_rows(&[vec![0.0], vec![1.0]], &[0, 0], 2).unwrap();
+        assert_eq!(check_training(&ds), Err(ModelError::SingleClass));
+    }
+}

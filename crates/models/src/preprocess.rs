@@ -1,0 +1,240 @@
+//! Feature preprocessing: standardization and min-max scaling.
+//!
+//! Distance- and gradient-based models (kNN, logistic regression, linear
+//! SVM) need comparable feature scales; tree models do not. The AutoML
+//! search space pairs each model family with an appropriate scaler through
+//! [`crate::pipeline::Pipeline`].
+
+use aml_dataset::Dataset;
+use crate::{ModelError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A fitted feature transformer.
+pub trait Transformer: Send + Sync {
+    /// Transform one row in place.
+    fn transform_row(&self, row: &mut [f64]) -> Result<()>;
+
+    /// Transform every row of a dataset into a new dataset.
+    fn transform(&self, ds: &Dataset) -> Result<Dataset> {
+        let mut out = ds.empty_like();
+        for i in 0..ds.n_rows() {
+            let mut row = ds.row(i).to_vec();
+            self.transform_row(&mut row)?;
+            out.push_row(&row, ds.label(i))?;
+        }
+        Ok(out)
+    }
+}
+
+/// Z-score standardization: `x ← (x − mean) / std`, with constant columns
+/// mapped to 0 (std clamped away from zero).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit per-column mean and standard deviation on `ds`.
+    pub fn fit(ds: &Dataset) -> Result<Self> {
+        if ds.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        let n = ds.n_rows() as f64;
+        let d = ds.n_features();
+        let mut means = vec![0.0; d];
+        for i in 0..ds.n_rows() {
+            for (j, &v) in ds.row(i).iter().enumerate() {
+                means[j] += v / n;
+            }
+        }
+        let mut vars = vec![0.0; d];
+        for i in 0..ds.n_rows() {
+            for (j, &v) in ds.row(i).iter().enumerate() {
+                vars[j] += (v - means[j]) * (v - means[j]) / n;
+            }
+        }
+        let stds = vars.iter().map(|v| v.sqrt().max(1e-12)).collect();
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Per-column means learned at fit time.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Per-column standard deviations learned at fit time.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+impl Transformer for Standardizer {
+    fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.means.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.means.len(),
+                got: row.len(),
+            });
+        }
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.means[j]) / self.stds[j];
+        }
+        Ok(())
+    }
+}
+
+/// Min-max scaling to `[0, 1]`; constant columns map to 0.5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fit per-column min and range on `ds`.
+    pub fn fit(ds: &Dataset) -> Result<Self> {
+        if ds.is_empty() {
+            return Err(ModelError::EmptyTrainingSet);
+        }
+        let d = ds.n_features();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for i in 0..ds.n_rows() {
+            for (j, &v) in ds.row(i).iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        let ranges = mins.iter().zip(&maxs).map(|(lo, hi)| hi - lo).collect();
+        Ok(MinMaxScaler { mins, ranges })
+    }
+}
+
+impl Transformer for MinMaxScaler {
+    fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        if row.len() != self.mins.len() {
+            return Err(ModelError::DimensionMismatch {
+                expected: self.mins.len(),
+                got: row.len(),
+            });
+        }
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = if self.ranges[j] > 0.0 {
+                (*v - self.mins[j]) / self.ranges[j]
+            } else {
+                0.5
+            };
+        }
+        Ok(())
+    }
+}
+
+/// Which scaler (if any) a pipeline applies before its model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalerKind {
+    /// No preprocessing (tree models).
+    None,
+    /// [`Standardizer`].
+    Standard,
+    /// [`MinMaxScaler`].
+    MinMax,
+}
+
+/// A fitted scaler matching [`ScalerKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FittedScaler {
+    /// Identity.
+    None,
+    /// Fitted standardizer.
+    Standard(Standardizer),
+    /// Fitted min-max scaler.
+    MinMax(MinMaxScaler),
+}
+
+impl FittedScaler {
+    /// Fit the scaler of the given kind on `ds`.
+    pub fn fit(kind: ScalerKind, ds: &Dataset) -> Result<Self> {
+        Ok(match kind {
+            ScalerKind::None => FittedScaler::None,
+            ScalerKind::Standard => FittedScaler::Standard(Standardizer::fit(ds)?),
+            ScalerKind::MinMax => FittedScaler::MinMax(MinMaxScaler::fit(ds)?),
+        })
+    }
+}
+
+impl Transformer for FittedScaler {
+    fn transform_row(&self, row: &mut [f64]) -> Result<()> {
+        match self {
+            FittedScaler::None => Ok(()),
+            FittedScaler::Standard(s) => s.transform_row(row),
+            FittedScaler::MinMax(s) => s.transform_row(row),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::Dataset;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(
+            &[vec![0.0, 100.0], vec![10.0, 100.0], vec![20.0, 100.0], vec![30.0, 100.0]],
+            &[0, 0, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_var() {
+        let s = Standardizer::fit(&ds()).unwrap();
+        let t = s.transform(&ds()).unwrap();
+        let col = t.column(0).unwrap();
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        let var: f64 = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standardizer_constant_column_maps_to_zero() {
+        let s = Standardizer::fit(&ds()).unwrap();
+        let t = s.transform(&ds()).unwrap();
+        assert!(t.column(1).unwrap().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let s = MinMaxScaler::fit(&ds()).unwrap();
+        let t = s.transform(&ds()).unwrap();
+        let col = t.column(0).unwrap();
+        assert_eq!(col[0], 0.0);
+        assert_eq!(col[3], 1.0);
+        // Constant column → 0.5.
+        assert!(t.column(1).unwrap().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn transform_checks_dimensions() {
+        let s = Standardizer::fit(&ds()).unwrap();
+        let mut bad = vec![1.0];
+        assert!(s.transform_row(&mut bad).is_err());
+    }
+
+    #[test]
+    fn fitted_scaler_none_is_identity() {
+        let f = FittedScaler::fit(ScalerKind::None, &ds()).unwrap();
+        let mut row = vec![3.0, 7.0];
+        f.transform_row(&mut row).unwrap();
+        assert_eq!(row, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_fit_rejected() {
+        let empty = ds().empty_like();
+        assert!(Standardizer::fit(&empty).is_err());
+        assert!(MinMaxScaler::fit(&empty).is_err());
+    }
+}

@@ -1,0 +1,611 @@
+//! CART decision-tree classifier with best-split and random-split
+//! ("extra tree") modes.
+//!
+//! The tree is grown depth-first; at each node the best (feature, threshold)
+//! pair is chosen by impurity decrease (gini or entropy) over an optionally
+//! subsampled feature set. Leaves store the class distribution of their
+//! training samples so `predict_proba_row` is naturally calibrated to the
+//! training frequencies.
+
+use aml_dataset::Dataset;
+use crate::model::{check_row, check_training, normalize, Classifier};
+use crate::{ModelError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Node-impurity criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Criterion {
+    /// Gini impurity `1 − Σ pᵢ²`.
+    Gini,
+    /// Shannon entropy `−Σ pᵢ log₂ pᵢ`.
+    Entropy,
+}
+
+impl Criterion {
+    fn impurity(&self, counts: &[f64], total: f64) -> f64 {
+        if total <= 0.0 {
+            return 0.0;
+        }
+        match self {
+            Criterion::Gini => {
+                1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+            }
+            Criterion::Entropy => counts
+                .iter()
+                .filter(|&&c| c > 0.0)
+                .map(|&c| {
+                    let p = c / total;
+                    -p * p.log2()
+                })
+                .sum(),
+        }
+    }
+}
+
+/// How thresholds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Splitter {
+    /// Exhaustive sweep over sorted values (classic CART).
+    Best,
+    /// One uniform-random threshold per candidate feature (extra-trees).
+    Random,
+}
+
+/// Hyperparameters for [`DecisionTree`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum tree depth (root has depth 0). `0` means a single leaf.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum samples each child must retain.
+    pub min_samples_leaf: usize,
+    /// Impurity criterion.
+    pub criterion: Criterion,
+    /// Threshold selection strategy.
+    pub splitter: Splitter,
+    /// Number of features to consider per split (`None` = all).
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling / random thresholds.
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            criterion: Criterion::Gini,
+            splitter: Splitter::Best,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+impl TreeParams {
+    fn validate(&self, n_features: usize) -> Result<()> {
+        if self.min_samples_split < 2 {
+            return Err(ModelError::InvalidHyperparameter(
+                "min_samples_split must be >= 2".into(),
+            ));
+        }
+        if self.min_samples_leaf == 0 {
+            return Err(ModelError::InvalidHyperparameter(
+                "min_samples_leaf must be >= 1".into(),
+            ));
+        }
+        if let Some(mf) = self.max_features {
+            if mf == 0 || mf > n_features {
+                return Err(ModelError::InvalidHyperparameter(format!(
+                    "max_features {mf} outside 1..={n_features}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        proba: Vec<f64>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+    params: TreeParams,
+}
+
+struct FitCtx<'a> {
+    ds: &'a Dataset,
+    params: &'a TreeParams,
+    rng: StdRng,
+    nodes: Vec<Node>,
+    /// Per-row sample weights (uniform for plain trees; boosting and
+    /// class-balancing reuse this tree through the weighted entry point).
+    weights: &'a [f64],
+}
+
+impl DecisionTree {
+    /// Fit a tree on `ds` with uniform sample weights.
+    pub fn fit(ds: &Dataset, params: TreeParams) -> Result<Self> {
+        let w = vec![1.0; ds.n_rows()];
+        Self::fit_weighted(ds, params, &w)
+    }
+
+    /// Fit a tree with per-sample weights (all weights must be positive or
+    /// zero; zero-weight samples are ignored for split scoring but still
+    /// routed, matching standard implementations).
+    pub fn fit_weighted(ds: &Dataset, params: TreeParams, weights: &[f64]) -> Result<Self> {
+        check_training(ds)?;
+        params.validate(ds.n_features())?;
+        if weights.len() != ds.n_rows() {
+            return Err(ModelError::DimensionMismatch {
+                expected: ds.n_rows(),
+                got: weights.len(),
+            });
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ModelError::InvalidHyperparameter(
+                "sample weights must be finite and non-negative".into(),
+            ));
+        }
+        let mut ctx = FitCtx {
+            ds,
+            params: &params,
+            rng: StdRng::seed_from_u64(params.seed),
+            nodes: Vec::new(),
+            weights,
+        };
+        let indices: Vec<usize> = (0..ds.n_rows()).collect();
+        let root = grow(&mut ctx, indices, 0);
+        debug_assert_eq!(root, 0, "root is always the first node");
+        Ok(DecisionTree {
+            nodes: ctx.nodes,
+            n_classes: ds.n_classes(),
+            n_features: ds.n_features(),
+            params,
+        })
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+
+    /// Number of nodes (splits + leaves).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Parameters used at fit time.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+}
+
+/// Grow a subtree over `indices`, returning the node id.
+fn grow(ctx: &mut FitCtx<'_>, indices: Vec<usize>, depth: usize) -> usize {
+    let proba = class_distribution(ctx, &indices);
+    let total_weight: f64 = indices.iter().map(|&i| ctx.weights[i]).sum();
+    let counts: Vec<f64> = proba.iter().map(|p| p * total_weight).collect();
+    let impurity = ctx.params.criterion.impurity(&counts, total_weight);
+
+    let stop = depth >= ctx.params.max_depth
+        || indices.len() < ctx.params.min_samples_split
+        || impurity <= 1e-12
+        || total_weight <= 0.0;
+    if stop {
+        return push_leaf(ctx, proba);
+    }
+
+    let split = match ctx.params.splitter {
+        Splitter::Best => best_split(ctx, &indices, impurity, total_weight),
+        Splitter::Random => random_split(ctx, &indices, impurity, total_weight),
+    };
+
+    match split {
+        Some((feature, threshold)) => {
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| ctx.ds.row(i)[feature] <= threshold);
+            if left_idx.len() < ctx.params.min_samples_leaf
+                || right_idx.len() < ctx.params.min_samples_leaf
+            {
+                return push_leaf(ctx, proba);
+            }
+            // Reserve our slot before children so the root is node 0.
+            let id = ctx.nodes.len();
+            ctx.nodes.push(Node::Leaf { proba: Vec::new() }); // placeholder
+            let left = grow(ctx, left_idx, depth + 1);
+            let right = grow(ctx, right_idx, depth + 1);
+            ctx.nodes[id] = Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            };
+            id
+        }
+        None => push_leaf(ctx, proba),
+    }
+}
+
+fn push_leaf(ctx: &mut FitCtx<'_>, proba: Vec<f64>) -> usize {
+    ctx.nodes.push(Node::Leaf { proba });
+    ctx.nodes.len() - 1
+}
+
+fn class_distribution(ctx: &FitCtx<'_>, indices: &[usize]) -> Vec<f64> {
+    let mut counts = vec![0.0; ctx.ds.n_classes()];
+    for &i in indices {
+        counts[ctx.ds.label(i)] += ctx.weights[i];
+    }
+    normalize(counts)
+}
+
+/// Candidate feature subset for a split.
+fn candidate_features(ctx: &mut FitCtx<'_>) -> Vec<usize> {
+    let all: Vec<usize> = (0..ctx.ds.n_features()).collect();
+    match ctx.params.max_features {
+        Some(k) if k < all.len() => {
+            let mut pool = all;
+            pool.shuffle(&mut ctx.rng);
+            pool.truncate(k);
+            pool
+        }
+        _ => all,
+    }
+}
+
+/// Exhaustive best split: for each candidate feature sort node samples by
+/// value and sweep boundaries between distinct values.
+fn best_split(
+    ctx: &mut FitCtx<'_>,
+    indices: &[usize],
+    parent_impurity: f64,
+    total_weight: f64,
+) -> Option<(usize, f64)> {
+    let features = candidate_features(ctx);
+    let n_classes = ctx.ds.n_classes();
+    let mut best: Option<(f64, usize, f64)> = None; // (gain, feature, threshold)
+
+    for &f in &features {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_by(|&a, &b| {
+            ctx.ds.row(a)[f]
+                .partial_cmp(&ctx.ds.row(b)[f])
+                .expect("dataset rejects non-finite values")
+        });
+        let mut left_counts = vec![0.0; n_classes];
+        let mut left_weight = 0.0;
+        let mut right_counts = vec![0.0; n_classes];
+        for &i in &sorted {
+            right_counts[ctx.ds.label(i)] += ctx.weights[i];
+        }
+        let min_leaf = ctx.params.min_samples_leaf;
+
+        for pos in 0..sorted.len() - 1 {
+            let i = sorted[pos];
+            let w = ctx.weights[i];
+            left_counts[ctx.ds.label(i)] += w;
+            right_counts[ctx.ds.label(i)] -= w;
+            left_weight += w;
+
+            let v_here = ctx.ds.row(i)[f];
+            let v_next = ctx.ds.row(sorted[pos + 1])[f];
+            if v_here == v_next {
+                continue; // no boundary between equal values
+            }
+            let n_left = pos + 1;
+            let n_right = sorted.len() - n_left;
+            if n_left < min_leaf || n_right < min_leaf {
+                continue;
+            }
+            let right_weight = total_weight - left_weight;
+            let imp_l = ctx.params.criterion.impurity(&left_counts, left_weight);
+            let imp_r = ctx.params.criterion.impurity(&right_counts, right_weight);
+            let gain = parent_impurity
+                - (left_weight * imp_l + right_weight * imp_r) / total_weight;
+            if gain > best.map_or(1e-12, |(g, _, _)| g) {
+                // Midpoint threshold is standard and keeps prediction stable
+                // under small perturbations of the boundary samples.
+                best = Some((gain, f, 0.5 * (v_here + v_next)));
+            }
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+/// Extra-trees split: one uniform threshold per candidate feature, keep the
+/// best-gain candidate.
+fn random_split(
+    ctx: &mut FitCtx<'_>,
+    indices: &[usize],
+    parent_impurity: f64,
+    total_weight: f64,
+) -> Option<(usize, f64)> {
+    let features = candidate_features(ctx);
+    let n_classes = ctx.ds.n_classes();
+    let mut best: Option<(f64, usize, f64)> = None;
+
+    for &f in &features {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &i in indices {
+            let v = ctx.ds.row(i)[f];
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if hi <= lo {
+            continue; // constant feature at this node
+        }
+        let threshold = ctx.rng.gen_range(lo..hi);
+        let mut left_counts = vec![0.0; n_classes];
+        let mut right_counts = vec![0.0; n_classes];
+        let mut left_weight = 0.0;
+        let mut n_left = 0usize;
+        for &i in indices {
+            let w = ctx.weights[i];
+            if ctx.ds.row(i)[f] <= threshold {
+                left_counts[ctx.ds.label(i)] += w;
+                left_weight += w;
+                n_left += 1;
+            } else {
+                right_counts[ctx.ds.label(i)] += w;
+            }
+        }
+        let n_right = indices.len() - n_left;
+        if n_left < ctx.params.min_samples_leaf || n_right < ctx.params.min_samples_leaf {
+            continue;
+        }
+        let right_weight = total_weight - left_weight;
+        let imp_l = ctx.params.criterion.impurity(&left_counts, left_weight);
+        let imp_r = ctx.params.criterion.impurity(&right_counts, right_weight);
+        let gain =
+            parent_impurity - (left_weight * imp_l + right_weight * imp_r) / total_weight;
+        if gain > best.map_or(1e-12, |(g, _, _)| g) {
+            best = Some((gain, f, threshold));
+        }
+    }
+    best.map(|(_, f, t)| (f, t))
+}
+
+impl Classifier for DecisionTree {
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn predict_proba_row(&self, row: &[f64]) -> Result<Vec<f64>> {
+        check_row(row, self.n_features)?;
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { proba } => return Ok(proba.clone()),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "decision_tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_dataset::synth;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn fits_xor_perfectly_with_depth_two() {
+        let ds = synth::noisy_xor(400, 0.0, 3).unwrap();
+        let tree = DecisionTree::fit(&ds, TreeParams { max_depth: 4, ..Default::default() }).unwrap();
+        let pred = tree.predict(&ds).unwrap();
+        assert_eq!(accuracy(ds.labels(), &pred).unwrap(), 1.0);
+        assert!(tree.depth() <= 4);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_prior_leaf() {
+        let ds = synth::gaussian_blobs(30, 2, 3, 1.0, 1).unwrap();
+        let tree = DecisionTree::fit(&ds, TreeParams { max_depth: 0, ..Default::default() }).unwrap();
+        assert_eq!(tree.n_nodes(), 1);
+        let p = tree.predict_proba_row(ds.row(0)).unwrap();
+        // Balanced 3-class data → uniform prior.
+        for v in p {
+            assert!((v - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let ds = synth::two_moons(300, 0.25, 5).unwrap();
+        for d in [1, 2, 3, 5] {
+            let tree =
+                DecisionTree::fit(&ds, TreeParams { max_depth: d, ..Default::default() }).unwrap();
+            assert!(tree.depth() <= d, "depth {} > max {d}", tree.depth());
+        }
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let ds = synth::two_moons(100, 0.2, 7).unwrap();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams { min_samples_leaf: 20, ..Default::default() },
+        )
+        .unwrap();
+        // A tree with >= 20 samples per leaf on 100 samples has <= 5 leaves,
+        // i.e. <= 9 nodes.
+        assert!(tree.n_nodes() <= 9, "{} nodes", tree.n_nodes());
+    }
+
+    #[test]
+    fn entropy_criterion_also_learns() {
+        let ds = synth::gaussian_blobs(150, 2, 3, 0.5, 11).unwrap();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams { criterion: Criterion::Entropy, ..Default::default() },
+        )
+        .unwrap();
+        let pred = tree.predict(&ds).unwrap();
+        assert!(accuracy(ds.labels(), &pred).unwrap() > 0.95);
+    }
+
+    #[test]
+    fn random_splitter_learns_blobs() {
+        let ds = synth::gaussian_blobs(200, 2, 2, 0.5, 13).unwrap();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams { splitter: Splitter::Random, seed: 5, ..Default::default() },
+        )
+        .unwrap();
+        let pred = tree.predict(&ds).unwrap();
+        assert!(accuracy(ds.labels(), &pred).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = synth::two_moons(200, 0.2, 17).unwrap();
+        let p = TreeParams {
+            splitter: Splitter::Random,
+            max_features: Some(1),
+            seed: 9,
+            ..Default::default()
+        };
+        let a = DecisionTree::fit(&ds, p.clone()).unwrap();
+        let b = DecisionTree::fit(&ds, p).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_bad_hyperparameters() {
+        let ds = synth::two_moons(50, 0.1, 0).unwrap();
+        assert!(DecisionTree::fit(
+            &ds,
+            TreeParams { min_samples_split: 1, ..Default::default() }
+        )
+        .is_err());
+        assert!(DecisionTree::fit(
+            &ds,
+            TreeParams { max_features: Some(99), ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let ds = aml_dataset::Dataset::from_rows(&[vec![0.0], vec![1.0]], &[1, 1], 2).unwrap();
+        assert_eq!(
+            DecisionTree::fit(&ds, TreeParams::default()),
+            Err(ModelError::SingleClass)
+        );
+    }
+
+    #[test]
+    fn weighted_fit_shifts_the_prior() {
+        // Upweighting class 1 samples should raise its leaf probability.
+        let ds = aml_dataset::Dataset::from_rows(
+            &[vec![0.0], vec![0.1], vec![0.2], vec![0.3]],
+            &[0, 0, 0, 1],
+            2,
+        )
+        .unwrap();
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let uniform = DecisionTree::fit(&ds, params.clone()).unwrap();
+        let weighted =
+            DecisionTree::fit_weighted(&ds, params, &[1.0, 1.0, 1.0, 9.0]).unwrap();
+        let pu = uniform.predict_proba_row(&[0.0]).unwrap()[1];
+        let pw = weighted.predict_proba_row(&[0.0]).unwrap()[1];
+        assert!(pw > pu, "weighted {pw} should exceed uniform {pu}");
+        assert!((pw - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_dimension_checked() {
+        let ds = synth::two_moons(50, 0.1, 2).unwrap();
+        let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
+        assert!(tree.predict_proba_row(&[1.0]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use aml_dataset::synth;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Leaf probabilities always form a distribution, on arbitrary query
+        /// points far outside the training range.
+        #[test]
+        fn prop_proba_is_distribution(
+            seed in 0u64..500,
+            x in -100f64..100.0,
+            y in -100f64..100.0,
+        ) {
+            let ds = synth::two_moons(60, 0.3, seed).unwrap();
+            let tree = DecisionTree::fit(
+                &ds,
+                TreeParams { max_depth: 6, seed, ..Default::default() },
+            ).unwrap();
+            let p = tree.predict_proba_row(&[x, y]).unwrap();
+            prop_assert_eq!(p.len(), 2);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+
+        /// Depth bound always holds, for both splitters.
+        #[test]
+        fn prop_depth_bounded(
+            seed in 0u64..200,
+            depth in 1usize..8,
+            random in proptest::bool::ANY,
+        ) {
+            let ds = synth::gaussian_blobs(80, 3, 3, 2.0, seed).unwrap();
+            let tree = DecisionTree::fit(&ds, TreeParams {
+                max_depth: depth,
+                splitter: if random { Splitter::Random } else { Splitter::Best },
+                seed,
+                ..Default::default()
+            }).unwrap();
+            prop_assert!(tree.depth() <= depth);
+        }
+    }
+}

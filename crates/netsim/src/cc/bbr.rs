@@ -1,0 +1,239 @@
+//! BBR-like model-based congestion control (BBRv1, simplified).
+//!
+//! Maintains a model of the path — bottleneck bandwidth (windowed max of
+//! delivery-rate samples) and round-trip propagation delay (windowed min of
+//! RTT samples) — and paces at `gain × btl_bw` with a cwnd of
+//! `2 × BDP`. Startup doubles the rate each RTT until bandwidth stops
+//! growing, then a gain cycle (1.25, 0.75, 1 × 6) probes for more bandwidth
+//! while draining the queue it created. Ignores isolated packet loss, which
+//! makes it strong under random loss and rough on shared queues.
+
+use crate::cc::{AckEvent, CongestionControl, MIN_CWND, MSS};
+use crate::time::{Duration, SimTime};
+
+const STARTUP_GAIN: f64 = 2.885;
+const CYCLE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+/// Bandwidth filter window (RTT-count approximated by samples).
+const BW_WINDOW: usize = 10;
+
+#[derive(Debug, PartialEq, Eq)]
+enum Mode {
+    Startup,
+    ProbeBw,
+}
+
+/// BBR state machine.
+#[derive(Debug)]
+pub struct Bbr {
+    mode: Mode,
+    /// Recent delivery-rate samples (bits/s), newest last.
+    bw_samples: Vec<f64>,
+    /// Windowed-max bottleneck bandwidth estimate (bits/s).
+    btl_bw: f64,
+    /// Windowed-min RTT estimate.
+    min_rtt: Option<Duration>,
+    /// Full-bandwidth plateau detection: rounds without 25% growth.
+    plateau_rounds: u32,
+    prev_btl_bw: f64,
+    /// Start of the current startup round (plateau checks run per round,
+    /// not per ACK — checking per ACK would exit startup within a few
+    /// packets).
+    round_start: SimTime,
+    /// Gain-cycle phase index and the time the phase started.
+    cycle_index: usize,
+    cycle_start: SimTime,
+}
+
+impl Bbr {
+    /// Fresh connection.
+    pub fn new() -> Self {
+        Bbr {
+            mode: Mode::Startup,
+            bw_samples: Vec::new(),
+            btl_bw: 1e6, // 1 Mbps prior until samples arrive
+            min_rtt: None,
+            plateau_rounds: 0,
+            prev_btl_bw: 0.0,
+            round_start: SimTime::ZERO,
+            cycle_index: 0,
+            cycle_start: SimTime::ZERO,
+        }
+    }
+
+    fn gain(&self) -> f64 {
+        match self.mode {
+            Mode::Startup => STARTUP_GAIN,
+            Mode::ProbeBw => CYCLE_GAINS[self.cycle_index],
+        }
+    }
+
+    /// Bandwidth-delay product in bytes.
+    fn bdp_bytes(&self) -> u64 {
+        let rtt = self.min_rtt.unwrap_or(Duration::from_millis(100));
+        ((self.btl_bw / 8.0) * rtt.as_secs_f64()) as u64
+    }
+
+    /// The current bottleneck-bandwidth estimate in bits/s (test hook).
+    pub fn btl_bw(&self) -> f64 {
+        self.btl_bw
+    }
+}
+
+impl Default for Bbr {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn cwnd_bytes(&self) -> u64 {
+        (2 * self.bdp_bytes()).max(4 * MSS).max(MIN_CWND)
+    }
+
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        Some((self.gain() * self.btl_bw).max(8.0 * MSS as f64)) // ≥ 1 pkt/s·8
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.min_rtt = Some(match self.min_rtt {
+            Some(m) => m.min(ack.rtt),
+            None => ack.rtt,
+        });
+        if let Some(rate) = ack.delivery_rate_bps {
+            self.bw_samples.push(rate);
+            if self.bw_samples.len() > BW_WINDOW {
+                self.bw_samples.remove(0);
+            }
+            self.btl_bw = self
+                .bw_samples
+                .iter()
+                .cloned()
+                .fold(1e5, f64::max);
+        }
+
+        match self.mode {
+            Mode::Startup => {
+                // Leave startup when bandwidth stops growing 25% per round
+                // (one round = one min_rtt).
+                let round_len = self.min_rtt.unwrap_or(Duration::from_millis(100));
+                if ack.now.since(self.round_start) >= round_len {
+                    self.round_start = ack.now;
+                    if self.btl_bw < self.prev_btl_bw * 1.25 {
+                        self.plateau_rounds += 1;
+                    } else {
+                        self.plateau_rounds = 0;
+                    }
+                    self.prev_btl_bw = self.btl_bw;
+                    if self.plateau_rounds >= 3 {
+                        self.mode = Mode::ProbeBw;
+                        self.cycle_index = 2; // start in a cruise phase
+                        self.cycle_start = ack.now;
+                    }
+                }
+            }
+            Mode::ProbeBw => {
+                // Advance the gain cycle once per min_rtt.
+                let phase_len = self.min_rtt.unwrap_or(Duration::from_millis(100));
+                if ack.now.since(self.cycle_start) >= phase_len {
+                    self.cycle_index = (self.cycle_index + 1) % CYCLE_GAINS.len();
+                    self.cycle_start = ack.now;
+                }
+            }
+        }
+    }
+
+    fn on_loss(&mut self, _now: SimTime) {
+        // BBRv1 deliberately does not react to isolated loss; the model
+        // (delivery rate) already reflects what the path can carry.
+    }
+
+    fn on_timeout(&mut self, _now: SimTime) {
+        // Silence means the model is stale — decay it so the restart probes
+        // from a safer rate.
+        self.btl_bw *= 0.5;
+        self.bw_samples.clear();
+        self.mode = Mode::Startup;
+        self.plateau_rounds = 0;
+        self.prev_btl_bw = 0.0;
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64, rate_bps: f64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(rtt_ms),
+            bytes_acked: MSS as u32,
+            inflight_bytes: 0,
+            delivery_rate_bps: Some(rate_bps),
+        }
+    }
+
+    #[test]
+    fn tracks_max_bandwidth() {
+        let mut b = Bbr::new();
+        b.on_ack(&ack(1, 40, 5e6));
+        b.on_ack(&ack(2, 40, 20e6));
+        b.on_ack(&ack(3, 40, 10e6));
+        assert_eq!(b.btl_bw(), 20e6);
+    }
+
+    #[test]
+    fn bandwidth_window_forgets_old_peaks() {
+        let mut b = Bbr::new();
+        b.on_ack(&ack(1, 40, 50e6));
+        for i in 0..BW_WINDOW as u64 {
+            b.on_ack(&ack(2 + i, 40, 5e6));
+        }
+        assert_eq!(b.btl_bw(), 5e6, "old 50 Mbps sample must age out");
+    }
+
+    #[test]
+    fn cwnd_is_twice_bdp() {
+        let mut b = Bbr::new();
+        // 10 Mbps × 40 ms = 50 KB BDP → cwnd 100 KB.
+        for i in 0..20 {
+            b.on_ack(&ack(i * 40, 40, 10e6));
+        }
+        let bdp = (10e6 / 8.0 * 0.040) as u64;
+        assert_eq!(b.cwnd_bytes(), 2 * bdp);
+    }
+
+    #[test]
+    fn startup_exits_on_plateau_and_cycles_gains() {
+        let mut b = Bbr::new();
+        for i in 0..50 {
+            b.on_ack(&ack(i * 40, 40, 10e6));
+        }
+        assert_eq!(b.mode, Mode::ProbeBw, "plateau at 10 Mbps must end startup");
+        // In ProbeBw the pacing gain stays within the cycle set.
+        let g = b.pacing_rate_bps().unwrap() / b.btl_bw();
+        assert!(CYCLE_GAINS.contains(&(g as f64)) || (g - 1.0).abs() < 0.26);
+    }
+
+    #[test]
+    fn pacing_rate_has_floor() {
+        let b = Bbr::new();
+        assert!(b.pacing_rate_bps().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn loss_is_ignored_but_timeout_decays_model() {
+        let mut b = Bbr::new();
+        for i in 0..20 {
+            b.on_ack(&ack(i * 40, 40, 10e6));
+        }
+        let before = b.btl_bw();
+        b.on_loss(SimTime::ZERO + Duration::from_millis(999));
+        assert_eq!(b.btl_bw(), before, "loss must not change the model");
+        b.on_timeout(SimTime::ZERO + Duration::from_millis(1999));
+        assert!(b.btl_bw() < before);
+    }
+}

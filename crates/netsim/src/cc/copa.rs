@@ -1,0 +1,180 @@
+//! Copa-like delay-target congestion control (simplified).
+//!
+//! Copa targets a sending rate of `1 / (δ · d_q)` packets per second, where
+//! `d_q` is the standing queuing delay (RTT − min RTT). The window moves
+//! toward `target_rate × RTT` by `1/(δ·cwnd)` segments per ACK — additive
+//! steps whose size adapts to how far the window is from target. The result
+//! sits between Vegas (pure delay) and BBR (pure rate): low standing queues
+//! with competitive throughput.
+
+use crate::cc::{AckEvent, CongestionControl, MIN_CWND, MSS};
+use crate::time::{Duration, SimTime};
+
+/// Copa's δ: larger = lower target queue delay (more latency-sensitive).
+const DELTA: f64 = 0.5;
+
+/// Copa state machine.
+#[derive(Debug)]
+pub struct Copa {
+    /// Window in f64 segments.
+    cwnd: f64,
+    min_rtt: Option<Duration>,
+    /// Direction hysteresis: consecutive same-direction steps accelerate.
+    velocity: f64,
+    last_direction_up: bool,
+    recovery_until: SimTime,
+    srtt: Duration,
+}
+
+impl Copa {
+    /// Fresh connection.
+    pub fn new() -> Self {
+        Copa {
+            cwnd: 10.0,
+            min_rtt: None,
+            velocity: 1.0,
+            last_direction_up: true,
+            recovery_until: SimTime::ZERO,
+            srtt: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Default for Copa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Copa {
+    fn cwnd_bytes(&self) -> u64 {
+        ((self.cwnd * MSS as f64) as u64).max(MIN_CWND)
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt = ack.rtt;
+        let min_rtt = match self.min_rtt {
+            Some(m) => {
+                let m = m.min(ack.rtt);
+                self.min_rtt = Some(m);
+                m
+            }
+            None => {
+                self.min_rtt = Some(ack.rtt);
+                ack.rtt
+            }
+        };
+        let rtt_s = ack.rtt.as_secs_f64().max(1e-6);
+        let d_q = (rtt_s - min_rtt.as_secs_f64()).max(1e-4); // standing queue delay
+        // Target rate 1/(δ·d_q) pkts/s → target window in segments.
+        let target_cwnd = rtt_s / (DELTA * d_q);
+
+        let step = self.velocity / (DELTA * self.cwnd);
+        if self.cwnd < target_cwnd {
+            if self.last_direction_up {
+                self.velocity = (self.velocity * 2.0).min(8.0);
+            } else {
+                self.velocity = 1.0;
+            }
+            self.last_direction_up = true;
+            self.cwnd += step;
+        } else {
+            if !self.last_direction_up {
+                self.velocity = (self.velocity * 2.0).min(8.0);
+            } else {
+                self.velocity = 1.0;
+            }
+            self.last_direction_up = false;
+            self.cwnd = (self.cwnd - step).max(MIN_CWND as f64 / MSS as f64);
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        if now < self.recovery_until {
+            return;
+        }
+        // Copa's default mode reacts mildly to loss (it is delay-driven).
+        self.cwnd = (self.cwnd * 0.7).max(MIN_CWND as f64 / MSS as f64);
+        self.velocity = 1.0;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.cwnd = MIN_CWND as f64 / MSS as f64;
+        self.velocity = 1.0;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn name(&self) -> &'static str {
+        "copa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(rtt_ms),
+            bytes_acked: MSS as u32,
+            inflight_bytes: 0,
+            delivery_rate_bps: None,
+        }
+    }
+
+    #[test]
+    fn grows_when_queue_delay_is_low() {
+        let mut c = Copa::new();
+        c.on_ack(&ack(1, 40)); // establishes min_rtt
+        let before = c.cwnd_bytes();
+        for i in 2..30 {
+            c.on_ack(&ack(i, 41)); // 1 ms standing queue → huge target
+        }
+        assert!(c.cwnd_bytes() > before);
+    }
+
+    #[test]
+    fn shrinks_when_queue_delay_is_high() {
+        let mut c = Copa::new();
+        c.on_ack(&ack(1, 40));
+        crate::cc::test_util::feed_acks(&mut c, 40, 41);
+        let before = c.cwnd_bytes();
+        for i in 0..40 {
+            c.on_ack(&ack(10_000 + i, 400)); // 360 ms standing queue
+        }
+        assert!(c.cwnd_bytes() < before, "{} -> {}", before, c.cwnd_bytes());
+    }
+
+    #[test]
+    fn velocity_accelerates_persistent_direction() {
+        let mut c = Copa::new();
+        c.on_ack(&ack(1, 40));
+        // Keep queue tiny: target stays far above cwnd → every step up.
+        let mut growths = Vec::new();
+        let mut last = c.cwnd_bytes() as f64;
+        for i in 0..12 {
+            c.on_ack(&ack(2 + i, 41));
+            let now = c.cwnd_bytes() as f64;
+            growths.push(now - last);
+            last = now;
+        }
+        // Later steps should not be *smaller* than the very first step
+        // (velocity doubling counteracts the 1/cwnd shrinkage).
+        let first = growths[1].max(1.0);
+        let late = growths[growths.len() - 1];
+        assert!(late >= first * 0.5, "velocity should sustain growth: {growths:?}");
+    }
+
+    #[test]
+    fn loss_and_timeout_reduce_window() {
+        let mut c = Copa::new();
+        crate::cc::test_util::feed_acks(&mut c, 40, 41);
+        let before = c.cwnd_bytes();
+        c.on_loss(SimTime::ZERO + Duration::from_millis(9000));
+        assert!(c.cwnd_bytes() < before);
+        c.on_timeout(SimTime::ZERO + Duration::from_millis(9500));
+        assert_eq!(c.cwnd_bytes(), MIN_CWND);
+    }
+}

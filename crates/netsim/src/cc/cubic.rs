@@ -1,0 +1,192 @@
+//! TCP CUBIC (RFC 8312, simplified).
+//!
+//! Window growth is a cubic function of time since the last congestion
+//! event, anchored at the pre-loss window `W_max`: fast recovery toward
+//! `W_max`, a plateau around it, then aggressive probing beyond. Scales far
+//! better than Reno on high bandwidth-delay products, at the cost of
+//! standing queues — which is precisely why it loses to Scream on latency
+//! in deep-buffer regimes.
+
+use crate::cc::{AckEvent, CongestionControl, MIN_CWND, MSS};
+use crate::time::{Duration, SimTime};
+
+/// CUBIC aggressiveness constant (segments/sec³), per RFC 8312.
+const C: f64 = 0.4;
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+
+/// CUBIC state machine. Window arithmetic is done in f64 segments.
+#[derive(Debug)]
+pub struct Cubic {
+    /// Current window (segments).
+    cwnd: f64,
+    /// Slow-start threshold (segments).
+    ssthresh: f64,
+    /// Window at the last congestion event (segments).
+    w_max: f64,
+    /// Start of the current cubic epoch.
+    epoch_start: Option<SimTime>,
+    /// Time offset where the cubic crosses `w_max` (seconds).
+    k: f64,
+    recovery_until: SimTime,
+    srtt: Duration,
+}
+
+impl Cubic {
+    /// Fresh connection.
+    pub fn new() -> Self {
+        Cubic {
+            cwnd: 10.0,
+            ssthresh: f64::INFINITY,
+            w_max: 0.0,
+            epoch_start: None,
+            k: 0.0,
+            recovery_until: SimTime::ZERO,
+            srtt: Duration::from_millis(100),
+        }
+    }
+
+    fn enter_epoch(&mut self, now: SimTime) {
+        self.epoch_start = Some(now);
+        // K = cbrt(W_max * (1 − β) / C)
+        self.k = (self.w_max * (1.0 - BETA) / C).cbrt();
+    }
+}
+
+impl Default for Cubic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn cwnd_bytes(&self) -> u64 {
+        ((self.cwnd * MSS as f64) as u64).max(MIN_CWND)
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt = ack.rtt;
+        let acked_segments = ack.bytes_acked as f64 / MSS as f64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd += acked_segments;
+            return;
+        }
+        let now = ack.now;
+        if self.epoch_start.is_none() {
+            self.w_max = self.w_max.max(self.cwnd);
+            self.enter_epoch(now);
+        }
+        let t = now
+            .since(self.epoch_start.expect("epoch set above"))
+            .as_secs_f64();
+        let target = C * (t - self.k).powi(3) + self.w_max;
+        if target > self.cwnd {
+            // Close the gap within one RTT (standard cwnd += (target-cwnd)/cwnd
+            // per ack behaves the same in aggregate).
+            self.cwnd += (target - self.cwnd).min(acked_segments * 4.0)
+                * (acked_segments / self.cwnd).min(1.0).max(0.01);
+        } else {
+            // TCP-friendly floor: grow at least like Reno.
+            self.cwnd += acked_segments / self.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        if now < self.recovery_until {
+            return;
+        }
+        self.w_max = self.cwnd;
+        self.cwnd = (self.cwnd * BETA).max(MIN_CWND as f64 / MSS as f64);
+        self.ssthresh = self.cwnd;
+        self.enter_epoch(now);
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.w_max = self.cwnd;
+        self.ssthresh = (self.cwnd * BETA).max(MIN_CWND as f64 / MSS as f64);
+        self.cwnd = MIN_CWND as f64 / MSS as f64;
+        self.epoch_start = None;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(40),
+            bytes_acked: MSS as u32,
+            inflight_bytes: 0,
+            delivery_rate_bps: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_then_cubic_growth() {
+        let mut c = Cubic::new();
+        let initial = c.cwnd_bytes();
+        for i in 0..20 {
+            c.on_ack(&ack_at(i * 4));
+        }
+        assert!(c.cwnd_bytes() > initial, "slow start must grow");
+    }
+
+    #[test]
+    fn loss_multiplies_by_beta() {
+        let mut c = Cubic::new();
+        crate::cc::test_util::feed_acks(&mut c, 40, 40);
+        let before = c.cwnd_bytes() as f64;
+        c.on_loss(SimTime::ZERO + Duration::from_millis(10_000));
+        let after = c.cwnd_bytes() as f64;
+        assert!(
+            (after / before - BETA).abs() < 0.05,
+            "decrease factor {} ≈ {BETA}",
+            after / before
+        );
+    }
+
+    #[test]
+    fn cubic_recovers_toward_w_max_over_time() {
+        let mut c = Cubic::new();
+        crate::cc::test_util::feed_acks(&mut c, 60, 40);
+        let w_before_loss = c.cwnd_bytes();
+        let t0 = 20_000u64;
+        c.on_loss(SimTime::ZERO + Duration::from_millis(t0));
+        let after_loss = c.cwnd_bytes();
+        // Ack steadily for several simulated seconds.
+        for i in 1..2000 {
+            c.on_ack(&ack_at(t0 + i * 10));
+        }
+        let recovered = c.cwnd_bytes();
+        assert!(recovered > after_loss, "cubic must regrow {after_loss} -> {recovered}");
+        assert!(
+            recovered as f64 > 0.9 * w_before_loss as f64,
+            "cubic approaches W_max: {recovered} vs {w_before_loss}"
+        );
+    }
+
+    #[test]
+    fn timeout_resets_epoch() {
+        let mut c = Cubic::new();
+        crate::cc::test_util::feed_acks(&mut c, 40, 40);
+        c.on_timeout(SimTime::ZERO + Duration::from_millis(5000));
+        assert_eq!(c.cwnd_bytes(), MIN_CWND);
+    }
+
+    #[test]
+    fn repeated_losses_floor_at_min_cwnd() {
+        let mut c = Cubic::new();
+        for i in 0..100 {
+            c.on_loss(SimTime::ZERO + Duration::from_millis(i * 1000));
+        }
+        assert!(c.cwnd_bytes() >= MIN_CWND);
+    }
+}

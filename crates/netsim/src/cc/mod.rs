@@ -1,0 +1,198 @@
+//! Congestion-control protocols.
+//!
+//! Every protocol implements [`CongestionControl`]: a window (`cwnd_bytes`)
+//! that gates how much data may be in flight, an optional pacing rate, and
+//! reactions to ACKs, packet loss (sequence gaps) and retransmission
+//! timeouts. The simulator owns reliability and RTT bookkeeping; protocols
+//! only decide *how much* and *how fast* to send.
+//!
+//! The six implementations span the design space the Pantheon paper's
+//! protocols cover: loss-based AIMD ([`reno`]), loss-based polynomial
+//! ([`cubic`]), delay-based window ([`vegas`]), model/rate-based ([`bbr`]),
+//! delay-target rate ([`copa`]) and the latency-sensitive self-clocked
+//! rate adaptation of SCReAM ([`scream`]) — the protocol the paper's toy
+//! problem asks "should I use this one?" about.
+
+pub mod bbr;
+pub mod copa;
+pub mod cubic;
+pub mod reno;
+pub mod scream;
+pub mod vegas;
+
+use crate::time::{Duration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Maximum segment size used throughout the simulator (bytes).
+pub const MSS: u64 = 1500;
+
+/// Minimum congestion window: two segments (protocols never starve).
+pub const MIN_CWND: u64 = 2 * MSS;
+
+/// Information delivered to the protocol on every ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// RTT sample of the acknowledged packet.
+    pub rtt: Duration,
+    /// Bytes acknowledged by this ACK.
+    pub bytes_acked: u32,
+    /// Bytes still in flight after this ACK.
+    pub inflight_bytes: u64,
+    /// Smoothed delivery-rate estimate (bits/s) maintained by the flow,
+    /// `None` until enough samples exist. Used by model-based protocols.
+    pub delivery_rate_bps: Option<f64>,
+}
+
+/// A congestion-control algorithm.
+pub trait CongestionControl: Send {
+    /// Current congestion window in bytes. The sender keeps
+    /// `inflight ≤ cwnd`.
+    fn cwnd_bytes(&self) -> u64;
+
+    /// Pacing rate in bits/s, if the protocol paces (rate-based protocols).
+    /// `None` means ACK-clocked window sending only.
+    fn pacing_rate_bps(&self) -> Option<f64> {
+        None
+    }
+
+    /// An ACK arrived.
+    fn on_ack(&mut self, ack: &AckEvent);
+
+    /// A packet loss was detected via a sequence gap (fast-retransmit-like
+    /// signal). May be called once per lost packet; implementations should
+    /// rate-limit their multiplicative decrease to once per RTT.
+    fn on_loss(&mut self, now: SimTime);
+
+    /// A retransmission timeout fired (whole window lost / silence).
+    fn on_timeout(&mut self, now: SimTime);
+
+    /// Protocol name, e.g. `"scream"`.
+    fn name(&self) -> &'static str;
+}
+
+/// Enumeration of available protocols (the experiment configuration data
+/// type; [`CcKind::build`] instantiates the state machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CcKind {
+    /// SCReAM-like latency-sensitive rate adaptation.
+    Scream,
+    /// TCP Reno AIMD.
+    Reno,
+    /// TCP CUBIC.
+    Cubic,
+    /// TCP Vegas (delay-based).
+    Vegas,
+    /// BBR-like model-based.
+    Bbr,
+    /// Copa-like delay-target.
+    Copa,
+}
+
+impl CcKind {
+    /// All protocols, Scream first ("Scream vs rest").
+    pub const ALL: [CcKind; 6] = [
+        CcKind::Scream,
+        CcKind::Reno,
+        CcKind::Cubic,
+        CcKind::Vegas,
+        CcKind::Bbr,
+        CcKind::Copa,
+    ];
+
+    /// The non-Scream protocols ("the rest").
+    pub const REST: [CcKind; 5] = [
+        CcKind::Reno,
+        CcKind::Cubic,
+        CcKind::Vegas,
+        CcKind::Bbr,
+        CcKind::Copa,
+    ];
+
+    /// Instantiate a fresh state machine.
+    pub fn build(&self) -> Box<dyn CongestionControl> {
+        match self {
+            CcKind::Scream => Box::new(scream::Scream::new()),
+            CcKind::Reno => Box::new(reno::Reno::new()),
+            CcKind::Cubic => Box::new(cubic::Cubic::new()),
+            CcKind::Vegas => Box::new(vegas::Vegas::new()),
+            CcKind::Bbr => Box::new(bbr::Bbr::new()),
+            CcKind::Copa => Box::new(copa::Copa::new()),
+        }
+    }
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CcKind::Scream => "scream",
+            CcKind::Reno => "reno",
+            CcKind::Cubic => "cubic",
+            CcKind::Vegas => "vegas",
+            CcKind::Bbr => "bbr",
+            CcKind::Copa => "copa",
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// Drive a protocol with `n` clean ACKs at a fixed RTT; returns cwnd.
+    pub fn feed_acks(cc: &mut dyn CongestionControl, n: usize, rtt_ms: u64) -> u64 {
+        let mut now = SimTime::ZERO;
+        for _ in 0..n {
+            now += Duration::from_millis(rtt_ms / 10 + 1);
+            cc.on_ack(&AckEvent {
+                now,
+                rtt: Duration::from_millis(rtt_ms),
+                bytes_acked: MSS as u32,
+                inflight_bytes: cc.cwnd_bytes() / 2,
+                delivery_rate_bps: Some(10e6),
+            });
+        }
+        cc.cwnd_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_protocol() {
+        for kind in CcKind::ALL {
+            let cc = kind.build();
+            assert_eq!(cc.name(), kind.name());
+            assert!(cc.cwnd_bytes() >= MIN_CWND, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn all_protocols_grow_from_acks_and_shrink_on_timeout() {
+        for kind in CcKind::ALL {
+            let mut cc = kind.build();
+            let initial = cc.cwnd_bytes();
+            let grown = test_util::feed_acks(cc.as_mut(), 50, 40);
+            assert!(
+                grown > initial,
+                "{} did not grow: {initial} -> {grown}",
+                kind.name()
+            );
+            cc.on_timeout(SimTime::ZERO + Duration::from_millis(999));
+            assert!(
+                cc.cwnd_bytes() < grown,
+                "{} did not shrink on timeout",
+                kind.name()
+            );
+            assert!(cc.cwnd_bytes() >= MIN_CWND);
+        }
+    }
+
+    #[test]
+    fn rest_excludes_scream() {
+        assert!(!CcKind::REST.contains(&CcKind::Scream));
+        assert_eq!(CcKind::REST.len() + 1, CcKind::ALL.len());
+    }
+}

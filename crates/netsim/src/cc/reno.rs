@@ -1,0 +1,161 @@
+//! TCP Reno: slow start + AIMD congestion avoidance.
+//!
+//! The canonical loss-based baseline. Window doubles per RTT below
+//! `ssthresh`, grows one MSS per RTT above it, halves on loss (at most once
+//! per RTT — a whole window of gap-detected losses is one congestion
+//! event), and collapses to the minimum on timeout.
+
+use crate::cc::{AckEvent, CongestionControl, MIN_CWND, MSS};
+use crate::time::{Duration, SimTime};
+
+/// Reno state machine.
+#[derive(Debug)]
+pub struct Reno {
+    cwnd: u64,
+    ssthresh: u64,
+    /// End of the current recovery epoch: losses before this instant belong
+    /// to the congestion event that started it.
+    recovery_until: SimTime,
+    /// Latest smoothed RTT (for sizing the recovery epoch).
+    srtt: Duration,
+}
+
+impl Reno {
+    /// Fresh connection: IW = 10 segments (RFC 6928), infinite ssthresh.
+    pub fn new() -> Self {
+        Reno {
+            cwnd: 10 * MSS,
+            ssthresh: u64::MAX,
+            recovery_until: SimTime::ZERO,
+            srtt: Duration::from_millis(100),
+        }
+    }
+
+    /// Current slow-start threshold (test hook).
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+}
+
+impl Default for Reno {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Reno {
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt = ack.rtt; // the flow smooths RTT; latest sample is fine here
+        if self.cwnd < self.ssthresh {
+            // Slow start: +1 MSS per MSS acked → doubles per RTT.
+            self.cwnd += ack.bytes_acked as u64;
+            if self.cwnd >= self.ssthresh {
+                self.cwnd = self.ssthresh;
+            }
+        } else {
+            // Congestion avoidance: +MSS per window per RTT.
+            self.cwnd += (MSS * MSS / self.cwnd).max(1);
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        if now < self.recovery_until {
+            return; // already reacted to this congestion event
+        }
+        self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+        self.cwnd = self.ssthresh;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack_at(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(rtt_ms),
+            bytes_acked: MSS as u32,
+            inflight_bytes: 0,
+            delivery_rate_bps: None,
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_per_window() {
+        let mut r = Reno::new();
+        let start = r.cwnd_bytes();
+        // Ack a full window: cwnd should double.
+        for i in 0..(start / MSS) {
+            r.on_ack(&ack_at(i, 40));
+        }
+        assert_eq!(r.cwnd_bytes(), 2 * start);
+    }
+
+    #[test]
+    fn congestion_avoidance_is_linear() {
+        let mut r = Reno::new();
+        r.on_loss(SimTime::ZERO + Duration::from_millis(1)); // sets ssthresh = cwnd/2
+        let base = r.cwnd_bytes();
+        let acks_per_window = base / MSS;
+        for i in 0..acks_per_window {
+            r.on_ack(&ack_at(1000 + i, 40));
+        }
+        let grown = r.cwnd_bytes();
+        assert!(
+            grown >= base + (MSS * 4) / 5 && grown <= base + 2 * MSS,
+            "CA growth per RTT ≈ 1 MSS: {base} -> {grown}"
+        );
+    }
+
+    #[test]
+    fn loss_halves_once_per_rtt() {
+        let mut r = Reno::new();
+        crate::cc::test_util::feed_acks(&mut r, 30, 40);
+        let before = r.cwnd_bytes();
+        let t = SimTime::ZERO + Duration::from_millis(5000);
+        r.on_loss(t);
+        let after_first = r.cwnd_bytes();
+        assert_eq!(after_first, (before / 2).max(MIN_CWND));
+        // A second loss within the same RTT is the same congestion event.
+        r.on_loss(t + Duration::from_millis(1));
+        assert_eq!(r.cwnd_bytes(), after_first);
+        // After the recovery epoch, a new loss halves again.
+        r.on_loss(t + Duration::from_millis(500));
+        assert_eq!(r.cwnd_bytes(), (after_first / 2).max(MIN_CWND));
+    }
+
+    #[test]
+    fn timeout_collapses_to_min() {
+        let mut r = Reno::new();
+        crate::cc::test_util::feed_acks(&mut r, 40, 40);
+        r.on_timeout(SimTime::ZERO + Duration::from_millis(9999));
+        assert_eq!(r.cwnd_bytes(), MIN_CWND);
+        assert!(r.ssthresh() >= MIN_CWND);
+    }
+
+    #[test]
+    fn cwnd_never_below_min() {
+        let mut r = Reno::new();
+        for i in 0..50 {
+            r.on_loss(SimTime::ZERO + Duration::from_millis(i * 1000));
+            r.on_timeout(SimTime::ZERO + Duration::from_millis(i * 1000 + 500));
+        }
+        assert!(r.cwnd_bytes() >= MIN_CWND);
+    }
+}

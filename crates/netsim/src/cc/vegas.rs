@@ -1,0 +1,196 @@
+//! TCP Vegas: delay-based congestion avoidance.
+//!
+//! Vegas compares the *expected* throughput `cwnd / base_rtt` with the
+//! *actual* throughput `cwnd / rtt` and keeps the difference — the number of
+//! self-induced queued packets — between `α` and `β`. It reacts before
+//! loss occurs, keeping queues short, but competes poorly against
+//! loss-based flows (a property visible in the multi-flow experiments).
+
+use crate::cc::{AckEvent, CongestionControl, MIN_CWND, MSS};
+use crate::time::{Duration, SimTime};
+
+/// Lower bound on queued segments before increasing.
+const ALPHA: f64 = 2.0;
+/// Upper bound on queued segments before decreasing.
+const BETA: f64 = 4.0;
+
+/// Vegas state machine.
+#[derive(Debug)]
+pub struct Vegas {
+    cwnd: u64,
+    ssthresh: u64,
+    /// Smallest RTT ever observed (propagation estimate).
+    base_rtt: Option<Duration>,
+    /// Next instant the once-per-RTT window adjustment may run.
+    next_adjust: SimTime,
+    recovery_until: SimTime,
+    srtt: Duration,
+}
+
+impl Vegas {
+    /// Fresh connection.
+    pub fn new() -> Self {
+        Vegas {
+            cwnd: 10 * MSS,
+            ssthresh: u64::MAX,
+            base_rtt: None,
+            next_adjust: SimTime::ZERO,
+            recovery_until: SimTime::ZERO,
+            srtt: Duration::from_millis(100),
+        }
+    }
+
+    /// The current propagation-delay estimate (test hook).
+    pub fn base_rtt(&self) -> Option<Duration> {
+        self.base_rtt
+    }
+}
+
+impl Default for Vegas {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for Vegas {
+    fn cwnd_bytes(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.srtt = ack.rtt;
+        let base = match self.base_rtt {
+            Some(b) => {
+                let b = b.min(ack.rtt);
+                self.base_rtt = Some(b);
+                b
+            }
+            None => {
+                self.base_rtt = Some(ack.rtt);
+                ack.rtt
+            }
+        };
+
+        if self.cwnd < self.ssthresh {
+            // Vegas slow start: double every *other* RTT; approximated by
+            // half-rate exponential growth.
+            self.cwnd += ack.bytes_acked as u64 / 2;
+            return;
+        }
+
+        // Once per RTT, compare expected and actual rates.
+        if ack.now < self.next_adjust {
+            return;
+        }
+        self.next_adjust = ack.now + ack.rtt;
+
+        let rtt_s = ack.rtt.as_secs_f64().max(1e-6);
+        let base_s = base.as_secs_f64().max(1e-6);
+        let cwnd_seg = self.cwnd as f64 / MSS as f64;
+        // diff = (expected − actual) · base_rtt, in segments.
+        let diff = cwnd_seg * (1.0 - base_s / rtt_s) * (base_s / base_s);
+        let queued = cwnd_seg * (rtt_s - base_s) / rtt_s;
+        let _ = diff;
+        if queued < ALPHA {
+            self.cwnd += MSS;
+        } else if queued > BETA {
+            self.cwnd = self.cwnd.saturating_sub(MSS).max(MIN_CWND);
+        }
+    }
+
+    fn on_loss(&mut self, now: SimTime) {
+        if now < self.recovery_until {
+            return;
+        }
+        // Vegas halves like Reno on actual loss.
+        self.cwnd = (self.cwnd / 2).max(MIN_CWND);
+        self.ssthresh = self.cwnd;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn on_timeout(&mut self, now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(MIN_CWND);
+        self.cwnd = MIN_CWND;
+        self.recovery_until = now + self.srtt;
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64) -> AckEvent {
+        AckEvent {
+            now: SimTime::ZERO + Duration::from_millis(now_ms),
+            rtt: Duration::from_millis(rtt_ms),
+            bytes_acked: MSS as u32,
+            inflight_bytes: 0,
+            delivery_rate_bps: None,
+        }
+    }
+
+    /// Leave slow start so congestion-avoidance behavior is observable.
+    fn in_ca() -> Vegas {
+        let mut v = Vegas::new();
+        v.on_loss(SimTime::ZERO); // ssthresh = cwnd/2 → now above ssthresh
+        v
+    }
+
+    #[test]
+    fn base_rtt_tracks_minimum() {
+        let mut v = Vegas::new();
+        v.on_ack(&ack(1, 80));
+        v.on_ack(&ack(2, 40));
+        v.on_ack(&ack(3, 120));
+        assert_eq!(v.base_rtt(), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn grows_when_queue_is_short() {
+        let mut v = in_ca();
+        let before = v.cwnd_bytes();
+        // RTT equals base RTT → zero queued segments → below α → grow.
+        v.on_ack(&ack(1, 40));
+        v.on_ack(&ack(100, 40));
+        assert!(v.cwnd_bytes() > before, "{} -> {}", before, v.cwnd_bytes());
+    }
+
+    #[test]
+    fn shrinks_when_queue_is_long() {
+        let mut v = in_ca();
+        v.on_ack(&ack(1, 40)); // establishes base_rtt = 40ms
+        crate::cc::test_util::feed_acks(&mut v, 10, 40);
+        let before = v.cwnd_bytes();
+        // RTT now 3× base → many queued segments → above β → shrink.
+        v.on_ack(&ack(10_000, 120));
+        v.on_ack(&ack(10_500, 120));
+        assert!(v.cwnd_bytes() < before, "{} -> {}", before, v.cwnd_bytes());
+    }
+
+    #[test]
+    fn adjustment_is_rate_limited_to_once_per_rtt() {
+        let mut v = in_ca();
+        v.on_ack(&ack(1, 40));
+        let after_first = v.cwnd_bytes();
+        // A burst of ACKs within the same RTT adjusts at most once more.
+        for i in 2..10 {
+            v.on_ack(&ack(i, 40));
+        }
+        assert!(v.cwnd_bytes() <= after_first + MSS);
+    }
+
+    #[test]
+    fn loss_and_timeout_shrink() {
+        let mut v = Vegas::new();
+        crate::cc::test_util::feed_acks(&mut v, 30, 40);
+        let grown = v.cwnd_bytes();
+        v.on_loss(SimTime::ZERO + Duration::from_millis(8000));
+        assert!(v.cwnd_bytes() <= grown / 2 + MSS);
+        v.on_timeout(SimTime::ZERO + Duration::from_millis(9000));
+        assert_eq!(v.cwnd_bytes(), MIN_CWND);
+    }
+}

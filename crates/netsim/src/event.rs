@@ -1,0 +1,153 @@
+//! The discrete-event queue.
+//!
+//! A binary min-heap of `(time, sequence, event)` where the monotonically
+//! increasing sequence number breaks time ties — two events scheduled for
+//! the same instant always pop in scheduling order, which makes the whole
+//! simulation deterministic regardless of heap internals.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A flow becomes active and starts sending.
+    FlowStart {
+        /// Flow index.
+        flow: usize,
+    },
+    /// The bottleneck link finished serializing its head packet and can
+    /// start on the next one.
+    LinkFree,
+    /// A data packet arrives at the receiver.
+    Delivery {
+        /// The delivered packet.
+        packet: Packet,
+    },
+    /// An ACK arrives back at a sender.
+    AckArrival {
+        /// Flow index the ACK belongs to.
+        flow: usize,
+        /// Sequence number being acknowledged.
+        seq: u64,
+        /// When the acknowledged data packet was originally sent.
+        sent_at: SimTime,
+        /// Bytes acknowledged.
+        bytes: u32,
+    },
+    /// Pacing timer: the flow may be able to send now.
+    SenderWake {
+        /// Flow index.
+        flow: usize,
+    },
+    /// Retransmission timeout check for a flow. `generation` guards against
+    /// stale timers: each (re)scheduling bumps the flow's generation and
+    /// old events are ignored on pop.
+    Timeout {
+        /// Flow index.
+        flow: usize,
+        /// Timer generation this event belongs to.
+        generation: u64,
+    },
+}
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Entry>>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, event }));
+    }
+
+    /// Pop the earliest event (ties in scheduling order).
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |ms| SimTime::ZERO + Duration::from_millis(ms);
+        q.schedule(t(5), Event::LinkFree);
+        q.schedule(t(1), Event::SenderWake { flow: 0 });
+        q.schedule(t(3), Event::FlowStart { flow: 1 });
+        assert_eq!(q.pop().unwrap().0, t(1));
+        assert_eq!(q.pop().unwrap().0, t(3));
+        assert_eq!(q.pop().unwrap().0, t(5));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn same_time_pops_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + Duration::from_millis(7);
+        for flow in 0..10 {
+            q.schedule(t, Event::SenderWake { flow });
+        }
+        for expect in 0..10 {
+            match q.pop().unwrap().1 {
+                Event::SenderWake { flow } => assert_eq!(flow, expect),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks_content() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, Event::LinkFree);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

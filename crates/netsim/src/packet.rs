@@ -1,0 +1,37 @@
+//! Data packets.
+
+use crate::time::SimTime;
+
+/// A data packet in flight. ACKs are not materialized as packets — the ACK
+/// path is clean (no queue, no loss), so an ACK is just a scheduled
+/// [`Event::AckArrival`](crate::event::Event::AckArrival).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Packet {
+    /// Owning flow.
+    pub flow: usize,
+    /// Per-flow sequence number (0-based, strictly increasing per send; a
+    /// retransmission gets a fresh sequence number — the stream abstraction
+    /// only needs bytes delivered, not exact byte offsets).
+    pub seq: u64,
+    /// Payload size in bytes.
+    pub size: u32,
+    /// When the sender transmitted it (for RTT sampling).
+    pub sent_at: SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_copy_and_comparable() {
+        let p = Packet {
+            flow: 1,
+            seq: 7,
+            size: 1500,
+            sent_at: SimTime::ZERO,
+        };
+        let q = p;
+        assert_eq!(p, q);
+    }
+}

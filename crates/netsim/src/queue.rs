@@ -1,0 +1,163 @@
+//! DropTail bottleneck queue.
+//!
+//! Byte-capacity FIFO: arriving packets that don't fit are dropped (the
+//! sender learns about it from the resulting sequence gap or a timeout,
+//! exactly like a real drop-tail router).
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// A byte-bounded FIFO queue with drop statistics.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    capacity_bytes: u64,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    /// Total packets dropped at enqueue.
+    pub drops: u64,
+    /// High-water mark of queued bytes.
+    pub max_bytes: u64,
+}
+
+impl DropTailQueue {
+    /// A queue holding at most `capacity_bytes` (at least one MTU so a
+    /// single packet can always transit).
+    pub fn new(capacity_bytes: u64) -> Self {
+        DropTailQueue {
+            capacity_bytes: capacity_bytes.max(1500),
+            queue: VecDeque::new(),
+            bytes: 0,
+            drops: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Try to enqueue; returns `true` if accepted, `false` if dropped.
+    pub fn enqueue(&mut self, packet: Packet) -> bool {
+        if self.bytes + packet.size as u64 > self.capacity_bytes {
+            self.drops += 1;
+            return false;
+        }
+        self.bytes += packet.size as u64;
+        self.max_bytes = self.max_bytes.max(self.bytes);
+        self.queue.push_back(packet);
+        true
+    }
+
+    /// Dequeue the head packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    /// Currently queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Currently queued packets.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Configured byte capacity.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn pkt(seq: u64, size: u32) -> Packet {
+        Packet {
+            flow: 0,
+            seq,
+            size,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut q = DropTailQueue::new(10_000);
+        assert!(q.enqueue(pkt(1, 1500)));
+        assert!(q.enqueue(pkt(2, 1500)));
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.dequeue().unwrap().seq, 2);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn drops_when_full() {
+        let mut q = DropTailQueue::new(3_000);
+        assert!(q.enqueue(pkt(1, 1500)));
+        assert!(q.enqueue(pkt(2, 1500)));
+        assert!(!q.enqueue(pkt(3, 1500)), "third packet exceeds 3000B capacity");
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_accounting_is_conserved() {
+        let mut q = DropTailQueue::new(100_000);
+        for i in 0..10 {
+            q.enqueue(pkt(i, 1000));
+        }
+        assert_eq!(q.bytes(), 10_000);
+        for _ in 0..4 {
+            q.dequeue();
+        }
+        assert_eq!(q.bytes(), 6_000);
+        assert_eq!(q.max_bytes, 10_000);
+    }
+
+    #[test]
+    fn capacity_floor_is_one_mtu() {
+        let mut q = DropTailQueue::new(10);
+        assert_eq!(q.capacity_bytes(), 1500);
+        assert!(q.enqueue(pkt(1, 1500)), "a single MTU packet always fits");
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::time::SimTime;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Conservation: packets in = packets out + drops + still queued,
+        /// and queued bytes never exceed capacity.
+        #[test]
+        fn prop_queue_conservation(
+            sizes in proptest::collection::vec(100u32..2000, 1..200),
+            capacity in 1500u64..20_000,
+        ) {
+            let mut q = DropTailQueue::new(capacity);
+            let mut accepted = 0u64;
+            for (i, &s) in sizes.iter().enumerate() {
+                let p = Packet { flow: 0, seq: i as u64, size: s, sent_at: SimTime::ZERO };
+                if q.enqueue(p) {
+                    accepted += 1;
+                }
+                prop_assert!(q.bytes() <= q.capacity_bytes());
+            }
+            let mut dequeued = 0u64;
+            while q.dequeue().is_some() {
+                dequeued += 1;
+            }
+            prop_assert_eq!(accepted, dequeued);
+            prop_assert_eq!(accepted + q.drops, sizes.len() as u64);
+            prop_assert_eq!(q.bytes(), 0);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! RED (Random Early Detection) bottleneck queue — an AQM alternative to
+//! [`crate::queue::DropTailQueue`].
+//!
+//! RED drops arriving packets probabilistically as the EWMA of the queue
+//! size climbs between `min_th` and `max_th`, signalling congestion before
+//! the buffer fills. Its inclusion serves the paper's *domain
+//! customization* vision (§1): the choice of queue discipline is exactly
+//! the kind of domain prior an operator would encode, and the ablation
+//! benches can check how robust the "use Scream" decision surface is to it.
+//!
+//! Simplifications vs. the full Floyd/Jacobson algorithm (documented, not
+//! hidden): no idle-time decay of the average, and no inter-drop count
+//! spacing — drops are i.i.d. Bernoulli at the computed probability.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// EWMA weight for the average queue size.
+const W_Q: f64 = 0.05;
+/// Drop probability at `max_th`.
+const MAX_P: f64 = 0.1;
+
+/// A RED queue with byte-based thresholds.
+#[derive(Debug)]
+pub struct RedQueue {
+    capacity_bytes: u64,
+    min_th: f64,
+    max_th: f64,
+    queue: VecDeque<Packet>,
+    bytes: u64,
+    avg: f64,
+    rng: StdRng,
+    /// Packets dropped (early + overflow).
+    pub drops: u64,
+    /// Of which: early (probabilistic) drops.
+    pub early_drops: u64,
+    /// High-water mark of queued bytes.
+    pub max_bytes: u64,
+}
+
+impl RedQueue {
+    /// A RED queue holding at most `capacity_bytes`, with thresholds at
+    /// 25% / 75% of capacity.
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        let cap = capacity_bytes.max(1500);
+        RedQueue {
+            capacity_bytes: cap,
+            min_th: cap as f64 * 0.25,
+            max_th: cap as f64 * 0.75,
+            queue: VecDeque::new(),
+            bytes: 0,
+            avg: 0.0,
+            rng: StdRng::seed_from_u64(seed),
+            drops: 0,
+            early_drops: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Try to enqueue; returns `true` if accepted. `_now` is accepted for
+    /// interface parity with time-aware AQMs (CoDel would need it).
+    pub fn enqueue(&mut self, packet: Packet, _now: SimTime) -> bool {
+        self.avg = (1.0 - W_Q) * self.avg + W_Q * self.bytes as f64;
+
+        // Physical overflow always drops.
+        if self.bytes + packet.size as u64 > self.capacity_bytes {
+            self.drops += 1;
+            return false;
+        }
+        // Early-drop band.
+        if self.avg > self.max_th {
+            self.drops += 1;
+            self.early_drops += 1;
+            return false;
+        }
+        if self.avg > self.min_th {
+            let p = MAX_P * (self.avg - self.min_th) / (self.max_th - self.min_th);
+            if self.rng.gen::<f64>() < p {
+                self.drops += 1;
+                self.early_drops += 1;
+                return false;
+            }
+        }
+        self.bytes += packet.size as u64;
+        self.max_bytes = self.max_bytes.max(self.bytes);
+        self.queue.push_back(packet);
+        true
+    }
+
+    /// Dequeue the head packet.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        let p = self.queue.pop_front()?;
+        self.bytes -= p.size as u64;
+        Some(p)
+    }
+
+    /// Currently queued bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Current EWMA of the queue size (bytes).
+    pub fn avg(&self) -> f64 {
+        self.avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(seq: u64) -> Packet {
+        Packet {
+            flow: 0,
+            seq,
+            size: 1500,
+            sent_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn empty_queue_accepts_everything_early() {
+        let mut q = RedQueue::new(150_000, 1);
+        for i in 0..10 {
+            assert!(q.enqueue(pkt(i), SimTime::ZERO), "avg still below min_th");
+        }
+        assert_eq!(q.drops, 0);
+    }
+
+    #[test]
+    fn sustained_occupancy_triggers_early_drops() {
+        let mut q = RedQueue::new(30_000, 2);
+        // Offered load of 2 packets per service slot: the link (one
+        // dequeue per loop) can't keep up, the EWMA climbs into the
+        // early-drop band, and RED sheds load *before* the buffer is full.
+        for i in 0..500u64 {
+            q.enqueue(pkt(2 * i), SimTime::ZERO);
+            q.enqueue(pkt(2 * i + 1), SimTime::ZERO);
+            q.dequeue();
+        }
+        assert!(q.early_drops > 0, "early drops {} of {}", q.early_drops, q.drops);
+        assert!(
+            q.early_drops < q.drops || q.drops == q.early_drops,
+            "accounting consistent"
+        );
+    }
+
+    #[test]
+    fn overflow_still_guards_capacity() {
+        let mut q = RedQueue::new(3_000, 3);
+        let mut in_queue = 0;
+        for i in 0..10 {
+            if q.enqueue(pkt(i), SimTime::ZERO) {
+                in_queue += 1;
+            }
+        }
+        assert!(in_queue <= 2, "3000B capacity holds at most 2 MTU packets");
+        assert!(q.bytes() <= 3_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| -> (u64, u64) {
+            let mut q = RedQueue::new(15_000, seed);
+            for i in 0..300 {
+                q.enqueue(pkt(i), SimTime::ZERO);
+                if i % 3 == 0 {
+                    q.dequeue();
+                }
+            }
+            (q.drops, q.early_drops)
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = RedQueue::new(150_000, 5);
+        q.enqueue(pkt(1), SimTime::ZERO);
+        q.enqueue(pkt(2), SimTime::ZERO);
+        assert_eq!(q.dequeue().unwrap().seq, 1);
+        assert_eq!(q.dequeue().unwrap().seq, 2);
+        assert!(q.dequeue().is_none());
+    }
+}

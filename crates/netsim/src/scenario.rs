@@ -1,0 +1,282 @@
+//! Network conditions and their sampling domain — the feature space of the
+//! "Scream vs rest" learning problem.
+//!
+//! The four features match the paper's running example: "the developer
+//! provides AutoML with training data that identifies when Scream
+//! outperforms other congestion control protocols based on the network
+//! properties (bottleneck bandwidth, latency, loss rate, and number of
+//! concurrent flows)". Feature names follow Figure 1's `config.*` style.
+
+use aml_dataset::{Dataset, FeatureMeta};
+use crate::{Result, SimError};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One point of the feature space: a concrete emulated network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkCondition {
+    /// Bottleneck link rate in Mbit/s (`config.link_rate`).
+    pub link_rate_mbps: f64,
+    /// Base round-trip propagation delay in milliseconds (`config.rtt_ms`).
+    pub rtt_ms: f64,
+    /// Random (non-congestive) packet loss probability (`config.loss_rate`).
+    pub loss_rate: f64,
+    /// Number of concurrent flows sharing the bottleneck
+    /// (`config.n_flows`).
+    pub n_flows: usize,
+}
+
+impl NetworkCondition {
+    /// Validate physical plausibility.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.link_rate_mbps > 0.0 && self.link_rate_mbps.is_finite()) {
+            return Err(SimError::InvalidCondition(format!(
+                "link_rate_mbps {} must be positive",
+                self.link_rate_mbps
+            )));
+        }
+        if !(self.rtt_ms > 0.0 && self.rtt_ms.is_finite()) {
+            return Err(SimError::InvalidCondition(format!(
+                "rtt_ms {} must be positive",
+                self.rtt_ms
+            )));
+        }
+        if !(0.0..=0.5).contains(&self.loss_rate) {
+            return Err(SimError::InvalidCondition(format!(
+                "loss_rate {} outside [0, 0.5]",
+                self.loss_rate
+            )));
+        }
+        if self.n_flows == 0 || self.n_flows > 64 {
+            return Err(SimError::InvalidCondition(format!(
+                "n_flows {} outside 1..=64",
+                self.n_flows
+            )));
+        }
+        Ok(())
+    }
+
+    /// Bandwidth-delay product in bytes.
+    pub fn bdp_bytes(&self) -> u64 {
+        (self.link_rate_mbps * 1e6 / 8.0 * self.rtt_ms / 1e3) as u64
+    }
+
+    /// Feature row in the canonical order
+    /// `[link_rate, rtt_ms, loss_rate, n_flows]`.
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![
+            self.link_rate_mbps,
+            self.rtt_ms,
+            self.loss_rate,
+            self.n_flows as f64,
+        ]
+    }
+
+    /// Parse a feature row in the canonical order (values clamped into
+    /// validity: the feedback loop may propose slightly out-of-domain
+    /// points after uniform sampling at region edges).
+    pub fn from_row(row: &[f64]) -> Result<Self> {
+        if row.len() != 4 {
+            return Err(SimError::InvalidCondition(format!(
+                "expected 4 features, got {}",
+                row.len()
+            )));
+        }
+        let cond = NetworkCondition {
+            link_rate_mbps: row[0].max(0.5),
+            rtt_ms: row[1].max(1.0),
+            loss_rate: row[2].clamp(0.0, 0.5),
+            n_flows: (row[3].round() as i64).clamp(1, 64) as usize,
+        };
+        cond.validate()?;
+        Ok(cond)
+    }
+}
+
+/// The sampling domain `R(X_s)` of each feature — exactly the input the
+/// paper's algorithm requires ("the domain of each feature in that set").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConditionDomain {
+    /// Link-rate range in Mbps.
+    pub link_rate: (f64, f64),
+    /// RTT range in ms.
+    pub rtt: (f64, f64),
+    /// Loss-rate range.
+    pub loss: (f64, f64),
+    /// Flow-count range (inclusive).
+    pub flows: (usize, usize),
+}
+
+impl Default for ConditionDomain {
+    fn default() -> Self {
+        ConditionDomain {
+            link_rate: (1.0, 120.0),
+            rtt: (10.0, 200.0),
+            loss: (0.0, 0.05),
+            flows: (1, 6),
+        }
+    }
+}
+
+impl ConditionDomain {
+    /// Feature metadata for datasets over this domain.
+    pub fn feature_metas(&self) -> Vec<FeatureMeta> {
+        vec![
+            FeatureMeta::continuous("config.link_rate", self.link_rate.0, self.link_rate.1),
+            FeatureMeta::continuous("config.rtt_ms", self.rtt.0, self.rtt.1),
+            FeatureMeta::continuous("config.loss_rate", self.loss.0, self.loss.1),
+            FeatureMeta::integer("config.n_flows", self.flows.0 as i64, self.flows.1 as i64),
+        ]
+    }
+
+    /// Class names: class 0 = "rest", class 1 = "scream" (Scream wins).
+    pub fn class_names(&self) -> Vec<String> {
+        vec!["rest".into(), "scream".into()]
+    }
+
+    /// An empty dataset with this domain's schema.
+    pub fn empty_dataset(&self) -> Result<Dataset> {
+        Ok(Dataset::new(self.feature_metas(), self.class_names())?)
+    }
+
+    /// Uniformly sample one condition.
+    pub fn sample(&self, rng: &mut StdRng) -> NetworkCondition {
+        NetworkCondition {
+            link_rate_mbps: rng.gen_range(self.link_rate.0..=self.link_rate.1),
+            rtt_ms: rng.gen_range(self.rtt.0..=self.rtt.1),
+            loss_rate: rng.gen_range(self.loss.0..=self.loss.1),
+            n_flows: rng.gen_range(self.flows.0..=self.flows.1),
+        }
+    }
+
+    /// Sample one condition from a **production-like** distribution: 75% of
+    /// traffic comes from "typical" operating points (mid link rates,
+    /// moderate RTTs, near-zero loss, few flows — squared-uniform draws
+    /// biased toward the low end), 25% from the broad uniform background.
+    ///
+    /// This models how operators actually collect training data — from
+    /// production traces that "miss observing unique cases that only occur
+    /// when the loss rate of the network is higher due to failures or
+    /// congestion" (paper §2.2). Training/test/pool data generated this way
+    /// under-covers the extremes, which is exactly the gap the ALE feedback
+    /// is designed to expose.
+    pub fn sample_production(&self, rng: &mut StdRng) -> NetworkCondition {
+        if rng.gen::<f64>() < 0.25 {
+            return self.sample(rng);
+        }
+        // Squared uniforms concentrate mass toward the range's low end.
+        let sq = |rng: &mut StdRng| -> f64 {
+            let u: f64 = rng.gen();
+            u * u
+        };
+        NetworkCondition {
+            link_rate_mbps: self.link_rate.0
+                + (self.link_rate.1 - self.link_rate.0) * (0.1 + 0.5 * sq(rng)),
+            rtt_ms: self.rtt.0 + (self.rtt.1 - self.rtt.0) * (0.05 + 0.5 * sq(rng)),
+            loss_rate: self.loss.0 + (self.loss.1 - self.loss.0) * 0.2 * sq(rng),
+            n_flows: (self.flows.0 + ((self.flows.1 - self.flows.0) as f64 * sq(rng)) as usize)
+                .clamp(self.flows.0, self.flows.1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn row_round_trip() {
+        let c = NetworkCondition {
+            link_rate_mbps: 42.5,
+            rtt_ms: 80.0,
+            loss_rate: 0.01,
+            n_flows: 3,
+        };
+        let back = NetworkCondition::from_row(&c.to_row()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_row_clamps_into_validity() {
+        let c = NetworkCondition::from_row(&[-5.0, 0.0, 0.9, 100.0]).unwrap();
+        assert!(c.link_rate_mbps > 0.0);
+        assert!(c.rtt_ms > 0.0);
+        assert!(c.loss_rate <= 0.5);
+        assert!(c.n_flows <= 64);
+    }
+
+    #[test]
+    fn validate_rejects_nonsense() {
+        let bad = NetworkCondition {
+            link_rate_mbps: -1.0,
+            rtt_ms: 10.0,
+            loss_rate: 0.0,
+            n_flows: 1,
+        };
+        assert!(bad.validate().is_err());
+        let bad2 = NetworkCondition {
+            link_rate_mbps: 10.0,
+            rtt_ms: 10.0,
+            loss_rate: 0.9,
+            n_flows: 1,
+        };
+        assert!(bad2.validate().is_err());
+    }
+
+    #[test]
+    fn bdp_example() {
+        // 12 Mbps × 100 ms = 150 KB.
+        let c = NetworkCondition {
+            link_rate_mbps: 12.0,
+            rtt_ms: 100.0,
+            loss_rate: 0.0,
+            n_flows: 1,
+        };
+        assert_eq!(c.bdp_bytes(), 150_000);
+    }
+
+    #[test]
+    fn sampling_stays_in_domain() {
+        let d = ConditionDomain::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let c = d.sample(&mut rng);
+            c.validate().unwrap();
+            assert!(c.link_rate_mbps >= d.link_rate.0 && c.link_rate_mbps <= d.link_rate.1);
+            assert!(c.n_flows >= d.flows.0 && c.n_flows <= d.flows.1);
+        }
+    }
+
+    #[test]
+    fn production_sampling_stays_in_domain_and_biases_low() {
+        let d = ConditionDomain::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut mean_loss_prod = 0.0;
+        let mut mean_loss_unif = 0.0;
+        let n = 500;
+        for _ in 0..n {
+            let c = d.sample_production(&mut rng);
+            c.validate().unwrap();
+            assert!(c.link_rate_mbps >= d.link_rate.0 && c.link_rate_mbps <= d.link_rate.1);
+            assert!(c.loss_rate >= d.loss.0 && c.loss_rate <= d.loss.1);
+            mean_loss_prod += c.loss_rate / n as f64;
+            mean_loss_unif += d.sample(&mut rng).loss_rate / n as f64;
+        }
+        assert!(
+            mean_loss_prod < 0.6 * mean_loss_unif,
+            "production traffic sees much less loss: {mean_loss_prod} vs {mean_loss_unif}"
+        );
+    }
+
+    #[test]
+    fn schema_matches_figure_one_names() {
+        let d = ConditionDomain::default();
+        let metas = d.feature_metas();
+        assert_eq!(metas[0].name, "config.link_rate");
+        let ds = d.empty_dataset().unwrap();
+        assert_eq!(ds.n_features(), 4);
+        assert_eq!(ds.class_names(), &["rest".to_string(), "scream".to_string()]);
+    }
+}

@@ -1,0 +1,583 @@
+//! The simulation core: one bottleneck, `n_flows` senders of one protocol,
+//! an event loop, and statistics.
+//!
+//! See the crate docs for the topology. Invariants the tests pin down:
+//!
+//! * conservation — every sent packet is delivered, dropped at the queue,
+//!   lost on the link, or still in flight at the end;
+//! * determinism — identical `(config, seed)` ⇒ identical statistics;
+//! * liveness — a per-flow RTO timer (generation-guarded) guarantees the
+//!   event loop never stalls while a flow has outstanding data.
+
+use crate::cc::CcKind;
+use crate::event::{Event, EventQueue};
+use crate::flow::Flow;
+use crate::packet::Packet;
+use crate::queue::DropTailQueue;
+use crate::red::RedQueue;
+use crate::scenario::NetworkCondition;
+use crate::time::{serialization_time, Duration, SimTime};
+use crate::{Result, SimError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Bottleneck queue discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueueKind {
+    /// Plain drop-tail FIFO (the Pantheon-style default).
+    DropTail,
+    /// RED active queue management ([`crate::red`]).
+    Red,
+}
+
+/// The configured bottleneck queue (internal dispatch).
+enum Queue {
+    DropTail(DropTailQueue),
+    Red(RedQueue),
+}
+
+impl Queue {
+    fn enqueue(&mut self, packet: Packet, now: SimTime) -> bool {
+        match self {
+            Queue::DropTail(q) => q.enqueue(packet),
+            Queue::Red(q) => q.enqueue(packet, now),
+        }
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        match self {
+            Queue::DropTail(q) => q.dequeue(),
+            Queue::Red(q) => q.dequeue(),
+        }
+    }
+
+    fn drops(&self) -> u64 {
+        match self {
+            Queue::DropTail(q) => q.drops,
+            Queue::Red(q) => q.drops,
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// The emulated network.
+    pub condition: NetworkCondition,
+    /// Protocol all flows run.
+    pub protocol: CcKind,
+    /// Total simulated duration (stats cover `warmup..duration`).
+    pub duration: Duration,
+    /// Warm-up period excluded from statistics.
+    pub warmup: Duration,
+    /// Packet size in bytes.
+    pub mss: u32,
+    /// Bottleneck queue capacity as a multiple of the BDP (Pantheon-style
+    /// drop-tail buffering; 1.0 = one BDP).
+    pub queue_bdp_mult: f64,
+    /// Queue discipline at the bottleneck.
+    pub queue_kind: QueueKind,
+    /// RNG seed (random loss and RED early drops; nothing else is
+    /// stochastic).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Sensible defaults for a condition: duration adapts to the RTT so slow
+    /// paths still see enough round trips (≥ 15 RTTs measured).
+    pub fn for_condition(condition: NetworkCondition, protocol: CcKind, seed: u64) -> Self {
+        let rtt = Duration::from_secs_f64(condition.rtt_ms / 1e3);
+        SimConfig {
+            condition,
+            protocol,
+            duration: Duration::from_millis(1500).max(rtt.mul_f64(20.0)),
+            warmup: Duration::from_millis(300).max(rtt.mul_f64(5.0)),
+            mss: 1500,
+            queue_bdp_mult: 1.0,
+            queue_kind: QueueKind::DropTail,
+            seed,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.condition.validate()?;
+        if self.warmup >= self.duration {
+            return Err(SimError::InvalidConfig(
+                "warmup must be shorter than duration".into(),
+            ));
+        }
+        if self.mss < 64 || self.mss > 9000 {
+            return Err(SimError::InvalidConfig(format!("mss {} outside 64..=9000", self.mss)));
+        }
+        if !(self.queue_bdp_mult > 0.0 && self.queue_bdp_mult.is_finite()) {
+            return Err(SimError::InvalidConfig("queue_bdp_mult must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Per-flow statistics over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Goodput in Mbit/s.
+    pub throughput_mbps: f64,
+    /// Mean one-way packet delay in ms (`INFINITY` if nothing delivered).
+    pub mean_delay_ms: f64,
+    /// 95th-percentile one-way delay in ms.
+    pub p95_delay_ms: f64,
+    /// Mean RTT in ms.
+    pub mean_rtt_ms: f64,
+    /// Packets the sender declared lost.
+    pub lost_packets: u64,
+    /// Packets delivered within the measurement window.
+    pub delivered_packets: usize,
+}
+
+/// Aggregate outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Per-flow stats.
+    pub flows: Vec<FlowStats>,
+    /// Total goodput across flows (Mbit/s).
+    pub total_throughput_mbps: f64,
+    /// Delay-sample-weighted mean one-way delay (ms).
+    pub mean_delay_ms: f64,
+    /// Pooled 95th-percentile one-way delay (ms).
+    pub p95_delay_ms: f64,
+    /// Packets dropped at the bottleneck queue.
+    pub queue_drops: u64,
+}
+
+/// The simulator. Build with [`Simulation::new`], run with
+/// [`Simulation::run`] (consumes the simulation).
+pub struct Simulation {
+    cfg: SimConfig,
+    flows: Vec<Flow>,
+    events: EventQueue,
+    queue: Queue,
+    link_busy: bool,
+    rng: StdRng,
+    now: SimTime,
+    link_rate_bps: f64,
+    prop_half: Duration,
+    /// Packets killed by random loss (for conservation accounting).
+    link_losses: u64,
+    delivered: u64,
+    sent: u64,
+}
+
+impl Simulation {
+    /// Construct a simulation (validates the configuration).
+    pub fn new(cfg: SimConfig) -> Result<Self> {
+        cfg.validate()?;
+        let cond = cfg.condition;
+        let flows = (0..cond.n_flows)
+            .map(|id| Flow::new(id, cfg.protocol.build()))
+            .collect();
+        let queue_capacity =
+            ((cond.bdp_bytes() as f64 * cfg.queue_bdp_mult) as u64).max(2 * cfg.mss as u64);
+        let queue = match cfg.queue_kind {
+            QueueKind::DropTail => Queue::DropTail(DropTailQueue::new(queue_capacity)),
+            QueueKind::Red => Queue::Red(RedQueue::new(queue_capacity, cfg.seed ^ 0xA0_11)),
+        };
+        Ok(Simulation {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            flows,
+            events: EventQueue::new(),
+            queue,
+            link_busy: false,
+            now: SimTime::ZERO,
+            link_rate_bps: cond.link_rate_mbps * 1e6,
+            prop_half: Duration::from_secs_f64(cond.rtt_ms / 2e3),
+            link_losses: 0,
+            delivered: 0,
+            sent: 0,
+            cfg,
+        })
+    }
+
+    /// Run to completion and return the statistics.
+    pub fn run(mut self) -> Result<SimOutcome> {
+        // Stagger flow starts by 10 ms to avoid artificial phase locking.
+        for f in 0..self.flows.len() {
+            self.events.schedule(
+                SimTime::ZERO + Duration::from_millis(10 * f as u64),
+                Event::FlowStart { flow: f },
+            );
+        }
+
+        // Safety valve: the event count is physically bounded by
+        // link-rate × duration × constant; 64× that means a logic bug.
+        let max_events = 64
+            * (self.link_rate_bps * self.cfg.duration.as_secs_f64()
+                / (8.0 * self.cfg.mss as f64)) as u64
+            + 1_000_000;
+        let mut processed = 0u64;
+
+        while let Some((at, event)) = self.events.pop() {
+            if at > SimTime::ZERO + self.cfg.duration + self.prop_half + self.prop_half {
+                break;
+            }
+            self.now = at;
+            processed += 1;
+            if processed > max_events {
+                return Err(SimError::InvalidConfig(format!(
+                    "event budget exceeded ({max_events}); simulation is livelocked"
+                )));
+            }
+            self.dispatch(event);
+        }
+        Ok(self.finish())
+    }
+
+    fn dispatch(&mut self, event: Event) {
+        match event {
+            Event::FlowStart { flow } => {
+                self.flows[flow].started = true;
+                self.flows[flow].last_ack_time = self.now;
+                self.try_send(flow);
+                self.arm_timeout(flow);
+            }
+            Event::SenderWake { flow } => {
+                self.flows[flow].wake_scheduled = false;
+                self.try_send(flow);
+            }
+            Event::LinkFree => {
+                self.link_busy = false;
+                self.serve_queue();
+            }
+            Event::Delivery { packet } => {
+                self.delivered += 1;
+                if self.now >= SimTime::ZERO + self.cfg.warmup
+                    && self.now <= SimTime::ZERO + self.cfg.duration
+                {
+                    let delay = self.now.since(packet.sent_at).as_secs_f64();
+                    let f = &mut self.flows[packet.flow];
+                    f.delay_samples.push(delay);
+                    f.measured_bytes += packet.size as u64;
+                }
+                // Receiver acks immediately; the ACK path is clean.
+                self.events.schedule(
+                    self.now + self.prop_half,
+                    Event::AckArrival {
+                        flow: packet.flow,
+                        seq: packet.seq,
+                        sent_at: packet.sent_at,
+                        bytes: packet.size,
+                    },
+                );
+            }
+            Event::AckArrival {
+                flow,
+                seq,
+                sent_at,
+                bytes,
+            } => {
+                let in_window = self.now >= SimTime::ZERO + self.cfg.warmup
+                    && self.now <= SimTime::ZERO + self.cfg.duration;
+                if let Some(ev) = self.flows[flow].on_ack(seq, sent_at, bytes, self.now) {
+                    if in_window {
+                        self.flows[flow].rtt_samples.push(ev.rtt.as_secs_f64());
+                    }
+                    self.arm_timeout(flow);
+                }
+                self.try_send(flow);
+            }
+            Event::Timeout { flow, generation } => {
+                if generation != self.flows[flow].timeout_generation {
+                    return; // stale timer
+                }
+                let f = &self.flows[flow];
+                let deadline = f.last_ack_time + f.rto();
+                if !f.inflight.is_empty() && self.now >= deadline {
+                    self.flows[flow].on_timeout(self.now);
+                    // Treat the timeout as an implicit "ack activity" marker
+                    // so the next RTO counts from now.
+                    self.flows[flow].last_ack_time = self.now;
+                }
+                self.arm_timeout(flow);
+                self.try_send(flow);
+            }
+        }
+    }
+
+    /// Send as much as window + pacing allow for `flow`.
+    fn try_send(&mut self, flow: usize) {
+        loop {
+            let mss = self.cfg.mss;
+            let f = &self.flows[flow];
+            if !f.started || !f.can_send(mss) {
+                return;
+            }
+            if f.cc.pacing_rate_bps().is_some() && f.next_send_time > self.now {
+                let wake_at = f.next_send_time;
+                if !f.wake_scheduled {
+                    self.flows[flow].wake_scheduled = true;
+                    self.events.schedule(wake_at, Event::SenderWake { flow });
+                }
+                return;
+            }
+
+            let f = &mut self.flows[flow];
+            let seq = f.next_seq;
+            f.next_seq += 1;
+            f.on_send(seq, mss, self.now);
+            self.sent += 1;
+            if let Some(rate) = f.cc.pacing_rate_bps() {
+                let gap = serialization_time(mss, rate);
+                f.next_send_time = f.next_send_time.max(self.now) + gap;
+            }
+
+            let packet = Packet {
+                flow,
+                seq,
+                size: mss,
+                sent_at: self.now,
+            };
+            // Random (non-congestive) path loss.
+            if self.rng.gen::<f64>() < self.cfg.condition.loss_rate {
+                self.link_losses += 1;
+                continue; // vanishes; the gap/RTO machinery will notice
+            }
+            if self.queue.enqueue(packet, self.now) {
+                self.serve_queue();
+            }
+        }
+    }
+
+    /// Start transmitting the queue head if the link is idle.
+    fn serve_queue(&mut self) {
+        if self.link_busy {
+            return;
+        }
+        let Some(packet) = self.queue.dequeue() else {
+            return;
+        };
+        self.link_busy = true;
+        let ser = serialization_time(packet.size, self.link_rate_bps);
+        self.events.schedule(self.now + ser, Event::LinkFree);
+        self.events
+            .schedule(self.now + ser + self.prop_half, Event::Delivery { packet });
+    }
+
+    /// (Re)arm the flow's RTO timer with a fresh generation. The timer is
+    /// always strictly in the future (≥ now + RTO/4) — scheduling at `now`
+    /// would let an idle flow re-fire the same instant forever.
+    fn arm_timeout(&mut self, flow: usize) {
+        let f = &mut self.flows[flow];
+        f.timeout_generation += 1;
+        let generation = f.timeout_generation;
+        let at = (f.last_ack_time + f.rto()).max(self.now + f.rto().mul_f64(0.25));
+        self.events.schedule(at, Event::Timeout { flow, generation });
+    }
+
+    fn finish(self) -> SimOutcome {
+        let measure_secs = (self.cfg.duration - self.cfg.warmup).as_secs_f64();
+        let mut flows = Vec::with_capacity(self.flows.len());
+        let mut all_delays: Vec<f64> = Vec::new();
+        let mut total_tp = 0.0;
+        for f in &self.flows {
+            let tp = f.measured_bytes as f64 * 8.0 / measure_secs / 1e6;
+            total_tp += tp;
+            let (mean_d, p95_d) = delay_stats(&f.delay_samples);
+            let mean_rtt = if f.rtt_samples.is_empty() {
+                f64::INFINITY
+            } else {
+                f.rtt_samples.iter().sum::<f64>() / f.rtt_samples.len() as f64 * 1e3
+            };
+            all_delays.extend_from_slice(&f.delay_samples);
+            flows.push(FlowStats {
+                throughput_mbps: tp,
+                mean_delay_ms: mean_d,
+                p95_delay_ms: p95_d,
+                mean_rtt_ms: mean_rtt,
+                lost_packets: f.lost_packets,
+                delivered_packets: f.delay_samples.len(),
+            });
+        }
+        let (mean_delay_ms, p95_delay_ms) = delay_stats(&all_delays);
+        SimOutcome {
+            flows,
+            total_throughput_mbps: total_tp,
+            mean_delay_ms,
+            p95_delay_ms,
+            queue_drops: self.queue.drops(),
+        }
+    }
+}
+
+/// `(mean, p95)` of delay samples in milliseconds; infinities when empty.
+fn delay_stats(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (f64::INFINITY, f64::INFINITY);
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64 * 1e3;
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("delays are finite"));
+    let idx = ((sorted.len() as f64 - 1.0) * 0.95).round() as usize;
+    (mean, sorted[idx] * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cond(mbps: f64, rtt_ms: f64, loss: f64, flows: usize) -> NetworkCondition {
+        NetworkCondition {
+            link_rate_mbps: mbps,
+            rtt_ms,
+            loss_rate: loss,
+            n_flows: flows,
+        }
+    }
+
+    fn run(kind: CcKind, c: NetworkCondition, seed: u64) -> SimOutcome {
+        Simulation::new(SimConfig::for_condition(c, kind, seed))
+            .unwrap()
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn cubic_saturates_a_clean_link() {
+        let out = run(CcKind::Cubic, cond(10.0, 40.0, 0.0, 1), 1);
+        assert!(
+            out.total_throughput_mbps > 8.0,
+            "cubic on clean 10 Mbps reached only {} Mbps",
+            out.total_throughput_mbps
+        );
+        assert!(out.mean_delay_ms.is_finite());
+    }
+
+    #[test]
+    fn throughput_cannot_exceed_link_rate() {
+        for kind in CcKind::ALL {
+            let out = run(kind, cond(8.0, 30.0, 0.0, 2), 2);
+            assert!(
+                out.total_throughput_mbps <= 8.5,
+                "{} exceeded link rate: {}",
+                kind.name(),
+                out.total_throughput_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run(CcKind::Reno, cond(12.0, 50.0, 0.01, 2), 7);
+        let b = run(CcKind::Reno, cond(12.0, 50.0, 0.01, 2), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_matters_with_random_loss() {
+        let a = run(CcKind::Reno, cond(12.0, 50.0, 0.02, 1), 7);
+        let b = run(CcKind::Reno, cond(12.0, 50.0, 0.02, 1), 8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delay_includes_propagation_floor() {
+        // One-way delay ≥ propagation half-RTT.
+        let out = run(CcKind::Vegas, cond(10.0, 80.0, 0.0, 1), 3);
+        assert!(out.mean_delay_ms >= 40.0, "mean delay {}", out.mean_delay_ms);
+    }
+
+    #[test]
+    fn cubic_builds_more_queue_than_scream() {
+        // Deep buffer (2 BDP): the loss-based protocol fills it, the
+        // delay-targeting one does not — the core "Scream wins on latency"
+        // mechanism of the running example.
+        let c = cond(20.0, 60.0, 0.0, 1);
+        let mut cfg_cubic = SimConfig::for_condition(c, CcKind::Cubic, 4);
+        cfg_cubic.queue_bdp_mult = 2.0;
+        let cubic = Simulation::new(cfg_cubic).unwrap().run().unwrap();
+        let mut cfg_scream = SimConfig::for_condition(c, CcKind::Scream, 4);
+        cfg_scream.queue_bdp_mult = 2.0;
+        let scream = Simulation::new(cfg_scream).unwrap().run().unwrap();
+        assert!(
+            scream.mean_delay_ms < cubic.mean_delay_ms,
+            "scream {} ms should beat cubic {} ms in deep buffers",
+            scream.mean_delay_ms,
+            cubic.mean_delay_ms
+        );
+    }
+
+    #[test]
+    fn scream_collapses_under_heavy_random_loss() {
+        // At 5% random loss, loss-halving Scream should get much less
+        // throughput than loss-blind BBR.
+        let c = cond(20.0, 40.0, 0.05, 1);
+        let scream = run(CcKind::Scream, c, 5);
+        let bbr = run(CcKind::Bbr, c, 5);
+        assert!(
+            bbr.total_throughput_mbps > 1.5 * scream.total_throughput_mbps,
+            "bbr {} vs scream {}",
+            bbr.total_throughput_mbps,
+            scream.total_throughput_mbps
+        );
+    }
+
+    #[test]
+    fn multiple_flows_share_the_link() {
+        let out = run(CcKind::Cubic, cond(12.0, 40.0, 0.0, 3), 6);
+        assert_eq!(out.flows.len(), 3);
+        // All flows make progress.
+        for (i, f) in out.flows.iter().enumerate() {
+            assert!(
+                f.throughput_mbps > 0.5,
+                "flow {i} starved: {} Mbps",
+                f.throughput_mbps
+            );
+        }
+        assert!(out.total_throughput_mbps <= 12.5);
+    }
+
+    #[test]
+    fn random_loss_is_detected_and_counted() {
+        let out = run(CcKind::Reno, cond(10.0, 40.0, 0.03, 1), 9);
+        let lost: u64 = out.flows.iter().map(|f| f.lost_packets).sum();
+        assert!(lost > 0, "3% loss must be observed");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let c = cond(10.0, 40.0, 0.0, 1);
+        let mut cfg = SimConfig::for_condition(c, CcKind::Reno, 0);
+        cfg.warmup = cfg.duration;
+        assert!(Simulation::new(cfg).is_err());
+        let mut cfg2 = SimConfig::for_condition(c, CcKind::Reno, 0);
+        cfg2.mss = 10;
+        assert!(Simulation::new(cfg2).is_err());
+    }
+
+    #[test]
+    fn red_queue_runs_and_tames_cubic_delay() {
+        // AQM sheds load early, so the loss-based protocol sees shorter
+        // standing queues than under drop-tail.
+        let c = cond(10.0, 60.0, 0.0, 1);
+        let mut droptail = SimConfig::for_condition(c, CcKind::Cubic, 3);
+        droptail.queue_bdp_mult = 2.0;
+        let dt = Simulation::new(droptail).unwrap().run().unwrap();
+        let mut red = SimConfig::for_condition(c, CcKind::Cubic, 3);
+        red.queue_bdp_mult = 2.0;
+        red.queue_kind = QueueKind::Red;
+        let rd = Simulation::new(red).unwrap().run().unwrap();
+        assert!(
+            rd.mean_delay_ms < dt.mean_delay_ms,
+            "RED {} ms should beat drop-tail {} ms for cubic",
+            rd.mean_delay_ms,
+            dt.mean_delay_ms
+        );
+        // And it still moves useful traffic.
+        assert!(rd.total_throughput_mbps > 4.0, "{}", rd.total_throughput_mbps);
+    }
+
+    #[test]
+    fn tiny_link_still_terminates() {
+        // 1 Mbps, 200 ms RTT, lossy: worst-case slow path must not hang.
+        let out = run(CcKind::Vegas, cond(1.0, 200.0, 0.05, 2), 11);
+        assert!(out.total_throughput_mbps >= 0.0);
+    }
+}

@@ -1,0 +1,110 @@
+//! Percentile-bootstrap confidence intervals.
+//!
+//! The experiment harness reports a bootstrap CI on mean balanced accuracy
+//! alongside the paper's `mean ± std`, which makes the "who wins" shape
+//! comparisons in EXPERIMENTS.md less sensitive to a single lucky split.
+
+use crate::{check_finite, Result, StatsError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-sided percentile bootstrap confidence interval for the mean.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower confidence bound.
+    pub lo: f64,
+    /// Upper confidence bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+    /// Number of bootstrap resamples drawn.
+    pub resamples: usize,
+}
+
+/// Percentile bootstrap CI for the mean of `xs`.
+///
+/// Deterministic given `seed`. `level` is the two-sided confidence level
+/// (e.g. 0.95 for a 95% CI).
+///
+/// # Errors
+/// Empty/non-finite input, or `level` outside `(0, 1)`.
+pub fn bootstrap_ci_mean(
+    xs: &[f64],
+    level: f64,
+    resamples: usize,
+    seed: u64,
+) -> Result<BootstrapCi> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    if !(level > 0.0 && level < 1.0) {
+        return Err(StatsError::InvalidProbability(level));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut s = 0.0;
+        for _ in 0..n {
+            s += xs[rng.gen_range(0..n)];
+        }
+        means.push(s / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means compare"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::descriptive::percentile(&means, alpha)?;
+    let hi = crate::descriptive::percentile(&means, 1.0 - alpha)?;
+    Ok(BootstrapCi {
+        mean: crate::descriptive::mean(xs)?,
+        lo,
+        hi,
+        level,
+        resamples,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_brackets_mean() {
+        let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+        let ci = bootstrap_ci_mean(&xs, 0.95, 500, 42).unwrap();
+        assert!(ci.lo <= ci.mean && ci.mean <= ci.hi);
+    }
+
+    #[test]
+    fn ci_deterministic_per_seed() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = bootstrap_ci_mean(&xs, 0.9, 200, 7).unwrap();
+        let b = bootstrap_ci_mean(&xs, 0.9, 200, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_ci_mean(&xs, 0.9, 200, 8).unwrap();
+        assert_ne!(a.lo, c.lo);
+    }
+
+    #[test]
+    fn degenerate_sample_collapses() {
+        let ci = bootstrap_ci_mean(&[3.0; 10], 0.95, 100, 1).unwrap();
+        assert_eq!(ci.lo, 3.0);
+        assert_eq!(ci.hi, 3.0);
+    }
+
+    #[test]
+    fn invalid_level_rejected() {
+        assert!(bootstrap_ci_mean(&[1.0], 1.0, 10, 0).is_err());
+        assert!(bootstrap_ci_mean(&[1.0], 0.0, 10, 0).is_err());
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64 * 1.3).sin() * 10.0).collect();
+        let narrow = bootstrap_ci_mean(&xs, 0.5, 2000, 9).unwrap();
+        let wide = bootstrap_ci_mean(&xs, 0.99, 2000, 9).unwrap();
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+}

@@ -1,0 +1,242 @@
+//! Descriptive statistics: mean, variance, median, percentiles and a
+//! convenience [`Summary`] aggregate.
+//!
+//! All functions validate that inputs are non-empty and finite, and return
+//! [`crate::StatsError`] instead of panicking or silently
+//! producing NaN.
+
+use crate::{check_finite, Result, StatsError};
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] for an empty slice and
+/// [`StatsError::NonFiniteInput`] if any element is NaN/infinite.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased (n-1 denominator) sample variance.
+///
+/// A single-element sample has zero variance by convention here (the paper's
+/// tables report `± std` over repeated runs, and a single run simply shows
+/// `± 0`), rather than being an error.
+pub fn sample_var(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    if xs.len() < 2 {
+        return Ok(0.0);
+    }
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (xs.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation (square root of [`sample_var`]).
+pub fn sample_std(xs: &[f64]) -> Result<f64> {
+    Ok(sample_var(xs)?.sqrt())
+}
+
+/// Population (n denominator) variance. Used when the values are the entire
+/// population of interest — e.g. the variance of ALE values across the fixed
+/// set of ensemble members, which is exactly the quantity the feedback
+/// algorithm thresholds.
+pub fn population_var(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / xs.len() as f64)
+}
+
+/// Population standard deviation (square root of [`population_var`]).
+pub fn population_std(xs: &[f64]) -> Result<f64> {
+    Ok(population_var(xs)?.sqrt())
+}
+
+/// Median via [`percentile`] with `p = 0.5`.
+pub fn median(xs: &[f64]) -> Result<f64> {
+    percentile(xs, 0.5)
+}
+
+/// Linear-interpolation percentile (the "linear"/type-7 definition used by
+/// NumPy's default), `p` in `[0, 1]`.
+///
+/// # Errors
+/// [`StatsError::InvalidProbability`] when `p` is outside `[0, 1]`, plus the
+/// usual empty/non-finite errors.
+pub fn percentile(xs: &[f64], p: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidProbability(p));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = h - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Minimum of a finite non-empty sample.
+pub fn min(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    Ok(xs.iter().cloned().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of a finite non-empty sample.
+pub fn max(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    Ok(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// A five-number-plus summary of a sample, computed in one pass over the
+/// sorted data. Used by the experiment harness to report accuracy
+/// distributions in the same `mean ± std` form as the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample standard deviation.
+    pub std: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q75: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Compute the summary of `xs`.
+    pub fn of(xs: &[f64]) -> Result<Self> {
+        Ok(Summary {
+            n: xs.len(),
+            mean: mean(xs)?,
+            std: sample_std(xs)?,
+            min: min(xs)?,
+            q25: percentile(xs, 0.25)?,
+            median: median(xs)?,
+            q75: percentile(xs, 0.75)?,
+            max: max(xs)?,
+        })
+    }
+
+    /// Format as `mean% ± std%` the way the paper's tables print balanced
+    /// accuracy (values are assumed to be fractions in `[0, 1]`).
+    pub fn pct(&self) -> String {
+        format!("{:.1}% \u{00b1} {:.1}%", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} std={:.4} min={:.4} q25={:.4} med={:.4} q75={:.4} max={:.4}",
+            self.n, self.mean, self.std, self.min, self.q25, self.median, self.q75, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_constants() {
+        assert_eq!(mean(&[2.0, 2.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn mean_empty_is_error() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn mean_nan_is_error() {
+        assert_eq!(mean(&[1.0, f64::NAN]), Err(StatsError::NonFiniteInput));
+    }
+
+    #[test]
+    fn variance_matches_hand_computation() {
+        // var([1,2,3,4]) with n-1 denominator = 5/3
+        let v = sample_var(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((v - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_singleton_is_zero() {
+        assert_eq!(sample_var(&[7.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn population_var_uses_n_denominator() {
+        let v = population_var(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((v - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert!((percentile(&xs, 0.25).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_out_of_range() {
+        assert_eq!(
+            percentile(&[1.0], 1.5),
+            Err(StatsError::InvalidProbability(1.5))
+        );
+    }
+
+    #[test]
+    fn summary_fields_consistent() {
+        let xs = [0.5, 0.7, 0.6, 0.9, 0.4];
+        let s = Summary::of(&xs).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 0.4);
+        assert_eq!(s.max, 0.9);
+        assert!(s.q25 <= s.median && s.median <= s.q75);
+        assert!(s.pct().contains('%'));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]).unwrap(), -1.0);
+        assert_eq!(max(&[3.0, -1.0, 2.0]).unwrap(), 3.0);
+    }
+}

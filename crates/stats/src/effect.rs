@@ -1,0 +1,135 @@
+//! Effect sizes: Cliff's delta and the paired median difference.
+//!
+//! P-values say whether an accuracy difference is *real*; effect sizes say
+//! whether it is *big enough to care about*. EXPERIMENTS.md reports both
+//! for the Table-1 comparisons (the paper only reports p-values, which is
+//! exactly the kind of gap a reproduction should fill).
+
+use crate::{check_finite, Result, StatsError};
+
+/// Magnitude bands for Cliff's delta (Romano et al. conventions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EffectMagnitude {
+    /// |δ| < 0.147
+    Negligible,
+    /// |δ| < 0.33
+    Small,
+    /// |δ| < 0.474
+    Medium,
+    /// |δ| ≥ 0.474
+    Large,
+}
+
+/// Cliff's delta result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliffsDelta {
+    /// δ ∈ [−1, 1]: P(x > y) − P(x < y) over all pairs.
+    pub delta: f64,
+    /// Conventional magnitude band of |δ|.
+    pub magnitude: EffectMagnitude,
+}
+
+/// Compute Cliff's delta between two (unpaired) samples: the probability
+/// that a random `x` exceeds a random `y`, minus the reverse.
+///
+/// # Errors
+/// Empty or non-finite inputs.
+pub fn cliffs_delta(x: &[f64], y: &[f64]) -> Result<CliffsDelta> {
+    if x.is_empty() || y.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(x)?;
+    check_finite(y)?;
+    let mut gt = 0i64;
+    let mut lt = 0i64;
+    for &a in x {
+        for &b in y {
+            if a > b {
+                gt += 1;
+            } else if a < b {
+                lt += 1;
+            }
+        }
+    }
+    let delta = (gt - lt) as f64 / (x.len() * y.len()) as f64;
+    let ad = delta.abs();
+    let magnitude = if ad < 0.147 {
+        EffectMagnitude::Negligible
+    } else if ad < 0.33 {
+        EffectMagnitude::Small
+    } else if ad < 0.474 {
+        EffectMagnitude::Medium
+    } else {
+        EffectMagnitude::Large
+    };
+    Ok(CliffsDelta { delta, magnitude })
+}
+
+/// Median of the paired differences `x_i − y_i` (a robust paired effect
+/// size matching the Wilcoxon test's pairing).
+pub fn median_paired_difference(x: &[f64], y: &[f64]) -> Result<f64> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    let diffs: Vec<f64> = x.iter().zip(y).map(|(a, b)| a - b).collect();
+    crate::descriptive::median(&diffs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_delta() {
+        let x = [1.0, 2.0, 3.0];
+        let d = cliffs_delta(&x, &x).unwrap();
+        assert_eq!(d.delta, 0.0);
+        assert_eq!(d.magnitude, EffectMagnitude::Negligible);
+    }
+
+    #[test]
+    fn disjoint_samples_have_extreme_delta() {
+        let lo = [1.0, 2.0, 3.0];
+        let hi = [10.0, 11.0];
+        let d = cliffs_delta(&hi, &lo).unwrap();
+        assert_eq!(d.delta, 1.0);
+        assert_eq!(d.magnitude, EffectMagnitude::Large);
+        let d2 = cliffs_delta(&lo, &hi).unwrap();
+        assert_eq!(d2.delta, -1.0);
+    }
+
+    #[test]
+    fn overlapping_samples_are_graded() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 3.0, 4.0, 5.0];
+        let d = cliffs_delta(&x, &y).unwrap();
+        // gt pairs: (2,?)=(3,2)(4,2)(4,3)=... count: x>y pairs = 3; x<y = 10; ties 3.
+        assert!((d.delta - (3.0 - 10.0) / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn magnitude_bands() {
+        // Construct deltas in each band via mostly-overlapping samples.
+        let base: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let shifted: Vec<f64> = (0..100).map(|i| i as f64 + 10.0).collect();
+        let d = cliffs_delta(&shifted, &base).unwrap();
+        assert!(d.delta > 0.0);
+    }
+
+    #[test]
+    fn median_paired_difference_basic() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [0.0, 0.0, 0.0];
+        assert_eq!(median_paired_difference(&x, &y).unwrap(), 2.0);
+        assert!(median_paired_difference(&x, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(cliffs_delta(&[], &[1.0]).is_err());
+        assert!(cliffs_delta(&[f64::NAN], &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Rank computations with midrank tie handling.
+//!
+//! The Wilcoxon signed-rank test ranks the absolute differences of paired
+//! observations; ties receive the average ("midrank") of the positions they
+//! occupy. The tie correction factor feeds the normal approximation of the
+//! test statistic's null variance.
+
+use crate::{check_finite, Result, StatsError};
+
+/// Compute midranks of `xs` (1-based).
+///
+/// Equal values share the average of the ranks they would have occupied:
+/// `midranks(&[10, 20, 20, 30]) == [1.0, 2.5, 2.5, 4.0]`.
+///
+/// # Errors
+/// [`StatsError::EmptyInput`] / [`StatsError::NonFiniteInput`].
+pub fn midranks(xs: &[f64]) -> Result<Vec<f64>> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite values compare"));
+
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the run [i, j) of equal values in sorted order.
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Positions i+1 ..= j (1-based) average to (i + j + 1) / 2.
+        let avg_rank = (i + j + 1) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j;
+    }
+    Ok(ranks)
+}
+
+/// Sizes of tie groups (runs of equal values), for groups of size ≥ 2.
+///
+/// `tie_groups(&[1, 2, 2, 3, 3, 3]) == [2, 3]`.
+pub fn tie_groups(xs: &[f64]) -> Result<Vec<usize>> {
+    if xs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    check_finite(xs)?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let mut groups = Vec::new();
+    let mut run = 1usize;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            if run >= 2 {
+                groups.push(run);
+            }
+            run = 1;
+        }
+    }
+    if run >= 2 {
+        groups.push(run);
+    }
+    Ok(groups)
+}
+
+/// The tie correction term `Σ (t³ − t)` over tie groups of size `t`, used to
+/// reduce the null variance of the signed-rank statistic:
+/// `Var[W⁺] = n(n+1)(2n+1)/24 − Σ(t³−t)/48`.
+pub fn tie_correction(xs: &[f64]) -> Result<f64> {
+    let groups = tie_groups(xs)?;
+    Ok(groups
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_without_ties_are_permutation() {
+        let r = midranks(&[30.0, 10.0, 20.0]).unwrap();
+        assert_eq!(r, vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn midrank_tie_pair() {
+        let r = midranks(&[10.0, 20.0, 20.0, 30.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn midrank_all_equal() {
+        let r = midranks(&[5.0; 4]).unwrap();
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn rank_sum_invariant() {
+        // Sum of midranks is always n(n+1)/2 regardless of ties.
+        let xs = [3.0, 3.0, 1.0, 7.0, 7.0, 7.0, 2.0];
+        let r = midranks(&xs).unwrap();
+        let n = xs.len() as f64;
+        assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_groups_detects_runs() {
+        assert_eq!(tie_groups(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(), vec![2, 3]);
+        assert_eq!(tie_groups(&[1.0, 2.0, 3.0]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tie_correction_value() {
+        // groups of 2 and 3: (8-2) + (27-3) = 30
+        assert_eq!(tie_correction(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn empty_is_error() {
+        assert_eq!(midranks(&[]), Err(StatsError::EmptyInput));
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Midranks always sum to n(n+1)/2, for any finite input.
+        #[test]
+        fn prop_rank_sum(xs in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+            let r = midranks(&xs).unwrap();
+            let n = xs.len() as f64;
+            prop_assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-6);
+        }
+
+        /// Ranks respect the value ordering: x_i < x_j ⇒ rank_i < rank_j.
+        #[test]
+        fn prop_rank_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 2..32)) {
+            let r = midranks(&xs).unwrap();
+            for i in 0..xs.len() {
+                for j in 0..xs.len() {
+                    if xs[i] < xs[j] {
+                        prop_assert!(r[i] < r[j]);
+                    } else if xs[i] == xs[j] {
+                        prop_assert_eq!(r[i], r[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! One-sided and two-sided Wilcoxon signed-rank test for paired samples.
+//!
+//! This is the statistical test behind every p-value in the paper (Table 1
+//! and the §4.2 UCL numbers): *"we use the p-values reported by the
+//! one-sided Wilcoxon signed ranked test"*, with the alternative hypothesis
+//! that one algorithm's balanced accuracy is *less* than another's.
+//!
+//! ## Method
+//!
+//! Given paired observations `(x_i, y_i)`:
+//!
+//! 1. Form differences `d_i = x_i − y_i` and drop exact zeros (the classic
+//!    Wilcoxon convention, matching `scipy` `zero_method="wilcox"`).
+//! 2. Rank `|d_i|` with midranks for ties.
+//! 3. `W⁺ = Σ ranks of positive differences`.
+//! 4. For `n ≤ EXACT_LIMIT` compute the exact null distribution of `W⁺` by
+//!    dynamic programming over doubled ranks (doubling makes midranks
+//!    integral so the DP is over integers); otherwise use the normal
+//!    approximation with tie and continuity corrections.
+//!
+//! The exact path enumerates `P(W⁺ ≤ w)` over all `2ⁿ` equally likely sign
+//! assignments in `O(n · Σranks)` time instead of `O(2ⁿ)`.
+
+use crate::ranks::{midranks, tie_correction};
+use crate::{Result, StatsError};
+
+/// Largest `n` (non-zero differences) for which the exact distribution is
+/// used. 25 keeps the DP tables tiny (≤ 25 · 1300 entries) while covering
+/// the paper's n = 20 test-set protocol exactly.
+pub const EXACT_LIMIT: usize = 25;
+
+/// Direction of the alternative hypothesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// H1: the first sample is stochastically **smaller** (`x < y`). This is
+    /// the paper's convention: `P(no feedback, X)` tests whether
+    /// "no feedback" has *less* balanced accuracy than algorithm `X`.
+    Less,
+    /// H1: the first sample is stochastically **greater** (`x > y`).
+    Greater,
+    /// H1: the samples differ in either direction.
+    TwoSided,
+}
+
+/// Outcome of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// The `W⁺` statistic: sum of ranks of positive differences.
+    pub w_plus: f64,
+    /// The `W⁻` statistic: sum of ranks of negative differences.
+    pub w_minus: f64,
+    /// Number of non-zero differences actually ranked.
+    pub n_used: usize,
+    /// The p-value under the requested alternative.
+    pub p_value: f64,
+    /// Whether the exact distribution (true) or the normal approximation
+    /// (false) produced the p-value.
+    pub exact: bool,
+}
+
+/// Run the Wilcoxon signed-rank test on paired samples `x` and `y`.
+///
+/// # Errors
+/// - [`StatsError::LengthMismatch`] if the samples differ in length.
+/// - [`StatsError::EmptyInput`] if the samples are empty **or** every
+///   difference is exactly zero (no information about direction).
+/// - [`StatsError::NonFiniteInput`] on NaN/infinite values.
+pub fn wilcoxon_signed_rank(x: &[f64], y: &[f64], alt: Alternative) -> Result<WilcoxonResult> {
+    if x.len() != y.len() {
+        return Err(StatsError::LengthMismatch {
+            left: x.len(),
+            right: y.len(),
+        });
+    }
+    crate::check_finite(x)?;
+    crate::check_finite(y)?;
+
+    let diffs: Vec<f64> = x
+        .iter()
+        .zip(y.iter())
+        .map(|(a, b)| a - b)
+        .filter(|d| *d != 0.0)
+        .collect();
+    if diffs.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = midranks(&abs)?;
+    let n = diffs.len();
+
+    let mut w_plus = 0.0;
+    for (d, r) in diffs.iter().zip(ranks.iter()) {
+        if *d > 0.0 {
+            w_plus += r;
+        }
+    }
+    let total: f64 = ranks.iter().sum();
+    let w_minus = total - w_plus;
+
+    let (p, exact) = if n <= EXACT_LIMIT {
+        (exact_p(&ranks, w_plus, w_minus, alt), true)
+    } else {
+        (normal_p(&abs, &ranks, w_plus, alt)?, false)
+    };
+
+    Ok(WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        p_value: p.clamp(0.0, 1.0),
+        exact,
+    })
+}
+
+/// Exact tail probability of `W⁺` via DP over doubled (integral) ranks.
+///
+/// Every one of the `2ⁿ` sign assignments is equally likely under H0; the DP
+/// counts, for each achievable doubled-rank sum `s`, how many assignments
+/// reach it.
+fn exact_p(ranks: &[f64], w_plus: f64, w_minus: f64, alt: Alternative) -> f64 {
+    // Doubling midranks (k.5 ranks become odd integers) keeps the DP integral.
+    let doubled: Vec<usize> = ranks
+        .iter()
+        .map(|r| {
+            let d = (r * 2.0).round();
+            debug_assert!((d - r * 2.0).abs() < 1e-9, "midranks are multiples of 0.5");
+            d as usize
+        })
+        .collect();
+    let max_sum: usize = doubled.iter().sum();
+
+    // counts[s] = number of sign assignments with doubled W+ equal to s.
+    let mut counts = vec![0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for &r in &doubled {
+        // Iterate downwards so each rank is used at most once (0/1 knapsack).
+        for s in (r..=max_sum).rev() {
+            counts[s] += counts[s - r];
+        }
+    }
+    let denom = 2f64.powi(doubled.len() as i32);
+
+    let cdf_leq = |w: f64| -> f64 {
+        let target = (w * 2.0).round() as usize;
+        counts[..=target.min(max_sum)].iter().sum::<f64>() / denom
+    };
+
+    match alt {
+        // Small W+ (few positive differences) supports "x < y".
+        Alternative::Less => cdf_leq(w_plus),
+        // Small W- supports "x > y"; by symmetry P(W+ >= w) = P(W+ <= max - w).
+        Alternative::Greater => cdf_leq(w_minus),
+        Alternative::TwoSided => (2.0 * cdf_leq(w_plus.min(w_minus))).min(1.0),
+    }
+}
+
+/// Normal approximation with tie and continuity corrections.
+fn normal_p(abs: &[f64], ranks: &[f64], w_plus: f64, alt: Alternative) -> Result<f64> {
+    let n = ranks.len() as f64;
+    let mean = n * (n + 1.0) / 4.0;
+    let tie = tie_correction(abs)?;
+    let var = n * (n + 1.0) * (2.0 * n + 1.0) / 24.0 - tie / 48.0;
+    if var <= 0.0 {
+        // All differences identical in magnitude and fully tied; degenerate.
+        return Ok(1.0);
+    }
+    let sd = var.sqrt();
+    // Continuity correction: shrink |W+ - mean| by 0.5 toward the mean.
+    let z_less = (w_plus - mean + 0.5) / sd;
+    let z_greater = (w_plus - mean - 0.5) / sd;
+    Ok(match alt {
+        Alternative::Less => std_normal_cdf(z_less),
+        Alternative::Greater => 1.0 - std_normal_cdf(z_greater),
+        Alternative::TwoSided => {
+            let p = if w_plus < mean {
+                std_normal_cdf(z_less)
+            } else {
+                1.0 - std_normal_cdf(z_greater)
+            };
+            (2.0 * p).min(1.0)
+        }
+    })
+}
+
+/// Standard normal CDF via the complementary error function.
+pub fn std_normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function, Numerical-Recipes rational Chebyshev
+/// approximation (absolute error < 1.2e-7, plenty for p-value reporting).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t
+        * (-z * z - 1.26551223
+            + t * (1.00002368
+                + t * (0.37409196
+                    + t * (0.09678418
+                        + t * (-0.18628806
+                            + t * (0.27886807
+                                + t * (-1.13520398
+                                    + t * (1.48851587
+                                        + t * (-0.82215223 + t * 0.17087277)))))))))
+        .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let e = wilcoxon_signed_rank(&[1.0], &[1.0, 2.0], Alternative::Less);
+        assert!(matches!(e, Err(StatsError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn all_zero_differences_is_error() {
+        let e = wilcoxon_signed_rank(&[1.0, 2.0], &[1.0, 2.0], Alternative::Less);
+        assert_eq!(e, Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn statistics_partition_total_rank_sum() {
+        let x = [1.0, 5.0, 3.0, 9.0, 2.0];
+        let y = [2.0, 4.0, 7.0, 1.0, 2.5];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided).unwrap();
+        let n = r.n_used as f64;
+        approx(r.w_plus + r.w_minus, n * (n + 1.0) / 2.0, 1e-9);
+    }
+
+    #[test]
+    fn clearly_smaller_sample_has_small_p_less() {
+        let x: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..12).map(|i| i as f64 + 5.0).collect();
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        assert!(r.exact);
+        // All differences negative: W+ = 0, exact p = 2^-12.
+        approx(r.p_value, 2f64.powi(-12), 1e-12);
+        let r2 = wilcoxon_signed_rank(&x, &y, Alternative::Greater).unwrap();
+        assert!(r2.p_value > 0.999);
+    }
+
+    #[test]
+    fn symmetry_between_less_and_greater() {
+        let x = [0.3, 0.5, 0.1, 0.9, 0.4, 0.7];
+        let y = [0.6, 0.2, 0.8, 0.3, 0.55, 0.65];
+        let less = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        let greater = wilcoxon_signed_rank(&y, &x, Alternative::Greater).unwrap();
+        approx(less.p_value, greater.p_value, 1e-12);
+    }
+
+    #[test]
+    fn matches_textbook_exact_value() {
+        // Differences d = [-1, +2, -3, +4, -5]: distinct magnitudes so the
+        // ranks are 1..5 and W+ = 2 + 4 = 6. Subsets of {1..5} with sum ≤ 6
+        // number 13 (hand enumeration), so P(W+ ≤ 6) = 13/32 = 0.40625 —
+        // the classic textbook value (scipy agrees).
+        let x = [1.0, 4.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 2.0, 5.0, 4.0, 8.0];
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.w_plus, 6.0);
+        approx(r.p_value, 0.40625, 1e-12);
+    }
+
+    #[test]
+    fn two_sided_doubles_smaller_tail() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let y = [3.0, 4.0, 5.0, 6.0, 7.0, 2.0];
+        let less = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        let two = wilcoxon_signed_rank(&x, &y, Alternative::TwoSided).unwrap();
+        assert!(two.p_value <= 2.0 * less.p_value + 1e-12);
+    }
+
+    #[test]
+    fn large_sample_uses_normal_approximation() {
+        let x: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..60).map(|i| (i as f64 * 0.37).sin() + 0.3).collect();
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        assert!(!r.exact);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_sanity() {
+        approx(std_normal_cdf(0.0), 0.5, 1e-6);
+        approx(std_normal_cdf(1.96), 0.975, 1e-3);
+        approx(std_normal_cdf(-1.96), 0.025, 1e-3);
+    }
+
+    /// Brute-force the exact distribution on tiny inputs and compare.
+    #[test]
+    fn exact_matches_brute_force_enumeration() {
+        let x = [0.9, 0.4, 0.7, 0.2, 0.6];
+        let y = [0.5, 0.8, 0.3, 0.65, 0.1];
+        let diffs: Vec<f64> = x.iter().zip(y.iter()).map(|(a, b)| a - b).collect();
+        let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+        let ranks = midranks(&abs).unwrap();
+        let w_obs: f64 = diffs
+            .iter()
+            .zip(ranks.iter())
+            .filter(|(d, _)| **d > 0.0)
+            .map(|(_, r)| r)
+            .sum();
+
+        // Enumerate all 2^5 sign assignments.
+        let n = ranks.len();
+        let mut le = 0usize;
+        for mask in 0..(1usize << n) {
+            let w: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| ranks[i]).sum();
+            if w <= w_obs + 1e-12 {
+                le += 1;
+            }
+        }
+        let brute = le as f64 / (1usize << n) as f64;
+        let r = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+        approx(r.p_value, brute, 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Exact DP must agree with brute-force enumeration for any small
+        /// paired sample (ties and zeros included).
+        #[test]
+        fn prop_exact_equals_enumeration(
+            pairs in proptest::collection::vec((-5i32..=5, -5i32..=5), 1..10)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|(a, _)| *a as f64).collect();
+            let y: Vec<f64> = pairs.iter().map(|(_, b)| *b as f64).collect();
+            let diffs: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a - b)
+                .filter(|d| *d != 0.0).collect();
+            prop_assume!(!diffs.is_empty());
+
+            let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+            let ranks = midranks(&abs).unwrap();
+            let w_obs: f64 = diffs.iter().zip(&ranks)
+                .filter(|(d, _)| **d > 0.0).map(|(_, r)| *r).sum();
+            let n = ranks.len();
+            let mut le = 0usize;
+            for mask in 0..(1usize << n) {
+                let w: f64 = (0..n).filter(|i| mask >> i & 1 == 1)
+                    .map(|i| ranks[i]).sum();
+                if w <= w_obs + 1e-9 { le += 1; }
+            }
+            let brute = le as f64 / (1usize << n) as f64;
+            let r = wilcoxon_signed_rank(&x, &y, Alternative::Less).unwrap();
+            prop_assert!((r.p_value - brute).abs() < 1e-9,
+                "dp={} brute={}", r.p_value, brute);
+        }
+
+        /// p-values are always in [0, 1] and Less/Greater are complementary
+        /// in the sense p_less + p_greater ≥ 1 (they overlap at W = w_obs).
+        #[test]
+        fn prop_p_in_unit_interval(
+            pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 2..40)
+        ) {
+            let x: Vec<f64> = pairs.iter().map(|(a, _)| *a).collect();
+            let y: Vec<f64> = pairs.iter().map(|(_, b)| *b).collect();
+            if let Ok(r) = wilcoxon_signed_rank(&x, &y, Alternative::Less) {
+                prop_assert!((0.0..=1.0).contains(&r.p_value));
+                let g = wilcoxon_signed_rank(&x, &y, Alternative::Greater).unwrap();
+                prop_assert!(r.p_value + g.p_value >= 1.0 - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+#!/bin/bash
+# Medium-scale experiment campaign: regenerates every table/figure artifact.
+cd /root/repo
+for bin in fig1_scream_ale table1_scream fig2_firewall_ale table2_firewall threshold_sweep ablations; do
+  echo "=== starting $bin at $(date) ==="
+  time cargo run --release -p aml-bench --bin $bin -- --out results/medium \
+      > results/medium_${bin}.log 2>&1
+  echo "=== $bin done (exit $?) at $(date) ==="
+done

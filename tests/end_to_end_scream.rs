@@ -1,0 +1,123 @@
+//! End-to-end integration: simulator → dataset → AutoML → ALE feedback →
+//! simulator-labelled augmentation → retrain. This is the paper's whole
+//! pipeline in miniature, spanning aml-netsim, aml-automl, aml-interpret
+//! and aml-core.
+
+use interpretable_automl::automl::AutoMlConfig;
+use interpretable_automl::data::{split::split_into_k, Dataset};
+use interpretable_automl::feedback::{
+    run_strategy, CoreError, ExperimentConfig, Strategy,
+};
+use interpretable_automl::netsim::datagen::{generate_dataset, label_rows};
+use interpretable_automl::netsim::ConditionDomain;
+
+/// A narrow, low-rate domain keeps simulation time down in CI.
+fn fast_domain() -> ConditionDomain {
+    ConditionDomain {
+        link_rate: (2.0, 12.0),
+        rtt: (20.0, 80.0),
+        loss: (0.0, 0.04),
+        flows: (1, 2),
+    }
+}
+
+fn quick_cfg(seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        automl: AutoMlConfig {
+            n_candidates: 6,
+            ensemble_rounds: 4,
+            ..Default::default()
+        },
+        n_feedback_points: 20,
+        n_cross_runs: 2,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn scream_pipeline_round_trip() {
+    let domain = fast_domain();
+    let train = generate_dataset(&domain, 60, 1, 1).expect("train datagen");
+    let test = generate_dataset(&domain, 90, 2, 1).expect("test datagen");
+    let test_sets = split_into_k(&test, 3, 3).expect("test sets");
+    assert_eq!(train.n_features(), 4);
+
+    let oracle = |rows: &[Vec<f64>]| -> interpretable_automl::feedback::Result<Dataset> {
+        label_rows(rows, &fast_domain(), 77, 1)
+            .map_err(|e| CoreError::InvalidParameter(e.to_string()))
+    };
+
+    let base = run_strategy(Strategy::NoFeedback, &quick_cfg(5), &train, None, None, &test_sets)
+        .expect("baseline");
+    let within = run_strategy(
+        Strategy::WithinAle,
+        &quick_cfg(5),
+        &train,
+        None,
+        Some(&oracle),
+        &test_sets,
+    )
+    .expect("within-ALE");
+
+    // The feedback must produce its interpretable artifacts...
+    let fb = within.feedback.as_ref().expect("ALE feedback artifact");
+    assert_eq!(fb.explanations.len(), 4, "one band per feature");
+    assert!(fb.notes.contains("Within-ALE"));
+    // ...the suggested points must have been simulator-labelled and added...
+    assert_eq!(within.n_points_added, 20);
+    // ...and scores must be sane probabilities for both runs.
+    for s in base.scores.iter().chain(&within.scores) {
+        assert!((0.0..=1.0).contains(s));
+    }
+}
+
+#[test]
+fn feedback_suggestions_are_labelable_conditions() {
+    // Every row the ALE feedback suggests must be accepted by the
+    // simulator's condition parser (clamped into physical validity).
+    let domain = fast_domain();
+    let train = generate_dataset(&domain, 50, 7, 1).expect("datagen");
+    let runs = vec![
+        interpretable_automl::automl::AutoMl::new(AutoMlConfig {
+            n_candidates: 6,
+            seed: 1,
+            ..Default::default()
+        })
+        .fit(&train)
+        .expect("automl"),
+    ];
+    let ale = interpretable_automl::feedback::AleFeedback::default();
+    let analysis = ale.analyze(&runs, &train).expect("analysis");
+    let points = ale.suggest_points(&analysis, &train, 30, 9).expect("points");
+    let labelled = label_rows(&points, &domain, 11, 1).expect("labeling");
+    assert_eq!(labelled.n_rows(), 30);
+}
+
+#[test]
+fn cross_ale_uses_disagreement_between_runs() {
+    let domain = fast_domain();
+    let train = generate_dataset(&domain, 60, 13, 1).expect("datagen");
+    let runs: Vec<_> = (0..3)
+        .map(|s| {
+            interpretable_automl::automl::AutoMl::new(AutoMlConfig {
+                n_candidates: 6,
+                seed: 100 + s,
+                ..Default::default()
+            })
+            .fit(&train)
+            .expect("automl")
+        })
+        .collect();
+    let ale = interpretable_automl::feedback::AleFeedback {
+        mode: interpretable_automl::feedback::AleMode::Cross,
+        ..Default::default()
+    };
+    let analysis = ale.analyze(&runs, &train).expect("cross analysis");
+    assert_eq!(analysis.bands[0].n_models, 3, "one committee member per run");
+    // Independent runs on 60 noisy samples disagree somewhere.
+    assert!(
+        analysis.bands.iter().any(|b| b.max_std() > 0.0),
+        "expected nonzero cross-run ALE variance"
+    );
+}

@@ -1,0 +1,85 @@
+//! Integration: firewall generator → paper's three-way split → AutoML →
+//! ALE interpretability properties (the Figure 2 preconditions), spanning
+//! aml-fwgen, aml-dataset, aml-automl, aml-interpret and aml-core.
+
+use interpretable_automl::automl::{AutoMl, AutoMlConfig};
+use interpretable_automl::data::split::three_way_split;
+use interpretable_automl::feedback::{AleFeedback, ThresholdRule};
+use interpretable_automl::fwgen::{generate, FwGenConfig};
+use interpretable_automl::models::metrics::balanced_accuracy;
+use interpretable_automl::models::Classifier;
+
+#[test]
+fn firewall_automl_beats_chance_with_four_classes() {
+    let full = generate(&FwGenConfig { n: 2500, seed: 3, ..Default::default() }).unwrap();
+    let (train, test, pool) = three_way_split(&full, 0.4, 0.2, 1).unwrap();
+    assert!(pool.n_rows() > test.n_rows(), "pool is the largest chunk");
+
+    let run = AutoMl::new(AutoMlConfig {
+        n_candidates: 8,
+        seed: 5,
+        ..Default::default()
+    })
+    .fit(&train)
+    .unwrap();
+    let preds = run.predict(&test).unwrap();
+    let ba = balanced_accuracy(test.labels(), &preds, 4).unwrap();
+    // 4-class chance is 25%; the structural signals (NAT ports, volume)
+    // make the main classes easy.
+    assert!(ba > 0.55, "firewall balanced accuracy {ba}");
+}
+
+#[test]
+fn ale_analysis_covers_all_eleven_features() {
+    let full = generate(&FwGenConfig { n: 1500, seed: 7, ..Default::default() }).unwrap();
+    let (train, _, _) = three_way_split(&full, 0.4, 0.2, 2).unwrap();
+    let run = AutoMl::new(AutoMlConfig {
+        n_candidates: 6,
+        seed: 9,
+        ..Default::default()
+    })
+    .fit(&train)
+    .unwrap();
+    let ale = AleFeedback {
+        target_class: 0, // "allow"
+        threshold: ThresholdRule::Fixed(0.01),
+        ..Default::default()
+    };
+    let analysis = ale.analyze(&[run], &train).unwrap();
+    assert_eq!(analysis.bands.len(), 11);
+    let names: Vec<&str> = analysis
+        .bands
+        .iter()
+        .map(|b| b.feature_name.as_str())
+        .collect();
+    assert!(names.contains(&"src_port"));
+    assert!(names.contains(&"dst_port"));
+}
+
+#[test]
+fn pool_feedback_selects_only_subspace_members() {
+    let full = generate(&FwGenConfig { n: 2000, seed: 11, ..Default::default() }).unwrap();
+    let (train, _test, pool) = three_way_split(&full, 0.4, 0.2, 3).unwrap();
+    let run = AutoMl::new(AutoMlConfig {
+        n_candidates: 6,
+        seed: 13,
+        ..Default::default()
+    })
+    .fit(&train)
+    .unwrap();
+    let ale = AleFeedback {
+        target_class: 0,
+        ..Default::default()
+    };
+    let analysis = ale.analyze(&[run], &train).unwrap();
+    let picked = ale.suggest_from_pool(&analysis, &pool, 100).unwrap();
+    assert!(!picked.is_empty());
+    for &i in &picked {
+        let row = pool.row(i);
+        let inside = analysis
+            .regions
+            .iter()
+            .any(|r| !r.intervals.is_empty() && r.contains(row[r.feature]));
+        assert!(inside, "pool row {i} outside the suggested subspace");
+    }
+}
