@@ -1,11 +1,11 @@
 //! The top-level AutoML driver: split → search → ensemble-select → package.
 
-use aml_dataset::{split::train_test_split, Dataset};
-use aml_models::{Classifier, SoftVotingEnsemble};
 use crate::search::{run_search, SearchStrategy, TrainedCandidate};
 use crate::selection::greedy_ensemble_selection;
 use crate::space::ModelFamily;
 use crate::{AutoMlError, Result};
+use aml_dataset::{split::train_test_split, Dataset};
+use aml_models::{Classifier, SoftVotingEnsemble};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -51,10 +51,14 @@ impl Default for AutoMlConfig {
 impl AutoMlConfig {
     fn validate(&self) -> Result<()> {
         if self.n_candidates == 0 {
-            return Err(AutoMlError::InvalidConfig("n_candidates must be >= 1".into()));
+            return Err(AutoMlError::InvalidConfig(
+                "n_candidates must be >= 1".into(),
+            ));
         }
         if self.ensemble_rounds == 0 {
-            return Err(AutoMlError::InvalidConfig("ensemble_rounds must be >= 1".into()));
+            return Err(AutoMlError::InvalidConfig(
+                "ensemble_rounds must be >= 1".into(),
+            ));
         }
         if !(self.validation_fraction > 0.0 && self.validation_fraction < 0.9) {
             return Err(AutoMlError::InvalidConfig(format!(
@@ -63,10 +67,14 @@ impl AutoMlConfig {
             )));
         }
         if self.families.is_empty() {
-            return Err(AutoMlError::InvalidConfig("families must not be empty".into()));
+            return Err(AutoMlError::InvalidConfig(
+                "families must not be empty".into(),
+            ));
         }
         if self.parallelism == 0 {
-            return Err(AutoMlError::InvalidConfig("parallelism must be >= 1".into()));
+            return Err(AutoMlError::InvalidConfig(
+                "parallelism must be >= 1".into(),
+            ));
         }
         Ok(())
     }
@@ -101,6 +109,7 @@ impl AutoMl {
 
     /// Run the full AutoML pipeline on `train_data`.
     pub fn fit(&self, train_data: &Dataset) -> Result<FittedAutoMl> {
+        let _span = aml_telemetry::span!("automl.fit");
         self.config.validate()?;
         // Inner split: train'/validation (stratified; falls back to
         // unstratified when a class is too rare to stratify).
@@ -239,7 +248,10 @@ mod tests {
         .fit(&train)
         .unwrap();
         assert!(!fitted.ensemble().members().is_empty());
-        assert_eq!(fitted.ensemble().members().len(), fitted.member_names().len());
+        assert_eq!(
+            fitted.ensemble().members().len(),
+            fitted.member_names().len()
+        );
         // Leaderboard is sorted.
         for w in fitted.leaderboard().windows(2) {
             assert!(w[0].val_score >= w[1].val_score);
@@ -275,12 +287,21 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let bad = AutoMlConfig { n_candidates: 0, ..Default::default() };
+        let bad = AutoMlConfig {
+            n_candidates: 0,
+            ..Default::default()
+        };
         let ds = synth::two_moons(100, 0.2, 0).unwrap();
         assert!(AutoMl::new(bad).fit(&ds).is_err());
-        let bad2 = AutoMlConfig { validation_fraction: 0.95, ..Default::default() };
+        let bad2 = AutoMlConfig {
+            validation_fraction: 0.95,
+            ..Default::default()
+        };
         assert!(AutoMl::new(bad2).fit(&ds).is_err());
-        let bad3 = AutoMlConfig { parallelism: 0, ..Default::default() };
+        let bad3 = AutoMlConfig {
+            parallelism: 0,
+            ..Default::default()
+        };
         assert!(AutoMl::new(bad3).fit(&ds).is_err());
     }
 

@@ -3,10 +3,10 @@
 //! A from-scratch mini-AutoML system standing in for auto-sklearn
 //! (the paper's AutoML of choice). The pipeline is:
 //!
-//! 1. **Search** ([`search`]): sample candidate configurations (model family
-//!    + hyperparameters + scaler) from the search space ([`space`]), fit
-//!    each on a training split, and score on a held-out validation split —
-//!    random search by default, successive halving optionally.
+//! 1. **Search** ([`search`]): sample candidate configurations (model
+//!    family, hyperparameters, scaler) from the search space ([`space`]),
+//!    fit each on a training split, and score on a held-out validation
+//!    split — random search by default, successive halving optionally.
 //! 2. **Ensemble selection** ([`selection`]): Caruana-style greedy forward
 //!    selection *with replacement* over the validation predictions, the same
 //!    algorithm auto-sklearn uses to build its final ensemble.

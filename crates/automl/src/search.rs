@@ -6,11 +6,11 @@
 //! `parallelism > 1`; results are reassembled in sampling order so the
 //! outcome is identical to a sequential run.
 
+use crate::space::{CandidateConfig, ModelFamily};
+use crate::{AutoMlError, Result};
 use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
-use crate::space::{CandidateConfig, ModelFamily};
-use crate::{AutoMlError, Result};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -55,14 +55,22 @@ pub(crate) fn assign_families(n: usize, families: &[ModelFamily]) -> Vec<ModelFa
 /// Train one candidate and score it on the validation split. Returns `None`
 /// if this particular configuration failed (e.g. a degenerate bootstrap) so
 /// the search can continue with the survivors.
-fn train_one(
-    config: CandidateConfig,
-    train: &Dataset,
-    val: &Dataset,
-) -> Option<TrainedCandidate> {
+fn train_one(config: CandidateConfig, train: &Dataset, val: &Dataset) -> Option<TrainedCandidate> {
+    let fit_start = aml_telemetry::maybe_now();
     let model = config.fit(train).ok()?;
+    if let Some(start) = fit_start {
+        aml_telemetry::histogram_record_labeled(
+            "automl.fit_us",
+            config.family().name(),
+            start.elapsed().as_micros() as u64,
+        );
+        aml_telemetry::counter_add("automl.candidates_trained", 1);
+    }
     let val_proba = model.predict_proba(val).ok()?;
-    let preds: Vec<usize> = val_proba.iter().map(|p| aml_models::model::argmax(p)).collect();
+    let preds: Vec<usize> = val_proba
+        .iter()
+        .map(|p| aml_models::model::argmax(p))
+        .collect();
     let val_score = balanced_accuracy(val.labels(), &preds, val.n_classes()).ok()?;
     Some(TrainedCandidate {
         config,
@@ -127,11 +135,16 @@ pub fn run_search(
     seed: u64,
     parallelism: usize,
 ) -> Result<Vec<TrainedCandidate>> {
+    let _span = aml_telemetry::span!("automl.search.run");
     if n_candidates == 0 {
-        return Err(AutoMlError::InvalidConfig("n_candidates must be >= 1".into()));
+        return Err(AutoMlError::InvalidConfig(
+            "n_candidates must be >= 1".into(),
+        ));
     }
     if families.is_empty() {
-        return Err(AutoMlError::InvalidConfig("families must not be empty".into()));
+        return Err(AutoMlError::InvalidConfig(
+            "families must not be empty".into(),
+        ));
     }
     let assigned = assign_families(n_candidates, families);
     let configs: Vec<CandidateConfig> = assigned
@@ -155,7 +168,11 @@ pub fn run_search(
         ));
     }
     // Stable sort keeps sampling order among score ties.
-    trained.sort_by(|a, b| b.val_score.partial_cmp(&a.val_score).expect("scores are finite"));
+    trained.sort_by(|a, b| {
+        b.val_score
+            .partial_cmp(&a.val_score)
+            .expect("scores are finite")
+    });
     Ok(trained)
 }
 
@@ -171,7 +188,9 @@ fn halving_survivors(
     let mut fraction = 0.25f64;
     let mut rung = 0u64;
     while configs.len() > 2 && fraction < 1.0 {
-        let n_sub = ((train.n_rows() as f64 * fraction) as usize).max(16).min(train.n_rows());
+        let n_sub = ((train.n_rows() as f64 * fraction) as usize)
+            .max(16)
+            .min(train.n_rows());
         // Deterministic subsample for this rung.
         let idx = subsample_indices(train.n_rows(), n_sub, derive_seed(seed, 1000 + rung));
         let sub = train.subset(&idx)?;
@@ -183,8 +202,10 @@ fn halving_survivors(
             rung += 1;
             continue;
         }
-        let mut scored: Vec<(f64, CandidateConfig)> =
-            trained.into_iter().map(|t| (t.val_score, t.config)).collect();
+        let mut scored: Vec<(f64, CandidateConfig)> = trained
+            .into_iter()
+            .map(|t| (t.val_score, t.config))
+            .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
         let keep = (scored.len() / 2).max(2);
         configs = scored.into_iter().take(keep).map(|(_, c)| c).collect();
@@ -231,16 +252,36 @@ mod tests {
         for w in out.windows(2) {
             assert!(w[0].val_score >= w[1].val_score);
         }
-        assert!(out[0].val_score > 0.8, "best candidate {}", out[0].val_score);
+        assert!(
+            out[0].val_score > 0.8,
+            "best candidate {}",
+            out[0].val_score
+        );
     }
 
     #[test]
     fn parallel_matches_sequential() {
         let (train, val) = splits();
-        let seq = run_search(SearchStrategy::Random, 6, &ModelFamily::ALL, &train, &val, 9, 1)
-            .unwrap();
-        let par = run_search(SearchStrategy::Random, 6, &ModelFamily::ALL, &train, &val, 9, 4)
-            .unwrap();
+        let seq = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            9,
+            1,
+        )
+        .unwrap();
+        let par = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            9,
+            4,
+        )
+        .unwrap();
         assert_eq!(seq.len(), par.len());
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.config, b.config);
@@ -276,8 +317,16 @@ mod tests {
     #[test]
     fn zero_candidates_rejected() {
         let (train, val) = splits();
-        assert!(run_search(SearchStrategy::Random, 0, &ModelFamily::ALL, &train, &val, 0, 1)
-            .is_err());
+        assert!(run_search(
+            SearchStrategy::Random,
+            0,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            0,
+            1
+        )
+        .is_err());
     }
 
     #[test]

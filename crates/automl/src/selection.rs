@@ -7,10 +7,10 @@
 //! regularization: strong models accumulate weight instead of forcing weak
 //! ones in.
 
-use aml_models::metrics::balanced_accuracy;
-use aml_models::model::argmax;
 use crate::search::TrainedCandidate;
 use crate::{AutoMlError, Result};
+use aml_models::metrics::balanced_accuracy;
+use aml_models::model::argmax;
 
 /// Result of greedy selection: per-candidate counts and the bag's
 /// validation balanced accuracy.
@@ -38,11 +38,16 @@ pub fn greedy_ensemble_selection(
     rounds: usize,
     init_top_k: usize,
 ) -> Result<SelectionOutcome> {
+    let _span = aml_telemetry::span!("automl.select.greedy");
     if candidates.is_empty() {
-        return Err(AutoMlError::AllCandidatesFailed("empty candidate list".into()));
+        return Err(AutoMlError::AllCandidatesFailed(
+            "empty candidate list".into(),
+        ));
     }
     if rounds == 0 {
-        return Err(AutoMlError::InvalidConfig("selection rounds must be >= 1".into()));
+        return Err(AutoMlError::InvalidConfig(
+            "selection rounds must be >= 1".into(),
+        ));
     }
     let n_val = val_labels.len();
     for c in candidates {
@@ -63,11 +68,7 @@ pub fn greedy_ensemble_selection(
     // Seed with the leaderboard's best `init_top_k` candidates.
     for ci in 0..init_top_k.min(candidates.len()) {
         counts[ci] += 1;
-        for i in 0..n_val {
-            for c in 0..n_classes {
-                sum[i][c] += candidates[ci].val_proba[i][c];
-            }
-        }
+        add_proba(&mut sum, &candidates[ci].val_proba);
     }
 
     for _round in 0..rounds {
@@ -85,18 +86,14 @@ pub fn greedy_ensemble_selection(
             let score = balanced_accuracy(val_labels, &preds, n_classes)?;
             // Strict improvement keeps the earliest (strongest-leaderboard)
             // candidate on ties → deterministic.
-            if best.map_or(true, |(s, _)| score > s) {
+            if best.is_none_or(|(s, _)| score > s) {
                 best = Some((score, ci));
             }
         }
         let (score, ci) = best.expect("candidates is non-empty");
         counts[ci] += 1;
         picked += 1;
-        for i in 0..n_val {
-            for c in 0..n_classes {
-                sum[i][c] += candidates[ci].val_proba[i][c];
-            }
-        }
+        add_proba(&mut sum, &candidates[ci].val_proba);
         best_bag_score = score;
     }
     debug_assert_eq!(picked, rounds);
@@ -105,6 +102,15 @@ pub fn greedy_ensemble_selection(
         counts,
         val_score: best_bag_score,
     })
+}
+
+/// Accumulate a candidate's per-row class probabilities into the bag sum.
+fn add_proba(sum: &mut [Vec<f64>], proba: &[Vec<f64>]) {
+    for (row, p) in sum.iter_mut().zip(proba) {
+        for (s, v) in row.iter_mut().zip(p) {
+            *s += *v;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -150,12 +156,15 @@ mod tests {
             ],
             &train,
         );
-        let out =
-            greedy_ensemble_selection(&[awful, perfect], &val_labels, 2, 5, 0).unwrap();
+        let out = greedy_ensemble_selection(&[awful, perfect], &val_labels, 2, 5, 0).unwrap();
         // Round 1 must pick the perfect candidate (strict improvement over
         // the empty bag); later rounds may tie once the bag is already
         // perfect, but the bag never becomes imperfect.
-        assert!(out.counts[1] >= 1, "perfect candidate never picked: {:?}", out.counts);
+        assert!(
+            out.counts[1] >= 1,
+            "perfect candidate never picked: {:?}",
+            out.counts
+        );
         assert_eq!(out.val_score, 1.0);
     }
 
@@ -183,7 +192,11 @@ mod tests {
             &train,
         );
         let out = greedy_ensemble_selection(&[a, b], &val_labels, 2, 6, 0).unwrap();
-        assert!(out.counts[0] > 0 && out.counts[1] > 0, "counts {:?}", out.counts);
+        assert!(
+            out.counts[0] > 0 && out.counts[1] > 0,
+            "counts {:?}",
+            out.counts
+        );
         assert_eq!(out.val_score, 1.0, "the blend is perfect");
     }
 

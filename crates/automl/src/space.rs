@@ -6,6 +6,7 @@
 //! and (b) which scaler its pipeline uses — distance/gradient models get a
 //! standardizer, tree models run on raw features.
 
+use crate::Result;
 use aml_dataset::Dataset;
 use aml_models::adaboost::AdaBoostParams;
 use aml_models::forest::ForestParams;
@@ -20,7 +21,6 @@ use aml_models::{
     AdaBoost, Classifier, ExtraTrees, GaussianNaiveBayes, GradientBoosting, KNearestNeighbors,
     LinearSvm, LogisticRegression, Pipeline, RandomForest,
 };
-use crate::Result;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -126,7 +126,11 @@ impl CandidateConfig {
                 max_depth: rng.gen_range(2..=16),
                 min_samples_split: 2,
                 min_samples_leaf: rng.gen_range(1..=16),
-                criterion: if rng.gen() { Criterion::Gini } else { Criterion::Entropy },
+                criterion: if rng.gen() {
+                    Criterion::Gini
+                } else {
+                    Criterion::Entropy
+                },
                 splitter: Splitter::Best,
                 max_features: None,
                 seed,
@@ -136,7 +140,11 @@ impl CandidateConfig {
                 max_depth: rng.gen_range(4..=14),
                 min_samples_leaf: rng.gen_range(1..=8),
                 max_features: None,
-                criterion: if rng.gen() { Criterion::Gini } else { Criterion::Entropy },
+                criterion: if rng.gen() {
+                    Criterion::Gini
+                } else {
+                    Criterion::Entropy
+                },
                 seed,
             }),
             ModelFamily::ExtraTrees => CandidateConfig::ExtraTrees(ForestParams {
@@ -159,7 +167,11 @@ impl CandidateConfig {
                 KnnParams {
                     // Odd k avoids binary ties.
                     k: 2 * rng.gen_range(0..=12) + 1,
-                    weights: if rng.gen() { KnnWeights::Uniform } else { KnnWeights::Distance },
+                    weights: if rng.gen() {
+                        KnnWeights::Uniform
+                    } else {
+                        KnnWeights::Distance
+                    },
                 },
                 ScalerKind::Standard,
             ),
@@ -186,9 +198,7 @@ impl CandidateConfig {
             ModelFamily::AdaBoost => CandidateConfig::AdaBoost(AdaBoostParams {
                 n_rounds: rng.gen_range(20..=60),
                 max_depth: rng.gen_range(1..=3),
-                learning_rate: *[0.5, 1.0]
-                    .get(rng.gen_range(0..2))
-                    .expect("index in range"),
+                learning_rate: *[0.5, 1.0].get(rng.gen_range(0..2)).expect("index in range"),
             }),
         }
     }
@@ -196,21 +206,15 @@ impl CandidateConfig {
     /// Fit this configuration on `train`, producing a pipeline classifier.
     pub fn fit(&self, train: &Dataset) -> Result<Arc<dyn Classifier>> {
         let pipeline: Pipeline = match self {
-            CandidateConfig::DecisionTree(p) => {
-                Pipeline::fit_with(train, ScalerKind::None, |d| {
-                    Ok(Arc::new(aml_models::DecisionTree::fit(d, p.clone())?))
-                })?
-            }
-            CandidateConfig::RandomForest(p) => {
-                Pipeline::fit_with(train, ScalerKind::None, |d| {
-                    Ok(Arc::new(RandomForest::fit(d, p.clone())?))
-                })?
-            }
-            CandidateConfig::ExtraTrees(p) => {
-                Pipeline::fit_with(train, ScalerKind::None, |d| {
-                    Ok(Arc::new(ExtraTrees::fit(d, p.clone())?))
-                })?
-            }
+            CandidateConfig::DecisionTree(p) => Pipeline::fit_with(train, ScalerKind::None, |d| {
+                Ok(Arc::new(aml_models::DecisionTree::fit(d, p.clone())?))
+            })?,
+            CandidateConfig::RandomForest(p) => Pipeline::fit_with(train, ScalerKind::None, |d| {
+                Ok(Arc::new(RandomForest::fit(d, p.clone())?))
+            })?,
+            CandidateConfig::ExtraTrees(p) => Pipeline::fit_with(train, ScalerKind::None, |d| {
+                Ok(Arc::new(ExtraTrees::fit(d, p.clone())?))
+            })?,
             CandidateConfig::GradientBoosting(p) => {
                 Pipeline::fit_with(train, ScalerKind::None, |d| {
                     Ok(Arc::new(GradientBoosting::fit(d, p.clone())?))
@@ -259,11 +263,11 @@ mod tests {
         let configs: Vec<CandidateConfig> = (0..8)
             .map(|s| CandidateConfig::sample(ModelFamily::DecisionTree, s))
             .collect();
-        let distinct = configs
-            .iter()
-            .filter(|c| **c != configs[0])
-            .count();
-        assert!(distinct > 0, "hyperparameter prior should not be a point mass");
+        let distinct = configs.iter().filter(|c| **c != configs[0]).count();
+        assert!(
+            distinct > 0,
+            "hyperparameter prior should not be a point mass"
+        );
     }
 
     #[test]

@@ -19,7 +19,14 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn bench_ale_curve(c: &mut Criterion) {
     let ds = synth::gaussian_blobs(500, 4, 2, 2.0, 1).unwrap();
     let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
-    let forest = RandomForest::fit(&ds, ForestParams { n_trees: 30, ..Default::default() }).unwrap();
+    let forest = RandomForest::fit(
+        &ds,
+        ForestParams {
+            n_trees: 30,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut group = c.benchmark_group("ale_curve_500rows");
     for k in [8usize, 16, 32, 64] {
         let grid = Grid::quantile(&ds.column(0).unwrap(), k).unwrap();
@@ -54,7 +61,11 @@ fn bench_band_and_regions(c: &mut Criterion) {
             Box::new(
                 DecisionTree::fit(
                     &ds,
-                    TreeParams { seed: s, max_features: Some(2), ..Default::default() },
+                    TreeParams {
+                        seed: s,
+                        max_features: Some(2),
+                        ..Default::default()
+                    },
                 )
                 .unwrap(),
             ) as Box<dyn Classifier>
@@ -75,5 +86,10 @@ fn bench_band_and_regions(c: &mut Criterion) {
     };
 }
 
-criterion_group!(benches, bench_ale_curve, bench_ale_vs_pdp, bench_band_and_regions);
+criterion_group!(
+    benches,
+    bench_ale_curve,
+    bench_ale_vs_pdp,
+    bench_band_and_regions
+);
 criterion_main!(benches);

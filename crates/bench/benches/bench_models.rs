@@ -13,9 +13,11 @@ fn bench_fit(c: &mut Criterion) {
     group.sample_size(10);
     for family in ModelFamily::ALL {
         let config = CandidateConfig::sample(family, 7);
-        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &config, |b, cfg| {
-            b.iter(|| cfg.fit(&train).expect("fit"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &config,
+            |b, cfg| b.iter(|| cfg.fit(&train).expect("fit")),
+        );
     }
     group.finish();
 }
@@ -26,9 +28,11 @@ fn bench_predict(c: &mut Criterion) {
     let mut group = c.benchmark_group("model_predict_200x4");
     for family in ModelFamily::ALL {
         let model = CandidateConfig::sample(family, 7).fit(&train).expect("fit");
-        group.bench_with_input(BenchmarkId::from_parameter(family.name()), &model, |b, m| {
-            b.iter(|| m.predict_proba(&test).expect("predict"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &model,
+            |b, m| b.iter(|| m.predict_proba(&test).expect("predict")),
+        );
     }
     group.finish();
 }

@@ -16,6 +16,7 @@ use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::runner::winner_index;
 use aml_netsim::sim::{QueueKind, SimConfig, Simulation};
 use aml_netsim::{CcKind, ConditionDomain, NetworkCondition};
+use aml_telemetry::report;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -36,13 +37,20 @@ fn main() {
     let domain = ConditionDomain::default();
     let threads = opts.threads;
 
-    let train = cached_dataset(&opts.out_dir, &format!("scream_train_n{n_train}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_train, opts.seed, threads).expect("datagen")
-    });
-    let test = cached_dataset(&opts.out_dir, &format!("sweep_test_n{n_test}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen")
-    });
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    let train = cached_dataset(
+        &opts.out_dir,
+        &format!("scream_train_n{n_train}_s{}", opts.seed),
+        || generate_dataset(&domain, n_train, opts.seed, threads).expect("datagen"),
+    );
+    let test = cached_dataset(
+        &opts.out_dir,
+        &format!("sweep_test_n{n_test}_s{}", opts.seed),
+        || generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen"),
+    );
     let test_sets = split_into_k(&test, 6, opts.seed).expect("split");
+    drop(datagen_span);
+    let ablation_span = aml_telemetry::span!("bench.strategies");
     let oracle = |rws: &[Vec<f64>]| -> aml_core::Result<Dataset> {
         label_rows(rws, &domain, opts.seed ^ 0x04AC1E, threads)
             .map_err(|e| aml_core::CoreError::InvalidParameter(e.to_string()))
@@ -64,7 +72,10 @@ fn main() {
         let out = run_strategy(strategy, cfg, &train, None, Some(&oracle), &test_sets)
             .unwrap_or_else(|e| panic!("{name} ({setting}) failed: {e}"));
         let ba = mean(&out.scores);
-        println!("  {name:<24} {setting:<12} mean BA {:>5.1}%", ba * 100.0);
+        report(&format!(
+            "  {name:<24} {setting:<12} mean BA {:>5.1}%",
+            ba * 100.0
+        ));
         results.push(AblationResult {
             name: name.into(),
             setting,
@@ -72,26 +83,54 @@ fn main() {
         });
     };
 
-    println!("(a) Cross-ALE run count:");
+    report("(a) Cross-ALE run count:");
     for n_runs in [2usize, 3, opts.by_scale(5, 8, 10)] {
         let mut cfg = base_cfg(opts.seed);
         cfg.n_cross_runs = n_runs;
-        run_one("cross_runs", format!("{n_runs} runs"), Strategy::CrossAle, &cfg);
+        run_one(
+            "cross_runs",
+            format!("{n_runs} runs"),
+            Strategy::CrossAle,
+            &cfg,
+        );
     }
 
-    println!("(b) ALE grid resolution (Within-ALE):");
+    report("(b) ALE grid resolution (Within-ALE):");
     for n_intervals in [8usize, 16, 24, 48] {
         let mut cfg = base_cfg(opts.seed);
-        cfg.ale = AleFeedback { n_intervals, ..Default::default() };
-        run_one("grid_intervals", format!("{n_intervals}"), Strategy::WithinAle, &cfg);
+        cfg.ale = AleFeedback {
+            n_intervals,
+            ..Default::default()
+        };
+        run_one(
+            "grid_intervals",
+            format!("{n_intervals}"),
+            Strategy::WithinAle,
+            &cfg,
+        );
     }
 
-    println!("(c) region sampling vs uniform at the same budget:");
-    run_one("sampling", "ALE regions".into(), Strategy::WithinAle, &base_cfg(opts.seed));
-    run_one("sampling", "uniform".into(), Strategy::Uniform, &base_cfg(opts.seed));
+    report("(c) region sampling vs uniform at the same budget:");
+    run_one(
+        "sampling",
+        "ALE regions".into(),
+        Strategy::WithinAle,
+        &base_cfg(opts.seed),
+    );
+    run_one(
+        "sampling",
+        "uniform".into(),
+        Strategy::Uniform,
+        &base_cfg(opts.seed),
+    );
 
-    println!("(d) interpretation method: ALE vs PDP variance:");
-    run_one("method", "ALE".into(), Strategy::WithinAle, &base_cfg(opts.seed));
+    report("(d) interpretation method: ALE vs PDP variance:");
+    run_one(
+        "method",
+        "ALE".into(),
+        Strategy::WithinAle,
+        &base_cfg(opts.seed),
+    );
     let mut pdp_cfg = base_cfg(opts.seed);
     pdp_cfg.ale = AleFeedback {
         method: InterpretationMethod::Pdp,
@@ -99,7 +138,7 @@ fn main() {
     };
     run_one("method", "PDP".into(), Strategy::WithinAle, &pdp_cfg);
 
-    println!("(e) bottleneck queue discipline: does AQM change who wins?");
+    report("(e) bottleneck queue discipline: does AQM change who wins?");
     queue_discipline_ablation(&opts);
 
     write_json(&opts.out_dir, "ablations.json", &results);
@@ -107,14 +146,23 @@ fn main() {
     // Aggregate view.
     let mut by_name: BTreeMap<&str, Vec<f64>> = BTreeMap::new();
     for r in &results {
-        by_name.entry(r.name.as_str()).or_default().push(r.mean_balanced_accuracy);
+        by_name
+            .entry(r.name.as_str())
+            .or_default()
+            .push(r.mean_balanced_accuracy);
     }
-    println!("\nspread per ablation axis (max - min BA):");
+    report("\nspread per ablation axis (max - min BA):");
     for (name, vals) in by_name {
         let spread = vals.iter().cloned().fold(f64::MIN, f64::max)
             - vals.iter().cloned().fold(f64::MAX, f64::min);
-        println!("  {name:<16} {:.1} percentage points", spread * 100.0);
+        report(&format!(
+            "  {name:<16} {:.1} percentage points",
+            spread * 100.0
+        ));
     }
+
+    drop(ablation_span);
+    opts.finish("ablations");
 }
 
 /// Re-rank the six protocols on a grid of conditions under DropTail vs RED
@@ -171,13 +219,13 @@ fn queue_discipline_ablation(opts: &aml_bench::RunOpts) {
         } else {
             ""
         };
-        println!(
+        report(&format!(
             "  {:>5.1} Mbps {:>5.1} ms {:>4.1}% loss {} flow(s): droptail={dt:<7} red={red:<7}{mark}",
             c.link_rate_mbps,
             c.rtt_ms,
             c.loss_rate * 100.0,
             c.n_flows,
-        );
+        ));
     }
-    println!("  winner changed on {changed} of 6 conditions");
+    report(&format!("  winner changed on {changed} of 6 conditions"));
 }

@@ -16,6 +16,7 @@ use aml_core::{AleFeedback, AleMode};
 use aml_interpret::plot::{band_to_ascii, band_to_csv, band_to_svg};
 use aml_netsim::datagen::generate_dataset;
 use aml_netsim::ConditionDomain;
+use aml_telemetry::{note, report};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -25,21 +26,31 @@ fn main() {
     let n_runs = opts.by_scale(3, 6, 10);
     let domain = ConditionDomain::default();
 
-    println!("generating {n_train} training samples from the simulator...");
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    note(&format!(
+        "generating {n_train} training samples from the simulator..."
+    ));
     let train = aml_bench::cached_dataset(
         &opts.out_dir,
         &format!("scream_train_n{n_train}_s{}", opts.seed),
         || generate_dataset(&domain, n_train, opts.seed, opts.threads).expect("datagen"),
     );
-    println!("class balance (rest, scream): {:?}", train.class_counts());
+    note(&format!(
+        "class balance (rest, scream): {:?}",
+        train.class_counts()
+    ));
+    drop(datagen_span);
 
-    println!("fitting {n_runs} independent AutoML runs (Cross-ALE, as in the figure)...");
+    let fit_span = aml_telemetry::span!("bench.automl_runs");
+    note(&format!(
+        "fitting {n_runs} independent AutoML runs (Cross-ALE, as in the figure)..."
+    ));
     let runs: Vec<_> = (0..n_runs)
         .map(|r| {
             AutoMl::new(AutoMlConfig {
                 n_candidates: 16,
                 parallelism: opts.threads,
-                seed: opts.seed ^ (r as u64 + 1) * 7919,
+                seed: opts.seed ^ ((r as u64 + 1) * 7919),
                 ..Default::default()
             })
             .fit(&train)
@@ -47,42 +58,52 @@ fn main() {
         })
         .collect();
 
+    drop(fit_span);
+
+    let report_span = aml_telemetry::span!("bench.report");
     let ale = AleFeedback {
         mode: AleMode::Cross,
         n_intervals: 24,
         ..Default::default()
     };
     let analysis = ale.analyze(&runs, &train).expect("ALE analysis");
-    println!(
+    report(&format!(
         "\nthreshold T = {:.4} (median of ALE std values across features)\n",
         analysis.threshold
-    );
+    ));
 
     let link_rate = train
         .feature_index("config.link_rate")
         .expect("schema has config.link_rate");
     let band = &analysis.bands[link_rate];
-    println!("{}", band_to_ascii(band, 70, 14));
+    report(&band_to_ascii(band, 70, 14));
     let region = &analysis.regions[link_rate];
-    println!("feedback region (the paper's `x <= 45 ∪ x >= 99` analogue):");
-    println!("  {}\n", region.describe());
-    println!(
+    report("feedback region (the paper's `x <= 45 ∪ x >= 99` analogue):");
+    report(&format!("  {}\n", region.describe()));
+    report(&format!(
         "coverage: {:.0}% of the link-rate domain flagged",
         region.coverage() * 100.0
-    );
+    ));
 
     write_artifact(&opts.out_dir, "fig1_link_rate.csv", &band_to_csv(band));
-    write_artifact(&opts.out_dir, "fig1_link_rate.svg", &band_to_svg(band, 640, 360));
+    write_artifact(
+        &opts.out_dir,
+        "fig1_link_rate.svg",
+        &band_to_svg(band, 640, 360),
+    );
     write_json(&opts.out_dir, "fig1_all_features.json", &analysis.bands);
 
-    println!("\nper-feature summary:");
+    report("\nper-feature summary:");
     for (band, region) in analysis.bands.iter().zip(&analysis.regions) {
-        println!(
+        report(&format!(
             "  {:<18} max std {:.4} | mean std {:.4} | {}",
             band.feature_name,
             band.max_std(),
             band.mean_std(),
             region.describe()
-        );
+        ));
     }
+
+    drop(report_span);
+    opts.finish("fig1_scream_ale");
 }

@@ -14,6 +14,7 @@ use aml_core::{AleFeedback, AleMode, ThresholdRule};
 use aml_dataset::split::three_way_split;
 use aml_fwgen::{generate, FwGenConfig};
 use aml_interpret::plot::{band_to_ascii, band_to_csv, band_to_svg};
+use aml_telemetry::{note, report};
 
 fn main() {
     let opts = RunOpts::parse();
@@ -22,25 +23,28 @@ fn main() {
     let n_rows = opts.by_scale(4_000, 12_000, 65_532);
     let n_runs = opts.by_scale(3, 5, 10);
 
-    println!("generating {n_rows} firewall rows...");
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    note(&format!("generating {n_rows} firewall rows..."));
     let full = generate(&FwGenConfig {
         n: n_rows,
         seed: opts.seed,
         ..Default::default()
     })
     .expect("fwgen");
-    println!("class counts {:?}", full.class_counts());
+    note(&format!("class counts {:?}", full.class_counts()));
 
     // Paper protocol: 40% train / 20% test / 40% pool.
     let (train, _test, _pool) = three_way_split(&full, 0.4, 0.2, opts.seed).expect("split");
-    println!("training on {} rows...", train.n_rows());
+    drop(datagen_span);
+    let fit_span = aml_telemetry::span!("bench.automl_runs");
+    note(&format!("training on {} rows...", train.n_rows()));
 
     let runs: Vec<_> = (0..n_runs)
         .map(|r| {
             AutoMl::new(AutoMlConfig {
                 n_candidates: 12,
                 parallelism: opts.threads,
-                seed: opts.seed ^ (r as u64 + 1) * 6271,
+                seed: opts.seed ^ ((r as u64 + 1) * 6271),
                 ..Default::default()
             })
             .fit(&train)
@@ -60,17 +64,26 @@ fn main() {
         target_class: 0,
         ..Default::default()
     };
+    drop(fit_span);
+    let report_span = aml_telemetry::span!("bench.report");
     let analysis = ale.analyze(&runs, &train).expect("analysis");
-    println!("realized threshold T = {:.4}\n", analysis.threshold);
+    report(&format!(
+        "realized threshold T = {:.4}\n",
+        analysis.threshold
+    ));
 
     for (fig, feature_name) in [("fig2a", "src_port"), ("fig2b", "dst_port")] {
         let idx = train.feature_index(feature_name).expect("schema");
         let band = &analysis.bands[idx];
         let region = &analysis.regions[idx];
-        println!("=== {fig}: {feature_name} ===");
-        println!("{}", band_to_ascii(band, 70, 12));
-        println!("flagged: {}\n", region.describe());
-        write_artifact(&opts.out_dir, &format!("{fig}_{feature_name}.csv"), &band_to_csv(band));
+        report(&format!("=== {fig}: {feature_name} ==="));
+        report(&band_to_ascii(band, 70, 12));
+        report(&format!("flagged: {}\n", region.describe()));
+        write_artifact(
+            &opts.out_dir,
+            &format!("{fig}_{feature_name}.csv"),
+            &band_to_csv(band),
+        );
         write_artifact(
             &opts.out_dir,
             &format!("{fig}_{feature_name}.svg"),
@@ -88,12 +101,16 @@ fn main() {
     // (a) source-port variance concentrated at low values.
     let low_std = avg_std_in(src_band, 0.0, 1024.0);
     let high_std = avg_std_in(src_band, 1024.0, 65535.0);
-    println!(
+    report(&format!(
         "src_port mean std: low ports (<1024) {:.4} vs rest {:.4} -> {}",
         low_std,
         high_std,
-        if low_std > high_std { "matches Figure 2a" } else { "MISS" }
-    );
+        if low_std > high_std {
+            "matches Figure 2a"
+        } else {
+            "MISS"
+        }
+    ));
 
     // (b) the dst-port variance *peak* sits in 443-445 — the paper's "high
     // variance across the destination port range 443-445". Two comparisons:
@@ -104,16 +121,23 @@ fn main() {
     let https_peak = max_std_in(dst_band, 440.0, 450.0);
     let dense_peak = max_std_in(dst_band, 0.0, 440.0);
     let sparse_peak = max_std_in(dst_band, 1024.0, 65536.0);
-    println!(
+    report(&format!(
         "dst_port peak std: 443-region {:.4} vs other service ports {:.4} -> {}",
         https_peak,
         dense_peak,
-        if https_peak > dense_peak { "matches Figure 2b" } else { "MISS" }
-    );
-    println!(
+        if https_peak > dense_peak {
+            "matches Figure 2b"
+        } else {
+            "MISS"
+        }
+    ));
+    report(&format!(
         "  (sparse high-port tail peak {:.4} — sparsity-driven disagreement, reported separately)",
         sparse_peak
-    );
+    ));
+
+    drop(report_span);
+    opts.finish("fig2_firewall_ale");
 }
 
 /// Max std over grid points in `[lo, hi)`.
@@ -125,7 +149,6 @@ fn max_std_in(band: &aml_interpret::AleBand, lo: f64, hi: f64) -> f64 {
         .map(|(_, s)| *s)
         .fold(0.0, f64::max)
 }
-
 
 /// Mean std over grid points in `[lo, hi)`; 0 if none fall there.
 fn avg_std_in(band: &aml_interpret::AleBand, lo: f64, hi: f64) -> f64 {

@@ -18,6 +18,7 @@ use aml_dataset::split::split_into_k;
 use aml_dataset::Dataset;
 use aml_netsim::datagen::{generate_dataset, generate_dataset_mode, label_rows, SamplingMode};
 use aml_netsim::ConditionDomain;
+use aml_telemetry::{note, report};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -45,23 +46,41 @@ fn main() {
     // decide for ANY network condition, including the rare regimes the
     // production traces under-sample. That coverage gap is precisely what
     // the feedback loop exists to close.
-    println!("generating datasets (train {n_train}, pool {n_pool}, test {n_test})...");
-    let train = cached_dataset(&opts.out_dir, &format!("scream_train_prod_n{n_train}_s{}", opts.seed), || {
-        generate_dataset_mode(&domain, n_train, opts.seed, threads, SamplingMode::Production)
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    note(&format!(
+        "generating datasets (train {n_train}, pool {n_pool}, test {n_test})..."
+    ));
+    let train = cached_dataset(
+        &opts.out_dir,
+        &format!("scream_train_prod_n{n_train}_s{}", opts.seed),
+        || {
+            generate_dataset_mode(
+                &domain,
+                n_train,
+                opts.seed,
+                threads,
+                SamplingMode::Production,
+            )
             .expect("datagen")
-    });
-    let pool = cached_dataset(&opts.out_dir, &format!("scream_pool_n{n_pool}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_pool, opts.seed ^ 0xB00B, threads).expect("datagen")
-    });
-    let test = cached_dataset(&opts.out_dir, &format!("scream_test_n{n_test}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen")
-    });
-    println!(
+        },
+    );
+    let pool = cached_dataset(
+        &opts.out_dir,
+        &format!("scream_pool_n{n_pool}_s{}", opts.seed),
+        || generate_dataset(&domain, n_pool, opts.seed ^ 0xB00B, threads).expect("datagen"),
+    );
+    let test = cached_dataset(
+        &opts.out_dir,
+        &format!("scream_test_n{n_test}_s{}", opts.seed),
+        || generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen"),
+    );
+    note(&format!(
         "train balance {:?} | pool {:?} | test {:?}",
         train.class_counts(),
         pool.class_counts(),
         test.class_counts()
-    );
+    ));
+    drop(datagen_span);
 
     let strategies = [
         Strategy::NoFeedback,
@@ -80,8 +99,9 @@ fn main() {
     let mut all_scores: BTreeMap<Strategy, Vec<f64>> = BTreeMap::new();
     let mut points_added: BTreeMap<Strategy, usize> = BTreeMap::new();
 
+    let strategies_span = aml_telemetry::span!("bench.strategies");
     for rep in 0..repeats {
-        let rep_seed = opts.seed ^ (rep as u64 + 1) * 0xA5A5;
+        let rep_seed = opts.seed ^ ((rep as u64 + 1) * 0xA5A5);
         let test_sets = split_into_k(&test, n_test_sets, rep_seed).expect("test split");
         let oracle = |rows: &[Vec<f64>]| -> aml_core::Result<Dataset> {
             label_rows(rows, &domain, rep_seed ^ 0x04AC1E, threads)
@@ -108,35 +128,42 @@ fn main() {
         };
         for strategy in strategies {
             let t0 = std::time::Instant::now();
-            let out = run_strategy(strategy, &cfg, &train, Some(&pool), Some(&oracle), &test_sets)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
-            println!(
+            let out = run_strategy(
+                strategy,
+                &cfg,
+                &train,
+                Some(&pool),
+                Some(&oracle),
+                &test_sets,
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+            note(&format!(
                 "repeat {}/{repeats} | {:<18} | mean BA {:>5.1}% | +{:>4} pts | {:>5.1?}",
                 rep + 1,
                 strategy.name(),
                 mean(&out.scores) * 100.0,
                 out.n_points_added,
                 t0.elapsed()
-            );
-            all_scores.entry(strategy).or_default().extend(out.scores.iter());
+            ));
+            all_scores
+                .entry(strategy)
+                .or_default()
+                .extend(out.scores.iter());
             *points_added.entry(strategy).or_default() += out.n_points_added;
         }
     }
 
+    drop(strategies_span);
+
     // Assemble the paper-layout table from the pooled paired scores.
+    let report_span = aml_telemetry::span!("bench.report");
     let mut outcomes_sorted: Vec<(Strategy, Vec<f64>, usize)> = strategies
         .iter()
-        .map(|s| {
-            (
-                *s,
-                all_scores[s].clone(),
-                points_added[s] / repeats,
-            )
-        })
+        .map(|s| (*s, all_scores[s].clone(), points_added[s] / repeats))
         .collect();
     // Keep Table-1 row order.
     let table = build_table(&mut outcomes_sorted);
-    println!("\n{table}");
+    report(&format!("\n{table}"));
     write_artifact(&opts.out_dir, "table1_scream.txt", &table);
     let json: BTreeMap<String, Vec<f64>> = all_scores
         .iter()
@@ -147,13 +174,19 @@ fn main() {
     // Shape checks against the paper (printed, not asserted — EXPERIMENTS.md
     // records them).
     let m = |s: Strategy| mean(&all_scores[&s]);
-    println!("\nshape checks vs the paper:");
-    check("Cross-ALE > Within-ALE", m(Strategy::CrossAle) > m(Strategy::WithinAle));
+    report("\nshape checks vs the paper:");
+    check(
+        "Cross-ALE > Within-ALE",
+        m(Strategy::CrossAle) > m(Strategy::WithinAle),
+    );
     check(
         "Within-ALE > no feedback",
         m(Strategy::WithinAle) > m(Strategy::NoFeedback),
     );
-    check("Uniform < no feedback", m(Strategy::Uniform) < m(Strategy::NoFeedback));
+    check(
+        "Uniform < no feedback",
+        m(Strategy::Uniform) < m(Strategy::NoFeedback),
+    );
     check(
         "free ALE > pool-restricted ALE",
         m(Strategy::CrossAle) > m(Strategy::CrossAlePool)
@@ -161,9 +194,11 @@ fn main() {
     );
     check(
         "upsampling competitive (within 3% of best)",
-        m(Strategy::Upsampling)
-            >= strategies.iter().map(|s| m(*s)).fold(f64::MIN, f64::max) - 0.03,
+        m(Strategy::Upsampling) >= strategies.iter().map(|s| m(*s)).fold(f64::MIN, f64::max) - 0.03,
     );
+
+    drop(report_span);
+    opts.finish("table1_scream");
 }
 
 fn build_table(outcomes: &mut [(Strategy, Vec<f64>, usize)]) -> String {
@@ -183,5 +218,5 @@ fn build_table(outcomes: &mut [(Strategy, Vec<f64>, usize)]) -> String {
 }
 
 fn check(what: &str, ok: bool) {
-    println!("  [{}] {what}", if ok { "ok" } else { "MISS" });
+    report(&format!("  [{}] {what}", if ok { "ok" } else { "MISS" }));
 }

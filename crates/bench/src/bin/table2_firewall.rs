@@ -19,6 +19,7 @@ use aml_dataset::split::{split_into_k, three_way_split};
 use aml_fwgen::{generate, FwGenConfig};
 use aml_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
 use aml_stats::PairwiseMatrix;
+use aml_telemetry::{note, report};
 use std::collections::BTreeMap;
 
 fn main() {
@@ -31,7 +32,8 @@ fn main() {
     let n_feedback = opts.by_scale(100, 200, 280);
     let n_cross_runs = opts.by_scale(3, 4, 10);
 
-    println!("generating {n_rows} firewall rows...");
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    note(&format!("generating {n_rows} firewall rows..."));
     let full = generate(&FwGenConfig {
         n: n_rows,
         seed: opts.seed,
@@ -48,20 +50,22 @@ fn main() {
         Strategy::Upsampling,
     ];
 
+    drop(datagen_span);
+    let strategies_span = aml_telemetry::span!("bench.strategies");
     let mut all_scores: BTreeMap<Strategy, Vec<f64>> = BTreeMap::new();
 
     for split_i in 0..n_resplits {
-        let split_seed = opts.seed ^ (split_i as u64 + 1) * 0x51AB;
+        let split_seed = opts.seed ^ ((split_i as u64 + 1) * 0x51AB);
         let (train, test, pool) =
             three_way_split(&full, 0.4, 0.2, split_seed).expect("three-way split");
         let test_sets = split_into_k(&test, n_test_sets, split_seed).expect("test sets");
-        println!(
+        note(&format!(
             "resplit {}/{n_resplits}: train {} / test {} / pool {}",
             split_i + 1,
             train.n_rows(),
             test.n_rows(),
             pool.n_rows()
-        );
+        ));
 
         let cfg = ExperimentConfig {
             automl: AutoMlConfig {
@@ -86,25 +90,32 @@ fn main() {
             let t0 = std::time::Instant::now();
             let out = run_strategy(strategy, &cfg, &train, Some(&pool), None, &test_sets)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
-            println!(
+            note(&format!(
                 "  {:<22} mean BA {:>5.1}% | +{:>4} pts | {:>6.1?}",
                 strategy.name(),
                 mean(&out.scores) * 100.0,
                 out.n_points_added,
                 t0.elapsed()
-            );
-            all_scores.entry(strategy).or_default().extend(out.scores.iter());
+            ));
+            all_scores
+                .entry(strategy)
+                .or_default()
+                .extend(out.scores.iter());
         }
     }
 
+    drop(strategies_span);
+    let report_span = aml_telemetry::span!("bench.report");
     let mut matrix = PairwiseMatrix::new();
     for s in strategies {
-        matrix.add(s.name(), all_scores[&s].clone()).expect("paired");
+        matrix
+            .add(s.name(), all_scores[&s].clone())
+            .expect("paired");
     }
     let rendered = matrix
         .render(&["Without feedback", "Within-ALE-Pool", "Cross-ALE-Pool"])
         .expect("render");
-    println!("\n{rendered}");
+    report(&format!("\n{rendered}"));
     write_artifact(&opts.out_dir, "table2_firewall.txt", &rendered);
     let json: BTreeMap<String, Vec<f64>> = all_scores
         .iter()
@@ -113,27 +124,44 @@ fn main() {
     write_json(&opts.out_dir, "table2_firewall_scores.json", &json);
 
     // The paper's two headline claims.
-    println!("\nshape checks vs §4.2:");
-    let p_within = p_less(&all_scores[&Strategy::NoFeedback], &all_scores[&Strategy::WithinAlePool]);
-    let p_cross = p_less(&all_scores[&Strategy::NoFeedback], &all_scores[&Strategy::CrossAlePool]);
-    println!(
+    report("\nshape checks vs §4.2:");
+    let p_within = p_less(
+        &all_scores[&Strategy::NoFeedback],
+        &all_scores[&Strategy::WithinAlePool],
+    );
+    let p_cross = p_less(
+        &all_scores[&Strategy::NoFeedback],
+        &all_scores[&Strategy::CrossAlePool],
+    );
+    report(&format!(
         "  P(no-feedback worse than Within-ALE) = {p_within:.4} (paper: 0.02) -> {}",
-        if p_within < 0.1 { "improves with significance" } else { "no significance" }
-    );
-    println!(
+        if p_within < 0.1 {
+            "improves with significance"
+        } else {
+            "no significance"
+        }
+    ));
+    report(&format!(
         "  P(no-feedback worse than Cross-ALE)  = {p_cross:.4} (paper: 0.04) -> {}",
-        if p_cross < 0.1 { "improves with significance" } else { "no significance" }
-    );
-    let ale_best = mean(&all_scores[&Strategy::WithinAlePool])
-        .max(mean(&all_scores[&Strategy::CrossAlePool]));
+        if p_cross < 0.1 {
+            "improves with significance"
+        } else {
+            "no significance"
+        }
+    ));
+    let ale_best =
+        mean(&all_scores[&Strategy::WithinAlePool]).max(mean(&all_scores[&Strategy::CrossAlePool]));
     for baseline in [Strategy::Confidence, Strategy::Qbc, Strategy::Upsampling] {
         let diff = mean(&all_scores[&baseline]) - ale_best;
-        println!(
+        report(&format!(
             "  {} vs best ALE: {:+.1}% (paper: baselines ≤1-2% better, not significant)",
             baseline.name(),
             diff * 100.0
-        );
+        ));
     }
+
+    drop(report_span);
+    opts.finish("table2_firewall");
 }
 
 fn p_less(a: &[f64], b: &[f64]) -> f64 {

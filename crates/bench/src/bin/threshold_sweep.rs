@@ -14,6 +14,7 @@ use aml_dataset::split::split_into_k;
 use aml_dataset::Dataset;
 use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::ConditionDomain;
+use aml_telemetry::report;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -34,13 +35,20 @@ fn main() {
     let domain = ConditionDomain::default();
     let threads = opts.threads;
 
-    let train = cached_dataset(&opts.out_dir, &format!("scream_train_n{n_train}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_train, opts.seed, threads).expect("datagen")
-    });
-    let test = cached_dataset(&opts.out_dir, &format!("sweep_test_n{n_test}_s{}", opts.seed), || {
-        generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen")
-    });
+    let datagen_span = aml_telemetry::span!("bench.datagen");
+    let train = cached_dataset(
+        &opts.out_dir,
+        &format!("scream_train_n{n_train}_s{}", opts.seed),
+        || generate_dataset(&domain, n_train, opts.seed, threads).expect("datagen"),
+    );
+    let test = cached_dataset(
+        &opts.out_dir,
+        &format!("sweep_test_n{n_test}_s{}", opts.seed),
+        || generate_dataset(&domain, n_test, opts.seed ^ 0x7E57, threads).expect("datagen"),
+    );
     let test_sets = split_into_k(&test, 6, opts.seed).expect("split");
+    drop(datagen_span);
+    let sweep_span = aml_telemetry::span!("bench.strategies");
 
     // Coverage side: one shared analysis per threshold.
     let run = AutoMl::new(AutoMlConfig {
@@ -54,7 +62,10 @@ fn main() {
 
     let thresholds = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2];
     let mut rows = Vec::new();
-    println!("{:>10} {:>10} {:>16} {:>22}", "T", "coverage", "flagged feats", "mean BA after feedback");
+    report(&format!(
+        "{:>10} {:>10} {:>16} {:>22}",
+        "T", "coverage", "flagged feats", "mean BA after feedback"
+    ));
     for &t in &thresholds {
         let ale = AleFeedback {
             threshold: ThresholdRule::Fixed(t),
@@ -88,15 +99,25 @@ fn main() {
             ale,
             seed: opts.seed,
         };
-        let ba = match run_strategy(Strategy::WithinAle, &cfg, &train, None, Some(&oracle), &test_sets)
-        {
+        let ba = match run_strategy(
+            Strategy::WithinAle,
+            &cfg,
+            &train,
+            None,
+            Some(&oracle),
+            &test_sets,
+        ) {
             Ok(out) => mean(&out.scores),
             // A very high threshold flags nothing — the feedback returns
             // NoRegions and the operator keeps the baseline model.
             Err(aml_core::CoreError::NoRegions) => f64::NAN,
             Err(e) => panic!("sweep at T={t} failed: {e}"),
         };
-        println!("{t:>10.3} {:>9.1}% {flagged:>16} {:>21.1}%", coverage * 100.0, ba * 100.0);
+        report(&format!(
+            "{t:>10.3} {:>9.1}% {flagged:>16} {:>21.1}%",
+            coverage * 100.0,
+            ba * 100.0
+        ));
         rows.push(SweepRow {
             threshold: t,
             coverage,
@@ -108,9 +129,12 @@ fn main() {
     // Monotonicity check (the paper's qualitative claim).
     let coverages: Vec<f64> = rows.iter().map(|r| r.coverage).collect();
     let monotone = coverages.windows(2).all(|w| w[1] <= w[0] + 1e-9);
-    println!(
+    report(&format!(
         "\ncoverage monotonically shrinks as T grows: {}",
         if monotone { "yes (matches §4)" } else { "NO" }
-    );
+    ));
     write_json(&opts.out_dir, "threshold_sweep.json", &rows);
+
+    drop(sweep_span);
+    opts.finish("threshold_sweep");
 }

@@ -13,13 +13,24 @@
 //! | `ablations` | design-choice ablations (committee size, runs, grid) |
 //!
 //! All binaries accept `--quick` (scaled-down but same-shape run),
-//! `--full` (paper-scale), `--seed N` and `--out DIR`; the default scale
-//! ("medium") reproduces the paper's qualitative results in minutes on a
-//! laptop. Generated datasets are cached as CSV under the output directory
-//! so repeated runs don't re-simulate.
+//! `--full` (paper-scale), `--seed N`, `--threads N`, `--out DIR` and
+//! `--telemetry off|summary|verbose`; the default scale ("medium")
+//! reproduces the paper's qualitative results in minutes on a laptop.
+//! Generated datasets are cached as CSV under the output directory so
+//! repeated runs don't re-simulate.
+//!
+//! ## Output discipline (DESIGN.md §6)
+//!
+//! Stdout carries only the banner and final result tables, so piping a
+//! binary into a file captures exactly the paper artifact. Status,
+//! progress, and the timing summary go to stderr and appear only with
+//! `--telemetry summary|verbose`, which also writes
+//! `<out>/manifest.json` with every span/counter/histogram of the run.
 
 use aml_dataset::Dataset;
+use aml_telemetry::TelemetryLevel;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Experiment scale.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +41,18 @@ pub enum Scale {
     Medium,
     /// Paper-scale sample sizes.
     Full,
+}
+
+impl Scale {
+    /// Numeric multiplier recorded in the manifest (quick 0.05 / medium
+    /// 0.3 / full 1.0 — the rough sample-size ratio vs the paper).
+    pub fn factor(&self) -> f64 {
+        match self {
+            Scale::Quick => 0.05,
+            Scale::Medium => 0.3,
+            Scale::Full => 1.0,
+        }
+    }
 }
 
 /// Parsed common CLI options.
@@ -43,41 +66,99 @@ pub struct RunOpts {
     pub out_dir: PathBuf,
     /// Worker threads.
     pub threads: usize,
+    /// Telemetry level for this run.
+    pub telemetry: TelemetryLevel,
+    /// When option parsing finished — the manifest's wall-clock origin.
+    pub started: Instant,
 }
 
+/// Usage text shared by every benchmark binary.
+pub const USAGE: &str = "\
+options:
+  --quick                 minutes-scale smoke run
+  --full                  paper-scale run (default: medium)
+  --seed N                master seed (default 1)
+  --threads N             worker threads (default: all cores)
+  --out DIR               artifact directory (default target/experiments)
+  --telemetry LEVEL       off|summary|verbose (default off)
+  --help                  show this help";
+
 impl RunOpts {
-    /// Parse from `std::env::args` (ignores unknown flags).
-    pub fn parse() -> RunOpts {
-        let args: Vec<String> = std::env::args().collect();
-        let mut opts = RunOpts {
+    fn defaults() -> RunOpts {
+        RunOpts {
             scale: Scale::Medium,
             seed: 1,
             out_dir: PathBuf::from("target/experiments"),
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
-        };
-        let mut i = 1;
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            telemetry: TelemetryLevel::Off,
+            started: Instant::now(),
+        }
+    }
+
+    /// Parse from `std::env::args`. Prints usage and exits on `--help` or
+    /// any parse error — unknown flags and missing/invalid values are
+    /// errors, not silently ignored.
+    pub fn parse() -> RunOpts {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match RunOpts::parse_from(&args) {
+            Ok(Some(opts)) => {
+                aml_telemetry::set_level(opts.telemetry);
+                std::fs::create_dir_all(&opts.out_dir).ok();
+                opts
+            }
+            Ok(None) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parse an argument list (no program name). `Ok(None)` means `--help`
+    /// was requested. Pure: does not touch the process level, filesystem,
+    /// or exit — that's [`RunOpts::parse`]'s job, and what makes this
+    /// testable.
+    pub fn parse_from(args: &[String]) -> Result<Option<RunOpts>, String> {
+        let mut opts = RunOpts::defaults();
+        let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
+                "--help" | "-h" => return Ok(None),
                 "--quick" => opts.scale = Scale::Quick,
                 "--full" => opts.scale = Scale::Full,
-                "--seed" if i + 1 < args.len() => {
-                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
-                    i += 1;
+                "--seed" => {
+                    let v = value_of(args, &mut i, "--seed")?;
+                    opts.seed = v
+                        .parse()
+                        .map_err(|_| format!("--seed expects an integer, got '{v}'"))?;
                 }
-                "--out" if i + 1 < args.len() => {
-                    opts.out_dir = PathBuf::from(&args[i + 1]);
-                    i += 1;
+                "--threads" => {
+                    let v = value_of(args, &mut i, "--threads")?;
+                    opts.threads = v
+                        .parse()
+                        .map_err(|_| format!("--threads expects an integer, got '{v}'"))?;
+                    if opts.threads == 0 {
+                        return Err("--threads must be >= 1".into());
+                    }
                 }
-                "--threads" if i + 1 < args.len() => {
-                    opts.threads = args[i + 1].parse().unwrap_or(opts.threads);
-                    i += 1;
+                "--out" => {
+                    let v = value_of(args, &mut i, "--out")?;
+                    opts.out_dir = PathBuf::from(v);
                 }
-                _ => {}
+                "--telemetry" => {
+                    let v = value_of(args, &mut i, "--telemetry")?;
+                    opts.telemetry = v.parse()?;
+                }
+                unknown => return Err(format!("unknown flag '{unknown}'")),
             }
             i += 1;
         }
-        std::fs::create_dir_all(&opts.out_dir).ok();
-        opts
+        Ok(Some(opts))
     }
 
     /// Pick a value by scale.
@@ -91,23 +172,55 @@ impl RunOpts {
 
     /// Print the run header (seed etc.) so results are reproducible.
     pub fn banner(&self, name: &str) {
-        println!(
+        aml_telemetry::report(&format!(
             "== {name} | scale {:?} | seed {} | {} threads | artifacts -> {} ==\n",
             self.scale,
             self.seed,
             self.threads,
             self.out_dir.display()
-        );
+        ));
     }
+
+    /// Finish the run: when telemetry is enabled, write
+    /// `<out>/manifest.json` from the global registry and print the timing
+    /// summary to stderr. A no-op with `--telemetry off`, keeping output
+    /// and artifacts identical to an uninstrumented run.
+    pub fn finish(&self, binary: &str) {
+        if !aml_telemetry::enabled() {
+            return;
+        }
+        let manifest = aml_telemetry::Manifest::new(
+            binary,
+            self.seed,
+            self.scale.factor(),
+            self.threads,
+            self.started,
+            aml_telemetry::global().snapshot(),
+        );
+        eprint!("{}", manifest.render_summary());
+        match manifest.write_json(&self.out_dir) {
+            Ok(path) => aml_telemetry::note(&format!("wrote {}", path.display())),
+            Err(e) => aml_telemetry::warn(&format!("could not write manifest: {e}")),
+        }
+    }
+}
+
+/// The value following flag `args[*i]`, advancing `i` past it.
+fn value_of<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+        .ok_or_else(|| format!("{flag} expects a value"))
 }
 
 /// Write a text artifact to the output directory.
 pub fn write_artifact(out_dir: &Path, name: &str, content: &str) {
     let path = out_dir.join(name);
     if let Err(e) = std::fs::write(&path, content) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        aml_telemetry::warn(&format!("could not write {}: {e}", path.display()));
     } else {
-        println!("wrote {}", path.display());
+        aml_telemetry::note(&format!("wrote {}", path.display()));
     }
 }
 
@@ -115,27 +228,23 @@ pub fn write_artifact(out_dir: &Path, name: &str, content: &str) {
 pub fn write_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
     match serde_json::to_string_pretty(value) {
         Ok(s) => write_artifact(out_dir, name, &s),
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+        Err(e) => aml_telemetry::warn(&format!("could not serialize {name}: {e}")),
     }
 }
 
 /// Load a cached dataset or generate-and-cache it. The cache key must
 /// uniquely identify the generation parameters (include n and seed!).
-pub fn cached_dataset(
-    out_dir: &Path,
-    key: &str,
-    generate: impl FnOnce() -> Dataset,
-) -> Dataset {
+pub fn cached_dataset(out_dir: &Path, key: &str, generate: impl FnOnce() -> Dataset) -> Dataset {
     let path = out_dir.join(format!("{key}.csv"));
     if path.exists() {
         if let Ok(ds) = aml_dataset::csv::read_csv(&path) {
-            println!("loaded cached {key} ({} rows)", ds.n_rows());
+            aml_telemetry::note(&format!("loaded cached {key} ({} rows)", ds.n_rows()));
             return ds;
         }
     }
     let ds = generate();
     if aml_dataset::csv::write_csv(&ds, &path).is_ok() {
-        println!("cached {key} ({} rows)", ds.n_rows());
+        aml_telemetry::note(&format!("cached {key} ({} rows)", ds.n_rows()));
     }
     ds
 }
@@ -150,14 +259,89 @@ mod tests {
     use super::*;
     use aml_dataset::synth;
 
+    fn parse(args: &[&str]) -> Result<Option<RunOpts>, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        RunOpts::parse_from(&owned)
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let opts = parse(&[]).unwrap().unwrap();
+        assert_eq!(opts.scale, Scale::Medium);
+        assert_eq!(opts.seed, 1);
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+        assert!(opts.threads >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let opts = parse(&[
+            "--quick",
+            "--seed",
+            "42",
+            "--threads",
+            "3",
+            "--out",
+            "/tmp/x",
+            "--telemetry",
+            "summary",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.scale, Scale::Quick);
+        assert_eq!(opts.seed, 42);
+        assert_eq!(opts.threads, 3);
+        assert_eq!(opts.out_dir, PathBuf::from("/tmp/x"));
+        assert_eq!(opts.telemetry, TelemetryLevel::Summary);
+        let verbose = parse(&["--full", "--telemetry", "verbose"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(verbose.scale, Scale::Full);
+        assert_eq!(verbose.telemetry, TelemetryLevel::Verbose);
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+        // Positional junk is rejected too.
+        assert!(parse(&["quick"]).is_err());
+    }
+
+    #[test]
+    fn missing_values_are_errors() {
+        for flag in ["--seed", "--threads", "--out", "--telemetry"] {
+            let err = parse(&[flag]).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+            // A following flag is not a value.
+            let err = parse(&[flag, "--quick"]).unwrap_err();
+            assert!(err.contains(flag), "{flag}: {err}");
+        }
+    }
+
+    #[test]
+    fn invalid_values_are_errors() {
+        assert!(parse(&["--seed", "abc"]).unwrap_err().contains("--seed"));
+        assert!(parse(&["--threads", "x"])
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(parse(&["--threads", "0"])
+            .unwrap_err()
+            .contains("--threads"));
+        assert!(parse(&["--telemetry", "loud"])
+            .unwrap_err()
+            .contains("telemetry level"));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse(&["--help"]).unwrap().is_none());
+        assert!(parse(&["--quick", "-h", "--bogus"]).unwrap().is_none());
+    }
+
     #[test]
     fn by_scale_picks_correctly() {
-        let mut o = RunOpts {
-            scale: Scale::Quick,
-            seed: 0,
-            out_dir: PathBuf::from("/tmp"),
-            threads: 1,
-        };
+        let mut o = parse(&["--quick"]).unwrap().unwrap();
         assert_eq!(o.by_scale(1, 2, 3), 1);
         o.scale = Scale::Medium;
         assert_eq!(o.by_scale(1, 2, 3), 2);

@@ -7,6 +7,8 @@
 //! (c) concrete suggested points — either freely sampled from the regions
 //! or selected from a fixed candidate pool (the `-Pool` variants).
 
+use crate::feedback::{Feedback, Suggestion};
+use crate::{CoreError, Result};
 use aml_automl::FittedAutoMl;
 use aml_dataset::Dataset;
 use aml_interpret::ale::AleConfig;
@@ -14,8 +16,6 @@ use aml_interpret::grid::Grid;
 use aml_interpret::region::FeatureRegions;
 use aml_interpret::variance::{ale_band_on_grid, pdp_band_on_grid, AleBand};
 use aml_models::Classifier;
-use crate::feedback::{Feedback, Suggestion};
-use crate::{CoreError, Result};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -137,10 +137,14 @@ impl AleFeedback {
     /// committee member (and therefore needs ≥ 2 runs).
     pub fn analyze(&self, runs: &[FittedAutoMl], data: &Dataset) -> Result<AleAnalysis> {
         if runs.is_empty() {
-            return Err(CoreError::InvalidParameter("need at least one AutoML run".into()));
+            return Err(CoreError::InvalidParameter(
+                "need at least one AutoML run".into(),
+            ));
         }
         if self.n_intervals < 2 {
-            return Err(CoreError::InvalidParameter("n_intervals must be >= 2".into()));
+            return Err(CoreError::InvalidParameter(
+                "n_intervals must be >= 2".into(),
+            ));
         }
         // Assemble the committee.
         let models: Vec<&dyn Classifier> = match self.mode {
@@ -156,7 +160,9 @@ impl AleFeedback {
                         "Cross-ALE needs at least 2 AutoML runs".into(),
                     ));
                 }
-                runs.iter().map(|r| r.ensemble() as &dyn Classifier).collect()
+                runs.iter()
+                    .map(|r| r.ensemble() as &dyn Classifier)
+                    .collect()
             }
         };
         if models.len() < 2 {
@@ -201,7 +207,9 @@ impl AleFeedback {
         let per_feature: Vec<f64> = match self.threshold {
             ThresholdRule::Fixed(t) => {
                 if !(t.is_finite() && t >= 0.0) {
-                    return Err(CoreError::InvalidParameter(format!("threshold {t} invalid")));
+                    return Err(CoreError::InvalidParameter(format!(
+                        "threshold {t} invalid"
+                    )));
                 }
                 vec![t; bands.len()]
             }
@@ -357,7 +365,11 @@ impl AleFeedback {
     }
 
     /// Full feedback packaging (analysis + explanation notes).
-    pub fn feedback(&self, runs: &[FittedAutoMl], data: &Dataset) -> Result<(AleAnalysis, Feedback)> {
+    pub fn feedback(
+        &self,
+        runs: &[FittedAutoMl],
+        data: &Dataset,
+    ) -> Result<(AleAnalysis, Feedback)> {
         let analysis = self.analyze(runs, data)?;
         let mode = match self.mode {
             AleMode::Within => "Within-ALE",
@@ -420,7 +432,10 @@ mod tests {
     fn cross_needs_two_runs() {
         let ds = moons();
         let run = quick_automl(1, &ds);
-        let fb = AleFeedback { mode: AleMode::Cross, ..Default::default() };
+        let fb = AleFeedback {
+            mode: AleMode::Cross,
+            ..Default::default()
+        };
         assert!(matches!(
             fb.analyze(&[run], &ds),
             Err(CoreError::InvalidParameter(_))
@@ -430,8 +445,15 @@ mod tests {
     #[test]
     fn cross_analysis_works_with_multiple_runs() {
         let ds = moons();
-        let runs = vec![quick_automl(1, &ds), quick_automl(2, &ds), quick_automl(3, &ds)];
-        let fb = AleFeedback { mode: AleMode::Cross, ..Default::default() };
+        let runs = vec![
+            quick_automl(1, &ds),
+            quick_automl(2, &ds),
+            quick_automl(3, &ds),
+        ];
+        let fb = AleFeedback {
+            mode: AleMode::Cross,
+            ..Default::default()
+        };
         let analysis = fb.analyze(&runs, &ds).unwrap();
         assert_eq!(analysis.bands[0].n_models, 3);
     }
@@ -550,7 +572,9 @@ mod tests {
     fn quantile_threshold_tightens_regions() {
         let ds = synth::noisy_xor(300, 0.15, 21).unwrap();
         let run = quick_automl(22, &ds);
-        let med = AleFeedback::default().analyze(std::slice::from_ref(&run), &ds).unwrap();
+        let med = AleFeedback::default()
+            .analyze(std::slice::from_ref(&run), &ds)
+            .unwrap();
         let tight = AleFeedback {
             threshold: ThresholdRule::QuantileStd(0.9),
             ..Default::default()
@@ -605,9 +629,12 @@ mod tests {
         assert_eq!(analysis.bands.len(), 2);
         // PDP means are probabilities (uncentred), unlike ALE's zero-mean
         // curves.
-        let mean_level: f64 = analysis.bands[0].mean.iter().sum::<f64>()
-            / analysis.bands[0].mean.len() as f64;
-        assert!(mean_level > 0.05, "PDP level {mean_level} should be a probability scale");
+        let mean_level: f64 =
+            analysis.bands[0].mean.iter().sum::<f64>() / analysis.bands[0].mean.len() as f64;
+        assert!(
+            mean_level > 0.05,
+            "PDP level {mean_level} should be a probability scale"
+        );
     }
 
     #[test]

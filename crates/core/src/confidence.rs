@@ -6,9 +6,9 @@
 //! probability returned by AutoSKlearn as a measure of confidence") and
 //! returns the least-confident points.
 
+use crate::{CoreError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use crate::{CoreError, Result};
 
 /// Least-confidence score of one row: `1 − max_c p(c|x)`.
 pub fn least_confidence(model: &dyn Classifier, row: &[f64]) -> Result<f64> {
@@ -19,11 +19,7 @@ pub fn least_confidence(model: &dyn Classifier, row: &[f64]) -> Result<f64> {
 
 /// Select the `n` least-confident pool rows. Ties break toward lower pool
 /// index. Returns pool indices sorted by descending uncertainty.
-pub fn confidence_select(
-    model: &dyn Classifier,
-    pool: &Dataset,
-    n: usize,
-) -> Result<Vec<usize>> {
+pub fn confidence_select(model: &dyn Classifier, pool: &Dataset, n: usize) -> Result<Vec<usize>> {
     if pool.is_empty() {
         return Err(CoreError::MissingCapability(
             "confidence-based feedback needs a candidate pool".into(),

@@ -13,10 +13,6 @@
 //!    strategy);
 //! 5. score balanced accuracy on each of the (typically 20) test sets.
 
-use aml_automl::{AutoMl, AutoMlConfig, FittedAutoMl};
-use aml_dataset::Dataset;
-use aml_models::metrics::balanced_accuracy;
-use aml_models::Classifier;
 use crate::ale_feedback::{AleFeedback, AleMode};
 use crate::confidence::confidence_select;
 use crate::feedback::{Feedback, Labeler};
@@ -25,12 +21,14 @@ use crate::uncertainty::{entropy_select, margin_select};
 use crate::uniform::uniform_sample;
 use crate::upsampling::{random_oversample, smote};
 use crate::{CoreError, Result};
+use aml_automl::{AutoMl, AutoMlConfig, FittedAutoMl};
+use aml_dataset::Dataset;
+use aml_models::metrics::balanced_accuracy;
+use aml_models::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// The nine Table-1 strategies (plus SMOTE as a distinct upsampler).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Strategy {
     /// Train on the raw data only.
     NoFeedback,
@@ -182,7 +180,9 @@ pub fn run_strategy(
     test_sets: &[Dataset],
 ) -> Result<StrategyOutcome> {
     if test_sets.is_empty() {
-        return Err(CoreError::InvalidParameter("need at least one test set".into()));
+        return Err(CoreError::InvalidParameter(
+            "need at least one test set".into(),
+        ));
     }
     if strategy.needs_pool() && pool.is_none() {
         return Err(CoreError::MissingCapability(format!(
@@ -197,82 +197,110 @@ pub fn run_strategy(
         )));
     }
 
+    let _run_span = aml_telemetry::span!("core.strategy.run", strategy.name());
     let mut augmented = train.clone();
     let mut feedback = None;
     let n_before = augmented.n_rows();
 
-    match strategy {
-        Strategy::NoFeedback => {}
-        Strategy::WithinAle | Strategy::CrossAle | Strategy::WithinAlePool
-        | Strategy::CrossAlePool => {
-            let mode = match strategy {
-                Strategy::WithinAle | Strategy::WithinAlePool => AleMode::Within,
-                _ => AleMode::Cross,
-            };
-            let n_runs = if mode == AleMode::Cross { cfg.n_cross_runs.max(2) } else { 1 };
-            let runs: Vec<FittedAutoMl> = (0..n_runs)
-                .map(|r| fit_automl(cfg, train, 100 + r as u64))
-                .collect::<Result<_>>()?;
-            let ale = AleFeedback { mode, ..cfg.ale.clone() };
-            let (analysis, fb) = ale.feedback(&runs, train)?;
-            feedback = Some(fb);
+    {
+        let _augment = aml_telemetry::span!("core.strategy.augment", strategy.name());
+        match strategy {
+            Strategy::NoFeedback => {}
+            Strategy::WithinAle
+            | Strategy::CrossAle
+            | Strategy::WithinAlePool
+            | Strategy::CrossAlePool => {
+                let mode = match strategy {
+                    Strategy::WithinAle | Strategy::WithinAlePool => AleMode::Within,
+                    _ => AleMode::Cross,
+                };
+                let n_runs = if mode == AleMode::Cross {
+                    cfg.n_cross_runs.max(2)
+                } else {
+                    1
+                };
+                let runs: Vec<FittedAutoMl> = {
+                    let _committee =
+                        aml_telemetry::span!("core.strategy.committee", strategy.name());
+                    (0..n_runs)
+                        .map(|r| fit_automl(cfg, train, 100 + r as u64))
+                        .collect::<Result<_>>()?
+                };
+                let ale = AleFeedback {
+                    mode,
+                    ..cfg.ale.clone()
+                };
+                let (analysis, fb) = {
+                    let _suggest = aml_telemetry::span!("core.strategy.suggest", strategy.name());
+                    ale.feedback(&runs, train)?
+                };
+                feedback = Some(fb);
 
-            match strategy {
-                Strategy::WithinAle | Strategy::CrossAle => {
-                    let rows = ale.suggest_points(
-                        &analysis,
-                        train,
-                        cfg.n_feedback_points,
-                        derive_seed(cfg.seed, 7),
-                    )?;
-                    let labelled = labeler
-                        .expect("checked above")
-                        .label_rows(&rows)?;
-                    augmented.extend(&labelled)?;
-                }
-                _ => {
-                    let pool = pool.expect("checked above");
-                    let picked =
-                        ale.suggest_from_pool(&analysis, pool, cfg.n_feedback_points)?;
-                    let subset = pool.subset(&picked)?;
-                    augmented.extend(&subset)?;
+                match strategy {
+                    Strategy::WithinAle | Strategy::CrossAle => {
+                        let rows = ale.suggest_points(
+                            &analysis,
+                            train,
+                            cfg.n_feedback_points,
+                            derive_seed(cfg.seed, 7),
+                        )?;
+                        aml_telemetry::counter_add_labeled(
+                            "core.labeler.queries",
+                            strategy.name(),
+                            rows.len() as u64,
+                        );
+                        let labelled = labeler.expect("checked above").label_rows(&rows)?;
+                        augmented.extend(&labelled)?;
+                    }
+                    _ => {
+                        let pool = pool.expect("checked above");
+                        let picked =
+                            ale.suggest_from_pool(&analysis, pool, cfg.n_feedback_points)?;
+                        let subset = pool.subset(&picked)?;
+                        augmented.extend(&subset)?;
+                    }
                 }
             }
-        }
-        Strategy::Uniform => {
-            let rows = uniform_sample(train, cfg.n_feedback_points, derive_seed(cfg.seed, 8))?;
-            let labelled = labeler.expect("checked above").label_rows(&rows)?;
-            augmented.extend(&labelled)?;
-        }
-        Strategy::Confidence => {
-            let run = fit_automl(cfg, train, 200)?;
-            let pool = pool.expect("checked above");
-            let picked = confidence_select(run.ensemble(), pool, cfg.n_feedback_points)?;
-            augmented.extend(&pool.subset(&picked)?)?;
-        }
-        Strategy::Qbc => {
-            let run = fit_automl(cfg, train, 300)?;
-            let pool = pool.expect("checked above");
-            let picked = qbc_select(run.ensemble(), pool, cfg.n_feedback_points)?;
-            augmented.extend(&pool.subset(&picked)?)?;
-        }
-        Strategy::Upsampling => {
-            augmented = random_oversample(train, derive_seed(cfg.seed, 9))?;
-        }
-        Strategy::Smote => {
-            augmented = smote(train, 5, derive_seed(cfg.seed, 10))?;
-        }
-        Strategy::Margin => {
-            let run = fit_automl(cfg, train, 400)?;
-            let pool = pool.expect("checked above");
-            let picked = margin_select(run.ensemble(), pool, cfg.n_feedback_points)?;
-            augmented.extend(&pool.subset(&picked)?)?;
-        }
-        Strategy::Entropy => {
-            let run = fit_automl(cfg, train, 500)?;
-            let pool = pool.expect("checked above");
-            let picked = entropy_select(run.ensemble(), pool, cfg.n_feedback_points)?;
-            augmented.extend(&pool.subset(&picked)?)?;
+            Strategy::Uniform => {
+                let rows = uniform_sample(train, cfg.n_feedback_points, derive_seed(cfg.seed, 8))?;
+                aml_telemetry::counter_add_labeled(
+                    "core.labeler.queries",
+                    strategy.name(),
+                    rows.len() as u64,
+                );
+                let labelled = labeler.expect("checked above").label_rows(&rows)?;
+                augmented.extend(&labelled)?;
+            }
+            Strategy::Confidence => {
+                let run = fit_automl(cfg, train, 200)?;
+                let pool = pool.expect("checked above");
+                let picked = confidence_select(run.ensemble(), pool, cfg.n_feedback_points)?;
+                augmented.extend(&pool.subset(&picked)?)?;
+            }
+            Strategy::Qbc => {
+                let run = fit_automl(cfg, train, 300)?;
+                let pool = pool.expect("checked above");
+                let picked = qbc_select(run.ensemble(), pool, cfg.n_feedback_points)?;
+                augmented.extend(&pool.subset(&picked)?)?;
+            }
+            Strategy::Upsampling => {
+                augmented = random_oversample(train, derive_seed(cfg.seed, 9))?;
+            }
+            Strategy::Smote => {
+                augmented = smote(train, 5, derive_seed(cfg.seed, 10))?;
+            }
+            Strategy::Margin => {
+                let run = fit_automl(cfg, train, 400)?;
+                let pool = pool.expect("checked above");
+                let picked = margin_select(run.ensemble(), pool, cfg.n_feedback_points)?;
+                augmented.extend(&pool.subset(&picked)?)?;
+            }
+            Strategy::Entropy => {
+                let run = fit_automl(cfg, train, 500)?;
+                let pool = pool.expect("checked above");
+                let picked = entropy_select(run.ensemble(), pool, cfg.n_feedback_points)?;
+                augmented.extend(&pool.subset(&picked)?)?;
+            }
         }
     }
 
@@ -280,15 +308,21 @@ pub fn run_strategy(
 
     // Refit with the SAME derived seed for every strategy: differences in
     // the final model come from the data, not the search's RNG.
-    let model = fit_automl(cfg, &augmented, 0xF17)?;
+    let model = {
+        let _refit = aml_telemetry::span!("core.strategy.refit", strategy.name());
+        fit_automl(cfg, &augmented, 0xF17)?
+    };
 
-    let scores = test_sets
-        .iter()
-        .map(|ts| {
-            let preds = model.predict(ts)?;
-            Ok(balanced_accuracy(ts.labels(), &preds, ts.n_classes())?)
-        })
-        .collect::<Result<Vec<f64>>>()?;
+    let scores = {
+        let _score = aml_telemetry::span!("core.strategy.score", strategy.name());
+        test_sets
+            .iter()
+            .map(|ts| {
+                let preds = model.predict(ts)?;
+                Ok(balanced_accuracy(ts.labels(), &preds, ts.n_classes())?)
+            })
+            .collect::<Result<Vec<f64>>>()?
+    };
 
     Ok(StrategyOutcome {
         strategy,
@@ -343,15 +377,8 @@ mod tests {
         let labeler = xor_labeler();
         let cfg = quick_cfg(5);
         for strategy in Strategy::ALL {
-            let out = run_strategy(
-                strategy,
-                &cfg,
-                &train,
-                Some(&pool),
-                Some(&labeler),
-                &tests,
-            )
-            .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
+            let out = run_strategy(strategy, &cfg, &train, Some(&pool), Some(&labeler), &tests)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
             assert_eq!(out.scores.len(), 4);
             for s in &out.scores {
                 assert!((0.0..=1.0).contains(s), "{}: score {s}", strategy.name());
@@ -443,8 +470,7 @@ mod tests {
         let (train, _pool, tests) = setup();
         let labeler = xor_labeler();
         let cfg = quick_cfg(10);
-        let base =
-            run_strategy(Strategy::NoFeedback, &cfg, &train, None, None, &tests).unwrap();
+        let base = run_strategy(Strategy::NoFeedback, &cfg, &train, None, None, &tests).unwrap();
         let within = run_strategy(
             Strategy::WithinAle,
             &cfg,

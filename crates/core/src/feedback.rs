@@ -1,10 +1,10 @@
 //! Shared feedback vocabulary: what a strategy suggests, and the labeling
 //! oracle abstraction.
 
+use crate::Result;
 use aml_dataset::Dataset;
 use aml_interpret::region::FeatureRegions;
 use aml_interpret::variance::AleBand;
-use crate::Result;
 
 /// What a feedback strategy proposes the operator do.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,7 +116,9 @@ mod tests {
             let labels: Vec<usize> = rows.iter().map(|r| usize::from(r[0] > 0.5)).collect();
             Ok(Dataset::from_rows(rows, &labels, 2)?)
         };
-        let ds = oracle.label_rows(&[vec![0.1, 0.0], vec![0.9, 0.0]]).unwrap();
+        let ds = oracle
+            .label_rows(&[vec![0.1, 0.0], vec![0.9, 0.0]])
+            .unwrap();
         assert_eq!(ds.labels(), &[0, 1]);
     }
 }

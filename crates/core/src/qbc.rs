@@ -10,9 +10,9 @@
 //! between this approach and ours is in using ALE-variance instead of
 //! entropy."
 
+use crate::{CoreError, Result};
 use aml_dataset::Dataset;
 use aml_models::{Classifier, SoftVotingEnsemble};
-use crate::{CoreError, Result};
 
 /// Vote entropy of one row under the committee.
 pub fn vote_entropy(committee: &[&dyn Classifier], row: &[f64]) -> Result<f64> {
@@ -38,13 +38,11 @@ pub fn vote_entropy(committee: &[&dyn Classifier], row: &[f64]) -> Result<f64> {
 /// Select the `n` pool rows with the highest vote entropy. Ties break
 /// toward lower pool index (deterministic). Returns pool indices sorted by
 /// descending entropy.
-pub fn qbc_select(
-    ensemble: &SoftVotingEnsemble,
-    pool: &Dataset,
-    n: usize,
-) -> Result<Vec<usize>> {
+pub fn qbc_select(ensemble: &SoftVotingEnsemble, pool: &Dataset, n: usize) -> Result<Vec<usize>> {
     if pool.is_empty() {
-        return Err(CoreError::MissingCapability("QBC needs a candidate pool".into()));
+        return Err(CoreError::MissingCapability(
+            "QBC needs a candidate pool".into(),
+        ));
     }
     let committee: Vec<&dyn Classifier> = ensemble
         .members()
@@ -109,8 +107,11 @@ mod tests {
     #[test]
     fn entropy_zero_when_unanimous() {
         let e = committee_ensemble();
-        let committee: Vec<&dyn Classifier> =
-            e.members().iter().map(|m| m.as_ref() as &dyn Classifier).collect();
+        let committee: Vec<&dyn Classifier> = e
+            .members()
+            .iter()
+            .map(|m| m.as_ref() as &dyn Classifier)
+            .collect();
         assert_eq!(vote_entropy(&committee, &[0.0]).unwrap(), 0.0);
         assert_eq!(vote_entropy(&committee, &[1.0]).unwrap(), 0.0);
     }
@@ -118,8 +119,11 @@ mod tests {
     #[test]
     fn entropy_positive_in_disagreement_zone() {
         let e = committee_ensemble();
-        let committee: Vec<&dyn Classifier> =
-            e.members().iter().map(|m| m.as_ref() as &dyn Classifier).collect();
+        let committee: Vec<&dyn Classifier> = e
+            .members()
+            .iter()
+            .map(|m| m.as_ref() as &dyn Classifier)
+            .collect();
         let h = vote_entropy(&committee, &[0.6]).unwrap(); // votes 2:1
         assert!(h > 0.5, "2:1 split entropy {h}");
     }
@@ -133,7 +137,10 @@ mod tests {
         // 5 (0.45) — the three picked must all come from that set.
         for &i in &picked {
             let v = p.row(i)[0];
-            assert!((0.3..0.7).contains(&v), "picked {v} outside disagreement zone");
+            assert!(
+                (0.3..0.7).contains(&v),
+                "picked {v} outside disagreement zone"
+            );
         }
         assert_eq!(picked.len(), 3);
     }

@@ -1,9 +1,9 @@
 //! Table-1-style reporting: balanced accuracy `mean ± std` per strategy
 //! plus the one-sided Wilcoxon p-value columns.
 
-use aml_stats::summary::PairwiseMatrix;
 use crate::experiment::{Strategy, StrategyOutcome};
 use crate::Result;
+use aml_stats::summary::PairwiseMatrix;
 
 /// A rendered experiment table.
 pub struct Table {
@@ -17,8 +17,10 @@ impl Table {
         let mut matrix = PairwiseMatrix::new();
         let mut points_added = Vec::new();
         for out in outcomes {
-            let name = if matches!(out.strategy, Strategy::WithinAlePool | Strategy::CrossAlePool)
-            {
+            let name = if matches!(
+                out.strategy,
+                Strategy::WithinAlePool | Strategy::CrossAlePool
+            ) {
                 format!("{} ({} points)", out.strategy.name(), out.n_points_added)
             } else {
                 out.strategy.name().to_string()
@@ -105,9 +107,15 @@ mod tests {
             seed: 2,
             ..Default::default()
         };
-        let out =
-            run_strategy(Strategy::WithinAlePool, &cfg, &train, Some(&pool), None, &tests)
-                .unwrap();
+        let out = run_strategy(
+            Strategy::WithinAlePool,
+            &cfg,
+            &train,
+            Some(&pool),
+            None,
+            &tests,
+        )
+        .unwrap();
         let table = Table::build(&[out]).unwrap();
         let rendered = table.render().unwrap();
         assert!(

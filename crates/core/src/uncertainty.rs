@@ -6,9 +6,9 @@
 //! its evaluation uses, and these two complete the classic trio — useful
 //! for the extended baseline comparisons in the ablation benches.
 
+use crate::{CoreError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use crate::{CoreError, Result};
 
 /// Margin score: `p(top1) − p(top2)`, *smaller = more uncertain*.
 pub fn margin(model: &dyn Classifier, row: &[f64]) -> Result<f64> {
@@ -33,10 +33,7 @@ pub fn margin(model: &dyn Classifier, row: &[f64]) -> Result<f64> {
 /// Predictive entropy `−Σ p ln p` (natural log), *larger = more uncertain*.
 pub fn predictive_entropy(model: &dyn Classifier, row: &[f64]) -> Result<f64> {
     let p = model.predict_proba_row(row)?;
-    Ok(p.iter()
-        .filter(|&&v| v > 0.0)
-        .map(|&v| -v * v.ln())
-        .sum())
+    Ok(p.iter().filter(|&&v| v > 0.0).map(|&v| -v * v.ln()).sum())
 }
 
 /// Select the `n` smallest-margin pool rows (ties → lower index).
@@ -131,10 +128,14 @@ mod tests {
         // distinct |p − 0.5| so floating-point summation order can't flip
         // near-ties).
         let p = pool(&[0.3, 0.45, 0.72, 0.55, 0.05, 0.95]);
-        let m: std::collections::BTreeSet<usize> =
-            margin_select(&LinearProb, &p, 3).unwrap().into_iter().collect();
-        let e: std::collections::BTreeSet<usize> =
-            entropy_select(&LinearProb, &p, 3).unwrap().into_iter().collect();
+        let m: std::collections::BTreeSet<usize> = margin_select(&LinearProb, &p, 3)
+            .unwrap()
+            .into_iter()
+            .collect();
+        let e: std::collections::BTreeSet<usize> = entropy_select(&LinearProb, &p, 3)
+            .unwrap()
+            .into_iter()
+            .collect();
         assert_eq!(m, e);
     }
 

@@ -4,15 +4,17 @@
 //! domain `R(X_s)`, to be labelled by the oracle and appended to the
 //! training set.
 
-use aml_dataset::Dataset;
 use crate::{CoreError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Sample `n` rows uniformly from the dataset's feature domains.
 pub fn uniform_sample(data: &Dataset, n: usize, seed: u64) -> Result<Vec<Vec<f64>>> {
     if data.n_features() == 0 {
-        return Err(CoreError::InvalidParameter("dataset has no features".into()));
+        return Err(CoreError::InvalidParameter(
+            "dataset has no features".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut rows = Vec::with_capacity(n);

@@ -10,8 +10,8 @@
 //!   minority points by interpolating between a minority sample and one of
 //!   its k nearest minority neighbours.
 
-use aml_dataset::Dataset;
 use crate::{CoreError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,13 +26,14 @@ pub fn random_oversample(data: &Dataset, seed: u64) -> Result<Dataset> {
     let max = *counts.iter().max().expect("non-empty");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = data.clone();
-    for class in 0..data.n_classes() {
-        if counts[class] == 0 {
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 {
             continue;
         }
-        let members: Vec<usize> =
-            (0..data.n_rows()).filter(|&i| data.label(i) == class).collect();
-        for _ in counts[class]..max {
+        let members: Vec<usize> = (0..data.n_rows())
+            .filter(|&i| data.label(i) == class)
+            .collect();
+        for _ in count..max {
             let pick = members[rng.gen_range(0..members.len())];
             out.push_row(data.row(pick), class)?;
         }
@@ -56,12 +57,13 @@ pub fn smote(data: &Dataset, k: usize, seed: u64) -> Result<Dataset> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = data.clone();
 
-    for class in 0..data.n_classes() {
-        if counts[class] == 0 || counts[class] == max {
+    for (class, &count) in counts.iter().enumerate() {
+        if count == 0 || count == max {
             continue;
         }
-        let members: Vec<usize> =
-            (0..data.n_rows()).filter(|&i| data.label(i) == class).collect();
+        let members: Vec<usize> = (0..data.n_rows())
+            .filter(|&i| data.label(i) == class)
+            .collect();
         // Precompute each member's k nearest same-class neighbours.
         let neighbours: Vec<Vec<usize>> = members
             .iter()
@@ -76,7 +78,7 @@ pub fn smote(data: &Dataset, k: usize, seed: u64) -> Result<Dataset> {
             })
             .collect();
 
-        for _ in counts[class]..max {
+        for _ in count..max {
             let mi = rng.gen_range(0..members.len());
             let base = data.row(members[mi]);
             let row: Vec<f64> = if neighbours[mi].is_empty() {
@@ -85,7 +87,10 @@ pub fn smote(data: &Dataset, k: usize, seed: u64) -> Result<Dataset> {
                 let nb = neighbours[mi][rng.gen_range(0..neighbours[mi].len())];
                 let other = data.row(nb);
                 let u: f64 = rng.gen();
-                base.iter().zip(other).map(|(a, b)| a + u * (b - a)).collect()
+                base.iter()
+                    .zip(other)
+                    .map(|(a, b)| a + u * (b - a))
+                    .collect()
             };
             out.push_row(&row, class)?;
         }

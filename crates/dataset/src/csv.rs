@@ -52,9 +52,14 @@ pub fn from_csv_string(text: &str) -> Result<Dataset> {
     let header = lines.next().ok_or(DataError::Parse("empty file".into()))?;
     let cols: Vec<&str> = header.split(',').collect();
     if cols.last() != Some(&"label") {
-        return Err(DataError::Parse("last header column must be `label`".into()));
+        return Err(DataError::Parse(
+            "last header column must be `label`".into(),
+        ));
     }
-    let feat_names: Vec<String> = cols[..cols.len() - 1].iter().map(|s| s.to_string()).collect();
+    let feat_names: Vec<String> = cols[..cols.len() - 1]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let n_features = feat_names.len();
 
     let mut rows: Vec<Vec<f64>> = Vec::new();

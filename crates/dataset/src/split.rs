@@ -69,7 +69,8 @@ fn stratified_two_way(
                 need: 2,
             });
         }
-        let mut rng = StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (class as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         members.shuffle(&mut rng);
         let n_test = ((members.len() as f64) * test_fraction).round().max(1.0) as usize;
         let n_test = n_test.min(members.len() - 1);
@@ -144,7 +145,10 @@ impl KFold {
     /// `k < 2` or `k > n`.
     pub fn new(n: usize, k: usize, seed: u64) -> Result<Self> {
         if k < 2 || k > n {
-            return Err(DataError::IndexOutOfBounds { index: k, bound: n + 1 });
+            return Err(DataError::IndexOutOfBounds {
+                index: k,
+                bound: n + 1,
+            });
         }
         let idx = shuffled_indices(n, seed);
         let base = n / k;
@@ -255,7 +259,7 @@ mod tests {
     #[test]
     fn kfold_covers_everything_once() {
         let kf = KFold::new(25, 4, 17).unwrap();
-        let mut seen = vec![0usize; 25];
+        let mut seen = [0usize; 25];
         for f in 0..kf.k() {
             let (train, val) = kf.fold(f).unwrap();
             assert_eq!(train.len() + val.len(), 25);
@@ -263,7 +267,10 @@ mod tests {
                 seen[i] += 1;
             }
         }
-        assert!(seen.iter().all(|&c| c == 1), "each index in exactly one fold");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "each index in exactly one fold"
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn gaussian_blobs(
     let mut labels = Vec::with_capacity(n);
     for i in 0..n {
         let c = i % n_classes;
-        let row: Vec<f64> = centers[c].iter().map(|&m| m + std * normal(&mut rng)).collect();
+        let row: Vec<f64> = centers[c]
+            .iter()
+            .map(|&m| m + std * normal(&mut rng))
+            .collect();
         rows.push(row);
         labels.push(c);
     }
@@ -70,7 +73,10 @@ pub fn two_moons(n: usize, noise: f64, seed: u64) -> Result<Dataset> {
         } else {
             (1.0 - t.cos(), 0.5 - t.sin(), 1usize)
         };
-        rows.push(vec![x + noise * normal(&mut rng), y + noise * normal(&mut rng)]);
+        rows.push(vec![
+            x + noise * normal(&mut rng),
+            y + noise * normal(&mut rng),
+        ]);
         labels.push(label);
     }
     Dataset::from_rows(&rows, &labels, 2)
@@ -131,8 +137,8 @@ mod tests {
         let counts = ds.class_counts();
         for i in 0..ds.n_rows() {
             let c = ds.label(i);
-            for j in 0..2 {
-                means[c][j] += ds.row(i)[j] / counts[c] as f64;
+            for (j, m) in means[c].iter_mut().enumerate() {
+                *m += ds.row(i)[j] / counts[c] as f64;
             }
         }
         let dist: f64 = means[0]

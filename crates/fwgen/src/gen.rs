@@ -1,9 +1,9 @@
 //! The top-level dataset generator.
 
-use aml_dataset::Dataset;
 use crate::profiles::{confuse_action_for_low_src, sample_row_with, LOW_SRC_PORT_RATE};
 use crate::schema::{class_names, feature_metas, FwAction};
 use crate::{FwGenError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -129,7 +129,12 @@ mod tests {
 
     #[test]
     fn generates_requested_rows_and_schema() {
-        let ds = generate(&FwGenConfig { n: 500, seed: 1, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 500,
+            seed: 1,
+            priors: None,
+        })
+        .unwrap();
         assert_eq!(ds.n_rows(), 500);
         assert_eq!(ds.n_features(), 11);
         assert_eq!(
@@ -140,16 +145,36 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&FwGenConfig { n: 300, seed: 9, priors: None }).unwrap();
-        let b = generate(&FwGenConfig { n: 300, seed: 9, priors: None }).unwrap();
+        let a = generate(&FwGenConfig {
+            n: 300,
+            seed: 9,
+            priors: None,
+        })
+        .unwrap();
+        let b = generate(&FwGenConfig {
+            n: 300,
+            seed: 9,
+            priors: None,
+        })
+        .unwrap();
         assert_eq!(a, b);
-        let c = generate(&FwGenConfig { n: 300, seed: 10, priors: None }).unwrap();
+        let c = generate(&FwGenConfig {
+            n: 300,
+            seed: 10,
+            priors: None,
+        })
+        .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn class_imbalance_matches_priors() {
-        let ds = generate(&FwGenConfig { n: 20_000, seed: 2, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 20_000,
+            seed: 2,
+            priors: None,
+        })
+        .unwrap();
         let counts = ds.class_counts();
         let total: usize = counts.iter().sum();
         let frac = |c: usize| counts[c] as f64 / total as f64;
@@ -171,15 +196,20 @@ mod tests {
         })
         .unwrap();
         let counts = ds.class_counts();
-        for c in 0..4 {
-            let frac = counts[c] as f64 / ds.n_rows() as f64;
+        for (c, &count) in counts.iter().enumerate() {
+            let frac = count as f64 / ds.n_rows() as f64;
             assert!((frac - 0.25).abs() < 0.05, "class {c}: {frac}");
         }
     }
 
     #[test]
     fn invalid_configs_rejected() {
-        assert!(generate(&FwGenConfig { n: 0, seed: 0, priors: None }).is_err());
+        assert!(generate(&FwGenConfig {
+            n: 0,
+            seed: 0,
+            priors: None
+        })
+        .is_err());
         assert!(generate(&FwGenConfig {
             n: 10,
             seed: 0,
@@ -196,7 +226,12 @@ mod tests {
 
     #[test]
     fn low_source_ports_are_rare_but_present() {
-        let ds = generate(&FwGenConfig { n: 20_000, seed: 4, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 20_000,
+            seed: 4,
+            priors: None,
+        })
+        .unwrap();
         let low = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] < 1024.0).count();
         let frac = low as f64 / ds.n_rows() as f64;
         assert!(frac > 0.005 && frac < 0.05, "low-src-port fraction {frac}");
@@ -206,7 +241,12 @@ mod tests {
     fn low_source_port_labels_are_noisier_than_average() {
         // Measure label entropy among low-src-port rows vs the rest; the
         // confusion mechanism should visibly raise it.
-        let ds = generate(&FwGenConfig { n: 40_000, seed: 5, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 40_000,
+            seed: 5,
+            priors: None,
+        })
+        .unwrap();
         let entropy = |rows: &[usize]| -> f64 {
             let mut counts = [0usize; 4];
             for &i in rows {
@@ -222,8 +262,12 @@ mod tests {
                 })
                 .sum()
         };
-        let low: Vec<usize> = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] < 1024.0).collect();
-        let high: Vec<usize> = (0..ds.n_rows()).filter(|&i| ds.row(i)[0] >= 1024.0).collect();
+        let low: Vec<usize> = (0..ds.n_rows())
+            .filter(|&i| ds.row(i)[0] < 1024.0)
+            .collect();
+        let high: Vec<usize> = (0..ds.n_rows())
+            .filter(|&i| ds.row(i)[0] >= 1024.0)
+            .collect();
         assert!(low.len() > 100);
         assert!(
             entropy(&low) > entropy(&high) + 0.1,
@@ -237,7 +281,12 @@ mod tests {
     fn https_region_has_cross_profile_labels() {
         // The 443-445 ambiguity: some allow-profiled rows (NAT translated,
         // bytes received) carry blocked labels and vice versa.
-        let ds = generate(&FwGenConfig { n: 30_000, seed: 8, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 30_000,
+            seed: 8,
+            priors: None,
+        })
+        .unwrap();
         let mut allow_features_blocked_label = 0usize;
         let mut blocked_features_allow_label = 0usize;
         for i in 0..ds.n_rows() {
@@ -266,7 +315,12 @@ mod tests {
     fn ambiguity_is_confined_to_https_region() {
         // Outside 443-445 (and away from low src ports) the features fully
         // determine the label: NAT translation implies allow.
-        let ds = generate(&FwGenConfig { n: 20_000, seed: 9, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 20_000,
+            seed: 9,
+            priors: None,
+        })
+        .unwrap();
         for i in 0..ds.n_rows() {
             let row = ds.row(i);
             if row[0] < 1024.0 || (443.0..=445.0).contains(&row[1]) {
@@ -282,7 +336,12 @@ mod tests {
     fn dst_443_region_is_label_mixed() {
         // The 443–445 region must contain both allowed and blocked traffic
         // in real proportion — the precondition for Figure 2b's confusion.
-        let ds = generate(&FwGenConfig { n: 30_000, seed: 6, priors: None }).unwrap();
+        let ds = generate(&FwGenConfig {
+            n: 30_000,
+            seed: 6,
+            priors: None,
+        })
+        .unwrap();
         let mut allow = 0usize;
         let mut blocked = 0usize;
         for i in 0..ds.n_rows() {

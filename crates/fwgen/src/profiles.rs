@@ -78,7 +78,11 @@ pub fn sample_row(action: FwAction, rng: &mut StdRng) -> Vec<f64> {
 /// Draw one feature row for `action` with the low-source-port choice made
 /// by the caller (the generator controls the exact low-port rate this way).
 pub fn sample_row_with(action: FwAction, low_src: bool, rng: &mut StdRng) -> Vec<f64> {
-    let src_port = if low_src { low_src_port(rng) } else { ephemeral_port(rng) };
+    let src_port = if low_src {
+        low_src_port(rng)
+    } else {
+        ephemeral_port(rng)
+    };
 
     match action {
         FwAction::Allow => {
@@ -244,7 +248,10 @@ mod tests {
             assert_eq!(row[4], row[5] + row[6], "bytes = sent + received");
             total_bytes += row[4];
         }
-        assert!(total_bytes / 200.0 > 1_000.0, "allowed flows carry real volume");
+        assert!(
+            total_bytes / 200.0 > 1_000.0,
+            "allowed flows carry real volume"
+        );
     }
 
     #[test]
@@ -271,9 +278,9 @@ mod tests {
         for action in FwAction::ALL {
             for _ in 0..200 {
                 let row = sample_row(action, &mut r);
-                for j in 0..4 {
-                    assert!((0.0..=65535.0).contains(&row[j]), "feature {j} = {}", row[j]);
-                    assert_eq!(row[j], row[j].round(), "ports are integral");
+                for (j, &v) in row.iter().enumerate().take(4) {
+                    assert!((0.0..=65535.0).contains(&v), "feature {j} = {v}");
+                    assert_eq!(v, v.round(), "ports are integral");
                 }
             }
         }

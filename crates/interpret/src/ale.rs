@@ -15,10 +15,10 @@
 //! class ([`AleConfig::target_class`]) — the natural choice for the paper's
 //! binary "Scream vs rest" problem is the positive class.
 
-use aml_dataset::Dataset;
-use aml_models::Classifier;
 use crate::grid::Grid;
 use crate::{InterpretError, Result};
+use aml_dataset::Dataset;
+use aml_models::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for an ALE computation.
@@ -98,7 +98,10 @@ pub fn ale_curve(
         });
     }
 
+    let _span = aml_telemetry::span!("interpret.ale.curve");
     let k = grid.n_intervals();
+    aml_telemetry::counter_add("interpret.ale.cells", k as u64);
+    aml_telemetry::counter_add("interpret.ale.predictions", 2 * data.n_rows() as u64);
     let mut sums = vec![0.0; k];
     let mut counts = vec![0usize; k];
 
@@ -206,7 +209,10 @@ mod tests {
         let grid = Grid::uniform(aml_dataset::FeatureDomain::continuous(0.0, 1.0), 10).unwrap();
         let curve = ale_curve(&LinearInX0, &ds, 1, &grid, &AleConfig::default()).unwrap();
         for v in &curve.values {
-            assert!(v.abs() < 1e-12, "feature 1 is ignored, ALE must be 0, got {v}");
+            assert!(
+                v.abs() < 1e-12,
+                "feature 1 is ignored, ALE must be 0, got {v}"
+            );
         }
     }
 

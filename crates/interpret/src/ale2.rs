@@ -19,11 +19,11 @@
 //! over both axes, then subtract the accumulated first-order row/column
 //! means so the surface is centered with zero marginal effects.
 
-use aml_dataset::Dataset;
-use aml_models::Classifier;
 use crate::ale::AleConfig;
 use crate::grid::Grid;
 use crate::{InterpretError, Result};
+use aml_dataset::Dataset;
+use aml_models::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// A second-order ALE surface on a 2-D grid.
@@ -176,11 +176,11 @@ pub fn ale_surface(
 
         // Subtract marginal effects at the node level (nearest cell's
         // effects; boundary nodes use the adjacent cell).
-        for a in 0..=nj {
-            for b in 0..=nk {
-                let ra = a.min(nj - 1);
+        for (a, acc_row) in acc.iter_mut().enumerate() {
+            let ra = a.min(nj - 1);
+            for (b, cell) in acc_row.iter_mut().enumerate() {
                 let cb = b.min(nk - 1);
-                acc[a][b] = acc[a][b] - row_effect[ra] - col_effect[cb] + grand;
+                *cell = *cell - row_effect[ra] - col_effect[cb] + grand;
             }
         }
     }
@@ -333,8 +333,7 @@ mod tests {
         // from_rows requires 2 classes represented for models, but here we
         // only interrogate a stub model — patch one label.
         let _ = &mut ds;
-        let ranked =
-            rank_interactions(&ProductPlusNoise, &ds, 6, &AleConfig::default()).unwrap();
+        let ranked = rank_interactions(&ProductPlusNoise, &ds, 6, &AleConfig::default()).unwrap();
         assert_eq!((ranked[0].0, ranked[0].1), (0, 1), "ranking: {ranked:?}");
     }
 
@@ -346,7 +345,11 @@ mod tests {
         let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
         let (gj, gk) = grids(&ds, 8);
         let s = ale_surface(&tree, &ds, 0, 1, &gj, &gk, &AleConfig::default()).unwrap();
-        assert!(s.max_abs() > 0.1, "XOR interaction strength {}", s.max_abs());
+        assert!(
+            s.max_abs() > 0.1,
+            "XOR interaction strength {}",
+            s.max_abs()
+        );
     }
 
     #[test]

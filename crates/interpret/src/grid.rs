@@ -5,8 +5,8 @@
 //! interval's local effect is estimated from a handful of points; uniform
 //! grids are available for plotting against an evenly spaced axis.
 
-use aml_dataset::FeatureDomain;
 use crate::{InterpretError, Result};
+use aml_dataset::FeatureDomain;
 use serde::{Deserialize, Serialize};
 
 /// A strictly increasing sequence of grid points over one feature.
@@ -52,7 +52,8 @@ impl Grid {
             return Err(InterpretError::InvalidParameter("k must be >= 1".into()));
         }
         let (lo, hi) = (domain.lo(), domain.hi());
-        if !(hi > lo) {
+        // NaN bounds also land here (the comparison is vacuously false).
+        if hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater) {
             return Err(InterpretError::DegenerateGrid);
         }
         let points = (0..=k)
@@ -66,7 +67,8 @@ impl Grid {
         if points.len() < 2 {
             return Err(InterpretError::DegenerateGrid);
         }
-        if points.windows(2).any(|w| !(w[1] > w[0])) || points.iter().any(|p| !p.is_finite()) {
+        let increasing = |w: &[f64]| w[1].partial_cmp(&w[0]) == Some(std::cmp::Ordering::Greater);
+        if points.windows(2).any(|w| !increasing(w)) || points.iter().any(|p| !p.is_finite()) {
             return Err(InterpretError::InvalidParameter(
                 "grid points must be finite and strictly increasing".into(),
             ));

@@ -7,10 +7,10 @@
 //! near-zero importance (like `src_port`) is safe to discard, exactly the
 //! §4.2 operator's reasoning.
 
+use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
-use crate::{InterpretError, Result};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -46,7 +46,9 @@ pub fn permutation_importance(
         return Err(InterpretError::EmptyData);
     }
     if repeats == 0 {
-        return Err(InterpretError::InvalidParameter("repeats must be >= 1".into()));
+        return Err(InterpretError::InvalidParameter(
+            "repeats must be >= 1".into(),
+        ));
     }
     let baseline_preds = model.predict(data)?;
     let baseline = balanced_accuracy(data.labels(), &baseline_preds, data.n_classes())
@@ -58,16 +60,15 @@ pub fn permutation_importance(
         let column = data.column(feature)?;
         let mut drops = Vec::with_capacity(repeats);
         for r in 0..repeats {
-            let mut rng =
-                StdRng::seed_from_u64(seed ^ (feature as u64 * 1000 + r as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(seed ^ (feature as u64 * 1000 + r as u64 + 1));
             let mut shuffled = column.clone();
             shuffled.shuffle(&mut rng);
             // Predict with the shuffled column patched in row-by-row.
             let mut preds = Vec::with_capacity(n);
             let mut row_buf = vec![0.0; data.n_features()];
-            for i in 0..n {
+            for (i, &patched) in shuffled.iter().enumerate().take(n) {
                 row_buf.copy_from_slice(data.row(i));
-                row_buf[feature] = shuffled[i];
+                row_buf[feature] = patched;
                 preds.push(model.predict_row(&row_buf)?);
             }
             let acc = balanced_accuracy(data.labels(), &preds, data.n_classes())
@@ -109,7 +110,11 @@ mod tests {
         let ds = one_informative_feature(1);
         let tree = DecisionTree::fit(&ds, TreeParams::default()).unwrap();
         let imp = permutation_importance(&tree, &ds, 3, 7).unwrap();
-        assert!(imp[0].importance > 0.3, "x0 importance {}", imp[0].importance);
+        assert!(
+            imp[0].importance > 0.3,
+            "x0 importance {}",
+            imp[0].importance
+        );
         assert!(
             imp[1].importance.abs() < 0.05,
             "x1 is noise, importance {}",

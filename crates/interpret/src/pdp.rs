@@ -6,11 +6,11 @@
 //! obvious alternatives, and the ablation benches compare PDP-variance
 //! feedback against ALE-variance feedback.
 
-use aml_dataset::Dataset;
-use aml_models::Classifier;
 use crate::ale::AleConfig;
 use crate::grid::Grid;
 use crate::{InterpretError, Result};
+use aml_dataset::Dataset;
+use aml_models::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// A partial-dependence curve: the average model response with one feature
@@ -100,7 +100,9 @@ pub fn ice_curves(
 ) -> Result<IceCurves> {
     validate(model, data, feature, config)?;
     if max_lines == 0 {
-        return Err(InterpretError::InvalidParameter("max_lines must be >= 1".into()));
+        return Err(InterpretError::InvalidParameter(
+            "max_lines must be >= 1".into(),
+        ));
     }
     let stride = (data.n_rows() / max_lines).max(1);
     let mut lines = Vec::new();
@@ -165,8 +167,7 @@ mod tests {
         let ice = ice_curves(&tree, &ds, 0, &grid, &cfg, usize::MAX).unwrap();
         assert_eq!(ice.lines.len(), ds.n_rows());
         for (g, &pv) in pdp.values.iter().enumerate() {
-            let mean: f64 =
-                ice.lines.iter().map(|l| l[g]).sum::<f64>() / ice.lines.len() as f64;
+            let mean: f64 = ice.lines.iter().map(|l| l[g]).sum::<f64>() / ice.lines.len() as f64;
             assert!((mean - pv).abs() < 1e-12);
         }
     }
@@ -175,8 +176,7 @@ mod tests {
     fn ice_respects_max_lines() {
         let ds = synth::two_moons(100, 0.2, 3).unwrap();
         let grid = Grid::quantile(&ds.column(0).unwrap(), 4).unwrap();
-        let ice =
-            ice_curves(&LinearInX0, &ds, 0, &grid, &AleConfig::default(), 10).unwrap();
+        let ice = ice_curves(&LinearInX0, &ds, 0, &grid, &AleConfig::default(), 10).unwrap();
         assert!(ice.lines.len() <= 10);
         assert!(!ice.lines.is_empty());
     }
@@ -186,8 +186,6 @@ mod tests {
         let ds = synth::two_moons(50, 0.2, 4).unwrap();
         let grid = Grid::quantile(&ds.column(0).unwrap(), 4).unwrap();
         assert!(pdp_curve(&LinearInX0, &ds, 9, &grid, &AleConfig::default()).is_err());
-        assert!(
-            ice_curves(&LinearInX0, &ds, 0, &grid, &AleConfig::default(), 0).is_err()
-        );
+        assert!(ice_curves(&LinearInX0, &ds, 0, &grid, &AleConfig::default(), 0).is_err());
     }
 }

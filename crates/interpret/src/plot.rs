@@ -104,10 +104,20 @@ pub fn band_to_svg(band: &AleBand, width: u32, height: u32) -> String {
     // Shaded band polygon: upper edge left→right then lower edge right→left.
     let mut poly = String::new();
     for i in 0..band.grid.len() {
-        let _ = write!(poly, "{:.2},{:.2} ", px(band.grid[i]), py(band.mean[i] + band.std[i]));
+        let _ = write!(
+            poly,
+            "{:.2},{:.2} ",
+            px(band.grid[i]),
+            py(band.mean[i] + band.std[i])
+        );
     }
     for i in (0..band.grid.len()).rev() {
-        let _ = write!(poly, "{:.2},{:.2} ", px(band.grid[i]), py(band.mean[i] - band.std[i]));
+        let _ = write!(
+            poly,
+            "{:.2},{:.2} ",
+            px(band.grid[i]),
+            py(band.mean[i] - band.std[i])
+        );
     }
     let mut line = String::new();
     for (i, (&g, &m)) in band.grid.iter().zip(&band.mean).enumerate() {

@@ -11,9 +11,9 @@
 //! to the declared feature domain, and expose each interval as a tiny
 //! half-space system `Aᵢx ≤ bᵢ` over the full feature vector.
 
-use aml_dataset::FeatureDomain;
 use crate::variance::AleBand;
 use crate::{InterpretError, Result};
+use aml_dataset::FeatureDomain;
 use serde::{Deserialize, Serialize};
 
 /// A closed interval `[lo, hi]` on one feature's axis.
@@ -82,6 +82,7 @@ impl FeatureRegions {
     /// # Errors
     /// Negative/non-finite threshold.
     pub fn from_band(band: &AleBand, threshold: f64, domain: FeatureDomain) -> Result<Self> {
+        let _span = aml_telemetry::span!("interpret.region.extract");
         if !threshold.is_finite() || threshold < 0.0 {
             return Err(InterpretError::InvalidParameter(format!(
                 "threshold {threshold} must be finite and >= 0"
@@ -155,7 +156,10 @@ impl FeatureRegions {
     /// e.g. `config.link_rate <= 45 ∪ config.link_rate >= 99`.
     pub fn describe(&self) -> String {
         if self.intervals.is_empty() {
-            return format!("{}: no region exceeds threshold {}", self.feature_name, self.threshold);
+            return format!(
+                "{}: no region exceeds threshold {}",
+                self.feature_name, self.threshold
+            );
         }
         let eps = 1e-9 * self.domain.width().max(1.0);
         let parts: Vec<String> = self
@@ -168,9 +172,9 @@ impl FeatureRegions {
                     (true, true) => format!("{} unbounded (entire domain)", self.feature_name),
                     (true, false) => format!("{} <= {:.4}", self.feature_name, iv.hi),
                     (false, true) => format!("{} >= {:.4}", self.feature_name, iv.lo),
-                    (false, false) =>
-
-                        format!("{:.4} <= {} <= {:.4}", iv.lo, self.feature_name, iv.hi),
+                    (false, false) => {
+                        format!("{:.4} <= {} <= {:.4}", iv.lo, self.feature_name, iv.hi)
+                    }
                 }
             })
             .collect();
@@ -194,7 +198,11 @@ fn merge_touching(intervals: Vec<Interval>) -> Vec<Interval> {
 /// intervals that touch them: a flagged point means the curve is uncertain
 /// there, so both adjacent intervals are worth sampling.
 fn make_interval(grid: &[f64], start: usize, end: usize, domain: FeatureDomain) -> Interval {
-    let lo = if start == 0 { domain.lo() } else { grid[start - 1] };
+    let lo = if start == 0 {
+        domain.lo()
+    } else {
+        grid[start - 1]
+    };
     let hi = if end + 1 >= grid.len() {
         domain.hi()
     } else {
@@ -268,7 +276,9 @@ mod tests {
         // Point 5 (x = 50) flagged → widened to adjacent grid points [40, 60].
         assert_eq!(r.intervals[0].lo, 40.0);
         assert_eq!(r.intervals[0].hi, 60.0);
-        assert!(r.describe().contains("40.0000 <= config.link_rate <= 60.0000"));
+        assert!(r
+            .describe()
+            .contains("40.0000 <= config.link_rate <= 60.0000"));
     }
 
     #[test]

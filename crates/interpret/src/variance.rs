@@ -7,12 +7,12 @@
 //! mean and population standard deviation across models form the band that
 //! is plotted (Figures 1/2) and thresholded ([`crate::region`]).
 
-use aml_dataset::Dataset;
-use aml_models::Classifier;
 use crate::ale::{ale_curve, AleConfig, AleCurve};
 use crate::grid::Grid;
 use crate::pdp::pdp_curve;
 use crate::{InterpretError, Result};
+use aml_dataset::Dataset;
+use aml_models::Classifier;
 use serde::{Deserialize, Serialize};
 
 /// The cross-model ALE band for one feature.
@@ -57,10 +57,12 @@ pub fn ale_band(
     if models.is_empty() {
         return Err(InterpretError::NoModels);
     }
-    let column = data.column(feature).map_err(|_| InterpretError::BadFeature {
-        index: feature,
-        n_features: data.n_features(),
-    })?;
+    let column = data
+        .column(feature)
+        .map_err(|_| InterpretError::BadFeature {
+            index: feature,
+            n_features: data.n_features(),
+        })?;
     let grid = Grid::quantile(&column, n_intervals)?;
     ale_band_on_grid(models, data, feature, &grid, config)
 }
@@ -74,6 +76,7 @@ pub fn ale_band_on_grid(
     grid: &Grid,
     config: &AleConfig,
 ) -> Result<AleBand> {
+    let _span = aml_telemetry::span!("interpret.variance.band");
     if models.is_empty() {
         return Err(InterpretError::NoModels);
     }
@@ -137,6 +140,7 @@ pub fn pdp_band_on_grid(
     grid: &Grid,
     config: &AleConfig,
 ) -> Result<AleBand> {
+    let _span = aml_telemetry::span!("interpret.variance.pdp_band");
     if models.is_empty() {
         return Err(InterpretError::NoModels);
     }
@@ -215,8 +219,7 @@ mod tests {
         let ds = synth::noisy_xor(200, 0.0, 1).unwrap();
         let a = Slope(1.0);
         let b = Slope(1.0);
-        let band =
-            ale_band(&[&a, &b], &ds, 0, 8, &AleConfig::default()).unwrap();
+        let band = ale_band(&[&a, &b], &ds, 0, 8, &AleConfig::default()).unwrap();
         assert!(band.std.iter().all(|&s| s < 1e-12));
         assert_eq!(band.n_models, 2);
     }
@@ -246,10 +249,25 @@ mod tests {
     #[test]
     fn bands_for_all_features_cover_every_column() {
         let ds = synth::gaussian_blobs(120, 3, 2, 1.0, 4).unwrap();
-        let t1 = DecisionTree::fit(&ds, TreeParams { seed: 1, max_features: Some(2), ..Default::default() }).unwrap();
-        let t2 = DecisionTree::fit(&ds, TreeParams { seed: 2, max_features: Some(2), ..Default::default() }).unwrap();
-        let bands =
-            ale_bands_all_features(&[&t1, &t2], &ds, 8, &AleConfig::default()).unwrap();
+        let t1 = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                seed: 1,
+                max_features: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t2 = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                seed: 2,
+                max_features: Some(2),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bands = ale_bands_all_features(&[&t1, &t2], &ds, 8, &AleConfig::default()).unwrap();
         assert_eq!(bands.len(), 3);
         for (f, b) in bands.iter().enumerate() {
             assert_eq!(b.feature, f);
@@ -273,8 +291,7 @@ mod tests {
         let a = Slope(1.0);
         let b = Slope(1.0);
         let grid = crate::grid::Grid::quantile(&ds.column(0).unwrap(), 8).unwrap();
-        let band =
-            pdp_band_on_grid(&[&a, &b], &ds, 0, &grid, &AleConfig::default()).unwrap();
+        let band = pdp_band_on_grid(&[&a, &b], &ds, 0, &grid, &AleConfig::default()).unwrap();
         assert!(band.std.iter().all(|&s| s < 1e-12));
         // PDP of p(x)=x is the identity — not centered like ALE.
         for (g, m) in band.grid.iter().zip(&band.mean) {
@@ -288,8 +305,7 @@ mod tests {
         let a = Slope(1.0);
         let b = Slope(-1.0);
         let grid = crate::grid::Grid::quantile(&ds.column(0).unwrap(), 8).unwrap();
-        let band =
-            pdp_band_on_grid(&[&a, &b], &ds, 0, &grid, &AleConfig::default()).unwrap();
+        let band = pdp_band_on_grid(&[&a, &b], &ds, 0, &grid, &AleConfig::default()).unwrap();
         assert!(band.max_std() > 0.05);
     }
 

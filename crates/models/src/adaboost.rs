@@ -8,10 +8,10 @@
 //! different places, which is exactly the diversity QBC and the ALE
 //! feedback feed on.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, normalize, Classifier};
 use crate::tree::{DecisionTree, TreeParams};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`AdaBoost`].
@@ -48,7 +48,9 @@ impl AdaBoost {
     pub fn fit(ds: &Dataset, params: AdaBoostParams) -> Result<Self> {
         check_training(ds)?;
         if params.n_rounds == 0 {
-            return Err(ModelError::InvalidHyperparameter("n_rounds must be >= 1".into()));
+            return Err(ModelError::InvalidHyperparameter(
+                "n_rounds must be >= 1".into(),
+            ));
         }
         if !(params.learning_rate > 0.0 && params.learning_rate <= 2.0) {
             return Err(ModelError::InvalidHyperparameter(format!(
@@ -101,7 +103,7 @@ impl AdaBoost {
                 }
             }
             let total: f64 = weights.iter().sum();
-            if !(total > 0.0) || !total.is_finite() {
+            if total <= 0.0 || !total.is_finite() {
                 return Err(ModelError::NumericalFailure(
                     "AdaBoost weights degenerated".into(),
                 ));
@@ -158,8 +160,8 @@ impl Classifier for AdaBoost {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
+    use aml_dataset::synth;
 
     #[test]
     fn stumps_cannot_start_on_xor() {
@@ -169,7 +171,11 @@ mod tests {
         let ds = synth::noisy_xor(400, 0.0, 1).unwrap();
         let boosted = AdaBoost::fit(
             &ds,
-            AdaBoostParams { n_rounds: 60, max_depth: 1, ..Default::default() },
+            AdaBoostParams {
+                n_rounds: 60,
+                max_depth: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Either boosting stops early (stump exactly at chance) or it limps
@@ -186,13 +192,21 @@ mod tests {
         let ds = synth::noisy_xor(400, 0.0, 1).unwrap();
         let single = DecisionTree::fit(
             &ds,
-            TreeParams { max_depth: 2, min_samples_leaf: 40, ..Default::default() },
+            TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 40,
+                ..Default::default()
+            },
         )
         .unwrap();
         let single_acc = accuracy(ds.labels(), &single.predict(&ds).unwrap()).unwrap();
         let boosted = AdaBoost::fit(
             &ds,
-            AdaBoostParams { n_rounds: 60, max_depth: 2, ..Default::default() },
+            AdaBoostParams {
+                n_rounds: 60,
+                max_depth: 2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let boosted_acc = accuracy(ds.labels(), &boosted.predict(&ds).unwrap()).unwrap();
@@ -218,7 +232,11 @@ mod tests {
         let ds = synth::gaussian_blobs(100, 2, 2, 0.01, 4).unwrap();
         let m = AdaBoost::fit(
             &ds,
-            AdaBoostParams { n_rounds: 50, max_depth: 4, ..Default::default() },
+            AdaBoostParams {
+                n_rounds: 50,
+                max_depth: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(m.n_learners() < 50, "kept {} learners", m.n_learners());
@@ -240,10 +258,20 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let ds = synth::two_moons(50, 0.1, 0).unwrap();
-        assert!(AdaBoost::fit(&ds, AdaBoostParams { n_rounds: 0, ..Default::default() }).is_err());
         assert!(AdaBoost::fit(
             &ds,
-            AdaBoostParams { learning_rate: 0.0, ..Default::default() }
+            AdaBoostParams {
+                n_rounds: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(AdaBoost::fit(
+            &ds,
+            AdaBoostParams {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

@@ -128,11 +128,11 @@ impl Classifier for SoftVotingEnsemble {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::knn::{KNearestNeighbors, KnnParams};
     use crate::metrics::accuracy;
     use crate::naive_bayes::{GaussianNaiveBayes, NbParams};
     use crate::tree::{DecisionTree, TreeParams};
+    use aml_dataset::synth;
 
     fn members(ds: &aml_dataset::Dataset) -> Vec<Arc<dyn Classifier>> {
         vec![
@@ -162,7 +162,10 @@ mod tests {
             .fold(f64::INFINITY, f64::min);
         let e = SoftVotingEnsemble::uniform(ms).unwrap();
         let acc = accuracy(test.labels(), &e.predict(&test).unwrap()).unwrap();
-        assert!(acc >= worst - 0.05, "ensemble {acc} vs worst member {worst}");
+        assert!(
+            acc >= worst - 0.05,
+            "ensemble {acc} vs worst member {worst}"
+        );
     }
 
     #[test]

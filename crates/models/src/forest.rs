@@ -5,10 +5,10 @@
 //! randomness comes from: forests bootstrap-resample rows and subsample
 //! features per split; extra-trees keep all rows but draw random thresholds.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, Classifier};
 use crate::tree::{Criterion, DecisionTree, Splitter, TreeParams};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -46,7 +46,9 @@ impl Default for ForestParams {
 impl ForestParams {
     fn validate(&self) -> Result<()> {
         if self.n_trees == 0 {
-            return Err(ModelError::InvalidHyperparameter("n_trees must be >= 1".into()));
+            return Err(ModelError::InvalidHyperparameter(
+                "n_trees must be >= 1".into(),
+            ));
         }
         Ok(())
     }
@@ -94,8 +96,9 @@ impl RandomForest {
             // but one class (possible on small or imbalanced data).
             let mut tree = None;
             for attempt in 0..8 {
-                let idx: Vec<usize> =
-                    (0..ds.n_rows()).map(|_| rng.gen_range(0..ds.n_rows())).collect();
+                let idx: Vec<usize> = (0..ds.n_rows())
+                    .map(|_| rng.gen_range(0..ds.n_rows()))
+                    .collect();
                 let sample = ds.subset(&idx)?;
                 match DecisionTree::fit(
                     &sample,
@@ -113,10 +116,7 @@ impl RandomForest {
             // collapsing to one class.
             let tree = match tree {
                 Some(t) => t,
-                None => DecisionTree::fit(
-                    ds,
-                    params.tree_params(ds, Splitter::Best, seed),
-                )?,
+                None => DecisionTree::fit(ds, params.tree_params(ds, Splitter::Best, seed))?,
             };
             trees.push(tree);
         }
@@ -230,8 +230,8 @@ impl Classifier for ExtraTrees {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
+    use aml_dataset::synth;
 
     #[test]
     fn forest_beats_chance_on_moons() {
@@ -239,7 +239,10 @@ mod tests {
         let test = synth::two_moons(200, 0.2, 2).unwrap();
         let f = RandomForest::fit(
             &train,
-            ForestParams { n_trees: 30, ..Default::default() },
+            ForestParams {
+                n_trees: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         let acc = accuracy(test.labels(), &f.predict(&test).unwrap()).unwrap();
@@ -252,7 +255,10 @@ mod tests {
         let test = synth::two_moons(200, 0.2, 4).unwrap();
         let f = ExtraTrees::fit(
             &train,
-            ForestParams { n_trees: 30, ..Default::default() },
+            ForestParams {
+                n_trees: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         let acc = accuracy(test.labels(), &f.predict(&test).unwrap()).unwrap();
@@ -262,7 +268,14 @@ mod tests {
     #[test]
     fn probabilities_average_to_distribution() {
         let ds = synth::gaussian_blobs(90, 2, 3, 1.0, 5).unwrap();
-        let f = RandomForest::fit(&ds, ForestParams { n_trees: 7, ..Default::default() }).unwrap();
+        let f = RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let p = f.predict_proba_row(ds.row(0)).unwrap();
         assert_eq!(p.len(), 3);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
@@ -271,27 +284,62 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let ds = synth::two_moons(100, 0.2, 9).unwrap();
-        let a = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
-            .unwrap();
-        let b = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
-            .unwrap();
+        let a = RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 5,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 5,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn seed_changes_model() {
         let ds = synth::two_moons(100, 0.2, 9).unwrap();
-        let a = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 3, ..Default::default() })
-            .unwrap();
-        let c = RandomForest::fit(&ds, ForestParams { n_trees: 5, seed: 4, ..Default::default() })
-            .unwrap();
+        let a = RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 5,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let c = RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 5,
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 
     #[test]
     fn zero_trees_rejected() {
         let ds = synth::two_moons(40, 0.1, 0).unwrap();
-        assert!(RandomForest::fit(&ds, ForestParams { n_trees: 0, ..Default::default() }).is_err());
+        assert!(RandomForest::fit(
+            &ds,
+            ForestParams {
+                n_trees: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -302,7 +350,11 @@ mod tests {
         let ds = synth::two_moons(200, 0.3, 21).unwrap();
         let f = RandomForest::fit(
             &ds,
-            ForestParams { n_trees: 10, max_depth: 4, ..Default::default() },
+            ForestParams {
+                n_trees: 10,
+                max_depth: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let probes: Vec<Vec<f64>> = (0..10)

@@ -6,10 +6,10 @@
 //! values `Σ(y−p) / Σ p(1−p)` (standard LogitBoost/L2-TreeBoost leaf update).
 //! Class probabilities come from a softmax over the K scores.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, Classifier};
 use crate::regression::{RegTreeParams, RegressionTree};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`GradientBoosting`].
@@ -53,7 +53,9 @@ impl GradientBoosting {
     pub fn fit(ds: &Dataset, params: GbdtParams) -> Result<Self> {
         let counts = check_training(ds)?;
         if params.n_rounds == 0 {
-            return Err(ModelError::InvalidHyperparameter("n_rounds must be >= 1".into()));
+            return Err(ModelError::InvalidHyperparameter(
+                "n_rounds must be >= 1".into(),
+            ));
         }
         if !(params.learning_rate > 0.0 && params.learning_rate <= 1.0) {
             return Err(ModelError::InvalidHyperparameter(format!(
@@ -110,8 +112,8 @@ impl GradientBoosting {
                         factor * g / h
                     }
                 });
-                for i in 0..n {
-                    scores[c][i] += params.learning_rate * tree.predict_row(ds.row(i))?;
+                for (i, s) in scores[c].iter_mut().enumerate().take(n) {
+                    *s += params.learning_rate * tree.predict_row(ds.row(i))?;
                 }
                 round_trees.push(tree);
             }
@@ -183,15 +185,18 @@ impl Classifier for GradientBoosting {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::{accuracy, log_loss};
+    use aml_dataset::synth;
 
     #[test]
     fn learns_xor() {
         let ds = synth::noisy_xor(400, 0.0, 1).unwrap();
         let m = GradientBoosting::fit(
             &ds,
-            GbdtParams { n_rounds: 30, ..Default::default() },
+            GbdtParams {
+                n_rounds: 30,
+                ..Default::default()
+            },
         )
         .unwrap();
         let acc = accuracy(ds.labels(), &m.predict(&ds).unwrap()).unwrap();
@@ -212,17 +217,26 @@ mod tests {
         let ds = synth::two_moons(200, 0.25, 7).unwrap();
         let small = GradientBoosting::fit(
             &ds,
-            GbdtParams { n_rounds: 3, ..Default::default() },
+            GbdtParams {
+                n_rounds: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let big = GradientBoosting::fit(
             &ds,
-            GbdtParams { n_rounds: 60, ..Default::default() },
+            GbdtParams {
+                n_rounds: 60,
+                ..Default::default()
+            },
         )
         .unwrap();
         let l_small = log_loss(ds.labels(), &small.predict_proba(&ds).unwrap()).unwrap();
         let l_big = log_loss(ds.labels(), &big.predict_proba(&ds).unwrap()).unwrap();
-        assert!(l_big < l_small, "training loss should fall: {l_big} vs {l_small}");
+        assert!(
+            l_big < l_small,
+            "training loss should fall: {l_big} vs {l_small}"
+        );
     }
 
     #[test]
@@ -230,7 +244,10 @@ mod tests {
         let ds = synth::gaussian_blobs(60, 3, 4, 2.0, 4).unwrap();
         let m = GradientBoosting::fit(
             &ds,
-            GbdtParams { n_rounds: 5, ..Default::default() },
+            GbdtParams {
+                n_rounds: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         for i in 0..ds.n_rows() {
@@ -245,12 +262,18 @@ mod tests {
         let ds = synth::two_moons(40, 0.1, 0).unwrap();
         assert!(GradientBoosting::fit(
             &ds,
-            GbdtParams { n_rounds: 0, ..Default::default() }
+            GbdtParams {
+                n_rounds: 0,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(GradientBoosting::fit(
             &ds,
-            GbdtParams { learning_rate: 0.0, ..Default::default() }
+            GbdtParams {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -258,10 +281,22 @@ mod tests {
     #[test]
     fn deterministic() {
         let ds = synth::two_moons(100, 0.2, 5).unwrap();
-        let a = GradientBoosting::fit(&ds, GbdtParams { n_rounds: 5, ..Default::default() })
-            .unwrap();
-        let b = GradientBoosting::fit(&ds, GbdtParams { n_rounds: 5, ..Default::default() })
-            .unwrap();
+        let a = GradientBoosting::fit(
+            &ds,
+            GbdtParams {
+                n_rounds: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = GradientBoosting::fit(
+            &ds,
+            GbdtParams {
+                n_rounds: 5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a, b);
     }
 }

@@ -6,9 +6,9 @@
 //! dataset sizes of the paper's experiments (~thousands of rows) and keeps
 //! the implementation obviously correct.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, normalize, Classifier};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Vote weighting scheme.
@@ -107,15 +107,18 @@ impl Classifier for KNearestNeighbors {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
+    use aml_dataset::synth;
 
     #[test]
     fn one_nn_memorizes_training_set() {
         let ds = synth::gaussian_blobs(60, 2, 3, 1.0, 1).unwrap();
         let knn = KNearestNeighbors::fit(
             &ds,
-            KnnParams { k: 1, ..Default::default() },
+            KnnParams {
+                k: 1,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pred = knn.predict(&ds).unwrap();
@@ -136,20 +139,23 @@ mod tests {
         // Two classes: one point at 0 (class 0), two points far away at 10
         // and 10.1 (class 1). With k=3 uniform, class 1 wins 2:1; with
         // distance weights, the query at 0.1 sides with class 0.
-        let ds = aml_dataset::Dataset::from_rows(
-            &[vec![0.0], vec![10.0], vec![10.1]],
-            &[0, 1, 1],
-            2,
-        )
-        .unwrap();
+        let ds =
+            aml_dataset::Dataset::from_rows(&[vec![0.0], vec![10.0], vec![10.1]], &[0, 1, 1], 2)
+                .unwrap();
         let uniform = KNearestNeighbors::fit(
             &ds,
-            KnnParams { k: 3, weights: KnnWeights::Uniform },
+            KnnParams {
+                k: 3,
+                weights: KnnWeights::Uniform,
+            },
         )
         .unwrap();
         let weighted = KNearestNeighbors::fit(
             &ds,
-            KnnParams { k: 3, weights: KnnWeights::Distance },
+            KnnParams {
+                k: 3,
+                weights: KnnWeights::Distance,
+            },
         )
         .unwrap();
         assert_eq!(uniform.predict_row(&[0.1]).unwrap(), 1);
@@ -158,13 +164,16 @@ mod tests {
 
     #[test]
     fn k_larger_than_training_set_is_clamped() {
-        let ds = aml_dataset::Dataset::from_rows(
-            &[vec![0.0], vec![1.0], vec![2.0]],
-            &[0, 1, 1],
-            2,
+        let ds = aml_dataset::Dataset::from_rows(&[vec![0.0], vec![1.0], vec![2.0]], &[0, 1, 1], 2)
+            .unwrap();
+        let knn = KNearestNeighbors::fit(
+            &ds,
+            KnnParams {
+                k: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let knn = KNearestNeighbors::fit(&ds, KnnParams { k: 50, ..Default::default() }).unwrap();
         assert_eq!(knn.effective_k(), 3);
         // Majority of the whole set is class 1.
         assert_eq!(knn.predict_row(&[0.0]).unwrap(), 1);
@@ -173,18 +182,28 @@ mod tests {
     #[test]
     fn k_zero_rejected() {
         let ds = synth::two_moons(20, 0.1, 0).unwrap();
-        assert!(KNearestNeighbors::fit(&ds, KnnParams { k: 0, ..Default::default() }).is_err());
+        assert!(KNearestNeighbors::fit(
+            &ds,
+            KnnParams {
+                k: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn proba_is_vote_fraction() {
-        let ds = aml_dataset::Dataset::from_rows(
-            &[vec![0.0], vec![0.2], vec![5.0]],
-            &[0, 0, 1],
-            2,
+        let ds = aml_dataset::Dataset::from_rows(&[vec![0.0], vec![0.2], vec![5.0]], &[0, 0, 1], 2)
+            .unwrap();
+        let knn = KNearestNeighbors::fit(
+            &ds,
+            KnnParams {
+                k: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
-        let knn = KNearestNeighbors::fit(&ds, KnnParams { k: 3, ..Default::default() }).unwrap();
         let p = knn.predict_proba_row(&[0.1]).unwrap();
         assert!((p[0] - 2.0 / 3.0).abs() < 1e-9);
         assert!((p[1] - 1.0 / 3.0).abs() < 1e-9);

@@ -7,10 +7,10 @@
 //! — not a full Platt calibration, but monotone in the margins, which is all
 //! the ensemble's soft voting and QBC's vote entropy require.
 
-use aml_dataset::Dataset;
 use crate::gbdt::softmax;
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -52,11 +52,15 @@ impl LinearSvm {
     /// Fit one binary Pegasos SVM per class.
     pub fn fit(ds: &Dataset, params: SvmParams) -> Result<Self> {
         check_training(ds)?;
-        if !(params.lambda > 0.0) {
-            return Err(ModelError::InvalidHyperparameter("lambda must be > 0".into()));
+        if params.lambda.is_nan() || params.lambda <= 0.0 {
+            return Err(ModelError::InvalidHyperparameter(
+                "lambda must be > 0".into(),
+            ));
         }
         if params.epochs == 0 {
-            return Err(ModelError::InvalidHyperparameter("epochs must be >= 1".into()));
+            return Err(ModelError::InvalidHyperparameter(
+                "epochs must be >= 1".into(),
+            ));
         }
         let k = ds.n_classes();
         let d = ds.n_features();
@@ -107,7 +111,11 @@ impl LinearSvm {
             }
         }
         let mean_margin = total_margin / (n * k) as f64;
-        let temperature = if mean_margin > 1e-9 { 2.0 / mean_margin } else { 1.0 };
+        let temperature = if mean_margin > 1e-9 {
+            2.0 / mean_margin
+        } else {
+            1.0
+        };
 
         Ok(LinearSvm {
             weights,
@@ -150,9 +158,9 @@ impl Classifier for LinearSvm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
     use crate::preprocess::{Standardizer, Transformer};
+    use aml_dataset::synth;
 
     #[test]
     fn separable_blobs_fit_well() {
@@ -195,17 +203,52 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let ds = synth::two_moons(40, 0.1, 0).unwrap();
-        assert!(LinearSvm::fit(&ds, SvmParams { lambda: 0.0, ..Default::default() }).is_err());
-        assert!(LinearSvm::fit(&ds, SvmParams { epochs: 0, ..Default::default() }).is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            SvmParams {
+                lambda: 0.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LinearSvm::fit(
+            &ds,
+            SvmParams {
+                epochs: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn deterministic_per_seed() {
         let ds = synth::two_moons(80, 0.2, 7).unwrap();
-        let a = LinearSvm::fit(&ds, SvmParams { seed: 1, ..Default::default() }).unwrap();
-        let b = LinearSvm::fit(&ds, SvmParams { seed: 1, ..Default::default() }).unwrap();
+        let a = LinearSvm::fit(
+            &ds,
+            SvmParams {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let b = LinearSvm::fit(
+            &ds,
+            SvmParams {
+                seed: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(a, b);
-        let c = LinearSvm::fit(&ds, SvmParams { seed: 2, ..Default::default() }).unwrap();
+        let c = LinearSvm::fit(
+            &ds,
+            SvmParams {
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 }

@@ -5,10 +5,10 @@
 //! this model with a scaler in a [`crate::pipeline::Pipeline`]); with
 //! z-scored features a fixed learning rate converges reliably.
 
-use aml_dataset::Dataset;
 use crate::gbdt::softmax;
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`LogisticRegression`].
@@ -50,9 +50,15 @@ impl LogisticRegression {
     pub fn fit(ds: &Dataset, params: LogRegParams) -> Result<Self> {
         check_training(ds)?;
         if params.max_iter == 0 {
-            return Err(ModelError::InvalidHyperparameter("max_iter must be >= 1".into()));
+            return Err(ModelError::InvalidHyperparameter(
+                "max_iter must be >= 1".into(),
+            ));
         }
-        if !(params.learning_rate > 0.0) || !(params.l2 >= 0.0) {
+        if params.learning_rate.is_nan()
+            || params.learning_rate <= 0.0
+            || params.l2.is_nan()
+            || params.l2 < 0.0
+        {
             return Err(ModelError::InvalidHyperparameter(
                 "learning_rate must be > 0 and l2 >= 0".into(),
             ));
@@ -70,9 +76,7 @@ impl LogisticRegression {
             let mut gb = vec![0.0; k];
             for i in 0..n {
                 let row = ds.row(i);
-                let scores: Vec<f64> = (0..k)
-                    .map(|c| b[c] + dot(&w[c], row))
-                    .collect();
+                let scores: Vec<f64> = (0..k).map(|c| b[c] + dot(&w[c], row)).collect();
                 let p = softmax(&scores);
                 let y = ds.label(i);
                 for c in 0..k {
@@ -148,9 +152,9 @@ impl Classifier for LogisticRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
     use crate::preprocess::{Standardizer, Transformer};
+    use aml_dataset::synth;
 
     #[test]
     fn linearly_separable_blobs_fit_well() {
@@ -187,16 +191,29 @@ mod tests {
         let ds = scaler.transform(&raw).unwrap();
         let loose = LogisticRegression::fit(
             &ds,
-            LogRegParams { l2: 0.0, learning_rate: 0.2, ..Default::default() },
+            LogRegParams {
+                l2: 0.0,
+                learning_rate: 0.2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let tight = LogisticRegression::fit(
             &ds,
-            LogRegParams { l2: 1.0, learning_rate: 0.2, ..Default::default() },
+            LogRegParams {
+                l2: 1.0,
+                learning_rate: 0.2,
+                ..Default::default()
+            },
         )
         .unwrap();
         let norm = |m: &LogisticRegression| -> f64 {
-            m.weights().iter().flatten().map(|w| w * w).sum::<f64>().sqrt()
+            m.weights()
+                .iter()
+                .flatten()
+                .map(|w| w * w)
+                .sum::<f64>()
+                .sqrt()
         };
         assert!(norm(&tight) < norm(&loose));
     }
@@ -212,13 +229,20 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let ds = synth::two_moons(40, 0.1, 0).unwrap();
-        assert!(
-            LogisticRegression::fit(&ds, LogRegParams { max_iter: 0, ..Default::default() })
-                .is_err()
-        );
         assert!(LogisticRegression::fit(
             &ds,
-            LogRegParams { learning_rate: 0.0, ..Default::default() }
+            LogRegParams {
+                max_iter: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(LogisticRegression::fit(
+            &ds,
+            LogRegParams {
+                learning_rate: 0.0,
+                ..Default::default()
+            }
         )
         .is_err());
     }

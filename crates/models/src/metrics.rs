@@ -24,10 +24,10 @@ pub fn balanced_accuracy(y_true: &[usize], y_pred: &[usize], n_classes: usize) -
     let cm = confusion_matrix(y_true, y_pred, n_classes)?;
     let mut recall_sum = 0.0;
     let mut present = 0usize;
-    for c in 0..n_classes {
-        let support: usize = cm[c].iter().sum();
+    for (c, row) in cm.iter().enumerate() {
+        let support: usize = row.iter().sum();
         if support > 0 {
-            recall_sum += cm[c][c] as f64 / support as f64;
+            recall_sum += row[c] as f64 / support as f64;
             present += 1;
         }
     }
@@ -93,8 +93,16 @@ pub fn precision_recall_f1(
         let tp = cm[c][c] as f64;
         let support: usize = cm[c].iter().sum();
         let predicted: usize = (0..n_classes).map(|t| cm[t][c]).sum();
-        precision[c] = if predicted > 0 { tp / predicted as f64 } else { 0.0 };
-        recall[c] = if support > 0 { tp / support as f64 } else { 0.0 };
+        precision[c] = if predicted > 0 {
+            tp / predicted as f64
+        } else {
+            0.0
+        };
+        recall[c] = if support > 0 {
+            tp / support as f64
+        } else {
+            0.0
+        };
         f1[c] = if precision[c] + recall[c] > 0.0 {
             2.0 * precision[c] * recall[c] / (precision[c] + recall[c])
         } else {

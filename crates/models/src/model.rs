@@ -6,8 +6,8 @@
 //! because AutoML assembles heterogeneous ensembles, and the ALE feedback
 //! algorithm iterates over "each model in ℳ" without caring what it is.
 
-use aml_dataset::Dataset;
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 
 /// A fitted probabilistic classifier.
 ///
@@ -40,12 +40,16 @@ pub trait Classifier: Send + Sync {
 
     /// Probability matrix for every row of `ds`.
     fn predict_proba(&self, ds: &Dataset) -> Result<Vec<Vec<f64>>> {
-        (0..ds.n_rows()).map(|i| self.predict_proba_row(ds.row(i))).collect()
+        (0..ds.n_rows())
+            .map(|i| self.predict_proba_row(ds.row(i)))
+            .collect()
     }
 
     /// Predicted class per row of `ds`.
     fn predict(&self, ds: &Dataset) -> Result<Vec<usize>> {
-        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+        (0..ds.n_rows())
+            .map(|i| self.predict_row(ds.row(i)))
+            .collect()
     }
 }
 
@@ -81,9 +85,7 @@ pub(crate) fn normalize(mut p: Vec<f64>) -> Vec<f64> {
         }
     } else {
         let u = 1.0 / p.len() as f64;
-        for v in &mut p {
-            *v = u;
-        }
+        p.fill(u);
     }
     p
 }

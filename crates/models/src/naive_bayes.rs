@@ -5,9 +5,9 @@
 //! assumptions across features), and a cheap, very differently-biased
 //! committee member for the AutoML ensemble.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`GaussianNaiveBayes`].
@@ -20,7 +20,9 @@ pub struct NbParams {
 
 impl Default for NbParams {
     fn default() -> Self {
-        NbParams { var_smoothing: 1e-9 }
+        NbParams {
+            var_smoothing: 1e-9,
+        }
     }
 }
 
@@ -41,7 +43,7 @@ impl GaussianNaiveBayes {
     /// Fit per-class feature Gaussians.
     pub fn fit(ds: &Dataset, params: NbParams) -> Result<Self> {
         let counts = check_training(ds)?;
-        if !(params.var_smoothing >= 0.0) {
+        if params.var_smoothing.is_nan() || params.var_smoothing < 0.0 {
             return Err(ModelError::InvalidHyperparameter(
                 "var_smoothing must be >= 0".into(),
             ));
@@ -57,10 +59,10 @@ impl GaussianNaiveBayes {
                 means[c][j] += v;
             }
         }
-        for c in 0..k {
-            if counts[c] > 0 {
-                for j in 0..d {
-                    means[c][j] /= counts[c] as f64;
+        for (mean_row, &count) in means.iter_mut().zip(&counts) {
+            if count > 0 {
+                for m in mean_row.iter_mut() {
+                    *m /= count as f64;
                 }
             }
         }
@@ -87,10 +89,10 @@ impl GaussianNaiveBayes {
             global_max_var = global_max_var.max(col_var);
         }
         let eps = (params.var_smoothing * global_max_var).max(1e-12);
-        for c in 0..k {
-            for j in 0..d {
-                vars[c][j] = if counts[c] > 0 {
-                    vars[c][j] / counts[c] as f64 + eps
+        for (var_row, &count) in vars.iter_mut().zip(&counts) {
+            for v in var_row.iter_mut() {
+                *v = if count > 0 {
+                    *v / count as f64 + eps
                 } else {
                     eps
                 };
@@ -130,7 +132,7 @@ impl Classifier for GaussianNaiveBayes {
         check_row(row, self.n_features)?;
         let k = self.log_prior.len();
         let mut log_post = vec![0.0; k];
-        for c in 0..k {
+        for (c, post) in log_post.iter_mut().enumerate() {
             let mut lp = self.log_prior[c];
             if lp.is_finite() {
                 for (j, &x) in row.iter().enumerate() {
@@ -139,7 +141,7 @@ impl Classifier for GaussianNaiveBayes {
                     lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
                 }
             }
-            log_post[c] = lp;
+            *post = lp;
         }
         Ok(crate::gbdt::softmax(&log_post))
     }
@@ -152,8 +154,8 @@ impl Classifier for GaussianNaiveBayes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
+    use aml_dataset::synth;
 
     #[test]
     fn separable_blobs_classified_well() {
@@ -206,7 +208,13 @@ mod tests {
     #[test]
     fn negative_smoothing_rejected() {
         let ds = synth::two_moons(40, 0.1, 0).unwrap();
-        assert!(GaussianNaiveBayes::fit(&ds, NbParams { var_smoothing: -1.0 }).is_err());
+        assert!(GaussianNaiveBayes::fit(
+            &ds,
+            NbParams {
+                var_smoothing: -1.0
+            }
+        )
+        .is_err());
     }
 
     #[test]

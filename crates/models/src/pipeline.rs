@@ -5,10 +5,10 @@
 //! kNN" as a single [`Classifier`] and never worry about leaking unscaled
 //! rows into a scale-sensitive model.
 
-use aml_dataset::Dataset;
 use crate::model::Classifier;
 use crate::preprocess::{FittedScaler, ScalerKind, Transformer};
 use crate::Result;
+use aml_dataset::Dataset;
 use std::sync::Arc;
 
 /// A fitted preprocessing + model pipeline.
@@ -65,10 +65,10 @@ impl Classifier for Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::knn::{KNearestNeighbors, KnnParams};
     use crate::metrics::accuracy;
     use crate::preprocess::ScalerKind;
+    use aml_dataset::synth;
 
     /// Data where the informative feature is tiny-scale and a pure-noise
     /// feature spans [0, 1e5] — unscaled kNN is dominated by the noise
@@ -97,7 +97,9 @@ mod tests {
         let raw_acc = accuracy(test.labels(), &raw.predict(&test).unwrap()).unwrap();
 
         let piped = Pipeline::fit_with(&train, ScalerKind::Standard, |d| {
-            Ok(Arc::new(KNearestNeighbors::fit(d, KnnParams::default()).unwrap()))
+            Ok(Arc::new(
+                KNearestNeighbors::fit(d, KnnParams::default()).unwrap(),
+            ))
         })
         .unwrap();
         let piped_acc = accuracy(test.labels(), &piped.predict(&test).unwrap()).unwrap();
@@ -112,7 +114,9 @@ mod tests {
         let ds = synth::two_moons(100, 0.2, 2).unwrap();
         let direct = KNearestNeighbors::fit(&ds, KnnParams::default()).unwrap();
         let piped = Pipeline::fit_with(&ds, ScalerKind::None, |d| {
-            Ok(Arc::new(KNearestNeighbors::fit(d, KnnParams::default()).unwrap()))
+            Ok(Arc::new(
+                KNearestNeighbors::fit(d, KnnParams::default()).unwrap(),
+            ))
         })
         .unwrap();
         for i in 0..ds.n_rows() {
@@ -127,7 +131,9 @@ mod tests {
     fn pipeline_reports_inner_name() {
         let ds = synth::two_moons(50, 0.2, 3).unwrap();
         let piped = Pipeline::fit_with(&ds, ScalerKind::MinMax, |d| {
-            Ok(Arc::new(KNearestNeighbors::fit(d, KnnParams::default()).unwrap()))
+            Ok(Arc::new(
+                KNearestNeighbors::fit(d, KnnParams::default()).unwrap(),
+            ))
         })
         .unwrap();
         assert_eq!(piped.name(), "knn");

@@ -5,8 +5,8 @@
 //! search space pairs each model family with an appropriate scaler through
 //! [`crate::pipeline::Pipeline`].
 
-use aml_dataset::Dataset;
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// A fitted feature transformer.
@@ -180,7 +180,12 @@ mod tests {
 
     fn ds() -> Dataset {
         Dataset::from_rows(
-            &[vec![0.0, 100.0], vec![10.0, 100.0], vec![20.0, 100.0], vec![30.0, 100.0]],
+            &[
+                vec![0.0, 100.0],
+                vec![10.0, 100.0],
+                vec![20.0, 100.0],
+                vec![30.0, 100.0],
+            ],
             &[0, 0, 1, 1],
             2,
         )

@@ -6,8 +6,8 @@
 //! controls and a leaf-value override hook (boosting replaces leaf means
 //! with Newton-step values).
 
-use aml_dataset::Dataset;
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`RegressionTree`].
@@ -67,7 +67,9 @@ impl RegressionTree {
             });
         }
         if y.iter().any(|v| !v.is_finite()) {
-            return Err(ModelError::NumericalFailure("non-finite regression target".into()));
+            return Err(ModelError::NumericalFailure(
+                "non-finite regression target".into(),
+            ));
         }
         if params.min_samples_leaf == 0 {
             return Err(ModelError::InvalidHyperparameter(
@@ -100,7 +102,13 @@ impl RegressionTree {
                     threshold,
                     left,
                     right,
-                } => node = if row[*feature] <= *threshold { *left } else { *right },
+                } => {
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    }
+                }
             }
         }
     }
@@ -171,8 +179,8 @@ fn grow(
             // SSE reduction = sum²_L/n_L + sum²_R/n_R − sum²/n (constant
             // term dropped; maximizing the first two maximizes the gain).
             let right_sum = total_sum - left_sum;
-            let score = left_sum * left_sum / n_left as f64
-                + right_sum * right_sum / n_right as f64;
+            let score =
+                left_sum * left_sum / n_left as f64 + right_sum * right_sum / n_right as f64;
             if score > best.map_or(f64::NEG_INFINITY, |(s, _, _)| s) {
                 best = Some((score, f, 0.5 * (v_here + v_next)));
             }
@@ -181,8 +189,9 @@ fn grow(
 
     match best {
         Some((_, feature, threshold)) => {
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                indices.iter().partition(|&&i| ds.row(i)[feature] <= threshold);
+            let (l, r): (Vec<usize>, Vec<usize>) = indices
+                .iter()
+                .partition(|&&i| ds.row(i)[feature] <= threshold);
             let id = nodes.len();
             nodes.push(RNode::Leaf {
                 value: 0.0,
@@ -216,7 +225,10 @@ mod tests {
     fn step_data() -> (Dataset, Vec<f64>) {
         // y = 0 for x < 0.5, y = 10 for x >= 0.5
         let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 40.0]).collect();
-        let y: Vec<f64> = rows.iter().map(|r| if r[0] < 0.5 { 0.0 } else { 10.0 }).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] < 0.5 { 0.0 } else { 10.0 })
+            .collect();
         let labels = vec![0usize; 40];
         (Dataset::from_rows(&rows, &labels, 1).unwrap(), y)
     }
@@ -227,7 +239,10 @@ mod tests {
         let t = RegressionTree::fit(
             &ds,
             &y,
-            &RegTreeParams { max_depth: 2, min_samples_leaf: 1 },
+            &RegTreeParams {
+                max_depth: 2,
+                min_samples_leaf: 1,
+            },
         )
         .unwrap();
         assert!((t.predict_row(&[0.2]).unwrap() - 0.0).abs() < 1e-9);
@@ -240,7 +255,10 @@ mod tests {
         let t = RegressionTree::fit(
             &ds,
             &y,
-            &RegTreeParams { max_depth: 0, min_samples_leaf: 1 },
+            &RegTreeParams {
+                max_depth: 0,
+                min_samples_leaf: 1,
+            },
         )
         .unwrap();
         let mean = y.iter().sum::<f64>() / y.len() as f64;
@@ -276,7 +294,10 @@ mod tests {
         let t = RegressionTree::fit(
             &ds,
             &y,
-            &RegTreeParams { max_depth: 10, min_samples_leaf: 10 },
+            &RegTreeParams {
+                max_depth: 10,
+                min_samples_leaf: 10,
+            },
         )
         .unwrap();
         assert!(t.n_leaves() <= 4);

@@ -7,9 +7,9 @@
 //! training samples so `predict_proba_row` is naturally calibrated to the
 //! training frequencies.
 
-use aml_dataset::Dataset;
 use crate::model::{check_row, check_training, normalize, Classifier};
 use crate::{ModelError, Result};
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -31,7 +31,10 @@ impl Criterion {
         }
         match self {
             Criterion::Gini => {
-                1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+                1.0 - counts
+                    .iter()
+                    .map(|&c| (c / total) * (c / total))
+                    .sum::<f64>()
             }
             Criterion::Entropy => counts
                 .iter()
@@ -327,8 +330,8 @@ fn best_split(
             let right_weight = total_weight - left_weight;
             let imp_l = ctx.params.criterion.impurity(&left_counts, left_weight);
             let imp_r = ctx.params.criterion.impurity(&right_counts, right_weight);
-            let gain = parent_impurity
-                - (left_weight * imp_l + right_weight * imp_r) / total_weight;
+            let gain =
+                parent_impurity - (left_weight * imp_l + right_weight * imp_r) / total_weight;
             if gain > best.map_or(1e-12, |(g, _, _)| g) {
                 // Midpoint threshold is standard and keeps prediction stable
                 // under small perturbations of the boundary samples.
@@ -383,8 +386,7 @@ fn random_split(
         let right_weight = total_weight - left_weight;
         let imp_l = ctx.params.criterion.impurity(&left_counts, left_weight);
         let imp_r = ctx.params.criterion.impurity(&right_counts, right_weight);
-        let gain =
-            parent_impurity - (left_weight * imp_l + right_weight * imp_r) / total_weight;
+        let gain = parent_impurity - (left_weight * imp_l + right_weight * imp_r) / total_weight;
         if gain > best.map_or(1e-12, |(g, _, _)| g) {
             best = Some((gain, f, threshold));
         }
@@ -413,7 +415,11 @@ impl Classifier for DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if row[*feature] <= *threshold { *left } else { *right };
+                    node = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -427,13 +433,20 @@ impl Classifier for DecisionTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use aml_dataset::synth;
     use crate::metrics::accuracy;
+    use aml_dataset::synth;
 
     #[test]
     fn fits_xor_perfectly_with_depth_two() {
         let ds = synth::noisy_xor(400, 0.0, 3).unwrap();
-        let tree = DecisionTree::fit(&ds, TreeParams { max_depth: 4, ..Default::default() }).unwrap();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                max_depth: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let pred = tree.predict(&ds).unwrap();
         assert_eq!(accuracy(ds.labels(), &pred).unwrap(), 1.0);
         assert!(tree.depth() <= 4);
@@ -442,7 +455,14 @@ mod tests {
     #[test]
     fn max_depth_zero_gives_prior_leaf() {
         let ds = synth::gaussian_blobs(30, 2, 3, 1.0, 1).unwrap();
-        let tree = DecisionTree::fit(&ds, TreeParams { max_depth: 0, ..Default::default() }).unwrap();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeParams {
+                max_depth: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(tree.n_nodes(), 1);
         let p = tree.predict_proba_row(ds.row(0)).unwrap();
         // Balanced 3-class data → uniform prior.
@@ -455,8 +475,14 @@ mod tests {
     fn respects_max_depth() {
         let ds = synth::two_moons(300, 0.25, 5).unwrap();
         for d in [1, 2, 3, 5] {
-            let tree =
-                DecisionTree::fit(&ds, TreeParams { max_depth: d, ..Default::default() }).unwrap();
+            let tree = DecisionTree::fit(
+                &ds,
+                TreeParams {
+                    max_depth: d,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             assert!(tree.depth() <= d, "depth {} > max {d}", tree.depth());
         }
     }
@@ -466,7 +492,10 @@ mod tests {
         let ds = synth::two_moons(100, 0.2, 7).unwrap();
         let tree = DecisionTree::fit(
             &ds,
-            TreeParams { min_samples_leaf: 20, ..Default::default() },
+            TreeParams {
+                min_samples_leaf: 20,
+                ..Default::default()
+            },
         )
         .unwrap();
         // A tree with >= 20 samples per leaf on 100 samples has <= 5 leaves,
@@ -479,7 +508,10 @@ mod tests {
         let ds = synth::gaussian_blobs(150, 2, 3, 0.5, 11).unwrap();
         let tree = DecisionTree::fit(
             &ds,
-            TreeParams { criterion: Criterion::Entropy, ..Default::default() },
+            TreeParams {
+                criterion: Criterion::Entropy,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pred = tree.predict(&ds).unwrap();
@@ -491,7 +523,11 @@ mod tests {
         let ds = synth::gaussian_blobs(200, 2, 2, 0.5, 13).unwrap();
         let tree = DecisionTree::fit(
             &ds,
-            TreeParams { splitter: Splitter::Random, seed: 5, ..Default::default() },
+            TreeParams {
+                splitter: Splitter::Random,
+                seed: 5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let pred = tree.predict(&ds).unwrap();
@@ -517,12 +553,18 @@ mod tests {
         let ds = synth::two_moons(50, 0.1, 0).unwrap();
         assert!(DecisionTree::fit(
             &ds,
-            TreeParams { min_samples_split: 1, ..Default::default() }
+            TreeParams {
+                min_samples_split: 1,
+                ..Default::default()
+            }
         )
         .is_err());
         assert!(DecisionTree::fit(
             &ds,
-            TreeParams { max_features: Some(99), ..Default::default() }
+            TreeParams {
+                max_features: Some(99),
+                ..Default::default()
+            }
         )
         .is_err());
     }
@@ -545,10 +587,12 @@ mod tests {
             2,
         )
         .unwrap();
-        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let params = TreeParams {
+            max_depth: 0,
+            ..Default::default()
+        };
         let uniform = DecisionTree::fit(&ds, params.clone()).unwrap();
-        let weighted =
-            DecisionTree::fit_weighted(&ds, params, &[1.0, 1.0, 1.0, 9.0]).unwrap();
+        let weighted = DecisionTree::fit_weighted(&ds, params, &[1.0, 1.0, 1.0, 9.0]).unwrap();
         let pu = uniform.predict_proba_row(&[0.0]).unwrap()[1];
         let pw = weighted.predict_proba_row(&[0.0]).unwrap()[1];
         assert!(pw > pu, "weighted {pw} should exceed uniform {pu}");

@@ -104,11 +104,7 @@ impl CongestionControl for Bbr {
             if self.bw_samples.len() > BW_WINDOW {
                 self.bw_samples.remove(0);
             }
-            self.btl_bw = self
-                .bw_samples
-                .iter()
-                .cloned()
-                .fold(1e5, f64::max);
+            self.btl_bw = self.bw_samples.iter().cloned().fold(1e5, f64::max);
         }
 
         match self.mode {
@@ -215,7 +211,7 @@ mod tests {
         assert_eq!(b.mode, Mode::ProbeBw, "plateau at 10 Mbps must end startup");
         // In ProbeBw the pacing gain stays within the cycle set.
         let g = b.pacing_rate_bps().unwrap() / b.btl_bw();
-        assert!(CYCLE_GAINS.contains(&(g as f64)) || (g - 1.0).abs() < 0.26);
+        assert!(CYCLE_GAINS.contains(&g) || (g - 1.0).abs() < 0.26);
     }
 
     #[test]

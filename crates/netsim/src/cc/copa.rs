@@ -66,7 +66,7 @@ impl CongestionControl for Copa {
         };
         let rtt_s = ack.rtt.as_secs_f64().max(1e-6);
         let d_q = (rtt_s - min_rtt.as_secs_f64()).max(1e-4); // standing queue delay
-        // Target rate 1/(δ·d_q) pkts/s → target window in segments.
+                                                             // Target rate 1/(δ·d_q) pkts/s → target window in segments.
         let target_cwnd = rtt_s / (DELTA * d_q);
 
         let step = self.velocity / (DELTA * self.cwnd);
@@ -164,7 +164,10 @@ mod tests {
         // (velocity doubling counteracts the 1/cwnd shrinkage).
         let first = growths[1].max(1.0);
         let late = growths[growths.len() - 1];
-        assert!(late >= first * 0.5, "velocity should sustain growth: {growths:?}");
+        assert!(
+            late >= first * 0.5,
+            "velocity should sustain growth: {growths:?}"
+        );
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl CongestionControl for Cubic {
             // Close the gap within one RTT (standard cwnd += (target-cwnd)/cwnd
             // per ack behaves the same in aggregate).
             self.cwnd += (target - self.cwnd).min(acked_segments * 4.0)
-                * (acked_segments / self.cwnd).min(1.0).max(0.01);
+                * (acked_segments / self.cwnd).clamp(0.01, 1.0);
         } else {
             // TCP-friendly floor: grow at least like Reno.
             self.cwnd += acked_segments / self.cwnd;
@@ -166,7 +166,10 @@ mod tests {
             c.on_ack(&ack_at(t0 + i * 10));
         }
         let recovered = c.cwnd_bytes();
-        assert!(recovered > after_loss, "cubic must regrow {after_loss} -> {recovered}");
+        assert!(
+            recovered > after_loss,
+            "cubic must regrow {after_loss} -> {recovered}"
+        );
         assert!(
             recovered as f64 > 0.9 * w_before_loss as f64,
             "cubic approaches W_max: {recovered} vs {w_before_loss}"

@@ -100,7 +100,10 @@ impl CongestionControl for Scream {
         if let Some(rate) = ack.delivery_rate_bps {
             if rate > 1e3 {
                 let ser = Duration::from_secs_f64(MSS as f64 * 8.0 / rate);
-                self.target = ser.mul_f64(TARGET_PACKETS).max(TARGET_FLOOR).min(TARGET_CEIL);
+                self.target = ser
+                    .mul_f64(TARGET_PACKETS)
+                    .max(TARGET_FLOOR)
+                    .min(TARGET_CEIL);
             }
         }
 
@@ -193,10 +196,16 @@ mod tests {
     fn target_is_clamped() {
         let mut s = Scream::new();
         // Absurdly fast link → floor.
-        s.on_ack(&AckEvent { delivery_rate_bps: Some(100e9), ..ack(1, 40) });
+        s.on_ack(&AckEvent {
+            delivery_rate_bps: Some(100e9),
+            ..ack(1, 40)
+        });
         assert_eq!(s.target(), Duration::from_millis(1));
         // Absurdly slow link → ceiling.
-        s.on_ack(&AckEvent { delivery_rate_bps: Some(50e3), ..ack(2, 40) });
+        s.on_ack(&AckEvent {
+            delivery_rate_bps: Some(50e3),
+            ..ack(2, 40)
+        });
         assert_eq!(s.target(), Duration::from_millis(50));
     }
 
@@ -231,12 +240,21 @@ mod tests {
     fn growth_is_gentler_near_target() {
         // qdelay at 80% of target grows Reno-style; qdelay 0 ramps.
         let mut s = Scream::new();
-        s.on_ack(&AckEvent { delivery_rate_bps: Some(1e6), ..ack(1, 40) }); // target 14.4ms
+        s.on_ack(&AckEvent {
+            delivery_rate_bps: Some(1e6),
+            ..ack(1, 40)
+        }); // target 14.4ms
         let b = s.cwnd_bytes();
-        s.on_ack(&AckEvent { delivery_rate_bps: Some(1e6), ..ack(2, 40) }); // qdelay 0 → ramp
+        s.on_ack(&AckEvent {
+            delivery_rate_bps: Some(1e6),
+            ..ack(2, 40)
+        }); // qdelay 0 → ramp
         let ramp_step = s.cwnd_bytes() - b;
         let b2 = s.cwnd_bytes();
-        s.on_ack(&AckEvent { delivery_rate_bps: Some(1e6), ..ack(3, 52) }); // qdelay 12ms ≈ 0.83·target
+        s.on_ack(&AckEvent {
+            delivery_rate_bps: Some(1e6),
+            ..ack(3, 52)
+        }); // qdelay 12ms ≈ 0.83·target
         let gentle_step = s.cwnd_bytes() - b2;
         assert!(
             gentle_step < ramp_step,

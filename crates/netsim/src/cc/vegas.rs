@@ -87,10 +87,7 @@ impl CongestionControl for Vegas {
         let rtt_s = ack.rtt.as_secs_f64().max(1e-6);
         let base_s = base.as_secs_f64().max(1e-6);
         let cwnd_seg = self.cwnd as f64 / MSS as f64;
-        // diff = (expected − actual) · base_rtt, in segments.
-        let diff = cwnd_seg * (1.0 - base_s / rtt_s) * (base_s / base_s);
         let queued = cwnd_seg * (rtt_s - base_s) / rtt_s;
-        let _ = diff;
         if queued < ALPHA {
             self.cwnd += MSS;
         } else if queued > BETA {

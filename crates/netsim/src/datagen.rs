@@ -8,10 +8,10 @@
 //! freely from suggested regions instead of being confined to a candidate
 //! pool.
 
-use aml_dataset::Dataset;
 use crate::runner::label_condition;
 use crate::scenario::{ConditionDomain, NetworkCondition};
 use crate::Result;
+use aml_dataset::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,8 +31,9 @@ pub fn label_conditions(
     master_seed: u64,
     parallelism: usize,
 ) -> Result<Vec<bool>> {
-    let jobs: Vec<(usize, NetworkCondition)> =
-        conditions.iter().copied().enumerate().collect();
+    let _span = aml_telemetry::span!("netsim.labeling");
+    aml_telemetry::counter_add("netsim.labels", conditions.len() as u64);
+    let jobs: Vec<(usize, NetworkCondition)> = conditions.iter().copied().enumerate().collect();
     if parallelism <= 1 || jobs.len() <= 1 {
         return jobs
             .into_iter()
@@ -46,7 +47,10 @@ pub fn label_conditions(
     if let Some(e) = first_err {
         return Err(e);
     }
-    Ok(out.into_iter().map(|o| o.expect("all slots filled")).collect())
+    Ok(out
+        .into_iter()
+        .map(|o| o.expect("all slots filled"))
+        .collect())
 }
 
 /// Tiny scoped-thread fan-out (std::thread::scope keeps us dependency-free
@@ -175,7 +179,10 @@ mod tests {
         let ds = generate_dataset(&small_domain(), 12, 3, 1).unwrap();
         assert_eq!(ds.n_rows(), 12);
         assert_eq!(ds.n_features(), 4);
-        assert_eq!(ds.class_names(), &["rest".to_string(), "scream".to_string()]);
+        assert_eq!(
+            ds.class_names(),
+            &["rest".to_string(), "scream".to_string()]
+        );
     }
 
     #[test]
@@ -200,21 +207,18 @@ mod tests {
     #[test]
     fn production_mode_generates_valid_dataset() {
         use super::SamplingMode;
-        let ds = generate_dataset_mode(&small_domain(), 10, 5, 1, SamplingMode::Production)
-            .unwrap();
+        let ds =
+            generate_dataset_mode(&small_domain(), 10, 5, 1, SamplingMode::Production).unwrap();
         assert_eq!(ds.n_rows(), 10);
         // Deterministic too.
-        let ds2 = generate_dataset_mode(&small_domain(), 10, 5, 1, SamplingMode::Production)
-            .unwrap();
+        let ds2 =
+            generate_dataset_mode(&small_domain(), 10, 5, 1, SamplingMode::Production).unwrap();
         assert_eq!(ds, ds2);
     }
 
     #[test]
     fn label_rows_accepts_raw_feature_points() {
-        let rows = vec![
-            vec![5.0, 40.0, 0.0, 1.0],
-            vec![5.0, 40.0, 0.04, 1.0],
-        ];
+        let rows = vec![vec![5.0, 40.0, 0.0, 1.0], vec![5.0, 40.0, 0.04, 1.0]];
         let ds = label_rows(&rows, &small_domain(), 5, 1).unwrap();
         assert_eq!(ds.n_rows(), 2);
         assert_eq!(ds.row(0)[0], 5.0);

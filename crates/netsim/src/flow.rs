@@ -92,14 +92,16 @@ impl Flow {
     /// Process a received ACK for `seq`. Returns the [`AckEvent`] passed to
     /// the congestion controller (also applied internally), or `None` if
     /// the ACK was stale (already-removed sequence — e.g. declared lost).
-    pub fn on_ack(&mut self, seq: u64, sent_at: SimTime, bytes: u32, now: SimTime) -> Option<AckEvent> {
+    pub fn on_ack(
+        &mut self,
+        seq: u64,
+        sent_at: SimTime,
+        bytes: u32,
+        now: SimTime,
+    ) -> Option<AckEvent> {
         // In-order path ⇒ anything older than `seq` still outstanding was
         // dropped. Collect and mark lost before accounting this ACK.
-        let lost: Vec<u64> = self
-            .inflight
-            .range(..seq)
-            .map(|(&s, _)| s)
-            .collect();
+        let lost: Vec<u64> = self.inflight.range(..seq).map(|(&s, _)| s).collect();
         let had_loss = !lost.is_empty();
         for s in lost {
             let (_, sz) = self.inflight.remove(&s).expect("key from range");
@@ -150,7 +152,11 @@ impl Flow {
                 self.rttvar = sample.mul_f64(0.5);
             }
             Some(srtt) => {
-                let diff = if srtt > sample { srtt - sample } else { sample - srtt };
+                let diff = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 self.rttvar = self.rttvar.mul_f64(0.75) + diff.mul_f64(0.25);
                 self.srtt = Some(srtt.mul_f64(0.875) + sample.mul_f64(0.125));
             }

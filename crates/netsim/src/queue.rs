@@ -101,7 +101,10 @@ mod tests {
         let mut q = DropTailQueue::new(3_000);
         assert!(q.enqueue(pkt(1, 1500)));
         assert!(q.enqueue(pkt(2, 1500)));
-        assert!(!q.enqueue(pkt(3, 1500)), "third packet exceeds 3000B capacity");
+        assert!(
+            !q.enqueue(pkt(3, 1500)),
+            "third packet exceeds 3000B capacity"
+        );
         assert_eq!(q.drops, 1);
         assert_eq!(q.len(), 2);
     }

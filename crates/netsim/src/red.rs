@@ -146,7 +146,12 @@ mod tests {
             q.enqueue(pkt(2 * i + 1), SimTime::ZERO);
             q.dequeue();
         }
-        assert!(q.early_drops > 0, "early drops {} of {}", q.early_drops, q.drops);
+        assert!(
+            q.early_drops > 0,
+            "early drops {} of {}",
+            q.early_drops,
+            q.drops
+        );
         assert!(
             q.early_drops < q.drops || q.drops == q.early_drops,
             "accounting consistent"

@@ -80,8 +80,7 @@ pub fn run_protocol_with_queue(
     let mut cfg = SimConfig::for_condition(condition, protocol, seed);
     cfg.queue_bdp_mult = queue_bdp_mult;
     let outcome: SimOutcome = Simulation::new(cfg)?.run()?;
-    let qualifies =
-        outcome.total_throughput_mbps >= MIN_USEFUL_FRACTION * condition.link_rate_mbps;
+    let qualifies = outcome.total_throughput_mbps >= MIN_USEFUL_FRACTION * condition.link_rate_mbps;
     Ok(ProtocolResult {
         protocol,
         throughput_mbps: outcome.total_throughput_mbps,
@@ -104,6 +103,7 @@ pub fn run_protocol(
 /// once per campaign (same path for every protocol — they race on the same
 /// network); loss patterns are protocol-independent via derived seeds.
 pub fn run_all(condition: NetworkCondition, seed: u64) -> Result<Vec<ProtocolResult>> {
+    let _span = aml_telemetry::span!("netsim.runner.run_all");
     let queue_mult = latent_queue_mult(seed);
     CcKind::ALL
         .iter()
@@ -223,7 +223,10 @@ mod tests {
             loss_rate: 0.0,
             n_flows: 1,
         };
-        assert!(label_condition(c, 1).unwrap(), "Scream should win clean high-BDP links");
+        assert!(
+            label_condition(c, 1).unwrap(),
+            "Scream should win clean high-BDP links"
+        );
     }
 
     #[test]
@@ -236,7 +239,10 @@ mod tests {
             loss_rate: 0.05,
             n_flows: 1,
         };
-        assert!(!label_condition(c, 2).unwrap(), "Scream should lose at 5% loss");
+        assert!(
+            !label_condition(c, 2).unwrap(),
+            "Scream should lose at 5% loss"
+        );
     }
 
     #[test]
@@ -247,7 +253,10 @@ mod tests {
         assert!(vals.iter().all(|&v| (0.5..=3.0).contains(&v)));
         let min = vals.iter().cloned().fold(f64::MAX, f64::min);
         let max = vals.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(min < 0.8 && max > 2.7, "draws span the range: [{min}, {max}]");
+        assert!(
+            min < 0.8 && max > 2.7,
+            "draws span the range: [{min}, {max}]"
+        );
     }
 
     #[test]
@@ -264,8 +273,7 @@ mod tests {
         let seed = 77;
         let all = run_all(c, seed).unwrap();
         let mult = latent_queue_mult(seed);
-        let solo =
-            run_protocol_with_queue(CcKind::Cubic, c, mult, seed ^ (3 * 0x9E37)).unwrap();
+        let solo = run_protocol_with_queue(CcKind::Cubic, c, mult, seed ^ (3 * 0x9E37)).unwrap();
         let cubic_row = all.iter().find(|r| r.protocol == CcKind::Cubic).unwrap();
         assert_eq!(&solo, cubic_row);
     }
@@ -278,6 +286,9 @@ mod tests {
             loss_rate: 0.012,
             n_flows: 2,
         };
-        assert_eq!(label_condition(c, 9).unwrap(), label_condition(c, 9).unwrap());
+        assert_eq!(
+            label_condition(c, 9).unwrap(),
+            label_condition(c, 9).unwrap()
+        );
     }
 }

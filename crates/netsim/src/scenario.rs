@@ -7,8 +7,8 @@
 //! properties (bottleneck bandwidth, latency, loss rate, and number of
 //! concurrent flows)". Feature names follow Figure 1's `config.*` style.
 
-use aml_dataset::{Dataset, FeatureMeta};
 use crate::{Result, SimError};
+use aml_dataset::{Dataset, FeatureMeta};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -277,6 +277,9 @@ mod tests {
         assert_eq!(metas[0].name, "config.link_rate");
         let ds = d.empty_dataset().unwrap();
         assert_eq!(ds.n_features(), 4);
-        assert_eq!(ds.class_names(), &["rest".to_string(), "scream".to_string()]);
+        assert_eq!(
+            ds.class_names(),
+            &["rest".to_string(), "scream".to_string()]
+        );
     }
 }

@@ -108,10 +108,15 @@ impl SimConfig {
             ));
         }
         if self.mss < 64 || self.mss > 9000 {
-            return Err(SimError::InvalidConfig(format!("mss {} outside 64..=9000", self.mss)));
+            return Err(SimError::InvalidConfig(format!(
+                "mss {} outside 64..=9000",
+                self.mss
+            )));
         }
         if !(self.queue_bdp_mult > 0.0 && self.queue_bdp_mult.is_finite()) {
-            return Err(SimError::InvalidConfig("queue_bdp_mult must be positive".into()));
+            return Err(SimError::InvalidConfig(
+                "queue_bdp_mult must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -210,8 +215,8 @@ impl Simulation {
         // Safety valve: the event count is physically bounded by
         // link-rate × duration × constant; 64× that means a logic bug.
         let max_events = 64
-            * (self.link_rate_bps * self.cfg.duration.as_secs_f64()
-                / (8.0 * self.cfg.mss as f64)) as u64
+            * (self.link_rate_bps * self.cfg.duration.as_secs_f64() / (8.0 * self.cfg.mss as f64))
+                as u64
             + 1_000_000;
         let mut processed = 0u64;
 
@@ -227,6 +232,14 @@ impl Simulation {
                 )));
             }
             self.dispatch(event);
+        }
+        // Telemetry is flushed once per run from the loop's local tallies —
+        // the event loop itself stays free of atomics.
+        if aml_telemetry::enabled() {
+            aml_telemetry::counter_add("netsim.sim.runs", 1);
+            aml_telemetry::counter_add("netsim.sim.events", processed);
+            aml_telemetry::counter_add("netsim.sim.packets_sent", self.sent);
+            aml_telemetry::counter_add("netsim.sim.packets_delivered", self.delivered);
         }
         Ok(self.finish())
     }
@@ -369,7 +382,8 @@ impl Simulation {
         f.timeout_generation += 1;
         let generation = f.timeout_generation;
         let at = (f.last_ack_time + f.rto()).max(self.now + f.rto().mul_f64(0.25));
-        self.events.schedule(at, Event::Timeout { flow, generation });
+        self.events
+            .schedule(at, Event::Timeout { flow, generation });
     }
 
     fn finish(self) -> SimOutcome {
@@ -481,7 +495,11 @@ mod tests {
     fn delay_includes_propagation_floor() {
         // One-way delay ≥ propagation half-RTT.
         let out = run(CcKind::Vegas, cond(10.0, 80.0, 0.0, 1), 3);
-        assert!(out.mean_delay_ms >= 40.0, "mean delay {}", out.mean_delay_ms);
+        assert!(
+            out.mean_delay_ms >= 40.0,
+            "mean delay {}",
+            out.mean_delay_ms
+        );
     }
 
     #[test]
@@ -571,7 +589,11 @@ mod tests {
             dt.mean_delay_ms
         );
         // And it still moves useful traffic.
-        assert!(rd.total_throughput_mbps > 4.0, "{}", rd.total_throughput_mbps);
+        assert!(
+            rd.total_throughput_mbps > 4.0,
+            "{}",
+            rd.total_throughput_mbps
+        );
     }
 
     #[test]

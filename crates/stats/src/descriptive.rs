@@ -145,7 +145,11 @@ impl Summary {
     /// Format as `mean% ± std%` the way the paper's tables print balanced
     /// accuracy (values are assumed to be fractions in `[0, 1]`).
     pub fn pct(&self) -> String {
-        format!("{:.1}% \u{00b1} {:.1}%", self.mean * 100.0, self.std * 100.0)
+        format!(
+            "{:.1}% \u{00b1} {:.1}%",
+            self.mean * 100.0,
+            self.std * 100.0
+        )
     }
 }
 

@@ -25,15 +25,15 @@
 //! ```
 
 pub mod bootstrap;
-pub mod effect;
 pub mod descriptive;
+pub mod effect;
 pub mod ranks;
 pub mod summary;
 pub mod wilcoxon;
 
 pub use bootstrap::{bootstrap_ci_mean, BootstrapCi};
-pub use effect::{cliffs_delta, CliffsDelta, EffectMagnitude};
 pub use descriptive::{mean, median, percentile, sample_std, sample_var, Summary};
+pub use effect::{cliffs_delta, CliffsDelta, EffectMagnitude};
 pub use ranks::{midranks, tie_correction};
 pub use summary::{PairwiseMatrix, SignificanceCell};
 pub use wilcoxon::{wilcoxon_signed_rank, Alternative, WilcoxonResult};

@@ -116,14 +116,20 @@ mod tests {
 
     #[test]
     fn tie_groups_detects_runs() {
-        assert_eq!(tie_groups(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(), vec![2, 3]);
+        assert_eq!(
+            tie_groups(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(),
+            vec![2, 3]
+        );
         assert_eq!(tie_groups(&[1.0, 2.0, 3.0]).unwrap(), Vec::<usize>::new());
     }
 
     #[test]
     fn tie_correction_value() {
         // groups of 2 and 3: (8-2) + (27-3) = 30
-        assert_eq!(tie_correction(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(), 30.0);
+        assert_eq!(
+            tie_correction(&[1.0, 2.0, 2.0, 3.0, 3.0, 3.0]).unwrap(),
+            30.0
+        );
     }
 
     #[test]

@@ -129,7 +129,10 @@ impl PairwiseMatrix {
         let summaries = self.summaries()?;
 
         let mut out = String::new();
-        out.push_str(&format!("{:<28} {:>18}", "Algorithm (X)", "balanced accuracy"));
+        out.push_str(&format!(
+            "{:<28} {:>18}",
+            "Algorithm (X)", "balanced accuracy"
+        ));
         for &c in &cols {
             out.push_str(&format!(" {:>22}", format!("P(X, {})", self.names[c])));
         }
@@ -161,8 +164,11 @@ mod tests {
         let mut m = PairwiseMatrix::new();
         m.add("weak", vec![0.5, 0.52, 0.48, 0.51, 0.49, 0.50, 0.53, 0.47])
             .unwrap();
-        m.add("strong", vec![0.7, 0.72, 0.69, 0.71, 0.68, 0.73, 0.70, 0.69])
-            .unwrap();
+        m.add(
+            "strong",
+            vec![0.7, 0.72, 0.69, 0.71, 0.68, 0.73, 0.70, 0.69],
+        )
+        .unwrap();
         m
     }
 

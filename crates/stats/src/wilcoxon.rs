@@ -201,9 +201,8 @@ pub fn erfc(x: f64) -> f64 {
                         + t * (-0.18628806
                             + t * (0.27886807
                                 + t * (-1.13520398
-                                    + t * (1.48851587
-                                        + t * (-0.82215223 + t * 0.17087277)))))))))
-        .exp();
+                                    + t * (1.48851587 + t * (-0.82215223 + t * 0.17087277)))))))))
+            .exp();
     if x >= 0.0 {
         ans
     } else {
@@ -319,7 +318,10 @@ mod tests {
         let n = ranks.len();
         let mut le = 0usize;
         for mask in 0..(1usize << n) {
-            let w: f64 = (0..n).filter(|i| mask >> i & 1 == 1).map(|i| ranks[i]).sum();
+            let w: f64 = (0..n)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| ranks[i])
+                .sum();
             if w <= w_obs + 1e-12 {
                 le += 1;
             }

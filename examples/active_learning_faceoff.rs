@@ -7,12 +7,12 @@
 
 use interpretable_automl::automl::AutoMlConfig;
 use interpretable_automl::data::{split::split_into_k, synth, Dataset};
-use interpretable_automl::feedback::{
-    run_strategy, ExperimentConfig, Strategy, Table,
-};
+use interpretable_automl::feedback::{run_strategy, ExperimentConfig, Strategy, Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     // Noisy XOR with a known oracle: every strategy can play.
     let train = synth::noisy_xor(250, 0.1, 1)?;
@@ -43,9 +43,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut outcomes = Vec::new();
     for strategy in Strategy::ALL {
         print!("running {:<22} ... ", strategy.name());
-        let out = run_strategy(strategy, &cfg, &train, Some(&pool), Some(&oracle), &test_sets)?;
+        let out = run_strategy(
+            strategy,
+            &cfg,
+            &train,
+            Some(&pool),
+            Some(&oracle),
+            &test_sets,
+        )?;
         let mean = out.scores.iter().sum::<f64>() / out.scores.len() as f64;
-        println!("balanced accuracy {:.1}% (+{} points)", mean * 100.0, out.n_points_added);
+        println!(
+            "balanced accuracy {:.1}% (+{} points)",
+            mean * 100.0,
+            out.n_points_added
+        );
         outcomes.push(out);
     }
 

@@ -13,7 +13,9 @@ use interpretable_automl::fwgen::{generate, FwGenConfig};
 use interpretable_automl::interpret::plot::band_to_ascii;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
 
     println!("generating the synthetic Internet-Firewall dataset...");
     let full = generate(&FwGenConfig {
@@ -21,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
         ..Default::default()
     })?;
-    println!("  {} rows, classes {:?}", full.n_rows(), full.class_counts());
+    println!(
+        "  {} rows, classes {:?}",
+        full.n_rows(),
+        full.class_counts()
+    );
 
     // The paper's protocol: 40% train / 20% test / 40% candidate pool.
     let (train, _test, _pool) = three_way_split(&full, 0.4, 0.2, 3)?;
@@ -90,6 +96,9 @@ fn analysis_model(
     use interpretable_automl::models::{tree::TreeParams, DecisionTree};
     Ok(Box::new(DecisionTree::fit(
         train,
-        TreeParams { max_depth: 10, ..Default::default() },
+        TreeParams {
+            max_depth: 10,
+            ..Default::default()
+        },
     )?))
 }

@@ -49,13 +49,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("(pass `link_mbps rtt_ms loss n_flows` to pick your own condition)\n");
     let scenarios = [
         // Scream's home turf: clean path, deep buffers.
-        NetworkCondition { link_rate_mbps: 50.0, rtt_ms: 100.0, loss_rate: 0.0, n_flows: 1 },
+        NetworkCondition {
+            link_rate_mbps: 50.0,
+            rtt_ms: 100.0,
+            loss_rate: 0.0,
+            n_flows: 1,
+        },
         // Moderate broadband, multiple flows.
-        NetworkCondition { link_rate_mbps: 10.0, rtt_ms: 40.0, loss_rate: 0.0, n_flows: 3 },
+        NetworkCondition {
+            link_rate_mbps: 10.0,
+            rtt_ms: 40.0,
+            loss_rate: 0.0,
+            n_flows: 3,
+        },
         // Random loss: the regime where loss-halving protocols collapse.
-        NetworkCondition { link_rate_mbps: 20.0, rtt_ms: 40.0, loss_rate: 0.02, n_flows: 1 },
+        NetworkCondition {
+            link_rate_mbps: 20.0,
+            rtt_ms: 40.0,
+            loss_rate: 0.02,
+            n_flows: 1,
+        },
         // Slow lossy long-RTT path (satellite-ish).
-        NetworkCondition { link_rate_mbps: 2.0, rtt_ms: 150.0, loss_rate: 0.01, n_flows: 1 },
+        NetworkCondition {
+            link_rate_mbps: 2.0,
+            rtt_ms: 150.0,
+            loss_rate: 0.01,
+            n_flows: 1,
+        },
     ];
     for (i, c) in scenarios.into_iter().enumerate() {
         show(c, i as u64 + 1)?;

@@ -14,14 +14,12 @@
 
 use interpretable_automl::automl::{AutoMl, AutoMlConfig};
 use interpretable_automl::data::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use interpretable_automl::feedback::{
-    run_strategy, AleFeedback, ExperimentConfig, Strategy,
-};
+use interpretable_automl::feedback::{run_strategy, AleFeedback, ExperimentConfig, Strategy};
 use interpretable_automl::interpret::plot::band_to_ascii;
 use interpretable_automl::models::metrics::balanced_accuracy;
 use interpretable_automl::models::Classifier;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Ground truth: three bands over x0 (boundaries at 1/3 and 2/3); the label
 /// is `(band + [x1 > 0.5]) mod 2`. A model that never saw the third band
@@ -92,7 +90,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let tests = vec![test];
-    let outcome = run_strategy(Strategy::WithinAle, &cfg, &train, None, Some(&oracle), &tests)?;
+    let outcome = run_strategy(
+        Strategy::WithinAle,
+        &cfg,
+        &train,
+        None,
+        Some(&oracle),
+        &tests,
+    )?;
     println!(
         "added {} suggested points -> balanced accuracy {:.1}% (baseline {:.1}%)",
         outcome.n_points_added,

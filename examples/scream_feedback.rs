@@ -17,15 +17,15 @@
 
 use interpretable_automl::automl::AutoMlConfig;
 use interpretable_automl::data::{split::split_into_k, Dataset};
-use interpretable_automl::feedback::{
-    run_strategy, ExperimentConfig, Strategy,
-};
+use interpretable_automl::feedback::{run_strategy, ExperimentConfig, Strategy};
 use interpretable_automl::interpret::plot::band_to_ascii;
 use interpretable_automl::netsim::datagen::{generate_dataset, label_rows};
 use interpretable_automl::netsim::ConditionDomain;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     let domain = ConditionDomain::default();
 
     println!("collecting initial training data from the simulator...");
@@ -40,9 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_sets = split_into_k(&test, 6, 3)?;
 
     let oracle = move |rows: &[Vec<f64>]| -> interpretable_automl::feedback::Result<Dataset> {
-        label_rows(rows, &domain, 99, threads).map_err(|e| {
-            interpretable_automl::feedback::CoreError::InvalidParameter(e.to_string())
-        })
+        label_rows(rows, &domain, 99, threads)
+            .map_err(|e| interpretable_automl::feedback::CoreError::InvalidParameter(e.to_string()))
     };
 
     let cfg = ExperimentConfig {

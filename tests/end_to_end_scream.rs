@@ -5,9 +5,7 @@
 
 use interpretable_automl::automl::AutoMlConfig;
 use interpretable_automl::data::{split::split_into_k, Dataset};
-use interpretable_automl::feedback::{
-    run_strategy, CoreError, ExperimentConfig, Strategy,
-};
+use interpretable_automl::feedback::{run_strategy, CoreError, ExperimentConfig, Strategy};
 use interpretable_automl::netsim::datagen::{generate_dataset, label_rows};
 use interpretable_automl::netsim::ConditionDomain;
 
@@ -48,8 +46,15 @@ fn scream_pipeline_round_trip() {
             .map_err(|e| CoreError::InvalidParameter(e.to_string()))
     };
 
-    let base = run_strategy(Strategy::NoFeedback, &quick_cfg(5), &train, None, None, &test_sets)
-        .expect("baseline");
+    let base = run_strategy(
+        Strategy::NoFeedback,
+        &quick_cfg(5),
+        &train,
+        None,
+        None,
+        &test_sets,
+    )
+    .expect("baseline");
     let within = run_strategy(
         Strategy::WithinAle,
         &quick_cfg(5),
@@ -78,18 +83,18 @@ fn feedback_suggestions_are_labelable_conditions() {
     // simulator's condition parser (clamped into physical validity).
     let domain = fast_domain();
     let train = generate_dataset(&domain, 50, 7, 1).expect("datagen");
-    let runs = vec![
-        interpretable_automl::automl::AutoMl::new(AutoMlConfig {
-            n_candidates: 6,
-            seed: 1,
-            ..Default::default()
-        })
-        .fit(&train)
-        .expect("automl"),
-    ];
+    let runs = vec![interpretable_automl::automl::AutoMl::new(AutoMlConfig {
+        n_candidates: 6,
+        seed: 1,
+        ..Default::default()
+    })
+    .fit(&train)
+    .expect("automl")];
     let ale = interpretable_automl::feedback::AleFeedback::default();
     let analysis = ale.analyze(&runs, &train).expect("analysis");
-    let points = ale.suggest_points(&analysis, &train, 30, 9).expect("points");
+    let points = ale
+        .suggest_points(&analysis, &train, 30, 9)
+        .expect("points");
     let labelled = label_rows(&points, &domain, 11, 1).expect("labeling");
     assert_eq!(labelled.n_rows(), 30);
 }
@@ -114,7 +119,10 @@ fn cross_ale_uses_disagreement_between_runs() {
         ..Default::default()
     };
     let analysis = ale.analyze(&runs, &train).expect("cross analysis");
-    assert_eq!(analysis.bands[0].n_models, 3, "one committee member per run");
+    assert_eq!(
+        analysis.bands[0].n_models, 3,
+        "one committee member per run"
+    );
     // Independent runs on 60 noisy samples disagree somewhere.
     assert!(
         analysis.bands.iter().any(|b| b.max_std() > 0.0),

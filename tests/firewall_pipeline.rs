@@ -11,7 +11,12 @@ use interpretable_automl::models::Classifier;
 
 #[test]
 fn firewall_automl_beats_chance_with_four_classes() {
-    let full = generate(&FwGenConfig { n: 2500, seed: 3, ..Default::default() }).unwrap();
+    let full = generate(&FwGenConfig {
+        n: 2500,
+        seed: 3,
+        ..Default::default()
+    })
+    .unwrap();
     let (train, test, pool) = three_way_split(&full, 0.4, 0.2, 1).unwrap();
     assert!(pool.n_rows() > test.n_rows(), "pool is the largest chunk");
 
@@ -31,7 +36,12 @@ fn firewall_automl_beats_chance_with_four_classes() {
 
 #[test]
 fn ale_analysis_covers_all_eleven_features() {
-    let full = generate(&FwGenConfig { n: 1500, seed: 7, ..Default::default() }).unwrap();
+    let full = generate(&FwGenConfig {
+        n: 1500,
+        seed: 7,
+        ..Default::default()
+    })
+    .unwrap();
     let (train, _, _) = three_way_split(&full, 0.4, 0.2, 2).unwrap();
     let run = AutoMl::new(AutoMlConfig {
         n_candidates: 6,
@@ -58,7 +68,12 @@ fn ale_analysis_covers_all_eleven_features() {
 
 #[test]
 fn pool_feedback_selects_only_subspace_members() {
-    let full = generate(&FwGenConfig { n: 2000, seed: 11, ..Default::default() }).unwrap();
+    let full = generate(&FwGenConfig {
+        n: 2000,
+        seed: 11,
+        ..Default::default()
+    })
+    .unwrap();
     let (train, _test, pool) = three_way_split(&full, 0.4, 0.2, 3).unwrap();
     let run = AutoMl::new(AutoMlConfig {
         n_candidates: 6,

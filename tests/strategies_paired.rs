@@ -4,9 +4,7 @@
 
 use interpretable_automl::automl::AutoMlConfig;
 use interpretable_automl::data::{split::split_into_k, synth, Dataset};
-use interpretable_automl::feedback::{
-    run_strategy, ExperimentConfig, Strategy, Table,
-};
+use interpretable_automl::feedback::{run_strategy, ExperimentConfig, Strategy, Table};
 use interpretable_automl::stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
 
 fn oracle(rows: &[Vec<f64>]) -> interpretable_automl::feedback::Result<Dataset> {
@@ -47,8 +45,15 @@ fn full_table_protocol_runs_and_renders() {
         Strategy::Upsampling,
     ] {
         outcomes.push(
-            run_strategy(strategy, &cfg(7), &train, Some(&pool), Some(&oracle), &test_sets)
-                .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name())),
+            run_strategy(
+                strategy,
+                &cfg(7),
+                &train,
+                Some(&pool),
+                Some(&oracle),
+                &test_sets,
+            )
+            .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name())),
         );
     }
     // Paired design: every strategy has one score per test set.
@@ -57,7 +62,13 @@ fn full_table_protocol_runs_and_renders() {
     }
     let table = Table::build(&outcomes).unwrap();
     let rendered = table.render().unwrap();
-    for name in ["Without feedback", "Within-ALE", "Uniform", "QBC", "Upsampling"] {
+    for name in [
+        "Without feedback",
+        "Within-ALE",
+        "Uniform",
+        "QBC",
+        "Upsampling",
+    ] {
         assert!(rendered.contains(name), "missing row {name}:\n{rendered}");
     }
     // The matrix is usable for custom significance tests too.
@@ -73,15 +84,36 @@ fn whole_pipeline_is_deterministic() {
     let test = synth::noisy_xor(200, 0.0, 6).unwrap();
     let test_sets = split_into_k(&test, 4, 7).unwrap();
 
-    let a = run_strategy(Strategy::WithinAle, &cfg(9), &train, None, Some(&oracle), &test_sets)
-        .unwrap();
-    let b = run_strategy(Strategy::WithinAle, &cfg(9), &train, None, Some(&oracle), &test_sets)
-        .unwrap();
+    let a = run_strategy(
+        Strategy::WithinAle,
+        &cfg(9),
+        &train,
+        None,
+        Some(&oracle),
+        &test_sets,
+    )
+    .unwrap();
+    let b = run_strategy(
+        Strategy::WithinAle,
+        &cfg(9),
+        &train,
+        None,
+        Some(&oracle),
+        &test_sets,
+    )
+    .unwrap();
     assert_eq!(a.scores, b.scores, "identical seeds give identical scores");
     assert_eq!(a.n_points_added, b.n_points_added);
 
-    let c = run_strategy(Strategy::WithinAle, &cfg(10), &train, None, Some(&oracle), &test_sets)
-        .unwrap();
+    let c = run_strategy(
+        Strategy::WithinAle,
+        &cfg(10),
+        &train,
+        None,
+        Some(&oracle),
+        &test_sets,
+    )
+    .unwrap();
     assert_ne!(a.scores, c.scores, "different seeds explore differently");
 }
 
@@ -93,10 +125,27 @@ fn refit_seed_is_shared_across_strategies() {
     let train = synth::two_moons(100, 0.2, 11).unwrap(); // perfectly balanced
     let test = synth::two_moons(200, 0.2, 12).unwrap();
     let test_sets = split_into_k(&test, 4, 13).unwrap();
-    let none =
-        run_strategy(Strategy::NoFeedback, &cfg(21), &train, None, None, &test_sets).unwrap();
-    let upsampled =
-        run_strategy(Strategy::Upsampling, &cfg(21), &train, None, None, &test_sets).unwrap();
-    assert_eq!(upsampled.n_points_added, 0, "balanced data needs no upsampling");
+    let none = run_strategy(
+        Strategy::NoFeedback,
+        &cfg(21),
+        &train,
+        None,
+        None,
+        &test_sets,
+    )
+    .unwrap();
+    let upsampled = run_strategy(
+        Strategy::Upsampling,
+        &cfg(21),
+        &train,
+        None,
+        None,
+        &test_sets,
+    )
+    .unwrap();
+    assert_eq!(
+        upsampled.n_points_added, 0,
+        "balanced data needs no upsampling"
+    );
     assert_eq!(none.scores, upsampled.scores);
 }
