@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-0b2997ddfedaf53f.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-0b2997ddfedaf53f: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-18a5e9c3ef5867d4.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-18a5e9c3ef5867d4.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-23d779b378e1158d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-23d779b378e1158d.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-340c7a0f382a76f4.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-340c7a0f382a76f4.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

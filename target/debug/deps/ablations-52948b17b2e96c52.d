@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-52948b17b2e96c52.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/libablations-52948b17b2e96c52.rmeta: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

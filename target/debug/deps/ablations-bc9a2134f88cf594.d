@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-bc9a2134f88cf594.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-bc9a2134f88cf594: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aml_automl-1ceef5b65611d721.d: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/debug/deps/libaml_automl-1ceef5b65611d721.rlib: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/debug/deps/libaml_automl-1ceef5b65611d721.rmeta: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+crates/automl/src/lib.rs:
+crates/automl/src/automl.rs:
+crates/automl/src/search.rs:
+crates/automl/src/selection.rs:
+crates/automl/src/space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_automl-2b56eaebb79d8d02.d: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/debug/deps/libaml_automl-2b56eaebb79d8d02.rmeta: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+crates/automl/src/lib.rs:
+crates/automl/src/automl.rs:
+crates/automl/src/search.rs:
+crates/automl/src/selection.rs:
+crates/automl/src/space.rs:

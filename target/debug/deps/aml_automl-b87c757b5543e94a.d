@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_automl-b87c757b5543e94a.d: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/debug/deps/libaml_automl-b87c757b5543e94a.rmeta: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+crates/automl/src/lib.rs:
+crates/automl/src/automl.rs:
+crates/automl/src/search.rs:
+crates/automl/src/selection.rs:
+crates/automl/src/space.rs:

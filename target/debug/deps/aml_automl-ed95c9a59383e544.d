@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aml_automl-ed95c9a59383e544.d: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_automl-ed95c9a59383e544.rmeta: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs Cargo.toml
+
+crates/automl/src/lib.rs:
+crates/automl/src/automl.rs:
+crates/automl/src/search.rs:
+crates/automl/src/selection.rs:
+crates/automl/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

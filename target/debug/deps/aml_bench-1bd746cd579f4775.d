@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aml_bench-1bd746cd579f4775.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaml_bench-1bd746cd579f4775.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aml_bench-3b26339e6e676782.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaml_bench-3b26339e6e676782.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aml_bench-5a9c4753d734c774.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/aml_bench-5a9c4753d734c774: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_bench-5eadab7d56312a29.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_bench-5eadab7d56312a29.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/aml_bench-60cc249db9169878.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaml_bench-60cc249db9169878.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaml_bench-60cc249db9169878.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

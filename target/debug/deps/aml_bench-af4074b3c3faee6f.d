@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/aml_bench-af4074b3c3faee6f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libaml_bench-af4074b3c3faee6f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_bench-e3080e13947d891d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_bench-e3080e13947d891d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

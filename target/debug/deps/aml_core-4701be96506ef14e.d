@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aml_core-4701be96506ef14e.d: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+/root/repo/target/debug/deps/libaml_core-4701be96506ef14e.rmeta: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ale_feedback.rs:
+crates/core/src/confidence.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/qbc.rs:
+crates/core/src/report.rs:
+crates/core/src/uncertainty.rs:
+crates/core/src/uniform.rs:
+crates/core/src/upsampling.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/aml_core-b438d8dd3150aa5f.d: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+/root/repo/target/debug/deps/libaml_core-b438d8dd3150aa5f.rlib: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+/root/repo/target/debug/deps/libaml_core-b438d8dd3150aa5f.rmeta: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ale_feedback.rs:
+crates/core/src/confidence.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/qbc.rs:
+crates/core/src/report.rs:
+crates/core/src/uncertainty.rs:
+crates/core/src/uniform.rs:
+crates/core/src/upsampling.rs:

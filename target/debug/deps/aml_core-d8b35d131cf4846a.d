@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/aml_core-d8b35d131cf4846a.d: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_core-d8b35d131cf4846a.rmeta: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/ale_feedback.rs:
+crates/core/src/confidence.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/qbc.rs:
+crates/core/src/report.rs:
+crates/core/src/uncertainty.rs:
+crates/core/src/uniform.rs:
+crates/core/src/upsampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

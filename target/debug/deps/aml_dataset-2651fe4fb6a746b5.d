@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aml_dataset-2651fe4fb6a746b5.d: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/debug/deps/libaml_dataset-2651fe4fb6a746b5.rlib: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/debug/deps/libaml_dataset-2651fe4fb6a746b5.rmeta: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/feature.rs:
+crates/dataset/src/split.rs:
+crates/dataset/src/synth.rs:

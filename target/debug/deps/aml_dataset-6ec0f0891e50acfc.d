@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aml_dataset-6ec0f0891e50acfc.d: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/debug/deps/aml_dataset-6ec0f0891e50acfc: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/feature.rs:
+crates/dataset/src/split.rs:
+crates/dataset/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/aml_dataset-ae0018e3c1c454e3.d: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_dataset-ae0018e3c1c454e3.rmeta: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs Cargo.toml
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/feature.rs:
+crates/dataset/src/split.rs:
+crates/dataset/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

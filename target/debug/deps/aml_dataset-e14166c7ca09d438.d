@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aml_dataset-e14166c7ca09d438.d: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/debug/deps/libaml_dataset-e14166c7ca09d438.rmeta: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/feature.rs:
+crates/dataset/src/split.rs:
+crates/dataset/src/synth.rs:

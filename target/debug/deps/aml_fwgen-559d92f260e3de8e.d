@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aml_fwgen-559d92f260e3de8e.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/debug/deps/libaml_fwgen-559d92f260e3de8e.rmeta: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:

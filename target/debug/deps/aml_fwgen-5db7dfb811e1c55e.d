@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aml_fwgen-5db7dfb811e1c55e.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/debug/deps/aml_fwgen-5db7dfb811e1c55e: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/aml_fwgen-9ad6b3e79dedd230.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/debug/deps/libaml_fwgen-9ad6b3e79dedd230.rlib: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/debug/deps/libaml_fwgen-9ad6b3e79dedd230.rmeta: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:

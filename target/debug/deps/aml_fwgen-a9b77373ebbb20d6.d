@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/aml_fwgen-a9b77373ebbb20d6.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_fwgen-a9b77373ebbb20d6.rmeta: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs Cargo.toml
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

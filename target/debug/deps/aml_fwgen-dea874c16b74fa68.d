@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/aml_fwgen-dea874c16b74fa68.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/debug/deps/libaml_fwgen-dea874c16b74fa68.rmeta: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aml_interpret-41ba2c917020d8d9.d: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+/root/repo/target/debug/deps/libaml_interpret-41ba2c917020d8d9.rmeta: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+crates/interpret/src/lib.rs:
+crates/interpret/src/ale.rs:
+crates/interpret/src/ale2.rs:
+crates/interpret/src/grid.rs:
+crates/interpret/src/importance.rs:
+crates/interpret/src/pdp.rs:
+crates/interpret/src/plot.rs:
+crates/interpret/src/region.rs:
+crates/interpret/src/variance.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aml_interpret-d154752758f015ef.d: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+/root/repo/target/debug/deps/libaml_interpret-d154752758f015ef.rlib: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+/root/repo/target/debug/deps/libaml_interpret-d154752758f015ef.rmeta: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+crates/interpret/src/lib.rs:
+crates/interpret/src/ale.rs:
+crates/interpret/src/ale2.rs:
+crates/interpret/src/grid.rs:
+crates/interpret/src/importance.rs:
+crates/interpret/src/pdp.rs:
+crates/interpret/src/plot.rs:
+crates/interpret/src/region.rs:
+crates/interpret/src/variance.rs:

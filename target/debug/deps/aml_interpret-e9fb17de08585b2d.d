@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/aml_interpret-e9fb17de08585b2d.d: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_interpret-e9fb17de08585b2d.rmeta: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs Cargo.toml
+
+crates/interpret/src/lib.rs:
+crates/interpret/src/ale.rs:
+crates/interpret/src/ale2.rs:
+crates/interpret/src/grid.rs:
+crates/interpret/src/importance.rs:
+crates/interpret/src/pdp.rs:
+crates/interpret/src/plot.rs:
+crates/interpret/src/region.rs:
+crates/interpret/src/variance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/aml_models-79318ce5a5264b7d.d: crates/models/src/lib.rs crates/models/src/adaboost.rs crates/models/src/ensemble.rs crates/models/src/forest.rs crates/models/src/gbdt.rs crates/models/src/knn.rs crates/models/src/linear_svm.rs crates/models/src/logistic.rs crates/models/src/metrics.rs crates/models/src/model.rs crates/models/src/naive_bayes.rs crates/models/src/pipeline.rs crates/models/src/preprocess.rs crates/models/src/regression.rs crates/models/src/tree.rs
+
+/root/repo/target/debug/deps/libaml_models-79318ce5a5264b7d.rmeta: crates/models/src/lib.rs crates/models/src/adaboost.rs crates/models/src/ensemble.rs crates/models/src/forest.rs crates/models/src/gbdt.rs crates/models/src/knn.rs crates/models/src/linear_svm.rs crates/models/src/logistic.rs crates/models/src/metrics.rs crates/models/src/model.rs crates/models/src/naive_bayes.rs crates/models/src/pipeline.rs crates/models/src/preprocess.rs crates/models/src/regression.rs crates/models/src/tree.rs
+
+crates/models/src/lib.rs:
+crates/models/src/adaboost.rs:
+crates/models/src/ensemble.rs:
+crates/models/src/forest.rs:
+crates/models/src/gbdt.rs:
+crates/models/src/knn.rs:
+crates/models/src/linear_svm.rs:
+crates/models/src/logistic.rs:
+crates/models/src/metrics.rs:
+crates/models/src/model.rs:
+crates/models/src/naive_bayes.rs:
+crates/models/src/pipeline.rs:
+crates/models/src/preprocess.rs:
+crates/models/src/regression.rs:
+crates/models/src/tree.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/aml_models-d78705421c3fba82.d: crates/models/src/lib.rs crates/models/src/adaboost.rs crates/models/src/ensemble.rs crates/models/src/forest.rs crates/models/src/gbdt.rs crates/models/src/knn.rs crates/models/src/linear_svm.rs crates/models/src/logistic.rs crates/models/src/metrics.rs crates/models/src/model.rs crates/models/src/naive_bayes.rs crates/models/src/pipeline.rs crates/models/src/preprocess.rs crates/models/src/regression.rs crates/models/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_models-d78705421c3fba82.rmeta: crates/models/src/lib.rs crates/models/src/adaboost.rs crates/models/src/ensemble.rs crates/models/src/forest.rs crates/models/src/gbdt.rs crates/models/src/knn.rs crates/models/src/linear_svm.rs crates/models/src/logistic.rs crates/models/src/metrics.rs crates/models/src/model.rs crates/models/src/naive_bayes.rs crates/models/src/pipeline.rs crates/models/src/preprocess.rs crates/models/src/regression.rs crates/models/src/tree.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/adaboost.rs:
+crates/models/src/ensemble.rs:
+crates/models/src/forest.rs:
+crates/models/src/gbdt.rs:
+crates/models/src/knn.rs:
+crates/models/src/linear_svm.rs:
+crates/models/src/logistic.rs:
+crates/models/src/metrics.rs:
+crates/models/src/model.rs:
+crates/models/src/naive_bayes.rs:
+crates/models/src/pipeline.rs:
+crates/models/src/preprocess.rs:
+crates/models/src/regression.rs:
+crates/models/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/aml_netsim-0ed1b7c1faeb0b7d.d: crates/netsim/src/lib.rs crates/netsim/src/cc/mod.rs crates/netsim/src/cc/bbr.rs crates/netsim/src/cc/copa.rs crates/netsim/src/cc/cubic.rs crates/netsim/src/cc/reno.rs crates/netsim/src/cc/scream.rs crates/netsim/src/cc/vegas.rs crates/netsim/src/datagen.rs crates/netsim/src/event.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/red.rs crates/netsim/src/runner.rs crates/netsim/src/scenario.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_netsim-0ed1b7c1faeb0b7d.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cc/mod.rs crates/netsim/src/cc/bbr.rs crates/netsim/src/cc/copa.rs crates/netsim/src/cc/cubic.rs crates/netsim/src/cc/reno.rs crates/netsim/src/cc/scream.rs crates/netsim/src/cc/vegas.rs crates/netsim/src/datagen.rs crates/netsim/src/event.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/red.rs crates/netsim/src/runner.rs crates/netsim/src/scenario.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs Cargo.toml
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cc/mod.rs:
+crates/netsim/src/cc/bbr.rs:
+crates/netsim/src/cc/copa.rs:
+crates/netsim/src/cc/cubic.rs:
+crates/netsim/src/cc/reno.rs:
+crates/netsim/src/cc/scream.rs:
+crates/netsim/src/cc/vegas.rs:
+crates/netsim/src/datagen.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/red.rs:
+crates/netsim/src/runner.rs:
+crates/netsim/src/scenario.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

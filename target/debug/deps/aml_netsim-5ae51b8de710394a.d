@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/aml_netsim-5ae51b8de710394a.d: crates/netsim/src/lib.rs crates/netsim/src/cc/mod.rs crates/netsim/src/cc/bbr.rs crates/netsim/src/cc/copa.rs crates/netsim/src/cc/cubic.rs crates/netsim/src/cc/reno.rs crates/netsim/src/cc/scream.rs crates/netsim/src/cc/vegas.rs crates/netsim/src/datagen.rs crates/netsim/src/event.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/red.rs crates/netsim/src/runner.rs crates/netsim/src/scenario.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+/root/repo/target/debug/deps/libaml_netsim-5ae51b8de710394a.rmeta: crates/netsim/src/lib.rs crates/netsim/src/cc/mod.rs crates/netsim/src/cc/bbr.rs crates/netsim/src/cc/copa.rs crates/netsim/src/cc/cubic.rs crates/netsim/src/cc/reno.rs crates/netsim/src/cc/scream.rs crates/netsim/src/cc/vegas.rs crates/netsim/src/datagen.rs crates/netsim/src/event.rs crates/netsim/src/flow.rs crates/netsim/src/packet.rs crates/netsim/src/queue.rs crates/netsim/src/red.rs crates/netsim/src/runner.rs crates/netsim/src/scenario.rs crates/netsim/src/sim.rs crates/netsim/src/time.rs
+
+crates/netsim/src/lib.rs:
+crates/netsim/src/cc/mod.rs:
+crates/netsim/src/cc/bbr.rs:
+crates/netsim/src/cc/copa.rs:
+crates/netsim/src/cc/cubic.rs:
+crates/netsim/src/cc/reno.rs:
+crates/netsim/src/cc/scream.rs:
+crates/netsim/src/cc/vegas.rs:
+crates/netsim/src/datagen.rs:
+crates/netsim/src/event.rs:
+crates/netsim/src/flow.rs:
+crates/netsim/src/packet.rs:
+crates/netsim/src/queue.rs:
+crates/netsim/src/red.rs:
+crates/netsim/src/runner.rs:
+crates/netsim/src/scenario.rs:
+crates/netsim/src/sim.rs:
+crates/netsim/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aml_stats-811dcf96860260f5.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libaml_stats-811dcf96860260f5.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libaml_stats-811dcf96860260f5.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/effect.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/aml_stats-9a6fea5d1d4b0abc.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_stats-9a6fea5d1d4b0abc.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/effect.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/wilcoxon.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/aml_stats-a6fbd36734dd1ee2.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/effect.rs crates/stats/src/descriptive.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/libaml_stats-a6fbd36734dd1ee2.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/effect.rs crates/stats/src/descriptive.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/effect.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/wilcoxon.rs:

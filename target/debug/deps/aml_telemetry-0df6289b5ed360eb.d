@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/aml_telemetry-0df6289b5ed360eb.d: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaml_telemetry-0df6289b5ed360eb.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs Cargo.toml
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/progress.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

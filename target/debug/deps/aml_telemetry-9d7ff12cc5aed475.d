@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_telemetry-9d7ff12cc5aed475.d: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/aml_telemetry-9d7ff12cc5aed475: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/progress.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_telemetry-e45a95085ebc3937.d: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libaml_telemetry-e45a95085ebc3937.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/progress.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/aml_telemetry-e7514417682e89f5.d: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libaml_telemetry-e7514417682e89f5.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/progress.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

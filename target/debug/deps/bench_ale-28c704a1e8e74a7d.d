@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_ale-28c704a1e8e74a7d.d: crates/bench/benches/bench_ale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_ale-28c704a1e8e74a7d.rmeta: crates/bench/benches/bench_ale.rs Cargo.toml
+
+crates/bench/benches/bench_ale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

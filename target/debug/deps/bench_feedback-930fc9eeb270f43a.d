@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_feedback-930fc9eeb270f43a.d: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_feedback-930fc9eeb270f43a.rmeta: crates/bench/benches/bench_feedback.rs Cargo.toml
+
+crates/bench/benches/bench_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

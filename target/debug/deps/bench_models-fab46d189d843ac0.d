@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_models-fab46d189d843ac0.d: crates/bench/benches/bench_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_models-fab46d189d843ac0.rmeta: crates/bench/benches/bench_models.rs Cargo.toml
+
+crates/bench/benches/bench_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_netsim-289bfb370c6975f6.d: crates/bench/benches/bench_netsim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_netsim-289bfb370c6975f6.rmeta: crates/bench/benches/bench_netsim.rs Cargo.toml
+
+crates/bench/benches/bench_netsim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

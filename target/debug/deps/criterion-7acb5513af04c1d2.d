@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-7acb5513af04c1d2.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7acb5513af04c1d2.rlib: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7acb5513af04c1d2.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-7d1427b53aa0aec9.d: /tmp/stubs/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-7d1427b53aa0aec9.rmeta: /tmp/stubs/criterion/src/lib.rs
+
+/tmp/stubs/criterion/src/lib.rs:

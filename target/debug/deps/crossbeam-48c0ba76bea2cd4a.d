@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-48c0ba76bea2cd4a.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-48c0ba76bea2cd4a.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-48c0ba76bea2cd4a.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

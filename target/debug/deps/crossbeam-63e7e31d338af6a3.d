@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-63e7e31d338af6a3.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-63e7e31d338af6a3.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

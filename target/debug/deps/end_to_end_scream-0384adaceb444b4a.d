@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_scream-0384adaceb444b4a.d: tests/end_to_end_scream.rs
+
+/root/repo/target/debug/deps/libend_to_end_scream-0384adaceb444b4a.rmeta: tests/end_to_end_scream.rs
+
+tests/end_to_end_scream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_scream-52b93ff969ff7a7a.d: tests/end_to_end_scream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_scream-52b93ff969ff7a7a.rmeta: tests/end_to_end_scream.rs Cargo.toml
+
+tests/end_to_end_scream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

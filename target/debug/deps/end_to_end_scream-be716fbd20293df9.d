@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_scream-be716fbd20293df9.d: tests/end_to_end_scream.rs
+
+/root/repo/target/debug/deps/end_to_end_scream-be716fbd20293df9: tests/end_to_end_scream.rs
+
+tests/end_to_end_scream.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_scream_ale-28fa8c7a35641af6.d: crates/bench/src/bin/fig1_scream_ale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_scream_ale-28fa8c7a35641af6.rmeta: crates/bench/src/bin/fig1_scream_ale.rs Cargo.toml
+
+crates/bench/src/bin/fig1_scream_ale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

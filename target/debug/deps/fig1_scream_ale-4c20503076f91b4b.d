@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scream_ale-4c20503076f91b4b.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/debug/deps/libfig1_scream_ale-4c20503076f91b4b.rmeta: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scream_ale-5cbc15f41b88f3fe.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/debug/deps/fig1_scream_ale-5cbc15f41b88f3fe: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

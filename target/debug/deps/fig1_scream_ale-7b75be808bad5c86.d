@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scream_ale-7b75be808bad5c86.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/debug/deps/libfig1_scream_ale-7b75be808bad5c86.rmeta: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

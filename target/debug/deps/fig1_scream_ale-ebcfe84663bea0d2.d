@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scream_ale-ebcfe84663bea0d2.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/debug/deps/libfig1_scream_ale-ebcfe84663bea0d2.rmeta: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_scream_ale-ef36ba73c4a3b0de.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/debug/deps/fig1_scream_ale-ef36ba73c4a3b0de: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

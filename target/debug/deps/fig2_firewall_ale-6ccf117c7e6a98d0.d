@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_firewall_ale-6ccf117c7e6a98d0.d: crates/bench/src/bin/fig2_firewall_ale.rs
+
+/root/repo/target/debug/deps/libfig2_firewall_ale-6ccf117c7e6a98d0.rmeta: crates/bench/src/bin/fig2_firewall_ale.rs
+
+crates/bench/src/bin/fig2_firewall_ale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_firewall_ale-98f23e7177b62f01.d: crates/bench/src/bin/fig2_firewall_ale.rs
+
+/root/repo/target/debug/deps/fig2_firewall_ale-98f23e7177b62f01: crates/bench/src/bin/fig2_firewall_ale.rs
+
+crates/bench/src/bin/fig2_firewall_ale.rs:

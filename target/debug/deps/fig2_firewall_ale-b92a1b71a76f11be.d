@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_firewall_ale-b92a1b71a76f11be.d: crates/bench/src/bin/fig2_firewall_ale.rs
+
+/root/repo/target/debug/deps/libfig2_firewall_ale-b92a1b71a76f11be.rmeta: crates/bench/src/bin/fig2_firewall_ale.rs
+
+crates/bench/src/bin/fig2_firewall_ale.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_firewall_ale-bf0047cf42949d91.d: crates/bench/src/bin/fig2_firewall_ale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_firewall_ale-bf0047cf42949d91.rmeta: crates/bench/src/bin/fig2_firewall_ale.rs Cargo.toml
+
+crates/bench/src/bin/fig2_firewall_ale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_firewall_ale-c42fc8c7aad98439.d: crates/bench/src/bin/fig2_firewall_ale.rs
+
+/root/repo/target/debug/deps/fig2_firewall_ale-c42fc8c7aad98439: crates/bench/src/bin/fig2_firewall_ale.rs
+
+crates/bench/src/bin/fig2_firewall_ale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firewall_pipeline-517c3f02df21baca.d: tests/firewall_pipeline.rs
+
+/root/repo/target/debug/deps/firewall_pipeline-517c3f02df21baca: tests/firewall_pipeline.rs
+
+tests/firewall_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/firewall_pipeline-90b3ab859fc457d7.d: tests/firewall_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfirewall_pipeline-90b3ab859fc457d7.rmeta: tests/firewall_pipeline.rs Cargo.toml
+
+tests/firewall_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/firewall_pipeline-b306671923724825.d: tests/firewall_pipeline.rs
+
+/root/repo/target/debug/deps/libfirewall_pipeline-b306671923724825.rmeta: tests/firewall_pipeline.rs
+
+tests/firewall_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpretable_automl-2455afc97fbd1bb3.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterpretable_automl-2455afc97fbd1bb3.rmeta: src/lib.rs
+
+src/lib.rs:

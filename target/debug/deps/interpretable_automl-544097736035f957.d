@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interpretable_automl-544097736035f957.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterpretable_automl-544097736035f957.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

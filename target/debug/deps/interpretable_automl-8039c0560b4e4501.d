@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/interpretable_automl-8039c0560b4e4501.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterpretable_automl-8039c0560b4e4501.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libinterpretable_automl-8039c0560b4e4501.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpretable_automl-a68ffe21692a32e4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libinterpretable_automl-a68ffe21692a32e4.rmeta: src/lib.rs
+
+src/lib.rs:

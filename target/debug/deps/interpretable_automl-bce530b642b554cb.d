@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpretable_automl-bce530b642b554cb.d: src/lib.rs
+
+/root/repo/target/debug/deps/interpretable_automl-bce530b642b554cb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/manifest_golden-9d96bc2488a59159.d: crates/bench/tests/manifest_golden.rs
+
+/root/repo/target/debug/deps/manifest_golden-9d96bc2488a59159: crates/bench/tests/manifest_golden.rs
+
+crates/bench/tests/manifest_golden.rs:

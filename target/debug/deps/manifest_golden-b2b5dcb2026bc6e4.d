@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/manifest_golden-b2b5dcb2026bc6e4.d: crates/bench/tests/manifest_golden.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmanifest_golden-b2b5dcb2026bc6e4.rmeta: crates/bench/tests/manifest_golden.rs Cargo.toml
+
+crates/bench/tests/manifest_golden.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-91fe2d185f5c7e77.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-91fe2d185f5c7e77.rlib: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-91fe2d185f5c7e77.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

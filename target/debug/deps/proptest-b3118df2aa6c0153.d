@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b3118df2aa6c0153.d: /tmp/stubs/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b3118df2aa6c0153.rmeta: /tmp/stubs/proptest/src/lib.rs
+
+/tmp/stubs/proptest/src/lib.rs:

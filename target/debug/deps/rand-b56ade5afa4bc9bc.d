@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-b56ade5afa4bc9bc.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-b56ade5afa4bc9bc.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

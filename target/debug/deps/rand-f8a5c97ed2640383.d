@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f8a5c97ed2640383.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f8a5c97ed2640383.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f8a5c97ed2640383.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

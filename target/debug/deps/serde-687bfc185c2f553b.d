@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-687bfc185c2f553b.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-687bfc185c2f553b.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-687bfc185c2f553b.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

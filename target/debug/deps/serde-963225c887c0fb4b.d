@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-963225c887c0fb4b.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-963225c887c0fb4b.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

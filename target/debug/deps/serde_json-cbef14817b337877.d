@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-cbef14817b337877.d: /tmp/stubs/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-cbef14817b337877.rmeta: /tmp/stubs/serde_json/src/lib.rs
+
+/tmp/stubs/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies_paired-4099b968866d78d7.d: tests/strategies_paired.rs
+
+/root/repo/target/debug/deps/libstrategies_paired-4099b968866d78d7.rmeta: tests/strategies_paired.rs
+
+tests/strategies_paired.rs:

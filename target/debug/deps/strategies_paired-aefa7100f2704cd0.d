@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/strategies_paired-aefa7100f2704cd0.d: tests/strategies_paired.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstrategies_paired-aefa7100f2704cd0.rmeta: tests/strategies_paired.rs Cargo.toml
+
+tests/strategies_paired.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

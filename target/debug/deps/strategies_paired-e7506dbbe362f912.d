@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/strategies_paired-e7506dbbe362f912.d: tests/strategies_paired.rs
+
+/root/repo/target/debug/deps/strategies_paired-e7506dbbe362f912: tests/strategies_paired.rs
+
+tests/strategies_paired.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scream-07279de047a65d25.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/debug/deps/libtable1_scream-07279de047a65d25.rmeta: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

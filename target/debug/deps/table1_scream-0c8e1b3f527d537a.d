@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scream-0c8e1b3f527d537a.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/debug/deps/table1_scream-0c8e1b3f527d537a: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scream-5dcf9ad863f2b07e.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/debug/deps/libtable1_scream-5dcf9ad863f2b07e.rmeta: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scream-6c7c9195d4f03858.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/debug/deps/table1_scream-6c7c9195d4f03858: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_scream-a65f2687e66487ee.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/debug/deps/libtable1_scream-a65f2687e66487ee.rmeta: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

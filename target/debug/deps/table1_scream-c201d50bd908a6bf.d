@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_scream-c201d50bd908a6bf.d: crates/bench/src/bin/table1_scream.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_scream-c201d50bd908a6bf.rmeta: crates/bench/src/bin/table1_scream.rs Cargo.toml
+
+crates/bench/src/bin/table1_scream.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_firewall-3c7ba33abf970c67.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/debug/deps/table2_firewall-3c7ba33abf970c67: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

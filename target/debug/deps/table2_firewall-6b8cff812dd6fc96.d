@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_firewall-6b8cff812dd6fc96.d: crates/bench/src/bin/table2_firewall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_firewall-6b8cff812dd6fc96.rmeta: crates/bench/src/bin/table2_firewall.rs Cargo.toml
+
+crates/bench/src/bin/table2_firewall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

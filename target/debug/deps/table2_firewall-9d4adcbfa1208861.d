@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_firewall-9d4adcbfa1208861.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/debug/deps/libtable2_firewall-9d4adcbfa1208861.rmeta: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

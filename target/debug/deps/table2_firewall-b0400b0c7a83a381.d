@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_firewall-b0400b0c7a83a381.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/debug/deps/libtable2_firewall-b0400b0c7a83a381.rmeta: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_firewall-b37332eff3bdfe3e.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/debug/deps/libtable2_firewall-b37332eff3bdfe3e.rmeta: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

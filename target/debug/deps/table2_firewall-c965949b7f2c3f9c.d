@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_firewall-c965949b7f2c3f9c.d: crates/bench/src/bin/table2_firewall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_firewall-c965949b7f2c3f9c.rmeta: crates/bench/src/bin/table2_firewall.rs Cargo.toml
+
+crates/bench/src/bin/table2_firewall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_firewall-cf8a16e4dd0670d4.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/debug/deps/table2_firewall-cf8a16e4dd0670d4: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_sweep-16439ee243d165e3.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/debug/deps/threshold_sweep-16439ee243d165e3: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threshold_sweep-27ebb41c6db9aa68.d: crates/bench/src/bin/threshold_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreshold_sweep-27ebb41c6db9aa68.rmeta: crates/bench/src/bin/threshold_sweep.rs Cargo.toml
+
+crates/bench/src/bin/threshold_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

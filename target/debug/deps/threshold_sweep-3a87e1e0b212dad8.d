@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_sweep-3a87e1e0b212dad8.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/debug/deps/libthreshold_sweep-3a87e1e0b212dad8.rmeta: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:

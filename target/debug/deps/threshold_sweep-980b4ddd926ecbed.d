@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_sweep-980b4ddd926ecbed.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/debug/deps/libthreshold_sweep-980b4ddd926ecbed.rmeta: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:

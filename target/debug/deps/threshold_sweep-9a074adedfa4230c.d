@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threshold_sweep-9a074adedfa4230c.d: crates/bench/src/bin/threshold_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreshold_sweep-9a074adedfa4230c.rmeta: crates/bench/src/bin/threshold_sweep.rs Cargo.toml
+
+crates/bench/src/bin/threshold_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_sweep-a641b610aed04d7a.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/debug/deps/threshold_sweep-a641b610aed04d7a: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threshold_sweep-d74c6d96c0041160.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/debug/deps/libthreshold_sweep-d74c6d96c0041160.rmeta: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/active_learning_faceoff-24a2156c1975b545.d: examples/active_learning_faceoff.rs
+
+/root/repo/target/debug/examples/active_learning_faceoff-24a2156c1975b545: examples/active_learning_faceoff.rs
+
+examples/active_learning_faceoff.rs:

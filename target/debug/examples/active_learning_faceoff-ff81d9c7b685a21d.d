@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/active_learning_faceoff-ff81d9c7b685a21d.d: examples/active_learning_faceoff.rs Cargo.toml
+
+/root/repo/target/debug/examples/libactive_learning_faceoff-ff81d9c7b685a21d.rmeta: examples/active_learning_faceoff.rs Cargo.toml
+
+examples/active_learning_faceoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

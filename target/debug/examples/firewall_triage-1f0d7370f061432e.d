@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/firewall_triage-1f0d7370f061432e.d: examples/firewall_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfirewall_triage-1f0d7370f061432e.rmeta: examples/firewall_triage.rs Cargo.toml
+
+examples/firewall_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/firewall_triage-7b8c774e5855de9f.d: examples/firewall_triage.rs
+
+/root/repo/target/debug/examples/firewall_triage-7b8c774e5855de9f: examples/firewall_triage.rs
+
+examples/firewall_triage.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/netsim_explore-1c6e70c078c6a95e.d: examples/netsim_explore.rs
+
+/root/repo/target/debug/examples/netsim_explore-1c6e70c078c6a95e: examples/netsim_explore.rs
+
+examples/netsim_explore.rs:

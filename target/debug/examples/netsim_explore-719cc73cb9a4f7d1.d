@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/netsim_explore-719cc73cb9a4f7d1.d: examples/netsim_explore.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetsim_explore-719cc73cb9a4f7d1.rmeta: examples/netsim_explore.rs Cargo.toml
+
+examples/netsim_explore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

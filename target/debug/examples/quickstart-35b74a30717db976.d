@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-35b74a30717db976.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-35b74a30717db976: examples/quickstart.rs
+
+examples/quickstart.rs:

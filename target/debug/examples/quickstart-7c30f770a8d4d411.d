@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-7c30f770a8d4d411.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-7c30f770a8d4d411.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

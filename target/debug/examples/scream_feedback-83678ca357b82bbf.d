@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scream_feedback-83678ca357b82bbf.d: examples/scream_feedback.rs
+
+/root/repo/target/debug/examples/scream_feedback-83678ca357b82bbf: examples/scream_feedback.rs
+
+examples/scream_feedback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scream_feedback-8919f74cf95d87b7.d: examples/scream_feedback.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscream_feedback-8919f74cf95d87b7.rmeta: examples/scream_feedback.rs Cargo.toml
+
+examples/scream_feedback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

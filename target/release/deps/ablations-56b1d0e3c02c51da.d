@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-56b1d0e3c02c51da.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-56b1d0e3c02c51da: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aml_automl-dc375d0854aa019d.d: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/release/deps/libaml_automl-dc375d0854aa019d.rlib: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+/root/repo/target/release/deps/libaml_automl-dc375d0854aa019d.rmeta: crates/automl/src/lib.rs crates/automl/src/automl.rs crates/automl/src/search.rs crates/automl/src/selection.rs crates/automl/src/space.rs
+
+crates/automl/src/lib.rs:
+crates/automl/src/automl.rs:
+crates/automl/src/search.rs:
+crates/automl/src/selection.rs:
+crates/automl/src/space.rs:

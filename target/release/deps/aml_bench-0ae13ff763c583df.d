@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/aml_bench-0ae13ff763c583df.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaml_bench-0ae13ff763c583df.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libaml_bench-0ae13ff763c583df.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

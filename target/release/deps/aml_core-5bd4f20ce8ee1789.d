@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/aml_core-5bd4f20ce8ee1789.d: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+/root/repo/target/release/deps/libaml_core-5bd4f20ce8ee1789.rlib: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+/root/repo/target/release/deps/libaml_core-5bd4f20ce8ee1789.rmeta: crates/core/src/lib.rs crates/core/src/ale_feedback.rs crates/core/src/confidence.rs crates/core/src/experiment.rs crates/core/src/feedback.rs crates/core/src/qbc.rs crates/core/src/report.rs crates/core/src/uncertainty.rs crates/core/src/uniform.rs crates/core/src/upsampling.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ale_feedback.rs:
+crates/core/src/confidence.rs:
+crates/core/src/experiment.rs:
+crates/core/src/feedback.rs:
+crates/core/src/qbc.rs:
+crates/core/src/report.rs:
+crates/core/src/uncertainty.rs:
+crates/core/src/uniform.rs:
+crates/core/src/upsampling.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/aml_dataset-fe486a1327ab5149.d: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/release/deps/libaml_dataset-fe486a1327ab5149.rlib: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+/root/repo/target/release/deps/libaml_dataset-fe486a1327ab5149.rmeta: crates/dataset/src/lib.rs crates/dataset/src/csv.rs crates/dataset/src/dataset.rs crates/dataset/src/feature.rs crates/dataset/src/split.rs crates/dataset/src/synth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/csv.rs:
+crates/dataset/src/dataset.rs:
+crates/dataset/src/feature.rs:
+crates/dataset/src/split.rs:
+crates/dataset/src/synth.rs:

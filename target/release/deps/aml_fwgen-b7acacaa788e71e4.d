@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/aml_fwgen-b7acacaa788e71e4.d: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/release/deps/libaml_fwgen-b7acacaa788e71e4.rlib: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+/root/repo/target/release/deps/libaml_fwgen-b7acacaa788e71e4.rmeta: crates/fwgen/src/lib.rs crates/fwgen/src/gen.rs crates/fwgen/src/profiles.rs crates/fwgen/src/schema.rs
+
+crates/fwgen/src/lib.rs:
+crates/fwgen/src/gen.rs:
+crates/fwgen/src/profiles.rs:
+crates/fwgen/src/schema.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/aml_interpret-ce3cb2ce092fdadb.d: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+/root/repo/target/release/deps/libaml_interpret-ce3cb2ce092fdadb.rlib: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+/root/repo/target/release/deps/libaml_interpret-ce3cb2ce092fdadb.rmeta: crates/interpret/src/lib.rs crates/interpret/src/ale.rs crates/interpret/src/ale2.rs crates/interpret/src/grid.rs crates/interpret/src/importance.rs crates/interpret/src/pdp.rs crates/interpret/src/plot.rs crates/interpret/src/region.rs crates/interpret/src/variance.rs
+
+crates/interpret/src/lib.rs:
+crates/interpret/src/ale.rs:
+crates/interpret/src/ale2.rs:
+crates/interpret/src/grid.rs:
+crates/interpret/src/importance.rs:
+crates/interpret/src/pdp.rs:
+crates/interpret/src/plot.rs:
+crates/interpret/src/region.rs:
+crates/interpret/src/variance.rs:

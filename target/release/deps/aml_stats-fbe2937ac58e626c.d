@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/aml_stats-fbe2937ac58e626c.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libaml_stats-fbe2937ac58e626c.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/libaml_stats-fbe2937ac58e626c.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/descriptive.rs crates/stats/src/effect.rs crates/stats/src/ranks.rs crates/stats/src/summary.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/effect.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/aml_telemetry-c7c1c052a444924a.d: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libaml_telemetry-c7c1c052a444924a.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+/root/repo/target/release/deps/libaml_telemetry-c7c1c052a444924a.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/manifest.rs crates/telemetry/src/progress.rs crates/telemetry/src/registry.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/manifest.rs:
+crates/telemetry/src/progress.rs:
+crates/telemetry/src/registry.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-303e5f3d9454b00f.d: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-303e5f3d9454b00f.rlib: /tmp/stubs/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-303e5f3d9454b00f.rmeta: /tmp/stubs/crossbeam/src/lib.rs
+
+/tmp/stubs/crossbeam/src/lib.rs:

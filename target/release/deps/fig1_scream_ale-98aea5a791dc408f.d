@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_scream_ale-98aea5a791dc408f.d: crates/bench/src/bin/fig1_scream_ale.rs
+
+/root/repo/target/release/deps/fig1_scream_ale-98aea5a791dc408f: crates/bench/src/bin/fig1_scream_ale.rs
+
+crates/bench/src/bin/fig1_scream_ale.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_firewall_ale-353c29ada1066dc2.d: crates/bench/src/bin/fig2_firewall_ale.rs
+
+/root/repo/target/release/deps/fig2_firewall_ale-353c29ada1066dc2: crates/bench/src/bin/fig2_firewall_ale.rs
+
+crates/bench/src/bin/fig2_firewall_ale.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-eac523e0b565a415.d: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-eac523e0b565a415.rlib: /tmp/stubs/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-eac523e0b565a415.rmeta: /tmp/stubs/rand/src/lib.rs
+
+/tmp/stubs/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-2c5c66a240294e0f.d: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2c5c66a240294e0f.rlib: /tmp/stubs/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-2c5c66a240294e0f.rmeta: /tmp/stubs/serde/src/lib.rs
+
+/tmp/stubs/serde/src/lib.rs:

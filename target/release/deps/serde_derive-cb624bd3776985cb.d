@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-cb624bd3776985cb.d: /tmp/stubs/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-cb624bd3776985cb.so: /tmp/stubs/serde_derive/src/lib.rs
+
+/tmp/stubs/serde_derive/src/lib.rs:

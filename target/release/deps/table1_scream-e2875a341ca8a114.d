@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_scream-e2875a341ca8a114.d: crates/bench/src/bin/table1_scream.rs
+
+/root/repo/target/release/deps/table1_scream-e2875a341ca8a114: crates/bench/src/bin/table1_scream.rs
+
+crates/bench/src/bin/table1_scream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_firewall-5ac0a5956d23108e.d: crates/bench/src/bin/table2_firewall.rs
+
+/root/repo/target/release/deps/table2_firewall-5ac0a5956d23108e: crates/bench/src/bin/table2_firewall.rs
+
+crates/bench/src/bin/table2_firewall.rs:

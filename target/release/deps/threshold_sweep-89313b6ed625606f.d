@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threshold_sweep-89313b6ed625606f.d: crates/bench/src/bin/threshold_sweep.rs
+
+/root/repo/target/release/deps/threshold_sweep-89313b6ed625606f: crates/bench/src/bin/threshold_sweep.rs
+
+crates/bench/src/bin/threshold_sweep.rs:
