@@ -28,7 +28,7 @@ struct AblationResult {
 }
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("ablations");
     opts.banner("Ablations: cross runs, grid resolution, sampling scheme");
 
     let n_train = opts.by_scale(150, 400, 1161);
@@ -162,7 +162,7 @@ fn main() {
     }
 
     drop(ablation_span);
-    opts.finish("ablations");
+    opts.finish();
 }
 
 /// Re-rank the six protocols on a grid of conditions under DropTail vs RED

@@ -19,7 +19,7 @@ use aml_netsim::ConditionDomain;
 use aml_telemetry::{note, report};
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("fig1_scream_ale");
     opts.banner("Figure 1: ALE of config.link_rate (Scream vs rest)");
 
     let n_train = opts.by_scale(200, 600, 1161);
@@ -105,5 +105,5 @@ fn main() {
     }
 
     drop(report_span);
-    opts.finish("fig1_scream_ale");
+    opts.finish();
 }

@@ -17,7 +17,7 @@ use aml_interpret::plot::{band_to_ascii, band_to_csv, band_to_svg};
 use aml_telemetry::{note, report};
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("fig2_firewall_ale");
     opts.banner("Figures 2a/2b: firewall src/dst port ALE");
 
     let n_rows = opts.by_scale(4_000, 12_000, 65_532);
@@ -137,7 +137,7 @@ fn main() {
     ));
 
     drop(report_span);
-    opts.finish("fig2_firewall_ale");
+    opts.finish();
 }
 
 /// Max std over grid points in `[lo, hi)`.

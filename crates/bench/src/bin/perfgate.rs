@@ -1,0 +1,309 @@
+//! `perfgate` — the perf-regression gate (DESIGN.md §6).
+//!
+//! Two modes:
+//!
+//! * **Run** (default): execute the benchmark workloads at a fixed seed,
+//!   collect their `BENCH_<workload>.json` reports over a few repeats,
+//!   and write the per-workload median report into the output directory.
+//!   Workload binaries are found next to `perfgate` itself (they are
+//!   cargo siblings in `target/<profile>/`).
+//! * **Compare** (`--compare OLD NEW`): diff two reports with the gate
+//!   math in [`aml_bench::gate`] and exit nonzero on regression, with a
+//!   human-readable table either way.
+//!
+//! Exit codes: 0 pass, 1 regression (or a workload failed to run),
+//! 2 usage error.
+
+use aml_bench::gate::{compare, GateConfig};
+use aml_bench::report::{median_report, BenchReport};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+const USAGE: &str = "\
+perfgate — run benchmark workloads and gate on perf regressions
+
+usage:
+  perfgate [run options]            run workloads, write BENCH_<w>.json
+  perfgate --compare OLD NEW [...]  diff two BENCH reports, exit 1 on regression
+
+run options:
+  --workloads A,B,C       comma-separated workload binaries
+                          (default table1_scream,table2_firewall,threshold_sweep)
+  --repeats N             repeats per workload, median-aggregated (default 3)
+  --seed N                seed passed to every workload (default 11)
+  --threads N             worker threads per workload (default 2)
+  --out DIR               output directory (default target/perfgate)
+  --full                  run at paper scale instead of --quick
+
+compare options:
+  --tolerance PCT         allowed relative growth in percent (default 10)
+  --abs-floor-ms MS       absolute growth floor in milliseconds (default 5)
+  --scale F               multiply NEW's timings by F before comparing
+                          (test hook: --scale 2 must trip the gate)
+
+exit codes: 0 pass, 1 regression or run failure, 2 usage error";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let code = if args.iter().any(|a| a == "--compare") {
+        match parse_compare(&args).map(run_compare) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        }
+    } else {
+        match parse_run(&args).map(run_workloads) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        }
+    };
+    std::process::exit(code);
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    2
+}
+
+// ---------------------------------------------------------------- compare
+
+struct CompareOpts {
+    old: PathBuf,
+    new: PathBuf,
+    cfg: GateConfig,
+}
+
+fn parse_compare(args: &[String]) -> Result<CompareOpts, String> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut cfg = GateConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--compare" => {}
+            "--tolerance" => cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
+            "--abs-floor-ms" => {
+                cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
+            }
+            "--scale" => cfg.scale_new = float_value(args, &mut i, "--scale")?,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => paths.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if cfg.tolerance_pct < 0.0 || cfg.abs_floor_s < 0.0 || cfg.scale_new <= 0.0 {
+        return Err("--tolerance/--abs-floor-ms must be >= 0 and --scale > 0".into());
+    }
+    match <[PathBuf; 2]>::try_from(paths) {
+        Ok([old, new]) => Ok(CompareOpts { old, new, cfg }),
+        Err(other) => Err(format!(
+            "--compare expects exactly two report paths, got {}",
+            other.len()
+        )),
+    }
+}
+
+fn run_compare(opts: CompareOpts) -> i32 {
+    let load = |path: &Path| -> Result<BenchReport, String> {
+        BenchReport::load(path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (old, new) = match (load(&opts.old), load(&opts.new)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (old, new) => {
+            for err in [old.err(), new.err()].into_iter().flatten() {
+                eprintln!("error: {err}");
+            }
+            return 2;
+        }
+    };
+    let outcome = compare(&old, &new, &opts.cfg);
+    println!(
+        "perfgate: {} ({} @ {}) vs ({} @ {})",
+        old.workload,
+        old.git,
+        opts.old.display(),
+        new.git,
+        opts.new.display()
+    );
+    print!("{}", outcome.render_table(&opts.cfg));
+    if outcome.passed() {
+        println!("PASS");
+        0
+    } else {
+        println!("FAIL");
+        1
+    }
+}
+
+// -------------------------------------------------------------------- run
+
+struct RunPlanOpts {
+    workloads: Vec<String>,
+    repeats: usize,
+    seed: u64,
+    threads: usize,
+    out: PathBuf,
+    full: bool,
+}
+
+fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
+    let mut opts = RunPlanOpts {
+        workloads: ["table1_scream", "table2_firewall", "threshold_sweep"]
+            .map(String::from)
+            .to_vec(),
+        repeats: 3,
+        seed: 11,
+        threads: 2,
+        out: PathBuf::from("target/perfgate"),
+        full: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workloads" => {
+                opts.workloads = str_value(args, &mut i, "--workloads")?
+                    .split(',')
+                    .filter(|w| !w.is_empty())
+                    .map(String::from)
+                    .collect();
+                if opts.workloads.is_empty() {
+                    return Err("--workloads expects at least one name".into());
+                }
+            }
+            "--repeats" => {
+                opts.repeats = int_value(args, &mut i, "--repeats")? as usize;
+                if opts.repeats == 0 {
+                    return Err("--repeats must be >= 1".into());
+                }
+            }
+            "--seed" => opts.seed = int_value(args, &mut i, "--seed")?,
+            "--threads" => {
+                opts.threads = int_value(args, &mut i, "--threads")? as usize;
+                if opts.threads == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+            }
+            "--out" => opts.out = PathBuf::from(str_value(args, &mut i, "--out")?),
+            "--full" => opts.full = true,
+            unknown => return Err(format!("unknown flag '{unknown}'")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn run_workloads(opts: RunPlanOpts) -> i32 {
+    let bin_dir = match std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf))
+    {
+        Some(dir) => dir,
+        None => {
+            eprintln!("error: cannot locate the benchmark binaries next to perfgate");
+            return 1;
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&opts.out) {
+        eprintln!("error: cannot create --out {}: {e}", opts.out.display());
+        return 2;
+    }
+    let mut failed = false;
+    for workload in &opts.workloads {
+        match run_one_workload(&bin_dir, workload, &opts) {
+            Ok(path) => println!("perfgate: wrote {}", path.display()),
+            Err(msg) => {
+                eprintln!("error: {workload}: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        1
+    } else {
+        0
+    }
+}
+
+/// Run one workload `opts.repeats` times, median-aggregate the reports,
+/// and write `BENCH_<workload>.json` into the output directory. The
+/// first repeat also exports `trace.json` / `events.jsonl` for the
+/// workload so every gate run doubles as a profiling artifact.
+fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Result<PathBuf, String> {
+    let bin = bin_dir.join(workload);
+    if !bin.is_file() {
+        return Err(format!(
+            "binary not found at {} (build the workspace first)",
+            bin.display()
+        ));
+    }
+    let work_dir = opts.out.join(workload);
+    let mut reports = Vec::with_capacity(opts.repeats);
+    for rep in 0..opts.repeats {
+        let rep_dir = work_dir.join(format!("rep{rep}"));
+        let mut cmd = Command::new(&bin);
+        cmd.arg(if opts.full { "--full" } else { "--quick" })
+            .args(["--seed", &opts.seed.to_string()])
+            .args(["--threads", &opts.threads.to_string()])
+            .args(["--telemetry", "summary"])
+            .arg("--emit-bench")
+            .args(["--out".as_ref(), rep_dir.as_os_str()])
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        if rep == 0 {
+            cmd.args([
+                "--trace-out".as_ref(),
+                work_dir.join("trace.json").as_os_str(),
+            ])
+            .args([
+                "--events-out".as_ref(),
+                work_dir.join("events.jsonl").as_os_str(),
+            ]);
+        }
+        eprintln!("perfgate: {workload} rep {}/{} …", rep + 1, opts.repeats);
+        let output = cmd
+            .output()
+            .map_err(|e| format!("failed to spawn {}: {e}", bin.display()))?;
+        if !output.status.success() {
+            return Err(format!(
+                "exited with {}\n{}",
+                output.status,
+                String::from_utf8_lossy(&output.stderr)
+            ));
+        }
+        let report_path = rep_dir.join(BenchReport::file_name(workload));
+        reports.push(
+            BenchReport::load(&report_path)
+                .map_err(|e| format!("no report at {}: {e}", report_path.display()))?,
+        );
+    }
+    let median = median_report(&reports).ok_or("no reports collected")?;
+    median
+        .write(&opts.out)
+        .map_err(|e| format!("cannot write median report: {e}"))
+}
+
+// ---------------------------------------------------------------- values
+
+fn str_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn int_value(args: &[String], i: &mut usize, flag: &str) -> Result<u64, String> {
+    let v = str_value(args, i, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag} expects an integer, got '{v}'"))
+}
+
+fn float_value(args: &[String], i: &mut usize, flag: &str) -> Result<f64, String> {
+    let v = str_value(args, i, flag)?;
+    v.parse::<f64>()
+        .ok()
+        .filter(|f| f.is_finite())
+        .ok_or_else(|| format!("{flag} expects a number, got '{v}'"))
+}

@@ -22,7 +22,7 @@ use aml_telemetry::{note, report};
 use std::collections::BTreeMap;
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("table1_scream");
     opts.banner("Table 1: Scream vs rest");
 
     // Paper-scale numbers: 1161 train, +280 feedback, 2000-point pool,
@@ -198,7 +198,7 @@ fn main() {
     );
 
     drop(report_span);
-    opts.finish("table1_scream");
+    opts.finish();
 }
 
 fn build_table(outcomes: &mut [(Strategy, Vec<f64>, usize)]) -> String {

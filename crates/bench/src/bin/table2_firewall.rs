@@ -23,7 +23,7 @@ use aml_telemetry::{note, report};
 use std::collections::BTreeMap;
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("table2_firewall");
     opts.banner("§4.2: firewall dataset (UCL substitute)");
 
     let n_rows = opts.by_scale(3_000, 8_000, 65_532);
@@ -161,7 +161,7 @@ fn main() {
     }
 
     drop(report_span);
-    opts.finish("table2_firewall");
+    opts.finish();
 }
 
 fn p_less(a: &[f64], b: &[f64]) -> f64 {

@@ -26,7 +26,7 @@ struct SweepRow {
 }
 
 fn main() {
-    let opts = RunOpts::parse();
+    let opts = RunOpts::parse_for("threshold_sweep");
     opts.banner("Threshold sweep (ablation)");
 
     let n_train = opts.by_scale(150, 400, 1161);
@@ -136,5 +136,5 @@ fn main() {
     write_json(&opts.out_dir, "threshold_sweep.json", &rows);
 
     drop(sweep_span);
-    opts.finish("threshold_sweep");
+    opts.finish();
 }

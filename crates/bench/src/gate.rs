@@ -1,0 +1,360 @@
+//! Regression gating: compare two [`BenchReport`]s and decide pass/fail.
+//!
+//! The gate flattens each report to named metrics — `wall_time_s`,
+//! `top_span_total_s`, `span:<name>` (total seconds per span), and
+//! `alloc.bytes` — and flags a metric as regressed when the new value
+//! exceeds the old by more than the relative tolerance **and** the
+//! absolute floor (so microsecond-scale spans can't fail the gate on
+//! scheduler noise). A zero/absent baseline can't anchor a relative
+//! check, so it regresses only when the new value exceeds the floor
+//! outright.
+
+use crate::report::BenchReport;
+use std::fmt::Write as _;
+
+/// Gate parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Allowed relative growth, percent (`10.0` = +10%).
+    pub tolerance_pct: f64,
+    /// Absolute growth below which a timing change never regresses,
+    /// seconds. Applied as bytes for `alloc.bytes`.
+    pub abs_floor_s: f64,
+    /// Multiplier applied to the new report's timing metrics before
+    /// comparing — a test hook to inject synthetic slowdowns
+    /// (`--scale 2` must trip the gate).
+    pub scale_new: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> Self {
+        GateConfig {
+            tolerance_pct: 10.0,
+            abs_floor_s: 0.005,
+            scale_new: 1.0,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Metric id (`wall_time_s`, `span:<name>`, `alloc.bytes`, …).
+    pub metric: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value (after [`GateConfig::scale_new`]).
+    pub new: f64,
+    /// Relative change in percent; `None` when the baseline is zero.
+    pub delta_pct: Option<f64>,
+    /// Whether this metric trips the gate.
+    pub regressed: bool,
+}
+
+/// The gate's verdict: every compared metric plus the regression count.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// All compared metrics, report order.
+    pub diffs: Vec<MetricDiff>,
+    /// Metrics that were only present on one side (not compared).
+    pub unmatched: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Regressed metric count.
+    pub fn regressions(&self) -> usize {
+        self.diffs.iter().filter(|d| d.regressed).count()
+    }
+
+    /// Whether the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions() == 0
+    }
+
+    /// Human-readable diff table, regressions flagged.
+    pub fn render_table(&self, cfg: &GateConfig) -> String {
+        let name_w = self
+            .diffs
+            .iter()
+            .map(|d| d.metric.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<name_w$}  {:>12}  {:>12}  {:>8}",
+            "metric", "old", "new", "delta"
+        );
+        for d in &self.diffs {
+            let delta = match d.delta_pct {
+                Some(pct) => format!("{pct:+.1}%"),
+                None => "n/a".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>12.4}  {:>12.4}  {:>8}{}",
+                d.metric,
+                d.old,
+                d.new,
+                delta,
+                if d.regressed { "  REGRESSION" } else { "" },
+            );
+        }
+        for m in &self.unmatched {
+            let _ = writeln!(out, "{m:<name_w$}  (only in one report; not compared)");
+        }
+        let _ = writeln!(
+            out,
+            "{} metric(s) compared, {} regression(s) at tolerance {:.0}% / floor {:.0}ms",
+            self.diffs.len(),
+            self.regressions(),
+            cfg.tolerance_pct,
+            cfg.abs_floor_s * 1e3,
+        );
+        out
+    }
+}
+
+/// Compare `new` against the `old` baseline under `cfg`.
+pub fn compare(old: &BenchReport, new: &BenchReport, cfg: &GateConfig) -> GateOutcome {
+    let mut diffs = Vec::new();
+    let mut unmatched = Vec::new();
+
+    let mut timing = |metric: &str, old_v: f64, new_v: f64| {
+        diffs.push(diff_metric(
+            metric,
+            old_v,
+            new_v * cfg.scale_new,
+            cfg,
+            cfg.abs_floor_s,
+        ));
+    };
+    timing("wall_time_s", old.wall_time_s, new.wall_time_s);
+    timing(
+        "top_span_total_s",
+        old.top_span_total_s,
+        new.top_span_total_s,
+    );
+    for s in &old.spans {
+        match new.spans.iter().find(|n| n.name == s.name) {
+            Some(n) => timing(&format!("span:{}", s.name), s.total_s, n.total_s),
+            None => unmatched.push(format!("span:{}", s.name)),
+        }
+    }
+    for n in &new.spans {
+        if !old.spans.iter().any(|s| s.name == n.name) {
+            unmatched.push(format!("span:{}", n.name));
+        }
+    }
+
+    // Allocation totals are compared unscaled: --scale injects a timing
+    // slowdown, not a memory one. The floor becomes 1 MiB of growth.
+    if let (Some(a), Some(b)) = (&old.alloc, &new.alloc) {
+        diffs.push(diff_metric(
+            "alloc.bytes",
+            a.bytes as f64,
+            b.bytes as f64,
+            cfg,
+            (1u64 << 20) as f64,
+        ));
+        diffs.push(diff_metric(
+            "alloc.peak_bytes",
+            a.peak_bytes as f64,
+            b.peak_bytes as f64,
+            cfg,
+            (1u64 << 20) as f64,
+        ));
+    }
+
+    GateOutcome { diffs, unmatched }
+}
+
+/// Relative delta and verdict for one metric; `abs_floor` is in the
+/// metric's own unit.
+fn diff_metric(metric: &str, old: f64, new: f64, cfg: &GateConfig, abs_floor: f64) -> MetricDiff {
+    let (delta_pct, regressed) = if old <= 0.0 {
+        // Zero baseline: no relative change is defined. Regress only if
+        // the new value is itself above the absolute floor.
+        (None, new > abs_floor)
+    } else {
+        let pct = (new - old) / old * 100.0;
+        (
+            Some(pct),
+            pct > cfg.tolerance_pct && (new - old) > abs_floor,
+        )
+    };
+    MetricDiff {
+        metric: metric.to_string(),
+        old,
+        new,
+        delta_pct,
+        regressed,
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice: the smallest
+/// element with at least `q·n` of the sample at or below it (`q` in
+/// `[0, 1]`; `q = 0` gives the minimum). Empty input returns 0.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchAlloc, BenchSpan};
+
+    fn report(wall: f64, spans: &[(&str, f64)]) -> BenchReport {
+        BenchReport {
+            workload: "w".into(),
+            seed: 1,
+            scale: 0.05,
+            threads: 2,
+            git: "abc".into(),
+            wall_time_s: wall,
+            top_span_total_s: spans
+                .iter()
+                .filter(|(n, _)| n.starts_with("bench."))
+                .map(|(_, t)| t)
+                .sum(),
+            spans: spans
+                .iter()
+                .map(|(name, total_s)| BenchSpan {
+                    name: name.to_string(),
+                    calls: 1,
+                    total_s: *total_s,
+                    mean_ms: total_s * 1e3,
+                    max_ms: total_s * 1e3,
+                })
+                .collect(),
+            counters: vec![],
+            throughput: vec![],
+            histograms: vec![],
+            alloc: None,
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(10.0, &[("bench.datagen", 7.0), ("bench.strategies", 3.0)]);
+        let outcome = compare(&r, &r.clone(), &GateConfig::default());
+        assert!(outcome.passed(), "{:?}", outcome.diffs);
+        assert_eq!(outcome.diffs.len(), 4); // wall + top + 2 spans
+        assert!(outcome.unmatched.is_empty());
+    }
+
+    #[test]
+    fn two_x_slowdown_via_scale_trips_the_gate() {
+        let r = report(10.0, &[("bench.datagen", 7.0)]);
+        let cfg = GateConfig {
+            scale_new: 2.0,
+            ..GateConfig::default()
+        };
+        let outcome = compare(&r, &r.clone(), &cfg);
+        assert!(!outcome.passed());
+        let wall = &outcome.diffs[0];
+        assert_eq!(wall.metric, "wall_time_s");
+        assert_eq!(wall.delta_pct, Some(100.0));
+        assert!(wall.regressed);
+        let table = outcome.render_table(&cfg);
+        assert!(table.contains("REGRESSION"), "{table}");
+    }
+
+    #[test]
+    fn growth_within_tolerance_passes() {
+        let old = report(10.0, &[("bench.datagen", 7.0)]);
+        let new = report(10.8, &[("bench.datagen", 7.5)]);
+        assert!(compare(&old, &new, &GateConfig::default()).passed());
+        // Just over tolerance fails.
+        let worse = report(11.5, &[("bench.datagen", 7.0)]);
+        assert!(!compare(&old, &worse, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn tiny_absolute_changes_never_regress() {
+        // A 1 ms span tripling is below the 5 ms floor: noise, not signal.
+        let old = report(0.001, &[("bench.report", 0.001)]);
+        let new = report(0.003, &[("bench.report", 0.003)]);
+        assert!(compare(&old, &new, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn zero_baseline_regresses_only_above_the_floor() {
+        let old = report(0.0, &[("bench.datagen", 0.0)]);
+        let small = report(0.004, &[("bench.datagen", 0.004)]);
+        let outcome = compare(&old, &small, &GateConfig::default());
+        assert!(outcome.passed(), "{:?}", outcome.diffs);
+        assert_eq!(outcome.diffs[0].delta_pct, None);
+
+        let big = report(1.0, &[("bench.datagen", 1.0)]);
+        let outcome = compare(&old, &big, &GateConfig::default());
+        assert!(!outcome.passed());
+        assert_eq!(outcome.diffs[0].delta_pct, None);
+        // The n/a delta renders without panicking.
+        assert!(outcome.render_table(&GateConfig::default()).contains("n/a"));
+    }
+
+    #[test]
+    fn span_sets_are_matched_by_name() {
+        let old = report(10.0, &[("bench.datagen", 7.0), ("bench.gone", 1.0)]);
+        let new = report(10.0, &[("bench.datagen", 7.0), ("bench.added", 1.0)]);
+        let outcome = compare(&old, &new, &GateConfig::default());
+        assert!(outcome.passed());
+        assert!(outcome.unmatched.contains(&"span:bench.gone".to_string()));
+        assert!(outcome.unmatched.contains(&"span:bench.added".to_string()));
+    }
+
+    #[test]
+    fn alloc_bytes_compare_unscaled() {
+        let mut old = report(10.0, &[]);
+        let mut new = report(10.0, &[]);
+        old.alloc = Some(BenchAlloc {
+            bytes: 100 << 20,
+            count: 10,
+            peak_bytes: 50 << 20,
+        });
+        new.alloc = Some(BenchAlloc {
+            bytes: 200 << 20,
+            count: 10,
+            peak_bytes: 50 << 20,
+        });
+        let cfg = GateConfig {
+            scale_new: 1.0,
+            ..GateConfig::default()
+        };
+        let outcome = compare(&old, &new, &cfg);
+        let alloc = outcome
+            .diffs
+            .iter()
+            .find(|d| d.metric == "alloc.bytes")
+            .unwrap();
+        assert!(alloc.regressed);
+        // peak unchanged → fine.
+        assert!(
+            !outcome
+                .diffs
+                .iter()
+                .find(|d| d.metric == "alloc.peak_bytes")
+                .unwrap()
+                .regressed
+        );
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 0.5), 2.0);
+        assert_eq!(percentile(&xs, 0.75), 3.0);
+        assert_eq!(percentile(&xs, 0.76), 4.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        let odd = [5.0, 6.0, 7.0];
+        assert_eq!(percentile(&odd, 0.5), 6.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -27,8 +27,13 @@
 //! `--telemetry summary|verbose`, which also writes
 //! `<out>/manifest.json` with every span/counter/histogram of the run.
 
+pub mod gate;
+pub mod minijson;
+pub mod report;
+
 use aml_dataset::Dataset;
 use aml_telemetry::TelemetryLevel;
+use report::BenchReport;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -68,6 +73,16 @@ pub struct RunOpts {
     pub threads: usize,
     /// Telemetry level for this run.
     pub telemetry: TelemetryLevel,
+    /// Write `BENCH_<workload>.json` (the perf record `perfgate`
+    /// compares) into the output directory at the end of the run.
+    pub emit_bench: bool,
+    /// Write a Chrome trace-event file (Perfetto-loadable) here.
+    pub trace_out: Option<PathBuf>,
+    /// Stream telemetry as JSON lines here.
+    pub events_out: Option<PathBuf>,
+    /// Workload name (set by [`RunOpts::parse_for`]); names the manifest,
+    /// the BENCH report, and the export sinks' run id.
+    pub workload: String,
     /// When option parsing finished — the manifest's wall-clock origin.
     pub started: Instant,
 }
@@ -81,6 +96,10 @@ options:
   --threads N             worker threads (default: all cores)
   --out DIR               artifact directory (default target/experiments)
   --telemetry LEVEL       off|summary|verbose (default off)
+  --emit-bench            write BENCH_<workload>.json into the out dir
+  --trace-out PATH        write a Chrome trace (Perfetto) file
+  --events-out PATH       stream telemetry as JSON lines
+                          (export flags imply --telemetry summary)
   --help                  show this help";
 
 impl RunOpts {
@@ -93,19 +112,28 @@ impl RunOpts {
                 .map(|n| n.get())
                 .unwrap_or(4),
             telemetry: TelemetryLevel::Off,
+            emit_bench: false,
+            trace_out: None,
+            events_out: None,
+            workload: "bench".to_string(),
             started: Instant::now(),
         }
     }
 
-    /// Parse from `std::env::args`. Prints usage and exits on `--help` or
-    /// any parse error — unknown flags and missing/invalid values are
-    /// errors, not silently ignored.
-    pub fn parse() -> RunOpts {
+    /// Parse from `std::env::args` for the named workload. Prints usage
+    /// and exits on `--help` or any parse error — unknown flags, missing
+    /// or invalid values, and unwritable output paths are usage errors
+    /// (exit 2), not panics. On success the telemetry level is set, the
+    /// output directory exists, and any export sinks are installed.
+    pub fn parse_for(workload: &str) -> RunOpts {
         let args: Vec<String> = std::env::args().skip(1).collect();
         match RunOpts::parse_from(&args) {
-            Ok(Some(opts)) => {
-                aml_telemetry::set_level(opts.telemetry);
-                std::fs::create_dir_all(&opts.out_dir).ok();
+            Ok(Some(mut opts)) => {
+                opts.workload = workload.to_string();
+                if let Err(msg) = opts.prepare() {
+                    eprintln!("error: {msg}\n{USAGE}");
+                    std::process::exit(2);
+                }
                 opts
             }
             Ok(None) => {
@@ -117,6 +145,38 @@ impl RunOpts {
                 std::process::exit(2);
             }
         }
+    }
+
+    /// Apply the parsed options to the process: set the telemetry level
+    /// (export flags imply at least `summary`), create the output
+    /// directory and any export-path parent directories, and install the
+    /// requested sinks. Separated from parsing so tests can exercise the
+    /// filesystem failures without exiting.
+    pub fn prepare(&mut self) -> Result<(), String> {
+        let wants_export = self.emit_bench || self.trace_out.is_some() || self.events_out.is_some();
+        if wants_export && self.telemetry == TelemetryLevel::Off {
+            self.telemetry = TelemetryLevel::Summary;
+        }
+        aml_telemetry::set_level(self.telemetry);
+        std::fs::create_dir_all(&self.out_dir)
+            .map_err(|e| format!("cannot create --out {}: {e}", self.out_dir.display()))?;
+
+        if self.trace_out.is_some() || self.events_out.is_some() {
+            let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
+            if let Some(path) = &self.events_out {
+                ensure_parent(path, "--events-out")?;
+                let sink = aml_telemetry::JsonlSink::create(path, &header)
+                    .map_err(|e| format!("cannot write --events-out {}: {e}", path.display()))?;
+                aml_telemetry::sink::install(Box::new(sink));
+            }
+            if let Some(path) = &self.trace_out {
+                ensure_parent(path, "--trace-out")?;
+                let sink = aml_telemetry::ChromeTraceSink::create(path, &header)
+                    .map_err(|e| format!("cannot write --trace-out {}: {e}", path.display()))?;
+                aml_telemetry::sink::install(Box::new(sink));
+            }
+        }
+        Ok(())
     }
 
     /// Parse an argument list (no program name). `Ok(None)` means `--help`
@@ -154,6 +214,15 @@ impl RunOpts {
                     let v = value_of(args, &mut i, "--telemetry")?;
                     opts.telemetry = v.parse()?;
                 }
+                "--emit-bench" => opts.emit_bench = true,
+                "--trace-out" => {
+                    let v = value_of(args, &mut i, "--trace-out")?;
+                    opts.trace_out = Some(PathBuf::from(v));
+                }
+                "--events-out" => {
+                    let v = value_of(args, &mut i, "--events-out")?;
+                    opts.events_out = Some(PathBuf::from(v));
+                }
                 unknown => return Err(format!("unknown flag '{unknown}'")),
             }
             i += 1;
@@ -181,16 +250,19 @@ impl RunOpts {
         ));
     }
 
-    /// Finish the run: when telemetry is enabled, write
-    /// `<out>/manifest.json` from the global registry and print the timing
-    /// summary to stderr. A no-op with `--telemetry off`, keeping output
-    /// and artifacts identical to an uninstrumented run.
-    pub fn finish(&self, binary: &str) {
+    /// Finish the run: when telemetry is enabled, publish allocation
+    /// counters, write `<out>/manifest.json` from the global registry,
+    /// print the timing summary to stderr, flush every export sink
+    /// (`--trace-out`, `--events-out`), and — with `--emit-bench` —
+    /// write `BENCH_<workload>.json`. A no-op with `--telemetry off`,
+    /// keeping output and artifacts identical to an uninstrumented run.
+    pub fn finish(&self) {
         if !aml_telemetry::enabled() {
             return;
         }
+        aml_telemetry::alloc::publish_counters();
         let manifest = aml_telemetry::Manifest::new(
-            binary,
+            &self.workload,
             self.seed,
             self.scale.factor(),
             self.threads,
@@ -202,6 +274,29 @@ impl RunOpts {
             Ok(path) => aml_telemetry::note(&format!("wrote {}", path.display())),
             Err(e) => aml_telemetry::warn(&format!("could not write manifest: {e}")),
         }
+        for (target, result) in aml_telemetry::sink::finish(&manifest.snapshot) {
+            match result {
+                Ok(()) => aml_telemetry::note(&format!("wrote {target}")),
+                Err(e) => aml_telemetry::warn(&format!("could not write {target}: {e}")),
+            }
+        }
+        if self.emit_bench {
+            match BenchReport::from_manifest(&manifest).write(&self.out_dir) {
+                Ok(path) => aml_telemetry::note(&format!("wrote {}", path.display())),
+                Err(e) => aml_telemetry::warn(&format!("could not write BENCH report: {e}")),
+            }
+        }
+    }
+}
+
+/// Create `path`'s parent directory (if any) so export files can land in
+/// not-yet-existing directories; failures become usage errors naming the
+/// flag.
+fn ensure_parent(path: &Path, flag: &str) -> Result<(), String> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => std::fs::create_dir_all(parent)
+            .map_err(|e| format!("cannot create parent of {flag} {}: {e}", path.display())),
+        _ => Ok(()),
     }
 }
 
@@ -306,6 +401,72 @@ mod tests {
         assert!(err.contains("--bogus"), "{err}");
         // Positional junk is rejected too.
         assert!(parse(&["quick"]).is_err());
+    }
+
+    #[test]
+    fn export_flags_parse() {
+        let opts = parse(&[
+            "--emit-bench",
+            "--trace-out",
+            "/tmp/x/trace.json",
+            "--events-out",
+            "/tmp/x/events.jsonl",
+        ])
+        .unwrap()
+        .unwrap();
+        assert!(opts.emit_bench);
+        assert_eq!(opts.trace_out, Some(PathBuf::from("/tmp/x/trace.json")));
+        assert_eq!(opts.events_out, Some(PathBuf::from("/tmp/x/events.jsonl")));
+        // Parsing alone never touches the level; prepare() does.
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn prepare_bumps_telemetry_creates_parents_and_installs_sinks() {
+        let dir = std::env::temp_dir().join(format!("aml_prepare_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut opts = parse(&["--emit-bench"]).unwrap().unwrap();
+        opts.out_dir = dir.join("out");
+        opts.trace_out = Some(dir.join("nested/deeply/trace.json"));
+        opts.events_out = Some(dir.join("nested/events.jsonl"));
+        opts.prepare().expect("prepare succeeds");
+        // Export flags imply summary.
+        assert_eq!(opts.telemetry, TelemetryLevel::Summary);
+        assert!(opts.out_dir.is_dir());
+        // Parent dirs were created and both files exist (truncated now,
+        // written at finish).
+        assert!(dir.join("nested/deeply/trace.json").exists());
+        assert!(dir.join("nested/events.jsonl").exists());
+        assert!(aml_telemetry::sink::active());
+        // Drain the installed sinks so other tests see a clean slate.
+        for (_, result) in aml_telemetry::sink::finish(&aml_telemetry::global().snapshot()) {
+            result.unwrap();
+        }
+        aml_telemetry::set_level(TelemetryLevel::Off);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prepare_reports_unwritable_paths_as_usage_errors() {
+        // A path whose parent is a *file* cannot be created.
+        let dir = std::env::temp_dir().join(format!("aml_unwritable_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, "not a directory").unwrap();
+
+        let mut opts = parse(&[]).unwrap().unwrap();
+        opts.out_dir = dir.clone();
+        opts.trace_out = Some(blocker.join("sub/trace.json"));
+        let err = opts.prepare().unwrap_err();
+        assert!(err.contains("--trace-out"), "{err}");
+
+        let mut opts = parse(&[]).unwrap().unwrap();
+        opts.out_dir = blocker.join("out");
+        let err = opts.prepare().unwrap_err();
+        assert!(err.contains("--out"), "{err}");
+
+        aml_telemetry::set_level(TelemetryLevel::Off);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,9 +55,10 @@ fn table1_style_run_writes_expected_manifest() {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    let opts = RunOpts::parse_from(&args)
+    let mut opts = RunOpts::parse_from(&args)
         .expect("flags parse")
         .expect("not --help");
+    opts.workload = "manifest_golden".into();
 
     // Tiny but non-degenerate: enough rows for a stratified split and a
     // committee, fast enough for `cargo test`.
@@ -136,7 +137,7 @@ fn table1_style_run_writes_expected_manifest() {
     }
 
     // finish() writes <out>/manifest.json and the file names the phases.
-    opts.finish("manifest_golden");
+    opts.finish();
     let manifest_path = out_dir.join("manifest.json");
     let manifest = std::fs::read_to_string(&manifest_path).expect("manifest.json written");
     assert!(manifest.contains("\"schema_version\""), "{manifest}");

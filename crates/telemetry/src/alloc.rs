@@ -1,0 +1,167 @@
+//! Allocation tracking behind the `alloc-track` feature.
+//!
+//! When the feature is enabled this module installs a counting
+//! `#[global_allocator]` that wraps the system allocator with four relaxed
+//! atomic counters: total bytes allocated, total allocation count, live
+//! bytes (allocated − freed), and peak live bytes — a cheap RSS proxy that
+//! needs no OS support. [`stats`] reads them; [`publish_counters`] folds
+//! them into the registry as `alloc.bytes` / `alloc.count` /
+//! `alloc.live_bytes` / `alloc.peak_bytes` so manifests and `BENCH_*.json`
+//! record memory alongside time.
+//!
+//! With the feature off everything here compiles to a no-op ([`stats`]
+//! returns `None`) so callers never need their own `cfg` gates.
+//!
+//! Accuracy notes: counters include the telemetry layer's own
+//! allocations, and the live/peak pair is racy across threads (allocate
+//! and free counters are read at different instants) — it is a proxy for
+//! trend-watching, not an exact heap profile.
+
+/// Point-in-time allocation statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Total bytes ever allocated (monotonic).
+    pub bytes: u64,
+    /// Total number of allocations (monotonic).
+    pub count: u64,
+    /// Bytes currently live (allocated − freed).
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+}
+
+/// Current allocation statistics, or `None` when the `alloc-track`
+/// feature is off.
+pub fn stats() -> Option<AllocStats> {
+    #[cfg(feature = "alloc-track")]
+    {
+        Some(tracker::stats())
+    }
+    #[cfg(not(feature = "alloc-track"))]
+    {
+        None
+    }
+}
+
+/// Total bytes allocated so far (0 when tracking is off). Cheap enough to
+/// sample at phase boundaries for per-phase deltas.
+pub fn bytes_now() -> u64 {
+    stats().map(|s| s.bytes).unwrap_or(0)
+}
+
+/// Fold the current allocation statistics into the global registry as
+/// `alloc.*` counters. No-op when tracking is off or telemetry is
+/// disabled; call once, at the end of the run, before snapshotting.
+pub fn publish_counters() {
+    if !crate::enabled() {
+        return;
+    }
+    if let Some(s) = stats() {
+        crate::global().counter_add("alloc.bytes", s.bytes);
+        crate::global().counter_add("alloc.count", s.count);
+        crate::global().counter_add("alloc.live_bytes", s.live_bytes);
+        crate::global().counter_add("alloc.peak_bytes", s.peak_bytes);
+    }
+}
+
+#[cfg(feature = "alloc-track")]
+mod tracker {
+    use super::AllocStats;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static COUNT: AtomicU64 = AtomicU64::new(0);
+    static FREED: AtomicU64 = AtomicU64::new(0);
+    static PEAK: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn stats() -> AllocStats {
+        let bytes = BYTES.load(Ordering::Relaxed);
+        let freed = FREED.load(Ordering::Relaxed);
+        AllocStats {
+            bytes,
+            count: COUNT.load(Ordering::Relaxed),
+            live_bytes: bytes.saturating_sub(freed),
+            peak_bytes: PEAK.load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn on_alloc(size: u64) {
+        let bytes = BYTES.fetch_add(size, Ordering::Relaxed) + size;
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        let live = bytes.saturating_sub(FREED.load(Ordering::Relaxed));
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// System-allocator wrapper that only bumps atomics — it never
+    /// allocates itself, so it is safe as the global allocator.
+    pub struct CountingAllocator;
+
+    // SAFETY: defers entirely to `System` for memory management; the
+    // bookkeeping is lock-free atomic arithmetic with no allocation.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                on_alloc(layout.size() as u64);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout);
+            FREED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let p = System.realloc(ptr, layout, new_size);
+            if !p.is_null() {
+                // Count the grown (or shrunk) region as one new
+                // allocation of the delta, freeing the old size.
+                if new_size > layout.size() {
+                    on_alloc((new_size - layout.size()) as u64);
+                } else {
+                    FREED.fetch_add((layout.size() - new_size) as u64, Ordering::Relaxed);
+                }
+            }
+            p
+        }
+    }
+}
+
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static GLOBAL_COUNTING_ALLOCATOR: tracker::CountingAllocator = tracker::CountingAllocator;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(feature = "alloc-track")]
+    #[test]
+    fn allocations_move_the_counters() {
+        let before = stats().unwrap();
+        let v: Vec<u8> = Vec::with_capacity(1 << 16);
+        let after = stats().unwrap();
+        drop(v);
+        assert!(after.bytes >= before.bytes + (1 << 16));
+        assert!(after.count > before.count);
+        assert!(after.peak_bytes >= after.live_bytes.saturating_sub(1));
+        let freed = stats().unwrap();
+        assert!(freed.live_bytes <= after.live_bytes);
+    }
+
+    #[cfg(not(feature = "alloc-track"))]
+    #[test]
+    fn tracking_off_means_none_and_zero() {
+        assert!(stats().is_none());
+        assert_eq!(bytes_now(), 0);
+    }
+
+    #[test]
+    fn publish_is_safe_at_any_level() {
+        // Must never panic, whatever the level or feature set.
+        publish_counters();
+    }
+}

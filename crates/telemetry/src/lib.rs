@@ -15,7 +15,14 @@
 //!   every span/counter/histogram of the run;
 //! * a **progress reporter** ([`progress::Progress`], [`progress::note`])
 //!   replacing scattered `println!` status output, plus the one sanctioned
-//!   stdout sink for user-facing result tables ([`progress::report`]).
+//!   stdout sink for user-facing result tables ([`progress::report`]);
+//! * pluggable **export sinks** ([`sink`]): a JSONL event stream
+//!   ([`sink::JsonlSink`]) and a Chrome trace-event file
+//!   ([`trace::ChromeTraceSink`]) loadable in Perfetto, both fed one
+//!   event per span close plus a final counter flush;
+//! * optional **allocation tracking** ([`alloc`], behind the
+//!   `alloc-track` feature): a counting global allocator whose totals
+//!   land in `alloc.*` counters and per-span byte deltas.
 //!
 //! ## Levels
 //!
@@ -38,15 +45,21 @@
 
 #![deny(missing_docs)]
 
+pub mod alloc;
 pub mod manifest;
 pub mod progress;
 pub mod registry;
+pub mod sink;
 pub mod span;
+pub mod trace;
 
+pub use alloc::AllocStats;
 pub use manifest::Manifest;
 pub use progress::{note, report, warn, Progress};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};
+pub use sink::{JsonlSink, RunHeader, Sink, SpanEvent};
 pub use span::{current_depth, span, span_labeled, Span};
+pub use trace::ChromeTraceSink;
 
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU8, Ordering};

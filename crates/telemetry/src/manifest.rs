@@ -241,6 +241,12 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// JSON string literal with the mandatory escapes — shared with the
+/// export sinks ([`crate::sink`], [`crate::trace`]).
+pub(crate) fn json_string_literal(s: &str) -> String {
+    json_str(s)
+}
+
 /// JSON string literal with the mandatory escapes.
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);

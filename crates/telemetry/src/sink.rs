@@ -1,0 +1,385 @@
+//! Pluggable export sinks: machine-readable telemetry beyond the stderr
+//! summary table.
+//!
+//! A [`Sink`] receives every span close as a [`SpanEvent`] (with a
+//! monotonic timestamp relative to the run origin, a stable per-thread
+//! lane id, and the nesting depth) and, at the end of the run, the final
+//! registry [`Snapshot`] — the "counter flush". Two sinks ship with the
+//! crate:
+//!
+//! * [`JsonlSink`] — one JSON line per span close, then one line per
+//!   counter/histogram at flush. Greppable, streamable, `jq`-able.
+//! * [`crate::trace::ChromeTraceSink`] — a Chrome trace-event file
+//!   (`trace.json`) loadable in Perfetto / `chrome://tracing`,
+//!   reconstructing the span tree with per-thread lanes.
+//!
+//! Sinks are process-global, installed once at startup (CLI parsing) via
+//! [`install`] and drained by [`finish`]. The hot-path cost when no sink
+//! is installed is a single relaxed atomic load, preserving the crate's
+//! off-is-free guarantee.
+
+use crate::registry::Snapshot;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Identity of the run, stamped into every sink's output so exported
+/// files are self-describing and joinable with `manifest.json`.
+#[derive(Debug, Clone, Default)]
+pub struct RunHeader {
+    /// Unique-enough id (`<workload>-s<seed>-p<pid>`).
+    pub run_id: String,
+    /// Workload (benchmark binary) name.
+    pub workload: String,
+    /// Master RNG seed.
+    pub seed: u64,
+    /// `git describe` of the build, or `"unknown"`.
+    pub git: String,
+}
+
+impl RunHeader {
+    /// Build a header for `workload` at `seed`; the run id folds in the
+    /// pid so concurrent runs stay distinguishable.
+    pub fn new(workload: &str, seed: u64) -> RunHeader {
+        RunHeader {
+            run_id: format!("{workload}-s{seed}-p{}", std::process::id()),
+            workload: workload.to_string(),
+            seed,
+            git: crate::manifest::git_describe(),
+        }
+    }
+}
+
+/// One closed span, as delivered to sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (`crate.component.action`, optionally `[label]`-suffixed).
+    pub name: String,
+    /// Stable per-thread lane id (0 = first thread to close a span,
+    /// usually main).
+    pub tid: u64,
+    /// Nesting depth of the span on its thread (0 = top level).
+    pub depth: usize,
+    /// Start time in microseconds since the run origin.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
+impl SpanEvent {
+    /// End time in microseconds since the run origin.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.dur_us
+    }
+}
+
+/// A telemetry export destination.
+///
+/// Implementations must be thread-safe: span closes arrive concurrently
+/// from worker threads. [`Sink::on_span_close`] should be cheap (buffer or
+/// append); expensive work belongs in [`Sink::finish`].
+pub trait Sink: Send + Sync {
+    /// Called once per span close while the run executes.
+    fn on_span_close(&self, event: &SpanEvent);
+    /// Called once at the end of the run with the final registry
+    /// snapshot; flush buffers and write the output file here.
+    fn finish(&self, snapshot: &Snapshot) -> std::io::Result<()>;
+    /// Where this sink writes, for the end-of-run "wrote …" note.
+    fn target(&self) -> String;
+}
+
+/// Whether any sink is installed — the hot-path gate for event emission.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn sinks() -> &'static Mutex<Vec<Box<dyn Sink>>> {
+    static SINKS: OnceLock<Mutex<Vec<Box<dyn Sink>>>> = OnceLock::new();
+    SINKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// The run's monotonic origin: fixed the first time anything asks for it
+/// (installing a sink does), so every [`SpanEvent`] timestamp shares one
+/// zero point.
+pub fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+/// Stable small-integer id for the calling thread (assigned on first
+/// use; 0 is the first thread to emit, usually main).
+pub fn current_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// Install a sink. Fixes the run origin so subsequent span timestamps are
+/// relative to (roughly) installation time.
+pub fn install(sink: Box<dyn Sink>) {
+    origin();
+    sinks().lock().unwrap().push(sink);
+    ACTIVE.store(true, Ordering::Release);
+}
+
+/// Whether any sink is installed (one relaxed atomic load).
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Deliver one span close to every installed sink. Called from
+/// [`crate::Span`]'s drop; no-op (and allocation-free) when no sink is
+/// installed.
+pub(crate) fn emit_span_close(name: &str, start: Instant, dur_ns: u64, depth: usize) {
+    if !active() {
+        return;
+    }
+    let start_us = start
+        .checked_duration_since(origin())
+        .map(|d| d.as_nanos() as f64 / 1e3)
+        .unwrap_or(0.0);
+    let event = SpanEvent {
+        name: name.to_string(),
+        tid: current_tid(),
+        depth,
+        start_us,
+        dur_us: dur_ns as f64 / 1e3,
+    };
+    for sink in sinks().lock().unwrap().iter() {
+        sink.on_span_close(&event);
+    }
+}
+
+/// Flush and remove every installed sink, handing each the final
+/// `snapshot`. Returns `(target, result)` per sink so the caller can
+/// report successes and failures; sinks are gone afterwards (a second
+/// call returns an empty vec).
+pub fn finish(snapshot: &Snapshot) -> Vec<(String, std::io::Result<()>)> {
+    ACTIVE.store(false, Ordering::Release);
+    let drained: Vec<Box<dyn Sink>> = std::mem::take(&mut *sinks().lock().unwrap());
+    drained
+        .iter()
+        .map(|s| (s.target(), s.finish(snapshot)))
+        .collect()
+}
+
+/// JSONL event sink: one self-contained JSON object per line.
+///
+/// Line shapes (stable field order):
+///
+/// ```text
+/// {"type":"run","run_id":"…","workload":"…","seed":1,"git":"…"}
+/// {"type":"span","name":"…","tid":0,"depth":1,"ts_us":12.345,"dur_us":6.789}
+/// {"type":"counter","name":"…","value":123}
+/// {"type":"histogram","name":"…","count":3,"sum":300,"min":50,"max":200,"p50":127,"p95":255}
+/// ```
+///
+/// The `run` line is written at creation; `span` lines stream during the
+/// run; `counter`/`histogram` lines are the flush, written by
+/// [`Sink::finish`].
+pub struct JsonlSink {
+    path: PathBuf,
+    writer: Mutex<BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and write the `run` header line.
+    pub fn create(path: &Path, header: &RunHeader) -> std::io::Result<JsonlSink> {
+        let mut writer = BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            writer,
+            "{{\"type\":\"run\",\"run_id\":{},\"workload\":{},\"seed\":{},\"git\":{}}}",
+            json_str(&header.run_id),
+            json_str(&header.workload),
+            header.seed,
+            json_str(&header.git),
+        )?;
+        Ok(JsonlSink {
+            path: path.to_path_buf(),
+            writer: Mutex::new(writer),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn on_span_close(&self, event: &SpanEvent) {
+        let mut w = self.writer.lock().unwrap();
+        // Best-effort: a full disk must not crash the instrumented run.
+        let _ = writeln!(
+            w,
+            "{{\"type\":\"span\",\"name\":{},\"tid\":{},\"depth\":{},\"ts_us\":{:.3},\"dur_us\":{:.3}}}",
+            json_str(&event.name),
+            event.tid,
+            event.depth,
+            event.start_us,
+            event.dur_us,
+        );
+    }
+
+    fn finish(&self, snapshot: &Snapshot) -> std::io::Result<()> {
+        let mut w = self.writer.lock().unwrap();
+        for (name, value) in &snapshot.counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
+                json_str(name),
+                value
+            )?;
+        }
+        for h in &snapshot.histograms {
+            writeln!(
+                w,
+                "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{}}}",
+                json_str(&h.name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p95,
+            )?;
+        }
+        w.flush()
+    }
+
+    fn target(&self) -> String {
+        self.path.display().to_string()
+    }
+}
+
+pub(crate) fn json_str(s: &str) -> String {
+    crate::manifest::json_string_literal(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{set_level, span, test_lock, TelemetryLevel};
+
+    /// Collects events in memory; `finish` records that it ran.
+    struct CollectingSink {
+        events: Mutex<Vec<SpanEvent>>,
+        finished: AtomicBool,
+    }
+
+    impl Sink for CollectingSink {
+        fn on_span_close(&self, event: &SpanEvent) {
+            self.events.lock().unwrap().push(event.clone());
+        }
+        fn finish(&self, _snapshot: &Snapshot) -> std::io::Result<()> {
+            self.finished.store(true, Ordering::Relaxed);
+            Ok(())
+        }
+        fn target(&self) -> String {
+            "memory".into()
+        }
+    }
+
+    #[test]
+    fn spans_reach_installed_sinks_with_depth_and_order() {
+        let _guard = test_lock::hold();
+        set_level(TelemetryLevel::Summary);
+        crate::global().reset();
+        // Leak a reference so we can inspect after `finish` consumes the box.
+        let sink = Box::leak(Box::new(CollectingSink {
+            events: Mutex::new(Vec::new()),
+            finished: AtomicBool::new(false),
+        }));
+        struct Fwd(&'static CollectingSink);
+        impl Sink for Fwd {
+            fn on_span_close(&self, e: &SpanEvent) {
+                self.0.on_span_close(e)
+            }
+            fn finish(&self, s: &Snapshot) -> std::io::Result<()> {
+                self.0.finish(s)
+            }
+            fn target(&self) -> String {
+                self.0.target()
+            }
+        }
+        install(Box::new(Fwd(sink)));
+        assert!(active());
+        {
+            let _outer = span("test.sink.outer");
+            let _inner = span("test.sink.inner");
+        }
+        let results = finish(&crate::global().snapshot());
+        assert_eq!(results.len(), 1);
+        assert!(results[0].1.is_ok());
+        assert!(!active(), "finish must deactivate emission");
+        assert!(sink.finished.load(Ordering::Relaxed));
+
+        let events = sink.events.lock().unwrap();
+        // Inner closes before outer.
+        assert_eq!(events[0].name, "test.sink.inner");
+        assert_eq!(events[1].name, "test.sink.outer");
+        assert_eq!(events[0].depth, 1);
+        assert_eq!(events[1].depth, 0);
+        assert_eq!(events[0].tid, events[1].tid);
+        // Outer started no later than inner and ended no earlier.
+        assert!(events[1].start_us <= events[0].start_us);
+        assert!(events[1].end_us() >= events[0].end_us());
+        set_level(TelemetryLevel::Off);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn no_sink_means_inactive_and_second_finish_is_empty() {
+        let _guard = test_lock::hold();
+        let results = finish(&Snapshot::default());
+        assert!(results.is_empty());
+        assert!(!active());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_header_spans_and_flush_lines() {
+        let _guard = test_lock::hold();
+        let dir = std::env::temp_dir().join(format!("aml_jsonl_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let header = RunHeader {
+            run_id: "w-s1-p1".into(),
+            workload: "w".into(),
+            seed: 1,
+            git: "abc".into(),
+        };
+        let sink = JsonlSink::create(&path, &header).unwrap();
+        sink.on_span_close(&SpanEvent {
+            name: "a.b".into(),
+            tid: 0,
+            depth: 0,
+            start_us: 1.5,
+            dur_us: 2.25,
+        });
+        let mut snapshot = Snapshot::default();
+        snapshot.counters.push(("c.n".into(), 7));
+        sink.finish(&snapshot).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"run\",\"run_id\":\"w-s1-p1\",\"workload\":\"w\",\"seed\":1,\"git\":\"abc\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"span\",\"name\":\"a.b\",\"tid\":0,\"depth\":0,\"ts_us\":1.500,\"dur_us\":2.250}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"counter\",\"name\":\"c.n\",\"value\":7}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tid_is_stable_within_a_thread() {
+        assert_eq!(current_tid(), current_tid());
+        let other = std::thread::spawn(current_tid).join().unwrap();
+        assert_ne!(other, current_tid());
+    }
+}

@@ -23,6 +23,8 @@ struct SpanInner {
     stat: Arc<SpanStat>,
     start: Instant,
     name: String,
+    /// `alloc.bytes` at open, for the per-span allocation delta.
+    alloc_open: u64,
 }
 
 /// RAII guard for a timing span; records into the global registry on drop.
@@ -49,6 +51,13 @@ impl Drop for Span {
         let ns = inner.start.elapsed().as_nanos() as u64;
         inner.stat.record(ns);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if crate::sink::active() {
+            crate::sink::emit_span_close(&inner.name, inner.start, ns, current_depth());
+        }
+        if crate::alloc::stats().is_some() {
+            let delta = crate::alloc::bytes_now().saturating_sub(inner.alloc_open);
+            crate::global().histogram_record(&format!("alloc.span_bytes[{}]", inner.name), delta);
+        }
         if crate::level() == crate::TelemetryLevel::Verbose {
             let indent = "  ".repeat(current_depth());
             eprintln!(
@@ -71,6 +80,7 @@ pub fn span(name: &str) -> Span {
             stat: global().span_stat(name),
             start: Instant::now(),
             name: name.to_string(),
+            alloc_open: crate::alloc::bytes_now(),
         }),
     }
 }
@@ -89,6 +99,7 @@ pub fn span_labeled(base: &str, label: &str) -> Span {
             stat: global().span_stat(&name),
             start: Instant::now(),
             name,
+            alloc_open: crate::alloc::bytes_now(),
         }),
     }
 }
