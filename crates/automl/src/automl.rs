@@ -155,6 +155,21 @@ impl AutoMl {
                 weights.push(count as f64);
             }
         }
+        aml_telemetry::ledger::emit_with(|| aml_telemetry::LedgerEvent::EnsembleSelected {
+            val_score: outcome.val_score,
+            members: outcome
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(ci, &count)| aml_telemetry::EnsembleMember {
+                    trial: leaderboard[ci].trial,
+                    family: leaderboard[ci].config.family().name().to_string(),
+                    weight: count as f64,
+                    score: leaderboard[ci].val_score,
+                })
+                .collect(),
+        });
         let ensemble = SoftVotingEnsemble::new(members, weights)?;
 
         Ok(FittedAutoMl {

@@ -11,6 +11,7 @@ use crate::{AutoMlError, Result};
 use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
+use aml_telemetry::ledger::{self, LedgerEvent};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -27,6 +28,10 @@ pub enum SearchStrategy {
 
 /// A fitted candidate with its validation score.
 pub struct TrainedCandidate {
+    /// Stable trial id: the sequential sampling index of the config,
+    /// assigned before any parallel work — the experiment ledger's join
+    /// key across rungs and into the selected ensemble.
+    pub trial: u64,
     /// The sampled configuration.
     pub config: CandidateConfig,
     /// Fitted pipeline (refit on the full training split at final rung).
@@ -55,7 +60,56 @@ pub(crate) fn assign_families(n: usize, families: &[ModelFamily]) -> Vec<ModelFa
 /// Train one candidate and score it on the validation split. Returns `None`
 /// if this particular configuration failed (e.g. a degenerate bootstrap) so
 /// the search can continue with the survivors.
-fn train_one(config: CandidateConfig, train: &Dataset, val: &Dataset) -> Option<TrainedCandidate> {
+///
+/// Emits `trial_started` then `trial_finished`/`trial_failed` ledger
+/// events (no wall time — the ledger must be thread-count invariant).
+fn train_one(
+    trial: u64,
+    rung: u64,
+    config: CandidateConfig,
+    train: &Dataset,
+    val: &Dataset,
+) -> Option<TrainedCandidate> {
+    ledger::emit_with(|| LedgerEvent::TrialStarted {
+        trial,
+        rung,
+        family: config.family().name().to_string(),
+        config: format!("{config:?}"),
+    });
+    match fit_and_score(&config, train, val) {
+        Some((model, val_score, val_proba)) => {
+            ledger::emit_with(|| LedgerEvent::TrialFinished {
+                trial,
+                rung,
+                family: config.family().name().to_string(),
+                score: val_score,
+            });
+            Some(TrainedCandidate {
+                trial,
+                config,
+                model,
+                val_score,
+                val_proba,
+            })
+        }
+        None => {
+            ledger::emit_with(|| LedgerEvent::TrialFailed {
+                trial,
+                rung,
+                family: config.family().name().to_string(),
+            });
+            None
+        }
+    }
+}
+
+/// Fit + validation-score one config; `None` on any failure.
+#[allow(clippy::type_complexity)]
+fn fit_and_score(
+    config: &CandidateConfig,
+    train: &Dataset,
+    val: &Dataset,
+) -> Option<(Arc<dyn Classifier>, f64, Vec<Vec<f64>>)> {
     let fit_start = aml_telemetry::maybe_now();
     let model = config.fit(train).ok()?;
     if let Some(start) = fit_start {
@@ -72,42 +126,43 @@ fn train_one(config: CandidateConfig, train: &Dataset, val: &Dataset) -> Option<
         .map(|p| aml_models::model::argmax(p))
         .collect();
     let val_score = balanced_accuracy(val.labels(), &preds, val.n_classes()).ok()?;
-    Some(TrainedCandidate {
-        config,
-        model,
-        val_score,
-        val_proba,
-    })
+    Some((model, val_score, val_proba))
 }
 
-/// Train `configs` (in order) with up to `parallelism` worker threads.
-/// Output preserves input order; failed candidates are dropped.
+/// Train `(trial, config)` jobs (in order) with up to `parallelism` worker
+/// threads at halving rung `rung`. Output preserves input order; failed
+/// candidates are dropped.
 fn train_all(
-    configs: Vec<CandidateConfig>,
+    jobs: Vec<(u64, CandidateConfig)>,
+    rung: u64,
     train: &Dataset,
     val: &Dataset,
     parallelism: usize,
 ) -> Vec<TrainedCandidate> {
-    if parallelism <= 1 || configs.len() <= 1 {
-        return configs
+    if parallelism <= 1 || jobs.len() <= 1 {
+        return jobs
             .into_iter()
-            .filter_map(|c| train_one(c, train, val))
+            .filter_map(|(t, c)| train_one(t, rung, c, train, val))
             .collect();
     }
-    let n = configs.len();
+    let n = jobs.len();
     let mut slots: Vec<Option<TrainedCandidate>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let jobs: Vec<(usize, CandidateConfig)> = configs.into_iter().enumerate().collect();
+    let jobs: Vec<(usize, u64, CandidateConfig)> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, c))| (i, t, c))
+        .collect();
     let chunk = n.div_ceil(parallelism);
 
     crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for piece in jobs.chunks(chunk) {
-            let piece: Vec<(usize, CandidateConfig)> = piece.to_vec();
+            let piece: Vec<(usize, u64, CandidateConfig)> = piece.to_vec();
             handles.push(scope.spawn(move |_| {
                 piece
                     .into_iter()
-                    .map(|(i, c)| (i, train_one(c, train, val)))
+                    .map(|(i, t, c)| (i, train_one(t, rung, c, train, val)))
                     .collect::<Vec<_>>()
             }));
         }
@@ -147,21 +202,34 @@ pub fn run_search(
         ));
     }
     let assigned = assign_families(n_candidates, families);
-    let configs: Vec<CandidateConfig> = assigned
+    // The enumeration index is the trial id: assigned sequentially before
+    // any parallel work, it is the ledger's stable join key.
+    let jobs: Vec<(u64, CandidateConfig)> = assigned
         .iter()
         .enumerate()
-        .map(|(i, &f)| CandidateConfig::sample(f, derive_seed(seed, i as u64)))
+        .map(|(i, &f)| {
+            (
+                i as u64,
+                CandidateConfig::sample(f, derive_seed(seed, i as u64)),
+            )
+        })
         .collect();
 
-    let mut survivors: Vec<CandidateConfig> = match strategy {
-        SearchStrategy::Random => configs,
+    let (mut survivors, final_rung): (Vec<(u64, CandidateConfig)>, u64) = match strategy {
+        SearchStrategy::Random => (jobs, 0),
         SearchStrategy::SuccessiveHalving => {
-            halving_survivors(configs, train, val, seed, parallelism)?
+            halving_survivors(jobs, train, val, seed, parallelism)?
         }
     };
 
     // Final rung: full training data.
-    let mut trained = train_all(std::mem::take(&mut survivors), train, val, parallelism);
+    let mut trained = train_all(
+        std::mem::take(&mut survivors),
+        final_rung,
+        train,
+        val,
+        parallelism,
+    );
     if trained.is_empty() {
         return Err(AutoMlError::AllCandidatesFailed(
             "no candidate produced a valid model".into(),
@@ -177,24 +245,26 @@ pub fn run_search(
 }
 
 /// Successive-halving rungs on growing data fractions; returns the surviving
-/// configs to be refit on the full training split.
+/// `(trial, config)` jobs to be refit on the full training split, plus the
+/// rung number that full-data refit runs at (for the ledger).
+#[allow(clippy::type_complexity)]
 fn halving_survivors(
-    mut configs: Vec<CandidateConfig>,
+    mut jobs: Vec<(u64, CandidateConfig)>,
     train: &Dataset,
     val: &Dataset,
     seed: u64,
     parallelism: usize,
-) -> Result<Vec<CandidateConfig>> {
+) -> Result<(Vec<(u64, CandidateConfig)>, u64)> {
     let mut fraction = 0.25f64;
     let mut rung = 0u64;
-    while configs.len() > 2 && fraction < 1.0 {
+    while jobs.len() > 2 && fraction < 1.0 {
         let n_sub = ((train.n_rows() as f64 * fraction) as usize)
             .max(16)
             .min(train.n_rows());
         // Deterministic subsample for this rung.
         let idx = subsample_indices(train.n_rows(), n_sub, derive_seed(seed, 1000 + rung));
         let sub = train.subset(&idx)?;
-        let trained = train_all(configs.clone(), &sub, val, parallelism);
+        let trained = train_all(jobs.clone(), rung, &sub, val, parallelism);
         if trained.is_empty() {
             // All failed at this rung (tiny subsample may be degenerate) —
             // skip the rung rather than aborting the search.
@@ -202,17 +272,21 @@ fn halving_survivors(
             rung += 1;
             continue;
         }
-        let mut scored: Vec<(f64, CandidateConfig)> = trained
+        let mut scored: Vec<(f64, u64, CandidateConfig)> = trained
             .into_iter()
-            .map(|t| (t.val_score, t.config))
+            .map(|t| (t.val_score, t.trial, t.config))
             .collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
         let keep = (scored.len() / 2).max(2);
-        configs = scored.into_iter().take(keep).map(|(_, c)| c).collect();
+        jobs = scored
+            .into_iter()
+            .take(keep)
+            .map(|(_, t, c)| (t, c))
+            .collect();
         fraction *= 2.0;
         rung += 1;
     }
-    Ok(configs)
+    Ok((jobs, rung))
 }
 
 fn subsample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {

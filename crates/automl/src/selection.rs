@@ -127,6 +127,7 @@ mod tests {
         let config = CandidateConfig::sample(ModelFamily::NaiveBayes, 0);
         let model: Arc<dyn Classifier> = config.fit(train).unwrap();
         TrainedCandidate {
+            trial: 0,
             config,
             model,
             val_score: 0.0,

@@ -1,0 +1,1096 @@
+//! `amlreport`: one self-contained HTML page summarizing a run.
+//!
+//! Input is the machine-readable exhaust the harness already produces —
+//! experiment ledgers (`ledger.jsonl`, see `aml_telemetry::ledger`) and
+//! perf records (`BENCH_<workload>.json`, see [`crate::report`]) — and
+//! output is a single HTML file with inline CSS and inline SVG charts:
+//! no scripts, no external assets, no network references, so the file
+//! can be attached to a CI run or mailed around and still render.
+//!
+//! Sections:
+//!
+//! 1. **Runs** — one overview row per ledger (workload, seed, git,
+//!    trial/round/curve counts).
+//! 2. **Search** — per ledger: a trial-score scatter colored by model
+//!    family plus a per-family table (trials, best score, mean fit time
+//!    joined from the BENCH `automl.fit_us[<family>]` histograms).
+//! 3. **Ensembles** — the final ensemble composition of each run.
+//! 4. **Feedback rounds** — accuracy-vs-round polylines per strategy
+//!    with the min..max band shaded.
+//! 5. **ALE bands** — the suggested-region evidence: mean±std band per
+//!    feature with the suggested intervals shaded.
+//! 6. **Perf** — wall time, top spans, allocations and dropped-event
+//!    counts from the BENCH records.
+//!
+//! Parsing uses [`crate::minijson`]; unknown ledger event types are
+//! skipped so the report stays forward compatible with additive schema
+//! changes (the ledger versioning contract).
+
+use crate::minijson::{self, Value};
+use crate::report::BenchReport;
+use aml_telemetry::LEDGER_SCHEMA_VERSION;
+use std::fmt::Write as _;
+
+// ------------------------------------------------------------- ledger data
+
+/// A `trial_finished` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialScore {
+    /// Stable trial id (sampling index).
+    pub trial: u64,
+    /// Successive-halving rung.
+    pub rung: u64,
+    /// Model family name.
+    pub family: String,
+    /// Validation accuracy at the rung.
+    pub score: f64,
+}
+
+/// An `ensemble_selected` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleRecord {
+    /// Ensemble validation score.
+    pub val_score: f64,
+    /// `(trial, family, weight, score)` per member.
+    pub members: Vec<(u64, String, f64, f64)>,
+}
+
+/// A `round_completed` line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Process-wide round sequence number.
+    pub round: u64,
+    /// Strategy name.
+    pub strategy: String,
+    /// Mean / min / max accuracy across the round's test sets.
+    pub acc_mean: f64,
+    /// Minimum accuracy.
+    pub acc_min: f64,
+    /// Maximum accuracy.
+    pub acc_max: f64,
+    /// Labeled points added this round.
+    pub points_added: u64,
+    /// Suggested intervals this round.
+    pub regions: u64,
+}
+
+/// A `region_suggested` line: the ALE mean±std band and the intervals
+/// derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandRecord {
+    /// Feature index.
+    pub feature: u64,
+    /// Feature name.
+    pub name: String,
+    /// Uncertainty threshold.
+    pub threshold: f64,
+    /// Suggested `[lo, hi]` intervals.
+    pub intervals: Vec<(f64, f64)>,
+    /// Grid cell centers.
+    pub grid: Vec<f64>,
+    /// Cross-model mean ALE per cell.
+    pub mean: Vec<f64>,
+    /// Cross-model std per cell.
+    pub std: Vec<f64>,
+}
+
+/// One parsed `ledger.jsonl`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LedgerData {
+    /// Run id from the header line.
+    pub run_id: String,
+    /// Workload name.
+    pub workload: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Build git describe.
+    pub git: String,
+    /// `trial_started` count.
+    pub started: u64,
+    /// `trial_finished` lines.
+    pub finished: Vec<TrialScore>,
+    /// `(trial, rung, family)` of `trial_failed` lines.
+    pub failed: Vec<(u64, u64, String)>,
+    /// `ensemble_selected` lines in order.
+    pub ensembles: Vec<EnsembleRecord>,
+    /// `round_completed` lines in order.
+    pub rounds: Vec<RoundRecord>,
+    /// `region_suggested` lines in order.
+    pub bands: Vec<BandRecord>,
+    /// `(feature, model, method, grid_points, rows)` of `ale_curve` lines.
+    pub curves: Vec<(u64, String, String, u64, u64)>,
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// Numeric field; a JSON `null` (the ledger encoding of a non-finite
+/// float) reads back as NaN.
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+fn f64_item(v: &Value) -> Option<f64> {
+    match v {
+        Value::Null => Some(f64::NAN),
+        other => other.as_f64(),
+    }
+}
+
+fn f64_array(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing or non-array field '{key}'"))?
+        .iter()
+        .map(|item| f64_item(item).ok_or_else(|| format!("non-numeric item in '{key}'")))
+        .collect()
+}
+
+/// Parse the text of one `ledger.jsonl` file. The first line must be a
+/// `{"type":"ledger", ...}` header with a supported schema version;
+/// unknown event types on later lines are skipped (additive schema
+/// changes don't bump the version).
+pub fn parse_ledger(text: &str) -> Result<LedgerData, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or("empty ledger file")?;
+    let header = minijson::parse(header_line).map_err(|e| format!("line 1: {e}"))?;
+    if str_field(&header, "type")? != "ledger" {
+        return Err("line 1: not a ledger header".into());
+    }
+    let version = u64_field(&header, "schema_version")?;
+    if version != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported ledger schema_version {version} (expected {LEDGER_SCHEMA_VERSION})"
+        ));
+    }
+    let mut data = LedgerData {
+        run_id: str_field(&header, "run_id")?,
+        workload: str_field(&header, "workload")?,
+        seed: u64_field(&header, "seed")?,
+        git: str_field(&header, "git")?,
+        ..LedgerData::default()
+    };
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = minijson::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let event = str_field(&v, "type").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let parsed: Result<(), String> = (|| {
+            match event.as_str() {
+                "trial_started" => data.started += 1,
+                "trial_finished" => data.finished.push(TrialScore {
+                    trial: u64_field(&v, "trial")?,
+                    rung: u64_field(&v, "rung")?,
+                    family: str_field(&v, "family")?,
+                    score: f64_field(&v, "score")?,
+                }),
+                "trial_failed" => data.failed.push((
+                    u64_field(&v, "trial")?,
+                    u64_field(&v, "rung")?,
+                    str_field(&v, "family")?,
+                )),
+                "ensemble_selected" => {
+                    let members = v
+                        .get("members")
+                        .and_then(Value::as_arr)
+                        .ok_or("missing or non-array field 'members'")?
+                        .iter()
+                        .map(|m| {
+                            Ok((
+                                u64_field(m, "trial")?,
+                                str_field(m, "family")?,
+                                f64_field(m, "weight")?,
+                                f64_field(m, "score")?,
+                            ))
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    data.ensembles.push(EnsembleRecord {
+                        val_score: f64_field(&v, "val_score")?,
+                        members,
+                    });
+                }
+                "round_completed" => data.rounds.push(RoundRecord {
+                    round: u64_field(&v, "round")?,
+                    strategy: str_field(&v, "strategy")?,
+                    acc_mean: f64_field(&v, "acc_mean")?,
+                    acc_min: f64_field(&v, "acc_min")?,
+                    acc_max: f64_field(&v, "acc_max")?,
+                    points_added: u64_field(&v, "points_added")?,
+                    regions: u64_field(&v, "regions")?,
+                }),
+                "region_suggested" => {
+                    let intervals = v
+                        .get("intervals")
+                        .and_then(Value::as_arr)
+                        .ok_or("missing or non-array field 'intervals'")?
+                        .iter()
+                        .map(|pair| {
+                            let pair = pair.as_arr().filter(|p| p.len() == 2);
+                            match pair {
+                                Some([lo, hi]) => match (f64_item(lo), f64_item(hi)) {
+                                    (Some(lo), Some(hi)) => Ok((lo, hi)),
+                                    _ => Err("non-numeric interval bound".to_string()),
+                                },
+                                _ => Err("interval is not a [lo, hi] pair".to_string()),
+                            }
+                        })
+                        .collect::<Result<Vec<_>, String>>()?;
+                    data.bands.push(BandRecord {
+                        feature: u64_field(&v, "feature")?,
+                        name: str_field(&v, "name")?,
+                        threshold: f64_field(&v, "threshold")?,
+                        intervals,
+                        grid: f64_array(&v, "grid")?,
+                        mean: f64_array(&v, "mean")?,
+                        std: f64_array(&v, "std")?,
+                    });
+                }
+                "ale_curve" => data.curves.push((
+                    u64_field(&v, "feature")?,
+                    str_field(&v, "model")?,
+                    str_field(&v, "method")?,
+                    u64_field(&v, "grid_points")?,
+                    u64_field(&v, "rows")?,
+                )),
+                _ => {} // forward compatible: skip unknown event types
+            }
+            Ok(())
+        })();
+        parsed.map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    Ok(data)
+}
+
+// ------------------------------------------------------------- svg helpers
+
+/// Categorical palette for family / strategy series.
+const PALETTE: [&str; 8] = [
+    "#2f6fb4", "#d9822b", "#3d9970", "#c44e52", "#8172b3", "#937860", "#d670ad", "#64707c",
+];
+
+fn color(i: usize) -> &'static str {
+    PALETTE[i % PALETTE.len()]
+}
+
+/// A plot frame: pixel size, margins, and data ranges. Maps data
+/// coordinates to pixel coordinates (y inverted).
+struct Frame {
+    w: f64,
+    h: f64,
+    ml: f64,
+    mr: f64,
+    mt: f64,
+    mb: f64,
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+}
+
+impl Frame {
+    fn new(xs: impl Iterator<Item = f64>, ys: impl Iterator<Item = f64>) -> Frame {
+        let mut x0 = f64::INFINITY;
+        let mut x1 = f64::NEG_INFINITY;
+        let mut y0 = f64::INFINITY;
+        let mut y1 = f64::NEG_INFINITY;
+        for x in xs.filter(|v| v.is_finite()) {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+        }
+        for y in ys.filter(|v| v.is_finite()) {
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if !x0.is_finite() || !x1.is_finite() {
+            (x0, x1) = (0.0, 1.0);
+        }
+        if !y0.is_finite() || !y1.is_finite() {
+            (y0, y1) = (0.0, 1.0);
+        }
+        if x1 - x0 < 1e-12 {
+            (x0, x1) = (x0 - 0.5, x1 + 0.5);
+        }
+        if y1 - y0 < 1e-12 {
+            (y0, y1) = (y0 - 0.5, y1 + 0.5);
+        }
+        // A little vertical headroom so markers don't sit on the border.
+        let pad = (y1 - y0) * 0.05;
+        Frame {
+            w: 480.0,
+            h: 240.0,
+            ml: 52.0,
+            mr: 12.0,
+            mt: 10.0,
+            mb: 28.0,
+            x0,
+            x1,
+            y0: y0 - pad,
+            y1: y1 + pad,
+        }
+    }
+
+    fn x(&self, v: f64) -> f64 {
+        self.ml + (v - self.x0) / (self.x1 - self.x0) * (self.w - self.ml - self.mr)
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        self.h - self.mb - (v - self.y0) / (self.y1 - self.y0) * (self.h - self.mt - self.mb)
+    }
+
+    fn open(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "<svg viewBox=\"0 0 {} {}\" class=\"chart\">",
+            self.w, self.h
+        );
+        // Axes with min/max labels.
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>\
+             <line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" class=\"axis\"/>",
+            px(self.ml),
+            px(self.mt),
+            px(self.ml),
+            px(self.h - self.mb),
+            px(self.ml),
+            px(self.h - self.mb),
+            px(self.w - self.mr),
+            px(self.h - self.mb),
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>\
+             <text x=\"{}\" y=\"{}\" class=\"tick\">{}</text>\
+             <text x=\"{}\" y=\"{}\" class=\"tick tx\">{}</text>\
+             <text x=\"{}\" y=\"{}\" class=\"tick tx te\">{}</text>",
+            px(self.ml - 4.0),
+            px(self.h - self.mb),
+            sig(self.y0),
+            px(self.ml - 4.0),
+            px(self.mt + 8.0),
+            sig(self.y1),
+            px(self.ml),
+            px(self.h - self.mb + 14.0),
+            sig(self.x0),
+            px(self.w - self.mr),
+            px(self.h - self.mb + 14.0),
+            sig(self.x1),
+        );
+    }
+}
+
+/// Pixel coordinate with one decimal (keeps the SVG small).
+fn px(v: f64) -> String {
+    format!("{:.1}", v)
+}
+
+/// Short human-readable tick label.
+fn sig(v: f64) -> String {
+    if !v.is_finite() {
+        return "?".into();
+    }
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if a >= 1000.0 {
+        format!("{v:.0}")
+    } else if a >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn polyline(out: &mut String, pts: &[(f64, f64)], stroke: &str, extra: &str) {
+    if pts.is_empty() {
+        return;
+    }
+    let coords: Vec<String> = pts
+        .iter()
+        .map(|(x, y)| format!("{},{}", px(*x), px(*y)))
+        .collect();
+    let _ = write!(
+        out,
+        "<polyline points=\"{}\" fill=\"none\" stroke=\"{}\" {extra}/>",
+        coords.join(" "),
+        stroke
+    );
+}
+
+fn polygon(out: &mut String, pts: &[(f64, f64)], fill: &str) {
+    if pts.len() < 3 {
+        return;
+    }
+    let coords: Vec<String> = pts
+        .iter()
+        .map(|(x, y)| format!("{},{}", px(*x), px(*y)))
+        .collect();
+    let _ = write!(
+        out,
+        "<polygon points=\"{}\" fill=\"{}\" fill-opacity=\"0.18\" stroke=\"none\"/>",
+        coords.join(" "),
+        fill
+    );
+}
+
+fn legend(out: &mut String, names: &[String]) {
+    out.push_str("<p class=\"legend\">");
+    for (i, name) in names.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<span style=\"color:{}\">&#9632; {}</span> ",
+            color(i),
+            esc(name)
+        );
+    }
+    out.push_str("</p>");
+}
+
+// ------------------------------------------------------------------- html
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+const STYLE: &str = "\
+body{font-family:system-ui,sans-serif;margin:24px auto;max-width:980px;color:#1c2733;}\
+h1{font-size:1.4em;border-bottom:2px solid #2f6fb4;padding-bottom:4px;}\
+h2{font-size:1.15em;margin-top:1.6em;border-bottom:1px solid #d5dbe0;padding-bottom:2px;}\
+h3{font-size:1em;margin-bottom:4px;}\
+table{border-collapse:collapse;margin:8px 0;font-size:0.88em;}\
+th,td{border:1px solid #c8d0d8;padding:3px 8px;text-align:right;}\
+th{background:#eef2f5;}\
+td:first-child,th:first-child{text-align:left;}\
+svg.chart{background:#fbfcfd;border:1px solid #d5dbe0;max-width:480px;display:block;margin:6px 0;}\
+svg .axis{stroke:#5c6a76;stroke-width:1;}\
+svg .tick{font-size:9px;fill:#5c6a76;text-anchor:end;}\
+svg .tick.tx{text-anchor:start;}\
+svg .tick.te{text-anchor:end;}\
+p.legend{font-size:0.85em;margin:2px 0 10px;}\
+p.note{color:#5c6a76;font-size:0.85em;}\
+";
+
+fn fmt_u64(v: u64) -> String {
+    v.to_string()
+}
+
+fn fmt_bytes(v: u64) -> String {
+    if v >= 1 << 20 {
+        format!("{:.1} MiB", v as f64 / (1u64 << 20) as f64)
+    } else if v >= 1 << 10 {
+        format!("{:.1} KiB", v as f64 / 1024.0)
+    } else {
+        format!("{v} B")
+    }
+}
+
+/// Distinct values in encounter order.
+fn uniques<'a>(it: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut seen = Vec::new();
+    for v in it {
+        if !seen.iter().any(|s: &String| s == v) {
+            seen.push(v.to_string());
+        }
+    }
+    seen
+}
+
+fn section_runs(out: &mut String, ledgers: &[LedgerData]) {
+    out.push_str("<h2>Runs</h2>");
+    if ledgers.is_empty() {
+        out.push_str("<p class=\"note\">No ledgers given.</p>");
+        return;
+    }
+    out.push_str(
+        "<table><tr><th>run</th><th>workload</th><th>seed</th><th>git</th>\
+         <th>trials</th><th>finished</th><th>failed</th><th>rounds</th>\
+         <th>regions</th><th>curves</th></tr>",
+    );
+    for l in ledgers {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&l.run_id),
+            esc(&l.workload),
+            l.seed,
+            esc(&l.git),
+            l.started,
+            l.finished.len(),
+            l.failed.len(),
+            l.rounds.len(),
+            l.bands.len(),
+            l.curves.len(),
+        );
+    }
+    out.push_str("</table>");
+}
+
+/// Mean fit time (ms) of a family, joined from `automl.fit_us[<family>]`
+/// histograms across the BENCH records (count-weighted).
+fn family_fit_ms(benches: &[BenchReport], family: &str) -> Option<f64> {
+    let key = format!("automl.fit_us[{family}]");
+    let mut total = 0.0;
+    let mut count = 0u64;
+    for b in benches {
+        for h in &b.histograms {
+            if h.name == key && h.count > 0 {
+                total += (h.mean * h.count) as f64;
+                count += h.count;
+            }
+        }
+    }
+    (count > 0).then(|| total / count as f64 / 1e3)
+}
+
+fn section_search(out: &mut String, ledgers: &[LedgerData], benches: &[BenchReport]) {
+    out.push_str("<h2>Search</h2>");
+    let mut plotted = false;
+    for l in ledgers {
+        if l.finished.is_empty() && l.failed.is_empty() {
+            continue;
+        }
+        plotted = true;
+        let _ = write!(out, "<h3>{} — {}</h3>", esc(&l.workload), esc(&l.run_id));
+        let families = uniques(l.finished.iter().map(|t| t.family.as_str()));
+        let frame = Frame::new(
+            l.finished.iter().map(|t| t.trial as f64),
+            l.finished.iter().map(|t| t.score),
+        );
+        frame.open(out);
+        for t in &l.finished {
+            if !t.score.is_finite() {
+                continue;
+            }
+            let fi = families.iter().position(|f| f == &t.family).unwrap_or(0);
+            // Higher rungs get larger markers: the survivors stand out.
+            let _ = write!(
+                out,
+                "<circle cx=\"{}\" cy=\"{}\" r=\"{}\" fill=\"{}\" fill-opacity=\"0.75\"/>",
+                px(frame.x(t.trial as f64)),
+                px(frame.y(t.score)),
+                px(2.0 + t.rung as f64),
+                color(fi),
+            );
+        }
+        out.push_str("</svg>");
+        legend(out, &families);
+        out.push_str(
+            "<table><tr><th>family</th><th>trials</th><th>best score</th>\
+             <th>mean score</th><th>mean fit (ms)</th></tr>",
+        );
+        for (fi, family) in families.iter().enumerate() {
+            let scores: Vec<f64> = l
+                .finished
+                .iter()
+                .filter(|t| &t.family == family && t.score.is_finite())
+                .map(|t| t.score)
+                .collect();
+            let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mean = scores.iter().sum::<f64>() / scores.len().max(1) as f64;
+            let fit = family_fit_ms(benches, family)
+                .map(|ms| format!("{ms:.2}"))
+                .unwrap_or_else(|| "—".into());
+            let _ = write!(
+                out,
+                "<tr><td style=\"color:{}\">{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                color(fi),
+                esc(family),
+                scores.len(),
+                sig(best),
+                sig(mean),
+                fit,
+            );
+        }
+        out.push_str("</table>");
+        if !l.failed.is_empty() {
+            let _ = write!(
+                out,
+                "<p class=\"note\">{} trial(s) failed to train.</p>",
+                l.failed.len()
+            );
+        }
+    }
+    if !plotted {
+        out.push_str("<p class=\"note\">No trials recorded.</p>");
+    }
+}
+
+fn section_ensembles(out: &mut String, ledgers: &[LedgerData]) {
+    out.push_str("<h2>Ensembles</h2>");
+    let mut any = false;
+    for l in ledgers {
+        // The last selection is the one that shipped.
+        let Some(e) = l.ensembles.last() else {
+            continue;
+        };
+        any = true;
+        let _ = write!(
+            out,
+            "<h3>{} — {} (val score {})</h3>",
+            esc(&l.workload),
+            esc(&l.run_id),
+            sig(e.val_score)
+        );
+        out.push_str(
+            "<table><tr><th>trial</th><th>family</th><th>weight</th><th>member score</th></tr>",
+        );
+        for (trial, family, weight, score) in &e.members {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                trial,
+                esc(family),
+                sig(*weight),
+                sig(*score),
+            );
+        }
+        out.push_str("</table>");
+    }
+    if !any {
+        out.push_str("<p class=\"note\">No ensemble selections recorded.</p>");
+    }
+}
+
+fn section_rounds(out: &mut String, ledgers: &[LedgerData]) {
+    out.push_str("<h2>Feedback rounds</h2>");
+    let mut any = false;
+    for l in ledgers {
+        if l.rounds.is_empty() {
+            continue;
+        }
+        any = true;
+        let _ = write!(out, "<h3>{} — {}</h3>", esc(&l.workload), esc(&l.run_id));
+        let strategies = uniques(l.rounds.iter().map(|r| r.strategy.as_str()));
+        // x = round index within the strategy's own series.
+        let max_len = strategies
+            .iter()
+            .map(|s| l.rounds.iter().filter(|r| &r.strategy == s).count())
+            .max()
+            .unwrap_or(1);
+        let frame = Frame::new(
+            (0..max_len).map(|i| i as f64),
+            l.rounds.iter().flat_map(|r| [r.acc_min, r.acc_max]),
+        );
+        frame.open(out);
+        for (si, strategy) in strategies.iter().enumerate() {
+            let series: Vec<&RoundRecord> = l
+                .rounds
+                .iter()
+                .filter(|r| &r.strategy == strategy)
+                .collect();
+            let band: Vec<(f64, f64)> = series
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (frame.x(i as f64), frame.y(r.acc_max)))
+                .chain(
+                    series
+                        .iter()
+                        .enumerate()
+                        .rev()
+                        .map(|(i, r)| (frame.x(i as f64), frame.y(r.acc_min))),
+                )
+                .collect();
+            polygon(out, &band, color(si));
+            let mean: Vec<(f64, f64)> = series
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.acc_mean.is_finite())
+                .map(|(i, r)| (frame.x(i as f64), frame.y(r.acc_mean)))
+                .collect();
+            polyline(out, &mean, color(si), "stroke-width=\"1.6\"");
+        }
+        out.push_str("</svg>");
+        legend(out, &strategies);
+        out.push_str(
+            "<table><tr><th>strategy</th><th>rounds</th><th>final acc</th>\
+             <th>points added</th><th>regions</th></tr>",
+        );
+        for strategy in &strategies {
+            let series: Vec<&RoundRecord> = l
+                .rounds
+                .iter()
+                .filter(|r| &r.strategy == strategy)
+                .collect();
+            let last = series.last().map(|r| r.acc_mean).unwrap_or(f64::NAN);
+            let points: u64 = series.iter().map(|r| r.points_added).sum();
+            let regions: u64 = series.iter().map(|r| r.regions).sum();
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                esc(strategy),
+                series.len(),
+                sig(last),
+                points,
+                regions,
+            );
+        }
+        out.push_str("</table>");
+    }
+    if !any {
+        out.push_str("<p class=\"note\">No feedback rounds recorded.</p>");
+    }
+}
+
+/// Cap on ALE band plots per ledger so a wide run can't bloat the file.
+const MAX_BAND_PLOTS: usize = 8;
+
+fn section_bands(out: &mut String, ledgers: &[LedgerData]) {
+    out.push_str("<h2>ALE bands and suggested regions</h2>");
+    let mut any = false;
+    for l in ledgers {
+        // Last band per feature = the final state of the evidence.
+        let mut latest: Vec<&BandRecord> = Vec::new();
+        for band in &l.bands {
+            if let Some(slot) = latest.iter_mut().find(|b| b.feature == band.feature) {
+                *slot = band;
+            } else {
+                latest.push(band);
+            }
+        }
+        let total = latest.len();
+        for band in latest.into_iter().take(MAX_BAND_PLOTS) {
+            if band.grid.len() != band.mean.len() || band.grid.len() != band.std.len() {
+                continue;
+            }
+            any = true;
+            let _ = write!(
+                out,
+                "<h3>{} (feature {}) — {} — threshold {}</h3>",
+                esc(&band.name),
+                band.feature,
+                esc(&l.run_id),
+                sig(band.threshold),
+            );
+            let frame = Frame::new(
+                band.grid.iter().copied(),
+                band.mean
+                    .iter()
+                    .zip(&band.std)
+                    .flat_map(|(m, s)| [m - s, m + s]),
+            );
+            frame.open(out);
+            // Suggested intervals: full-height shaded rects.
+            for (lo, hi) in &band.intervals {
+                if !lo.is_finite() || !hi.is_finite() {
+                    continue;
+                }
+                let x0 = frame.x(lo.max(frame.x0));
+                let x1 = frame.x(hi.min(frame.x1));
+                let _ = write!(
+                    out,
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"#c44e52\" fill-opacity=\"0.12\"/>",
+                    px(x0),
+                    px(frame.mt),
+                    px((x1 - x0).max(1.0)),
+                    px(frame.h - frame.mt - frame.mb),
+                );
+            }
+            // ±std band around the mean.
+            let band_pts: Vec<(f64, f64)> = band
+                .grid
+                .iter()
+                .zip(band.mean.iter().zip(&band.std))
+                .map(|(g, (m, s))| (frame.x(*g), frame.y(m + s)))
+                .chain(
+                    band.grid
+                        .iter()
+                        .zip(band.mean.iter().zip(&band.std))
+                        .rev()
+                        .map(|(g, (m, s))| (frame.x(*g), frame.y(m - s))),
+                )
+                .collect();
+            polygon(out, &band_pts, "#2f6fb4");
+            let mean_pts: Vec<(f64, f64)> = band
+                .grid
+                .iter()
+                .zip(&band.mean)
+                .filter(|(g, m)| g.is_finite() && m.is_finite())
+                .map(|(g, m)| (frame.x(*g), frame.y(*m)))
+                .collect();
+            polyline(out, &mean_pts, "#2f6fb4", "stroke-width=\"1.6\"");
+            out.push_str("</svg>");
+            let _ = write!(
+                out,
+                "<p class=\"note\">{} suggested interval(s); shaded red. Blue band is cross-model mean&#177;std ALE.</p>",
+                band.intervals.len()
+            );
+        }
+        if total > MAX_BAND_PLOTS {
+            let _ = write!(
+                out,
+                "<p class=\"note\">{} further feature(s) omitted from {}.</p>",
+                total - MAX_BAND_PLOTS,
+                esc(&l.run_id)
+            );
+        }
+    }
+    if !any {
+        out.push_str("<p class=\"note\">No suggested regions recorded.</p>");
+    }
+}
+
+fn section_perf(out: &mut String, benches: &[BenchReport]) {
+    out.push_str("<h2>Perf</h2>");
+    if benches.is_empty() {
+        out.push_str("<p class=\"note\">No BENCH records given.</p>");
+        return;
+    }
+    out.push_str(
+        "<table><tr><th>workload</th><th>git</th><th>wall (s)</th>\
+         <th>top spans (s)</th><th>alloc</th><th>peak</th><th>events dropped</th></tr>",
+    );
+    for b in benches {
+        let dropped = b
+            .counters
+            .iter()
+            .find(|(n, _)| n == "telemetry.events_dropped")
+            .map(|(_, v)| fmt_u64(*v))
+            .unwrap_or_else(|| "0".into());
+        let (alloc, peak) = b
+            .alloc
+            .map(|a| (fmt_bytes(a.bytes), fmt_bytes(a.peak_bytes)))
+            .unwrap_or_else(|| ("—".into(), "—".into()));
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{:.2}</td><td>{:.2}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&b.workload),
+            esc(&b.git),
+            b.wall_time_s,
+            b.top_span_total_s,
+            alloc,
+            peak,
+            dropped,
+        );
+    }
+    out.push_str("</table>");
+    for b in benches {
+        let mut spans = b.spans.clone();
+        spans.sort_by(|a, b| b.total_s.total_cmp(&a.total_s));
+        spans.truncate(5);
+        if spans.is_empty() {
+            continue;
+        }
+        let _ = write!(out, "<h3>{} — top spans</h3>", esc(&b.workload));
+        out.push_str(
+            "<table><tr><th>span</th><th>calls</th><th>total (s)</th>\
+             <th>mean (ms)</th><th>max (ms)</th></tr>",
+        );
+        for s in &spans {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{:.3}</td><td>{:.3}</td><td>{:.3}</td></tr>",
+                esc(&s.name),
+                s.calls,
+                s.total_s,
+                s.mean_ms,
+                s.max_ms,
+            );
+        }
+        out.push_str("</table>");
+    }
+}
+
+/// Render the full report. Pure: input structs in, one HTML string out.
+/// The page references no external assets (the self-containment tests
+/// assert there is no `http` substring anywhere in the output).
+pub fn render_html(ledgers: &[LedgerData], benches: &[BenchReport], title: &str) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    let _ = write!(
+        out,
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>{STYLE}</style></head><body><h1>{}</h1>",
+        esc(title),
+        esc(title)
+    );
+    let _ = write!(
+        out,
+        "<p class=\"note\">{} ledger(s), {} BENCH record(s). Ledger schema v{}.</p>",
+        ledgers.len(),
+        benches.len(),
+        LEDGER_SCHEMA_VERSION
+    );
+    section_runs(&mut out, ledgers);
+    section_search(&mut out, ledgers, benches);
+    section_ensembles(&mut out, ledgers);
+    section_rounds(&mut out, ledgers);
+    section_bands(&mut out, ledgers);
+    section_perf(&mut out, benches);
+    out.push_str("</body></html>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchAlloc, BenchHist, BenchSpan};
+
+    fn sample_ledger_text() -> String {
+        [
+            r#"{"type":"ledger","schema_version":1,"run_id":"w-s1-p2","workload":"w","seed":1,"git":"abc"}"#,
+            r#"{"type":"trial_started","trial":0,"rung":0,"family":"forest","config":"ForestConfig { trees: 8 }"}"#,
+            r#"{"type":"trial_finished","trial":0,"rung":0,"family":"forest","score":0.91}"#,
+            r#"{"type":"trial_started","trial":1,"rung":0,"family":"logreg","config":"LogRegConfig { l2: 0.1 }"}"#,
+            r#"{"type":"trial_failed","trial":1,"rung":0,"family":"logreg"}"#,
+            r#"{"type":"trial_finished","trial":2,"rung":1,"family":"forest","score":null}"#,
+            r#"{"type":"ensemble_selected","val_score":0.93,"members":[{"trial":0,"family":"forest","weight":3,"score":0.91}]}"#,
+            r#"{"type":"round_completed","round":0,"strategy":"Within-ALE","acc_mean":0.8,"acc_min":0.7,"acc_max":0.9,"points_added":40,"regions":2,"ale_std_mean":0.02,"ale_std_max":0.09}"#,
+            r#"{"type":"round_completed","round":1,"strategy":"Within-ALE","acc_mean":0.85,"acc_min":0.8,"acc_max":0.9,"points_added":40,"regions":1,"ale_std_mean":0.01,"ale_std_max":0.05}"#,
+            r#"{"type":"round_completed","round":2,"strategy":"Random","acc_mean":0.75,"acc_min":0.7,"acc_max":0.8,"points_added":40,"regions":0,"ale_std_mean":0,"ale_std_max":0}"#,
+            r#"{"type":"region_suggested","feature":0,"name":"pkt_size","threshold":0.05,"intervals":[[0.2,0.4],[0.7,0.9]],"grid":[0,0.25,0.5,0.75,1],"mean":[0.1,0.3,0.2,0.4,0.1],"std":[0.01,0.08,0.02,0.09,0.01]}"#,
+            r#"{"type":"ale_curve","feature":0,"model":"forest","method":"ale","grid_points":5,"rows":200}"#,
+            r#"{"type":"some_future_event","payload":42}"#,
+        ]
+        .join("\n")
+    }
+
+    fn sample_bench() -> BenchReport {
+        BenchReport {
+            workload: "w".into(),
+            seed: 1,
+            scale: 0.05,
+            threads: 2,
+            git: "abc".into(),
+            wall_time_s: 10.0,
+            top_span_total_s: 9.5,
+            spans: vec![BenchSpan {
+                name: "automl.search.run".into(),
+                calls: 4,
+                total_s: 2.0,
+                mean_ms: 500.0,
+                max_ms: 900.0,
+            }],
+            counters: vec![("telemetry.events_dropped".into(), 2)],
+            throughput: vec![],
+            histograms: vec![BenchHist {
+                name: "automl.fit_us[forest]".into(),
+                count: 4,
+                mean: 1500,
+                p50: 1400,
+                p95: 2000,
+                max: 2100,
+            }],
+            alloc: Some(BenchAlloc {
+                bytes: 4 << 20,
+                count: 1000,
+                peak_bytes: 1 << 20,
+            }),
+        }
+    }
+
+    #[test]
+    fn parses_every_event_type_and_skips_unknown_ones() {
+        let l = parse_ledger(&sample_ledger_text()).unwrap();
+        assert_eq!(l.run_id, "w-s1-p2");
+        assert_eq!(l.workload, "w");
+        assert_eq!(l.seed, 1);
+        assert_eq!(l.started, 2);
+        assert_eq!(l.finished.len(), 2);
+        assert_eq!(l.finished[0].family, "forest");
+        assert!((l.finished[0].score - 0.91).abs() < 1e-12);
+        assert!(l.finished[1].score.is_nan(), "null score reads as NaN");
+        assert_eq!(l.failed, vec![(1, 0, "logreg".into())]);
+        assert_eq!(l.ensembles.len(), 1);
+        assert_eq!(l.ensembles[0].members[0].1, "forest");
+        assert_eq!(l.rounds.len(), 3);
+        assert_eq!(l.rounds[2].strategy, "Random");
+        assert_eq!(l.bands.len(), 1);
+        assert_eq!(l.bands[0].intervals, vec![(0.2, 0.4), (0.7, 0.9)]);
+        assert_eq!(l.curves.len(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_headers_and_versions() {
+        assert!(parse_ledger("").is_err());
+        assert!(parse_ledger("{\"type\":\"events\"}").is_err());
+        let bumped = sample_ledger_text().replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = parse_ledger(&bumped).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+        // A malformed event line reports its line number.
+        let err = parse_ledger(
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}\n{oops",
+        )
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn report_is_self_contained_and_has_all_sections() {
+        let l = parse_ledger(&sample_ledger_text()).unwrap();
+        let html = render_html(&[l], &[sample_bench()], "test report");
+        // Single file, no external references of any kind.
+        assert!(!html.contains("http"), "external reference in report");
+        assert!(!html.contains("<script"), "no scripts allowed");
+        assert!(html.len() < 2 * 1024 * 1024, "report too large");
+        // All six sections render.
+        for heading in [
+            "Runs",
+            "Search",
+            "Ensembles",
+            "Feedback rounds",
+            "ALE bands",
+            "Perf",
+        ] {
+            assert!(html.contains(heading), "missing section {heading}");
+        }
+        // Charts are inline SVG, and open/close tags balance.
+        assert!(html.contains("<svg"), "no charts rendered");
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert_eq!(
+            html.matches("<table").count(),
+            html.matches("</table>").count()
+        );
+        // Data from every section shows up.
+        assert!(html.contains("forest"));
+        assert!(html.contains("Within-ALE"));
+        assert!(html.contains("pkt_size"));
+        assert!(html.contains("automl.search.run"));
+        // The dropped-events counter from BENCH surfaces in Perf.
+        assert!(html.contains("events dropped"));
+    }
+
+    #[test]
+    fn empty_inputs_still_render_a_valid_page() {
+        let html = render_html(&[], &[], "empty");
+        assert!(html.contains("No ledgers given"));
+        assert!(html.contains("No BENCH records given"));
+        assert!(html.contains("</html>"));
+        assert!(!html.contains("http"));
+    }
+
+    #[test]
+    fn family_fit_time_joins_from_bench_histograms() {
+        let b = sample_bench();
+        let ms = family_fit_ms(&[b], "forest").unwrap();
+        assert!((ms - 1.5).abs() < 1e-9, "{ms}");
+        assert!(family_fit_ms(&[sample_bench()], "mlp").is_none());
+    }
+}

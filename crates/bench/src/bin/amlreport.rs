@@ -1,0 +1,119 @@
+//! `amlreport` — aggregate experiment ledgers and BENCH perf records
+//! into one self-contained HTML report (see [`aml_bench::amlreport`]).
+//!
+//! Inputs are classified by file name: `BENCH_*.json` files are perf
+//! records, everything else is parsed as a `ledger.jsonl`. The CI
+//! perfgate job runs this over the gate trio's exports and uploads the
+//! HTML as a build artifact.
+//!
+//! Exit codes: 0 ok, 1 input failed to parse, 2 usage error.
+
+use aml_bench::amlreport::{parse_ledger, render_html, LedgerData};
+use aml_bench::report::BenchReport;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+amlreport — render ledgers + BENCH records into one self-contained HTML page
+
+usage:
+  amlreport [--out PATH] [--title TITLE] INPUT...
+
+  INPUT                   ledger.jsonl files and/or BENCH_<workload>.json
+                          files (classified by file name)
+  --out PATH              output HTML path (default amlreport.html)
+  --title TITLE           report title (default 'AutoML run report')
+
+exit codes: 0 ok, 1 an input failed to parse, 2 usage error";
+
+struct Opts {
+    out: PathBuf,
+    title: String,
+    inputs: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        out: PathBuf::from("amlreport.html"),
+        title: "AutoML run report".into(),
+        inputs: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => opts.out = PathBuf::from(value(args, &mut i, "--out")?),
+            "--title" => opts.title = value(args, &mut i, "--title")?.to_string(),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => opts.inputs.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if opts.inputs.is_empty() {
+        return Err("expected at least one input file".into());
+    }
+    Ok(opts)
+}
+
+fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+fn is_bench_record(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut ledgers: Vec<LedgerData> = Vec::new();
+    let mut benches: Vec<BenchReport> = Vec::new();
+    let mut failed = false;
+    for path in &opts.inputs {
+        let result: Result<(), String> = if is_bench_record(path) {
+            BenchReport::load(path).map(|b| benches.push(b))
+        } else {
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+                .and_then(|text| {
+                    parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display()))
+                })
+                .map(|l| ledgers.push(l))
+        };
+        if let Err(msg) = result {
+            eprintln!("error: {msg}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    let html = render_html(&ledgers, &benches, &opts.title);
+    if let Err(e) = std::fs::write(&opts.out, &html) {
+        eprintln!("error: cannot write {}: {e}", opts.out.display());
+        std::process::exit(1);
+    }
+    println!(
+        "amlreport: wrote {} ({} ledgers, {} BENCH records, {} bytes)",
+        opts.out.display(),
+        ledgers.len(),
+        benches.len(),
+        html.len()
+    );
+}

@@ -228,8 +228,9 @@ fn run_workloads(opts: RunPlanOpts) -> i32 {
 
 /// Run one workload `opts.repeats` times, median-aggregate the reports,
 /// and write `BENCH_<workload>.json` into the output directory. The
-/// first repeat also exports `trace.json` / `events.jsonl` for the
-/// workload so every gate run doubles as a profiling artifact.
+/// first repeat also exports `trace.json` / `events.jsonl` /
+/// `ledger.jsonl` for the workload so every gate run doubles as a
+/// profiling artifact (and feeds `amlreport`).
 fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Result<PathBuf, String> {
     let bin = bin_dir.join(workload);
     if !bin.is_file() {
@@ -259,6 +260,10 @@ fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Resul
             .args([
                 "--events-out".as_ref(),
                 work_dir.join("events.jsonl").as_os_str(),
+            ])
+            .args([
+                "--ledger-out".as_ref(),
+                work_dir.join("ledger.jsonl").as_os_str(),
             ]);
         }
         eprintln!("perfgate: {workload} rep {}/{} …", rep + 1, opts.repeats);

@@ -27,6 +27,7 @@
 //! `--telemetry summary|verbose`, which also writes
 //! `<out>/manifest.json` with every span/counter/histogram of the run.
 
+pub mod amlreport;
 pub mod gate;
 pub mod minijson;
 pub mod report;
@@ -80,6 +81,9 @@ pub struct RunOpts {
     pub trace_out: Option<PathBuf>,
     /// Stream telemetry as JSON lines here.
     pub events_out: Option<PathBuf>,
+    /// Stream the experiment ledger (trials, ensembles, rounds, regions)
+    /// as JSON lines here.
+    pub ledger_out: Option<PathBuf>,
     /// Workload name (set by [`RunOpts::parse_for`]); names the manifest,
     /// the BENCH report, and the export sinks' run id.
     pub workload: String,
@@ -99,6 +103,8 @@ options:
   --emit-bench            write BENCH_<workload>.json into the out dir
   --trace-out PATH        write a Chrome trace (Perfetto) file
   --events-out PATH       stream telemetry as JSON lines
+  --ledger-out PATH       stream the experiment ledger (trials, ensembles,
+                          feedback rounds) as JSON lines; see `amlreport`
                           (export flags imply --telemetry summary)
   --help                  show this help";
 
@@ -115,6 +121,7 @@ impl RunOpts {
             emit_bench: false,
             trace_out: None,
             events_out: None,
+            ledger_out: None,
             workload: "bench".to_string(),
             started: Instant::now(),
         }
@@ -153,7 +160,10 @@ impl RunOpts {
     /// requested sinks. Separated from parsing so tests can exercise the
     /// filesystem failures without exiting.
     pub fn prepare(&mut self) -> Result<(), String> {
-        let wants_export = self.emit_bench || self.trace_out.is_some() || self.events_out.is_some();
+        let wants_export = self.emit_bench
+            || self.trace_out.is_some()
+            || self.events_out.is_some()
+            || self.ledger_out.is_some();
         if wants_export && self.telemetry == TelemetryLevel::Off {
             self.telemetry = TelemetryLevel::Summary;
         }
@@ -161,7 +171,7 @@ impl RunOpts {
         std::fs::create_dir_all(&self.out_dir)
             .map_err(|e| format!("cannot create --out {}: {e}", self.out_dir.display()))?;
 
-        if self.trace_out.is_some() || self.events_out.is_some() {
+        if self.trace_out.is_some() || self.events_out.is_some() || self.ledger_out.is_some() {
             let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
             if let Some(path) = &self.events_out {
                 ensure_parent(path, "--events-out")?;
@@ -173,6 +183,12 @@ impl RunOpts {
                 ensure_parent(path, "--trace-out")?;
                 let sink = aml_telemetry::ChromeTraceSink::create(path, &header)
                     .map_err(|e| format!("cannot write --trace-out {}: {e}", path.display()))?;
+                aml_telemetry::sink::install(Box::new(sink));
+            }
+            if let Some(path) = &self.ledger_out {
+                ensure_parent(path, "--ledger-out")?;
+                let sink = aml_telemetry::LedgerJsonlSink::create(path, &header)
+                    .map_err(|e| format!("cannot write --ledger-out {}: {e}", path.display()))?;
                 aml_telemetry::sink::install(Box::new(sink));
             }
         }
@@ -222,6 +238,10 @@ impl RunOpts {
                 "--events-out" => {
                     let v = value_of(args, &mut i, "--events-out")?;
                     opts.events_out = Some(PathBuf::from(v));
+                }
+                "--ledger-out" => {
+                    let v = value_of(args, &mut i, "--ledger-out")?;
+                    opts.ledger_out = Some(PathBuf::from(v));
                 }
                 unknown => return Err(format!("unknown flag '{unknown}'")),
             }
@@ -411,12 +431,15 @@ mod tests {
             "/tmp/x/trace.json",
             "--events-out",
             "/tmp/x/events.jsonl",
+            "--ledger-out",
+            "/tmp/x/ledger.jsonl",
         ])
         .unwrap()
         .unwrap();
         assert!(opts.emit_bench);
         assert_eq!(opts.trace_out, Some(PathBuf::from("/tmp/x/trace.json")));
         assert_eq!(opts.events_out, Some(PathBuf::from("/tmp/x/events.jsonl")));
+        assert_eq!(opts.ledger_out, Some(PathBuf::from("/tmp/x/ledger.jsonl")));
         // Parsing alone never touches the level; prepare() does.
         assert_eq!(opts.telemetry, TelemetryLevel::Off);
     }
@@ -429,15 +452,18 @@ mod tests {
         opts.out_dir = dir.join("out");
         opts.trace_out = Some(dir.join("nested/deeply/trace.json"));
         opts.events_out = Some(dir.join("nested/events.jsonl"));
+        opts.ledger_out = Some(dir.join("nested/ledger.jsonl"));
         opts.prepare().expect("prepare succeeds");
         // Export flags imply summary.
         assert_eq!(opts.telemetry, TelemetryLevel::Summary);
         assert!(opts.out_dir.is_dir());
-        // Parent dirs were created and both files exist (truncated now,
+        // Parent dirs were created and the files exist (truncated now,
         // written at finish).
         assert!(dir.join("nested/deeply/trace.json").exists());
         assert!(dir.join("nested/events.jsonl").exists());
+        assert!(dir.join("nested/ledger.jsonl").exists());
         assert!(aml_telemetry::sink::active());
+        assert!(aml_telemetry::ledger::active());
         // Drain the installed sinks so other tests see a clean slate.
         for (_, result) in aml_telemetry::sink::finish(&aml_telemetry::global().snapshot()) {
             result.unwrap();

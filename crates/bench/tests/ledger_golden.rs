@@ -1,0 +1,224 @@
+//! Golden test for the experiment-ledger line shapes.
+//!
+//! Every [`LedgerEvent`] variant's JSON line is pinned byte-for-byte,
+//! along with the schema version and the file header. If any assertion
+//! here changes, `LEDGER_SCHEMA_VERSION` must be bumped and downstream
+//! consumers (`amlreport`, external tooling reading `ledger.jsonl`)
+//! revisited — adding a *new* event type or a trailing field is the only
+//! change that may land without a bump.
+
+use aml_bench::amlreport;
+use aml_telemetry::sink::RunHeader;
+use aml_telemetry::{
+    EnsembleMember, LedgerEvent, LedgerJsonlSink, Sink, Snapshot, LEDGER_SCHEMA_VERSION,
+};
+
+#[test]
+fn schema_version_is_pinned() {
+    assert_eq!(
+        LEDGER_SCHEMA_VERSION, 1,
+        "bumping the ledger schema version requires updating this golden test \
+         and the amlreport parser together"
+    );
+}
+
+#[test]
+fn every_event_line_shape_is_pinned() {
+    let cases: Vec<(LedgerEvent, &str)> = vec![
+        (
+            LedgerEvent::TrialStarted {
+                trial: 4,
+                rung: 1,
+                family: "forest".into(),
+                config: "ForestConfig { trees: 8 }".into(),
+            },
+            r#"{"type":"trial_started","trial":4,"rung":1,"family":"forest","config":"ForestConfig { trees: 8 }"}"#,
+        ),
+        (
+            LedgerEvent::TrialFinished {
+                trial: 4,
+                rung: 1,
+                family: "forest".into(),
+                score: 0.875,
+            },
+            r#"{"type":"trial_finished","trial":4,"rung":1,"family":"forest","score":0.875}"#,
+        ),
+        (
+            LedgerEvent::TrialFailed {
+                trial: 9,
+                rung: 0,
+                family: "mlp".into(),
+            },
+            r#"{"type":"trial_failed","trial":9,"rung":0,"family":"mlp"}"#,
+        ),
+        (
+            LedgerEvent::EnsembleSelected {
+                val_score: 0.9375,
+                members: vec![
+                    EnsembleMember {
+                        trial: 4,
+                        family: "forest".into(),
+                        weight: 3.0,
+                        score: 0.875,
+                    },
+                    EnsembleMember {
+                        trial: 7,
+                        family: "logreg".into(),
+                        weight: 1.0,
+                        score: 0.75,
+                    },
+                ],
+            },
+            r#"{"type":"ensemble_selected","val_score":0.9375,"members":[{"trial":4,"family":"forest","weight":3,"score":0.875},{"trial":7,"family":"logreg","weight":1,"score":0.75}]}"#,
+        ),
+        (
+            LedgerEvent::RoundCompleted {
+                round: 2,
+                strategy: "Within-ALE".into(),
+                acc_mean: 0.8125,
+                acc_min: 0.75,
+                acc_max: 0.875,
+                points_added: 40,
+                regions: 3,
+                ale_std_mean: 0.0625,
+                ale_std_max: 0.125,
+            },
+            r#"{"type":"round_completed","round":2,"strategy":"Within-ALE","acc_mean":0.8125,"acc_min":0.75,"acc_max":0.875,"points_added":40,"regions":3,"ale_std_mean":0.0625,"ale_std_max":0.125}"#,
+        ),
+        (
+            LedgerEvent::RegionSuggested {
+                feature: 0,
+                name: "pkt_size".into(),
+                threshold: 0.0625,
+                intervals: vec![(0.25, 0.5), (0.75, 1.0)],
+                grid: vec![0.0, 0.5, 1.0],
+                mean: vec![0.125, 0.25, 0.125],
+                std: vec![0.03125, 0.0625, 0.03125],
+            },
+            r#"{"type":"region_suggested","feature":0,"name":"pkt_size","threshold":0.0625,"intervals":[[0.25,0.5],[0.75,1]],"grid":[0,0.5,1],"mean":[0.125,0.25,0.125],"std":[0.03125,0.0625,0.03125]}"#,
+        ),
+        (
+            LedgerEvent::AleCurveComputed {
+                feature: 1,
+                model: "forest".into(),
+                method: "ale".into(),
+                grid_points: 16,
+                rows: 400,
+            },
+            r#"{"type":"ale_curve","feature":1,"model":"forest","method":"ale","grid_points":16,"rows":400}"#,
+        ),
+    ];
+    for (event, golden) in &cases {
+        assert_eq!(&event.to_json_line(), golden, "line shape drifted");
+    }
+    // Non-finite floats are encoded as null, never NaN/inf tokens.
+    let line = LedgerEvent::TrialFinished {
+        trial: 0,
+        rung: 0,
+        family: "mlp".into(),
+        score: f64::INFINITY,
+    }
+    .to_json_line();
+    assert_eq!(
+        line,
+        r#"{"type":"trial_finished","trial":0,"rung":0,"family":"mlp","score":null}"#
+    );
+}
+
+/// The full file round trip: header + every variant through the sink,
+/// back through the `amlreport` parser.
+#[test]
+fn ledger_file_round_trips_through_amlreport_parser() {
+    let dir = std::env::temp_dir().join(format!("aml_ledger_golden_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ledger.jsonl");
+    let header = RunHeader {
+        run_id: "table1_scream-s11-p2".into(),
+        workload: "table1_scream".into(),
+        seed: 11,
+        git: "abc1234".into(),
+    };
+    let sink = LedgerJsonlSink::create(&path, &header).unwrap();
+    sink.on_ledger_event(&LedgerEvent::TrialStarted {
+        trial: 0,
+        rung: 0,
+        family: "forest".into(),
+        config: "ForestConfig { trees: 8 }".into(),
+    });
+    sink.on_ledger_event(&LedgerEvent::TrialFinished {
+        trial: 0,
+        rung: 0,
+        family: "forest".into(),
+        score: 0.875,
+    });
+    sink.on_ledger_event(&LedgerEvent::TrialFailed {
+        trial: 1,
+        rung: 0,
+        family: "mlp".into(),
+    });
+    sink.on_ledger_event(&LedgerEvent::EnsembleSelected {
+        val_score: 0.9375,
+        members: vec![EnsembleMember {
+            trial: 0,
+            family: "forest".into(),
+            weight: 2.0,
+            score: 0.875,
+        }],
+    });
+    sink.on_ledger_event(&LedgerEvent::RoundCompleted {
+        round: 0,
+        strategy: "Random".into(),
+        acc_mean: 0.75,
+        acc_min: 0.5,
+        acc_max: 1.0,
+        points_added: 40,
+        regions: 0,
+        ale_std_mean: 0.0,
+        ale_std_max: 0.0,
+    });
+    sink.on_ledger_event(&LedgerEvent::RegionSuggested {
+        feature: 2,
+        name: "ttl".into(),
+        threshold: 0.125,
+        intervals: vec![(0.5, 0.75)],
+        grid: vec![0.0, 0.5, 1.0],
+        mean: vec![0.25, 0.5, 0.25],
+        std: vec![0.0625, 0.25, 0.0625],
+    });
+    sink.on_ledger_event(&LedgerEvent::AleCurveComputed {
+        feature: 2,
+        model: "forest".into(),
+        method: "pdp".into(),
+        grid_points: 3,
+        rows: 100,
+    });
+    sink.finish(&Snapshot::default()).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    // Pin the header shape too.
+    assert!(
+        text.starts_with(
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"table1_scream-s11-p2\",\
+             \"workload\":\"table1_scream\",\"seed\":11,\"git\":\"abc1234\"}\n"
+        ),
+        "header drifted: {}",
+        text.lines().next().unwrap_or_default()
+    );
+
+    let parsed = amlreport::parse_ledger(&text).unwrap();
+    assert_eq!(parsed.run_id, "table1_scream-s11-p2");
+    assert_eq!(parsed.workload, "table1_scream");
+    assert_eq!(parsed.seed, 11);
+    assert_eq!(parsed.git, "abc1234");
+    assert_eq!(parsed.started, 1);
+    assert_eq!(parsed.finished.len(), 1);
+    assert_eq!(parsed.failed.len(), 1);
+    assert_eq!(parsed.ensembles.len(), 1);
+    assert_eq!(parsed.rounds.len(), 1);
+    assert_eq!(parsed.bands.len(), 1);
+    assert_eq!(parsed.bands[0].intervals, vec![(0.5, 0.75)]);
+    assert_eq!(parsed.curves.len(), 1);
+    assert_eq!(parsed.curves[0].2, "pdp");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -371,6 +371,21 @@ impl AleFeedback {
         data: &Dataset,
     ) -> Result<(AleAnalysis, Feedback)> {
         let analysis = self.analyze(runs, data)?;
+        // Ledger: one region_suggested per feature, carrying the band the
+        // intervals were derived from so reports can redraw the plot.
+        if aml_telemetry::ledger::active() {
+            for (band, region) in analysis.bands.iter().zip(&analysis.regions) {
+                aml_telemetry::ledger::emit(&aml_telemetry::LedgerEvent::RegionSuggested {
+                    feature: band.feature as u64,
+                    name: band.feature_name.clone(),
+                    threshold: region.threshold,
+                    intervals: region.intervals.iter().map(|iv| (iv.lo, iv.hi)).collect(),
+                    grid: band.grid.clone(),
+                    mean: band.mean.clone(),
+                    std: band.std.clone(),
+                });
+            }
+        }
         let mode = match self.mode {
             AleMode::Within => "Within-ALE",
             AleMode::Cross => "Cross-ALE",

@@ -15,7 +15,7 @@
 
 use crate::ale_feedback::{AleFeedback, AleMode};
 use crate::confidence::confidence_select;
-use crate::feedback::{Feedback, Labeler};
+use crate::feedback::{Feedback, Labeler, Suggestion};
 use crate::qbc::qbc_select;
 use crate::uncertainty::{entropy_select, margin_select};
 use crate::uniform::uniform_sample;
@@ -323,6 +323,49 @@ pub fn run_strategy(
             })
             .collect::<Result<Vec<f64>>>()?
     };
+
+    // Ledger: one round_completed summarizing this strategy application.
+    aml_telemetry::ledger::emit_with(|| {
+        let acc_mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let acc_min = scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let acc_max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (regions, ale_std_mean, ale_std_max) = match &feedback {
+            Some(fb) => {
+                let regions = match &fb.suggestion {
+                    Suggestion::Regions(rs) => {
+                        rs.iter().map(|r| r.intervals.len()).sum::<usize>() as u64
+                    }
+                    _ => 0,
+                };
+                let stds: Vec<f64> = fb
+                    .explanations
+                    .iter()
+                    .flat_map(|b| b.std.iter().copied())
+                    .collect();
+                if stds.is_empty() {
+                    (regions, 0.0, 0.0)
+                } else {
+                    (
+                        regions,
+                        stds.iter().sum::<f64>() / stds.len() as f64,
+                        stds.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                    )
+                }
+            }
+            None => (0, 0.0, 0.0),
+        };
+        aml_telemetry::LedgerEvent::RoundCompleted {
+            round: aml_telemetry::ledger::next_round(),
+            strategy: strategy.name().to_string(),
+            acc_mean,
+            acc_min,
+            acc_max,
+            points_added: n_points_added as u64,
+            regions,
+            ale_std_mean,
+            ale_std_max,
+        }
+    });
 
     Ok(StrategyOutcome {
         strategy,

@@ -52,9 +52,10 @@ pub fn from_csv_string(text: &str) -> Result<Dataset> {
     let header = lines.next().ok_or(DataError::Parse("empty file".into()))?;
     let cols: Vec<&str> = header.split(',').collect();
     if cols.last() != Some(&"label") {
-        return Err(DataError::Parse(
-            "last header column must be `label`".into(),
-        ));
+        return Err(DataError::Csv {
+            line: 1,
+            message: "last header column must be `label`".into(),
+        });
     }
     let feat_names: Vec<String> = cols[..cols.len() - 1]
         .iter()
@@ -71,19 +72,17 @@ pub fn from_csv_string(text: &str) -> Result<Dataset> {
         }
         let parts: Vec<&str> = line.split(',').collect();
         if parts.len() != n_features + 1 {
-            return Err(DataError::Parse(format!(
-                "line {}: expected {} columns, got {}",
-                lineno + 2,
-                n_features + 1,
-                parts.len()
-            )));
+            return Err(DataError::Csv {
+                line: lineno + 2,
+                message: format!("expected {} columns, got {}", n_features + 1, parts.len()),
+            });
         }
         let mut row = Vec::with_capacity(n_features);
-        for p in &parts[..n_features] {
-            row.push(
-                p.parse::<f64>()
-                    .map_err(|e| DataError::Parse(format!("line {}: {e}", lineno + 2)))?,
-            );
+        for (col, p) in parts[..n_features].iter().enumerate() {
+            row.push(p.parse::<f64>().map_err(|e| DataError::Csv {
+                line: lineno + 2,
+                message: format!("column {} ('{p}'): {e}", col + 1),
+            })?);
         }
         let label_name = parts[n_features].to_string();
         let label = match label_names.iter().position(|l| l == &label_name) {
@@ -166,20 +165,48 @@ mod tests {
     fn rejects_missing_label_header() {
         assert!(matches!(
             from_csv_string("a,b\n1,2\n"),
-            Err(DataError::Parse(_))
+            Err(DataError::Csv { line: 1, .. })
         ));
     }
 
     #[test]
-    fn rejects_ragged_rows() {
-        let e = from_csv_string("a,label\n1.0,x\n1.0,2.0,x\n");
-        assert!(matches!(e, Err(DataError::Parse(_))));
+    fn ragged_row_reports_its_line_number() {
+        // The ragged row is the 3rd line of the file (header + 2 rows).
+        let e = from_csv_string("a,label\n1.0,x\n1.0,2.0,x\n").unwrap_err();
+        match &e {
+            DataError::Csv { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("expected 2 columns, got 3"), "{message}");
+            }
+            other => panic!("expected DataError::Csv, got {other:?}"),
+        }
+        assert_eq!(
+            e.to_string(),
+            "CSV parse error at line 3: expected 2 columns, got 3"
+        );
     }
 
     #[test]
-    fn rejects_unparseable_number() {
-        let e = from_csv_string("a,label\nfoo,x\n");
-        assert!(matches!(e, Err(DataError::Parse(_))));
+    fn unparseable_number_reports_line_and_column() {
+        let e = from_csv_string("a,b,label\n1.0,2.0,x\n1.0,foo,x\n").unwrap_err();
+        match &e {
+            DataError::Csv { line, message } => {
+                assert_eq!(*line, 3);
+                assert!(message.contains("column 2"), "{message}");
+                assert!(message.contains("'foo'"), "{message}");
+            }
+            other => panic!("expected DataError::Csv, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_do_not_shift_reported_line_numbers() {
+        // Line 4 is the bad one; line 3 is blank and skipped.
+        let e = from_csv_string("a,label\n1.0,x\n\nbad,x\n").unwrap_err();
+        assert!(
+            matches!(e, DataError::Csv { line: 4, .. }),
+            "got {e:?} instead of a line-4 error"
+        );
     }
 
     #[test]

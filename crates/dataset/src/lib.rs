@@ -58,8 +58,18 @@ pub enum DataError {
         /// Declared class count.
         n_classes: usize,
     },
-    /// CSV parsing failed.
+    /// CSV parsing failed before any row was read (empty input, bad
+    /// header shape). Row-level failures use [`DataError::Csv`].
     Parse(String),
+    /// CSV parsing failed at a specific line. `line` is 1-based and
+    /// counts the header, so it matches what an editor or `sed -n`
+    /// shows for the offending row.
+    Csv {
+        /// 1-based line number in the input text.
+        line: usize,
+        /// What went wrong on that line.
+        message: String,
+    },
     /// Underlying I/O failure (file read/write).
     Io(String),
     /// A feature value was NaN or infinite.
@@ -90,6 +100,9 @@ impl std::fmt::Display for DataError {
                 write!(f, "label {label} >= n_classes {n_classes}")
             }
             DataError::Parse(m) => write!(f, "CSV parse error: {m}"),
+            DataError::Csv { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
             DataError::Io(m) => write!(f, "I/O error: {m}"),
             DataError::NonFinite => write!(f, "feature value is NaN or infinite"),
             DataError::InsufficientClassCount { class, have, need } => {

@@ -99,6 +99,13 @@ pub fn ale_curve(
     }
 
     let _span = aml_telemetry::span!("interpret.ale.curve");
+    aml_telemetry::ledger::emit_with(|| aml_telemetry::LedgerEvent::AleCurveComputed {
+        feature: feature as u64,
+        model: model.name().to_string(),
+        method: "ale".to_string(),
+        grid_points: grid.points().len() as u64,
+        rows: data.n_rows() as u64,
+    });
     let k = grid.n_intervals();
     aml_telemetry::counter_add("interpret.ale.cells", k as u64);
     aml_telemetry::counter_add("interpret.ale.predictions", 2 * data.n_rows() as u64);

@@ -69,6 +69,13 @@ pub fn pdp_curve(
     config: &AleConfig,
 ) -> Result<PdpCurve> {
     validate(model, data, feature, config)?;
+    aml_telemetry::ledger::emit_with(|| aml_telemetry::LedgerEvent::AleCurveComputed {
+        feature: feature as u64,
+        model: model.name().to_string(),
+        method: "pdp".to_string(),
+        grid_points: grid.points().len() as u64,
+        rows: data.n_rows() as u64,
+    });
     let mut values = Vec::with_capacity(grid.points().len());
     let mut row_buf = vec![0.0; data.n_features()];
     for &z in grid.points() {

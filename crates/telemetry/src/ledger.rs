@@ -1,0 +1,478 @@
+//! Experiment ledger: typed, versioned ML-level events of a run.
+//!
+//! Spans and counters (PRs 1–2) describe the *system* — where time and
+//! allocations go. The ledger describes the *experiment*: which candidate
+//! configurations the search tried and at which halving rung they were
+//! eliminated, what the final ensemble is composed of, how accuracy /
+//! label budget / suggested regions evolved across feedback rounds, and
+//! the provenance of every ALE curve. One [`LedgerEvent`] per fact,
+//! serialized as one JSON line with a fixed field order
+//! ([`LedgerEvent::to_json_line`]).
+//!
+//! ## Determinism
+//!
+//! Ledger events carry **no wall-clock or thread identity** — timing
+//! lives in spans and histograms. Trial ids are the sequential sampling
+//! indices assigned before any parallel work starts, so the multiset of
+//! ledger lines is identical whether the search runs on 1 or N threads;
+//! sorting the lines yields byte-identical content. The determinism test
+//! in `aml-automl` relies on this, which makes the ledger double as a
+//! correctness oracle for the parallel search.
+//!
+//! ## Off-is-free
+//!
+//! Emission is gated on a dedicated atomic ([`active`]) that is only set
+//! when a ledger-consuming sink is installed. [`emit_with`] takes a
+//! closure so argument construction (config debug strings, band copies)
+//! is skipped entirely when no ledger sink is listening.
+//!
+//! ## Versioning
+//!
+//! [`LEDGER_SCHEMA_VERSION`] is stamped into the ledger file header and
+//! bumped on any breaking change to a line shape (field rename/removal,
+//! semantic change). Adding a new event type or a new trailing field is
+//! backward compatible and does not bump the version. The golden test in
+//! `aml-bench` pins every line shape.
+
+use crate::registry::Snapshot;
+use crate::sink::{json_str, RunHeader, Sink, SpanEvent};
+use std::fmt::Write as _;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Version of the ledger line shapes; stamped into the file header and
+/// pinned by the `ledger_golden` test. Bump on breaking changes only.
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// One member of a selected ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleMember {
+    /// Trial id of the leaderboard candidate (joins with `trial_*` lines).
+    pub trial: u64,
+    /// Model family name (`forest`, `logreg`, …).
+    pub family: String,
+    /// Ensemble weight (greedy-selection pick count).
+    pub weight: f64,
+    /// Validation score of the member on the inner split.
+    pub score: f64,
+}
+
+/// One ML-level fact about the run. See the module docs for the
+/// determinism contract (no wall time, no thread ids).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LedgerEvent {
+    /// A candidate configuration enters training at a halving rung.
+    TrialStarted {
+        /// Stable trial id: the sequential sampling index of the config.
+        trial: u64,
+        /// Successive-halving rung (0 = first, smallest data fraction).
+        rung: u64,
+        /// Model family name.
+        family: String,
+        /// Human-readable hyperparameter dump of the configuration.
+        config: String,
+    },
+    /// A candidate finished training and was scored on the rung's
+    /// validation data.
+    TrialFinished {
+        /// Stable trial id (matches the `TrialStarted` line).
+        trial: u64,
+        /// Successive-halving rung.
+        rung: u64,
+        /// Model family name.
+        family: String,
+        /// Validation accuracy at this rung.
+        score: f64,
+    },
+    /// A candidate failed to train (degenerate subsample, solver error).
+    TrialFailed {
+        /// Stable trial id.
+        trial: u64,
+        /// Successive-halving rung.
+        rung: u64,
+        /// Model family name.
+        family: String,
+    },
+    /// The greedy ensemble selection committed to its final members.
+    EnsembleSelected {
+        /// Ensemble validation score on the inner split.
+        val_score: f64,
+        /// The selected members with their weights.
+        members: Vec<EnsembleMember>,
+    },
+    /// One feedback round (strategy application) completed.
+    RoundCompleted {
+        /// Process-wide round sequence number (see [`next_round`]).
+        round: u64,
+        /// Strategy name (`Within-ALE`, `Random`, …).
+        strategy: String,
+        /// Mean accuracy across the round's test sets.
+        acc_mean: f64,
+        /// Minimum accuracy across the round's test sets.
+        acc_min: f64,
+        /// Maximum accuracy across the round's test sets.
+        acc_max: f64,
+        /// Labeled points added to the training set this round.
+        points_added: u64,
+        /// Number of suggested half-space intervals this round.
+        regions: u64,
+        /// Mean ALE cross-model std over all grid cells (0 if no ALE).
+        ale_std_mean: f64,
+        /// Max ALE cross-model std over all grid cells (0 if no ALE).
+        ale_std_max: f64,
+    },
+    /// The feedback loop suggested under-explored regions for a feature,
+    /// with the ALE mean±std band they were derived from.
+    RegionSuggested {
+        /// Feature index.
+        feature: u64,
+        /// Feature name.
+        name: String,
+        /// Std threshold above which a cell counts as uncertain.
+        threshold: f64,
+        /// Suggested `[lo, hi]` intervals in feature units.
+        intervals: Vec<(f64, f64)>,
+        /// ALE grid cell centers.
+        grid: Vec<f64>,
+        /// Cross-model mean ALE value per cell.
+        mean: Vec<f64>,
+        /// Cross-model std of the ALE value per cell.
+        std: Vec<f64>,
+    },
+    /// Provenance of one computed interpretability curve.
+    AleCurveComputed {
+        /// Feature index the curve explains.
+        feature: u64,
+        /// Name of the explained model.
+        model: String,
+        /// Curve method (`ale` or `pdp`).
+        method: String,
+        /// Number of grid points.
+        grid_points: u64,
+        /// Number of data rows the curve was computed over.
+        rows: u64,
+    },
+}
+
+/// Format an `f64` for the ledger: shortest round-trip representation
+/// (`Display`), which is deterministic across platforms; non-finite
+/// values become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_f64_array(vs: &[f64]) -> String {
+    let mut out = String::with_capacity(2 + vs.len() * 8);
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_f64(*v));
+    }
+    out.push(']');
+    out
+}
+
+impl LedgerEvent {
+    /// Serialize as one JSON line (no trailing newline) with fixed field
+    /// order. Pinned by the `ledger_golden` test in `aml-bench`.
+    pub fn to_json_line(&self) -> String {
+        match self {
+            LedgerEvent::TrialStarted {
+                trial,
+                rung,
+                family,
+                config,
+            } => format!(
+                "{{\"type\":\"trial_started\",\"trial\":{trial},\"rung\":{rung},\"family\":{},\"config\":{}}}",
+                json_str(family),
+                json_str(config),
+            ),
+            LedgerEvent::TrialFinished {
+                trial,
+                rung,
+                family,
+                score,
+            } => format!(
+                "{{\"type\":\"trial_finished\",\"trial\":{trial},\"rung\":{rung},\"family\":{},\"score\":{}}}",
+                json_str(family),
+                json_f64(*score),
+            ),
+            LedgerEvent::TrialFailed {
+                trial,
+                rung,
+                family,
+            } => format!(
+                "{{\"type\":\"trial_failed\",\"trial\":{trial},\"rung\":{rung},\"family\":{}}}",
+                json_str(family),
+            ),
+            LedgerEvent::EnsembleSelected { val_score, members } => {
+                let mut out = format!(
+                    "{{\"type\":\"ensemble_selected\",\"val_score\":{},\"members\":[",
+                    json_f64(*val_score)
+                );
+                for (i, m) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"trial\":{},\"family\":{},\"weight\":{},\"score\":{}}}",
+                        m.trial,
+                        json_str(&m.family),
+                        json_f64(m.weight),
+                        json_f64(m.score),
+                    );
+                }
+                out.push_str("]}");
+                out
+            }
+            LedgerEvent::RoundCompleted {
+                round,
+                strategy,
+                acc_mean,
+                acc_min,
+                acc_max,
+                points_added,
+                regions,
+                ale_std_mean,
+                ale_std_max,
+            } => format!(
+                "{{\"type\":\"round_completed\",\"round\":{round},\"strategy\":{},\"acc_mean\":{},\"acc_min\":{},\"acc_max\":{},\"points_added\":{points_added},\"regions\":{regions},\"ale_std_mean\":{},\"ale_std_max\":{}}}",
+                json_str(strategy),
+                json_f64(*acc_mean),
+                json_f64(*acc_min),
+                json_f64(*acc_max),
+                json_f64(*ale_std_mean),
+                json_f64(*ale_std_max),
+            ),
+            LedgerEvent::RegionSuggested {
+                feature,
+                name,
+                threshold,
+                intervals,
+                grid,
+                mean,
+                std,
+            } => {
+                let mut ivals = String::from("[");
+                for (i, (lo, hi)) in intervals.iter().enumerate() {
+                    if i > 0 {
+                        ivals.push(',');
+                    }
+                    let _ = write!(ivals, "[{},{}]", json_f64(*lo), json_f64(*hi));
+                }
+                ivals.push(']');
+                format!(
+                    "{{\"type\":\"region_suggested\",\"feature\":{feature},\"name\":{},\"threshold\":{},\"intervals\":{ivals},\"grid\":{},\"mean\":{},\"std\":{}}}",
+                    json_str(name),
+                    json_f64(*threshold),
+                    json_f64_array(grid),
+                    json_f64_array(mean),
+                    json_f64_array(std),
+                )
+            }
+            LedgerEvent::AleCurveComputed {
+                feature,
+                model,
+                method,
+                grid_points,
+                rows,
+            } => format!(
+                "{{\"type\":\"ale_curve\",\"feature\":{feature},\"model\":{},\"method\":{},\"grid_points\":{grid_points},\"rows\":{rows}}}",
+                json_str(model),
+                json_str(method),
+            ),
+        }
+    }
+}
+
+/// Whether any installed sink consumes ledger events — the hot-path gate
+/// for emission (one relaxed atomic load).
+static LEDGER_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Whether a ledger-consuming sink is installed.
+#[inline]
+pub fn active() -> bool {
+    LEDGER_ACTIVE.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_active(on: bool) {
+    LEDGER_ACTIVE.store(on, Ordering::Release);
+}
+
+/// Deliver `event` to every installed ledger-consuming sink. No-op when
+/// none is installed; prefer [`emit_with`] when building the event
+/// allocates.
+pub fn emit(event: &LedgerEvent) {
+    if active() {
+        crate::sink::emit_ledger_event(event);
+    }
+}
+
+/// Build (lazily) and deliver a ledger event. The closure only runs when
+/// a ledger sink is installed, so emission sites stay allocation-free in
+/// the common no-sink case.
+#[inline]
+pub fn emit_with(f: impl FnOnce() -> LedgerEvent) {
+    if active() {
+        crate::sink::emit_ledger_event(&f());
+    }
+}
+
+/// Next process-wide feedback-round sequence number (0, 1, 2, …).
+/// Strategies run sequentially within a workload, so this is
+/// deterministic for a given run.
+pub fn next_round() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Ledger sink: one JSON line per [`LedgerEvent`], preceded by a header
+/// line identifying the run and the schema version:
+///
+/// ```text
+/// {"type":"ledger","schema_version":1,"run_id":"…","workload":"…","seed":1,"git":"…"}
+/// ```
+///
+/// Ignores span closes entirely; write failures are counted in the
+/// `telemetry.events_dropped` counter rather than crashing the run.
+pub struct LedgerJsonlSink {
+    target: String,
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
+}
+
+impl LedgerJsonlSink {
+    /// Create (truncate) `path` and write the ledger header line.
+    pub fn create(path: &Path, header: &RunHeader) -> std::io::Result<LedgerJsonlSink> {
+        let file: Box<dyn Write + Send> = Box::new(std::fs::File::create(path)?);
+        LedgerJsonlSink::from_writer(file, &path.display().to_string(), header)
+    }
+
+    /// Wrap an arbitrary writer (tests inject failing writers here).
+    pub fn from_writer(
+        writer: Box<dyn Write + Send>,
+        target: &str,
+        header: &RunHeader,
+    ) -> std::io::Result<LedgerJsonlSink> {
+        let mut writer = BufWriter::new(writer);
+        writeln!(
+            writer,
+            "{{\"type\":\"ledger\",\"schema_version\":{LEDGER_SCHEMA_VERSION},\"run_id\":{},\"workload\":{},\"seed\":{},\"git\":{}}}",
+            json_str(&header.run_id),
+            json_str(&header.workload),
+            header.seed,
+            json_str(&header.git),
+        )?;
+        Ok(LedgerJsonlSink {
+            target: target.to_string(),
+            writer: Mutex::new(writer),
+        })
+    }
+}
+
+impl Sink for LedgerJsonlSink {
+    fn on_span_close(&self, _event: &SpanEvent) {}
+
+    fn on_ledger_event(&self, event: &LedgerEvent) {
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        if writeln!(w, "{}", event.to_json_line()).is_err() {
+            crate::counter_add("telemetry.events_dropped", 1);
+        }
+    }
+
+    fn wants_ledger(&self) -> bool {
+        true
+    }
+
+    fn finish(&self, _snapshot: &Snapshot) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
+    }
+
+    fn target(&self) -> String {
+        self.target.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_finite_floats_serialize_as_null() {
+        let line = LedgerEvent::TrialFinished {
+            trial: 1,
+            rung: 0,
+            family: "mlp".into(),
+            score: f64::NAN,
+        }
+        .to_json_line();
+        assert!(line.contains("\"score\":null"), "{line}");
+    }
+
+    #[test]
+    fn floats_use_shortest_round_trip_form() {
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(1.0), "1");
+        assert_eq!(json_f64_array(&[0.5, 2.0]), "[0.5,2]");
+    }
+
+    #[test]
+    fn ledger_sink_writes_header_and_event_lines() {
+        let dir = std::env::temp_dir().join(format!("aml_ledger_sink_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let header = RunHeader {
+            run_id: "w-s1-p1".into(),
+            workload: "w".into(),
+            seed: 1,
+            git: "abc".into(),
+        };
+        let sink = LedgerJsonlSink::create(&path, &header).unwrap();
+        sink.on_ledger_event(&LedgerEvent::TrialFailed {
+            trial: 3,
+            rung: 1,
+            family: "mlp".into(),
+        });
+        sink.finish(&Snapshot::default()).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"w-s1-p1\",\"workload\":\"w\",\"seed\":1,\"git\":\"abc\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"trial_failed\",\"trial\":3,\"rung\":1,\"family\":\"mlp\"}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn emit_with_skips_closure_when_inactive() {
+        let _guard = crate::test_lock::hold();
+        assert!(!active(), "no ledger sink should be installed here");
+        let mut ran = false;
+        emit_with(|| {
+            ran = true;
+            LedgerEvent::TrialFailed {
+                trial: 0,
+                rung: 0,
+                family: "x".into(),
+            }
+        });
+        assert!(!ran, "closure must not run without a ledger sink");
+    }
+}

@@ -20,6 +20,10 @@
 //!   ([`sink::JsonlSink`]) and a Chrome trace-event file
 //!   ([`trace::ChromeTraceSink`]) loadable in Perfetto, both fed one
 //!   event per span close plus a final counter flush;
+//! * an **experiment ledger** ([`ledger`]): typed, versioned ML-level
+//!   events — trials with halving rungs, ensemble composition, feedback
+//!   rounds, suggested regions, curve provenance — streamed to a
+//!   deterministic `ledger.jsonl` (consumed by the `amlreport` bin);
 //! * optional **allocation tracking** ([`alloc`], behind the
 //!   `alloc-track` feature): a counting global allocator whose totals
 //!   land in `alloc.*` counters and per-span byte deltas.
@@ -46,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub mod alloc;
+pub mod ledger;
 pub mod manifest;
 pub mod progress;
 pub mod registry;
@@ -54,6 +59,7 @@ pub mod span;
 pub mod trace;
 
 pub use alloc::AllocStats;
+pub use ledger::{EnsembleMember, LedgerEvent, LedgerJsonlSink, LEDGER_SCHEMA_VERSION};
 pub use manifest::Manifest;
 pub use progress::{note, report, warn, Progress};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};

@@ -18,11 +18,12 @@
 //! is installed is a single relaxed atomic load, preserving the crate's
 //! off-is-free guarantee.
 
+use crate::ledger::LedgerEvent;
 use crate::registry::Snapshot;
 use std::io::{BufWriter, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, Once, OnceLock, PoisonError, TryLockError};
 use std::time::Instant;
 
 /// Identity of the run, stamped into every sink's output so exported
@@ -83,6 +84,15 @@ impl SpanEvent {
 pub trait Sink: Send + Sync {
     /// Called once per span close while the run executes.
     fn on_span_close(&self, event: &SpanEvent);
+    /// Called once per experiment-ledger event, but only when
+    /// [`Sink::wants_ledger`] returns `true`. Default: ignore.
+    fn on_ledger_event(&self, _event: &LedgerEvent) {}
+    /// Whether this sink consumes [`LedgerEvent`]s. The ledger emission
+    /// gate ([`crate::ledger::active`]) is only raised when at least one
+    /// installed sink returns `true`, keeping emission off-is-free.
+    fn wants_ledger(&self) -> bool {
+        false
+    }
     /// Called once at the end of the run with the final registry
     /// snapshot; flush buffers and write the output file here.
     fn finish(&self, snapshot: &Snapshot) -> std::io::Result<()>;
@@ -117,11 +127,60 @@ pub fn current_tid() -> u64 {
 }
 
 /// Install a sink. Fixes the run origin so subsequent span timestamps are
-/// relative to (roughly) installation time.
+/// relative to (roughly) installation time, raises the ledger emission
+/// gate if the sink consumes ledger events, and (once per process)
+/// registers a panic hook that flushes installed sinks so export files
+/// stay valid when the run panics mid-way.
 pub fn install(sink: Box<dyn Sink>) {
     origin();
-    sinks().lock().unwrap().push(sink);
+    install_panic_flush_hook();
+    if sink.wants_ledger() {
+        crate::ledger::set_active(true);
+    }
+    sinks()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(sink);
     ACTIVE.store(true, Ordering::Release);
+}
+
+/// Chain a panic hook (once per process) that flushes and removes every
+/// installed sink, so `--events-out` / `--trace-out` / `--ledger-out`
+/// files are complete and parseable even when the run panics. The
+/// previous hook (the default backtrace printer) still runs first.
+fn install_panic_flush_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            flush_on_panic();
+        }));
+    });
+}
+
+/// Best-effort sink flush from inside a panic hook. Uses `try_lock` (the
+/// panicking thread may already hold the sink list) and tolerates
+/// poisoning; write errors are swallowed — we are already crashing.
+fn flush_on_panic() {
+    if !active() {
+        return;
+    }
+    ACTIVE.store(false, Ordering::Release);
+    crate::ledger::set_active(false);
+    let drained: Vec<Box<dyn Sink>> = match sinks().try_lock() {
+        Ok(mut guard) => std::mem::take(&mut *guard),
+        Err(TryLockError::Poisoned(poisoned)) => std::mem::take(&mut *poisoned.into_inner()),
+        Err(TryLockError::WouldBlock) => return,
+    };
+    let snapshot = if crate::enabled() {
+        crate::global().snapshot()
+    } else {
+        Snapshot::default()
+    };
+    for sink in &drained {
+        let _ = sink.finish(&snapshot);
+    }
 }
 
 /// Whether any sink is installed (one relaxed atomic load).
@@ -148,8 +207,26 @@ pub(crate) fn emit_span_close(name: &str, start: Instant, dur_ns: u64, depth: us
         start_us,
         dur_us: dur_ns as f64 / 1e3,
     };
-    for sink in sinks().lock().unwrap().iter() {
+    for sink in sinks()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
         sink.on_span_close(&event);
+    }
+}
+
+/// Deliver one ledger event to every sink that wants it. Called from
+/// [`crate::ledger::emit`] behind the ledger-active gate.
+pub(crate) fn emit_ledger_event(event: &LedgerEvent) {
+    for sink in sinks()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        if sink.wants_ledger() {
+            sink.on_ledger_event(event);
+        }
     }
 }
 
@@ -159,7 +236,9 @@ pub(crate) fn emit_span_close(name: &str, start: Instant, dur_ns: u64, depth: us
 /// call returns an empty vec).
 pub fn finish(snapshot: &Snapshot) -> Vec<(String, std::io::Result<()>)> {
     ACTIVE.store(false, Ordering::Release);
-    let drained: Vec<Box<dyn Sink>> = std::mem::take(&mut *sinks().lock().unwrap());
+    crate::ledger::set_active(false);
+    let drained: Vec<Box<dyn Sink>> =
+        std::mem::take(&mut *sinks().lock().unwrap_or_else(PoisonError::into_inner));
     drained
         .iter()
         .map(|s| (s.target(), s.finish(snapshot)))
@@ -181,14 +260,25 @@ pub fn finish(snapshot: &Snapshot) -> Vec<(String, std::io::Result<()>)> {
 /// run; `counter`/`histogram` lines are the flush, written by
 /// [`Sink::finish`].
 pub struct JsonlSink {
-    path: PathBuf,
-    writer: Mutex<BufWriter<std::fs::File>>,
+    target: String,
+    writer: Mutex<BufWriter<Box<dyn Write + Send>>>,
 }
 
 impl JsonlSink {
     /// Create (truncate) `path` and write the `run` header line.
     pub fn create(path: &Path, header: &RunHeader) -> std::io::Result<JsonlSink> {
-        let mut writer = BufWriter::new(std::fs::File::create(path)?);
+        let file: Box<dyn Write + Send> = Box::new(std::fs::File::create(path)?);
+        JsonlSink::from_writer(file, &path.display().to_string(), header)
+    }
+
+    /// Wrap an arbitrary writer and write the `run` header line (tests
+    /// inject failing writers here to exercise drop accounting).
+    pub fn from_writer(
+        writer: Box<dyn Write + Send>,
+        target: &str,
+        header: &RunHeader,
+    ) -> std::io::Result<JsonlSink> {
+        let mut writer = BufWriter::new(writer);
         writeln!(
             writer,
             "{{\"type\":\"run\",\"run_id\":{},\"workload\":{},\"seed\":{},\"git\":{}}}",
@@ -198,7 +288,7 @@ impl JsonlSink {
             json_str(&header.git),
         )?;
         Ok(JsonlSink {
-            path: path.to_path_buf(),
+            target: target.to_string(),
             writer: Mutex::new(writer),
         })
     }
@@ -206,9 +296,10 @@ impl JsonlSink {
 
 impl Sink for JsonlSink {
     fn on_span_close(&self, event: &SpanEvent) {
-        let mut w = self.writer.lock().unwrap();
-        // Best-effort: a full disk must not crash the instrumented run.
-        let _ = writeln!(
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        // Best-effort: a full disk must not crash the instrumented run —
+        // but the loss is accounted for instead of silent.
+        let written = writeln!(
             w,
             "{{\"type\":\"span\",\"name\":{},\"tid\":{},\"depth\":{},\"ts_us\":{:.3},\"dur_us\":{:.3}}}",
             json_str(&event.name),
@@ -217,10 +308,13 @@ impl Sink for JsonlSink {
             event.start_us,
             event.dur_us,
         );
+        if written.is_err() {
+            crate::counter_add("telemetry.events_dropped", 1);
+        }
     }
 
     fn finish(&self, snapshot: &Snapshot) -> std::io::Result<()> {
-        let mut w = self.writer.lock().unwrap();
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
         for (name, value) in &snapshot.counters {
             writeln!(
                 w,
@@ -246,7 +340,7 @@ impl Sink for JsonlSink {
     }
 
     fn target(&self) -> String {
-        self.path.display().to_string()
+        self.target.clone()
     }
 }
 
@@ -381,5 +475,120 @@ mod tests {
         assert_eq!(current_tid(), current_tid());
         let other = std::thread::spawn(current_tid).join().unwrap();
         assert_ne!(other, current_tid());
+    }
+
+    /// Fails every write; used to exercise the drop accounting.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn failed_writes_count_as_dropped_events() {
+        let _guard = test_lock::hold();
+        set_level(TelemetryLevel::Summary);
+        crate::global().reset();
+        // The header lands in the BufWriter's buffer, so creation
+        // succeeds even over a dead writer.
+        let sink =
+            JsonlSink::from_writer(Box::new(FailingWriter), "failing", &RunHeader::default())
+                .unwrap();
+        // A line larger than the buffer forces a real write — which fails.
+        sink.on_span_close(&SpanEvent {
+            name: "x".repeat(16 * 1024),
+            tid: 0,
+            depth: 0,
+            start_us: 0.0,
+            dur_us: 1.0,
+        });
+        let snap = crate::global().snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(n, v)| n == "telemetry.events_dropped" && *v >= 1),
+            "{:?}",
+            snap.counters
+        );
+        assert!(sink.finish(&snap).is_err(), "flush over a dead writer");
+        set_level(TelemetryLevel::Off);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn panic_mid_span_still_leaves_valid_export_files() {
+        let _guard = test_lock::hold();
+        set_level(TelemetryLevel::Summary);
+        crate::global().reset();
+        let dir = std::env::temp_dir().join(format!("aml_panic_flush_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events_path = dir.join("events.jsonl");
+        let trace_path = dir.join("trace.json");
+        let ledger_path = dir.join("ledger.jsonl");
+        let header = RunHeader::new("panic-test", 1);
+        install(Box::new(JsonlSink::create(&events_path, &header).unwrap()));
+        install(Box::new(
+            crate::trace::ChromeTraceSink::create(&trace_path, &header).unwrap(),
+        ));
+        install(Box::new(
+            crate::ledger::LedgerJsonlSink::create(&ledger_path, &header).unwrap(),
+        ));
+        assert!(active());
+        assert!(crate::ledger::active());
+
+        let result = std::thread::spawn(|| {
+            {
+                let _done = crate::span("test.panic.before");
+            }
+            crate::ledger::emit(&LedgerEvent::TrialFailed {
+                trial: 7,
+                rung: 0,
+                family: "mlp".into(),
+            });
+            let _open = crate::span("test.panic.inside");
+            panic!("boom");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must have panicked");
+
+        // The hook drained the sinks and lowered both gates.
+        assert!(!active(), "panic hook must deactivate emission");
+        assert!(!crate::ledger::active());
+        assert!(finish(&Snapshot::default()).is_empty());
+
+        // events.jsonl: complete, newline-terminated JSONL with the
+        // closed span present.
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        assert!(events.ends_with('\n'), "{events:?}");
+        assert!(events.contains("test.panic.before"), "{events}");
+        for line in events.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+
+        // trace.json: balanced braces and balanced B/E pairs.
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(!trace.is_empty(), "trace must be rendered on panic");
+        assert_eq!(trace.matches('{').count(), trace.matches('}').count());
+        assert_eq!(trace.matches('[').count(), trace.matches(']').count());
+        assert_eq!(
+            trace.matches("\"ph\": \"B\"").count(),
+            trace.matches("\"ph\": \"E\"").count()
+        );
+
+        // ledger.jsonl: header + the emitted event, newline-terminated.
+        let ledger = std::fs::read_to_string(&ledger_path).unwrap();
+        assert!(ledger.ends_with('\n'), "{ledger:?}");
+        assert!(ledger.contains("\"type\":\"ledger\""), "{ledger}");
+        assert!(ledger.contains("\"type\":\"trial_failed\""), "{ledger}");
+
+        std::fs::remove_dir_all(&dir).ok();
+        set_level(TelemetryLevel::Off);
+        crate::global().reset();
     }
 }
