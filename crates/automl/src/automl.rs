@@ -6,11 +6,10 @@ use crate::space::ModelFamily;
 use crate::{AutoMlError, Result};
 use aml_dataset::{split::train_test_split, Dataset};
 use aml_models::{Classifier, SoftVotingEnsemble};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Configuration of one AutoML run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AutoMlConfig {
     /// Candidate configurations to sample and train.
     pub n_candidates: usize,

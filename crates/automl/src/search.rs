@@ -2,7 +2,7 @@
 //!
 //! Both strategies produce a leaderboard of [`TrainedCandidate`]s scored by
 //! balanced accuracy on a held-out validation split. Candidate training is
-//! embarrassingly parallel and runs on crossbeam scoped threads when
+//! embarrassingly parallel and runs on `std::thread::scope` threads when
 //! `parallelism > 1`; results are reassembled in sampling order so the
 //! outcome is identical to a sequential run.
 
@@ -12,11 +12,10 @@ use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
 use aml_telemetry::ledger::{self, LedgerEvent};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// How the searcher allocates its candidate budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchStrategy {
     /// Sample `n_candidates` configs, train each on the full training split.
     Random,
@@ -155,11 +154,11 @@ fn train_all(
         .collect();
     let chunk = n.div_ceil(parallelism);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for piece in jobs.chunks(chunk) {
             let piece: Vec<(usize, u64, CandidateConfig)> = piece.to_vec();
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 piece
                     .into_iter()
                     .map(|(i, t, c)| (i, train_one(t, rung, c, train, val)))
@@ -171,8 +170,7 @@ fn train_all(
                 slots[i] = result;
             }
         }
-    })
-    .expect("crossbeam scope never fails to join");
+    });
 
     slots.into_iter().flatten().collect()
 }
@@ -290,10 +288,10 @@ fn halving_survivors(
 }
 
 fn subsample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
+    use aml_rng::seq::SliceRandom;
+    use aml_rng::SeedableRng;
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = aml_rng::rngs::StdRng::seed_from_u64(seed);
     idx.shuffle(&mut rng);
     idx.truncate(k);
     idx

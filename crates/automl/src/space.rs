@@ -21,13 +21,12 @@ use aml_models::{
     AdaBoost, Classifier, ExtraTrees, GaussianNaiveBayes, GradientBoosting, KNearestNeighbors,
     LinearSvm, LogisticRegression, Pipeline, RandomForest,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// The model families the searcher can draw from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// Single CART tree.
     DecisionTree,
@@ -80,7 +79,7 @@ impl ModelFamily {
 }
 
 /// A sampled hyperparameter configuration (family + params + scaler).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CandidateConfig {
     /// CART tree.
     DecisionTree(TreeParams),

@@ -5,7 +5,7 @@
 use aml_automl::{CandidateConfig, ModelFamily};
 use aml_dataset::synth;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_fit(c: &mut Criterion) {
     let train = synth::gaussian_blobs(400, 4, 3, 1.5, 1).unwrap();

@@ -16,15 +16,27 @@ use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::runner::winner_index;
 use aml_netsim::sim::{QueueKind, SimConfig, Simulation};
 use aml_netsim::{CcKind, ConditionDomain, NetworkCondition};
+use aml_bench::minijson::{ToJson, Value};
 use aml_telemetry::report;
-use serde::Serialize;
 use std::collections::BTreeMap;
 
-#[derive(Serialize)]
 struct AblationResult {
     name: String,
     setting: String,
     mean_balanced_accuracy: f64,
+}
+
+impl ToJson for AblationResult {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("setting".into(), self.setting.to_json()),
+            (
+                "mean_balanced_accuracy".into(),
+                self.mean_balanced_accuracy.to_json(),
+            ),
+        ])
+    }
 }
 
 fn main() {

@@ -14,15 +14,28 @@ use aml_dataset::split::split_into_k;
 use aml_dataset::Dataset;
 use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::ConditionDomain;
+use aml_bench::minijson::{ToJson, Value};
 use aml_telemetry::report;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct SweepRow {
     threshold: f64,
     coverage: f64,
     flagged_features: usize,
     mean_balanced_accuracy: f64,
+}
+
+impl ToJson for SweepRow {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("threshold".into(), self.threshold.to_json()),
+            ("coverage".into(), self.coverage.to_json()),
+            ("flagged_features".into(), self.flagged_features.to_json()),
+            (
+                "mean_balanced_accuracy".into(),
+                self.mean_balanced_accuracy.to_json(),
+            ),
+        ])
+    }
 }
 
 fn main() {

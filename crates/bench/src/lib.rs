@@ -339,11 +339,21 @@ pub fn write_artifact(out_dir: &Path, name: &str, content: &str) {
     }
 }
 
-/// Write a JSON artifact.
-pub fn write_json<T: serde::Serialize>(out_dir: &Path, name: &str, value: &T) {
-    match serde_json::to_string_pretty(value) {
-        Ok(s) => write_artifact(out_dir, name, &s),
-        Err(e) => aml_telemetry::warn(&format!("could not serialize {name}: {e}")),
+/// Write a JSON artifact (pretty-printed via [`minijson::Value::render`]).
+pub fn write_json<T: minijson::ToJson + ?Sized>(out_dir: &Path, name: &str, value: &T) {
+    write_artifact(out_dir, name, &value.to_json().render());
+}
+
+impl minijson::ToJson for aml_interpret::AleBand {
+    fn to_json(&self) -> minijson::Value {
+        minijson::Value::Obj(vec![
+            ("feature".into(), self.feature.to_json()),
+            ("feature_name".into(), self.feature_name.to_json()),
+            ("grid".into(), self.grid.to_json()),
+            ("mean".into(), self.mean.to_json()),
+            ("std".into(), self.std.to_json()),
+            ("n_models".into(), self.n_models.to_json()),
+        ])
     }
 }
 

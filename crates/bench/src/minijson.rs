@@ -1,4 +1,4 @@
-//! A minimal JSON reader for the harness's own artifacts.
+//! A minimal JSON reader *and writer* for the harness's own artifacts.
 //!
 //! `perfgate --compare` must parse `BENCH_*.json` files, and the golden
 //! tests validate `trace.json` / `events.jsonl` structurally. The files
@@ -6,6 +6,11 @@
 //! small strict recursive-descent parser is enough — and it keeps the
 //! read path as dependency-light as the write path, mirroring
 //! `aml-telemetry`'s hand-rolled serializer.
+//!
+//! The write side ([`Value::render`] and the [`ToJson`] trait) backs
+//! [`crate::write_json`]: benchmark binaries convert their result rows
+//! into a [`Value`] tree and get pretty-printed JSON that this module's
+//! own parser round-trips.
 //!
 //! Objects preserve key order (they're backed by a `Vec`), numbers are
 //! `f64`, and the full escape set of the workspace's writers
@@ -271,9 +276,198 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     }
 }
 
+impl Value {
+    /// Pretty-print with 2-space indentation.
+    ///
+    /// Numbers use Rust's shortest-roundtrip `f64` formatting, so a
+    /// render → [`parse`] → render cycle is a fixpoint; strings use the
+    /// same escape set the parser accepts (shared with the telemetry
+    /// manifest writer).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    let s = format!("{n}");
+                    out.push_str(&s);
+                } else {
+                    // JSON has no NaN/Infinity.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => out.push_str(&aml_telemetry::json_string_literal(s)),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Value::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push_str(&aml_telemetry::json_string_literal(k));
+                    out.push_str(": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Conversion into a [`Value`] — the write-side counterpart of the
+/// parser, used by [`crate::write_json`] for data artifacts
+/// (score tables, ALE bands, sweep rows).
+///
+/// The trait lives here (not in a shared crate) so benchmark binaries
+/// can implement it for foreign types like `aml_interpret::AleBand`.
+pub trait ToJson {
+    /// The JSON form of `self`.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Arr(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for std::collections::BTreeMap<String, T> {
+    fn to_json(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn render_parse_is_a_fixpoint() {
+        let v = Value::Obj(vec![
+            ("name".into(), Value::Str("a \"quoted\"\nline".into())),
+            (
+                "rows".into(),
+                Value::Arr(vec![
+                    Value::Num(1.5),
+                    Value::Num(-0.000125),
+                    Value::Bool(true),
+                    Value::Null,
+                ]),
+            ),
+            ("empty_arr".into(), Value::Arr(vec![])),
+            ("empty_obj".into(), Value::Obj(vec![])),
+        ]);
+        let rendered = v.render();
+        let reparsed = parse(&rendered).expect("own writer parses");
+        assert_eq!(reparsed, v);
+        assert_eq!(reparsed.render(), rendered);
+    }
+
+    #[test]
+    fn render_emits_null_for_non_finite() {
+        assert_eq!(Value::Num(f64::NAN).render(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn to_json_builds_expected_tree() {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("xs".to_string(), vec![1.0f64, 2.5]);
+        let v = map.to_json();
+        assert_eq!(
+            v,
+            Value::Obj(vec![(
+                "xs".into(),
+                Value::Arr(vec![Value::Num(1.0), Value::Num(2.5)])
+            )])
+        );
+        assert_eq!("s".to_string().to_json(), Value::Str("s".into()));
+        assert_eq!(3usize.to_json(), Value::Num(3.0));
+        assert_eq!(true.to_json(), Value::Bool(true));
+    }
 
     #[test]
     fn parses_scalars() {

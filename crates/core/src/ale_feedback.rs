@@ -16,15 +16,14 @@ use aml_interpret::grid::Grid;
 use aml_interpret::region::FeatureRegions;
 use aml_interpret::variance::{ale_band_on_grid, pdp_band_on_grid, AleBand};
 use aml_models::Classifier;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Which model-agnostic interpretation method supplies the per-model
 /// curves. The paper uses ALE ("we use ALE in this work", §3) but its
 /// algorithm is explicitly method-agnostic — partial dependence is the
 /// classic alternative, and the ablation benches compare the two.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterpretationMethod {
     /// Accumulated Local Effects (the paper's choice).
     Ale,
@@ -33,7 +32,7 @@ pub enum InterpretationMethod {
 }
 
 /// Which model bag supplies the disagreement signal.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AleMode {
     /// The members of a single AutoML run's ensemble (paper: "Within-ALE").
     Within,
@@ -43,7 +42,7 @@ pub enum AleMode {
 }
 
 /// How the variance threshold 𝒯 is chosen.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ThresholdRule {
     /// The paper's default: "the median of the standard deviation across
     /// features" — we take the median over all (feature, grid-point) std
@@ -67,7 +66,7 @@ pub enum ThresholdRule {
 }
 
 /// Configuration of the ALE feedback algorithm.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AleFeedback {
     /// Within- or Cross-ALE.
     pub mode: AleMode,

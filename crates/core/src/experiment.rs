@@ -25,10 +25,9 @@ use aml_automl::{AutoMl, AutoMlConfig, FittedAutoMl};
 use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// The nine Table-1 strategies (plus SMOTE as a distinct upsampler).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Strategy {
     /// Train on the raw data only.
     NoFeedback,

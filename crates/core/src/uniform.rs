@@ -6,8 +6,8 @@
 
 use crate::{CoreError, Result};
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Sample `n` rows uniformly from the dataset's feature domains.
 pub fn uniform_sample(data: &Dataset, n: usize, seed: u64) -> Result<Vec<Vec<f64>>> {

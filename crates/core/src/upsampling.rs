@@ -12,8 +12,8 @@
 
 use crate::{CoreError, Result};
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Duplicate minority-class rows (sampled with replacement) until all
 /// classes present reach the majority class count. Returns the augmented
@@ -198,9 +198,9 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
     // Explicit imports beat the two ambiguous glob re-exports of `Rng`.
-    use rand::{Rng, SeedableRng};
+    use aml_rng::{Rng, SeedableRng};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -215,7 +215,7 @@ mod prop_tests {
         ) {
             let mut rows = Vec::new();
             let mut labels = Vec::new();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = aml_rng::rngs::StdRng::seed_from_u64(seed);
             for _ in 0..n0 {
                 rows.push(vec![rng.gen_range(-5.0..0.0), rng.gen_range(0.0..1.0)]);
                 labels.push(0usize);

@@ -8,10 +8,9 @@
 
 use crate::feature::{FeatureDomain, FeatureMeta};
 use crate::{DataError, Result};
-use serde::{Deserialize, Serialize};
 
 /// A labelled tabular dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Flat row-major feature matrix, `n_rows * n_features` entries.
     data: Vec<f64>,

@@ -6,10 +6,9 @@
 //! regions are sub-intervals of those domains, and free-sampling strategies
 //! (Uniform, ALE-region sampling) draw from them directly.
 
-use serde::{Deserialize, Serialize};
 
 /// The domain `R(X_s)` of a feature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FeatureDomain {
     /// A real-valued interval `[lo, hi]`.
     Continuous {
@@ -89,7 +88,7 @@ impl FeatureDomain {
 }
 
 /// Name + domain of one feature column.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureMeta {
     /// Human-readable column name (e.g. `config.link_rate`).
     pub name: String,

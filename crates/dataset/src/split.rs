@@ -8,9 +8,9 @@
 
 use crate::dataset::Dataset;
 use crate::{DataError, Result};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use aml_rng::rngs::StdRng;
+use aml_rng::seq::SliceRandom;
+use aml_rng::SeedableRng;
 
 /// Deterministically shuffle `0..n` with the given seed.
 fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
@@ -284,7 +284,7 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::synth;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -296,7 +296,7 @@ mod prop_tests {
             n in 10usize..200,
             frac in 0.1f64..0.9,
             seed in 0u64..1000,
-            stratify in proptest::bool::ANY,
+            stratify in aml_propcheck::bool::ANY,
         ) {
             let d = synth::gaussian_blobs(n, 2, 2, 1.0, seed).unwrap();
             prop_assume!(d.class_counts().iter().all(|&c| c >= 2));

@@ -7,8 +7,8 @@
 
 use crate::dataset::Dataset;
 use crate::{DataError, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Sample from a standard normal via Box–Muller (keeps us off rand_distr;
 /// the basic `rand` crate only gives uniform draws).

@@ -4,12 +4,11 @@ use crate::profiles::{confuse_action_for_low_src, sample_row_with, LOW_SRC_PORT_
 use crate::schema::{class_names, feature_metas, FwAction};
 use crate::{FwGenError, Result};
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Generator configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FwGenConfig {
     /// Number of rows to generate.
     pub n: usize,

@@ -6,8 +6,8 @@
 //! Box–Muller, categorical, bounded uniforms) on top of plain `rand`.
 
 use crate::schema::FwAction;
-use rand::rngs::StdRng;
-use rand::Rng;
+use aml_rng::rngs::StdRng;
+use aml_rng::Rng;
 
 /// Standard normal via Box–Muller.
 fn normal(rng: &mut StdRng) -> f64 {
@@ -200,7 +200,7 @@ pub fn confuse_action_for_low_src(action: FwAction, rng: &mut StdRng) -> FwActio
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use aml_rng::SeedableRng;
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)

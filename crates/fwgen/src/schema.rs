@@ -3,7 +3,6 @@
 //! Feature order mirrors the UCI "Internet Firewall Data" columns.
 
 use aml_dataset::FeatureMeta;
-use serde::{Deserialize, Serialize};
 
 /// The 11 numeric feature columns, in dataset order.
 pub const FEATURE_NAMES: [&str; 11] = [
@@ -21,7 +20,7 @@ pub const FEATURE_NAMES: [&str; 11] = [
 ];
 
 /// The firewall's action — the 4-class label.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FwAction {
     /// Traffic permitted and forwarded.
     Allow,

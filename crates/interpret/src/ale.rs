@@ -19,10 +19,9 @@ use crate::grid::Grid;
 use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// Configuration for an ALE computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AleConfig {
     /// Class whose predicted probability is explained.
     pub target_class: usize,
@@ -36,7 +35,7 @@ impl Default for AleConfig {
 }
 
 /// One model's ALE curve on a fixed grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AleCurve {
     /// The feature this curve explains.
     pub feature: usize,
@@ -313,7 +312,7 @@ mod prop_tests {
     use aml_dataset::synth;
     use aml_models::tree::TreeParams;
     use aml_models::DecisionTree;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(16))]

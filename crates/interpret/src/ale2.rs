@@ -24,10 +24,9 @@ use crate::grid::Grid;
 use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// A second-order ALE surface on a 2-D grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AleSurface {
     /// First feature (rows of `values`).
     pub feature_j: usize,
@@ -322,8 +321,8 @@ mod tests {
                 "product_plus_noise"
             }
         }
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use aml_rng::rngs::StdRng;
+        use aml_rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(3);
         let rows: Vec<Vec<f64>> = (0..500)
             .map(|_| vec![rng.gen(), rng.gen(), rng.gen()])

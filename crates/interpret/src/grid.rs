@@ -7,10 +7,9 @@
 
 use crate::{InterpretError, Result};
 use aml_dataset::FeatureDomain;
-use serde::{Deserialize, Serialize};
 
 /// A strictly increasing sequence of grid points over one feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Grid {
     points: Vec<f64>,
 }
@@ -170,7 +169,7 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         /// interval_of always returns a valid interval, and the chosen

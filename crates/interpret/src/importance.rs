@@ -11,14 +11,13 @@ use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::seq::SliceRandom;
+use aml_rng::SeedableRng;
 
 /// Importance of one feature: the balanced-accuracy drop when its column
 /// is shuffled.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureImportance {
     /// Feature index.
     pub feature: usize,
@@ -96,7 +95,7 @@ mod tests {
 
     /// Label depends only on feature 0; feature 1 is pure noise.
     fn one_informative_feature(seed: u64) -> Dataset {
-        use rand::Rng;
+        use aml_rng::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let rows: Vec<Vec<f64>> = (0..300)
             .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])

@@ -11,11 +11,10 @@ use crate::grid::Grid;
 use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// A partial-dependence curve: the average model response with one feature
 /// clamped to each grid point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PdpCurve {
     /// Explained feature.
     pub feature: usize,
@@ -26,7 +25,7 @@ pub struct PdpCurve {
 }
 
 /// ICE curves: one response line per data row (PDP is their mean).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IceCurves {
     /// Explained feature.
     pub feature: usize,

@@ -14,10 +14,9 @@
 use crate::variance::AleBand;
 use crate::{InterpretError, Result};
 use aml_dataset::FeatureDomain;
-use serde::{Deserialize, Serialize};
 
 /// A closed interval `[lo, hi]` on one feature's axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Interval {
     /// Inclusive lower bound.
     pub lo: f64,
@@ -40,7 +39,7 @@ impl Interval {
 /// One `Aᵢ x ≤ bᵢ` system describing a single interval of a single feature
 /// inside the full `|X|`-dimensional feature space: two rows, `x_j ≤ hi`
 /// and `−x_j ≤ −lo`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HalfspaceSystem {
     /// Coefficient matrix, `m × n_features` (row-major rows).
     pub a: Vec<Vec<f64>>,
@@ -60,7 +59,7 @@ impl HalfspaceSystem {
 
 /// The high-variance regions of one feature: a union of intervals, i.e. the
 /// paper's `∪ᵢ Aᵢx ≤ bᵢ`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureRegions {
     /// Feature index.
     pub feature: usize,
@@ -339,7 +338,7 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::variance::AleBand;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     fn band_of(std: Vec<f64>) -> AleBand {
         let n = std.len();
@@ -359,7 +358,7 @@ mod prop_tests {
         /// never increases coverage.
         #[test]
         fn prop_regions_cover_flagged_points(
-            std in proptest::collection::vec(0.0f64..0.1, 3..40),
+            std in aml_propcheck::collection::vec(0.0f64..0.1, 3..40),
             t1 in 0.0f64..0.1,
             t2 in 0.0f64..0.1,
         ) {

@@ -13,10 +13,9 @@ use crate::pdp::pdp_curve;
 use crate::{InterpretError, Result};
 use aml_dataset::Dataset;
 use aml_models::Classifier;
-use serde::{Deserialize, Serialize};
 
 /// The cross-model ALE band for one feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AleBand {
     /// Explained feature.
     pub feature: usize,

@@ -1,0 +1,277 @@
+//! First-party micro-benchmark harness.
+//!
+//! The workspace's `[[bench]]` targets (`harness = false`) use this crate
+//! instead of an external framework, keeping the build fully
+//! self-contained. The API follows the familiar criterion shape
+//! (`Criterion`, `benchmark_group`, `bench_with_input`, `b.iter(..)`,
+//! `criterion_group!`/`criterion_main!`) so the bench files read
+//! idiomatically, but the engine is deliberately small:
+//!
+//! 1. **Warmup**: each measured closure runs [`WARMUP_ITERS`] times
+//!    untimed (populates caches, triggers lazy init).
+//! 2. **Calibration**: one timed call sizes a batch so that a batch
+//!    takes ≳ [`TARGET_BATCH_NANOS`]; sub-microsecond closures are
+//!    batched, expensive ones run once per sample.
+//! 3. **Sampling**: `sample_size` batches are timed (default
+//!    [`DEFAULT_SAMPLES`]), and per-iteration min / median / mean are
+//!    printed on one line per benchmark.
+//!
+//! No statistical outlier rejection and no HTML reports — the BENCH_*
+//! perf records and `perfgate` (see `aml-bench`) are the regression
+//! mechanism; these targets exist for quick local "how expensive is
+//! this" answers.
+//!
+//! Measured closures should wrap inputs/outputs in [`black_box`] when
+//! there is a risk the optimizer deletes the work.
+
+use std::time::{Duration, Instant};
+
+/// Untimed runs before measurement starts.
+pub const WARMUP_ITERS: u32 = 3;
+
+/// Calibration target: batch size is chosen so one batch takes at least
+/// roughly this long, bounding timer-resolution error per sample.
+pub const TARGET_BATCH_NANOS: u128 = 1_000_000;
+
+/// Samples per benchmark unless overridden via `sample_size`.
+pub const DEFAULT_SAMPLES: usize = 20;
+
+/// Opaque value barrier: prevents the optimizer from deleting the
+/// computation that produced `x` or hoisting it out of the timed loop.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle (one per bench binary).
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Run `f` as a standalone benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            samples: self.samples,
+            _c: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// Measures one closure: warms up, calibrates a batch size, then times
+/// `samples` batches.
+pub struct Bencher {
+    samples: usize,
+    /// Per-iteration sample durations in nanoseconds, filled by `iter`.
+    sample_nanos: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            sample_nanos: Vec::new(),
+        }
+    }
+
+    /// Measure `f`. The closure's return value is passed through
+    /// [`black_box`] so computing it cannot be optimized away.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        // Calibrate: batch cheap closures so a sample outlasts timer noise.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1);
+        let batch = (TARGET_BATCH_NANOS / once).clamp(1, 1_000_000) as u32;
+
+        self.sample_nanos.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / f64::from(batch);
+            self.sample_nanos.push(nanos);
+        }
+    }
+
+    /// Print `min/median/mean` per iteration for the collected samples.
+    fn report(&self, id: &str) {
+        if self.sample_nanos.is_empty() {
+            println!("bench {id:<40} (no measurement: iter() never called)");
+            return;
+        }
+        let mut sorted = self.sample_nanos.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "bench {id:<40} min {:>12}  median {:>12}  mean {:>12}  ({} samples)",
+            fmt_nanos(min),
+            fmt_nanos(median),
+            fmt_nanos(mean),
+            sorted.len(),
+        );
+    }
+}
+
+/// Human-scaled duration: ns under 1 µs, µs under 1 ms, else ms.
+fn fmt_nanos(n: f64) -> String {
+    if n < 1_000.0 {
+        format!("{n:.0} ns")
+    } else if n < 1_000_000.0 {
+        format!("{:.2} µs", n / 1_000.0)
+    } else {
+        format!("{:.3} ms", n / 1_000_000.0)
+    }
+}
+
+/// Group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Accepted for criterion compatibility; the harness sizes work via
+    /// `sample_size` and batch calibration instead of a time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run `f` as `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        b.report(&format!("{}/{id}", self.name));
+        self
+    }
+
+    /// Run `f` as `group/id` with a borrowed input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// End the group (kept for criterion API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: &str, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(b.sample_nanos.len(), 5);
+        assert!(b.sample_nanos.iter().all(|n| *n > 0.0));
+        // warmup + calibration + 5 batches all actually ran the closure
+        assert!(calls > 5);
+    }
+
+    #[test]
+    fn expensive_closures_run_once_per_sample() {
+        let mut b = Bencher::new(3);
+        b.iter(|| std::thread::sleep(Duration::from_millis(2)));
+        assert_eq!(b.sample_nanos.len(), 3);
+        // ~2 ms per iteration: batching must not have multiplied the work.
+        assert!(b.sample_nanos.iter().all(|n| *n >= 1_000_000.0));
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut ran = false;
+        group.bench_function("f", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.bench_with_input(BenchmarkId::new("h", 42), &7, |b, x| b.iter(|| *x * 2));
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt_nanos(500.0), "500 ns");
+        assert_eq!(fmt_nanos(2_500.0), "2.50 µs");
+        assert_eq!(fmt_nanos(3_000_000.0), "3.000 ms");
+    }
+}

@@ -12,10 +12,9 @@ use crate::model::{check_row, check_training, normalize, Classifier};
 use crate::tree::{DecisionTree, TreeParams};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`AdaBoost`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoostParams {
     /// Boosting rounds (weak learners).
     pub n_rounds: usize,
@@ -36,7 +35,7 @@ impl Default for AdaBoostParams {
 }
 
 /// A fitted AdaBoost.SAMME classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdaBoost {
     learners: Vec<(f64, DecisionTree)>,
     n_classes: usize,

@@ -9,12 +9,11 @@ use crate::model::{check_row, check_training, Classifier};
 use crate::tree::{Criterion, DecisionTree, Splitter, TreeParams};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Hyperparameters shared by [`RandomForest`] and [`ExtraTrees`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ForestParams {
     /// Number of trees.
     pub n_trees: usize,
@@ -76,7 +75,7 @@ pub(crate) fn derive_seed(master: u64, index: u64) -> u64 {
 }
 
 /// Bagged forest of best-split trees.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_classes: usize,
@@ -164,7 +163,7 @@ impl Classifier for RandomForest {
 }
 
 /// Extremely randomized trees: no bootstrap, random thresholds.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExtraTrees {
     trees: Vec<DecisionTree>,
     n_classes: usize,

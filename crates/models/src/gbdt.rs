@@ -10,10 +10,9 @@ use crate::model::{check_row, check_training, Classifier};
 use crate::regression::{RegTreeParams, RegressionTree};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`GradientBoosting`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GbdtParams {
     /// Boosting rounds (trees per class).
     pub n_rounds: usize,
@@ -37,7 +36,7 @@ impl Default for GbdtParams {
 }
 
 /// A fitted boosted-trees classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GradientBoosting {
     /// `stages[round][class]` regression trees.
     stages: Vec<Vec<RegressionTree>>,

@@ -9,10 +9,9 @@
 use crate::model::{check_row, check_training, normalize, Classifier};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Vote weighting scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KnnWeights {
     /// Each neighbour contributes 1.
     Uniform,
@@ -21,7 +20,7 @@ pub enum KnnWeights {
 }
 
 /// Hyperparameters for [`KNearestNeighbors`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnParams {
     /// Number of neighbours.
     pub k: usize,
@@ -39,7 +38,7 @@ impl Default for KnnParams {
 }
 
 /// A fitted (memorized) kNN classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KNearestNeighbors {
     train: Dataset,
     params: KnnParams,

@@ -11,12 +11,11 @@ use crate::gbdt::softmax;
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Hyperparameters for [`LinearSvm`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SvmParams {
     /// L2 regularization strength λ.
     pub lambda: f64,
@@ -37,7 +36,7 @@ impl Default for SvmParams {
 }
 
 /// A fitted one-vs-rest linear SVM.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearSvm {
     /// `weights[class][feature]`.
     weights: Vec<Vec<f64>>,

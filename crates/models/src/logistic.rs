@@ -9,10 +9,9 @@ use crate::gbdt::softmax;
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`LogisticRegression`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogRegParams {
     /// L2 regularization strength (λ, applied to weights, not intercepts).
     pub l2: f64,
@@ -36,7 +35,7 @@ impl Default for LogRegParams {
 }
 
 /// A fitted multinomial logistic regression model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticRegression {
     /// `weights[class][feature]`.
     weights: Vec<Vec<f64>>,

@@ -8,10 +8,9 @@
 use crate::model::{check_row, check_training, Classifier};
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`GaussianNaiveBayes`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NbParams {
     /// Additive variance smoothing as a fraction of the largest feature
     /// variance (sklearn's `var_smoothing`, default 1e-9).
@@ -27,7 +26,7 @@ impl Default for NbParams {
 }
 
 /// A fitted Gaussian naive Bayes classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GaussianNaiveBayes {
     /// Log class priors.
     log_prior: Vec<f64>,

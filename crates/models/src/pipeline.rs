@@ -74,8 +74,8 @@ mod tests {
     /// feature spans [0, 1e5] — unscaled kNN is dominated by the noise
     /// axis; the pipeline's standardizer fixes that.
     fn skewed_blobs(seed: u64) -> Dataset {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use aml_rng::rngs::StdRng;
+        use aml_rng::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rows = Vec::new();
         let mut labels = Vec::new();

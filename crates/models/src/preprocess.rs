@@ -7,7 +7,6 @@
 
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// A fitted feature transformer.
 pub trait Transformer: Send + Sync {
@@ -28,7 +27,7 @@ pub trait Transformer: Send + Sync {
 
 /// Z-score standardization: `x ← (x − mean) / std`, with constant columns
 /// mapped to 0 (std clamped away from zero).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Standardizer {
     means: Vec<f64>,
     stds: Vec<f64>,
@@ -85,7 +84,7 @@ impl Transformer for Standardizer {
 }
 
 /// Min-max scaling to `[0, 1]`; constant columns map to 0.5.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MinMaxScaler {
     mins: Vec<f64>,
     ranges: Vec<f64>,
@@ -131,7 +130,7 @@ impl Transformer for MinMaxScaler {
 }
 
 /// Which scaler (if any) a pipeline applies before its model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalerKind {
     /// No preprocessing (tree models).
     None,
@@ -142,7 +141,7 @@ pub enum ScalerKind {
 }
 
 /// A fitted scaler matching [`ScalerKind`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FittedScaler {
     /// Identity.
     None,

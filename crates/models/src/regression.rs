@@ -8,10 +8,9 @@
 
 use crate::{ModelError, Result};
 use aml_dataset::Dataset;
-use serde::{Deserialize, Serialize};
 
 /// Hyperparameters for [`RegressionTree`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegTreeParams {
     /// Maximum depth (0 = single leaf).
     pub max_depth: usize,
@@ -28,7 +27,7 @@ impl Default for RegTreeParams {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum RNode {
     Leaf {
         value: f64,
@@ -45,7 +44,7 @@ enum RNode {
 }
 
 /// A fitted regression tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegressionTree {
     nodes: Vec<RNode>,
     n_features: usize,

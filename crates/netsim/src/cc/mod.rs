@@ -21,7 +21,6 @@ pub mod scream;
 pub mod vegas;
 
 use crate::time::{Duration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Maximum segment size used throughout the simulator (bytes).
 pub const MSS: u64 = 1500;
@@ -74,7 +73,7 @@ pub trait CongestionControl: Send {
 
 /// Enumeration of available protocols (the experiment configuration data
 /// type; [`CcKind::build`] instantiates the state machine).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CcKind {
     /// SCReAM-like latency-sensitive rate adaptation.
     Scream,

@@ -12,8 +12,8 @@ use crate::runner::label_condition;
 use crate::scenario::{ConditionDomain, NetworkCondition};
 use crate::Result;
 use aml_dataset::Dataset;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use aml_rng::rngs::StdRng;
+use aml_rng::SeedableRng;
 
 /// SplitMix64 per-sample seed derivation.
 fn derive_seed(master: u64, index: u64) -> u64 {
@@ -43,7 +43,7 @@ pub fn label_conditions(
     let chunk = jobs.len().div_ceil(parallelism);
     let mut out: Vec<Option<bool>> = vec![None; conditions.len()];
     let mut first_err: Option<crate::SimError> = None;
-    crossbeam_like_scope(&jobs, chunk, master_seed, &mut out, &mut first_err);
+    scoped_label_chunks(&jobs, chunk, master_seed, &mut out, &mut first_err);
     if let Some(e) = first_err {
         return Err(e);
     }
@@ -53,9 +53,10 @@ pub fn label_conditions(
         .collect())
 }
 
-/// Tiny scoped-thread fan-out (std::thread::scope keeps us dependency-free
-/// here; crossbeam is used where channels are needed).
-fn crossbeam_like_scope(
+/// Tiny scoped-thread fan-out on `std::thread::scope`, like the AutoML
+/// search's `train_all`: index-slotted output, so the result is identical
+/// to a sequential run.
+fn scoped_label_chunks(
     jobs: &[(usize, NetworkCondition)],
     chunk: usize,
     master_seed: u64,

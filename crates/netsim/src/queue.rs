@@ -135,14 +135,14 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::time::SimTime;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         /// Conservation: packets in = packets out + drops + still queued,
         /// and queued bytes never exceed capacity.
         #[test]
         fn prop_queue_conservation(
-            sizes in proptest::collection::vec(100u32..2000, 1..200),
+            sizes in aml_propcheck::collection::vec(100u32..2000, 1..200),
             capacity in 1500u64..20_000,
         ) {
             let mut q = DropTailQueue::new(capacity);

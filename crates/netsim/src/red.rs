@@ -14,8 +14,8 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// EWMA weight for the average queue size.

@@ -23,7 +23,6 @@ use crate::cc::CcKind;
 use crate::scenario::NetworkCondition;
 use crate::sim::{SimConfig, SimOutcome, Simulation};
 use crate::Result;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of the link a protocol must utilize to qualify.
 pub const MIN_USEFUL_FRACTION: f64 = 0.4;
@@ -56,7 +55,7 @@ pub fn latent_queue_mult(seed: u64) -> f64 {
 }
 
 /// Outcome of one protocol on one condition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolResult {
     /// The protocol.
     pub protocol: CcKind,

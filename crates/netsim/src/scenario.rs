@@ -9,12 +9,11 @@
 
 use crate::{Result, SimError};
 use aml_dataset::{Dataset, FeatureMeta};
-use rand::rngs::StdRng;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::Rng;
 
 /// One point of the feature space: a concrete emulated network.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkCondition {
     /// Bottleneck link rate in Mbit/s (`config.link_rate`).
     pub link_rate_mbps: f64,
@@ -96,7 +95,7 @@ impl NetworkCondition {
 
 /// The sampling domain `R(X_s)` of each feature — exactly the input the
 /// paper's algorithm requires ("the domain of each feature in that set").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConditionDomain {
     /// Link-rate range in Mbps.
     pub link_rate: (f64, f64),
@@ -184,7 +183,7 @@ impl ConditionDomain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
+    use aml_rng::SeedableRng;
 
     #[test]
     fn row_round_trip() {

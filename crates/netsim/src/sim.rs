@@ -18,12 +18,11 @@ use crate::red::RedQueue;
 use crate::scenario::NetworkCondition;
 use crate::time::{serialization_time, Duration, SimTime};
 use crate::{Result, SimError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// Bottleneck queue discipline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueueKind {
     /// Plain drop-tail FIFO (the Pantheon-style default).
     DropTail,
@@ -123,7 +122,7 @@ impl SimConfig {
 }
 
 /// Per-flow statistics over the measurement window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FlowStats {
     /// Goodput in Mbit/s.
     pub throughput_mbps: f64,
@@ -140,7 +139,7 @@ pub struct FlowStats {
 }
 
 /// Aggregate outcome of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Per-flow stats.
     pub flows: Vec<FlowStats>,

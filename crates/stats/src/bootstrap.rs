@@ -5,11 +5,11 @@
 //! comparisons in EXPERIMENTS.md less sensitive to a single lucky split.
 
 use crate::{check_finite, Result, StatsError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 
 /// A two-sided percentile bootstrap confidence interval for the mean.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BootstrapCi {
     /// Point estimate (sample mean).
     pub mean: f64,

@@ -107,7 +107,7 @@ pub fn max(xs: &[f64]) -> Result<f64> {
 /// A five-number-plus summary of a sample, computed in one pass over the
 /// sorted data. Used by the experiment harness to report accuracy
 /// distributions in the same `mean ± std` form as the paper's Table 1.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub n: usize,

@@ -141,12 +141,12 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         /// Midranks always sum to n(n+1)/2, for any finite input.
         #[test]
-        fn prop_rank_sum(xs in proptest::collection::vec(-1e6f64..1e6, 1..64)) {
+        fn prop_rank_sum(xs in aml_propcheck::collection::vec(-1e6f64..1e6, 1..64)) {
             let r = midranks(&xs).unwrap();
             let n = xs.len() as f64;
             prop_assert!((r.iter().sum::<f64>() - n * (n + 1.0) / 2.0).abs() < 1e-6);
@@ -154,7 +154,7 @@ mod prop_tests {
 
         /// Ranks respect the value ordering: x_i < x_j ⇒ rank_i < rank_j.
         #[test]
-        fn prop_rank_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 2..32)) {
+        fn prop_rank_monotone(xs in aml_propcheck::collection::vec(-1e6f64..1e6, 2..32)) {
             let r = midranks(&xs).unwrap();
             for i in 0..xs.len() {
                 for j in 0..xs.len() {

@@ -10,7 +10,7 @@ use crate::wilcoxon::{wilcoxon_signed_rank, Alternative};
 use crate::{Result, StatsError};
 
 /// One cell of the significance matrix.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum SignificanceCell {
     /// Diagonal — an algorithm is never compared against itself.
     NotApplicable,
@@ -38,7 +38,7 @@ impl std::fmt::Display for SignificanceCell {
 
 /// Paired per-test-set scores for a set of named algorithms, plus rendering
 /// of the paper-style comparison table.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PairwiseMatrix {
     names: Vec<String>,
     scores: Vec<Vec<f64>>,

@@ -335,14 +335,14 @@ mod tests {
 #[cfg(test)]
 mod prop_tests {
     use super::*;
-    use proptest::prelude::*;
+    use aml_propcheck::prelude::*;
 
     proptest! {
         /// Exact DP must agree with brute-force enumeration for any small
         /// paired sample (ties and zeros included).
         #[test]
         fn prop_exact_equals_enumeration(
-            pairs in proptest::collection::vec((-5i32..=5, -5i32..=5), 1..10)
+            pairs in aml_propcheck::collection::vec((-5i32..=5, -5i32..=5), 1..10)
         ) {
             let x: Vec<f64> = pairs.iter().map(|(a, _)| *a as f64).collect();
             let y: Vec<f64> = pairs.iter().map(|(_, b)| *b as f64).collect();
@@ -371,7 +371,7 @@ mod prop_tests {
         /// in the sense p_less + p_greater ≥ 1 (they overlap at W = w_obs).
         #[test]
         fn prop_p_in_unit_interval(
-            pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 2..40)
+            pairs in aml_propcheck::collection::vec((-100f64..100.0, -100f64..100.0), 2..40)
         ) {
             let x: Vec<f64> = pairs.iter().map(|(a, _)| *a).collect();
             let y: Vec<f64> = pairs.iter().map(|(_, b)| *b).collect();

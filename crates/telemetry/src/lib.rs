@@ -60,7 +60,7 @@ pub mod trace;
 
 pub use alloc::AllocStats;
 pub use ledger::{EnsembleMember, LedgerEvent, LedgerJsonlSink, LEDGER_SCHEMA_VERSION};
-pub use manifest::Manifest;
+pub use manifest::{json_string_literal, Manifest};
 pub use progress::{note, report, warn, Progress};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};
 pub use sink::{JsonlSink, RunHeader, Sink, SpanEvent};

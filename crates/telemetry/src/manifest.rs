@@ -242,8 +242,9 @@ pub fn git_describe() -> String {
 }
 
 /// JSON string literal with the mandatory escapes — shared with the
-/// export sinks ([`crate::sink`], [`crate::trace`]).
-pub(crate) fn json_string_literal(s: &str) -> String {
+/// export sinks ([`crate::sink`], [`crate::trace`]) and the workspace's
+/// other hand-rolled JSON writers (e.g. `aml-bench`'s `minijson`).
+pub fn json_string_literal(s: &str) -> String {
     json_str(s)
 }
 
