@@ -75,7 +75,9 @@ fn train_one(
         family: config.family().name().to_string(),
         config: format!("{config:?}"),
     });
-    match fit_and_score(&config, train, val) {
+    let outcome = fit_and_score(&config, train, val);
+    aml_telemetry::serve::note_trial_done();
+    match outcome {
         Some((model, val_score, val_proba)) => {
             ledger::emit_with(|| LedgerEvent::TrialFinished {
                 trial,
@@ -138,6 +140,7 @@ fn train_all(
     val: &Dataset,
     parallelism: usize,
 ) -> Vec<TrainedCandidate> {
+    aml_telemetry::serve::add_planned_trials(jobs.len() as u64);
     if parallelism <= 1 || jobs.len() <= 1 {
         return jobs
             .into_iter()

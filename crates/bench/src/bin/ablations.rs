@@ -8,6 +8,7 @@
 //! ```
 
 use aml_automl::AutoMlConfig;
+use aml_bench::minijson::{ToJson, Value};
 use aml_bench::{cached_dataset, mean, write_json, RunOpts};
 use aml_core::{run_strategy, AleFeedback, ExperimentConfig, InterpretationMethod, Strategy};
 use aml_dataset::split::split_into_k;
@@ -16,7 +17,6 @@ use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::runner::winner_index;
 use aml_netsim::sim::{QueueKind, SimConfig, Simulation};
 use aml_netsim::{CcKind, ConditionDomain, NetworkCondition};
-use aml_bench::minijson::{ToJson, Value};
 use aml_telemetry::report;
 use std::collections::BTreeMap;
 
@@ -50,6 +50,7 @@ fn main() {
     let threads = opts.threads;
 
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     let train = cached_dataset(
         &opts.out_dir,
         &format!("scream_train_n{n_train}_s{}", opts.seed),
@@ -63,6 +64,7 @@ fn main() {
     let test_sets = split_into_k(&test, 6, opts.seed).expect("split");
     drop(datagen_span);
     let ablation_span = aml_telemetry::span!("bench.strategies");
+    aml_telemetry::serve::set_phase("strategies");
     let oracle = |rws: &[Vec<f64>]| -> aml_core::Result<Dataset> {
         label_rows(rws, &domain, opts.seed ^ 0x04AC1E, threads)
             .map_err(|e| aml_core::CoreError::InvalidParameter(e.to_string()))

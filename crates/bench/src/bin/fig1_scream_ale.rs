@@ -27,6 +27,7 @@ fn main() {
     let domain = ConditionDomain::default();
 
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     note(&format!(
         "generating {n_train} training samples from the simulator..."
     ));
@@ -42,6 +43,7 @@ fn main() {
     drop(datagen_span);
 
     let fit_span = aml_telemetry::span!("bench.automl_runs");
+    aml_telemetry::serve::set_phase("automl_runs");
     note(&format!(
         "fitting {n_runs} independent AutoML runs (Cross-ALE, as in the figure)..."
     ));
@@ -61,6 +63,7 @@ fn main() {
     drop(fit_span);
 
     let report_span = aml_telemetry::span!("bench.report");
+    aml_telemetry::serve::set_phase("report");
     let ale = AleFeedback {
         mode: AleMode::Cross,
         n_intervals: 24,

@@ -24,6 +24,7 @@ fn main() {
     let n_runs = opts.by_scale(3, 5, 10);
 
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     note(&format!("generating {n_rows} firewall rows..."));
     let full = generate(&FwGenConfig {
         n: n_rows,
@@ -37,6 +38,7 @@ fn main() {
     let (train, _test, _pool) = three_way_split(&full, 0.4, 0.2, opts.seed).expect("split");
     drop(datagen_span);
     let fit_span = aml_telemetry::span!("bench.automl_runs");
+    aml_telemetry::serve::set_phase("automl_runs");
     note(&format!("training on {} rows...", train.n_rows()));
 
     let runs: Vec<_> = (0..n_runs)
@@ -66,6 +68,7 @@ fn main() {
     };
     drop(fit_span);
     let report_span = aml_telemetry::span!("bench.report");
+    aml_telemetry::serve::set_phase("report");
     let analysis = ale.analyze(&runs, &train).expect("analysis");
     report(&format!(
         "realized threshold T = {:.4}\n",

@@ -40,6 +40,8 @@ compare options:
   --abs-floor-ms MS       absolute growth floor in milliseconds (default 5)
   --scale F               multiply NEW's timings by F before comparing
                           (test hook: --scale 2 must trip the gate)
+  --json                  print the verdict as JSON instead of the table
+                          (same exit codes; schema in gate::render_json)
 
 exit codes: 0 pass, 1 regression or run failure, 2 usage error";
 
@@ -74,15 +76,18 @@ struct CompareOpts {
     old: PathBuf,
     new: PathBuf,
     cfg: GateConfig,
+    json: bool,
 }
 
 fn parse_compare(args: &[String]) -> Result<CompareOpts, String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut cfg = GateConfig::default();
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--compare" => {}
+            "--json" => json = true,
             "--tolerance" => cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
             "--abs-floor-ms" => {
                 cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
@@ -97,7 +102,12 @@ fn parse_compare(args: &[String]) -> Result<CompareOpts, String> {
         return Err("--tolerance/--abs-floor-ms must be >= 0 and --scale > 0".into());
     }
     match <[PathBuf; 2]>::try_from(paths) {
-        Ok([old, new]) => Ok(CompareOpts { old, new, cfg }),
+        Ok([old, new]) => Ok(CompareOpts {
+            old,
+            new,
+            cfg,
+            json,
+        }),
         Err(other) => Err(format!(
             "--compare expects exactly two report paths, got {}",
             other.len()
@@ -119,6 +129,10 @@ fn run_compare(opts: CompareOpts) -> i32 {
         }
     };
     let outcome = compare(&old, &new, &opts.cfg);
+    if opts.json {
+        println!("{}", outcome.render_json(&old.workload, &opts.cfg));
+        return i32::from(!outcome.passed());
+    }
     println!(
         "perfgate: {} ({} @ {}) vs ({} @ {})",
         old.workload,

@@ -47,6 +47,7 @@ fn main() {
     // production traces under-sample. That coverage gap is precisely what
     // the feedback loop exists to close.
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     note(&format!(
         "generating datasets (train {n_train}, pool {n_pool}, test {n_test})..."
     ));
@@ -100,6 +101,7 @@ fn main() {
     let mut points_added: BTreeMap<Strategy, usize> = BTreeMap::new();
 
     let strategies_span = aml_telemetry::span!("bench.strategies");
+    aml_telemetry::serve::set_phase("strategies");
     for rep in 0..repeats {
         let rep_seed = opts.seed ^ ((rep as u64 + 1) * 0xA5A5);
         let test_sets = split_into_k(&test, n_test_sets, rep_seed).expect("test split");
@@ -157,6 +159,7 @@ fn main() {
 
     // Assemble the paper-layout table from the pooled paired scores.
     let report_span = aml_telemetry::span!("bench.report");
+    aml_telemetry::serve::set_phase("report");
     let mut outcomes_sorted: Vec<(Strategy, Vec<f64>, usize)> = strategies
         .iter()
         .map(|s| (*s, all_scores[s].clone(), points_added[s] / repeats))

@@ -33,6 +33,7 @@ fn main() {
     let n_cross_runs = opts.by_scale(3, 4, 10);
 
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     note(&format!("generating {n_rows} firewall rows..."));
     let full = generate(&FwGenConfig {
         n: n_rows,
@@ -52,6 +53,7 @@ fn main() {
 
     drop(datagen_span);
     let strategies_span = aml_telemetry::span!("bench.strategies");
+    aml_telemetry::serve::set_phase("strategies");
     let mut all_scores: BTreeMap<Strategy, Vec<f64>> = BTreeMap::new();
 
     for split_i in 0..n_resplits {
@@ -106,6 +108,7 @@ fn main() {
 
     drop(strategies_span);
     let report_span = aml_telemetry::span!("bench.report");
+    aml_telemetry::serve::set_phase("report");
     let mut matrix = PairwiseMatrix::new();
     for s in strategies {
         matrix

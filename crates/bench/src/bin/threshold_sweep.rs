@@ -8,13 +8,13 @@
 //! ```
 
 use aml_automl::{AutoMl, AutoMlConfig};
+use aml_bench::minijson::{ToJson, Value};
 use aml_bench::{cached_dataset, mean, write_json, RunOpts};
 use aml_core::{run_strategy, AleFeedback, ExperimentConfig, Strategy, ThresholdRule};
 use aml_dataset::split::split_into_k;
 use aml_dataset::Dataset;
 use aml_netsim::datagen::{generate_dataset, label_rows};
 use aml_netsim::ConditionDomain;
-use aml_bench::minijson::{ToJson, Value};
 use aml_telemetry::report;
 
 struct SweepRow {
@@ -49,6 +49,7 @@ fn main() {
     let threads = opts.threads;
 
     let datagen_span = aml_telemetry::span!("bench.datagen");
+    aml_telemetry::serve::set_phase("datagen");
     let train = cached_dataset(
         &opts.out_dir,
         &format!("scream_train_n{n_train}_s{}", opts.seed),
@@ -62,6 +63,7 @@ fn main() {
     let test_sets = split_into_k(&test, 6, opts.seed).expect("split");
     drop(datagen_span);
     let sweep_span = aml_telemetry::span!("bench.strategies");
+    aml_telemetry::serve::set_phase("strategies");
 
     // Coverage side: one shared analysis per threshold.
     let run = AutoMl::new(AutoMlConfig {

@@ -9,6 +9,7 @@
 //! check, so it regresses only when the new value exceeds the floor
 //! outright.
 
+use crate::minijson::{ToJson, Value};
 use crate::report::BenchReport;
 use std::fmt::Write as _;
 
@@ -113,6 +114,41 @@ impl GateOutcome {
             cfg.abs_floor_s * 1e3,
         );
         out
+    }
+
+    /// Machine-readable verdict for `perfgate --compare --json`: the gate
+    /// parameters, overall pass/fail, and every compared metric. Schema:
+    /// `{workload, tolerance_pct, abs_floor_ms, scale, pass, regressions,
+    /// metrics: [{metric, old, new, delta_pct|null, regressed}],
+    /// unmatched: [..]}`.
+    pub fn render_json(&self, workload: &str, cfg: &GateConfig) -> String {
+        let metrics: Vec<Value> = self
+            .diffs
+            .iter()
+            .map(|d| {
+                Value::Obj(vec![
+                    ("metric".into(), d.metric.to_json()),
+                    ("old".into(), d.old.to_json()),
+                    ("new".into(), d.new.to_json()),
+                    (
+                        "delta_pct".into(),
+                        d.delta_pct.map_or(Value::Null, |p| p.to_json()),
+                    ),
+                    ("regressed".into(), d.regressed.to_json()),
+                ])
+            })
+            .collect();
+        Value::Obj(vec![
+            ("workload".into(), workload.to_json()),
+            ("tolerance_pct".into(), cfg.tolerance_pct.to_json()),
+            ("abs_floor_ms".into(), (cfg.abs_floor_s * 1e3).to_json()),
+            ("scale".into(), cfg.scale_new.to_json()),
+            ("pass".into(), self.passed().to_json()),
+            ("regressions".into(), self.regressions().to_json()),
+            ("metrics".into(), Value::Arr(metrics)),
+            ("unmatched".into(), self.unmatched.to_json()),
+        ])
+        .render()
     }
 }
 
@@ -343,6 +379,43 @@ mod tests {
                 .unwrap()
                 .regressed
         );
+    }
+
+    #[test]
+    fn json_verdict_round_trips_and_flags_regressions() {
+        let old = report(10.0, &[("bench.datagen", 7.0), ("bench.gone", 1.0)]);
+        let new = report(21.0, &[("bench.datagen", 7.0)]);
+        let cfg = GateConfig::default();
+        let outcome = compare(&old, &new, &cfg);
+        let json = outcome.render_json("table1_scream", &cfg);
+        let v = crate::minijson::parse(&json).expect("render_json emits valid JSON");
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("table1_scream"));
+        assert_eq!(v.get("tolerance_pct").unwrap().as_f64(), Some(10.0));
+        assert_eq!(v.get("abs_floor_ms").unwrap().as_f64(), Some(5.0));
+        assert_eq!(v.get("pass").unwrap(), &Value::Bool(false));
+        assert_eq!(v.get("regressions").unwrap().as_u64(), Some(1));
+        let metrics = v.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(metrics.len(), outcome.diffs.len());
+        let wall = &metrics[0];
+        assert_eq!(wall.get("metric").unwrap().as_str(), Some("wall_time_s"));
+        assert_eq!(wall.get("old").unwrap().as_f64(), Some(10.0));
+        assert_eq!(wall.get("new").unwrap().as_f64(), Some(21.0));
+        let delta = wall.get("delta_pct").unwrap().as_f64().unwrap();
+        assert!((delta - 110.0).abs() < 1e-9, "{delta}");
+        assert_eq!(wall.get("regressed").unwrap(), &Value::Bool(true));
+        let unmatched = v.get("unmatched").unwrap().as_arr().unwrap();
+        assert_eq!(unmatched[0].as_str(), Some("span:bench.gone"));
+
+        // A zero baseline renders delta_pct as JSON null.
+        let zero = compare(&report(0.0, &[]), &report(0.0, &[]), &cfg);
+        let v = crate::minijson::parse(&zero.render_json("w", &cfg)).unwrap();
+        assert_eq!(
+            v.get("metrics").unwrap().as_arr().unwrap()[0]
+                .get("delta_pct")
+                .unwrap(),
+            &Value::Null
+        );
+        assert_eq!(v.get("pass").unwrap(), &Value::Bool(true));
     }
 
     #[test]

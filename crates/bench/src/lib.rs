@@ -84,6 +84,13 @@ pub struct RunOpts {
     /// Stream the experiment ledger (trials, ensembles, rounds, regions)
     /// as JSON lines here.
     pub ledger_out: Option<PathBuf>,
+    /// Serve the live observability plane (`/metrics`, `/healthz`,
+    /// `/runs`) on this address (e.g. `127.0.0.1:9100`; port 0 picks a
+    /// free port, written to `<out>/serve.addr`).
+    pub serve: Option<String>,
+    /// Write the span self-time profile here in collapsed-stack folded
+    /// format (flamegraph-ready) at the end of the run.
+    pub profile_out: Option<PathBuf>,
     /// Workload name (set by [`RunOpts::parse_for`]); names the manifest,
     /// the BENCH report, and the export sinks' run id.
     pub workload: String,
@@ -105,7 +112,13 @@ options:
   --events-out PATH       stream telemetry as JSON lines
   --ledger-out PATH       stream the experiment ledger (trials, ensembles,
                           feedback rounds) as JSON lines; see `amlreport`
-                          (export flags imply --telemetry summary)
+  --serve ADDR            serve /metrics, /healthz and /runs over HTTP while
+                          the run is live (port 0 picks a free port, written
+                          to <out>/serve.addr); also starts the /proc
+                          resource sampler
+  --profile-out PATH      write the span self-time profile as collapsed
+                          stacks (flamegraph-ready) and print a top table
+                          (export/serve/profile flags imply --telemetry summary)
   --help                  show this help";
 
 impl RunOpts {
@@ -122,6 +135,8 @@ impl RunOpts {
             trace_out: None,
             events_out: None,
             ledger_out: None,
+            serve: None,
+            profile_out: None,
             workload: "bench".to_string(),
             started: Instant::now(),
         }
@@ -163,7 +178,9 @@ impl RunOpts {
         let wants_export = self.emit_bench
             || self.trace_out.is_some()
             || self.events_out.is_some()
-            || self.ledger_out.is_some();
+            || self.ledger_out.is_some()
+            || self.serve.is_some()
+            || self.profile_out.is_some();
         if wants_export && self.telemetry == TelemetryLevel::Off {
             self.telemetry = TelemetryLevel::Summary;
         }
@@ -191,6 +208,26 @@ impl RunOpts {
                     .map_err(|e| format!("cannot write --ledger-out {}: {e}", path.display()))?;
                 aml_telemetry::sink::install(Box::new(sink));
             }
+        }
+
+        if let Some(path) = &self.profile_out {
+            ensure_parent(path, "--profile-out")?;
+            aml_telemetry::profile::reset();
+            aml_telemetry::profile::set_active(true);
+        }
+        if let Some(addr) = &self.serve {
+            let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
+            let bound = aml_telemetry::serve::start(addr, &header)
+                .map_err(|e| format!("cannot bind --serve {addr}: {e}"))?;
+            // Port 0 means "pick one"; record the resolved address so
+            // scripts (and the CI smoke test) can find the live plane.
+            let addr_file = self.out_dir.join("serve.addr");
+            std::fs::write(&addr_file, format!("{bound}\n"))
+                .map_err(|e| format!("cannot write {}: {e}", addr_file.display()))?;
+            aml_telemetry::note(&format!(
+                "serving /metrics /healthz /runs on http://{bound}"
+            ));
+            aml_telemetry::resource::start_sampler(std::time::Duration::from_millis(500));
         }
         Ok(())
     }
@@ -243,6 +280,14 @@ impl RunOpts {
                     let v = value_of(args, &mut i, "--ledger-out")?;
                     opts.ledger_out = Some(PathBuf::from(v));
                 }
+                "--serve" => {
+                    let v = value_of(args, &mut i, "--serve")?;
+                    opts.serve = Some(v.to_string());
+                }
+                "--profile-out" => {
+                    let v = value_of(args, &mut i, "--profile-out")?;
+                    opts.profile_out = Some(PathBuf::from(v));
+                }
                 unknown => return Err(format!("unknown flag '{unknown}'")),
             }
             i += 1;
@@ -280,6 +325,10 @@ impl RunOpts {
         if !aml_telemetry::enabled() {
             return;
         }
+        aml_telemetry::serve::set_phase("finishing");
+        // Stop the sampler (taking one last reading) before the snapshot
+        // so the final proc.* gauges land in the manifest.
+        aml_telemetry::resource::stop_sampler();
         aml_telemetry::alloc::publish_counters();
         let manifest = aml_telemetry::Manifest::new(
             &self.workload,
@@ -306,6 +355,19 @@ impl RunOpts {
                 Err(e) => aml_telemetry::warn(&format!("could not write BENCH report: {e}")),
             }
         }
+        if let Some(path) = &self.profile_out {
+            aml_telemetry::profile::set_active(false);
+            match aml_telemetry::profile::write_folded(path) {
+                Ok(()) => aml_telemetry::note(&format!("wrote {}", path.display())),
+                Err(e) => aml_telemetry::warn(&format!(
+                    "could not write --profile-out {}: {e}",
+                    path.display()
+                )),
+            }
+            let entries = aml_telemetry::profile::entries();
+            eprint!("{}", aml_telemetry::profile::render_top_table(&entries, 10));
+        }
+        aml_telemetry::serve::stop();
     }
 }
 
@@ -452,6 +514,29 @@ mod tests {
         assert_eq!(opts.ledger_out, Some(PathBuf::from("/tmp/x/ledger.jsonl")));
         // Parsing alone never touches the level; prepare() does.
         assert_eq!(opts.telemetry, TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn live_plane_flags_parse() {
+        let opts = parse(&[
+            "--serve",
+            "127.0.0.1:0",
+            "--profile-out",
+            "/tmp/x/profile.folded",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.serve, Some("127.0.0.1:0".to_string()));
+        assert_eq!(
+            opts.profile_out,
+            Some(PathBuf::from("/tmp/x/profile.folded"))
+        );
+        // Parsing alone never touches the level; prepare() bumps it.
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+        assert!(parse(&["--serve"]).unwrap_err().contains("--serve"));
+        assert!(parse(&["--profile-out", "--quick"])
+            .unwrap_err()
+            .contains("--profile-out"));
     }
 
     #[test]

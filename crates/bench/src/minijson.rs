@@ -412,11 +412,7 @@ impl<T: ToJson> ToJson for Vec<T> {
 
 impl<T: ToJson> ToJson for std::collections::BTreeMap<String, T> {
     fn to_json(&self) -> Value {
-        Value::Obj(
-            self.iter()
-                .map(|(k, v)| (k.clone(), v.to_json()))
-                .collect(),
-        )
+        Value::Obj(self.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
     }
 }
 

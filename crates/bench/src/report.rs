@@ -561,6 +561,7 @@ mod tests {
                     ("alloc.peak_bytes".into(), 2048),
                     ("netsim.sim.events".into(), 50_000),
                 ],
+                gauges: vec![],
                 histograms: vec![HistSnapshot {
                     name: "automl.fit_us[forest]".into(),
                     count: 4,
@@ -569,6 +570,7 @@ mod tests {
                     max: 200,
                     p50: 127,
                     p95: 255,
+                    buckets: vec![],
                 }],
             },
         };

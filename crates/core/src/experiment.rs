@@ -197,6 +197,7 @@ pub fn run_strategy(
     }
 
     let _run_span = aml_telemetry::span!("core.strategy.run", strategy.name());
+    aml_telemetry::serve::set_phase(strategy.name());
     let mut augmented = train.clone();
     let mut feedback = None;
     let n_before = augmented.n_rows();
@@ -365,6 +366,7 @@ pub fn run_strategy(
             ale_std_max,
         }
     });
+    aml_telemetry::serve::note_round_done();
 
     Ok(StrategyOutcome {
         strategy,

@@ -460,6 +460,48 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Fails every write; exercises the ledger's drop accounting.
+    struct FailingWriter;
+
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk full"))
+        }
+    }
+
+    #[test]
+    fn failed_ledger_writes_count_as_dropped_events() {
+        let _guard = crate::test_lock::hold();
+        crate::set_level(crate::TelemetryLevel::Summary);
+        crate::global().reset();
+        // The header line fits in the BufWriter's buffer, so creation
+        // succeeds even over a dead writer — same as the event sink.
+        let sink =
+            LedgerJsonlSink::from_writer(Box::new(FailingWriter), "failing", &RunHeader::default())
+                .unwrap();
+        // An event larger than the buffer forces a real write — which
+        // fails and must be accounted, not silently lost.
+        sink.on_ledger_event(&LedgerEvent::TrialFailed {
+            trial: 1,
+            rung: 0,
+            family: "x".repeat(16 * 1024),
+        });
+        let snap = crate::global().snapshot();
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(n, v)| n == "telemetry.events_dropped" && *v >= 1),
+            "{:?}",
+            snap.counters
+        );
+        assert!(sink.finish(&snap).is_err(), "flush over a dead writer");
+        crate::set_level(crate::TelemetryLevel::Off);
+        crate::global().reset();
+    }
+
     #[test]
     fn emit_with_skips_closure_when_inactive() {
         let _guard = crate::test_lock::hold();

@@ -24,6 +24,15 @@
 //!   events — trials with halving rungs, ensemble composition, feedback
 //!   rounds, suggested regions, curve provenance — streamed to a
 //!   deterministic `ledger.jsonl` (consumed by the `amlreport` bin);
+//! * a **live observability plane** ([`serve`], behind `--serve ADDR`):
+//!   a std-only HTTP server exposing `/metrics` (Prometheus text
+//!   exposition), `/healthz` (liveness + run phase), and `/runs` (run
+//!   header, live progress, recent ledger events);
+//! * a **resource sampler** ([`resource`]): `/proc/self` readings
+//!   published as `proc.*` gauges ([`gauge_set`]), no-op off Linux;
+//! * a **self-time profiler** ([`profile`], behind `--profile-out`):
+//!   exclusive per-span-stack wall time written as collapsed-stack
+//!   folded output, directly loadable by flamegraph tooling;
 //! * optional **allocation tracking** ([`alloc`], behind the
 //!   `alloc-track` feature): a counting global allocator whose totals
 //!   land in `alloc.*` counters and per-span byte deltas.
@@ -52,8 +61,11 @@
 pub mod alloc;
 pub mod ledger;
 pub mod manifest;
+pub mod profile;
 pub mod progress;
 pub mod registry;
+pub mod resource;
+pub mod serve;
 pub mod sink;
 pub mod span;
 pub mod trace;
@@ -171,6 +183,16 @@ pub fn counter_add(name: &str, n: u64) {
 pub fn counter_add_labeled(base: &str, label: &str, n: u64) {
     if enabled() {
         global().counter_add(&format!("{base}[{label}]"), n);
+    }
+}
+
+/// Set the named global gauge to `value` (last write wins; e.g.
+/// `proc.rss_bytes` from the resource sampler). No-op when telemetry is
+/// off.
+#[inline]
+pub fn gauge_set(name: &str, value: u64) {
+    if enabled() {
+        global().gauge_set(name, value);
     }
 }
 

@@ -17,6 +17,7 @@
 //!   "wall_time_s": 12.345,
 //!   "spans":      { "<name>": {"calls":N,"total_s":F,"mean_ms":F,"max_ms":F}, … },
 //!   "counters":   { "<name>": N, … },
+//!   "gauges":     { "<name>": N, … },
 //!   "histograms": { "<name>": {"count":N,"sum":N,"min":N,"max":N,"p50":N,"p95":N}, … }
 //! }
 //! ```
@@ -123,6 +124,22 @@ impl Manifest {
             "\n  },\n"
         });
 
+        out.push_str("  \"gauges\": {");
+        for (i, (name, value)) in self.snapshot.gauges.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {}: {}",
+                if i == 0 { "" } else { "," },
+                json_str(name),
+                value
+            );
+        }
+        out.push_str(if self.snapshot.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+
         out.push_str("  \"histograms\": {");
         for (i, h) in self.snapshot.histograms.iter().enumerate() {
             let _ = write!(
@@ -204,6 +221,13 @@ impl Manifest {
         if !self.snapshot.counters.is_empty() {
             let _ = writeln!(out, "counters:");
             for (name, value) in &self.snapshot.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+
+        if !self.snapshot.gauges.is_empty() {
+            let _ = writeln!(out, "gauges:");
+            for (name, value) in &self.snapshot.gauges {
                 let _ = writeln!(out, "  {name} = {value}");
             }
         }
@@ -319,6 +343,7 @@ mod tests {
                     min_ns: 2_000_000,
                 }],
                 counters: vec![("netsim.sim.events".into(), 123)],
+                gauges: vec![("proc.rss_bytes".into(), 4096)],
                 histograms: vec![HistSnapshot {
                     name: "automl.fit_us[forest]".into(),
                     count: 3,
@@ -327,6 +352,7 @@ mod tests {
                     max: 200,
                     p50: 127,
                     p95: 255,
+                    buckets: vec![],
                 }],
             },
         }

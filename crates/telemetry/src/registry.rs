@@ -46,13 +46,17 @@ impl SpanStat {
     }
 }
 
+/// Number of log2 buckets in a [`Histogram`]: one per possible bit length
+/// of a `u64` (0 for zero, 1..=64 otherwise).
+pub const HIST_BUCKETS: usize = 65;
+
 /// Fixed-shape histogram: count/sum/min/max plus log2 buckets.
 ///
 /// Values are unit-agnostic `u64`s; by convention the pipeline records
 /// microseconds for durations (`automl.fit_us[...]`) and raw counts
-/// otherwise. 64 power-of-two buckets cover the full `u64` range, which is
-/// coarse but lock-free and good enough for the p50/p95 estimates shown in
-/// the run summary.
+/// otherwise. 65 power-of-two buckets (one per bit length) cover the full
+/// `u64` range, which is coarse but lock-free and good enough for the
+/// quantile estimates shown in the run summary and `/metrics`.
 #[derive(Debug)]
 pub struct Histogram {
     /// Number of recorded observations.
@@ -64,8 +68,9 @@ pub struct Histogram {
     /// Largest observation.
     pub max: AtomicU64,
     /// `buckets[i]` counts observations with `bit_length(value) == i`,
-    /// i.e. values in `[2^(i-1), 2^i)`; bucket 0 counts zeros.
-    pub buckets: [AtomicU64; 64],
+    /// i.e. values in `[2^(i-1), 2^i)`; bucket 0 counts zeros and bucket
+    /// 64 covers `[2^63, u64::MAX]`.
+    pub buckets: [AtomicU64; HIST_BUCKETS],
 }
 
 impl Histogram {
@@ -86,7 +91,7 @@ impl Histogram {
         self.min.fetch_min(value, Ordering::Relaxed);
         self.max.fetch_max(value, Ordering::Relaxed);
         let bucket = (64 - value.leading_zeros()) as usize; // bit length; 0 for value == 0
-        self.buckets[bucket.min(63)].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -134,12 +139,21 @@ pub struct HistSnapshot {
     pub p50: u64,
     /// Approximate 95th percentile (upper edge of its bucket).
     pub p95: u64,
+    /// Raw log2 bucket counts (`buckets[i]` = observations with bit length
+    /// `i`); empty when the snapshot was built without bucket data.
+    pub buckets: Vec<u64>,
 }
 
 impl HistSnapshot {
     /// Mean observation (0 when empty).
     pub fn mean(&self) -> u64 {
         self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the q-quantile (`0.0 < q <= 1.0`) from the log2 buckets:
+    /// the upper edge of the bucket holding the nearest-rank observation.
+    pub fn quantile(&self, q: f64) -> u64 {
+        bucket_quantile(&self.buckets, self.count, q)
     }
 }
 
@@ -151,6 +165,9 @@ pub struct Snapshot {
     pub spans: Vec<SpanSnapshot>,
     /// All counters as `(name, value)`, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// All gauges as `(name, value)`, sorted by name. Gauges are
+    /// last-write-wins (e.g. `proc.rss_bytes` from the resource sampler).
+    pub gauges: Vec<(String, u64)>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistSnapshot>,
 }
@@ -163,6 +180,7 @@ pub struct Snapshot {
 pub struct Registry {
     spans: RwLock<HashMap<String, Arc<SpanStat>>>,
     counters: RwLock<HashMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<HashMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<HashMap<String, Arc<Histogram>>>,
 }
 
@@ -194,6 +212,19 @@ impl Registry {
         map.entry(name.to_string())
             .or_insert_with(|| Arc::new(AtomicU64::new(0)))
             .fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Set the gauge `name` to `value` (last write wins), creating it on
+    /// first use.
+    pub fn gauge_set(&self, name: &str, value: u64) {
+        if let Some(g) = self.gauges.read().unwrap().get(name) {
+            g.store(value, Ordering::Relaxed);
+            return;
+        }
+        let mut map = self.gauges.write().unwrap();
+        map.entry(name.to_string())
+            .or_insert_with(|| Arc::new(AtomicU64::new(0)))
+            .store(value, Ordering::Relaxed);
     }
 
     /// Record `value` into the histogram `name`, creating it on first use.
@@ -238,6 +269,15 @@ impl Registry {
             .collect();
         counters.sort_by(|a, b| a.0.cmp(&b.0));
 
+        let mut gauges: Vec<(String, u64)> = self
+            .gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.load(Ordering::Relaxed)))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+
         let mut histograms: Vec<HistSnapshot> = self
             .histograms
             .read()
@@ -250,6 +290,7 @@ impl Registry {
         Snapshot {
             spans,
             counters,
+            gauges,
             histograms,
         }
     }
@@ -259,6 +300,7 @@ impl Registry {
     pub fn reset(&self) {
         self.spans.write().unwrap().clear();
         self.counters.write().unwrap().clear();
+        self.gauges.write().unwrap().clear();
         self.histograms.write().unwrap().clear();
     }
 }
@@ -279,10 +321,24 @@ fn snapshot_histogram(name: &str, h: &Histogram) -> HistSnapshot {
         max: h.max.load(Ordering::Relaxed),
         p50: bucket_quantile(&buckets, count, 0.50),
         p95: bucket_quantile(&buckets, count, 0.95),
+        buckets,
     }
 }
 
-/// Upper edge of the bucket containing the q-quantile observation.
+/// Inclusive upper edge of log2 bucket `i` (bit length `i`): 0 for bucket
+/// 0, `2^i - 1` below the top, `u64::MAX` for bucket 64 — the shift
+/// `1u64 << 64` would overflow, and the bucket genuinely extends to the
+/// end of the `u64` range.
+pub fn bucket_upper_edge(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// Upper edge of the bucket containing the q-quantile observation
+/// (nearest-rank: rank `max(1, ceil(count * q))`).
 fn bucket_quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
     if count == 0 {
         return 0;
@@ -292,8 +348,7 @@ fn bucket_quantile(buckets: &[u64], count: u64, q: f64) -> u64 {
     for (i, &b) in buckets.iter().enumerate() {
         seen += b;
         if seen >= rank {
-            // Bucket i holds values with bit length i: [2^(i-1), 2^i).
-            return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            return bucket_upper_edge(i);
         }
     }
     u64::MAX
@@ -387,13 +442,144 @@ mod tests {
         reg.counter_add("a", 1);
         reg.span_stat("z").record(5);
         reg.span_stat("y").record(5);
+        reg.gauge_set("g2", 7);
+        reg.gauge_set("g1", 3);
         let snap = reg.snapshot();
         assert_eq!(snap.counters[0].0, "a");
         assert_eq!(snap.counters[1].0, "b");
         assert_eq!(snap.spans[0].name, "y");
         assert_eq!(snap.spans[1].name, "z");
+        assert_eq!(snap.gauges, vec![("g1".into(), 3), ("g2".into(), 7)]);
         reg.reset();
         let snap = reg.snapshot();
-        assert!(snap.counters.is_empty() && snap.spans.is_empty());
+        assert!(snap.counters.is_empty() && snap.spans.is_empty() && snap.gauges.is_empty());
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let reg = Registry::new();
+        reg.gauge_set("proc.rss_bytes", 100);
+        reg.gauge_set("proc.rss_bytes", 42);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauges, vec![("proc.rss_bytes".into(), 42)]);
+    }
+
+    #[test]
+    fn top_bucket_quantile_covers_values_above_2_pow_63() {
+        // Regression: values with bit length 64 land in bucket 64; the
+        // estimated quantile must not fall below the value's bucket lower
+        // bound (2^63). With 64 buckets and a clamp this came back as
+        // 2^63 - 1.
+        let reg = Registry::new();
+        for _ in 0..4 {
+            reg.histogram_record("huge", u64::MAX);
+        }
+        reg.histogram_record("huge", 1u64 << 63);
+        let snap = reg.snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.p50, u64::MAX);
+        assert_eq!(h.p95, u64::MAX);
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert!(h.p50 >= 1u64 << 63);
+    }
+
+    #[test]
+    fn bucket_upper_edges_are_monotone() {
+        let mut prev = 0u64;
+        for i in 1..HIST_BUCKETS {
+            let edge = bucket_upper_edge(i);
+            assert!(edge > prev, "bucket {i}: {edge} <= {prev}");
+            prev = edge;
+        }
+        assert_eq!(bucket_upper_edge(64), u64::MAX);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use aml_propcheck::prelude::*;
+
+    /// Log2 bucket bounds of `value`: `[2^(bl-1), upper_edge(bl)]` where
+    /// `bl` is the bit length. This is the ground truth the histogram's
+    /// bucketing is supposed to honor.
+    fn true_bucket_bounds(value: u64) -> (u64, u64) {
+        let bl = (64 - value.leading_zeros()) as usize;
+        let lo = if bl == 0 { 0 } else { 1u64 << (bl - 1) };
+        (lo, bucket_upper_edge(bl))
+    }
+
+    /// Exact nearest-rank quantile of `values` (must be non-empty), using
+    /// the same rank rule as `bucket_quantile`.
+    fn exact_quantile(values: &mut [u64], q: f64) -> u64 {
+        values.sort_unstable();
+        let rank = ((values.len() as f64 * q).ceil() as usize).max(1);
+        values[rank - 1]
+    }
+
+    proptest! {
+        /// For any set of observations spanning the full u64 magnitude
+        /// range, the estimated p50/p95/p99 stay within the true
+        /// quantile value's log2 bucket bounds.
+        #[test]
+        fn prop_quantile_estimates_stay_in_true_bucket(
+            raw in aml_propcheck::collection::vec((0u64..65, 0u64..u64::MAX), 1..48)
+        ) {
+            // Shift mantissas down so values cover every bucket,
+            // including bit length 64 (shift 0) and zero (shift 64).
+            let values: Vec<u64> = raw
+                .iter()
+                .map(|&(shift, mantissa)| {
+                    if shift >= 64 { 0 } else { mantissa >> shift }
+                })
+                .collect();
+            let reg = Registry::new();
+            for &v in &values {
+                reg.histogram_record("h", v);
+            }
+            let snap = reg.snapshot();
+            let h = &snap.histograms[0];
+            for q in [0.50, 0.95, 0.99] {
+                let mut sorted = values.clone();
+                let truth = exact_quantile(&mut sorted, q);
+                let (lo, hi) = true_bucket_bounds(truth);
+                let est = h.quantile(q);
+                prop_assert!(
+                    est >= lo && est <= hi,
+                    "q={} est={} outside [{}, {}] (truth={})",
+                    q, est, lo, hi, truth
+                );
+            }
+        }
+
+        /// The estimate is always >= the true quantile (it reports the
+        /// bucket's upper edge) and never exceeds the observed max's
+        /// bucket upper edge.
+        #[test]
+        fn prop_quantile_estimate_is_bucket_upper_edge(
+            raw in aml_propcheck::collection::vec((0u64..65, 0u64..u64::MAX), 1..48)
+        ) {
+            let values: Vec<u64> = raw
+                .iter()
+                .map(|&(shift, mantissa)| {
+                    if shift >= 64 { 0 } else { mantissa >> shift }
+                })
+                .collect();
+            let reg = Registry::new();
+            for &v in &values {
+                reg.histogram_record("h", v);
+            }
+            let snap = reg.snapshot();
+            let h = &snap.histograms[0];
+            let max = *values.iter().max().unwrap();
+            let (_, max_hi) = true_bucket_bounds(max);
+            for q in [0.50, 0.95, 0.99] {
+                let mut sorted = values.clone();
+                let truth = exact_quantile(&mut sorted, q);
+                let est = h.quantile(q);
+                prop_assert!(est >= truth, "q={} est={} < truth={}", q, est, truth);
+                prop_assert!(est <= max_hi, "q={} est={} > max edge {}", q, est, max_hi);
+            }
+        }
     }
 }

@@ -25,6 +25,10 @@ struct SpanInner {
     name: String,
     /// `alloc.bytes` at open, for the per-span allocation delta.
     alloc_open: u64,
+    /// Whether this span pushed a frame on the profiler stack (the
+    /// profiler was active at open); guards the matching pop so toggling
+    /// mid-span can never unbalance the stack.
+    profiled: bool,
 }
 
 /// RAII guard for a timing span; records into the global registry on drop.
@@ -51,6 +55,9 @@ impl Drop for Span {
         let ns = inner.start.elapsed().as_nanos() as u64;
         inner.stat.record(ns);
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        if inner.profiled {
+            crate::profile::on_span_close(ns);
+        }
         if crate::sink::active() {
             crate::sink::emit_span_close(&inner.name, inner.start, ns, current_depth());
         }
@@ -75,12 +82,17 @@ pub fn span(name: &str) -> Span {
         return Span { inner: None };
     }
     DEPTH.with(|d| d.set(d.get() + 1));
+    let profiled = crate::profile::active();
+    if profiled {
+        crate::profile::on_span_open(name);
+    }
     Span {
         inner: Some(SpanInner {
             stat: global().span_stat(name),
             start: Instant::now(),
             name: name.to_string(),
             alloc_open: crate::alloc::bytes_now(),
+            profiled,
         }),
     }
 }
@@ -94,12 +106,17 @@ pub fn span_labeled(base: &str, label: &str) -> Span {
     }
     let name = format!("{base}[{label}]");
     DEPTH.with(|d| d.set(d.get() + 1));
+    let profiled = crate::profile::active();
+    if profiled {
+        crate::profile::on_span_open(&name);
+    }
     Span {
         inner: Some(SpanInner {
             stat: global().span_stat(&name),
             start: Instant::now(),
             name,
             alloc_open: crate::alloc::bytes_now(),
+            profiled,
         }),
     }
 }
