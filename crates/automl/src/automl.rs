@@ -1,6 +1,6 @@
 //! The top-level AutoML driver: split → search → ensemble-select → package.
 
-use crate::search::{run_search, SearchStrategy, TrainedCandidate};
+use crate::search::{run_search, SearchLimits, SearchStrategy, TrainedCandidate};
 use crate::selection::greedy_ensemble_selection;
 use crate::space::ModelFamily;
 use crate::{AutoMlError, Result};
@@ -30,6 +30,12 @@ pub struct AutoMlConfig {
     pub seed: u64,
     /// Worker threads for candidate training (1 = sequential).
     pub parallelism: usize,
+    /// Wall-clock budget per trial (`--max-trial-time`); `None` runs
+    /// trials inline with no budget machinery (off-is-free).
+    pub max_trial_time: Option<std::time::Duration>,
+    /// Minimum trials that must survive the search (`--min-trials`);
+    /// below this the run errors instead of degrading further.
+    pub min_trials: usize,
 }
 
 impl Default for AutoMlConfig {
@@ -43,6 +49,8 @@ impl Default for AutoMlConfig {
             strategy: SearchStrategy::Random,
             seed: 0,
             parallelism: 1,
+            max_trial_time: None,
+            min_trials: 1,
         }
     }
 }
@@ -74,6 +82,15 @@ impl AutoMlConfig {
             return Err(AutoMlError::InvalidConfig(
                 "parallelism must be >= 1".into(),
             ));
+        }
+        if self.min_trials == 0 {
+            return Err(AutoMlError::InvalidConfig("min_trials must be >= 1".into()));
+        }
+        if self.min_trials > self.n_candidates {
+            return Err(AutoMlError::InvalidConfig(format!(
+                "min_trials {} exceeds n_candidates {}",
+                self.min_trials, self.n_candidates
+            )));
         }
         Ok(())
     }
@@ -135,6 +152,10 @@ impl AutoMl {
             &inner_val,
             self.config.seed,
             self.config.parallelism,
+            &SearchLimits {
+                max_trial_time: self.config.max_trial_time,
+                min_trials: self.config.min_trials,
+            },
         )?;
 
         let outcome = greedy_ensemble_selection(

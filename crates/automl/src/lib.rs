@@ -41,8 +41,42 @@ pub mod selection;
 pub mod space;
 
 pub use automl::{AutoMl, AutoMlConfig, FittedAutoMl};
-pub use search::{SearchStrategy, TrainedCandidate};
+pub use search::{SearchLimits, SearchStrategy, TrainedCandidate};
 pub use space::{CandidateConfig, ModelFamily};
+
+/// Typed failures of the candidate search itself (as opposed to
+/// individual trial failures, which are ledgered and survived).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchError {
+    /// A training worker thread died outside the per-trial sandbox —
+    /// a harness bug, not a trial failure.
+    WorkerPanicked(String),
+    /// Fewer trials survived the search than the configured
+    /// `min_trials` floor: the leaderboard is too thin to trust
+    /// ensemble selection or ALE feedback.
+    TooFewSurvivors {
+        /// Trials that produced a usable model.
+        survived: usize,
+        /// The configured floor.
+        required: usize,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::WorkerPanicked(m) => {
+                write!(f, "candidate training worker panicked: {m}")
+            }
+            SearchError::TooFewSurvivors { survived, required } => write!(
+                f,
+                "only {survived} trial(s) survived the search, below the min_trials floor of {required}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
 
 /// Errors from the AutoML layer.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +85,8 @@ pub enum AutoMlError {
     InvalidConfig(String),
     /// Every sampled candidate failed to train.
     AllCandidatesFailed(String),
+    /// The search aborted (worker harness failure or too few survivors).
+    Search(SearchError),
     /// Error from the model layer.
     Model(aml_models::ModelError),
     /// Error from the dataset layer.
@@ -64,6 +100,7 @@ impl std::fmt::Display for AutoMlError {
             AutoMlError::AllCandidatesFailed(m) => {
                 write!(f, "every AutoML candidate failed to train: {m}")
             }
+            AutoMlError::Search(e) => write!(f, "search error: {e}"),
             AutoMlError::Model(e) => write!(f, "model error: {e}"),
             AutoMlError::Data(e) => write!(f, "dataset error: {e}"),
         }
@@ -71,6 +108,12 @@ impl std::fmt::Display for AutoMlError {
 }
 
 impl std::error::Error for AutoMlError {}
+
+impl From<SearchError> for AutoMlError {
+    fn from(e: SearchError) -> Self {
+        AutoMlError::Search(e)
+    }
+}
 
 impl From<aml_models::ModelError> for AutoMlError {
     fn from(e: aml_models::ModelError) -> Self {

@@ -7,12 +7,15 @@
 //! outcome is identical to a sequential run.
 
 use crate::space::{CandidateConfig, ModelFamily};
-use crate::{AutoMlError, Result};
+use crate::{AutoMlError, Result, SearchError};
 use aml_dataset::Dataset;
+use aml_faults::TrialFault;
 use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
 use aml_telemetry::ledger::{self, LedgerEvent};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// How the searcher allocates its candidate budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +26,37 @@ pub enum SearchStrategy {
     /// keep the best half, double the fraction, repeat until one rung uses
     /// the full data.
     SuccessiveHalving,
+}
+
+/// Robustness limits on the search (DESIGN.md §7).
+///
+/// Every trial always runs inside a `catch_unwind` sandbox with a
+/// non-finite-score guard, so panicking or NaN-scoring candidates become
+/// `trial_failed` ledger events instead of killing the run. These limits
+/// add the two knobs on top:
+///
+/// * `max_trial_time` — wall-clock budget per trial. When set, each
+///   trial runs on a dedicated worker thread and is abandoned (ledgered
+///   as `reason: timeout`) if it overruns; when `None`, trials run
+///   inline with zero extra threads or copies (off-is-free).
+/// * `min_trials` — the search errors with
+///   [`SearchError::TooFewSurvivors`] when fewer trials survive, rather
+///   than letting ensemble selection degrade below a usable floor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Per-trial wall-clock budget (`None` = unbounded, run inline).
+    pub max_trial_time: Option<Duration>,
+    /// Minimum surviving trials required for the search to succeed.
+    pub min_trials: usize,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits {
+            max_trial_time: None,
+            min_trials: 1,
+        }
+    }
 }
 
 /// A fitted candidate with its validation score.
@@ -56,9 +90,77 @@ pub(crate) fn assign_families(n: usize, families: &[ModelFamily]) -> Vec<ModelFa
     (0..n).map(|i| families[i % families.len()]).collect()
 }
 
+/// What one sandboxed trial produced: a scored model, or a typed
+/// failure reason destined for the `trial_failed` ledger line.
+/// A fitted model, its validation score, and its validation probabilities.
+type Fitted = (Arc<dyn Classifier>, f64, Vec<Vec<f64>>);
+
+type TrialResult = std::result::Result<Fitted, &'static str>;
+
+/// Run one trial inside the sandbox: `catch_unwind` absorbs panics
+/// (`reason: panic`), and a non-finite validation score is rejected
+/// (`reason: nonfinite`) before it can poison the leaderboard sort or
+/// the ensemble. Fit/scoring errors stay `reason: error`.
+fn run_sandboxed(
+    trial: u64,
+    config: &CandidateConfig,
+    train: &Dataset,
+    val: &Dataset,
+) -> TrialResult {
+    let armed = aml_telemetry::sandbox::arm();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        fit_and_score_with_faults(trial, config, train, val)
+    }));
+    drop(armed);
+    match caught {
+        Err(_) => Err("panic"),
+        Ok(None) => Err("error"),
+        Ok(Some((_, score, _))) if !score.is_finite() => Err("nonfinite"),
+        Ok(Some(ok)) => Ok(ok),
+    }
+}
+
+/// Record one trial outcome: `trial_finished`/`trial_failed` ledger line
+/// plus live-progress tick, and package the survivor. Always called on
+/// the supervising side, never from an abandonable worker thread.
+fn settle_trial(
+    trial: u64,
+    rung: u64,
+    config: CandidateConfig,
+    outcome: TrialResult,
+) -> Option<TrainedCandidate> {
+    aml_telemetry::serve::note_trial_done();
+    match outcome {
+        Ok((model, val_score, val_proba)) => {
+            ledger::emit_with(|| LedgerEvent::TrialFinished {
+                trial,
+                rung,
+                family: config.family().name().to_string(),
+                score: val_score,
+            });
+            Some(TrainedCandidate {
+                trial,
+                config,
+                model,
+                val_score,
+                val_proba,
+            })
+        }
+        Err(reason) => {
+            ledger::emit_with(|| LedgerEvent::TrialFailed {
+                trial,
+                rung,
+                family: config.family().name().to_string(),
+                reason: reason.to_string(),
+            });
+            None
+        }
+    }
+}
+
 /// Train one candidate and score it on the validation split. Returns `None`
-/// if this particular configuration failed (e.g. a degenerate bootstrap) so
-/// the search can continue with the survivors.
+/// if this particular configuration failed (panic, error, or a
+/// non-finite score) so the search can continue with the survivors.
 ///
 /// Emits `trial_started` then `trial_finished`/`trial_failed` ledger
 /// events (no wall time — the ledger must be thread-count invariant).
@@ -75,42 +177,64 @@ fn train_one(
         family: config.family().name().to_string(),
         config: format!("{config:?}"),
     });
-    let outcome = fit_and_score(&config, train, val);
-    aml_telemetry::serve::note_trial_done();
-    match outcome {
-        Some((model, val_score, val_proba)) => {
-            ledger::emit_with(|| LedgerEvent::TrialFinished {
-                trial,
-                rung,
-                family: config.family().name().to_string(),
-                score: val_score,
-            });
-            Some(TrainedCandidate {
-                trial,
-                config,
-                model,
-                val_score,
-                val_proba,
-            })
-        }
-        None => {
-            ledger::emit_with(|| LedgerEvent::TrialFailed {
-                trial,
-                rung,
-                family: config.family().name().to_string(),
-            });
-            None
-        }
-    }
+    let outcome = run_sandboxed(trial, &config, train, val);
+    settle_trial(trial, rung, config, outcome)
 }
 
-/// Fit + validation-score one config; `None` on any failure.
-#[allow(clippy::type_complexity)]
-fn fit_and_score(
+/// Train one candidate on a dedicated worker thread with a wall-clock
+/// budget. On overrun the worker is abandoned (it finishes eventually
+/// and its result is dropped — threads cannot be killed) and the trial
+/// is ledgered as `reason: timeout`. All ledger emission happens on the
+/// supervising side so an abandoned worker can never write a late
+/// `trial_finished` line.
+fn train_one_budgeted(
+    trial: u64,
+    rung: u64,
+    config: CandidateConfig,
+    train: &Arc<Dataset>,
+    val: &Arc<Dataset>,
+    budget: Duration,
+) -> Option<TrainedCandidate> {
+    ledger::emit_with(|| LedgerEvent::TrialStarted {
+        trial,
+        rung,
+        family: config.family().name().to_string(),
+        config: format!("{config:?}"),
+    });
+    let (tx, rx) = mpsc::channel::<TrialResult>();
+    let (w_config, w_train, w_val) = (config.clone(), Arc::clone(train), Arc::clone(val));
+    std::thread::spawn(move || {
+        let _ = tx.send(run_sandboxed(trial, &w_config, &w_train, &w_val));
+    });
+    let outcome = rx.recv_timeout(budget).unwrap_or(Err("timeout"));
+    settle_trial(trial, rung, config, outcome)
+}
+
+/// The actual fit, with the deterministic fault-injection sites in
+/// front (inert single branch unless a fault plan is installed): an
+/// injected panic unwinds into the sandbox, an injected delay drives
+/// the timeout path, and an injected NaN score drives the non-finite
+/// guard.
+fn fit_and_score_with_faults(
+    trial: u64,
     config: &CandidateConfig,
     train: &Dataset,
     val: &Dataset,
-) -> Option<(Arc<dyn Classifier>, f64, Vec<Vec<f64>>)> {
+) -> Option<Fitted> {
+    match aml_faults::trial_fault(trial) {
+        Some(TrialFault::Panic) => panic!("injected fault: trial_panic@{trial}"),
+        Some(TrialFault::Slow(delay)) => std::thread::sleep(delay),
+        Some(TrialFault::NanScore) => {
+            let (model, _, proba) = fit_and_score(config, train, val)?;
+            return Some((model, f64::NAN, proba));
+        }
+        None => {}
+    }
+    fit_and_score(config, train, val)
+}
+
+/// Fit + validation-score one config; `None` on any failure.
+fn fit_and_score(config: &CandidateConfig, train: &Dataset, val: &Dataset) -> Option<Fitted> {
     let fit_start = aml_telemetry::maybe_now();
     let model = config.fit(train).ok()?;
     if let Some(start) = fit_start {
@@ -132,20 +256,26 @@ fn fit_and_score(
 
 /// Train `(trial, config)` jobs (in order) with up to `parallelism` worker
 /// threads at halving rung `rung`. Output preserves input order; failed
-/// candidates are dropped.
+/// candidates are dropped. A chunk worker dying *outside* the per-trial
+/// sandbox is a harness bug and surfaces as
+/// [`SearchError::WorkerPanicked`] instead of aborting the process.
 fn train_all(
     jobs: Vec<(u64, CandidateConfig)>,
     rung: u64,
     train: &Dataset,
     val: &Dataset,
     parallelism: usize,
-) -> Vec<TrainedCandidate> {
+    budget: Option<Duration>,
+) -> Result<Vec<TrainedCandidate>> {
     aml_telemetry::serve::add_planned_trials(jobs.len() as u64);
+    if let Some(budget) = budget {
+        return train_all_budgeted(jobs, rung, train, val, parallelism, budget);
+    }
     if parallelism <= 1 || jobs.len() <= 1 {
-        return jobs
+        return Ok(jobs
             .into_iter()
             .filter_map(|(t, c)| train_one(t, rung, c, train, val))
-            .collect();
+            .collect());
     }
     let n = jobs.len();
     let mut slots: Vec<Option<TrainedCandidate>> = Vec::with_capacity(n);
@@ -157,6 +287,7 @@ fn train_all(
         .collect();
     let chunk = n.div_ceil(parallelism);
 
+    let mut harness_panic: Option<String> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for piece in jobs.chunks(chunk) {
@@ -169,19 +300,106 @@ fn train_all(
             }));
         }
         for h in handles {
-            for (i, result) in h.join().expect("candidate training threads don't panic") {
-                slots[i] = result;
+            match h.join() {
+                Ok(results) => {
+                    for (i, result) in results {
+                        slots[i] = result;
+                    }
+                }
+                Err(payload) => {
+                    harness_panic.get_or_insert_with(|| panic_message(&payload));
+                }
             }
         }
     });
+    if let Some(message) = harness_panic {
+        return Err(SearchError::WorkerPanicked(message).into());
+    }
 
-    slots.into_iter().flatten().collect()
+    Ok(slots.into_iter().flatten().collect())
+}
+
+/// Budgeted variant of [`train_all`]: every trial gets its own
+/// abandonable worker thread (see [`train_one_budgeted`]), and the
+/// datasets are promoted to `Arc` clones once per call so abandoned
+/// workers cannot outlive borrowed data. Only engaged when
+/// `--max-trial-time` is set — the unbudgeted path stays copy- and
+/// thread-free.
+fn train_all_budgeted(
+    jobs: Vec<(u64, CandidateConfig)>,
+    rung: u64,
+    train: &Dataset,
+    val: &Dataset,
+    parallelism: usize,
+    budget: Duration,
+) -> Result<Vec<TrainedCandidate>> {
+    let train = Arc::new(train.clone());
+    let val = Arc::new(val.clone());
+    if parallelism <= 1 || jobs.len() <= 1 {
+        return Ok(jobs
+            .into_iter()
+            .filter_map(|(t, c)| train_one_budgeted(t, rung, c, &train, &val, budget))
+            .collect());
+    }
+    let n = jobs.len();
+    let mut slots: Vec<Option<TrainedCandidate>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let jobs: Vec<(usize, u64, CandidateConfig)> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, c))| (i, t, c))
+        .collect();
+    let chunk = n.div_ceil(parallelism);
+
+    let mut harness_panic: Option<String> = None;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for piece in jobs.chunks(chunk) {
+            let piece: Vec<(usize, u64, CandidateConfig)> = piece.to_vec();
+            let (train, val) = (Arc::clone(&train), Arc::clone(&val));
+            handles.push(scope.spawn(move || {
+                piece
+                    .into_iter()
+                    .map(|(i, t, c)| (i, train_one_budgeted(t, rung, c, &train, &val, budget)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(results) => {
+                    for (i, result) in results {
+                        slots[i] = result;
+                    }
+                }
+                Err(payload) => {
+                    harness_panic.get_or_insert_with(|| panic_message(&payload));
+                }
+            }
+        }
+    });
+    if let Some(message) = harness_panic {
+        return Err(SearchError::WorkerPanicked(message).into());
+    }
+
+    Ok(slots.into_iter().flatten().collect())
+}
+
+/// Best-effort human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Run the search, returning candidates sorted by descending validation
 /// score (ties broken by sampling order for determinism).
 ///
 /// `train`/`val` are the inner split of the user's training data.
+#[allow(clippy::too_many_arguments)]
 pub fn run_search(
     strategy: SearchStrategy,
     n_candidates: usize,
@@ -190,6 +408,7 @@ pub fn run_search(
     val: &Dataset,
     seed: u64,
     parallelism: usize,
+    limits: &SearchLimits,
 ) -> Result<Vec<TrainedCandidate>> {
     let _span = aml_telemetry::span!("automl.search.run");
     if n_candidates == 0 {
@@ -201,6 +420,9 @@ pub fn run_search(
         return Err(AutoMlError::InvalidConfig(
             "families must not be empty".into(),
         ));
+    }
+    if limits.min_trials == 0 {
+        return Err(AutoMlError::InvalidConfig("min_trials must be >= 1".into()));
     }
     let assigned = assign_families(n_candidates, families);
     // The enumeration index is the trial id: assigned sequentially before
@@ -219,7 +441,7 @@ pub fn run_search(
     let (mut survivors, final_rung): (Vec<(u64, CandidateConfig)>, u64) = match strategy {
         SearchStrategy::Random => (jobs, 0),
         SearchStrategy::SuccessiveHalving => {
-            halving_survivors(jobs, train, val, seed, parallelism)?
+            halving_survivors(jobs, train, val, seed, parallelism, limits)?
         }
     };
 
@@ -230,18 +452,23 @@ pub fn run_search(
         train,
         val,
         parallelism,
-    );
+        limits.max_trial_time,
+    )?;
     if trained.is_empty() {
         return Err(AutoMlError::AllCandidatesFailed(
             "no candidate produced a valid model".into(),
         ));
     }
-    // Stable sort keeps sampling order among score ties.
-    trained.sort_by(|a, b| {
-        b.val_score
-            .partial_cmp(&a.val_score)
-            .expect("scores are finite")
-    });
+    if trained.len() < limits.min_trials {
+        return Err(SearchError::TooFewSurvivors {
+            survived: trained.len(),
+            required: limits.min_trials,
+        }
+        .into());
+    }
+    // Stable sort keeps sampling order among score ties. The sandbox
+    // guarantees finite scores, but `total_cmp` is panic-free either way.
+    trained.sort_by(|a, b| b.val_score.total_cmp(&a.val_score));
     Ok(trained)
 }
 
@@ -255,6 +482,7 @@ fn halving_survivors(
     val: &Dataset,
     seed: u64,
     parallelism: usize,
+    limits: &SearchLimits,
 ) -> Result<(Vec<(u64, CandidateConfig)>, u64)> {
     let mut fraction = 0.25f64;
     let mut rung = 0u64;
@@ -265,7 +493,14 @@ fn halving_survivors(
         // Deterministic subsample for this rung.
         let idx = subsample_indices(train.n_rows(), n_sub, derive_seed(seed, 1000 + rung));
         let sub = train.subset(&idx)?;
-        let trained = train_all(jobs.clone(), rung, &sub, val, parallelism);
+        let trained = train_all(
+            jobs.clone(),
+            rung,
+            &sub,
+            val,
+            parallelism,
+            limits.max_trial_time,
+        )?;
         if trained.is_empty() {
             // All failed at this rung (tiny subsample may be degenerate) —
             // skip the rung rather than aborting the search.
@@ -277,7 +512,7 @@ fn halving_survivors(
             .into_iter()
             .map(|t| (t.val_score, t.trial, t.config))
             .collect();
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("scores are finite"));
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let keep = (scored.len() / 2).max(2);
         jobs = scored
             .into_iter()
@@ -321,6 +556,7 @@ mod tests {
             &val,
             3,
             1,
+            &SearchLimits::default(),
         )
         .unwrap();
         assert_eq!(out.len(), 8);
@@ -345,6 +581,7 @@ mod tests {
             &val,
             9,
             1,
+            &SearchLimits::default(),
         )
         .unwrap();
         let par = run_search(
@@ -355,6 +592,7 @@ mod tests {
             &val,
             9,
             4,
+            &SearchLimits::default(),
         )
         .unwrap();
         assert_eq!(seq.len(), par.len());
@@ -375,6 +613,7 @@ mod tests {
             &val,
             7,
             1,
+            &SearchLimits::default(),
         )
         .unwrap();
         assert!(out.len() < 12, "halving should prune, kept {}", out.len());
@@ -399,7 +638,8 @@ mod tests {
             &train,
             &val,
             0,
-            1
+            1,
+            &SearchLimits::default()
         )
         .is_err());
     }
@@ -415,8 +655,194 @@ mod tests {
             &val,
             2,
             1,
+            &SearchLimits::default(),
         )
         .unwrap();
         assert!(out.iter().all(|c| c.config.family() == ModelFamily::Knn));
+    }
+
+    /// Fault-plan installs mutate process-global state; serialize the
+    /// sandbox tests through one lock.
+    static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn hold_faults() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn injected_panic_is_sandboxed_and_search_survives() {
+        let _guard = hold_faults();
+        aml_faults::install(aml_faults::FaultPlan::parse("trial_panic@0,trial_panic@2").unwrap());
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            1,
+            &SearchLimits::default(),
+        );
+        aml_faults::clear();
+        let out = out.unwrap();
+        assert_eq!(out.len(), 4, "panicking trials 0 and 2 must be dropped");
+        assert!(out.iter().all(|c| c.trial != 0 && c.trial != 2));
+    }
+
+    #[test]
+    fn injected_panic_is_sandboxed_in_parallel_mode_too() {
+        let _guard = hold_faults();
+        aml_faults::install(aml_faults::FaultPlan::parse("trial_panic@1").unwrap());
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            4,
+            &SearchLimits::default(),
+        );
+        aml_faults::clear();
+        let out = out.unwrap();
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|c| c.trial != 1));
+    }
+
+    #[test]
+    fn injected_nan_score_is_rejected_as_nonfinite() {
+        let _guard = hold_faults();
+        aml_faults::install(aml_faults::FaultPlan::parse("trial_nan@3").unwrap());
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            1,
+            &SearchLimits::default(),
+        );
+        aml_faults::clear();
+        let out = out.unwrap();
+        assert_eq!(out.len(), 5, "NaN-scoring trial 3 must be dropped");
+        assert!(out.iter().all(|c| c.trial != 3));
+        assert!(out.iter().all(|c| c.val_score.is_finite()));
+    }
+
+    #[test]
+    fn slow_trial_times_out_under_budget() {
+        let _guard = hold_faults();
+        aml_faults::install(aml_faults::FaultPlan::parse("trial_slow@2:30000ms").unwrap());
+        let (train, val) = splits();
+        let limits = SearchLimits {
+            max_trial_time: Some(Duration::from_millis(300)),
+            min_trials: 1,
+        };
+        let out = run_search(
+            SearchStrategy::Random,
+            4,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            1,
+            &limits,
+        );
+        aml_faults::clear();
+        let out = out.unwrap();
+        assert_eq!(out.len(), 3, "the hung trial must be abandoned");
+        assert!(out.iter().all(|c| c.trial != 2));
+    }
+
+    #[test]
+    fn budgeted_path_matches_unbudgeted_results() {
+        let (train, val) = splits();
+        let plain = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            9,
+            1,
+            &SearchLimits::default(),
+        )
+        .unwrap();
+        let budgeted = run_search(
+            SearchStrategy::Random,
+            6,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            9,
+            2,
+            &SearchLimits {
+                max_trial_time: Some(Duration::from_secs(120)),
+                min_trials: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.len(), budgeted.len());
+        for (a, b) in plain.iter().zip(&budgeted) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.val_score, b.val_score);
+        }
+    }
+
+    #[test]
+    fn min_trials_floor_is_enforced() {
+        let _guard = hold_faults();
+        // Panic every trial but one; require two survivors.
+        aml_faults::install(
+            aml_faults::FaultPlan::parse("trial_panic@0,trial_panic@1,trial_panic@2").unwrap(),
+        );
+        let (train, val) = splits();
+        let out = run_search(
+            SearchStrategy::Random,
+            4,
+            &ModelFamily::ALL,
+            &train,
+            &val,
+            3,
+            1,
+            &SearchLimits {
+                max_trial_time: None,
+                min_trials: 2,
+            },
+        );
+        aml_faults::clear();
+        match out {
+            Err(AutoMlError::Search(SearchError::TooFewSurvivors { survived, required })) => {
+                assert_eq!((survived, required), (1, 2));
+            }
+            other => panic!("expected TooFewSurvivors, got {:?}", other.map(|v| v.len())),
+        }
+    }
+
+    #[test]
+    fn zero_min_trials_rejected() {
+        let (train, val) = splits();
+        assert!(matches!(
+            run_search(
+                SearchStrategy::Random,
+                4,
+                &ModelFamily::ALL,
+                &train,
+                &val,
+                0,
+                1,
+                &SearchLimits {
+                    max_trial_time: None,
+                    min_trials: 0,
+                },
+            ),
+            Err(AutoMlError::InvalidConfig(_))
+        ));
     }
 }

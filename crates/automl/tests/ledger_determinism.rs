@@ -83,6 +83,7 @@ fn run_search_strategy(train: &Dataset, val: &Dataset, parallelism: usize) {
         val,
         7,
         parallelism,
+        &aml_automl::SearchLimits::default(),
     )
     .expect("search succeeds");
 }

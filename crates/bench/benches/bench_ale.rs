@@ -11,10 +11,10 @@ use aml_interpret::grid::Grid;
 use aml_interpret::pdp::pdp_curve;
 use aml_interpret::region::FeatureRegions;
 use aml_interpret::variance::ale_band;
+use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use aml_models::forest::ForestParams;
 use aml_models::tree::TreeParams;
 use aml_models::{Classifier, DecisionTree, RandomForest};
-use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ale_curve(c: &mut Criterion) {
     let ds = synth::gaussian_blobs(500, 4, 2, 2.0, 1).unwrap();

@@ -7,8 +7,8 @@ use aml_core::qbc::qbc_select;
 use aml_core::upsampling::smote;
 use aml_core::AleFeedback;
 use aml_dataset::synth;
-use aml_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
 use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use aml_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
 
 fn bench_wilcoxon(c: &mut Criterion) {
     let mut group = c.benchmark_group("wilcoxon");

@@ -2,11 +2,11 @@
 //! per protocol and condition-labeling cost (the data-generation hot
 //! path behind every Scream-vs-rest dataset).
 
+use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use aml_netsim::cc::CcKind;
 use aml_netsim::runner::label_condition;
 use aml_netsim::sim::{SimConfig, Simulation};
 use aml_netsim::NetworkCondition;
-use aml_microbench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn cond(mbps: f64, rtt: f64, loss: f64, flows: usize) -> NetworkCondition {
     NetworkCondition {

@@ -29,6 +29,7 @@
 use crate::minijson::{self, Value};
 use crate::report::BenchReport;
 use aml_telemetry::LEDGER_SCHEMA_VERSION;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 // ------------------------------------------------------------- ledger data
@@ -109,8 +110,10 @@ pub struct LedgerData {
     pub started: u64,
     /// `trial_finished` lines.
     pub finished: Vec<TrialScore>,
-    /// `(trial, rung, family)` of `trial_failed` lines.
-    pub failed: Vec<(u64, u64, String)>,
+    /// `(trial, rung, family, reason)` of `trial_failed` lines. The
+    /// reason is one of `error` / `panic` / `timeout` / `nonfinite`
+    /// (older ledgers without the field read as `error`).
+    pub failed: Vec<(u64, u64, String, String)>,
     /// `ensemble_selected` lines in order.
     pub ensembles: Vec<EnsembleRecord>,
     /// `round_completed` lines in order.
@@ -205,6 +208,7 @@ pub fn parse_ledger(text: &str) -> Result<LedgerData, String> {
                     u64_field(&v, "trial")?,
                     u64_field(&v, "rung")?,
                     str_field(&v, "family")?,
+                    str_field(&v, "reason").unwrap_or_else(|_| "error".into()),
                 )),
                 "ensemble_selected" => {
                     let members = v
@@ -632,9 +636,18 @@ fn section_search(out: &mut String, ledgers: &[LedgerData], benches: &[BenchRepo
         }
         out.push_str("</table>");
         if !l.failed.is_empty() {
+            let mut by_reason: BTreeMap<&str, usize> = BTreeMap::new();
+            for (_, _, _, reason) in &l.failed {
+                *by_reason.entry(reason.as_str()).or_default() += 1;
+            }
+            let breakdown = by_reason
+                .iter()
+                .map(|(r, n)| format!("{}: {n}", esc(r)))
+                .collect::<Vec<_>>()
+                .join(", ");
             let _ = write!(
                 out,
-                "<p class=\"note\">{} trial(s) failed to train.</p>",
+                "<p class=\"note\">{} trial(s) failed ({breakdown}).</p>",
                 l.failed.len()
             );
         }
@@ -959,7 +972,7 @@ mod tests {
             r#"{"type":"trial_started","trial":0,"rung":0,"family":"forest","config":"ForestConfig { trees: 8 }"}"#,
             r#"{"type":"trial_finished","trial":0,"rung":0,"family":"forest","score":0.91}"#,
             r#"{"type":"trial_started","trial":1,"rung":0,"family":"logreg","config":"LogRegConfig { l2: 0.1 }"}"#,
-            r#"{"type":"trial_failed","trial":1,"rung":0,"family":"logreg"}"#,
+            r#"{"type":"trial_failed","trial":1,"rung":0,"family":"logreg","reason":"panic"}"#,
             r#"{"type":"trial_finished","trial":2,"rung":1,"family":"forest","score":null}"#,
             r#"{"type":"ensemble_selected","val_score":0.93,"members":[{"trial":0,"family":"forest","weight":3,"score":0.91}]}"#,
             r#"{"type":"round_completed","round":0,"strategy":"Within-ALE","acc_mean":0.8,"acc_min":0.7,"acc_max":0.9,"points_added":40,"regions":2,"ale_std_mean":0.02,"ale_std_max":0.09}"#,
@@ -1017,7 +1030,7 @@ mod tests {
         assert_eq!(l.finished[0].family, "forest");
         assert!((l.finished[0].score - 0.91).abs() < 1e-12);
         assert!(l.finished[1].score.is_nan(), "null score reads as NaN");
-        assert_eq!(l.failed, vec![(1, 0, "logreg".into())]);
+        assert_eq!(l.failed, vec![(1, 0, "logreg".into(), "panic".into())]);
         assert_eq!(l.ensembles.len(), 1);
         assert_eq!(l.ensembles[0].members[0].1, "forest");
         assert_eq!(l.rounds.len(), 3);

@@ -70,16 +70,20 @@ fn main() {
             .map_err(|e| aml_core::CoreError::InvalidParameter(e.to_string()))
     };
 
-    let base_cfg = |seed: u64| ExperimentConfig {
-        automl: AutoMlConfig {
+    let base_cfg = |seed: u64| {
+        let mut automl = AutoMlConfig {
             n_candidates: 12,
             parallelism: threads,
             ..Default::default()
-        },
-        n_feedback_points: n_feedback,
-        n_cross_runs: 3,
-        seed,
-        ..Default::default()
+        };
+        opts.apply_automl_limits(&mut automl);
+        ExperimentConfig {
+            automl,
+            n_feedback_points: n_feedback,
+            n_cross_runs: 3,
+            seed,
+            ..Default::default()
+        }
     };
     let mut results: Vec<AblationResult> = Vec::new();
     let mut run_one = |name: &str, setting: String, strategy: Strategy, cfg: &ExperimentConfig| {

@@ -49,14 +49,14 @@ fn main() {
     ));
     let runs: Vec<_> = (0..n_runs)
         .map(|r| {
-            AutoMl::new(AutoMlConfig {
+            let mut cfg = AutoMlConfig {
                 n_candidates: 16,
                 parallelism: opts.threads,
                 seed: opts.seed ^ ((r as u64 + 1) * 7919),
                 ..Default::default()
-            })
-            .fit(&train)
-            .expect("automl fit")
+            };
+            opts.apply_automl_limits(&mut cfg);
+            AutoMl::new(cfg).fit(&train).expect("automl fit")
         })
         .collect();
 

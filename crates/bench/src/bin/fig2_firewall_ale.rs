@@ -43,14 +43,14 @@ fn main() {
 
     let runs: Vec<_> = (0..n_runs)
         .map(|r| {
-            AutoMl::new(AutoMlConfig {
+            let mut cfg = AutoMlConfig {
                 n_candidates: 12,
                 parallelism: opts.threads,
                 seed: opts.seed ^ ((r as u64 + 1) * 6271),
                 ..Default::default()
-            })
-            .fit(&train)
-            .expect("automl")
+            };
+            opts.apply_automl_limits(&mut cfg);
+            AutoMl::new(cfg).fit(&train).expect("automl")
         })
         .collect();
 

@@ -15,9 +15,11 @@
 //! 2 usage error.
 
 use aml_bench::gate::{compare, GateConfig};
+use aml_bench::minijson::Value;
 use aml_bench::report::{median_report, BenchReport};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 perfgate — run benchmark workloads and gate on perf regressions
@@ -34,6 +36,11 @@ run options:
   --threads N             worker threads per workload (default 2)
   --out DIR               output directory (default target/perfgate)
   --full                  run at paper scale instead of --quick
+  --timeout MS            kill a workload running longer than MS milliseconds;
+                          writes TIMEOUT_<workload>.json (timed_out: true)
+                          into the output directory and exits nonzero
+  --fault-plan SPEC       forward a deterministic fault plan to every
+                          workload (see the workload binaries' --help)
 
 compare options:
   --tolerance PCT         allowed relative growth in percent (default 10)
@@ -160,6 +167,8 @@ struct RunPlanOpts {
     threads: usize,
     out: PathBuf,
     full: bool,
+    timeout: Option<Duration>,
+    fault_plan: Option<String>,
 }
 
 fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
@@ -172,6 +181,8 @@ fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
         threads: 2,
         out: PathBuf::from("target/perfgate"),
         full: false,
+        timeout: None,
+        fault_plan: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -201,6 +212,20 @@ fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
             }
             "--out" => opts.out = PathBuf::from(str_value(args, &mut i, "--out")?),
             "--full" => opts.full = true,
+            "--timeout" => {
+                let ms = int_value(args, &mut i, "--timeout")?;
+                if ms == 0 {
+                    return Err("--timeout must be >= 1 ms".into());
+                }
+                opts.timeout = Some(Duration::from_millis(ms));
+            }
+            "--fault-plan" => {
+                let spec = str_value(args, &mut i, "--fault-plan")?;
+                // Validate here so typos are usage errors, not per-child
+                // failures; the spec is forwarded verbatim.
+                aml_faults::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+                opts.fault_plan = Some(spec.to_string());
+            }
             unknown => return Err(format!("unknown flag '{unknown}'")),
         }
         i += 1;
@@ -266,6 +291,9 @@ fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Resul
             .args(["--out".as_ref(), rep_dir.as_os_str()])
             .stdout(Stdio::null())
             .stderr(Stdio::piped());
+        if let Some(plan) = &opts.fault_plan {
+            cmd.args(["--fault-plan", plan]);
+        }
         if rep == 0 {
             cmd.args([
                 "--trace-out".as_ref(),
@@ -281,14 +309,27 @@ fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Resul
             ]);
         }
         eprintln!("perfgate: {workload} rep {}/{} …", rep + 1, opts.repeats);
-        let output = cmd
-            .output()
-            .map_err(|e| format!("failed to spawn {}: {e}", bin.display()))?;
-        if !output.status.success() {
+        let (status, stderr) = wait_with_timeout(cmd, &bin, opts.timeout).map_err(|e| match e {
+            WaitError::Spawn(msg) => msg,
+            WaitError::TimedOut(elapsed) => {
+                let verdict = timeout_verdict(workload, rep, opts, elapsed);
+                let path = opts.out.join(format!("TIMEOUT_{workload}.json"));
+                if let Err(e) = std::fs::write(&path, verdict.render()) {
+                    eprintln!("perfgate: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("perfgate: wrote {}", path.display());
+                }
+                format!(
+                    "rep {rep} exceeded --timeout {} ms (killed after {} ms)",
+                    opts.timeout.expect("timeout set").as_millis(),
+                    elapsed.as_millis()
+                )
+            }
+        })?;
+        if !status.success() {
             return Err(format!(
-                "exited with {}\n{}",
-                output.status,
-                String::from_utf8_lossy(&output.stderr)
+                "exited with {status}\n{}",
+                String::from_utf8_lossy(&stderr)
             ));
         }
         let report_path = rep_dir.join(BenchReport::file_name(workload));
@@ -301,6 +342,74 @@ fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Resul
     median
         .write(&opts.out)
         .map_err(|e| format!("cannot write median report: {e}"))
+}
+
+enum WaitError {
+    Spawn(String),
+    TimedOut(Duration),
+}
+
+/// Spawn `cmd` and wait for it, enforcing the optional wall-clock budget.
+/// Stderr (already configured as piped) is drained on a background thread
+/// so a chatty child can never deadlock on a full pipe buffer while the
+/// main loop polls `try_wait`. On timeout the child is killed and reaped.
+fn wait_with_timeout(
+    mut cmd: Command,
+    bin: &Path,
+    timeout: Option<Duration>,
+) -> Result<(std::process::ExitStatus, Vec<u8>), WaitError> {
+    let start = Instant::now();
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| WaitError::Spawn(format!("failed to spawn {}: {e}", bin.display())))?;
+    let stderr_reader = child.stderr.take().map(|mut pipe| {
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut buf = Vec::new();
+            let _ = pipe.read_to_end(&mut buf);
+            buf
+        })
+    });
+    let collect_stderr = |reader: Option<std::thread::JoinHandle<Vec<u8>>>| -> Vec<u8> {
+        reader.and_then(|h| h.join().ok()).unwrap_or_default()
+    };
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Ok((status, collect_stderr(stderr_reader))),
+            Ok(None) => {}
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(WaitError::Spawn(format!("wait failed: {e}")));
+            }
+        }
+        if let Some(budget) = timeout {
+            let elapsed = start.elapsed();
+            if elapsed > budget {
+                let _ = child.kill();
+                let _ = child.wait();
+                drop(collect_stderr(stderr_reader));
+                return Err(WaitError::TimedOut(elapsed));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// The JSON verdict written when a workload blows its wall-clock budget —
+/// machine-readable evidence (`timed_out: true`) for CI to assert on.
+fn timeout_verdict(workload: &str, rep: usize, opts: &RunPlanOpts, elapsed: Duration) -> Value {
+    Value::Obj(vec![
+        ("workload".into(), Value::Str(workload.into())),
+        ("timed_out".into(), Value::Bool(true)),
+        ("repeat".into(), Value::Num(rep as f64)),
+        (
+            "timeout_ms".into(),
+            Value::Num(opts.timeout.map_or(0.0, |d| d.as_millis() as f64)),
+        ),
+        ("elapsed_ms".into(), Value::Num(elapsed.as_millis() as f64)),
+        ("seed".into(), Value::Num(opts.seed as f64)),
+    ])
 }
 
 // ---------------------------------------------------------------- values

@@ -13,7 +13,9 @@
 
 use aml_automl::AutoMlConfig;
 use aml_bench::{cached_dataset, mean, write_artifact, write_json, RunOpts};
-use aml_core::{run_strategy, AleFeedback, ExperimentConfig, Strategy, ThresholdRule};
+use aml_core::{
+    run_strategy, AleFeedback, ExperimentConfig, ExperimentLoop, Strategy, ThresholdRule,
+};
 use aml_dataset::split::split_into_k;
 use aml_dataset::Dataset;
 use aml_netsim::datagen::{generate_dataset, generate_dataset_mode, label_rows, SamplingMode};
@@ -102,6 +104,11 @@ fn main() {
 
     let strategies_span = aml_telemetry::span!("bench.strategies");
     aml_telemetry::serve::set_phase("strategies");
+    // Checkpoint/resume: each (repeat, strategy) application is one
+    // feedback round; rounds recorded in a `--checkpoint` file are
+    // skipped on `--resume` and their scores reused.
+    let mut exp_loop = opts.experiment_loop();
+    let mut round: u64 = 0;
     for rep in 0..repeats {
         let rep_seed = opts.seed ^ ((rep as u64 + 1) * 0xA5A5);
         let test_sets = split_into_k(&test, n_test_sets, rep_seed).expect("test split");
@@ -109,12 +116,14 @@ fn main() {
             label_rows(rows, &domain, rep_seed ^ 0x04AC1E, threads)
                 .map_err(|e| aml_core::CoreError::InvalidParameter(e.to_string()))
         };
+        let mut automl = AutoMlConfig {
+            n_candidates: 16,
+            parallelism: threads,
+            ..Default::default()
+        };
+        opts.apply_automl_limits(&mut automl);
         let cfg = ExperimentConfig {
-            automl: AutoMlConfig {
-                n_candidates: 16,
-                parallelism: threads,
-                ..Default::default()
-            },
+            automl,
             n_feedback_points: n_feedback,
             n_cross_runs,
             // A 0.75-quantile threshold: with small committees the std
@@ -129,6 +138,29 @@ fn main() {
             seed: rep_seed,
         };
         for strategy in strategies {
+            let this_round = round;
+            round += 1;
+            if let Some(rec) = exp_loop.completed(this_round) {
+                assert_eq!(
+                    rec.strategy,
+                    strategy.name(),
+                    "checkpoint round {this_round} records a different strategy — \
+                     resumed with mismatched settings?"
+                );
+                note(&format!(
+                    "repeat {}/{repeats} | {:<18} | mean BA {:>5.1}% | +{:>4} pts | resumed",
+                    rep + 1,
+                    strategy.name(),
+                    mean(&rec.scores) * 100.0,
+                    rec.points_added,
+                ));
+                all_scores
+                    .entry(strategy)
+                    .or_default()
+                    .extend(rec.scores.iter());
+                *points_added.entry(strategy).or_default() += rec.points_added as usize;
+                continue;
+            }
             let t0 = std::time::Instant::now();
             let out = run_strategy(
                 strategy,
@@ -147,6 +179,14 @@ fn main() {
                 out.n_points_added,
                 t0.elapsed()
             ));
+            exp_loop
+                .record(ExperimentLoop::round_record(
+                    this_round,
+                    strategy,
+                    out.n_points_added,
+                    &out.scores,
+                ))
+                .unwrap_or_else(|e| panic!("checkpoint after round {this_round} failed: {e}"));
             all_scores
                 .entry(strategy)
                 .or_default()

@@ -14,7 +14,9 @@
 
 use aml_automl::AutoMlConfig;
 use aml_bench::{mean, write_artifact, write_json, RunOpts};
-use aml_core::{run_strategy, AleFeedback, ExperimentConfig, Strategy, ThresholdRule};
+use aml_core::{
+    run_strategy, AleFeedback, ExperimentConfig, ExperimentLoop, Strategy, ThresholdRule,
+};
 use aml_dataset::split::{split_into_k, three_way_split};
 use aml_fwgen::{generate, FwGenConfig};
 use aml_stats::wilcoxon::{wilcoxon_signed_rank, Alternative};
@@ -56,6 +58,10 @@ fn main() {
     aml_telemetry::serve::set_phase("strategies");
     let mut all_scores: BTreeMap<Strategy, Vec<f64>> = BTreeMap::new();
 
+    // Checkpoint/resume: each (resplit, strategy) application is one
+    // feedback round (see table1_scream for the protocol).
+    let mut exp_loop = opts.experiment_loop();
+    let mut round: u64 = 0;
     for split_i in 0..n_resplits {
         let split_seed = opts.seed ^ ((split_i as u64 + 1) * 0x51AB);
         let (train, test, pool) =
@@ -69,12 +75,14 @@ fn main() {
             pool.n_rows()
         ));
 
+        let mut automl = AutoMlConfig {
+            n_candidates: 12,
+            parallelism: opts.threads,
+            ..Default::default()
+        };
+        opts.apply_automl_limits(&mut automl);
         let cfg = ExperimentConfig {
-            automl: AutoMlConfig {
-                n_candidates: 12,
-                parallelism: opts.threads,
-                ..Default::default()
-            },
+            automl,
             n_feedback_points: n_feedback,
             n_cross_runs,
             // ALE of the "allow" class with per-feature quantile
@@ -89,6 +97,27 @@ fn main() {
         };
 
         for strategy in strategies {
+            let this_round = round;
+            round += 1;
+            if let Some(rec) = exp_loop.completed(this_round) {
+                assert_eq!(
+                    rec.strategy,
+                    strategy.name(),
+                    "checkpoint round {this_round} records a different strategy — \
+                     resumed with mismatched settings?"
+                );
+                note(&format!(
+                    "  {:<22} mean BA {:>5.1}% | +{:>4} pts | resumed",
+                    strategy.name(),
+                    mean(&rec.scores) * 100.0,
+                    rec.points_added,
+                ));
+                all_scores
+                    .entry(strategy)
+                    .or_default()
+                    .extend(rec.scores.iter());
+                continue;
+            }
             let t0 = std::time::Instant::now();
             let out = run_strategy(strategy, &cfg, &train, Some(&pool), None, &test_sets)
                 .unwrap_or_else(|e| panic!("{} failed: {e}", strategy.name()));
@@ -99,6 +128,14 @@ fn main() {
                 out.n_points_added,
                 t0.elapsed()
             ));
+            exp_loop
+                .record(ExperimentLoop::round_record(
+                    this_round,
+                    strategy,
+                    out.n_points_added,
+                    &out.scores,
+                ))
+                .unwrap_or_else(|e| panic!("checkpoint after round {this_round} failed: {e}"));
             all_scores
                 .entry(strategy)
                 .or_default()

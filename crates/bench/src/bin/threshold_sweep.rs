@@ -66,14 +66,14 @@ fn main() {
     aml_telemetry::serve::set_phase("strategies");
 
     // Coverage side: one shared analysis per threshold.
-    let run = AutoMl::new(AutoMlConfig {
+    let mut shared_cfg = AutoMlConfig {
         n_candidates: 16,
         parallelism: threads,
         seed: opts.seed,
         ..Default::default()
-    })
-    .fit(&train)
-    .expect("automl");
+    };
+    opts.apply_automl_limits(&mut shared_cfg);
+    let run = AutoMl::new(shared_cfg).fit(&train).expect("automl");
 
     let thresholds = [0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2];
     let mut rows = Vec::new();
@@ -103,12 +103,14 @@ fn main() {
             label_rows(rws, &domain, opts.seed ^ 0x04AC1E, threads)
                 .map_err(|e| aml_core::CoreError::InvalidParameter(e.to_string()))
         };
+        let mut automl = AutoMlConfig {
+            n_candidates: 16,
+            parallelism: threads,
+            ..Default::default()
+        };
+        opts.apply_automl_limits(&mut automl);
         let cfg = ExperimentConfig {
-            automl: AutoMlConfig {
-                n_candidates: 16,
-                parallelism: threads,
-                ..Default::default()
-            },
+            automl,
             n_feedback_points: n_feedback,
             n_cross_runs: 2,
             ale,

@@ -91,6 +91,24 @@ pub struct RunOpts {
     /// Write the span self-time profile here in collapsed-stack folded
     /// format (flamegraph-ready) at the end of the run.
     pub profile_out: Option<PathBuf>,
+    /// Deterministic fault plan (`--fault-plan`), installed process-wide
+    /// by [`RunOpts::prepare`]. `None` keeps every fault hook inert.
+    pub fault_plan: Option<aml_faults::FaultPlan>,
+    /// Wall-clock budget per AutoML trial (`--max-trial-time`);
+    /// over-budget trials become `trial_failed` (reason `timeout`).
+    pub max_trial_time: Option<std::time::Duration>,
+    /// Minimum trials that must survive each AutoML search
+    /// (`--min-trials`); below this the run errors instead of degrading.
+    pub min_trials: usize,
+    /// Write an atomic experiment checkpoint here after every feedback
+    /// round (`--checkpoint`).
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint (`--resume`); workload and seed must
+    /// match the checkpointed run.
+    pub resume: Option<PathBuf>,
+    /// The validated checkpoint loaded by [`RunOpts::prepare`] when
+    /// `--resume` was given.
+    pub resumed: Option<aml_core::Checkpoint>,
     /// Workload name (set by [`RunOpts::parse_for`]); names the manifest,
     /// the BENCH report, and the export sinks' run id.
     pub workload: String,
@@ -119,6 +137,17 @@ options:
   --profile-out PATH      write the span self-time profile as collapsed
                           stacks (flamegraph-ready) and print a top table
                           (export/serve/profile flags imply --telemetry summary)
+  --fault-plan SPEC       inject deterministic faults, e.g.
+                          trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1
+  --max-trial-time MS     wall-clock budget per AutoML trial; over-budget
+                          trials are abandoned as trial_failed (reason timeout)
+  --min-trials N          error if fewer than N trials survive an AutoML
+                          search (default 1)
+  --checkpoint PATH       write an atomic experiment checkpoint after every
+                          feedback round
+  --resume PATH           resume from a checkpoint (workload and seed must
+                          match; completed rounds are skipped and the ledger
+                          continues byte-identically)
   --help                  show this help";
 
 impl RunOpts {
@@ -137,6 +166,12 @@ impl RunOpts {
             ledger_out: None,
             serve: None,
             profile_out: None,
+            fault_plan: None,
+            max_trial_time: None,
+            min_trials: 1,
+            checkpoint: None,
+            resume: None,
+            resumed: None,
             workload: "bench".to_string(),
             started: Instant::now(),
         }
@@ -188,6 +223,25 @@ impl RunOpts {
         std::fs::create_dir_all(&self.out_dir)
             .map_err(|e| format!("cannot create --out {}: {e}", self.out_dir.display()))?;
 
+        if let Some(plan) = &self.fault_plan {
+            aml_faults::install(plan.clone());
+        }
+
+        // Resume: validate the checkpoint and truncate the ledger file
+        // back to its recorded byte length BEFORE any sink reopens it —
+        // the sink below then appends, continuing the original run's
+        // ledger byte-identically.
+        if let Some(resume) = &self.resume {
+            let ckpt = aml_core::checkpoint::prepare_resume(
+                &self.workload,
+                self.seed,
+                resume,
+                self.ledger_out.as_deref(),
+            )
+            .map_err(|e| format!("--resume {}: {e}", resume.display()))?;
+            self.resumed = Some(ckpt);
+        }
+
         if self.trace_out.is_some() || self.events_out.is_some() || self.ledger_out.is_some() {
             let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
             if let Some(path) = &self.events_out {
@@ -204,9 +258,25 @@ impl RunOpts {
             }
             if let Some(path) = &self.ledger_out {
                 ensure_parent(path, "--ledger-out")?;
-                let sink = aml_telemetry::LedgerJsonlSink::create(path, &header)
-                    .map_err(|e| format!("cannot write --ledger-out {}: {e}", path.display()))?;
-                aml_telemetry::sink::install(Box::new(sink));
+                let sink = if self.resume.is_some() {
+                    aml_telemetry::LedgerJsonlSink::append(path).map_err(|e| {
+                        format!("cannot append --ledger-out {}: {e}", path.display())
+                    })?
+                } else {
+                    aml_telemetry::LedgerJsonlSink::create(path, &header)
+                        .map_err(|e| format!("cannot write --ledger-out {}: {e}", path.display()))?
+                };
+                // Off-is-free: the fault wrapper is only interposed when
+                // the plan actually schedules sink failures.
+                let inject = self
+                    .fault_plan
+                    .as_ref()
+                    .is_some_and(|p| !p.sink_fail.is_empty());
+                if inject {
+                    aml_telemetry::sink::install(Box::new(FaultInjectedLedger { inner: sink }));
+                } else {
+                    aml_telemetry::sink::install(Box::new(sink));
+                }
             }
         }
 
@@ -288,11 +358,73 @@ impl RunOpts {
                     let v = value_of(args, &mut i, "--profile-out")?;
                     opts.profile_out = Some(PathBuf::from(v));
                 }
+                "--fault-plan" => {
+                    let v = value_of(args, &mut i, "--fault-plan")?;
+                    opts.fault_plan = Some(
+                        aml_faults::FaultPlan::parse(v)
+                            .map_err(|e| format!("--fault-plan: {e}"))?,
+                    );
+                }
+                "--max-trial-time" => {
+                    let v = value_of(args, &mut i, "--max-trial-time")?;
+                    let ms: u64 = v
+                        .parse()
+                        .map_err(|_| format!("--max-trial-time expects milliseconds, got '{v}'"))?;
+                    if ms == 0 {
+                        return Err("--max-trial-time must be >= 1 ms".into());
+                    }
+                    opts.max_trial_time = Some(std::time::Duration::from_millis(ms));
+                }
+                "--min-trials" => {
+                    let v = value_of(args, &mut i, "--min-trials")?;
+                    opts.min_trials = v
+                        .parse()
+                        .map_err(|_| format!("--min-trials expects an integer, got '{v}'"))?;
+                    if opts.min_trials == 0 {
+                        return Err("--min-trials must be >= 1".into());
+                    }
+                }
+                "--checkpoint" => {
+                    let v = value_of(args, &mut i, "--checkpoint")?;
+                    opts.checkpoint = Some(PathBuf::from(v));
+                }
+                "--resume" => {
+                    let v = value_of(args, &mut i, "--resume")?;
+                    opts.resume = Some(PathBuf::from(v));
+                }
                 unknown => return Err(format!("unknown flag '{unknown}'")),
             }
             i += 1;
         }
         Ok(Some(opts))
+    }
+
+    /// Apply the CLI's trial-robustness flags (`--max-trial-time`,
+    /// `--min-trials`) to an AutoML config. Every bin calls this on the
+    /// configs it builds so the flags reach the search layer.
+    pub fn apply_automl_limits(&self, cfg: &mut aml_automl::AutoMlConfig) {
+        cfg.max_trial_time = self.max_trial_time;
+        cfg.min_trials = self.min_trials;
+    }
+
+    /// The checkpointed experiment loop for this run — resumed from
+    /// `--resume` when given, fresh otherwise. Subsequent checkpoints go
+    /// to `--checkpoint` if set, else keep updating the resumed file.
+    pub fn experiment_loop(&self) -> aml_core::ExperimentLoop {
+        let ckpt_path = self.checkpoint.clone().or_else(|| self.resume.clone());
+        match &self.resumed {
+            Some(ckpt) => aml_core::ExperimentLoop::from_checkpoint(
+                ckpt.clone(),
+                ckpt_path,
+                self.ledger_out.clone(),
+            ),
+            None => aml_core::ExperimentLoop::new(
+                &self.workload,
+                self.seed,
+                ckpt_path,
+                self.ledger_out.clone(),
+            ),
+        }
     }
 
     /// Pick a value by scale.
@@ -368,6 +500,39 @@ impl RunOpts {
             eprint!("{}", aml_telemetry::profile::render_top_table(&entries, 10));
         }
         aml_telemetry::serve::stop();
+    }
+}
+
+/// Ledger sink wrapper driving the `sink_fail@N` fault: scheduled writes
+/// are dropped — counted under `telemetry.events_dropped` — instead of
+/// reaching the file, so downstream consumers' resilience to lost events
+/// (amlreport, checkpoint/resume) can be tested deterministically.
+struct FaultInjectedLedger {
+    inner: aml_telemetry::LedgerJsonlSink,
+}
+
+impl aml_telemetry::sink::Sink for FaultInjectedLedger {
+    fn on_span_close(&self, event: &aml_telemetry::sink::SpanEvent) {
+        self.inner.on_span_close(event)
+    }
+    fn on_ledger_event(&self, event: &aml_telemetry::LedgerEvent) {
+        if aml_faults::sink_write_fails() {
+            aml_telemetry::counter_add("telemetry.events_dropped", 1);
+            return;
+        }
+        self.inner.on_ledger_event(event)
+    }
+    fn wants_ledger(&self) -> bool {
+        true
+    }
+    fn flush_now(&self) -> std::io::Result<()> {
+        self.inner.flush_now()
+    }
+    fn finish(&self, snapshot: &aml_telemetry::Snapshot) -> std::io::Result<()> {
+        self.inner.finish(snapshot)
+    }
+    fn target(&self) -> String {
+        self.inner.target()
     }
 }
 
@@ -537,6 +702,79 @@ mod tests {
         assert!(parse(&["--profile-out", "--quick"])
             .unwrap_err()
             .contains("--profile-out"));
+    }
+
+    #[test]
+    fn fault_and_robustness_flags_parse() {
+        let opts = parse(&[
+            "--fault-plan",
+            "trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1",
+            "--max-trial-time",
+            "250",
+            "--min-trials",
+            "4",
+            "--checkpoint",
+            "/tmp/x/run.ckpt",
+            "--resume",
+            "/tmp/x/old.ckpt",
+        ])
+        .unwrap()
+        .unwrap();
+        let plan = opts.fault_plan.as_ref().unwrap();
+        assert_eq!(plan.trial_panic, vec![3]);
+        assert_eq!(plan.sink_fail, vec![2]);
+        assert_eq!(
+            opts.max_trial_time,
+            Some(std::time::Duration::from_millis(250))
+        );
+        assert_eq!(opts.min_trials, 4);
+        assert_eq!(opts.checkpoint, Some(PathBuf::from("/tmp/x/run.ckpt")));
+        assert_eq!(opts.resume, Some(PathBuf::from("/tmp/x/old.ckpt")));
+        // The limits propagate into an AutoML config.
+        let mut cfg = aml_automl::AutoMlConfig::default();
+        opts.apply_automl_limits(&mut cfg);
+        assert_eq!(cfg.max_trial_time, opts.max_trial_time);
+        assert_eq!(cfg.min_trials, 4);
+    }
+
+    #[test]
+    fn bad_fault_and_robustness_values_are_usage_errors() {
+        assert!(parse(&["--fault-plan", "bogus@1"])
+            .unwrap_err()
+            .contains("--fault-plan"));
+        assert!(parse(&["--max-trial-time", "soon"])
+            .unwrap_err()
+            .contains("--max-trial-time"));
+        assert!(parse(&["--max-trial-time", "0"])
+            .unwrap_err()
+            .contains("--max-trial-time"));
+        assert!(parse(&["--min-trials", "0"])
+            .unwrap_err()
+            .contains("--min-trials"));
+        for flag in ["--fault-plan", "--checkpoint", "--resume"] {
+            assert!(parse(&[flag]).unwrap_err().contains(flag), "{flag}");
+        }
+    }
+
+    #[test]
+    fn resume_with_missing_checkpoint_is_a_usage_error() {
+        let mut opts = parse(&["--resume", "/nonexistent/run.ckpt"])
+            .unwrap()
+            .unwrap();
+        opts.out_dir = std::env::temp_dir().join("aml_resume_missing_test");
+        let err = opts.prepare().unwrap_err();
+        assert!(err.contains("--resume"), "{err}");
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+
+    #[test]
+    fn experiment_loop_is_fresh_without_resume() {
+        let opts = parse(&["--checkpoint", "/tmp/x/run.ckpt"])
+            .unwrap()
+            .unwrap();
+        let lp = opts.experiment_loop();
+        assert!(lp.rounds().is_empty());
+        assert!(lp.completed(0).is_none());
     }
 
     #[test]

@@ -48,8 +48,9 @@ fn every_event_line_shape_is_pinned() {
                 trial: 9,
                 rung: 0,
                 family: "mlp".into(),
+                reason: "timeout".into(),
             },
-            r#"{"type":"trial_failed","trial":9,"rung":0,"family":"mlp"}"#,
+            r#"{"type":"trial_failed","trial":9,"rung":0,"family":"mlp","reason":"timeout"}"#,
         ),
         (
             LedgerEvent::EnsembleSelected {
@@ -155,6 +156,7 @@ fn ledger_file_round_trips_through_amlreport_parser() {
         trial: 1,
         rung: 0,
         family: "mlp".into(),
+        reason: "error".into(),
     });
     sink.on_ledger_event(&LedgerEvent::EnsembleSelected {
         val_score: 0.9375,

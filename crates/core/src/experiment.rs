@@ -154,6 +154,52 @@ pub struct StrategyOutcome {
     pub model: FittedAutoMl,
 }
 
+/// Typed replacement for "checked above" unwraps on the labeler path: a
+/// capability hole surfaces as [`CoreError::MissingCapability`] even if a
+/// future strategy forgets to update [`Strategy::needs_labeler`].
+fn require_labeler(labeler: Option<&dyn Labeler>, strategy: Strategy) -> Result<&dyn Labeler> {
+    labeler.ok_or_else(|| {
+        CoreError::MissingCapability(format!("{} needs a labeling oracle", strategy.name()))
+    })
+}
+
+/// Typed replacement for "checked above" unwraps on the pool path.
+fn require_pool(pool: Option<&Dataset>, strategy: Strategy) -> Result<&Dataset> {
+    pool.ok_or_else(|| {
+        CoreError::MissingCapability(format!("{} needs a candidate pool", strategy.name()))
+    })
+}
+
+/// Fault-injection site + guard for the oracle-labeling path. The
+/// `nan_labels` fault (see `aml-faults`) poisons every other suggested
+/// row with a NaN; fault or not, rows containing non-finite values are
+/// dropped — and counted — rather than handed to the oracle, so a
+/// poisoned round degrades to fewer points instead of failing outright
+/// (`Dataset::from_rows` rejects non-finite values, which would abort
+/// the whole round).
+fn sanitize_oracle_rows(strategy: Strategy, mut rows: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    if aml_faults::label_rows_poisoned() {
+        for row in rows.iter_mut().step_by(2) {
+            if let Some(v) = row.first_mut() {
+                *v = f64::NAN;
+            }
+        }
+    }
+    drop_nonfinite_rows(strategy, rows)
+}
+
+/// Drop rows with any non-finite value, counting what was dropped under
+/// `core.nonfinite_rows_dropped` so degraded rounds are observable.
+fn drop_nonfinite_rows(strategy: Strategy, mut rows: Vec<Vec<f64>>) -> Vec<Vec<f64>> {
+    let before = rows.len();
+    rows.retain(|r| r.iter().all(|v| v.is_finite()));
+    let dropped = (before - rows.len()) as u64;
+    if dropped > 0 {
+        aml_telemetry::counter_add_labeled("core.nonfinite_rows_dropped", strategy.name(), dropped);
+    }
+    rows
+}
+
 fn derive_seed(master: u64, salt: u64) -> u64 {
     let mut z = master ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -183,17 +229,11 @@ pub fn run_strategy(
             "need at least one test set".into(),
         ));
     }
-    if strategy.needs_pool() && pool.is_none() {
-        return Err(CoreError::MissingCapability(format!(
-            "{} needs a candidate pool",
-            strategy.name()
-        )));
+    if strategy.needs_pool() {
+        require_pool(pool, strategy)?;
     }
-    if strategy.needs_labeler() && labeler.is_none() {
-        return Err(CoreError::MissingCapability(format!(
-            "{} needs a labeling oracle",
-            strategy.name()
-        )));
+    if strategy.needs_labeler() {
+        require_labeler(labeler, strategy)?;
     }
 
     let _run_span = aml_telemetry::span!("core.strategy.run", strategy.name());
@@ -244,16 +284,19 @@ pub fn run_strategy(
                             cfg.n_feedback_points,
                             derive_seed(cfg.seed, 7),
                         )?;
+                        let rows = sanitize_oracle_rows(strategy, rows);
                         aml_telemetry::counter_add_labeled(
                             "core.labeler.queries",
                             strategy.name(),
                             rows.len() as u64,
                         );
-                        let labelled = labeler.expect("checked above").label_rows(&rows)?;
-                        augmented.extend(&labelled)?;
+                        if !rows.is_empty() {
+                            let labelled = require_labeler(labeler, strategy)?.label_rows(&rows)?;
+                            augmented.extend(&labelled)?;
+                        }
                     }
                     _ => {
-                        let pool = pool.expect("checked above");
+                        let pool = require_pool(pool, strategy)?;
                         let picked =
                             ale.suggest_from_pool(&analysis, pool, cfg.n_feedback_points)?;
                         let subset = pool.subset(&picked)?;
@@ -263,23 +306,26 @@ pub fn run_strategy(
             }
             Strategy::Uniform => {
                 let rows = uniform_sample(train, cfg.n_feedback_points, derive_seed(cfg.seed, 8))?;
+                let rows = sanitize_oracle_rows(strategy, rows);
                 aml_telemetry::counter_add_labeled(
                     "core.labeler.queries",
                     strategy.name(),
                     rows.len() as u64,
                 );
-                let labelled = labeler.expect("checked above").label_rows(&rows)?;
-                augmented.extend(&labelled)?;
+                if !rows.is_empty() {
+                    let labelled = require_labeler(labeler, strategy)?.label_rows(&rows)?;
+                    augmented.extend(&labelled)?;
+                }
             }
             Strategy::Confidence => {
                 let run = fit_automl(cfg, train, 200)?;
-                let pool = pool.expect("checked above");
+                let pool = require_pool(pool, strategy)?;
                 let picked = confidence_select(run.ensemble(), pool, cfg.n_feedback_points)?;
                 augmented.extend(&pool.subset(&picked)?)?;
             }
             Strategy::Qbc => {
                 let run = fit_automl(cfg, train, 300)?;
-                let pool = pool.expect("checked above");
+                let pool = require_pool(pool, strategy)?;
                 let picked = qbc_select(run.ensemble(), pool, cfg.n_feedback_points)?;
                 augmented.extend(&pool.subset(&picked)?)?;
             }
@@ -291,13 +337,13 @@ pub fn run_strategy(
             }
             Strategy::Margin => {
                 let run = fit_automl(cfg, train, 400)?;
-                let pool = pool.expect("checked above");
+                let pool = require_pool(pool, strategy)?;
                 let picked = margin_select(run.ensemble(), pool, cfg.n_feedback_points)?;
                 augmented.extend(&pool.subset(&picked)?)?;
             }
             Strategy::Entropy => {
                 let run = fit_automl(cfg, train, 500)?;
-                let pool = pool.expect("checked above");
+                let pool = require_pool(pool, strategy)?;
                 let picked = entropy_select(run.ensemble(), pool, cfg.n_feedback_points)?;
                 augmented.extend(&pool.subset(&picked)?)?;
             }
@@ -505,6 +551,24 @@ mod tests {
         let cfg = quick_cfg(9);
         let out = run_strategy(Strategy::Upsampling, &cfg, &train, None, None, &tests).unwrap();
         assert_eq!(out.n_points_added, 80);
+    }
+
+    #[test]
+    fn nonfinite_suggested_rows_are_dropped_not_labeled() {
+        // Without a fault plan installed this is a pure filter: rows
+        // with NaN/inf never reach the oracle (the `nan_labels` fault's
+        // end-to-end path is exercised by the bench fault matrix).
+        let rows = vec![
+            vec![0.1, 0.2],
+            vec![f64::NAN, 0.3],
+            vec![0.4, f64::INFINITY],
+            vec![0.5, 0.6],
+        ];
+        let clean = drop_nonfinite_rows(Strategy::Uniform, rows);
+        assert_eq!(clean, vec![vec![0.1, 0.2], vec![0.5, 0.6]]);
+        // All-finite input passes through untouched (and uncounted).
+        let fine = vec![vec![1.0, 2.0]];
+        assert_eq!(drop_nonfinite_rows(Strategy::Uniform, fine.clone()), fine);
     }
 
     #[test]

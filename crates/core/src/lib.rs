@@ -39,6 +39,7 @@
 //! oracle).
 
 pub mod ale_feedback;
+pub mod checkpoint;
 pub mod confidence;
 pub mod experiment;
 pub mod feedback;
@@ -49,6 +50,7 @@ pub mod uniform;
 pub mod upsampling;
 
 pub use ale_feedback::{AleAnalysis, AleFeedback, AleMode, InterpretationMethod, ThresholdRule};
+pub use checkpoint::{Checkpoint, ExperimentError, ExperimentLoop, RoundRecord};
 pub use experiment::{run_strategy, ExperimentConfig, Strategy, StrategyOutcome};
 pub use feedback::{Feedback, Labeler, Suggestion};
 pub use report::Table;
@@ -73,6 +75,8 @@ pub enum CoreError {
     Data(aml_dataset::DataError),
     /// Statistics failure.
     Stats(aml_stats::StatsError),
+    /// Experiment-loop persistence failure (checkpoint/resume).
+    Experiment(checkpoint::ExperimentError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -86,6 +90,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::Data(e) => write!(f, "dataset error: {e}"),
             CoreError::Stats(e) => write!(f, "stats error: {e}"),
+            CoreError::Experiment(e) => write!(f, "experiment error: {e}"),
         }
     }
 }
@@ -115,6 +120,11 @@ impl From<aml_dataset::DataError> for CoreError {
 impl From<aml_stats::StatsError> for CoreError {
     fn from(e: aml_stats::StatsError) -> Self {
         CoreError::Stats(e)
+    }
+}
+impl From<checkpoint::ExperimentError> for CoreError {
+    fn from(e: checkpoint::ExperimentError) -> Self {
+        CoreError::Experiment(e)
     }
 }
 

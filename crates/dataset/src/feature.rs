@@ -6,7 +6,6 @@
 //! regions are sub-intervals of those domains, and free-sampling strategies
 //! (Uniform, ALE-region sampling) draw from them directly.
 
-
 /// The domain `R(X_s)` of a feature.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FeatureDomain {

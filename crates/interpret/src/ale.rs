@@ -114,6 +114,12 @@ pub fn ale_curve(
     let mut row_buf = vec![0.0; data.n_features()];
     for i in 0..data.n_rows() {
         let row = data.row(i);
+        // Defensive: a non-finite feature value cannot be binned; skip the
+        // row (counted) rather than accumulate garbage into an interval.
+        if !row[feature].is_finite() {
+            aml_telemetry::counter_add("ale.nonfinite_dropped", 1);
+            continue;
+        }
         let interval = grid.interval_of(row[feature]);
         let (z_lo, z_hi) = (grid.points()[interval], grid.points()[interval + 1]);
 

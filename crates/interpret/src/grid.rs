@@ -21,7 +21,8 @@ impl Grid {
     /// increasing.
     ///
     /// # Errors
-    /// Empty input, `k == 0`, or all values identical (no interval).
+    /// Empty input (before or after dropping non-finite values), `k == 0`,
+    /// or all values identical (no interval).
     pub fn quantile(values: &[f64], k: usize) -> Result<Self> {
         if values.is_empty() {
             return Err(InterpretError::EmptyData);
@@ -29,8 +30,18 @@ impl Grid {
         if k == 0 {
             return Err(InterpretError::InvalidParameter("k must be >= 1".into()));
         }
-        let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("dataset values are finite"));
+        // Non-finite observations carry no ordering information for a
+        // quantile grid: drop them — counted, so a degraded grid is
+        // observable — rather than panicking inside the sort.
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        let dropped = values.len() - sorted.len();
+        if dropped > 0 {
+            aml_telemetry::counter_add("ale.nonfinite_dropped", dropped as u64);
+        }
+        if sorted.is_empty() {
+            return Err(InterpretError::EmptyData);
+        }
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut points = Vec::with_capacity(k + 1);
         for q in 0..=k {
@@ -129,6 +140,26 @@ mod tests {
         values.extend(vec![9.0; 50]);
         let g = Grid::quantile(&values, 10).unwrap();
         assert_eq!(g.points(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn quantile_grid_drops_nonfinite_values_instead_of_panicking() {
+        let mut values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        values.push(f64::NAN);
+        values.push(f64::INFINITY);
+        values.push(f64::NEG_INFINITY);
+        let g = Grid::quantile(&values, 10).unwrap();
+        assert_eq!(g.lo(), 0.0);
+        assert_eq!(g.hi(), 99.0);
+        assert!(g.points().iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn quantile_grid_of_only_nonfinite_values_is_empty_data() {
+        assert_eq!(
+            Grid::quantile(&[f64::NAN, f64::INFINITY], 4),
+            Err(InterpretError::EmptyData)
+        );
     }
 
     #[test]

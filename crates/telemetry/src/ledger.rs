@@ -86,7 +86,8 @@ pub enum LedgerEvent {
         /// Validation accuracy at this rung.
         score: f64,
     },
-    /// A candidate failed to train (degenerate subsample, solver error).
+    /// A candidate failed to train (degenerate subsample, solver error,
+    /// panic, budget timeout, or a non-finite score).
     TrialFailed {
         /// Stable trial id.
         trial: u64,
@@ -94,6 +95,12 @@ pub enum LedgerEvent {
         rung: u64,
         /// Model family name.
         family: String,
+        /// Failure class: `error` (fit/scoring returned an error),
+        /// `panic` (the sandbox caught an unwind), `timeout` (the
+        /// `--max-trial-time` budget expired), or `nonfinite` (the
+        /// validation score was NaN/inf). Trailing field added without a
+        /// schema bump (see the module docs' versioning policy).
+        reason: String,
     },
     /// The greedy ensemble selection committed to its final members.
     EnsembleSelected {
@@ -209,9 +216,11 @@ impl LedgerEvent {
                 trial,
                 rung,
                 family,
+                reason,
             } => format!(
-                "{{\"type\":\"trial_failed\",\"trial\":{trial},\"rung\":{rung},\"family\":{}}}",
+                "{{\"type\":\"trial_failed\",\"trial\":{trial},\"rung\":{rung},\"family\":{},\"reason\":{}}}",
                 json_str(family),
+                json_str(reason),
             ),
             LedgerEvent::EnsembleSelected { val_score, members } => {
                 let mut out = format!(
@@ -327,12 +336,21 @@ pub fn emit_with(f: impl FnOnce() -> LedgerEvent) {
     }
 }
 
+/// Process-wide feedback-round sequence counter (see [`next_round`]).
+static NEXT_ROUND: AtomicU64 = AtomicU64::new(0);
+
 /// Next process-wide feedback-round sequence number (0, 1, 2, …).
 /// Strategies run sequentially within a workload, so this is
 /// deterministic for a given run.
 pub fn next_round() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(0);
-    NEXT.fetch_add(1, Ordering::Relaxed)
+    NEXT_ROUND.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Fast-forward the round counter so a `--resume`d run continues the
+/// sequence where the checkpointed run left off — round numbers in the
+/// appended ledger lines must match the uninterrupted run's.
+pub fn set_next_round(next: u64) {
+    NEXT_ROUND.store(next, Ordering::Relaxed);
 }
 
 /// Ledger sink: one JSON line per [`LedgerEvent`], preceded by a header
@@ -354,6 +372,18 @@ impl LedgerJsonlSink {
     pub fn create(path: &Path, header: &RunHeader) -> std::io::Result<LedgerJsonlSink> {
         let file: Box<dyn Write + Send> = Box::new(std::fs::File::create(path)?);
         LedgerJsonlSink::from_writer(file, &path.display().to_string(), header)
+    }
+
+    /// Reopen an existing ledger for append, without writing a header —
+    /// the resume path: the original run's header (and the rounds kept by
+    /// the checkpoint) are already in the file. The caller is responsible
+    /// for truncating the file to the checkpoint's recorded length first.
+    pub fn append(path: &Path) -> std::io::Result<LedgerJsonlSink> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(LedgerJsonlSink {
+            target: path.display().to_string(),
+            writer: Mutex::new(BufWriter::new(Box::new(file))),
+        })
     }
 
     /// Wrap an arbitrary writer (tests inject failing writers here).
@@ -390,6 +420,13 @@ impl Sink for LedgerJsonlSink {
 
     fn wants_ledger(&self) -> bool {
         true
+    }
+
+    fn flush_now(&self) -> std::io::Result<()> {
+        self.writer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .flush()
     }
 
     fn finish(&self, _snapshot: &Snapshot) -> std::io::Result<()> {
@@ -443,6 +480,7 @@ mod tests {
             trial: 3,
             rung: 1,
             family: "mlp".into(),
+            reason: "error".into(),
         });
         sink.finish(&Snapshot::default()).unwrap();
 
@@ -455,7 +493,7 @@ mod tests {
         );
         assert_eq!(
             lines[1],
-            "{\"type\":\"trial_failed\",\"trial\":3,\"rung\":1,\"family\":\"mlp\"}"
+            "{\"type\":\"trial_failed\",\"trial\":3,\"rung\":1,\"family\":\"mlp\",\"reason\":\"error\"}"
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -488,6 +526,7 @@ mod tests {
             trial: 1,
             rung: 0,
             family: "x".repeat(16 * 1024),
+            reason: "error".into(),
         });
         let snap = crate::global().snapshot();
         assert!(
@@ -513,6 +552,7 @@ mod tests {
                 trial: 0,
                 rung: 0,
                 family: "x".into(),
+                reason: "error".into(),
             }
         });
         assert!(!ran, "closure must not run without a ledger sink");

@@ -65,6 +65,7 @@ pub mod profile;
 pub mod progress;
 pub mod registry;
 pub mod resource;
+pub mod sandbox;
 pub mod serve;
 pub mod sink;
 pub mod span;

@@ -1,0 +1,75 @@
+//! Cooperative marker for *sandboxed* panics.
+//!
+//! The panic-flush hook installed by [`crate::sink::install`] treats any
+//! panic as fatal: it prints the default report, then drains and
+//! finishes every installed sink so export files stay valid while the
+//! process dies. That is exactly wrong for a panic the caller is about
+//! to **catch** — the AutoML trial sandbox (`catch_unwind` around each
+//! candidate fit) recovers and keeps the run going, so the sinks must
+//! stay installed and the report is pure noise.
+//!
+//! A sandboxing caller arms this thread-local marker for the duration of
+//! its `catch_unwind`; while armed, the telemetry panic hook stands down
+//! entirely (no report, no sink drain) on that thread. Panics on other
+//! threads are unaffected.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Nesting depth of armed sandboxes on this thread.
+    static ARMED: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard: the telemetry panic hook ignores panics on this thread
+/// while the guard lives.
+pub struct SandboxGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Arm the sandbox marker for the current thread. Hold the returned
+/// guard across the `catch_unwind` that will absorb the panic.
+pub fn arm() -> SandboxGuard {
+    ARMED.with(|c| c.set(c.get() + 1));
+    SandboxGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SandboxGuard {
+    fn drop(&mut self) {
+        ARMED.with(|c| c.set(c.get().saturating_sub(1)));
+    }
+}
+
+/// Whether the current thread is inside an armed sandbox.
+pub fn armed() -> bool {
+    ARMED.with(|c| c.get() > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_is_scoped_and_nests() {
+        assert!(!armed());
+        {
+            let _a = arm();
+            assert!(armed());
+            {
+                let _b = arm();
+                assert!(armed());
+            }
+            assert!(armed());
+        }
+        assert!(!armed());
+    }
+
+    #[test]
+    fn arming_is_per_thread() {
+        let _a = arm();
+        assert!(armed());
+        let other = std::thread::spawn(armed).join().unwrap();
+        assert!(!other, "other threads must not observe this thread's guard");
+    }
+}

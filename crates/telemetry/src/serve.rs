@@ -595,6 +595,7 @@ mod tests {
             trial: 1,
             rung: 0,
             family: "mlp".into(),
+            reason: "error".into(),
         });
 
         let metrics = http_get(addr, "/metrics");

@@ -93,6 +93,12 @@ pub trait Sink: Send + Sync {
     fn wants_ledger(&self) -> bool {
         false
     }
+    /// Flush any buffered output *now*, mid-run, without removing the
+    /// sink. Used by the checkpoint path, which must know the ledger's
+    /// on-disk length at each round boundary. Default: nothing to flush.
+    fn flush_now(&self) -> std::io::Result<()> {
+        Ok(())
+    }
     /// Called once at the end of the run with the final registry
     /// snapshot; flush buffers and write the output file here.
     fn finish(&self, snapshot: &Snapshot) -> std::io::Result<()>;
@@ -153,6 +159,12 @@ fn install_panic_flush_hook() {
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
+            // A panic inside an armed sandbox (the AutoML trial
+            // sandbox) is about to be caught and recovered from: no
+            // report, and crucially no sink drain — the run continues.
+            if crate::sandbox::armed() {
+                return;
+            }
             previous(info);
             flush_on_panic();
         }));
@@ -227,6 +239,27 @@ pub(crate) fn emit_ledger_event(event: &LedgerEvent) {
         if sink.wants_ledger() {
             sink.on_ledger_event(event);
         }
+    }
+}
+
+/// Flush every installed sink in place (no removal, no snapshot). The
+/// checkpoint writer calls this at round boundaries so the bytes of all
+/// rounds up to and including the checkpointed one are durably in the
+/// export files before the checkpoint that references them is committed.
+pub fn flush_installed() -> std::io::Result<()> {
+    let mut first_err = None;
+    for sink in sinks()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+    {
+        if let Err(e) = sink.flush_now() {
+            first_err.get_or_insert(e);
+        }
+    }
+    match first_err {
+        None => Ok(()),
+        Some(e) => Err(e),
     }
 }
 
@@ -549,6 +582,7 @@ mod tests {
                 trial: 7,
                 rung: 0,
                 family: "mlp".into(),
+                reason: "error".into(),
             });
             let _open = crate::span("test.panic.inside");
             panic!("boom");

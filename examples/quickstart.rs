@@ -12,14 +12,14 @@
 //! uncovered region, the oracle labels samples from it, and retraining
 //! recovers the lost accuracy.
 
+use aml_rng::rngs::StdRng;
+use aml_rng::{Rng, SeedableRng};
 use interpretable_automl::automl::{AutoMl, AutoMlConfig};
 use interpretable_automl::data::Dataset;
 use interpretable_automl::feedback::{run_strategy, AleFeedback, ExperimentConfig, Strategy};
 use interpretable_automl::interpret::plot::band_to_ascii;
 use interpretable_automl::models::metrics::balanced_accuracy;
 use interpretable_automl::models::Classifier;
-use aml_rng::rngs::StdRng;
-use aml_rng::{Rng, SeedableRng};
 
 /// Ground truth: three bands over x0 (boundaries at 1/3 and 2/3); the label
 /// is `(band + [x1 > 0.5]) mod 2`. A model that never saw the third band
