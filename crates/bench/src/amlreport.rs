@@ -25,6 +25,12 @@
 //! Parsing uses [`crate::minijson`]; unknown ledger event types are
 //! skipped so the report stays forward compatible with additive schema
 //! changes (the ledger versioning contract).
+//!
+//! [`render_compare_html`] (the bin's `--compare A.jsonl B.jsonl` mode)
+//! renders a cross-run diff instead: per-round accuracy deltas per
+//! shared strategy, ensemble composition changes by family, and
+//! region-suggestion drift per feature — same primitives, same
+//! self-containment contract.
 
 use crate::minijson::{self, Value};
 use crate::report::BenchReport;
@@ -961,6 +967,289 @@ pub fn render_html(ledgers: &[LedgerData], benches: &[BenchReport], title: &str)
     out
 }
 
+// ---------------------------------------------------------------- compare
+
+/// Shipped ensemble's weight per family (encounter order), from the last
+/// `ensemble_selected` event. Empty when no ensemble was recorded.
+fn family_weights(l: &LedgerData) -> Vec<(String, f64)> {
+    let mut weights: Vec<(String, f64)> = Vec::new();
+    if let Some(e) = l.ensembles.last() {
+        for (_, family, weight, _) in &e.members {
+            if let Some(slot) = weights.iter_mut().find(|(f, _)| f == family) {
+                slot.1 += weight;
+            } else {
+                weights.push((family.clone(), *weight));
+            }
+        }
+    }
+    weights
+}
+
+/// Last suggested-region band per feature — the final state of the
+/// evidence, matching what [`section_bands`] plots.
+fn latest_bands(l: &LedgerData) -> Vec<&BandRecord> {
+    let mut latest: Vec<&BandRecord> = Vec::new();
+    for band in &l.bands {
+        if let Some(slot) = latest.iter_mut().find(|b| b.feature == band.feature) {
+            *slot = band;
+        } else {
+            latest.push(band);
+        }
+    }
+    latest
+}
+
+/// Total length covered by a band's suggested intervals.
+fn interval_len(b: &BandRecord) -> f64 {
+    b.intervals
+        .iter()
+        .filter(|(lo, hi)| lo.is_finite() && hi.is_finite())
+        .map(|(lo, hi)| (hi - lo).max(0.0))
+        .sum()
+}
+
+/// Signed delta cell: `b - a`, with an explicit `+` so drift direction
+/// reads at a glance.
+fn delta(a: f64, b: f64) -> String {
+    let d = b - a;
+    if !d.is_finite() {
+        return "?".into();
+    }
+    if d >= 0.0 {
+        format!("+{}", sig(d))
+    } else {
+        format!("&#8722;{}", sig(-d))
+    }
+}
+
+fn section_compare_summary(out: &mut String, a: &LedgerData, b: &LedgerData) {
+    out.push_str("<h2>Runs compared</h2>");
+    out.push_str(
+        "<table><tr><th>run</th><th>workload</th><th>seed</th><th>git</th>\
+         <th>finished</th><th>failed</th><th>rounds</th><th>regions</th></tr>",
+    );
+    for (label, l) in [("A", a), ("B", b)] {
+        let _ = write!(
+            out,
+            "<tr><td>{label}: {}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(&l.run_id),
+            esc(&l.workload),
+            l.seed,
+            esc(&l.git),
+            l.finished.len(),
+            l.failed.len(),
+            l.rounds.len(),
+            l.bands.len(),
+        );
+    }
+    out.push_str("</table>");
+    if a.workload != b.workload {
+        out.push_str(
+            "<p class=\"note\">Workloads differ — deltas below compare \
+             different problems; read accordingly.</p>",
+        );
+    }
+}
+
+fn section_compare_rounds(out: &mut String, a: &LedgerData, b: &LedgerData) {
+    out.push_str("<h2>Per-round accuracy delta</h2>");
+    if a.rounds.is_empty() && b.rounds.is_empty() {
+        out.push_str("<p class=\"note\">Neither run recorded feedback rounds.</p>");
+        return;
+    }
+    let mut strategies = uniques(a.rounds.iter().map(|r| r.strategy.as_str()));
+    for s in uniques(b.rounds.iter().map(|r| r.strategy.as_str())) {
+        if !strategies.contains(&s) {
+            strategies.push(s);
+        }
+    }
+    fn series<'l>(l: &'l LedgerData, strategy: &str) -> Vec<&'l RoundRecord> {
+        l.rounds.iter().filter(|r| r.strategy == strategy).collect()
+    }
+    let max_len = strategies
+        .iter()
+        .map(|s| series(a, s).len().max(series(b, s).len()))
+        .max()
+        .unwrap_or(1);
+    let frame = Frame::new(
+        (0..max_len).map(|i| i as f64),
+        a.rounds
+            .iter()
+            .chain(&b.rounds)
+            .map(|r| r.acc_mean)
+            .filter(|v| v.is_finite()),
+    );
+    frame.open(out);
+    for (si, strategy) in strategies.iter().enumerate() {
+        for (l, extra) in [
+            (a, "stroke-width=\"1.6\""),
+            (b, "stroke-width=\"1.6\" stroke-dasharray=\"5,3\""),
+        ] {
+            let pts: Vec<(f64, f64)> = series(l, strategy)
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.acc_mean.is_finite())
+                .map(|(i, r)| (frame.x(i as f64), frame.y(r.acc_mean)))
+                .collect();
+            polyline(out, &pts, color(si), extra);
+        }
+    }
+    out.push_str("</svg>");
+    legend(out, &strategies);
+    out.push_str("<p class=\"note\">Solid = A, dashed = B. Mean accuracy per round.</p>");
+    out.push_str(
+        "<table><tr><th>strategy</th><th>round</th><th>acc A</th>\
+         <th>acc B</th><th>&#916; (B &#8722; A)</th></tr>",
+    );
+    for strategy in &strategies {
+        let sa = series(a, strategy);
+        let sb = series(b, strategy);
+        for i in 0..sa.len().max(sb.len()) {
+            let va = sa.get(i).map(|r| r.acc_mean);
+            let vb = sb.get(i).map(|r| r.acc_mean);
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                esc(strategy),
+                i,
+                va.map(sig).unwrap_or_else(|| "—".into()),
+                vb.map(sig).unwrap_or_else(|| "—".into()),
+                match (va, vb) {
+                    (Some(va), Some(vb)) => delta(va, vb),
+                    _ => "—".into(),
+                },
+            );
+        }
+    }
+    out.push_str("</table>");
+}
+
+fn section_compare_ensembles(out: &mut String, a: &LedgerData, b: &LedgerData) {
+    out.push_str("<h2>Ensemble composition changes</h2>");
+    let wa = family_weights(a);
+    let wb = family_weights(b);
+    if wa.is_empty() && wb.is_empty() {
+        out.push_str("<p class=\"note\">Neither run recorded an ensemble selection.</p>");
+        return;
+    }
+    let val = |l: &LedgerData| l.ensembles.last().map(|e| e.val_score);
+    if let (Some(va), Some(vb)) = (val(a), val(b)) {
+        let _ = write!(
+            out,
+            "<p class=\"note\">Validation score: A {} &#8594; B {} ({}).</p>",
+            sig(va),
+            sig(vb),
+            delta(va, vb),
+        );
+    }
+    let mut families: Vec<String> = wa.iter().map(|(f, _)| f.clone()).collect();
+    for (f, _) in &wb {
+        if !families.contains(f) {
+            families.push(f.clone());
+        }
+    }
+    out.push_str(
+        "<table><tr><th>family</th><th>weight A</th><th>weight B</th>\
+         <th>&#916; (B &#8722; A)</th></tr>",
+    );
+    for (fi, family) in families.iter().enumerate() {
+        let ga = wa.iter().find(|(f, _)| f == family).map(|(_, w)| *w);
+        let gb = wb.iter().find(|(f, _)| f == family).map(|(_, w)| *w);
+        let _ = write!(
+            out,
+            "<tr><td style=\"color:{}\">{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            color(fi),
+            esc(family),
+            ga.map(sig).unwrap_or_else(|| "—".into()),
+            gb.map(sig).unwrap_or_else(|| "—".into()),
+            delta(ga.unwrap_or(0.0), gb.unwrap_or(0.0)),
+        );
+    }
+    out.push_str("</table>");
+}
+
+fn section_compare_bands(out: &mut String, a: &LedgerData, b: &LedgerData) {
+    out.push_str("<h2>Region-suggestion drift</h2>");
+    let la = latest_bands(a);
+    let lb = latest_bands(b);
+    if la.is_empty() && lb.is_empty() {
+        out.push_str("<p class=\"note\">Neither run suggested regions.</p>");
+        return;
+    }
+    let mut features: Vec<u64> = la.iter().map(|band| band.feature).collect();
+    for band in &lb {
+        if !features.contains(&band.feature) {
+            features.push(band.feature);
+        }
+    }
+    out.push_str(
+        "<table><tr><th>feature</th><th>threshold A</th><th>threshold B</th>\
+         <th>&#916; thr</th><th>intervals A</th><th>intervals B</th>\
+         <th>length A</th><th>length B</th><th>&#916; length</th></tr>",
+    );
+    for feature in features {
+        let ba = la.iter().find(|band| band.feature == feature);
+        let bb = lb.iter().find(|band| band.feature == feature);
+        let name = ba.or(bb).map(|band| band.name.as_str()).unwrap_or("?");
+        let opt = |v: Option<f64>| v.map(sig).unwrap_or_else(|| "—".into());
+        let _ = write!(
+            out,
+            "<tr><td>{} ({feature})</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+            esc(name),
+            opt(ba.map(|band| band.threshold)),
+            opt(bb.map(|band| band.threshold)),
+            match (ba, bb) {
+                (Some(ba), Some(bb)) => delta(ba.threshold, bb.threshold),
+                _ => "—".into(),
+            },
+            ba.map(|band| band.intervals.len().to_string())
+                .unwrap_or_else(|| "—".into()),
+            bb.map(|band| band.intervals.len().to_string())
+                .unwrap_or_else(|| "—".into()),
+            opt(ba.map(|band| interval_len(band))),
+            opt(bb.map(|band| interval_len(band))),
+            match (ba, bb) {
+                (Some(ba), Some(bb)) => delta(interval_len(ba), interval_len(bb)),
+                _ => "—".into(),
+            },
+        );
+    }
+    out.push_str("</table>");
+    out.push_str(
+        "<p class=\"note\">Per feature: last suggested band in each run. \
+         Length is the summed width of suggested intervals.</p>",
+    );
+}
+
+/// Render a cross-run diff of two ledgers (the bin's `--compare` mode).
+/// Same self-containment contract as [`render_html`]: no scripts, no
+/// external assets, one HTML string out.
+pub fn render_compare_html(a: &LedgerData, b: &LedgerData, title: &str) -> String {
+    let mut out = String::with_capacity(32 * 1024);
+    let _ = write!(
+        out,
+        "<!doctype html><html><head><meta charset=\"utf-8\">\
+         <title>{}</title><style>{STYLE}</style></head><body><h1>{}</h1>",
+        esc(title),
+        esc(title)
+    );
+    let _ = write!(
+        out,
+        "<p class=\"note\">A = {} vs B = {}. Ledger schema v{}.</p>",
+        esc(&a.run_id),
+        esc(&b.run_id),
+        LEDGER_SCHEMA_VERSION
+    );
+    section_compare_summary(&mut out, a, b);
+    section_compare_rounds(&mut out, a, b);
+    section_compare_ensembles(&mut out, a, b);
+    section_compare_bands(&mut out, a, b);
+    out.push_str("</body></html>");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1105,5 +1394,88 @@ mod tests {
         let ms = family_fit_ms(&[b], "forest").unwrap();
         assert!((ms - 1.5).abs() < 1e-9, "{ms}");
         assert!(family_fit_ms(&[sample_bench()], "mlp").is_none());
+    }
+
+    /// A second run of the same workload with drifted numbers: slightly
+    /// better accuracy, a reweighted ensemble with a new family, and a
+    /// shifted region suggestion.
+    fn shifted_ledger_text() -> String {
+        sample_ledger_text()
+            .replace("\"run_id\":\"w-s1-p2\"", "\"run_id\":\"w-s2-p2\"")
+            .replace("\"seed\":1,", "\"seed\":2,")
+            .replace("\"acc_mean\":0.85", "\"acc_mean\":0.88")
+            .replace(
+                "\"members\":[{\"trial\":0,\"family\":\"forest\",\"weight\":3,\"score\":0.91}]",
+                "\"members\":[{\"trial\":0,\"family\":\"forest\",\"weight\":2,\"score\":0.91},\
+                 {\"trial\":2,\"family\":\"mlp\",\"weight\":1,\"score\":0.89}]",
+            )
+            .replace("\"threshold\":0.05", "\"threshold\":0.07")
+            .replace(
+                "\"intervals\":[[0.2,0.4],[0.7,0.9]]",
+                "\"intervals\":[[0.25,0.45]]",
+            )
+    }
+
+    #[test]
+    fn compare_report_is_self_contained_and_shows_the_drift() {
+        let a = parse_ledger(&sample_ledger_text()).unwrap();
+        let b = parse_ledger(&shifted_ledger_text()).unwrap();
+        let html = render_compare_html(&a, &b, "A vs B");
+        // Same self-containment contract as the single-run report.
+        assert!(!html.contains("http"), "external reference in compare");
+        assert!(!html.contains("<script"), "no scripts allowed");
+        for heading in [
+            "Runs compared",
+            "Per-round accuracy delta",
+            "Ensemble composition changes",
+            "Region-suggestion drift",
+        ] {
+            assert!(html.contains(heading), "missing section {heading}");
+        }
+        assert_eq!(html.matches("<svg").count(), html.matches("</svg>").count());
+        assert_eq!(
+            html.matches("<table").count(),
+            html.matches("</table>").count()
+        );
+        // Both run ids label the page; B's series is dashed.
+        assert!(html.contains("w-s1-p2") && html.contains("w-s2-p2"));
+        assert!(html.contains("stroke-dasharray"));
+        // Round 1 of Within-ALE drifted 0.85 -> 0.88: delta +0.030.
+        assert!(html.contains("+0.030"), "missing accuracy delta");
+        // The new mlp family appears with no weight on the A side.
+        assert!(html.contains("mlp"));
+        // Region drift: threshold moved and total interval length shrank
+        // from 0.4 to 0.2.
+        assert!(html.contains("+0.020"), "missing threshold delta");
+        assert!(html.contains("&#8722;0.200"), "missing length delta");
+    }
+
+    #[test]
+    fn compare_of_empty_ledgers_still_renders_a_valid_page() {
+        let header =
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}";
+        let l = parse_ledger(header).unwrap();
+        let html = render_compare_html(&l, &l, "empty vs empty");
+        assert!(html.contains("Neither run recorded feedback rounds"));
+        assert!(html.contains("Neither run recorded an ensemble selection"));
+        assert!(html.contains("Neither run suggested regions"));
+        assert!(html.contains("</html>"));
+        assert!(!html.contains("http"));
+    }
+
+    #[test]
+    fn compare_helpers_aggregate_weights_and_interval_lengths() {
+        let a = parse_ledger(&sample_ledger_text()).unwrap();
+        assert_eq!(family_weights(&a), vec![("forest".into(), 3.0)]);
+        let b = parse_ledger(&shifted_ledger_text()).unwrap();
+        assert_eq!(
+            family_weights(&b),
+            vec![("forest".into(), 2.0), ("mlp".into(), 1.0)]
+        );
+        let bands = latest_bands(&a);
+        assert_eq!(bands.len(), 1);
+        assert!((interval_len(bands[0]) - 0.4).abs() < 1e-12);
+        assert_eq!(delta(0.8, 0.85), "+0.050");
+        assert_eq!(delta(0.85, 0.8), "&#8722;0.050");
     }
 }

@@ -6,9 +6,13 @@
 //! perfgate job runs this over the gate trio's exports and uploads the
 //! HTML as a build artifact.
 //!
+//! `--compare A.jsonl B.jsonl` renders a cross-run diff instead:
+//! per-round accuracy deltas, ensemble composition changes, and
+//! region-suggestion drift between exactly two ledgers.
+//!
 //! Exit codes: 0 ok, 1 input failed to parse, 2 usage error.
 
-use aml_bench::amlreport::{parse_ledger, render_html, LedgerData};
+use aml_bench::amlreport::{parse_ledger, render_compare_html, render_html, LedgerData};
 use aml_bench::report::BenchReport;
 use std::path::{Path, PathBuf};
 
@@ -17,9 +21,13 @@ amlreport — render ledgers + BENCH records into one self-contained HTML page
 
 usage:
   amlreport [--out PATH] [--title TITLE] INPUT...
+  amlreport --compare A.jsonl B.jsonl [--out PATH] [--title TITLE]
 
   INPUT                   ledger.jsonl files and/or BENCH_<workload>.json
                           files (classified by file name)
+  --compare               diff two ledgers: per-round accuracy delta,
+                          ensemble composition changes, region drift
+                          (requires exactly two ledger inputs)
   --out PATH              output HTML path (default amlreport.html)
   --title TITLE           report title (default 'AutoML run report')
 
@@ -28,6 +36,7 @@ exit codes: 0 ok, 1 an input failed to parse, 2 usage error";
 struct Opts {
     out: PathBuf,
     title: String,
+    compare: bool,
     inputs: Vec<PathBuf>,
 }
 
@@ -35,6 +44,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
     let mut opts = Opts {
         out: PathBuf::from("amlreport.html"),
         title: "AutoML run report".into(),
+        compare: false,
         inputs: Vec::new(),
     };
     let mut i = 0;
@@ -42,12 +52,23 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         match args[i].as_str() {
             "--out" => opts.out = PathBuf::from(value(args, &mut i, "--out")?),
             "--title" => opts.title = value(args, &mut i, "--title")?.to_string(),
+            "--compare" => opts.compare = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             path => opts.inputs.push(PathBuf::from(path)),
         }
         i += 1;
     }
-    if opts.inputs.is_empty() {
+    if opts.compare {
+        if opts.inputs.len() != 2 {
+            return Err(format!(
+                "--compare expects exactly two ledger inputs, got {}",
+                opts.inputs.len()
+            ));
+        }
+        if opts.inputs.iter().any(|p| is_bench_record(p)) {
+            return Err("--compare takes ledger files, not BENCH records".into());
+        }
+    } else if opts.inputs.is_empty() {
         return Err("expected at least one input file".into());
     }
     Ok(opts)
@@ -67,6 +88,44 @@ fn is_bench_record(path: &Path) -> bool {
         .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
 }
 
+fn load_ledger(path: &Path) -> Result<LedgerData, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        .and_then(|text| parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display())))
+}
+
+fn run_compare(opts: &Opts) -> i32 {
+    let title = if opts.title == "AutoML run report" {
+        "AutoML run comparison".to_string()
+    } else {
+        opts.title.clone()
+    };
+    let (a, b) = match (load_ledger(&opts.inputs[0]), load_ledger(&opts.inputs[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for result in [a, b] {
+                if let Err(msg) = result {
+                    eprintln!("error: {msg}");
+                }
+            }
+            return 1;
+        }
+    };
+    let html = render_compare_html(&a, &b, &title);
+    if let Err(e) = std::fs::write(&opts.out, &html) {
+        eprintln!("error: cannot write {}: {e}", opts.out.display());
+        return 1;
+    }
+    println!(
+        "amlreport: wrote {} (compare {} vs {}, {} bytes)",
+        opts.out.display(),
+        a.run_id,
+        b.run_id,
+        html.len()
+    );
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -80,6 +139,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if opts.compare {
+        std::process::exit(run_compare(&opts));
+    }
 
     let mut ledgers: Vec<LedgerData> = Vec::new();
     let mut benches: Vec<BenchReport> = Vec::new();
@@ -88,12 +150,7 @@ fn main() {
         let result: Result<(), String> = if is_bench_record(path) {
             BenchReport::load(path).map(|b| benches.push(b))
         } else {
-            std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))
-                .and_then(|text| {
-                    parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display()))
-                })
-                .map(|l| ledgers.push(l))
+            load_ledger(path).map(|l| ledgers.push(l))
         };
         if let Err(msg) = result {
             eprintln!("error: {msg}");

@@ -1,22 +1,35 @@
 //! `perfgate` — the perf-regression gate (DESIGN.md §6).
 //!
-//! Two modes:
+//! Three modes:
 //!
 //! * **Run** (default): execute the benchmark workloads at a fixed seed,
 //!   collect their `BENCH_<workload>.json` reports over a few repeats,
 //!   and write the per-workload median report into the output directory.
 //!   Workload binaries are found next to `perfgate` itself (they are
-//!   cargo siblings in `target/<profile>/`).
+//!   cargo siblings in `target/<profile>/`). With `--record` each
+//!   workload additionally appends one cross-run history record (median
+//!   perf + the rep-0 ledger's accuracy/trial summary) to the
+//!   append-only history store.
 //! * **Compare** (`--compare OLD NEW`): diff two reports with the gate
 //!   math in [`aml_bench::gate`] and exit nonzero on regression, with a
 //!   human-readable table either way.
+//! * **Against history** (`--against-history N NEW...`): gate each BENCH
+//!   report against the rolling median of the last N history records of
+//!   its workload, so a regression is judged against the trajectory
+//!   instead of one frozen baseline. Missing history passes with a
+//!   warning (a brand-new workload must not fail CI).
 //!
 //! Exit codes: 0 pass, 1 regression (or a workload failed to run),
 //! 2 usage error.
 
-use aml_bench::gate::{compare, GateConfig};
+use aml_bench::amlreport::{parse_ledger, LedgerData};
+use aml_bench::gate::{
+    compare, gate_against_history, history_baseline, parse_history, GateConfig, GateOutcome,
+};
 use aml_bench::minijson::Value;
 use aml_bench::report::{median_report, BenchReport};
+use aml_telemetry::history::DEFAULT_HISTORY_PATH;
+use aml_telemetry::HistoryRecord;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
@@ -27,6 +40,9 @@ perfgate — run benchmark workloads and gate on perf regressions
 usage:
   perfgate [run options]            run workloads, write BENCH_<w>.json
   perfgate --compare OLD NEW [...]  diff two BENCH reports, exit 1 on regression
+  perfgate --against-history N NEW... [...]
+                                    gate BENCH reports against the rolling
+                                    median of the last N history records
 
 run options:
   --workloads A,B,C       comma-separated workload binaries
@@ -36,19 +52,27 @@ run options:
   --threads N             worker threads per workload (default 2)
   --out DIR               output directory (default target/perfgate)
   --full                  run at paper scale instead of --quick
+  --record [PATH]         append one history record per workload (median perf
+                          + rep-0 ledger summary) to PATH
+                          (default results/history/history.jsonl)
   --timeout MS            kill a workload running longer than MS milliseconds;
                           writes TIMEOUT_<workload>.json (timed_out: true)
                           into the output directory and exits nonzero
   --fault-plan SPEC       forward a deterministic fault plan to every
                           workload (see the workload binaries' --help)
 
-compare options:
+compare / against-history options:
+  --history PATH          history store to gate against
+                          (default results/history/history.jsonl)
   --tolerance PCT         allowed relative growth in percent (default 10)
   --abs-floor-ms MS       absolute growth floor in milliseconds (default 5)
   --scale F               multiply NEW's timings by F before comparing
                           (test hook: --scale 2 must trip the gate)
   --json                  print the verdict as JSON instead of the table
-                          (same exit codes; schema in gate::render_json)
+                          (same exit codes; schema in gate::render_json,
+                          plus history_requested/history_n for
+                          --against-history; history_n 0 = no baseline,
+                          vacuous pass)
 
 exit codes: 0 pass, 1 regression or run failure, 2 usage error";
 
@@ -58,7 +82,12 @@ fn main() {
         println!("{USAGE}");
         return;
     }
-    let code = if args.iter().any(|a| a == "--compare") {
+    let code = if args.iter().any(|a| a == "--against-history") {
+        match parse_against(&args).map(run_against) {
+            Ok(code) => code,
+            Err(msg) => usage_error(&msg),
+        }
+    } else if args.iter().any(|a| a == "--compare") {
         match parse_compare(&args).map(run_compare) {
             Ok(code) => code,
             Err(msg) => usage_error(&msg),
@@ -158,6 +187,133 @@ fn run_compare(opts: CompareOpts) -> i32 {
     }
 }
 
+// ---------------------------------------------------------- against-history
+
+struct AgainstOpts {
+    n: usize,
+    history: PathBuf,
+    reports: Vec<PathBuf>,
+    cfg: GateConfig,
+    json: bool,
+}
+
+fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
+    let mut opts = AgainstOpts {
+        n: 0,
+        history: PathBuf::from(DEFAULT_HISTORY_PATH),
+        reports: Vec::new(),
+        cfg: GateConfig::default(),
+        json: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--against-history" => {
+                opts.n = int_value(args, &mut i, "--against-history")? as usize;
+                if opts.n == 0 {
+                    return Err("--against-history expects a window of >= 1 records".into());
+                }
+            }
+            "--history" => opts.history = PathBuf::from(str_value(args, &mut i, "--history")?),
+            "--json" => opts.json = true,
+            "--tolerance" => opts.cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
+            "--abs-floor-ms" => {
+                opts.cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
+            }
+            "--scale" => opts.cfg.scale_new = float_value(args, &mut i, "--scale")?,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => opts.reports.push(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    if opts.cfg.tolerance_pct < 0.0 || opts.cfg.abs_floor_s < 0.0 || opts.cfg.scale_new <= 0.0 {
+        return Err("--tolerance/--abs-floor-ms must be >= 0 and --scale > 0".into());
+    }
+    if opts.reports.is_empty() {
+        return Err("--against-history expects at least one BENCH report path".into());
+    }
+    Ok(opts)
+}
+
+fn run_against(opts: AgainstOpts) -> i32 {
+    // A missing store is the day-one case, not an error: every workload
+    // then passes vacuously (with a warning) until --record seeds it.
+    let text = std::fs::read_to_string(&opts.history).unwrap_or_default();
+    let records = parse_history(&text);
+    let mut failed = false;
+    for path in &opts.reports {
+        let report = match BenchReport::load(path) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return 2;
+            }
+        };
+        let new = HistoryRecord {
+            workload: report.workload.clone(),
+            seed: report.seed,
+            git: report.git.clone(),
+            source: "report".into(),
+            wall_time_s: report.wall_time_s,
+            top_span_total_s: report.top_span_total_s,
+            peak_rss_bytes: 0,
+            alloc_peak_bytes: report.alloc.as_ref().map_or(0, |a| a.peak_bytes),
+            final_acc: None,
+            trials_finished: 0,
+            trials_failed: 0,
+            rounds: 0,
+        };
+        match history_baseline(&records, &report.workload, opts.n) {
+            Some(baseline) => {
+                let outcome = gate_against_history(&baseline, &new, &opts.cfg);
+                if opts.json {
+                    println!(
+                        "{}",
+                        outcome.render_history_json(
+                            &report.workload,
+                            &opts.cfg,
+                            opts.n,
+                            baseline.n_used
+                        )
+                    );
+                } else {
+                    println!(
+                        "perfgate: {} ({}) vs median of last {} history record(s) in {}",
+                        report.workload,
+                        report.git,
+                        baseline.n_used,
+                        opts.history.display()
+                    );
+                    print!("{}", outcome.render_table(&opts.cfg));
+                    println!("{}", if outcome.passed() { "PASS" } else { "FAIL" });
+                }
+                failed |= !outcome.passed();
+            }
+            None => {
+                let empty = GateOutcome {
+                    diffs: vec![],
+                    unmatched: vec![],
+                };
+                if opts.json {
+                    println!(
+                        "{}",
+                        empty.render_history_json(&report.workload, &opts.cfg, opts.n, 0)
+                    );
+                } else {
+                    eprintln!(
+                        "perfgate: warning: no history for {} in {} — passing by default \
+                         (run with --record to seed the store)",
+                        report.workload,
+                        opts.history.display()
+                    );
+                    println!("PASS (no history)");
+                }
+            }
+        }
+    }
+    i32::from(failed)
+}
+
 // -------------------------------------------------------------------- run
 
 struct RunPlanOpts {
@@ -167,6 +323,7 @@ struct RunPlanOpts {
     threads: usize,
     out: PathBuf,
     full: bool,
+    record: Option<PathBuf>,
     timeout: Option<Duration>,
     fault_plan: Option<String>,
 }
@@ -181,6 +338,7 @@ fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
         threads: 2,
         out: PathBuf::from("target/perfgate"),
         full: false,
+        record: None,
         timeout: None,
         fault_plan: None,
     };
@@ -212,6 +370,17 @@ fn parse_run(args: &[String]) -> Result<RunPlanOpts, String> {
             }
             "--out" => opts.out = PathBuf::from(str_value(args, &mut i, "--out")?),
             "--full" => opts.full = true,
+            "--record" => {
+                // The path is optional: a following flag (or nothing)
+                // means "use the default store".
+                opts.record = Some(match args.get(i + 1).map(String::as_str) {
+                    Some(v) if !v.starts_with("--") => {
+                        i += 1;
+                        PathBuf::from(v)
+                    }
+                    _ => PathBuf::from(DEFAULT_HISTORY_PATH),
+                });
+            }
             "--timeout" => {
                 let ms = int_value(args, &mut i, "--timeout")?;
                 if ms == 0 {
@@ -251,7 +420,25 @@ fn run_workloads(opts: RunPlanOpts) -> i32 {
     let mut failed = false;
     for workload in &opts.workloads {
         match run_one_workload(&bin_dir, workload, &opts) {
-            Ok(path) => println!("perfgate: wrote {}", path.display()),
+            Ok((path, median)) => {
+                println!("perfgate: wrote {}", path.display());
+                if let Some(store) = &opts.record {
+                    let ledger = opts.out.join(workload).join("ledger.jsonl");
+                    let record = history_from_gate_run(workload, &median, &ledger);
+                    match record.append(store) {
+                        Ok(()) => {
+                            println!("perfgate: recorded history -> {}", store.display())
+                        }
+                        Err(e) => {
+                            eprintln!(
+                                "error: {workload}: cannot append --record {}: {e}",
+                                store.display()
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
             Err(msg) => {
                 eprintln!("error: {workload}: {msg}");
                 failed = true;
@@ -270,7 +457,11 @@ fn run_workloads(opts: RunPlanOpts) -> i32 {
 /// first repeat also exports `trace.json` / `events.jsonl` /
 /// `ledger.jsonl` for the workload so every gate run doubles as a
 /// profiling artifact (and feeds `amlreport`).
-fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Result<PathBuf, String> {
+fn run_one_workload(
+    bin_dir: &Path,
+    workload: &str,
+    opts: &RunPlanOpts,
+) -> Result<(PathBuf, BenchReport), String> {
     let bin = bin_dir.join(workload);
     if !bin.is_file() {
         return Err(format!(
@@ -339,9 +530,50 @@ fn run_one_workload(bin_dir: &Path, workload: &str, opts: &RunPlanOpts) -> Resul
         );
     }
     let median = median_report(&reports).ok_or("no reports collected")?;
-    median
+    let path = median
         .write(&opts.out)
-        .map_err(|e| format!("cannot write median report: {e}"))
+        .map_err(|e| format!("cannot write median report: {e}"))?;
+    Ok((path, median))
+}
+
+/// Distill a gate run into one history record: perf numbers from the
+/// median report, ML totals from the rep-0 ledger. A missing or
+/// unparsable ledger degrades to zero totals with a warning — recording
+/// must never fail the gate run itself.
+fn history_from_gate_run(
+    workload: &str,
+    median: &BenchReport,
+    ledger_path: &Path,
+) -> HistoryRecord {
+    let ledger: Option<LedgerData> =
+        std::fs::read_to_string(ledger_path)
+            .ok()
+            .and_then(|text| match parse_ledger(&text) {
+                Ok(data) => Some(data),
+                Err(e) => {
+                    eprintln!("perfgate: warning: {}: {e}", ledger_path.display());
+                    None
+                }
+            });
+    let final_acc = ledger
+        .as_ref()
+        .and_then(|l| l.rounds.last())
+        .map(|r| r.acc_mean)
+        .filter(|a| a.is_finite());
+    HistoryRecord {
+        workload: workload.to_string(),
+        seed: median.seed,
+        git: median.git.clone(),
+        source: "perfgate".into(),
+        wall_time_s: median.wall_time_s,
+        top_span_total_s: median.top_span_total_s,
+        peak_rss_bytes: 0,
+        alloc_peak_bytes: median.alloc.as_ref().map_or(0, |a| a.peak_bytes),
+        final_acc,
+        trials_finished: ledger.as_ref().map_or(0, |l| l.finished.len() as u64),
+        trials_failed: ledger.as_ref().map_or(0, |l| l.failed.len() as u64),
+        rounds: ledger.as_ref().map_or(0, |l| l.rounds.len() as u64),
+    }
 }
 
 enum WaitError {

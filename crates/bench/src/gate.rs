@@ -9,8 +9,19 @@
 //! check, so it regresses only when the new value exceeds the floor
 //! outright.
 
+//!
+//! Besides the frozen-file comparison (`perfgate --compare`), the gate
+//! can judge a run against the **rolling median** of the last N
+//! [`HistoryRecord`]s for its workload (`perfgate --against-history N`):
+//! [`parse_history`] reads the append-only JSONL store,
+//! [`history_baseline`] distills the trailing window into per-metric
+//! medians, and [`gate_against_history`] applies the same
+//! tolerance/abs-floor rules to the medians. An empty history cannot
+//! anchor any check, so the caller treats it as a pass with a warning.
+
 use crate::minijson::{ToJson, Value};
 use crate::report::BenchReport;
+use aml_telemetry::{HistoryRecord, HISTORY_SCHEMA_VERSION};
 use std::fmt::Write as _;
 
 /// Gate parameters.
@@ -122,6 +133,27 @@ impl GateOutcome {
     /// metrics: [{metric, old, new, delta_pct|null, regressed}],
     /// unmatched: [..]}`.
     pub fn render_json(&self, workload: &str, cfg: &GateConfig) -> String {
+        Value::Obj(self.json_fields(workload, cfg)).render()
+    }
+
+    /// Machine-readable verdict for `perfgate --against-history --json`:
+    /// the `--compare` schema plus `history_requested` (the N asked for)
+    /// and `history_n` (records actually found; 0 = no baseline, the
+    /// gate vacuously passes).
+    pub fn render_history_json(
+        &self,
+        workload: &str,
+        cfg: &GateConfig,
+        requested: usize,
+        n_used: usize,
+    ) -> String {
+        let mut fields = self.json_fields(workload, cfg);
+        fields.insert(1, ("history_n".into(), n_used.to_json()));
+        fields.insert(1, ("history_requested".into(), requested.to_json()));
+        Value::Obj(fields).render()
+    }
+
+    fn json_fields(&self, workload: &str, cfg: &GateConfig) -> Vec<(String, Value)> {
         let metrics: Vec<Value> = self
             .diffs
             .iter()
@@ -138,7 +170,7 @@ impl GateOutcome {
                 ])
             })
             .collect();
-        Value::Obj(vec![
+        vec![
             ("workload".into(), workload.to_json()),
             ("tolerance_pct".into(), cfg.tolerance_pct.to_json()),
             ("abs_floor_ms".into(), (cfg.abs_floor_s * 1e3).to_json()),
@@ -147,8 +179,7 @@ impl GateOutcome {
             ("regressions".into(), self.regressions().to_json()),
             ("metrics".into(), Value::Arr(metrics)),
             ("unmatched".into(), self.unmatched.to_json()),
-        ])
-        .render()
+        ]
     }
 }
 
@@ -238,6 +269,137 @@ pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let rank = (q * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Parse the history JSONL store into records. Lines that are not valid
+/// JSON, not `"type":"history"`, or carry an unknown `schema_version`
+/// are skipped (the store is append-only and written by multiple
+/// binaries; a torn trailing line or a future version must not poison
+/// the whole window).
+pub fn parse_history(text: &str) -> Vec<HistoryRecord> {
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() {
+                return None;
+            }
+            let v = crate::minijson::parse(line).ok()?;
+            if v.get("type")?.as_str()? != "history"
+                || v.get("schema_version")?.as_u64()? != HISTORY_SCHEMA_VERSION
+            {
+                return None;
+            }
+            Some(HistoryRecord {
+                workload: v.get("workload")?.as_str()?.to_string(),
+                seed: v.get("seed")?.as_u64()?,
+                git: v.get("git")?.as_str()?.to_string(),
+                source: v.get("source")?.as_str()?.to_string(),
+                wall_time_s: v.get("wall_time_s")?.as_f64()?,
+                top_span_total_s: v.get("top_span_total_s")?.as_f64()?,
+                peak_rss_bytes: v.get("peak_rss_bytes")?.as_u64()?,
+                alloc_peak_bytes: v.get("alloc_peak_bytes")?.as_u64()?,
+                final_acc: v.get("final_acc").and_then(Value::as_f64),
+                trials_finished: v.get("trials_finished")?.as_u64()?,
+                trials_failed: v.get("trials_failed")?.as_u64()?,
+                rounds: v.get("rounds")?.as_u64()?,
+            })
+        })
+        .collect()
+}
+
+/// The rolling-median baseline distilled from the trailing window of
+/// one workload's history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryBaseline {
+    /// Records actually in the window (≤ the N requested).
+    pub n_used: usize,
+    /// Median wall time, seconds.
+    pub wall_time_s: f64,
+    /// Median top-span total, seconds.
+    pub top_span_total_s: f64,
+    /// Median peak RSS, bytes.
+    pub peak_rss_bytes: f64,
+    /// Median peak live heap, bytes.
+    pub alloc_peak_bytes: f64,
+}
+
+/// Distill the last `n` records for `workload` into per-metric medians
+/// (file order = append order = chronological). `None` when the history
+/// has no records for the workload or `n == 0` — the caller decides how
+/// a missing baseline is judged (perfgate: pass with a warning).
+pub fn history_baseline(
+    records: &[HistoryRecord],
+    workload: &str,
+    n: usize,
+) -> Option<HistoryBaseline> {
+    let matching: Vec<&HistoryRecord> = records.iter().filter(|r| r.workload == workload).collect();
+    if matching.is_empty() || n == 0 {
+        return None;
+    }
+    let tail = &matching[matching.len().saturating_sub(n)..];
+    let median = |field: &dyn Fn(&HistoryRecord) -> f64| {
+        let mut xs: Vec<f64> = tail.iter().map(|r| field(r)).collect();
+        xs.sort_by(f64::total_cmp);
+        percentile(&xs, 0.5)
+    };
+    Some(HistoryBaseline {
+        n_used: tail.len(),
+        wall_time_s: median(&|r| r.wall_time_s),
+        top_span_total_s: median(&|r| r.top_span_total_s),
+        peak_rss_bytes: median(&|r| r.peak_rss_bytes as f64),
+        alloc_peak_bytes: median(&|r| r.alloc_peak_bytes as f64),
+    })
+}
+
+/// Gate a fresh run against a rolling-median baseline: timing metrics
+/// use the usual tolerance + absolute floor (and honor
+/// [`GateConfig::scale_new`]); memory metrics compare unscaled with a
+/// 1 MiB floor and are skipped when neither side ever observed them
+/// (RSS off Linux, heap without `alloc-track`).
+pub fn gate_against_history(
+    baseline: &HistoryBaseline,
+    new: &HistoryRecord,
+    cfg: &GateConfig,
+) -> GateOutcome {
+    let mut diffs = vec![
+        diff_metric(
+            "wall_time_s",
+            baseline.wall_time_s,
+            new.wall_time_s * cfg.scale_new,
+            cfg,
+            cfg.abs_floor_s,
+        ),
+        diff_metric(
+            "top_span_total_s",
+            baseline.top_span_total_s,
+            new.top_span_total_s * cfg.scale_new,
+            cfg,
+            cfg.abs_floor_s,
+        ),
+    ];
+    let mem_floor = (1u64 << 20) as f64;
+    if baseline.peak_rss_bytes > 0.0 || new.peak_rss_bytes > 0 {
+        diffs.push(diff_metric(
+            "peak_rss_bytes",
+            baseline.peak_rss_bytes,
+            new.peak_rss_bytes as f64,
+            cfg,
+            mem_floor,
+        ));
+    }
+    if baseline.alloc_peak_bytes > 0.0 || new.alloc_peak_bytes > 0 {
+        diffs.push(diff_metric(
+            "alloc.peak_bytes",
+            baseline.alloc_peak_bytes,
+            new.alloc_peak_bytes as f64,
+            cfg,
+            mem_floor,
+        ));
+    }
+    GateOutcome {
+        diffs,
+        unmatched: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -416,6 +578,135 @@ mod tests {
             &Value::Null
         );
         assert_eq!(v.get("pass").unwrap(), &Value::Bool(true));
+    }
+
+    fn history_record(workload: &str, seed: u64, wall: f64, rss: u64) -> HistoryRecord {
+        HistoryRecord {
+            workload: workload.into(),
+            seed,
+            git: "abc".into(),
+            source: "run".into(),
+            wall_time_s: wall,
+            top_span_total_s: wall * 0.9,
+            peak_rss_bytes: rss,
+            alloc_peak_bytes: 0,
+            final_acc: Some(0.9),
+            trials_finished: 10,
+            trials_failed: 0,
+            rounds: 3,
+        }
+    }
+
+    #[test]
+    fn parse_history_round_trips_and_skips_junk() {
+        let good = history_record("table1_scream", 11, 12.5, 73_400_320);
+        let mut null_acc = history_record("table1_scream", 12, 13.0, 0);
+        null_acc.final_acc = None;
+        let text = format!(
+            "{}\nnot json at all\n{{\"type\":\"other\"}}\n\
+             {{\"type\":\"history\",\"schema_version\":99,\"workload\":\"x\"}}\n{}\n{{\"type\":\"hist",
+            good.to_json_line(),
+            null_acc.to_json_line(),
+        );
+        let records = parse_history(&text);
+        assert_eq!(records, vec![good, null_acc]);
+        assert_eq!(records[1].final_acc, None);
+        assert!(parse_history("").is_empty());
+    }
+
+    #[test]
+    fn history_baseline_takes_the_trailing_median_per_workload() {
+        let records = vec![
+            history_record("other", 1, 100.0, 0),
+            history_record("w", 1, 10.0, 50 << 20),
+            history_record("w", 2, 20.0, 60 << 20),
+            history_record("w", 3, 30.0, 70 << 20),
+        ];
+        // Window larger than history: uses all three, median = middle.
+        let b = history_baseline(&records, "w", 10).unwrap();
+        assert_eq!(b.n_used, 3);
+        assert_eq!(b.wall_time_s, 20.0);
+        assert_eq!(b.peak_rss_bytes, (60u64 << 20) as f64);
+        // Window of 2 takes the *last* two (most recent runs).
+        let b = history_baseline(&records, "w", 2).unwrap();
+        assert_eq!(b.n_used, 2);
+        assert_eq!(b.wall_time_s, 20.0); // nearest-rank median of [20, 30]
+                                         // N=1 degenerates to "compare against the previous run".
+        let b = history_baseline(&records, "w", 1).unwrap();
+        assert_eq!(b.n_used, 1);
+        assert_eq!(b.wall_time_s, 30.0);
+        // Missing history / zero window → no baseline.
+        assert_eq!(history_baseline(&records, "nope", 3), None);
+        assert_eq!(history_baseline(&records, "w", 0), None);
+        assert_eq!(history_baseline(&[], "w", 3), None);
+    }
+
+    #[test]
+    fn history_gate_flags_a_real_slowdown_and_passes_noise() {
+        let records = vec![
+            history_record("w", 1, 10.0, 50 << 20),
+            history_record("w", 2, 10.2, 50 << 20),
+            history_record("w", 3, 9.9, 50 << 20),
+        ];
+        let baseline = history_baseline(&records, "w", 3).unwrap();
+        let cfg = GateConfig::default();
+        // Within tolerance of the median (10.0): passes.
+        let ok = history_record("w", 4, 10.5, 50 << 20);
+        assert!(gate_against_history(&baseline, &ok, &cfg).passed());
+        // 50% slower than the median: regression on both timing metrics.
+        let slow = history_record("w", 5, 15.0, 50 << 20);
+        let outcome = gate_against_history(&baseline, &slow, &cfg);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions(), 2);
+        assert_eq!(outcome.diffs[0].metric, "wall_time_s");
+        assert_eq!(outcome.diffs[0].old, 10.0);
+        // RSS growth beyond tolerance + 1 MiB floor also trips.
+        let hog = history_record("w", 6, 10.0, 200 << 20);
+        let outcome = gate_against_history(&baseline, &hog, &cfg);
+        let rss = outcome
+            .diffs
+            .iter()
+            .find(|d| d.metric == "peak_rss_bytes")
+            .unwrap();
+        assert!(rss.regressed);
+    }
+
+    #[test]
+    fn history_gate_skips_memory_metrics_nobody_measured() {
+        let records = vec![history_record("w", 1, 10.0, 0)];
+        let baseline = history_baseline(&records, "w", 1).unwrap();
+        let outcome = gate_against_history(
+            &baseline,
+            &history_record("w", 2, 10.0, 0),
+            &GateConfig::default(),
+        );
+        assert!(outcome.passed());
+        assert_eq!(outcome.diffs.len(), 2, "{:?}", outcome.diffs);
+        assert!(outcome.diffs.iter().all(|d| !d.metric.contains("bytes")));
+    }
+
+    #[test]
+    fn history_json_verdict_carries_the_window_size() {
+        let records = vec![history_record("w", 1, 10.0, 0)];
+        let baseline = history_baseline(&records, "w", 5).unwrap();
+        let cfg = GateConfig::default();
+        let outcome = gate_against_history(&baseline, &history_record("w", 2, 10.1, 0), &cfg);
+        let v = crate::minijson::parse(&outcome.render_history_json("w", &cfg, 5, baseline.n_used))
+            .unwrap();
+        assert_eq!(v.get("workload").unwrap().as_str(), Some("w"));
+        assert_eq!(v.get("history_requested").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("history_n").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("pass").unwrap(), &Value::Bool(true));
+
+        // Missing history: an empty outcome renders pass=true, history_n=0.
+        let empty = GateOutcome {
+            diffs: vec![],
+            unmatched: vec![],
+        };
+        let v = crate::minijson::parse(&empty.render_history_json("w", &cfg, 5, 0)).unwrap();
+        assert_eq!(v.get("history_n").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("pass").unwrap(), &Value::Bool(true));
+        assert_eq!(v.get("regressions").unwrap().as_u64(), Some(0));
     }
 
     #[test]

@@ -77,6 +77,14 @@ pub struct RunOpts {
     /// Write `BENCH_<workload>.json` (the perf record `perfgate`
     /// compares) into the output directory at the end of the run.
     pub emit_bench: bool,
+    /// Append one cross-run [`aml_telemetry::HistoryRecord`] here at the
+    /// end of the run (`--record`, default
+    /// `results/history/history.jsonl`). Feeds
+    /// `perfgate --against-history` and the `/dashboard` trend section.
+    pub record: Option<PathBuf>,
+    /// Live tallies of the ledger summary collector installed by
+    /// [`RunOpts::prepare`] when `--record` was given.
+    pub summary: Option<aml_core::SummaryHandle>,
     /// Write a Chrome trace-event file (Perfetto-loadable) here.
     pub trace_out: Option<PathBuf>,
     /// Stream telemetry as JSON lines here.
@@ -126,6 +134,10 @@ options:
   --out DIR               artifact directory (default target/experiments)
   --telemetry LEVEL       off|summary|verbose (default off)
   --emit-bench            write BENCH_<workload>.json into the out dir
+  --record [PATH]         append one cross-run history record (wall time,
+                          peak RSS, final accuracy, trial counts) to PATH
+                          (default results/history/history.jsonl) at the
+                          end of the run; see `perfgate --against-history`
   --trace-out PATH        write a Chrome trace (Perfetto) file
   --events-out PATH       stream telemetry as JSON lines
   --ledger-out PATH       stream the experiment ledger (trials, ensembles,
@@ -161,6 +173,8 @@ impl RunOpts {
                 .unwrap_or(4),
             telemetry: TelemetryLevel::Off,
             emit_bench: false,
+            record: None,
+            summary: None,
             trace_out: None,
             events_out: None,
             ledger_out: None,
@@ -211,6 +225,7 @@ impl RunOpts {
     /// filesystem failures without exiting.
     pub fn prepare(&mut self) -> Result<(), String> {
         let wants_export = self.emit_bench
+            || self.record.is_some()
             || self.trace_out.is_some()
             || self.events_out.is_some()
             || self.ledger_out.is_some()
@@ -280,6 +295,17 @@ impl RunOpts {
             }
         }
 
+        if let Some(path) = &self.record {
+            ensure_parent(path, "--record")?;
+            // The summary collector tallies trials/failures/rounds and the
+            // last round's accuracy in memory (and raises the ledger gate,
+            // so events flow even without --ledger-out).
+            self.summary = Some(aml_core::summary::install_collector());
+            // Point the live plane's /history route at the same store the
+            // run appends to.
+            aml_telemetry::serve::set_history_path(path);
+        }
+
         if let Some(path) = &self.profile_out {
             ensure_parent(path, "--profile-out")?;
             aml_telemetry::profile::reset();
@@ -295,7 +321,7 @@ impl RunOpts {
             std::fs::write(&addr_file, format!("{bound}\n"))
                 .map_err(|e| format!("cannot write {}: {e}", addr_file.display()))?;
             aml_telemetry::note(&format!(
-                "serving /metrics /healthz /runs on http://{bound}"
+                "serving /metrics /healthz /runs /events /history /dashboard on http://{bound}"
             ));
             aml_telemetry::resource::start_sampler(std::time::Duration::from_millis(500));
         }
@@ -338,6 +364,20 @@ impl RunOpts {
                     opts.telemetry = v.parse()?;
                 }
                 "--emit-bench" => opts.emit_bench = true,
+                "--record" => {
+                    // The path is optional: a following flag (or nothing)
+                    // means "use the default store".
+                    match args.get(i + 1).map(String::as_str) {
+                        Some(v) if !v.starts_with("--") => {
+                            opts.record = Some(PathBuf::from(v));
+                            i += 1;
+                        }
+                        _ => {
+                            opts.record =
+                                Some(PathBuf::from(aml_telemetry::history::DEFAULT_HISTORY_PATH))
+                        }
+                    }
+                }
                 "--trace-out" => {
                     let v = value_of(args, &mut i, "--trace-out")?;
                     opts.trace_out = Some(PathBuf::from(v));
@@ -461,6 +501,11 @@ impl RunOpts {
         // Stop the sampler (taking one last reading) before the snapshot
         // so the final proc.* gauges land in the manifest.
         aml_telemetry::resource::stop_sampler();
+        if self.record.is_some() {
+            // Without --serve no sampler ran; take one reading so the
+            // history record still gets an RSS figure.
+            aml_telemetry::resource::publish_once();
+        }
         aml_telemetry::alloc::publish_counters();
         let manifest = aml_telemetry::Manifest::new(
             &self.workload,
@@ -481,10 +526,22 @@ impl RunOpts {
                 Err(e) => aml_telemetry::warn(&format!("could not write {target}: {e}")),
             }
         }
+        let bench = (self.emit_bench || self.record.is_some())
+            .then(|| BenchReport::from_manifest(&manifest));
         if self.emit_bench {
-            match BenchReport::from_manifest(&manifest).write(&self.out_dir) {
+            match bench.as_ref().unwrap().write(&self.out_dir) {
                 Ok(path) => aml_telemetry::note(&format!("wrote {}", path.display())),
                 Err(e) => aml_telemetry::warn(&format!("could not write BENCH report: {e}")),
+            }
+        }
+        if let Some(path) = &self.record {
+            let record = self.history_record(bench.as_ref().unwrap(), &manifest.snapshot);
+            match record.append(path) {
+                Ok(()) => aml_telemetry::note(&format!("recorded history -> {}", path.display())),
+                Err(e) => aml_telemetry::warn(&format!(
+                    "could not append --record {}: {e}",
+                    path.display()
+                )),
             }
         }
         if let Some(path) = &self.profile_out {
@@ -500,6 +557,41 @@ impl RunOpts {
             eprint!("{}", aml_telemetry::profile::render_top_table(&entries, 10));
         }
         aml_telemetry::serve::stop();
+    }
+
+    /// Distill this run into one cross-run history record: perf numbers
+    /// from the BENCH report, peak RSS from the `proc.*` gauges, ML
+    /// totals from the summary collector (zeros when no collector was
+    /// installed — e.g. a workload that never emits ledger events).
+    pub fn history_record(
+        &self,
+        bench: &BenchReport,
+        snapshot: &aml_telemetry::Snapshot,
+    ) -> aml_telemetry::HistoryRecord {
+        let gauge = |name: &str| {
+            snapshot
+                .gauges
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        let summary = self.summary.as_ref().map(|h| h.snapshot());
+        aml_telemetry::HistoryRecord {
+            workload: self.workload.clone(),
+            seed: self.seed,
+            git: bench.git.clone(),
+            source: "run".into(),
+            wall_time_s: bench.wall_time_s,
+            top_span_total_s: bench.top_span_total_s,
+            peak_rss_bytes: gauge("proc.rss_peak_bytes")
+                .or_else(|| gauge("proc.rss_bytes"))
+                .unwrap_or(0),
+            alloc_peak_bytes: bench.alloc.as_ref().map_or(0, |a| a.peak_bytes),
+            final_acc: summary.as_ref().and_then(|s| s.final_acc),
+            trials_finished: summary.as_ref().map_or(0, |s| s.trials_finished),
+            trials_failed: summary.as_ref().map_or(0, |s| s.trials_failed),
+            rounds: summary.as_ref().map_or(0, |s| s.rounds),
+        }
     }
 }
 
@@ -679,6 +771,76 @@ mod tests {
         assert_eq!(opts.ledger_out, Some(PathBuf::from("/tmp/x/ledger.jsonl")));
         // Parsing alone never touches the level; prepare() does.
         assert_eq!(opts.telemetry, TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn record_flag_parses_with_and_without_path() {
+        let opts = parse(&["--record", "/tmp/x/h.jsonl"]).unwrap().unwrap();
+        assert_eq!(opts.record, Some(PathBuf::from("/tmp/x/h.jsonl")));
+        // No value: the default store.
+        let opts = parse(&["--record"]).unwrap().unwrap();
+        assert_eq!(
+            opts.record,
+            Some(PathBuf::from(aml_telemetry::history::DEFAULT_HISTORY_PATH))
+        );
+        // A following flag is not a path.
+        let opts = parse(&["--record", "--quick"]).unwrap().unwrap();
+        assert_eq!(
+            opts.record,
+            Some(PathBuf::from(aml_telemetry::history::DEFAULT_HISTORY_PATH))
+        );
+        assert_eq!(opts.scale, Scale::Quick);
+        // Parsing alone never touches the level; prepare() bumps it.
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+    }
+
+    #[test]
+    fn history_record_maps_bench_and_gauges() {
+        let mut opts = parse(&["--seed", "7"]).unwrap().unwrap();
+        opts.workload = "w".into();
+        let bench = BenchReport {
+            workload: "w".into(),
+            seed: 7,
+            scale: 0.05,
+            threads: 2,
+            git: "abc1234".into(),
+            wall_time_s: 12.5,
+            top_span_total_s: 11.0,
+            spans: vec![],
+            counters: vec![],
+            throughput: vec![],
+            histograms: vec![],
+            alloc: None,
+        };
+        let snapshot = aml_telemetry::Snapshot {
+            spans: vec![],
+            counters: vec![],
+            gauges: vec![
+                ("proc.rss_bytes".into(), 50 << 20),
+                ("proc.rss_peak_bytes".into(), 70 << 20),
+            ],
+            histograms: vec![],
+        };
+        let rec = opts.history_record(&bench, &snapshot);
+        assert_eq!(rec.workload, "w");
+        assert_eq!(rec.seed, 7);
+        assert_eq!(rec.source, "run");
+        assert_eq!(rec.wall_time_s, 12.5);
+        assert_eq!(rec.peak_rss_bytes, 70 << 20);
+        // No summary collector installed: ML totals default to zero/None.
+        assert_eq!(rec.final_acc, None);
+        assert_eq!(rec.trials_finished, 0);
+        // Without the peak gauge the current-RSS gauge is the fallback.
+        let snapshot = aml_telemetry::Snapshot {
+            spans: vec![],
+            counters: vec![],
+            gauges: vec![("proc.rss_bytes".into(), 50 << 20)],
+            histograms: vec![],
+        };
+        assert_eq!(
+            opts.history_record(&bench, &snapshot).peak_rss_bytes,
+            50 << 20
+        );
     }
 
     #[test]

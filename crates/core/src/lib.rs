@@ -45,6 +45,7 @@ pub mod experiment;
 pub mod feedback;
 pub mod qbc;
 pub mod report;
+pub mod summary;
 pub mod uncertainty;
 pub mod uniform;
 pub mod upsampling;
@@ -54,6 +55,7 @@ pub use checkpoint::{Checkpoint, ExperimentError, ExperimentLoop, RoundRecord};
 pub use experiment::{run_strategy, ExperimentConfig, Strategy, StrategyOutcome};
 pub use feedback::{Feedback, Labeler, Suggestion};
 pub use report::Table;
+pub use summary::{LedgerSummary, SummaryHandle};
 
 /// Errors from the feedback layer.
 #[derive(Debug)]

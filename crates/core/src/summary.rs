@@ -1,0 +1,227 @@
+//! In-memory ledger summary: the handful of ML-level totals a completed
+//! run is remembered by.
+//!
+//! The experiment ledger streams every trial, round, and suggestion to
+//! disk; most consumers (the history store, `perfgate --record`, the
+//! `/dashboard` trend section) only need four numbers from all of that:
+//! how many trials finished, how many failed, how many feedback rounds
+//! ran, and the accuracy of the last one. This module tallies those
+//! *while the run executes*, as an [`aml_telemetry::Sink`] that consumes
+//! ledger events without writing anything — so a `--record` run gets its
+//! summary for free, with or without `--ledger-out`.
+//!
+//! Installing the collector raises the ledger emission gate (it
+//! `wants_ledger`), so events flow to it even when no JSONL ledger sink
+//! is configured. The returned [`SummaryHandle`] shares the tallies via
+//! an `Arc`, so they survive `aml_telemetry::sink::finish` draining the
+//! sink itself. Everything is a relaxed atomic: no locks on the
+//! emission path, and nothing at all happens unless
+//! [`install_collector`] is called (off-is-free).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use aml_telemetry::ledger::LedgerEvent;
+use aml_telemetry::sink::SpanEvent;
+use aml_telemetry::{Sink, Snapshot};
+
+/// Shared tallies behind a [`SummaryHandle`] and its collector sink.
+#[derive(Debug, Default)]
+struct Totals {
+    trials_finished: AtomicU64,
+    trials_failed: AtomicU64,
+    rounds: AtomicU64,
+    /// Bit pattern of the last `RoundCompleted.acc_mean`; NaN bits mean
+    /// "no round completed yet".
+    final_acc_bits: AtomicU64,
+}
+
+/// The ML-level totals of a run, read from a [`SummaryHandle`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LedgerSummary {
+    /// `trial_finished` ledger events observed.
+    pub trials_finished: u64,
+    /// `trial_failed` ledger events observed.
+    pub trials_failed: u64,
+    /// `round_completed` ledger events observed.
+    pub rounds: u64,
+    /// Mean accuracy of the last completed feedback round, if any.
+    pub final_acc: Option<f64>,
+}
+
+/// Live handle onto the tallies of an installed summary collector.
+/// Cloning is cheap (an `Arc` bump); reads are consistent per field but
+/// not across fields (each is an independent relaxed atomic).
+#[derive(Debug, Clone)]
+pub struct SummaryHandle {
+    totals: Arc<Totals>,
+}
+
+impl SummaryHandle {
+    /// Read the current totals.
+    pub fn snapshot(&self) -> LedgerSummary {
+        let bits = self.totals.final_acc_bits.load(Ordering::Relaxed);
+        let acc = f64::from_bits(bits);
+        LedgerSummary {
+            trials_finished: self.totals.trials_finished.load(Ordering::Relaxed),
+            trials_failed: self.totals.trials_failed.load(Ordering::Relaxed),
+            rounds: self.totals.rounds.load(Ordering::Relaxed),
+            final_acc: if acc.is_finite() { Some(acc) } else { None },
+        }
+    }
+}
+
+/// The sink half: consumes ledger events, updates the shared tallies,
+/// writes nothing.
+struct SummaryCollector {
+    totals: Arc<Totals>,
+}
+
+impl Sink for SummaryCollector {
+    fn on_span_close(&self, _event: &SpanEvent) {}
+
+    fn on_ledger_event(&self, event: &LedgerEvent) {
+        match event {
+            LedgerEvent::TrialFinished { .. } => {
+                self.totals.trials_finished.fetch_add(1, Ordering::Relaxed);
+            }
+            LedgerEvent::TrialFailed { .. } => {
+                self.totals.trials_failed.fetch_add(1, Ordering::Relaxed);
+            }
+            LedgerEvent::RoundCompleted { acc_mean, .. } => {
+                self.totals.rounds.fetch_add(1, Ordering::Relaxed);
+                self.totals
+                    .final_acc_bits
+                    .store(acc_mean.to_bits(), Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+
+    fn wants_ledger(&self) -> bool {
+        true
+    }
+
+    fn finish(&self, _snapshot: &Snapshot) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn target(&self) -> String {
+        "ledger summary (in memory)".into()
+    }
+}
+
+/// Install a summary collector into the telemetry sink registry and
+/// return the handle its tallies are read through. Raises the ledger
+/// emission gate. Call once per run, before the workload starts; the
+/// handle stays valid after `aml_telemetry::sink::finish` drains the
+/// sinks.
+pub fn install_collector() -> SummaryHandle {
+    let totals = Arc::new(Totals {
+        final_acc_bits: AtomicU64::new(f64::NAN.to_bits()),
+        ..Totals::default()
+    });
+    aml_telemetry::sink::install(Box::new(SummaryCollector {
+        totals: Arc::clone(&totals),
+    }));
+    SummaryHandle { totals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collector_pair() -> (SummaryHandle, SummaryCollector) {
+        let totals = Arc::new(Totals {
+            final_acc_bits: AtomicU64::new(f64::NAN.to_bits()),
+            ..Totals::default()
+        });
+        (
+            SummaryHandle {
+                totals: Arc::clone(&totals),
+            },
+            SummaryCollector { totals },
+        )
+    }
+
+    #[test]
+    fn tallies_trials_failures_and_rounds() {
+        let (handle, sink) = collector_pair();
+        assert_eq!(
+            handle.snapshot(),
+            LedgerSummary {
+                trials_finished: 0,
+                trials_failed: 0,
+                rounds: 0,
+                final_acc: None,
+            }
+        );
+        for trial in 0..3 {
+            sink.on_ledger_event(&LedgerEvent::TrialFinished {
+                trial,
+                rung: 0,
+                family: "forest".into(),
+                score: 0.8,
+            });
+        }
+        sink.on_ledger_event(&LedgerEvent::TrialFailed {
+            trial: 3,
+            rung: 0,
+            family: "mlp".into(),
+            reason: "error".into(),
+        });
+        sink.on_ledger_event(&LedgerEvent::RoundCompleted {
+            round: 0,
+            strategy: "Within-ALE".into(),
+            acc_mean: 0.82,
+            acc_min: 0.8,
+            acc_max: 0.84,
+            points_added: 50,
+            regions: 2,
+            ale_std_mean: 0.0,
+            ale_std_max: 0.0,
+        });
+        sink.on_ledger_event(&LedgerEvent::RoundCompleted {
+            round: 1,
+            strategy: "Within-ALE".into(),
+            acc_mean: 0.91,
+            acc_min: 0.9,
+            acc_max: 0.92,
+            points_added: 50,
+            regions: 1,
+            ale_std_mean: 0.0,
+            ale_std_max: 0.0,
+        });
+        let snap = handle.snapshot();
+        assert_eq!(snap.trials_finished, 3);
+        assert_eq!(snap.trials_failed, 1);
+        assert_eq!(snap.rounds, 2);
+        assert_eq!(snap.final_acc, Some(0.91));
+    }
+
+    #[test]
+    fn non_finite_round_accuracy_reads_as_none() {
+        let (handle, sink) = collector_pair();
+        sink.on_ledger_event(&LedgerEvent::RoundCompleted {
+            round: 0,
+            strategy: "Random".into(),
+            acc_mean: f64::NAN,
+            acc_min: f64::NAN,
+            acc_max: f64::NAN,
+            points_added: 0,
+            regions: 0,
+            ale_std_mean: 0.0,
+            ale_std_max: 0.0,
+        });
+        let snap = handle.snapshot();
+        assert_eq!(snap.rounds, 1);
+        assert_eq!(snap.final_acc, None);
+    }
+
+    #[test]
+    fn collector_wants_ledger_and_writes_nothing() {
+        let (_handle, sink) = collector_pair();
+        assert!(sink.wants_ledger());
+        assert_eq!(sink.target(), "ledger summary (in memory)");
+    }
+}

@@ -33,6 +33,10 @@
 //!   the case closure), matching the usual semantics closely enough for
 //!   the precondition patterns used here.
 
+// The doc example above shows the `#[test]` the macro surface expects;
+// the example exists to compile-check that surface, not to run.
+#![allow(clippy::test_attr_in_doctest)]
+
 /// Runner configuration (only `cases` is honored).
 pub struct ProptestConfig {
     /// Number of cases to generate per property.

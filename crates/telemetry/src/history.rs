@@ -1,0 +1,187 @@
+//! Cross-run perf/accuracy history: an append-only JSONL store.
+//!
+//! Every other telemetry surface sees **one run at a time** — the
+//! manifest, the BENCH record, the ledger, and the live plane all start
+//! from zero when the process does. The history store is the first
+//! cross-run surface: one [`HistoryRecord`] line per completed run,
+//! appended to `results/history/history.jsonl` (committed alongside the
+//! frozen baselines), so `perfgate --against-history N` can gate against
+//! the rolling median of the last N runs instead of a single frozen
+//! file, and the `/dashboard` trend section can plot wall time and final
+//! accuracy across commits.
+//!
+//! ## Record shape
+//!
+//! One JSON object per line, fixed field order, shortest round-trip
+//! floats (same discipline as the ledger):
+//!
+//! ```text
+//! {"type":"history","schema_version":1,"workload":"table1_scream",
+//!  "seed":11,"git":"…","source":"run","wall_time_s":12.3,
+//!  "top_span_total_s":11.8,"peak_rss_bytes":73400320,
+//!  "alloc_peak_bytes":0,"final_acc":0.91,"trials_finished":120,
+//!  "trials_failed":3,"rounds":12}
+//! ```
+//!
+//! Perf fields come from the BENCH record; `final_acc` and the
+//! trial/failure/round counts come from the ledger summary
+//! (`aml_core::summary`). `final_acc` is `null` when the run completed
+//! no feedback rounds (the figure bins, for instance).
+//!
+//! ## Versioning and off-is-free
+//!
+//! [`HISTORY_SCHEMA_VERSION`] is stamped into every line and bumped only
+//! on breaking shape changes; consumers skip lines with unknown
+//! versions. Nothing in this module runs unless `--record` is given —
+//! no thread, no allocation, no file handle.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Version of the history line shape; stamped into every record. Bump on
+/// breaking changes only (field rename/removal, semantic change).
+pub const HISTORY_SCHEMA_VERSION: u64 = 1;
+
+/// Where history records land unless a path is given explicitly — both
+/// for `--record` (the writer) and the `/history` route (the reader).
+pub const DEFAULT_HISTORY_PATH: &str = "results/history/history.jsonl";
+
+/// One completed run, as remembered across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRecord {
+    /// Workload name (joins records of the same benchmark).
+    pub workload: String,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Build git describe.
+    pub git: String,
+    /// Who appended the record: `run` (a workload bin's `--record`) or
+    /// `perfgate` (the median of a gate run).
+    pub source: String,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_time_s: f64,
+    /// Total seconds across the top-level `bench.*` phase spans.
+    pub top_span_total_s: f64,
+    /// Peak resident set size observed, bytes (0 when unknown).
+    pub peak_rss_bytes: u64,
+    /// Peak live heap bytes (0 unless built with `alloc-track`).
+    pub alloc_peak_bytes: u64,
+    /// Mean accuracy of the last completed feedback round; `None` when
+    /// the run had no feedback rounds (serialized as JSON `null`).
+    pub final_acc: Option<f64>,
+    /// `trial_finished` ledger events observed.
+    pub trials_finished: u64,
+    /// `trial_failed` ledger events observed.
+    pub trials_failed: u64,
+    /// `round_completed` ledger events observed.
+    pub rounds: u64,
+}
+
+/// Shortest round-trip float; non-finite values become `null` (the
+/// ledger's convention).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl HistoryRecord {
+    /// Serialize as one JSON line (no trailing newline) with fixed field
+    /// order, pinned by the golden test in `aml-bench`.
+    pub fn to_json_line(&self) -> String {
+        format!(
+            "{{\"type\":\"history\",\"schema_version\":{HISTORY_SCHEMA_VERSION},\"workload\":{},\"seed\":{},\"git\":{},\"source\":{},\"wall_time_s\":{},\"top_span_total_s\":{},\"peak_rss_bytes\":{},\"alloc_peak_bytes\":{},\"final_acc\":{},\"trials_finished\":{},\"trials_failed\":{},\"rounds\":{}}}",
+            crate::json_string_literal(&self.workload),
+            self.seed,
+            crate::json_string_literal(&self.git),
+            crate::json_string_literal(&self.source),
+            json_f64(self.wall_time_s),
+            json_f64(self.top_span_total_s),
+            self.peak_rss_bytes,
+            self.alloc_peak_bytes,
+            self.final_acc.map_or("null".to_string(), json_f64),
+            self.trials_finished,
+            self.trials_failed,
+            self.rounds,
+        )
+    }
+
+    /// Append this record to `path` as one line, creating the parent
+    /// directory if needed. The store is append-only: existing lines are
+    /// never rewritten, so concurrent readers (the `/history` route) only
+    /// ever see whole records plus possibly a torn trailing line, which
+    /// they skip.
+    pub fn append(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        writeln!(file, "{}", self.to_json_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HistoryRecord {
+        HistoryRecord {
+            workload: "table1_scream".into(),
+            seed: 11,
+            git: "abc1234".into(),
+            source: "run".into(),
+            wall_time_s: 12.5,
+            top_span_total_s: 11.25,
+            peak_rss_bytes: 73_400_320,
+            alloc_peak_bytes: 0,
+            final_acc: Some(0.91),
+            trials_finished: 120,
+            trials_failed: 3,
+            rounds: 12,
+        }
+    }
+
+    #[test]
+    fn line_shape_is_pinned() {
+        assert_eq!(
+            sample().to_json_line(),
+            "{\"type\":\"history\",\"schema_version\":1,\"workload\":\"table1_scream\",\
+             \"seed\":11,\"git\":\"abc1234\",\"source\":\"run\",\"wall_time_s\":12.5,\
+             \"top_span_total_s\":11.25,\"peak_rss_bytes\":73400320,\"alloc_peak_bytes\":0,\
+             \"final_acc\":0.91,\"trials_finished\":120,\"trials_failed\":3,\"rounds\":12}",
+        );
+    }
+
+    #[test]
+    fn missing_accuracy_serializes_as_null() {
+        let mut rec = sample();
+        rec.final_acc = None;
+        assert!(rec.to_json_line().contains("\"final_acc\":null"));
+        rec.final_acc = Some(f64::NAN);
+        assert!(rec.to_json_line().contains("\"final_acc\":null"));
+    }
+
+    #[test]
+    fn append_creates_parents_and_accumulates_lines() {
+        let dir = std::env::temp_dir().join(format!("aml_history_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/history.jsonl");
+        sample().append(&path).unwrap();
+        let mut second = sample();
+        second.seed = 12;
+        second.append(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("\"seed\":11"));
+        assert!(lines[1].contains("\"seed\":12"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -26,8 +26,15 @@
 //!   deterministic `ledger.jsonl` (consumed by the `amlreport` bin);
 //! * a **live observability plane** ([`serve`], behind `--serve ADDR`):
 //!   a std-only HTTP server exposing `/metrics` (Prometheus text
-//!   exposition), `/healthz` (liveness + run phase), and `/runs` (run
-//!   header, live progress, recent ledger events);
+//!   exposition), `/healthz` (liveness + run phase), `/runs` (run
+//!   header, live progress, recent ledger events), `/events` (a live
+//!   SSE stream of ledger events and phase transitions), `/history`
+//!   (the cross-run history as a JSON array), and `/dashboard` (a
+//!   self-contained live HTML dashboard);
+//! * a **cross-run history store** ([`history`], behind `--record`):
+//!   one append-only JSONL record per completed run (wall time, peak
+//!   RSS, final accuracy, trial/failure counts) feeding
+//!   `perfgate --against-history` and the dashboard's trend section;
 //! * a **resource sampler** ([`resource`]): `/proc/self` readings
 //!   published as `proc.*` gauges ([`gauge_set`]), no-op off Linux;
 //! * a **self-time profiler** ([`profile`], behind `--profile-out`):
@@ -59,6 +66,7 @@
 #![deny(missing_docs)]
 
 pub mod alloc;
+pub mod history;
 pub mod ledger;
 pub mod manifest;
 pub mod profile;
@@ -72,6 +80,7 @@ pub mod span;
 pub mod trace;
 
 pub use alloc::AllocStats;
+pub use history::{HistoryRecord, HISTORY_SCHEMA_VERSION};
 pub use ledger::{EnsembleMember, LedgerEvent, LedgerJsonlSink, LEDGER_SCHEMA_VERSION};
 pub use manifest::{json_string_literal, Manifest};
 pub use progress::{note, report, warn, Progress};

@@ -5,6 +5,8 @@
 //! `/proc/self/status` (thread count) and publishes them as gauges:
 //!
 //! * `proc.rss_bytes` — resident set size in bytes
+//! * `proc.rss_peak_bytes` — highest RSS any sample observed (feeds the
+//!   cross-run history's `peak_rss_bytes`)
 //! * `proc.cpu_user_ms` — cumulative user-mode CPU time, milliseconds
 //! * `proc.cpu_sys_ms` — cumulative kernel-mode CPU time, milliseconds
 //! * `proc.threads` — current thread count
@@ -17,7 +19,7 @@
 //! The sampler only exists when `--serve` is given; without it no thread
 //! is spawned (off-is-free).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -75,11 +77,20 @@ pub fn sample() -> Option<Sample> {
     })
 }
 
+/// Highest RSS any [`publish_once`] call has observed this process.
+/// Monotonic by construction (`fetch_max`), so sparse sampling can only
+/// under-report the peak, never invent one.
+static RSS_PEAK: AtomicU64 = AtomicU64::new(0);
+
 /// Take one sample and publish it into the `proc.*` gauges. No-op when
 /// `/proc` is unavailable or telemetry is off.
 pub fn publish_once() {
     if let Some(s) = sample() {
+        let peak = RSS_PEAK
+            .fetch_max(s.rss_bytes, Ordering::Relaxed)
+            .max(s.rss_bytes);
         crate::gauge_set("proc.rss_bytes", s.rss_bytes);
+        crate::gauge_set("proc.rss_peak_bytes", peak);
         crate::gauge_set("proc.cpu_user_ms", s.cpu_user_ms);
         crate::gauge_set("proc.cpu_sys_ms", s.cpu_sys_ms);
         crate::gauge_set("proc.threads", s.threads);
@@ -173,9 +184,18 @@ mod tests {
                     "proc.cpu_sys_ms",
                     "proc.cpu_user_ms",
                     "proc.rss_bytes",
+                    "proc.rss_peak_bytes",
                     "proc.threads"
                 ]
             );
+            let gauge = |name: &str| {
+                snap.gauges
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, v)| *v)
+                    .unwrap()
+            };
+            assert!(gauge("proc.rss_peak_bytes") >= gauge("proc.rss_bytes"));
         } else {
             assert!(snap.gauges.is_empty());
         }

@@ -1,7 +1,7 @@
 //! Live observability plane: a std-only background HTTP server.
 //!
 //! Enabled by `--serve ADDR` on every workload bin. While the run
-//! executes, three endpoints answer `GET`:
+//! executes, six endpoints answer `GET`:
 //!
 //! * `/metrics` — the current registry snapshot in Prometheus text
 //!   exposition format (counters, gauges, span summaries, histograms
@@ -10,14 +10,31 @@
 //!   phase, uptime;
 //! * `/runs` — run JSON: the run header, live progress (phase, feedback
 //!   rounds completed, search trials done/planned), and the last
-//!   [`EVENT_RING_CAP`] experiment-ledger events.
+//!   `tail` experiment-ledger events (`?tail=N`, clamped to
+//!   `1..=`[`EVENT_RING_CAP`], default [`EVENT_RING_CAP`]);
+//! * `/events` — a Server-Sent-Events stream (chunked transfer
+//!   encoding) of ledger events (`event: ledger`) and phase
+//!   transitions (`event: phase`) as they happen, from connect time
+//!   on. Each connected client gets a bounded in-memory frame buffer
+//!   ([`SSE_CLIENT_BUF_CAP`] bytes); frames that would overflow a
+//!   stalled client's buffer are dropped for that client and counted
+//!   in the `serve.events_dropped` counter;
+//! * `/history` — the cross-run history store (see [`crate::history`])
+//!   as a JSON array, read per request from the configured path
+//!   ([`set_history_path`]);
+//! * `/dashboard` — a single self-contained HTML page (no external
+//!   assets) that subscribes to `/events` and polls `/metrics`,
+//!   `/runs`, and `/history` to render the live run and its cross-run
+//!   trends.
 //!
 //! The server is a single thread on a non-blocking [`TcpListener`] —
 //! `std::net` only, honoring the workspace's zero-external-dependency
 //! rule. Requests are served from a point-in-time [`Snapshot`], so a
 //! scrape never blocks the instrumented hot path; without `--serve` no
 //! thread exists and the status setters are one relaxed atomic load
-//! (off-is-free).
+//! (off-is-free). SSE delivery follows the same discipline: emitters
+//! only append to in-memory buffers (one relaxed load when no client is
+//! connected); all socket writes happen on the serve thread.
 //!
 //! Phase/progress reporting: bins call [`set_phase`] at phase
 //! boundaries, the AutoML search calls [`add_planned_trials`] /
@@ -30,13 +47,23 @@ use crate::sink::{RunHeader, Sink, SpanEvent};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// How many trailing ledger events `/runs` retains.
 pub const EVENT_RING_CAP: usize = 64;
+
+/// Bound on the pending (not yet written) SSE frame bytes buffered per
+/// `/events` client. A client that stops reading fills its buffer and
+/// then loses frames (counted in `serve.events_dropped`) instead of
+/// growing the server's memory without bound.
+pub const SSE_CLIENT_BUF_CAP: usize = 64 * 1024;
+
+/// The self-contained live dashboard page served at `/dashboard`.
+const DASHBOARD_HTML: &str = include_str!("dashboard.html");
 
 // ---------------------------------------------------------------------
 // Live run status (phase + progress), updated from the pipeline.
@@ -66,6 +93,10 @@ pub fn active() -> bool {
 pub fn set_phase(phase: &str) {
     if active() {
         *phase_slot().lock().unwrap_or_else(PoisonError::into_inner) = phase.to_string();
+        sse_broadcast(
+            "phase",
+            &format!("{{\"phase\":{}}}", crate::json_string_literal(phase)),
+        );
     }
 }
 
@@ -121,11 +152,13 @@ impl Sink for RingSink {
         true
     }
     fn on_ledger_event(&self, event: &LedgerEvent) {
+        let line = event.to_json_line();
+        sse_broadcast("ledger", &line);
         let mut ring = event_ring().lock().unwrap_or_else(PoisonError::into_inner);
         if ring.len() == EVENT_RING_CAP {
             ring.pop_front();
         }
-        ring.push_back(event.to_json_line());
+        ring.push_back(line);
     }
     fn finish(&self, _snapshot: &Snapshot) -> std::io::Result<()> {
         Ok(())
@@ -133,6 +166,153 @@ impl Sink for RingSink {
     fn target(&self) -> String {
         "live /runs event buffer".into()
     }
+}
+
+// ---------------------------------------------------------------------
+// Server-Sent-Events clients (feeds /events).
+// ---------------------------------------------------------------------
+
+/// One connected `/events` client: its socket (non-blocking) and the
+/// chunk-encoded frames queued but not yet accepted by the kernel.
+struct SseClient {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+fn sse_clients() -> &'static Mutex<Vec<SseClient>> {
+    static CLIENTS: OnceLock<Mutex<Vec<SseClient>>> = OnceLock::new();
+    CLIENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Connected `/events` client count — the one-relaxed-load gate that
+/// keeps [`sse_broadcast`] free when nobody is listening.
+static SSE_CLIENT_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+/// Wrap `payload` as one HTTP/1.1 chunk (hex length, CRLF, data, CRLF).
+fn chunk(payload: &str) -> Vec<u8> {
+    format!("{:x}\r\n{payload}\r\n", payload.len()).into_bytes()
+}
+
+/// Queue one SSE frame (`event: <event>\ndata: <data>\n\n`, chunk-
+/// encoded) for every connected `/events` client. Emitter threads only
+/// append to in-memory buffers here — socket writes happen on the serve
+/// thread ([`flush_sse_clients`]). A frame that would push a client's
+/// buffer past [`SSE_CLIENT_BUF_CAP`] is dropped for that client and
+/// counted in `serve.events_dropped`.
+fn sse_broadcast(event: &str, data: &str) {
+    if SSE_CLIENT_COUNT.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let frame = chunk(&format!("event: {event}\ndata: {data}\n\n"));
+    let mut clients = sse_clients().lock().unwrap_or_else(PoisonError::into_inner);
+    for client in clients.iter_mut() {
+        if client.pending.len() + frame.len() > SSE_CLIENT_BUF_CAP {
+            crate::counter_add("serve.events_dropped", 1);
+        } else {
+            client.pending.extend_from_slice(&frame);
+        }
+    }
+}
+
+/// Write each client's pending bytes as far as the kernel accepts,
+/// dropping clients whose connection errored out. Runs on the serve
+/// thread every poll cycle.
+fn flush_sse_clients() {
+    if SSE_CLIENT_COUNT.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let mut clients = sse_clients().lock().unwrap_or_else(PoisonError::into_inner);
+    clients.retain_mut(|client| {
+        while !client.pending.is_empty() {
+            match client.stream.write(&client.pending) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    client.pending.drain(..n);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => return false,
+            }
+        }
+        true
+    });
+    SSE_CLIENT_COUNT.store(clients.len(), Ordering::Relaxed);
+}
+
+/// Close every `/events` stream: flush what the kernel will take, send
+/// the terminating zero-length chunk (best effort), and drop the
+/// sockets.
+fn close_sse_clients() {
+    let mut clients = sse_clients().lock().unwrap_or_else(PoisonError::into_inner);
+    for client in clients.drain(..) {
+        let mut stream = client.stream;
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+        if !client.pending.is_empty() {
+            let _ = stream.write_all(&client.pending);
+        }
+        let _ = stream.write_all(b"0\r\n\r\n");
+        let _ = stream.flush();
+    }
+    SSE_CLIENT_COUNT.store(0, Ordering::Relaxed);
+}
+
+/// Answer a `GET /events` request: send the SSE response head plus a
+/// comment prologue, then hand the (now non-blocking) socket to the
+/// client registry. Later frames are queued by [`sse_broadcast`] and
+/// written by the serve thread.
+fn open_event_stream(mut stream: TcpStream) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nTransfer-Encoding: chunked\r\nConnection: keep-alive\r\n\r\n"
+    )?;
+    stream.write_all(&chunk(": aml-telemetry /events\n\n"))?;
+    stream.flush()?;
+    stream.set_nonblocking(true)?;
+    let mut clients = sse_clients().lock().unwrap_or_else(PoisonError::into_inner);
+    clients.push(SseClient {
+        stream,
+        pending: Vec::new(),
+    });
+    SSE_CLIENT_COUNT.store(clients.len(), Ordering::Relaxed);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Cross-run history (feeds /history and the dashboard trend section).
+// ---------------------------------------------------------------------
+
+fn history_path_slot() -> &'static Mutex<PathBuf> {
+    static HISTORY: OnceLock<Mutex<PathBuf>> = OnceLock::new();
+    HISTORY.get_or_init(|| Mutex::new(PathBuf::from(crate::history::DEFAULT_HISTORY_PATH)))
+}
+
+/// Point the `/history` route at `path` (default
+/// [`crate::history::DEFAULT_HISTORY_PATH`]). Set by the harness when
+/// `--record` names an explicit history file.
+pub fn set_history_path(path: &Path) {
+    *history_path_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = path.to_path_buf();
+}
+
+/// The history store as a JSON array: one element per record line. The
+/// file is read per request (it only grows by whole appended lines);
+/// a missing file is an empty history, and a torn trailing line is
+/// skipped rather than corrupting the array.
+fn history_json() -> String {
+    let path = history_path_slot()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone();
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return "[]\n".to_string();
+    };
+    let records: Vec<&str> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .collect();
+    format!("[{}]\n", records.join(","))
 }
 
 // ---------------------------------------------------------------------
@@ -205,6 +385,7 @@ pub fn stop() {
         if let Some(thread) = server.thread.take() {
             let _ = thread.join();
         }
+        close_sse_clients();
     }
 }
 
@@ -215,10 +396,12 @@ fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>, state: Arc<ServerSta
                 let _ = handle_connection(stream, &state);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                flush_sse_clients();
                 std::thread::sleep(Duration::from_millis(20));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }
+        flush_sse_clients();
     }
 }
 
@@ -231,11 +414,19 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
     let request = String::from_utf8_lossy(&buf[..n]);
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("/");
+    let target = parts.next().unwrap_or("/");
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, Some(query)),
+        None => (target, None),
+    };
+    if method == "GET" && path == "/events" {
+        // Streaming response: the socket outlives this request.
+        return open_event_stream(stream);
+    }
     let (status, content_type, body) = if method != "GET" {
         ("405 Method Not Allowed", "text/plain", "GET only\n".into())
     } else {
-        route(path, state)
+        route(path, query, state)
     };
     write!(
         stream,
@@ -245,7 +436,22 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
     stream.flush()
 }
 
-fn route(path: &str, state: &ServerState) -> (&'static str, &'static str, String) {
+/// `tail=N` from a query string, clamped to `1..=`[`EVENT_RING_CAP`];
+/// absent or unparsable values fall back to the full ring.
+fn tail_param(query: Option<&str>) -> usize {
+    query
+        .into_iter()
+        .flat_map(|q| q.split('&'))
+        .find_map(|pair| pair.strip_prefix("tail=")?.parse::<usize>().ok())
+        .unwrap_or(EVENT_RING_CAP)
+        .clamp(1, EVENT_RING_CAP)
+}
+
+fn route(
+    path: &str,
+    query: Option<&str>,
+    state: &ServerState,
+) -> (&'static str, &'static str, String) {
     match path {
         "/metrics" => (
             "200 OK",
@@ -253,11 +459,21 @@ fn route(path: &str, state: &ServerState) -> (&'static str, &'static str, String
             render_prometheus(&crate::global().snapshot()),
         ),
         "/healthz" => ("200 OK", "application/json", healthz_json(state)),
-        "/runs" => ("200 OK", "application/json", runs_json(state)),
+        "/runs" => (
+            "200 OK",
+            "application/json",
+            runs_json(state, tail_param(query)),
+        ),
+        "/history" => ("200 OK", "application/json", history_json()),
+        "/dashboard" => (
+            "200 OK",
+            "text/html; charset=utf-8",
+            DASHBOARD_HTML.to_string(),
+        ),
         _ => (
             "404 Not Found",
             "text/plain",
-            "not found (try /metrics, /healthz, /runs)\n".into(),
+            "not found (try /metrics, /healthz, /runs, /events, /history, /dashboard)\n".into(),
         ),
     }
 }
@@ -280,17 +496,18 @@ fn healthz_json(state: &ServerState) -> String {
     )
 }
 
-fn runs_json(state: &ServerState) -> String {
+fn runs_json(state: &ServerState, tail: usize) -> String {
     let phase = phase_slot()
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clone();
-    let events: Vec<String> = event_ring()
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
+    let ring = event_ring().lock().unwrap_or_else(PoisonError::into_inner);
+    let events: Vec<String> = ring
         .iter()
+        .skip(ring.len().saturating_sub(tail))
         .cloned()
         .collect();
+    drop(ring);
     let snapshot = crate::global().snapshot();
     format!(
         concat!(
