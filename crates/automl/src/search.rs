@@ -254,6 +254,22 @@ fn fit_and_score(config: &CandidateConfig, train: &Dataset, val: &Dataset) -> Op
     Some((model, val_score, val_proba))
 }
 
+/// [`train_one`] under an `automl.trial` span attached to the search's
+/// [`aml_telemetry::TraceContext`], slotted by trial id — so the causal
+/// trace tree is identical whatever the worker count.
+fn traced_train_one(
+    ctx: aml_telemetry::TraceContext,
+    trial: u64,
+    rung: u64,
+    config: CandidateConfig,
+    train: &Dataset,
+    val: &Dataset,
+) -> Option<TrainedCandidate> {
+    let _handoff = ctx.attach(trial);
+    let _span = aml_telemetry::span!("automl.trial");
+    train_one(trial, rung, config, train, val)
+}
+
 /// Train `(trial, config)` jobs (in order) with up to `parallelism` worker
 /// threads at halving rung `rung`. Output preserves input order; failed
 /// candidates are dropped. A chunk worker dying *outside* the per-trial
@@ -268,13 +284,18 @@ fn train_all(
     budget: Option<Duration>,
 ) -> Result<Vec<TrainedCandidate>> {
     aml_telemetry::serve::add_planned_trials(jobs.len() as u64);
+    // One span per rung call: besides timing the rung, this gives each
+    // rung's `automl.trial` handoffs a distinct trace-tree parent (trial
+    // ids repeat across rungs, attach slots must not).
+    let _rung_span = aml_telemetry::span!("automl.rung");
     if let Some(budget) = budget {
         return train_all_budgeted(jobs, rung, train, val, parallelism, budget);
     }
+    let ctx = aml_telemetry::TraceContext::current();
     if parallelism <= 1 || jobs.len() <= 1 {
         return Ok(jobs
             .into_iter()
-            .filter_map(|(t, c)| train_one(t, rung, c, train, val))
+            .filter_map(|(t, c)| traced_train_one(ctx, t, rung, c, train, val))
             .collect());
     }
     let n = jobs.len();
@@ -295,7 +316,7 @@ fn train_all(
             handles.push(scope.spawn(move || {
                 piece
                     .into_iter()
-                    .map(|(i, t, c)| (i, train_one(t, rung, c, train, val)))
+                    .map(|(i, t, c)| (i, traced_train_one(ctx, t, rung, c, train, val)))
                     .collect::<Vec<_>>()
             }));
         }
@@ -335,10 +356,15 @@ fn train_all_budgeted(
 ) -> Result<Vec<TrainedCandidate>> {
     let train = Arc::new(train.clone());
     let val = Arc::new(val.clone());
+    let ctx = aml_telemetry::TraceContext::current();
     if parallelism <= 1 || jobs.len() <= 1 {
         return Ok(jobs
             .into_iter()
-            .filter_map(|(t, c)| train_one_budgeted(t, rung, c, &train, &val, budget))
+            .filter_map(|(t, c)| {
+                let _handoff = ctx.attach(t);
+                let _span = aml_telemetry::span!("automl.trial");
+                train_one_budgeted(t, rung, c, &train, &val, budget)
+            })
             .collect());
     }
     let n = jobs.len();
@@ -360,7 +386,11 @@ fn train_all_budgeted(
             handles.push(scope.spawn(move || {
                 piece
                     .into_iter()
-                    .map(|(i, t, c)| (i, train_one_budgeted(t, rung, c, &train, &val, budget)))
+                    .map(|(i, t, c)| {
+                        let _handoff = ctx.attach(t);
+                        let _span = aml_telemetry::span!("automl.trial");
+                        (i, train_one_budgeted(t, rung, c, &train, &val, budget))
+                    })
                     .collect::<Vec<_>>()
             }));
         }

@@ -21,6 +21,9 @@
 //!    feature with the suggested intervals shaded.
 //! 6. **Perf** — wall time, top spans, allocations and dropped-event
 //!    counts from the BENCH records.
+//! 7. **Critical path** — per `crit.json` artifact (`--crit-out`): the
+//!    causal chain chart from [`crate::critview`] plus the Amdahl
+//!    speedup ceiling and dominant phase.
 //!
 //! Parsing uses [`crate::minijson`]; unknown ledger event types are
 //! skipped so the report stays forward compatible with additive schema
@@ -34,7 +37,7 @@
 
 use crate::minijson::{self, Value};
 use crate::report::BenchReport;
-use aml_telemetry::LEDGER_SCHEMA_VERSION;
+use aml_telemetry::{CritReport, LEDGER_SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -476,7 +479,7 @@ fn legend(out: &mut String, names: &[String]) {
 
 // ------------------------------------------------------------------- html
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -938,10 +941,41 @@ fn section_perf(out: &mut String, benches: &[BenchReport]) {
     }
 }
 
+fn section_crit(out: &mut String, crits: &[CritReport]) {
+    out.push_str("<h2>Critical path</h2>");
+    if crits.is_empty() {
+        out.push_str("<p class=\"note\">No crit.json reports given (run with --crit-out).</p>");
+        return;
+    }
+    for report in crits {
+        let _ = write!(
+            out,
+            "<p class=\"note\">wall {:.2}ms, chain {:.2}ms, dominant phase {}, \
+             Amdahl ceiling {:.1}x (serial fraction {:.2}).</p>",
+            report.wall_ns as f64 / 1e6,
+            report.critical_path_ns as f64 / 1e6,
+            esc(&report.dominant_phase),
+            report.amdahl.max_speedup,
+            report.amdahl.serial_fraction,
+        );
+        // The standalone artifact carries an xmlns so the .svg opens in a
+        // browser; inline in HTML it is redundant and would break the
+        // report's no-external-references contract (no `http` anywhere).
+        let svg = crate::critview::render_crit_svg(report)
+            .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+        out.push_str(&svg);
+    }
+}
+
 /// Render the full report. Pure: input structs in, one HTML string out.
 /// The page references no external assets (the self-containment tests
 /// assert there is no `http` substring anywhere in the output).
-pub fn render_html(ledgers: &[LedgerData], benches: &[BenchReport], title: &str) -> String {
+pub fn render_html(
+    ledgers: &[LedgerData],
+    benches: &[BenchReport],
+    crits: &[CritReport],
+    title: &str,
+) -> String {
     let mut out = String::with_capacity(64 * 1024);
     let _ = write!(
         out,
@@ -952,9 +986,11 @@ pub fn render_html(ledgers: &[LedgerData], benches: &[BenchReport], title: &str)
     );
     let _ = write!(
         out,
-        "<p class=\"note\">{} ledger(s), {} BENCH record(s). Ledger schema v{}.</p>",
+        "<p class=\"note\">{} ledger(s), {} BENCH record(s), {} crit report(s). \
+         Ledger schema v{}.</p>",
         ledgers.len(),
         benches.len(),
+        crits.len(),
         LEDGER_SCHEMA_VERSION
     );
     section_runs(&mut out, ledgers);
@@ -963,6 +999,7 @@ pub fn render_html(ledgers: &[LedgerData], benches: &[BenchReport], title: &str)
     section_rounds(&mut out, ledgers);
     section_bands(&mut out, ledgers);
     section_perf(&mut out, benches);
+    section_crit(&mut out, crits);
     out.push_str("</body></html>");
     out
 }
@@ -1344,15 +1381,66 @@ mod tests {
         assert!(err.contains("line 2"), "{err}");
     }
 
+    /// A small hand-built critical-path report (datagen -> labeling ->
+    /// one parallel scenario) for the section-7 rendering tests.
+    fn sample_crit() -> aml_telemetry::CritReport {
+        use aml_telemetry::crit::{PhaseStat, Segment};
+        aml_telemetry::CritReport {
+            wall_ns: 5_000_000,
+            cpu_ns: Some(9_000_000),
+            dominant_phase: "bench.datagen".into(),
+            critical_path_ns: 4_200_000,
+            path: vec![
+                Segment {
+                    name: "bench.datagen".into(),
+                    id: 7,
+                    depth: 0,
+                    total_ns: 4_200_000,
+                    contribution_ns: 2_600_000,
+                    parallel: false,
+                },
+                Segment {
+                    name: "netsim.scenario".into(),
+                    id: 11,
+                    depth: 1,
+                    total_ns: 1_600_000,
+                    contribution_ns: 1_600_000,
+                    parallel: true,
+                },
+            ],
+            phases: vec![PhaseStat {
+                name: "bench.datagen".into(),
+                total_ns: 4_200_000,
+                work_ns: 6_000_000,
+                ideal_ns: 3_900_000,
+                serial_fraction: 0.65,
+                max_speedup: 1.54,
+                subtree_spans: 4,
+            }],
+            amdahl: PhaseStat {
+                name: "run".into(),
+                total_ns: 4_200_000,
+                work_ns: 6_000_000,
+                ideal_ns: 3_900_000,
+                serial_fraction: 0.65,
+                max_speedup: 1.54,
+                subtree_spans: 5,
+            },
+            scenarios: None,
+            nodes: 5,
+            nodes_dropped: 0,
+        }
+    }
+
     #[test]
     fn report_is_self_contained_and_has_all_sections() {
         let l = parse_ledger(&sample_ledger_text()).unwrap();
-        let html = render_html(&[l], &[sample_bench()], "test report");
+        let html = render_html(&[l], &[sample_bench()], &[sample_crit()], "test report");
         // Single file, no external references of any kind.
         assert!(!html.contains("http"), "external reference in report");
         assert!(!html.contains("<script"), "no scripts allowed");
         assert!(html.len() < 2 * 1024 * 1024, "report too large");
-        // All six sections render.
+        // All seven sections render.
         for heading in [
             "Runs",
             "Search",
@@ -1360,6 +1448,7 @@ mod tests {
             "Feedback rounds",
             "ALE bands",
             "Perf",
+            "Critical path",
         ] {
             assert!(html.contains(heading), "missing section {heading}");
         }
@@ -1377,13 +1466,18 @@ mod tests {
         assert!(html.contains("automl.search.run"));
         // The dropped-events counter from BENCH surfaces in Perf.
         assert!(html.contains("events dropped"));
+        // The crit section carries the chain chart and the Amdahl note.
+        assert!(html.contains("bench.datagen"));
+        assert!(html.contains("Amdahl ceiling 1.5x"));
+        assert!(html.contains("[par]"));
     }
 
     #[test]
     fn empty_inputs_still_render_a_valid_page() {
-        let html = render_html(&[], &[], "empty");
+        let html = render_html(&[], &[], &[], "empty");
         assert!(html.contains("No ledgers given"));
         assert!(html.contains("No BENCH records given"));
+        assert!(html.contains("No crit.json reports given"));
         assert!(html.contains("</html>"));
         assert!(!html.contains("http"));
     }

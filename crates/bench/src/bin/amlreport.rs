@@ -2,9 +2,10 @@
 //! into one self-contained HTML report (see [`aml_bench::amlreport`]).
 //!
 //! Inputs are classified by file name: `BENCH_*.json` files are perf
-//! records, everything else is parsed as a `ledger.jsonl`. The CI
-//! perfgate job runs this over the gate trio's exports and uploads the
-//! HTML as a build artifact.
+//! records, `crit*.json` files are critical-path reports (`--crit-out`),
+//! everything else is parsed as a `ledger.jsonl`. The CI perfgate job
+//! runs this over the gate trio's exports and uploads the HTML as a
+//! build artifact.
 //!
 //! `--compare A.jsonl B.jsonl` renders a cross-run diff instead:
 //! per-round accuracy deltas, ensemble composition changes, and
@@ -13,7 +14,9 @@
 //! Exit codes: 0 ok, 1 input failed to parse, 2 usage error.
 
 use aml_bench::amlreport::{parse_ledger, render_compare_html, render_html, LedgerData};
+use aml_bench::critview::parse_crit;
 use aml_bench::report::BenchReport;
+use aml_telemetry::CritReport;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
@@ -23,8 +26,9 @@ usage:
   amlreport [--out PATH] [--title TITLE] INPUT...
   amlreport --compare A.jsonl B.jsonl [--out PATH] [--title TITLE]
 
-  INPUT                   ledger.jsonl files and/or BENCH_<workload>.json
-                          files (classified by file name)
+  INPUT                   ledger.jsonl files, BENCH_<workload>.json
+                          records, and/or crit*.json critical-path
+                          reports (classified by file name)
   --compare               diff two ledgers: per-round accuracy delta,
                           ensemble composition changes, region drift
                           (requires exactly two ledger inputs)
@@ -65,8 +69,12 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.inputs.len()
             ));
         }
-        if opts.inputs.iter().any(|p| is_bench_record(p)) {
-            return Err("--compare takes ledger files, not BENCH records".into());
+        if opts
+            .inputs
+            .iter()
+            .any(|p| is_bench_record(p) || is_crit_record(p))
+        {
+            return Err("--compare takes ledger files, not BENCH/crit records".into());
         }
     } else if opts.inputs.is_empty() {
         return Err("expected at least one input file".into());
@@ -88,10 +96,24 @@ fn is_bench_record(path: &Path) -> bool {
         .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
 }
 
+/// `crit.json` as written by `--crit-out`, or any `crit*.json` a caller
+/// renamed to keep several side by side.
+fn is_crit_record(path: &Path) -> bool {
+    path.file_name()
+        .and_then(|n| n.to_str())
+        .is_some_and(|n| n.starts_with("crit") && n.ends_with(".json"))
+}
+
 fn load_ledger(path: &Path) -> Result<LedgerData, String> {
     std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))
         .and_then(|text| parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display())))
+}
+
+fn load_crit(path: &Path) -> Result<CritReport, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        .and_then(|text| parse_crit(&text).map_err(|e| format!("{}: {e}", path.display())))
 }
 
 fn run_compare(opts: &Opts) -> i32 {
@@ -145,10 +167,13 @@ fn main() {
 
     let mut ledgers: Vec<LedgerData> = Vec::new();
     let mut benches: Vec<BenchReport> = Vec::new();
+    let mut crits: Vec<CritReport> = Vec::new();
     let mut failed = false;
     for path in &opts.inputs {
         let result: Result<(), String> = if is_bench_record(path) {
             BenchReport::load(path).map(|b| benches.push(b))
+        } else if is_crit_record(path) {
+            load_crit(path).map(|c| crits.push(c))
         } else {
             load_ledger(path).map(|l| ledgers.push(l))
         };
@@ -161,16 +186,17 @@ fn main() {
         std::process::exit(1);
     }
 
-    let html = render_html(&ledgers, &benches, &opts.title);
+    let html = render_html(&ledgers, &benches, &crits, &opts.title);
     if let Err(e) = std::fs::write(&opts.out, &html) {
         eprintln!("error: cannot write {}: {e}", opts.out.display());
         std::process::exit(1);
     }
     println!(
-        "amlreport: wrote {} ({} ledgers, {} BENCH records, {} bytes)",
+        "amlreport: wrote {} ({} ledgers, {} BENCH records, {} crit reports, {} bytes)",
         opts.out.display(),
         ledgers.len(),
         benches.len(),
+        crits.len(),
         html.len()
     );
 }

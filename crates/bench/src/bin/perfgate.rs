@@ -23,13 +23,14 @@
 //! 2 usage error.
 
 use aml_bench::amlreport::{parse_ledger, LedgerData};
+use aml_bench::critview::parse_crit;
 use aml_bench::gate::{
     compare, gate_against_history, history_baseline, parse_history, GateConfig, GateOutcome,
 };
 use aml_bench::minijson::Value;
 use aml_bench::report::{median_report, BenchReport};
 use aml_telemetry::history::DEFAULT_HISTORY_PATH;
-use aml_telemetry::HistoryRecord;
+use aml_telemetry::{CritReport, HistoryRecord};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
@@ -73,6 +74,12 @@ compare / against-history options:
                           plus history_requested/history_n for
                           --against-history; history_n 0 = no baseline,
                           vacuous pass)
+  --crit PATH             attach the critical-path summary from a
+                          --crit-out artifact (run mode writes one to
+                          <out>/<workload>/crit.json): the top spans by
+                          contribution land in the --json verdict under
+                          \"crit\", table mode appends the crit table.
+                          An unreadable file warns and is skipped
 
 exit codes: 0 pass, 1 regression or run failure, 2 usage error";
 
@@ -113,17 +120,20 @@ struct CompareOpts {
     new: PathBuf,
     cfg: GateConfig,
     json: bool,
+    crit: Option<PathBuf>,
 }
 
 fn parse_compare(args: &[String]) -> Result<CompareOpts, String> {
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut cfg = GateConfig::default();
     let mut json = false;
+    let mut crit = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--compare" => {}
             "--json" => json = true,
+            "--crit" => crit = Some(PathBuf::from(str_value(args, &mut i, "--crit")?)),
             "--tolerance" => cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
             "--abs-floor-ms" => {
                 cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
@@ -143,6 +153,7 @@ fn parse_compare(args: &[String]) -> Result<CompareOpts, String> {
             new,
             cfg,
             json,
+            crit,
         }),
         Err(other) => Err(format!(
             "--compare expects exactly two report paths, got {}",
@@ -165,8 +176,12 @@ fn run_compare(opts: CompareOpts) -> i32 {
         }
     };
     let outcome = compare(&old, &new, &opts.cfg);
+    let crit = opts.crit.as_deref().and_then(load_crit);
     if opts.json {
-        println!("{}", outcome.render_json(&old.workload, &opts.cfg));
+        println!(
+            "{}",
+            outcome.render_json_with(&old.workload, &opts.cfg, crit_fields(crit.as_ref()))
+        );
         return i32::from(!outcome.passed());
     }
     println!(
@@ -178,6 +193,9 @@ fn run_compare(opts: CompareOpts) -> i32 {
         opts.new.display()
     );
     print!("{}", outcome.render_table(&opts.cfg));
+    if let Some(report) = &crit {
+        print!("{}", report.render_table());
+    }
     if outcome.passed() {
         println!("PASS");
         0
@@ -195,6 +213,7 @@ struct AgainstOpts {
     reports: Vec<PathBuf>,
     cfg: GateConfig,
     json: bool,
+    crit: Option<PathBuf>,
 }
 
 fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
@@ -204,6 +223,7 @@ fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
         reports: Vec::new(),
         cfg: GateConfig::default(),
         json: false,
+        crit: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -216,6 +236,7 @@ fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
             }
             "--history" => opts.history = PathBuf::from(str_value(args, &mut i, "--history")?),
             "--json" => opts.json = true,
+            "--crit" => opts.crit = Some(PathBuf::from(str_value(args, &mut i, "--crit")?)),
             "--tolerance" => opts.cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
             "--abs-floor-ms" => {
                 opts.cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
@@ -240,6 +261,9 @@ fn run_against(opts: AgainstOpts) -> i32 {
     // then passes vacuously (with a warning) until --record seeds it.
     let text = std::fs::read_to_string(&opts.history).unwrap_or_default();
     let records = parse_history(&text);
+    // One --crit artifact attaches to every verdict printed (CI gates one
+    // report at a time, where this is unambiguous).
+    let crit = opts.crit.as_deref().and_then(load_crit);
     let mut failed = false;
     for path in &opts.reports {
         let report = match BenchReport::load(path) {
@@ -269,11 +293,12 @@ fn run_against(opts: AgainstOpts) -> i32 {
                 if opts.json {
                     println!(
                         "{}",
-                        outcome.render_history_json(
+                        outcome.render_history_json_with(
                             &report.workload,
                             &opts.cfg,
                             opts.n,
-                            baseline.n_used
+                            baseline.n_used,
+                            crit_fields(crit.as_ref()),
                         )
                     );
                 } else {
@@ -285,6 +310,9 @@ fn run_against(opts: AgainstOpts) -> i32 {
                         opts.history.display()
                     );
                     print!("{}", outcome.render_table(&opts.cfg));
+                    if let Some(report) = &crit {
+                        print!("{}", report.render_table());
+                    }
                     println!("{}", if outcome.passed() { "PASS" } else { "FAIL" });
                 }
                 failed |= !outcome.passed();
@@ -297,7 +325,13 @@ fn run_against(opts: AgainstOpts) -> i32 {
                 if opts.json {
                     println!(
                         "{}",
-                        empty.render_history_json(&report.workload, &opts.cfg, opts.n, 0)
+                        empty.render_history_json_with(
+                            &report.workload,
+                            &opts.cfg,
+                            opts.n,
+                            0,
+                            crit_fields(crit.as_ref()),
+                        )
                     );
                 } else {
                     eprintln!(
@@ -312,6 +346,73 @@ fn run_against(opts: AgainstOpts) -> i32 {
         }
     }
     i32::from(failed)
+}
+
+// ------------------------------------------------------------------- crit
+
+/// Load a `--crit` artifact for embedding in a verdict. Problems warn and
+/// return `None` — attaching context must never flip the gate itself.
+fn load_crit(path: &Path) -> Option<CritReport> {
+    let attempt = std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| parse_crit(&text));
+    match attempt {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("perfgate: warning: --crit {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// The `"crit"` object appended to `--json` verdicts: the Amdahl ceiling
+/// plus the critical-path spans that contribute the most wall time, so a
+/// regression verdict carries the "where did it go" answer inline.
+fn crit_fields(report: Option<&CritReport>) -> Vec<(String, Value)> {
+    let Some(report) = report else {
+        return Vec::new();
+    };
+    let mut segments: Vec<_> = report.path.iter().collect();
+    segments.sort_by(|a, b| {
+        b.contribution_ns
+            .cmp(&a.contribution_ns)
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    let top: Vec<Value> = segments
+        .into_iter()
+        .take(5)
+        .map(|s| {
+            Value::Obj(vec![
+                ("name".into(), Value::Str(s.name.clone())),
+                ("total_ns".into(), Value::Num(s.total_ns as f64)),
+                (
+                    "contribution_ns".into(),
+                    Value::Num(s.contribution_ns as f64),
+                ),
+                ("parallel".into(), Value::Bool(s.parallel)),
+            ])
+        })
+        .collect();
+    vec![(
+        "crit".into(),
+        Value::Obj(vec![
+            ("wall_ns".into(), Value::Num(report.wall_ns as f64)),
+            (
+                "critical_path_ns".into(),
+                Value::Num(report.critical_path_ns as f64),
+            ),
+            (
+                "dominant_phase".into(),
+                Value::Str(report.dominant_phase.clone()),
+            ),
+            (
+                "serial_fraction".into(),
+                Value::Num(report.amdahl.serial_fraction),
+            ),
+            ("max_speedup".into(), Value::Num(report.amdahl.max_speedup)),
+            ("top_segments".into(), Value::Arr(top)),
+        ]),
+    )]
 }
 
 // -------------------------------------------------------------------- run
@@ -455,8 +556,8 @@ fn run_workloads(opts: RunPlanOpts) -> i32 {
 /// Run one workload `opts.repeats` times, median-aggregate the reports,
 /// and write `BENCH_<workload>.json` into the output directory. The
 /// first repeat also exports `trace.json` / `events.jsonl` /
-/// `ledger.jsonl` for the workload so every gate run doubles as a
-/// profiling artifact (and feeds `amlreport`).
+/// `ledger.jsonl` / `crit.json` for the workload so every gate run
+/// doubles as a profiling artifact (and feeds `amlreport` / `amlcrit`).
 fn run_one_workload(
     bin_dir: &Path,
     workload: &str,
@@ -497,6 +598,10 @@ fn run_one_workload(
             .args([
                 "--ledger-out".as_ref(),
                 work_dir.join("ledger.jsonl").as_os_str(),
+            ])
+            .args([
+                "--crit-out".as_ref(),
+                work_dir.join("crit.json").as_os_str(),
             ]);
         }
         eprintln!("perfgate: {workload} rep {}/{} …", rep + 1, opts.repeats);

@@ -133,7 +133,21 @@ impl GateOutcome {
     /// metrics: [{metric, old, new, delta_pct|null, regressed}],
     /// unmatched: [..]}`.
     pub fn render_json(&self, workload: &str, cfg: &GateConfig) -> String {
-        Value::Obj(self.json_fields(workload, cfg)).render()
+        self.render_json_with(workload, cfg, Vec::new())
+    }
+
+    /// [`render_json`](Self::render_json) with caller-supplied top-level
+    /// fields appended at the end of the object — `perfgate --crit` uses
+    /// this to embed the critical-path summary next to the verdict.
+    pub fn render_json_with(
+        &self,
+        workload: &str,
+        cfg: &GateConfig,
+        extra: Vec<(String, Value)>,
+    ) -> String {
+        let mut fields = self.json_fields(workload, cfg);
+        fields.extend(extra);
+        Value::Obj(fields).render()
     }
 
     /// Machine-readable verdict for `perfgate --against-history --json`:
@@ -147,9 +161,24 @@ impl GateOutcome {
         requested: usize,
         n_used: usize,
     ) -> String {
+        self.render_history_json_with(workload, cfg, requested, n_used, Vec::new())
+    }
+
+    /// [`render_history_json`](Self::render_history_json) with extra
+    /// top-level fields appended, mirroring
+    /// [`render_json_with`](Self::render_json_with).
+    pub fn render_history_json_with(
+        &self,
+        workload: &str,
+        cfg: &GateConfig,
+        requested: usize,
+        n_used: usize,
+        extra: Vec<(String, Value)>,
+    ) -> String {
         let mut fields = self.json_fields(workload, cfg);
         fields.insert(1, ("history_n".into(), n_used.to_json()));
         fields.insert(1, ("history_requested".into(), requested.to_json()));
+        fields.extend(extra);
         Value::Obj(fields).render()
     }
 

@@ -28,6 +28,7 @@
 //! `<out>/manifest.json` with every span/counter/histogram of the run.
 
 pub mod amlreport;
+pub mod critview;
 pub mod gate;
 pub mod minijson;
 pub mod report;
@@ -99,6 +100,11 @@ pub struct RunOpts {
     /// Write the span self-time profile here in collapsed-stack folded
     /// format (flamegraph-ready) at the end of the run.
     pub profile_out: Option<PathBuf>,
+    /// Collect the causal trace tree during the run and write the
+    /// critical-path report (longest chain, per-phase Amdahl estimate,
+    /// per-scenario costs) here as JSON at the end; also printed as a
+    /// table on stderr and served live at `/crit` with `--serve`.
+    pub crit_out: Option<PathBuf>,
     /// Deterministic fault plan (`--fault-plan`), installed process-wide
     /// by [`RunOpts::prepare`]. `None` keeps every fault hook inert.
     pub fault_plan: Option<aml_faults::FaultPlan>,
@@ -149,6 +155,12 @@ options:
   --profile-out PATH      write the span self-time profile as collapsed
                           stacks (flamegraph-ready) and print a top table
                           (export/serve/profile flags imply --telemetry summary)
+  --crit-out PATH         collect the causal trace tree and write the
+                          critical-path report (longest dependency chain,
+                          per-phase serial fraction / Amdahl speedup ceiling,
+                          per-scenario datagen costs) as JSON; printed as a
+                          table on stderr, served live at /crit, and read by
+                          the `amlcrit` bin
   --fault-plan SPEC       inject deterministic faults, e.g.
                           trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1
   --max-trial-time MS     wall-clock budget per AutoML trial; over-budget
@@ -180,6 +192,7 @@ impl RunOpts {
             ledger_out: None,
             serve: None,
             profile_out: None,
+            crit_out: None,
             fault_plan: None,
             max_trial_time: None,
             min_trials: 1,
@@ -230,7 +243,8 @@ impl RunOpts {
             || self.events_out.is_some()
             || self.ledger_out.is_some()
             || self.serve.is_some()
-            || self.profile_out.is_some();
+            || self.profile_out.is_some()
+            || self.crit_out.is_some();
         if wants_export && self.telemetry == TelemetryLevel::Off {
             self.telemetry = TelemetryLevel::Summary;
         }
@@ -310,6 +324,11 @@ impl RunOpts {
             ensure_parent(path, "--profile-out")?;
             aml_telemetry::profile::reset();
             aml_telemetry::profile::set_active(true);
+        }
+        if let Some(path) = &self.crit_out {
+            ensure_parent(path, "--crit-out")?;
+            aml_telemetry::tracetree::reset();
+            aml_telemetry::tracetree::set_active(true);
         }
         if let Some(addr) = &self.serve {
             let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
@@ -397,6 +416,10 @@ impl RunOpts {
                 "--profile-out" => {
                     let v = value_of(args, &mut i, "--profile-out")?;
                     opts.profile_out = Some(PathBuf::from(v));
+                }
+                "--crit-out" => {
+                    let v = value_of(args, &mut i, "--crit-out")?;
+                    opts.crit_out = Some(PathBuf::from(v));
                 }
                 "--fault-plan" => {
                     let v = value_of(args, &mut i, "--fault-plan")?;
@@ -555,6 +578,22 @@ impl RunOpts {
             }
             let entries = aml_telemetry::profile::entries();
             eprint!("{}", aml_telemetry::profile::render_top_table(&entries, 10));
+        }
+        if let Some(path) = &self.crit_out {
+            // Deactivate first so the report's tree is final; the resource
+            // gauges were already published above, so wall-vs-CPU
+            // attribution lands in the report.
+            aml_telemetry::tracetree::set_active(false);
+            match aml_telemetry::crit::write_json(path) {
+                Ok(report) => {
+                    aml_telemetry::note(&format!("wrote {}", path.display()));
+                    eprint!("{}", report.render_table());
+                }
+                Err(e) => aml_telemetry::warn(&format!(
+                    "could not write --crit-out {}: {e}",
+                    path.display()
+                )),
+            }
         }
         aml_telemetry::serve::stop();
     }
@@ -864,6 +903,18 @@ mod tests {
         assert!(parse(&["--profile-out", "--quick"])
             .unwrap_err()
             .contains("--profile-out"));
+    }
+
+    #[test]
+    fn crit_out_flag_parses() {
+        let opts = parse(&["--crit-out", "/tmp/x/crit.json"]).unwrap().unwrap();
+        assert_eq!(opts.crit_out, Some(PathBuf::from("/tmp/x/crit.json")));
+        // Parsing alone never touches the level; prepare() bumps it.
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+        assert!(parse(&["--crit-out"]).unwrap_err().contains("--crit-out"));
+        assert!(parse(&["--crit-out", "--quick"])
+            .unwrap_err()
+            .contains("--crit-out"));
     }
 
     #[test]

@@ -262,8 +262,18 @@ pub fn run_strategy(
                 let runs: Vec<FittedAutoMl> = {
                     let _committee =
                         aml_telemetry::span!("core.strategy.committee", strategy.name());
+                    // Committee members are independent AutoML runs; the
+                    // handoff marks each one a parallelizable fan-out unit
+                    // in the trace tree, so the critical-path analyzer
+                    // reports the committee's Amdahl speedup ceiling even
+                    // though this loop currently runs them sequentially.
+                    let ctx = aml_telemetry::TraceContext::current();
                     (0..n_runs)
-                        .map(|r| fit_automl(cfg, train, 100 + r as u64))
+                        .map(|r| {
+                            let _handoff = ctx.attach(r as u64);
+                            let _member = aml_telemetry::span!("core.strategy.member");
+                            fit_automl(cfg, train, 100 + r as u64)
+                        })
                         .collect::<Result<_>>()?
                 };
                 let ale = AleFeedback {

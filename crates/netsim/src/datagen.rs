@@ -23,6 +23,29 @@ fn derive_seed(master: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Label one scenario under its own traced span, recording the
+/// per-scenario cost histogram (`datagen.scenario_ns`) and the
+/// `datagen.scenarios_total` counter. The [`aml_telemetry::TraceContext`]
+/// handoff makes the span a child of `netsim.labeling` whichever worker
+/// thread runs it, with the *scenario index* as the deterministic slot —
+/// so sequential and parallel runs build byte-identical trace trees.
+fn label_scenario(
+    ctx: aml_telemetry::TraceContext,
+    index: usize,
+    condition: NetworkCondition,
+    master_seed: u64,
+) -> Result<bool> {
+    let _handoff = ctx.attach(index as u64);
+    let _span = aml_telemetry::span!("netsim.scenario");
+    let started = aml_telemetry::maybe_now();
+    let label = label_condition(condition, derive_seed(master_seed, index as u64));
+    if let Some(t) = started {
+        aml_telemetry::histogram_record("datagen.scenario_ns", t.elapsed().as_nanos() as u64);
+        aml_telemetry::counter_add("datagen.scenarios_total", 1);
+    }
+    label
+}
+
 /// Label one batch of conditions with up to `parallelism` threads.
 /// Output order matches input order; each condition gets an independent
 /// derived seed so results don't depend on batch composition.
@@ -33,17 +56,18 @@ pub fn label_conditions(
 ) -> Result<Vec<bool>> {
     let _span = aml_telemetry::span!("netsim.labeling");
     aml_telemetry::counter_add("netsim.labels", conditions.len() as u64);
+    let ctx = aml_telemetry::TraceContext::current();
     let jobs: Vec<(usize, NetworkCondition)> = conditions.iter().copied().enumerate().collect();
     if parallelism <= 1 || jobs.len() <= 1 {
         return jobs
             .into_iter()
-            .map(|(i, c)| label_condition(c, derive_seed(master_seed, i as u64)))
+            .map(|(i, c)| label_scenario(ctx, i, c, master_seed))
             .collect();
     }
     let chunk = jobs.len().div_ceil(parallelism);
     let mut out: Vec<Option<bool>> = vec![None; conditions.len()];
     let mut first_err: Option<crate::SimError> = None;
-    scoped_label_chunks(&jobs, chunk, master_seed, &mut out, &mut first_err);
+    scoped_label_chunks(ctx, &jobs, chunk, master_seed, &mut out, &mut first_err);
     if let Some(e) = first_err {
         return Err(e);
     }
@@ -57,6 +81,7 @@ pub fn label_conditions(
 /// search's `train_all`: index-slotted output, so the result is identical
 /// to a sequential run.
 fn scoped_label_chunks(
+    ctx: aml_telemetry::TraceContext,
     jobs: &[(usize, NetworkCondition)],
     chunk: usize,
     master_seed: u64,
@@ -71,7 +96,7 @@ fn scoped_label_chunks(
                 scope.spawn(move || {
                     piece
                         .into_iter()
-                        .map(|(i, c)| (i, label_condition(c, derive_seed(master_seed, i as u64))))
+                        .map(|(i, c)| (i, label_scenario(ctx, i, c, master_seed)))
                         .collect::<Vec<_>>()
                 })
             })
@@ -223,6 +248,71 @@ mod tests {
         let ds = label_rows(&rows, &small_domain(), 5, 1).unwrap();
         assert_eq!(ds.n_rows(), 2);
         assert_eq!(ds.row(0)[0], 5.0);
+    }
+
+    #[test]
+    fn scenario_trace_trees_match_across_worker_counts() {
+        use aml_telemetry::tracetree;
+
+        let domain = small_domain();
+        let mut rng = aml_rng::rngs::StdRng::seed_from_u64(3);
+        let conditions: Vec<NetworkCondition> = (0..6).map(|_| domain.sample(&mut rng)).collect();
+
+        // Other tests in this binary may label concurrently once the
+        // level flips on, so each collection is wrapped in a uniquely
+        // named root span and compared subtree-to-subtree.
+        let subtree_of = |nodes: &[tracetree::Node], root: &str| {
+            let root_id = nodes.iter().find(|n| n.name == root).map(|n| n.id)?;
+            let mut keep = std::collections::HashSet::from([root_id]);
+            loop {
+                let before = keep.len();
+                for n in nodes {
+                    if keep.contains(&n.parent) {
+                        keep.insert(n.id);
+                    }
+                }
+                if keep.len() == before {
+                    break;
+                }
+            }
+            let mut s: Vec<(u64, u64, String, bool)> = nodes
+                .iter()
+                .filter(|n| keep.contains(&n.id))
+                .map(|n| (n.id, n.parent, n.name.clone(), n.parallel))
+                .collect();
+            s.sort();
+            Some(s)
+        };
+        let run = |parallelism: usize| {
+            tracetree::reset();
+            tracetree::set_active(true);
+            {
+                let _wrap = aml_telemetry::span!("test.datagen.wrap");
+                label_conditions(&conditions, 0x5eed, parallelism).unwrap();
+            }
+            tracetree::set_active(false);
+            let nodes = tracetree::entries();
+            let sub = subtree_of(&nodes, "test.datagen.wrap").unwrap();
+            tracetree::reset();
+            sub
+        };
+
+        aml_telemetry::set_level(aml_telemetry::TelemetryLevel::Summary);
+        let one = run(1);
+        let four = run(4);
+        aml_telemetry::set_level(aml_telemetry::TelemetryLevel::Off);
+
+        assert_eq!(one, four, "trace tree must not depend on worker count");
+        let scenarios = one.iter().filter(|(_, _, n, _)| n == "netsim.scenario");
+        assert_eq!(scenarios.clone().count(), conditions.len());
+        assert!(scenarios.clone().all(|(_, _, _, par)| *par));
+        let labeling = one
+            .iter()
+            .find(|(_, _, n, _)| n == "netsim.labeling")
+            .unwrap();
+        assert!(scenarios
+            .clone()
+            .all(|(_, parent, _, _)| *parent == labeling.0));
     }
 
     #[test]

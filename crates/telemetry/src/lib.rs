@@ -40,6 +40,13 @@
 //! * a **self-time profiler** ([`profile`], behind `--profile-out`):
 //!   exclusive per-span-stack wall time written as collapsed-stack
 //!   folded output, directly loadable by flamegraph tooling;
+//! * **causal trace trees** ([`tracetree`], behind `--crit-out`): every
+//!   span gets a deterministic structural id and parent link — across
+//!   `std::thread::scope` workers via the explicit [`TraceContext`]
+//!   handoff — feeding the **critical-path analyzer** ([`crit`]):
+//!   longest dependency chain, per-phase serial-fraction / Amdahl
+//!   speedup ceiling, and wall-vs-CPU attribution, written as
+//!   `crit.json` and served live at `/crit`;
 //! * optional **allocation tracking** ([`alloc`], behind the
 //!   `alloc-track` feature): a counting global allocator whose totals
 //!   land in `alloc.*` counters and per-span byte deltas.
@@ -66,6 +73,7 @@
 #![deny(missing_docs)]
 
 pub mod alloc;
+pub mod crit;
 pub mod history;
 pub mod ledger;
 pub mod manifest;
@@ -78,8 +86,10 @@ pub mod serve;
 pub mod sink;
 pub mod span;
 pub mod trace;
+pub mod tracetree;
 
 pub use alloc::AllocStats;
+pub use crit::{CritReport, CRIT_SCHEMA_VERSION};
 pub use history::{HistoryRecord, HISTORY_SCHEMA_VERSION};
 pub use ledger::{EnsembleMember, LedgerEvent, LedgerJsonlSink, LEDGER_SCHEMA_VERSION};
 pub use manifest::{json_string_literal, Manifest};
@@ -88,6 +98,7 @@ pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};
 pub use sink::{JsonlSink, RunHeader, Sink, SpanEvent};
 pub use span::{current_depth, span, span_labeled, Span};
 pub use trace::ChromeTraceSink;
+pub use tracetree::{SpanId, TraceContext};
 
 use std::str::FromStr;
 use std::sync::atomic::{AtomicU8, Ordering};

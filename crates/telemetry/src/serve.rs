@@ -1,7 +1,9 @@
 //! Live observability plane: a std-only background HTTP server.
 //!
 //! Enabled by `--serve ADDR` on every workload bin. While the run
-//! executes, six endpoints answer `GET`:
+//! executes, seven endpoints answer `GET` (each request bumps a
+//! per-route `serve.requests[<route>]` counter, rendered on `/metrics`
+//! as `serve_requests{key="<route>"}`):
 //!
 //! * `/metrics` — the current registry snapshot in Prometheus text
 //!   exposition format (counters, gauges, span summaries, histograms
@@ -21,7 +23,12 @@
 //!   in the `serve.events_dropped` counter;
 //! * `/history` — the cross-run history store (see [`crate::history`])
 //!   as a JSON array, read per request from the configured path
-//!   ([`set_history_path`]);
+//!   ([`set_history_path`]); `?workload=NAME` keeps only that
+//!   workload's records and `?tail=N` the last N of them (clamped to
+//!   `1..=`[`EVENT_RING_CAP`] like `/runs?tail=N`);
+//! * `/crit` — the live critical-path report (see [`crate::crit`]):
+//!   the causal-trace-tree analysis as JSON when `--crit-out` armed the
+//!   collector, `{"active":false}` otherwise;
 //! * `/dashboard` — a single self-contained HTML page (no external
 //!   assets) that subscribes to `/events` and polls `/metrics`,
 //!   `/runs`, and `/history` to render the live run and its cross-run
@@ -298,8 +305,11 @@ pub fn set_history_path(path: &Path) {
 /// The history store as a JSON array: one element per record line. The
 /// file is read per request (it only grows by whole appended lines);
 /// a missing file is an empty history, and a torn trailing line is
-/// skipped rather than corrupting the array.
-fn history_json() -> String {
+/// skipped rather than corrupting the array. `?workload=NAME` keeps
+/// only records whose `workload` field matches, and `?tail=N` the last
+/// N surviving records (clamped like `/runs?tail=N`; no tail keeps
+/// everything).
+fn history_json(query: Option<&str>) -> String {
     let path = history_path_slot()
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
@@ -307,11 +317,20 @@ fn history_json() -> String {
     let Ok(text) = std::fs::read_to_string(&path) else {
         return "[]\n".to_string();
     };
-    let records: Vec<&str> = text
+    // Records are single-line objects with a pinned field order, so a
+    // workload filter is a substring match on the rendered field.
+    let workload_field = query_param(query, "workload")
+        .map(|w| format!("\"workload\":{}", crate::json_string_literal(w)));
+    let mut records: Vec<&str> = text
         .lines()
         .map(str::trim)
         .filter(|l| l.starts_with('{') && l.ends_with('}'))
+        .filter(|l| workload_field.as_deref().is_none_or(|f| l.contains(f)))
         .collect();
+    if let Some(tail) = query_param(query, "tail").and_then(|v| v.parse::<usize>().ok()) {
+        let keep = tail.clamp(1, EVENT_RING_CAP);
+        records.drain(..records.len().saturating_sub(keep));
+    }
     format!("[{}]\n", records.join(","))
 }
 
@@ -419,6 +438,9 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
         Some((path, query)) => (path, Some(query)),
         None => (target, None),
     };
+    if method == "GET" {
+        count_request(path);
+    }
     if method == "GET" && path == "/events" {
         // Streaming response: the socket outlives this request.
         return open_event_stream(stream);
@@ -436,13 +458,29 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
     stream.flush()
 }
 
+/// Bump the per-route request counter for a known route. Unknown paths
+/// are not counted, so probes can't grow the registry unboundedly.
+fn count_request(path: &str) {
+    if matches!(
+        path,
+        "/metrics" | "/healthz" | "/runs" | "/events" | "/history" | "/dashboard" | "/crit"
+    ) {
+        crate::counter_add_labeled("serve.requests", path, 1);
+    }
+}
+
+/// The value of `key=...` in a query string, if present.
+fn query_param<'a>(query: Option<&'a str>, key: &str) -> Option<&'a str> {
+    query?
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('='))
+}
+
 /// `tail=N` from a query string, clamped to `1..=`[`EVENT_RING_CAP`];
 /// absent or unparsable values fall back to the full ring.
 fn tail_param(query: Option<&str>) -> usize {
-    query
-        .into_iter()
-        .flat_map(|q| q.split('&'))
-        .find_map(|pair| pair.strip_prefix("tail=")?.parse::<usize>().ok())
+    query_param(query, "tail")
+        .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(EVENT_RING_CAP)
         .clamp(1, EVENT_RING_CAP)
 }
@@ -464,7 +502,8 @@ fn route(
             "application/json",
             runs_json(state, tail_param(query)),
         ),
-        "/history" => ("200 OK", "application/json", history_json()),
+        "/history" => ("200 OK", "application/json", history_json(query)),
+        "/crit" => ("200 OK", "application/json", crate::crit::live_json()),
         "/dashboard" => (
             "200 OK",
             "text/html; charset=utf-8",
@@ -473,7 +512,8 @@ fn route(
         _ => (
             "404 Not Found",
             "text/plain",
-            "not found (try /metrics, /healthz, /runs, /events, /history, /dashboard)\n".into(),
+            "not found (try /metrics, /healthz, /runs, /events, /history, /crit, /dashboard)\n"
+                .into(),
         ),
     }
 }
@@ -837,8 +877,30 @@ mod tests {
         assert!(runs.contains("\"rounds_done\":1"), "{runs}");
         assert!(runs.contains("\"type\":\"trial_failed\""), "{runs}");
 
+        // /crit answers the inactive sentinel when no collector armed.
+        let crit = http_get(addr, "/crit");
+        assert!(crit.contains("application/json"), "{crit}");
+        assert!(crit.contains("{\"active\":false}"), "{crit}");
+
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        // Per-route request counters land on /metrics; this second
+        // /metrics scrape counts itself, unknown paths are not counted.
+        let metrics = http_get(addr, "/metrics");
+        assert!(
+            metrics.contains("serve_requests{key=\"/metrics\"} 2"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("serve_requests{key=\"/healthz\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("serve_requests{key=\"/crit\"} 1"),
+            "{metrics}"
+        );
+        assert!(!metrics.contains("\"/nope\""), "{metrics}");
 
         stop();
         assert!(!active());
@@ -849,6 +911,52 @@ mod tests {
         crate::sink::finish(&Snapshot::default());
         set_level(TelemetryLevel::Off);
         crate::global().reset();
+    }
+
+    #[test]
+    fn query_params_parse_and_clamp() {
+        assert_eq!(tail_param(None), EVENT_RING_CAP);
+        assert_eq!(tail_param(Some("tail=5")), 5);
+        assert_eq!(tail_param(Some("tail=0")), 1);
+        assert_eq!(tail_param(Some("tail=10000")), EVENT_RING_CAP);
+        assert_eq!(query_param(Some("a=1&b=2"), "b"), Some("2"));
+        assert_eq!(query_param(Some("detail=9"), "tail"), None);
+        assert_eq!(query_param(None, "tail"), None);
+    }
+
+    #[test]
+    fn history_route_filters_by_workload_and_tail() {
+        let _guard = test_lock::hold();
+        let dir = std::env::temp_dir().join(format!("aml_serve_hist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("history.jsonl");
+        let mut text = String::new();
+        for i in 0..5 {
+            text += &format!("{{\"schema_version\":1,\"workload\":\"alpha\",\"seed\":{i}}}\n");
+        }
+        text += "{\"schema_version\":1,\"workload\":\"beta\",\"seed\":9}\n";
+        text += "{\"torn"; // torn trailing line is skipped
+        std::fs::write(&path, text).unwrap();
+        set_history_path(&path);
+
+        let all = history_json(None);
+        assert_eq!(all.matches("\"workload\"").count(), 6, "{all}");
+        let alpha = history_json(Some("workload=alpha"));
+        assert_eq!(alpha.matches("\"workload\"").count(), 5, "{alpha}");
+        assert!(!alpha.contains("beta"), "{alpha}");
+        let tail = history_json(Some("workload=alpha&tail=2"));
+        assert_eq!(tail.matches("\"workload\"").count(), 2, "{tail}");
+        assert!(
+            tail.contains("\"seed\":3") && tail.contains("\"seed\":4"),
+            "{tail}"
+        );
+        // tail=0 clamps up to 1, like /runs.
+        let clamped = history_json(Some("tail=0"));
+        assert_eq!(clamped.matches("\"workload\"").count(), 1, "{clamped}");
+        assert!(clamped.contains("beta"), "{clamped}");
+
+        set_history_path(Path::new(crate::history::DEFAULT_HISTORY_PATH));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// After stop, a lingering listener backlog connection must at least

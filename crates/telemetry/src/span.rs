@@ -29,6 +29,8 @@ struct SpanInner {
     /// profiler was active at open); guards the matching pop so toggling
     /// mid-span can never unbalance the stack.
     profiled: bool,
+    /// Same guard for the trace-tree collector's frame stack.
+    traced: bool,
 }
 
 /// RAII guard for a timing span; records into the global registry on drop.
@@ -58,6 +60,9 @@ impl Drop for Span {
         if inner.profiled {
             crate::profile::on_span_close(ns);
         }
+        if inner.traced {
+            crate::tracetree::on_span_close();
+        }
         if crate::sink::active() {
             crate::sink::emit_span_close(&inner.name, inner.start, ns, current_depth());
         }
@@ -86,6 +91,10 @@ pub fn span(name: &str) -> Span {
     if profiled {
         crate::profile::on_span_open(name);
     }
+    let traced = crate::tracetree::active();
+    if traced {
+        crate::tracetree::on_span_open(name);
+    }
     Span {
         inner: Some(SpanInner {
             stat: global().span_stat(name),
@@ -93,6 +102,7 @@ pub fn span(name: &str) -> Span {
             name: name.to_string(),
             alloc_open: crate::alloc::bytes_now(),
             profiled,
+            traced,
         }),
     }
 }
@@ -110,6 +120,10 @@ pub fn span_labeled(base: &str, label: &str) -> Span {
     if profiled {
         crate::profile::on_span_open(&name);
     }
+    let traced = crate::tracetree::active();
+    if traced {
+        crate::tracetree::on_span_open(&name);
+    }
     Span {
         inner: Some(SpanInner {
             stat: global().span_stat(&name),
@@ -117,6 +131,7 @@ pub fn span_labeled(base: &str, label: &str) -> Span {
             name,
             alloc_open: crate::alloc::bytes_now(),
             profiled,
+            traced,
         }),
     }
 }
