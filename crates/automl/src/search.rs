@@ -14,8 +14,26 @@ use aml_models::metrics::balanced_accuracy;
 use aml_models::Classifier;
 use aml_telemetry::ledger::{self, LedgerEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
+
+/// Trials currently inside the fit sandbox, mirrored to the
+/// `search.trials_inflight` gauge so `/metrics` shows live search
+/// concurrency mid-run.
+static TRIALS_INFLIGHT: AtomicU64 = AtomicU64::new(0);
+
+fn trial_fit_begin() {
+    let now = TRIALS_INFLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+    aml_telemetry::gauge_set("search.trials_inflight", now);
+}
+
+fn trial_fit_end() {
+    let now = TRIALS_INFLIGHT
+        .fetch_sub(1, Ordering::Relaxed)
+        .saturating_sub(1);
+    aml_telemetry::gauge_set("search.trials_inflight", now);
+}
 
 /// How the searcher allocates its candidate budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +147,7 @@ fn settle_trial(
     config: CandidateConfig,
     outcome: TrialResult,
 ) -> Option<TrainedCandidate> {
+    trial_fit_end();
     aml_telemetry::serve::note_trial_done();
     match outcome {
         Ok((model, val_score, val_proba)) => {
@@ -176,7 +195,9 @@ fn train_one(
         rung,
         family: config.family().name().to_string(),
         config: format!("{config:?}"),
+        params: config.params(),
     });
+    trial_fit_begin();
     let outcome = run_sandboxed(trial, &config, train, val);
     settle_trial(trial, rung, config, outcome)
 }
@@ -200,7 +221,9 @@ fn train_one_budgeted(
         rung,
         family: config.family().name().to_string(),
         config: format!("{config:?}"),
+        params: config.params(),
     });
+    trial_fit_begin();
     let (tx, rx) = mpsc::channel::<TrialResult>();
     let (w_config, w_train, w_val) = (config.clone(), Arc::clone(train), Arc::clone(val));
     std::thread::spawn(move || {
@@ -454,6 +477,15 @@ pub fn run_search(
     if limits.min_trials == 0 {
         return Err(AutoMlError::InvalidConfig("min_trials must be >= 1".into()));
     }
+    // Describe the declared space once per run, ahead of the first
+    // trial. The claim is only made while a ledger sink listens —
+    // otherwise an unarmed warm-up search would consume the armed run's
+    // single descriptor line.
+    if ledger::active() && ledger::claim_search_space_emission() {
+        ledger::emit(&LedgerEvent::SearchSpace {
+            families: crate::space::search_space(families),
+        });
+    }
     let assigned = assign_families(n_candidates, families);
     // The enumeration index is the trial id: assigned sequentially before
     // any parallel work, it is the ledger's stable join key.
@@ -543,12 +575,22 @@ fn halving_survivors(
             .map(|t| (t.val_score, t.trial, t.config))
             .collect();
         scored.sort_by(|a, b| b.0.total_cmp(&a.0));
-        let keep = (scored.len() / 2).max(2);
+        let entered = jobs.len();
+        let keep = (scored.len() / 2).max(2).min(entered);
         jobs = scored
             .into_iter()
             .take(keep)
             .map(|(_, t, c)| (t, c))
             .collect();
+        // Per-rung funnel counters for /metrics (the ledger carries the
+        // same story per trial; these are the cheap live aggregates).
+        let label = rung.to_string();
+        aml_telemetry::counter_add_labeled("search.rung_promotions", &label, jobs.len() as u64);
+        aml_telemetry::counter_add_labeled(
+            "search.rung_eliminations",
+            &label,
+            (entered - jobs.len()) as u64,
+        );
         fraction *= 2.0;
         rung += 1;
     }

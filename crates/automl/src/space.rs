@@ -23,7 +23,48 @@ use aml_models::{
 };
 use aml_rng::rngs::StdRng;
 use aml_rng::{Rng, SeedableRng};
+use aml_telemetry::{ParamValue, SpaceDim, SpaceFamily};
 use std::sync::Arc;
+
+fn int_dim(name: &str, lo: i64, hi: i64) -> SpaceDim {
+    SpaceDim {
+        name: name.to_string(),
+        kind: "int".to_string(),
+        scale: "linear".to_string(),
+        lo: lo as f64,
+        hi: hi as f64,
+        choices: Vec::new(),
+    }
+}
+
+fn log_dim(name: &str, lo: f64, hi: f64) -> SpaceDim {
+    SpaceDim {
+        name: name.to_string(),
+        kind: "float".to_string(),
+        scale: "log10".to_string(),
+        lo,
+        hi,
+        choices: Vec::new(),
+    }
+}
+
+fn cat_dim(name: &str, choices: &[&str]) -> SpaceDim {
+    SpaceDim {
+        name: name.to_string(),
+        kind: "cat".to_string(),
+        scale: "linear".to_string(),
+        lo: 0.0,
+        hi: 0.0,
+        choices: choices.iter().map(|c| c.to_string()).collect(),
+    }
+}
+
+fn criterion_tag(c: Criterion) -> &'static str {
+    match c {
+        Criterion::Gini => "gini",
+        Criterion::Entropy => "entropy",
+    }
+}
 
 /// The model families the searcher can draw from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -61,6 +102,52 @@ impl ModelFamily {
         ModelFamily::LinearSvm,
         ModelFamily::AdaBoost,
     ];
+
+    /// The family's declared hyperparameter dimensions, in sampling
+    /// order. This is the ground truth behind the once-per-run
+    /// `search_space` ledger event and the search-observability
+    /// analytics: every bound/scale here matches [`CandidateConfig::sample`]
+    /// exactly (a propcheck test holds the two together).
+    pub fn dims(&self) -> Vec<SpaceDim> {
+        match self {
+            ModelFamily::DecisionTree => vec![
+                int_dim("max_depth", 2, 16),
+                int_dim("min_samples_leaf", 1, 16),
+                cat_dim("criterion", &["gini", "entropy"]),
+            ],
+            ModelFamily::RandomForest => vec![
+                int_dim("n_trees", 16, 64),
+                int_dim("max_depth", 4, 14),
+                int_dim("min_samples_leaf", 1, 8),
+                cat_dim("criterion", &["gini", "entropy"]),
+            ],
+            ModelFamily::ExtraTrees => vec![
+                int_dim("n_trees", 16, 64),
+                int_dim("max_depth", 4, 14),
+                int_dim("min_samples_leaf", 1, 8),
+            ],
+            ModelFamily::GradientBoosting => vec![
+                int_dim("n_rounds", 15, 50),
+                cat_dim("learning_rate", &["0.05", "0.1", "0.2"]),
+                int_dim("max_depth", 2, 4),
+                int_dim("min_samples_leaf", 2, 10),
+            ],
+            ModelFamily::Knn => vec![
+                int_dim("k", 1, 25),
+                cat_dim("weights", &["uniform", "distance"]),
+            ],
+            ModelFamily::NaiveBayes => vec![log_dim("var_smoothing", 1e-9, 1e-5)],
+            ModelFamily::LogisticRegression => vec![log_dim("l2", 1e-5, 1.0)],
+            ModelFamily::LinearSvm => {
+                vec![log_dim("lambda", 1e-5, 1e-1), int_dim("epochs", 10, 30)]
+            }
+            ModelFamily::AdaBoost => vec![
+                int_dim("n_rounds", 20, 60),
+                int_dim("max_depth", 1, 3),
+                cat_dim("learning_rate", &["0.5", "1"]),
+            ],
+        }
+    }
 
     /// Short stable name.
     pub fn name(&self) -> &'static str {
@@ -114,6 +201,63 @@ impl CandidateConfig {
             CandidateConfig::LogisticRegression(..) => ModelFamily::LogisticRegression,
             CandidateConfig::LinearSvm(..) => ModelFamily::LinearSvm,
             CandidateConfig::AdaBoost(_) => ModelFamily::AdaBoost,
+        }
+    }
+
+    /// Typed hyperparameter values in the family's declared dimension
+    /// order (see [`ModelFamily::dims`]); emitted as the `trial_started`
+    /// line's trailing `params` map. Fixed (non-searched) parameters are
+    /// not part of the declared space and are omitted.
+    pub fn params(&self) -> Vec<(String, ParamValue)> {
+        let int = |name: &str, v: usize| (name.to_string(), ParamValue::Int(v as i64));
+        let float = |name: &str, v: f64| (name.to_string(), ParamValue::Float(v));
+        let cat = |name: &str, tag: String| (name.to_string(), ParamValue::Cat(tag));
+        match self {
+            CandidateConfig::DecisionTree(p) => vec![
+                int("max_depth", p.max_depth),
+                int("min_samples_leaf", p.min_samples_leaf),
+                cat("criterion", criterion_tag(p.criterion).to_string()),
+            ],
+            CandidateConfig::RandomForest(p) => vec![
+                int("n_trees", p.n_trees),
+                int("max_depth", p.max_depth),
+                int("min_samples_leaf", p.min_samples_leaf),
+                cat("criterion", criterion_tag(p.criterion).to_string()),
+            ],
+            CandidateConfig::ExtraTrees(p) => vec![
+                int("n_trees", p.n_trees),
+                int("max_depth", p.max_depth),
+                int("min_samples_leaf", p.min_samples_leaf),
+            ],
+            CandidateConfig::GradientBoosting(p) => vec![
+                int("n_rounds", p.n_rounds),
+                // Drawn from a finite grid, so it travels as a category
+                // tag (shortest round-trip form matches the declaration).
+                cat("learning_rate", format!("{}", p.learning_rate)),
+                int("max_depth", p.max_depth),
+                int("min_samples_leaf", p.min_samples_leaf),
+            ],
+            CandidateConfig::Knn(p, _) => vec![
+                int("k", p.k),
+                cat(
+                    "weights",
+                    match p.weights {
+                        KnnWeights::Uniform => "uniform",
+                        KnnWeights::Distance => "distance",
+                    }
+                    .to_string(),
+                ),
+            ],
+            CandidateConfig::NaiveBayes(p) => vec![float("var_smoothing", p.var_smoothing)],
+            CandidateConfig::LogisticRegression(p, _) => vec![float("l2", p.l2)],
+            CandidateConfig::LinearSvm(p, _) => {
+                vec![float("lambda", p.lambda), int("epochs", p.epochs)]
+            }
+            CandidateConfig::AdaBoost(p) => vec![
+                int("n_rounds", p.n_rounds),
+                int("max_depth", p.max_depth),
+                cat("learning_rate", format!("{}", p.learning_rate)),
+            ],
         }
     }
 
@@ -241,6 +385,18 @@ impl CandidateConfig {
     }
 }
 
+/// The declared search space over `families`, in the given order —
+/// the payload of the once-per-run `search_space` ledger event.
+pub fn search_space(families: &[ModelFamily]) -> Vec<SpaceFamily> {
+    families
+        .iter()
+        .map(|f| SpaceFamily {
+            family: f.name().to_string(),
+            dims: f.dims(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +439,35 @@ mod tests {
                 family.name()
             );
         }
+    }
+
+    #[test]
+    fn params_follow_the_declared_dimension_order() {
+        for family in ModelFamily::ALL {
+            let dims = family.dims();
+            assert!(!dims.is_empty(), "{family:?} declares no dimensions");
+            for seed in 0..16 {
+                let params = CandidateConfig::sample(family, seed).params();
+                let names: Vec<&str> = params.iter().map(|(n, _)| n.as_str()).collect();
+                let declared: Vec<&str> = dims.iter().map(|d| d.name.as_str()).collect();
+                assert_eq!(names, declared, "{family:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn search_space_covers_all_families_in_order() {
+        let space = search_space(&ModelFamily::ALL);
+        assert_eq!(space.len(), 9);
+        assert_eq!(space[0].family, "decision_tree");
+        assert_eq!(space[8].family, "adaboost");
+        let knn = space.iter().find(|f| f.family == "knn").unwrap();
+        assert_eq!(knn.dims[0].name, "k");
+        assert_eq!(knn.dims[0].kind, "int");
+        assert_eq!((knn.dims[0].lo, knn.dims[0].hi), (1.0, 25.0));
+        assert_eq!(knn.dims[1].choices, vec!["uniform", "distance"]);
+        let nb = space.iter().find(|f| f.family == "gaussian_nb").unwrap();
+        assert_eq!(nb.dims[0].scale, "log10");
     }
 
     #[test]

@@ -108,6 +108,25 @@ fn ledger_is_identical_across_thread_counts() {
             .any(|l| l.contains("\"type\":\"trial_finished\"")),
         "expected trial_finished lines"
     );
+    // Every trial_started line carries the typed params map.
+    assert!(
+        one.iter()
+            .filter(|l| l.contains("\"type\":\"trial_started\""))
+            .all(|l| l.contains("\"params\":{")),
+        "trial_started lines must carry typed params"
+    );
+    // Exactly one search_space line per run (the gate resets when the
+    // sinks finish, so both runs of this process get their own).
+    for lines in [&one, &four] {
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"type\":\"search_space\""))
+                .count(),
+            1,
+            "expected exactly one search_space line per run"
+        );
+    }
 
     // Same multiset of lines: sorting makes the content byte-identical.
     one.sort();

@@ -1,0 +1,62 @@
+//! Property tests holding the sampler to its declared search space: for
+//! every model family, every sampled configuration's typed params must
+//! respect the bounds, integer-ness, log-scale positivity, and category
+//! choices that the once-per-run `search_space` ledger event advertises.
+//! This is the contract that makes the coverage and importance analytics
+//! trustworthy — a sample outside its declared bin range would silently
+//! clamp into the edge bins.
+
+use aml_automl::{CandidateConfig, ModelFamily};
+use aml_propcheck::prelude::*;
+use aml_telemetry::ParamValue;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sampled_params_respect_the_declared_dimensions(seed in 0u64..10_000) {
+        for &family in ModelFamily::ALL.iter() {
+            let config = CandidateConfig::sample(family, seed);
+            let dims = family.dims();
+            let params = config.params();
+            prop_assert_eq!(params.len(), dims.len());
+            for ((name, value), dim) in params.iter().zip(dims.iter()) {
+                prop_assert_eq!(name, &dim.name);
+                match value {
+                    ParamValue::Int(v) => {
+                        prop_assert_eq!(dim.kind.as_str(), "int");
+                        prop_assert!(
+                            (dim.lo as i64..=dim.hi as i64).contains(v),
+                            "{family:?}.{name} = {v} outside [{}, {}]",
+                            dim.lo,
+                            dim.hi
+                        );
+                    }
+                    ParamValue::Float(v) => {
+                        prop_assert_eq!(dim.kind.as_str(), "float");
+                        prop_assert!(v.is_finite(), "{family:?}.{name} non-finite");
+                        // Log-scale dims must stay strictly positive or
+                        // the log-space binning would degenerate.
+                        if dim.scale == "log10" {
+                            prop_assert!(*v > 0.0, "{family:?}.{name} = {v} <= 0 on log dim");
+                        }
+                        prop_assert!(
+                            (dim.lo..=dim.hi).contains(v),
+                            "{family:?}.{name} = {v} outside [{}, {}]",
+                            dim.lo,
+                            dim.hi
+                        );
+                    }
+                    ParamValue::Cat(tag) => {
+                        prop_assert_eq!(dim.kind.as_str(), "cat");
+                        prop_assert!(
+                            dim.choices.iter().any(|c| c == tag),
+                            "{family:?}.{name} = '{tag}' not in {:?}",
+                            dim.choices
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -37,7 +37,7 @@
 
 use crate::minijson::{self, Value};
 use crate::report::BenchReport;
-use aml_telemetry::{CritReport, LEDGER_SCHEMA_VERSION};
+use aml_telemetry::{CritReport, SearchReport, LEDGER_SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -967,6 +967,65 @@ fn section_crit(out: &mut String, crits: &[CritReport]) {
     }
 }
 
+/// Search observability: declared-space coverage + importance bars per
+/// `family.dimension`, and score scatters for the highest-importance
+/// dimensions. One search report per ledger input, recomputed from its
+/// `search_space` / `trial_started` lines.
+fn section_search_space(out: &mut String, searches: &[SearchReport]) {
+    out.push_str("<h2>Search space</h2>");
+    let active: Vec<&SearchReport> = searches.iter().filter(|s| s.started > 0).collect();
+    if active.is_empty() {
+        out.push_str(
+            "<p class=\"note\">No search telemetry in the given ledgers \
+             (older runs predate the search_space event).</p>",
+        );
+        return;
+    }
+    for report in active {
+        let _ = write!(
+            out,
+            "<p class=\"note\">{} fits started, {} finished, {} failed across {} families; \
+             funnel: ",
+            report.started,
+            report.finished,
+            report.failed,
+            report.families.len()
+        );
+        for (i, r) in report.rungs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(" &#8594; ");
+            }
+            let _ = write!(
+                out,
+                "rung {}: {}/{} promoted",
+                r.rung, r.promoted, r.started
+            );
+        }
+        out.push_str(".</p>");
+        let svg = crate::searchview::render_importance_svg(report, 16)
+            .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+        out.push_str(&svg);
+        // Score scatters for the dimensions the scores depended on most.
+        let mut dims: Vec<(&str, &aml_telemetry::searchview::DimReport)> = report
+            .families
+            .iter()
+            .flat_map(|f| f.dims.iter().map(move |d| (f.family.as_str(), d)))
+            .filter(|(_, d)| !d.points.is_empty())
+            .collect();
+        dims.sort_by(|a, b| {
+            b.1.importance
+                .partial_cmp(&a.1.importance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a.0, &a.1.name).cmp(&(b.0, &b.1.name)))
+        });
+        for (family, dim) in dims.into_iter().take(6) {
+            let svg = crate::searchview::render_dim_scatter_svg(family, dim)
+                .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+            out.push_str(&svg);
+        }
+    }
+}
+
 /// Render the full report. Pure: input structs in, one HTML string out.
 /// The page references no external assets (the self-containment tests
 /// assert there is no `http` substring anywhere in the output).
@@ -974,6 +1033,7 @@ pub fn render_html(
     ledgers: &[LedgerData],
     benches: &[BenchReport],
     crits: &[CritReport],
+    searches: &[SearchReport],
     title: &str,
 ) -> String {
     let mut out = String::with_capacity(64 * 1024);
@@ -1000,6 +1060,7 @@ pub fn render_html(
     section_bands(&mut out, ledgers);
     section_perf(&mut out, benches);
     section_crit(&mut out, crits);
+    section_search_space(&mut out, searches);
     out.push_str("</body></html>");
     out
 }
@@ -1295,9 +1356,12 @@ mod tests {
     fn sample_ledger_text() -> String {
         [
             r#"{"type":"ledger","schema_version":1,"run_id":"w-s1-p2","workload":"w","seed":1,"git":"abc"}"#,
-            r#"{"type":"trial_started","trial":0,"rung":0,"family":"forest","config":"ForestConfig { trees: 8 }"}"#,
+            r#"{"type":"search_space","families":[{"family":"forest","dims":[{"name":"trees","kind":"int","scale":"linear","lo":4,"hi":16,"choices":[]}]},{"family":"logreg","dims":[{"name":"l2","kind":"float","scale":"log10","lo":0.00001,"hi":1,"choices":[]}]}]}"#,
+            r#"{"type":"trial_started","trial":0,"rung":0,"family":"forest","config":"ForestConfig { trees: 8 }","params":{"trees":8}}"#,
             r#"{"type":"trial_finished","trial":0,"rung":0,"family":"forest","score":0.91}"#,
-            r#"{"type":"trial_started","trial":1,"rung":0,"family":"logreg","config":"LogRegConfig { l2: 0.1 }"}"#,
+            r#"{"type":"trial_started","trial":3,"rung":0,"family":"forest","config":"ForestConfig { trees: 14 }","params":{"trees":14}}"#,
+            r#"{"type":"trial_finished","trial":3,"rung":0,"family":"forest","score":0.84}"#,
+            r#"{"type":"trial_started","trial":1,"rung":0,"family":"logreg","config":"LogRegConfig { l2: 0.1 }","params":{"l2":0.1}}"#,
             r#"{"type":"trial_failed","trial":1,"rung":0,"family":"logreg","reason":"panic"}"#,
             r#"{"type":"trial_finished","trial":2,"rung":1,"family":"forest","score":null}"#,
             r#"{"type":"ensemble_selected","val_score":0.93,"members":[{"trial":0,"family":"forest","weight":3,"score":0.91}]}"#,
@@ -1351,11 +1415,11 @@ mod tests {
         assert_eq!(l.run_id, "w-s1-p2");
         assert_eq!(l.workload, "w");
         assert_eq!(l.seed, 1);
-        assert_eq!(l.started, 2);
-        assert_eq!(l.finished.len(), 2);
+        assert_eq!(l.started, 3);
+        assert_eq!(l.finished.len(), 3);
         assert_eq!(l.finished[0].family, "forest");
         assert!((l.finished[0].score - 0.91).abs() < 1e-12);
-        assert!(l.finished[1].score.is_nan(), "null score reads as NaN");
+        assert!(l.finished[2].score.is_nan(), "null score reads as NaN");
         assert_eq!(l.failed, vec![(1, 0, "logreg".into(), "panic".into())]);
         assert_eq!(l.ensembles.len(), 1);
         assert_eq!(l.ensembles[0].members[0].1, "forest");
@@ -1435,12 +1499,19 @@ mod tests {
     #[test]
     fn report_is_self_contained_and_has_all_sections() {
         let l = parse_ledger(&sample_ledger_text()).unwrap();
-        let html = render_html(&[l], &[sample_bench()], &[sample_crit()], "test report");
+        let s = crate::searchview::parse_search_ledger(&sample_ledger_text()).unwrap();
+        let html = render_html(
+            &[l],
+            &[sample_bench()],
+            &[sample_crit()],
+            &[s],
+            "test report",
+        );
         // Single file, no external references of any kind.
         assert!(!html.contains("http"), "external reference in report");
         assert!(!html.contains("<script"), "no scripts allowed");
         assert!(html.len() < 2 * 1024 * 1024, "report too large");
-        // All seven sections render.
+        // All eight sections render.
         for heading in [
             "Runs",
             "Search",
@@ -1449,6 +1520,7 @@ mod tests {
             "ALE bands",
             "Perf",
             "Critical path",
+            "Search space",
         ] {
             assert!(html.contains(heading), "missing section {heading}");
         }
@@ -1470,14 +1542,19 @@ mod tests {
         assert!(html.contains("bench.datagen"));
         assert!(html.contains("Amdahl ceiling 1.5x"));
         assert!(html.contains("[par]"));
+        // The search-space section carries importance bars and a funnel.
+        assert!(html.contains("forest.trees"));
+        assert!(html.contains("importance"));
+        assert!(html.contains("rung 0:"));
     }
 
     #[test]
     fn empty_inputs_still_render_a_valid_page() {
-        let html = render_html(&[], &[], &[], "empty");
+        let html = render_html(&[], &[], &[], &[], "empty");
         assert!(html.contains("No ledgers given"));
         assert!(html.contains("No BENCH records given"));
         assert!(html.contains("No crit.json reports given"));
+        assert!(html.contains("No search telemetry"));
         assert!(html.contains("</html>"));
         assert!(!html.contains("http"));
     }

@@ -16,7 +16,8 @@
 use aml_bench::amlreport::{parse_ledger, render_compare_html, render_html, LedgerData};
 use aml_bench::critview::parse_crit;
 use aml_bench::report::BenchReport;
-use aml_telemetry::CritReport;
+use aml_bench::searchview::parse_search_ledger;
+use aml_telemetry::{CritReport, SearchReport};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
@@ -168,6 +169,7 @@ fn main() {
     let mut ledgers: Vec<LedgerData> = Vec::new();
     let mut benches: Vec<BenchReport> = Vec::new();
     let mut crits: Vec<CritReport> = Vec::new();
+    let mut searches: Vec<SearchReport> = Vec::new();
     let mut failed = false;
     for path in &opts.inputs {
         let result: Result<(), String> = if is_bench_record(path) {
@@ -175,7 +177,18 @@ fn main() {
         } else if is_crit_record(path) {
             load_crit(path).map(|c| crits.push(c))
         } else {
-            load_ledger(path).map(|l| ledgers.push(l))
+            // Each ledger feeds two sections: the event-level parse and
+            // the recomputed search-observability report.
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))
+                .and_then(|text| {
+                    let l = parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+                    let s = parse_search_ledger(&text)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
+                    ledgers.push(l);
+                    searches.push(s);
+                    Ok(())
+                })
         };
         if let Err(msg) = result {
             eprintln!("error: {msg}");
@@ -186,7 +199,7 @@ fn main() {
         std::process::exit(1);
     }
 
-    let html = render_html(&ledgers, &benches, &crits, &opts.title);
+    let html = render_html(&ledgers, &benches, &crits, &searches, &opts.title);
     if let Err(e) = std::fs::write(&opts.out, &html) {
         eprintln!("error: cannot write {}: {e}", opts.out.display());
         std::process::exit(1);

@@ -1,0 +1,124 @@
+//! `amlsearch` — inspect hyperparameter-search telemetry.
+//!
+//! Recomputes the search-observability report (declared-space coverage,
+//! successive-halving rung funnels, fANOVA-lite importance) from any
+//! `ledger.jsonl` — or reads back a rendered `search.json` artifact —
+//! and prints the human-readable table, the pinned JSON
+//! (`--json`, byte-identical to `--search-out`'s `search.json`), or —
+//! with `--compare A B` — the before/after delta someone checks when
+//! changing the sampler or the search budget.
+//!
+//! Exit codes: 0 ok, 1 input failed to parse, 2 usage error.
+
+use aml_bench::searchview::{parse_search_artifact, render_compare};
+use aml_telemetry::SearchReport;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+amlsearch — print search-observability reports from ledger artifacts
+
+usage:
+  amlsearch INPUT...
+  amlsearch --compare A.jsonl B.jsonl
+  amlsearch --json INPUT
+
+  INPUT                   ledger.jsonl files written by a bench binary's
+                          --ledger-out flag, or search.json artifacts
+                          written by --search-out (told apart by shape)
+  --compare               diff two artifacts: fit counts, per-family best
+                          score, coverage, and top-importance dimension
+  --json                  emit the pinned search.json instead of the
+                          table (byte-identical to --search-out)
+
+exit codes: 0 ok, 1 an input failed to parse, 2 usage error";
+
+struct Opts {
+    compare: bool,
+    json: bool,
+    inputs: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        compare: false,
+        json: false,
+        inputs: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--compare" => opts.compare = true,
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => opts.inputs.push(PathBuf::from(path)),
+        }
+    }
+    if opts.compare && opts.inputs.len() != 2 {
+        return Err(format!(
+            "--compare expects exactly two inputs, got {}",
+            opts.inputs.len()
+        ));
+    }
+    if opts.inputs.is_empty() {
+        return Err("expected at least one ledger.jsonl input".into());
+    }
+    Ok(opts)
+}
+
+fn load(path: &Path) -> Result<SearchReport, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        .and_then(|text| {
+            parse_search_artifact(&text).map_err(|e| format!("{}: {e}", path.display()))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.compare {
+        match (load(&opts.inputs[0]), load(&opts.inputs[1])) {
+            (Ok(a), Ok(b)) => print!("{}", render_compare(&a, &b)),
+            (a, b) => {
+                for result in [a, b] {
+                    if let Err(msg) = result {
+                        eprintln!("error: {msg}");
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut failed = false;
+    for path in &opts.inputs {
+        match load(path) {
+            Ok(report) => {
+                if opts.inputs.len() > 1 {
+                    println!("== {} ==", path.display());
+                }
+                if opts.json {
+                    print!("{}", report.render_json());
+                } else {
+                    print!("{}", report.render_table());
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

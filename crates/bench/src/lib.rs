@@ -32,6 +32,7 @@ pub mod critview;
 pub mod gate;
 pub mod minijson;
 pub mod report;
+pub mod searchview;
 
 use aml_dataset::Dataset;
 use aml_telemetry::TelemetryLevel;
@@ -105,6 +106,12 @@ pub struct RunOpts {
     /// per-scenario costs) here as JSON at the end; also printed as a
     /// table on stderr and served live at `/crit` with `--serve`.
     pub crit_out: Option<PathBuf>,
+    /// Collect search observability (declared-space coverage, rung
+    /// funnels, hyperparameter importance) during the run and write
+    /// `search.json` here at the end; also printed as a table on stderr,
+    /// served live at `/search` with `--serve`, and read by the
+    /// `amlsearch` bin (which recomputes the same report from a ledger).
+    pub search_out: Option<PathBuf>,
     /// Deterministic fault plan (`--fault-plan`), installed process-wide
     /// by [`RunOpts::prepare`]. `None` keeps every fault hook inert.
     pub fault_plan: Option<aml_faults::FaultPlan>,
@@ -161,6 +168,11 @@ options:
                           per-scenario datagen costs) as JSON; printed as a
                           table on stderr, served live at /crit, and read by
                           the `amlcrit` bin
+  --search-out PATH       collect search observability (declared-space
+                          coverage, successive-halving rung funnels,
+                          fANOVA-lite hyperparameter importance) and write
+                          search.json; printed as a table on stderr, served
+                          live at /search, and read by the `amlsearch` bin
   --fault-plan SPEC       inject deterministic faults, e.g.
                           trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1
   --max-trial-time MS     wall-clock budget per AutoML trial; over-budget
@@ -193,6 +205,7 @@ impl RunOpts {
             serve: None,
             profile_out: None,
             crit_out: None,
+            search_out: None,
             fault_plan: None,
             max_trial_time: None,
             min_trials: 1,
@@ -244,7 +257,8 @@ impl RunOpts {
             || self.ledger_out.is_some()
             || self.serve.is_some()
             || self.profile_out.is_some()
-            || self.crit_out.is_some();
+            || self.crit_out.is_some()
+            || self.search_out.is_some();
         if wants_export && self.telemetry == TelemetryLevel::Off {
             self.telemetry = TelemetryLevel::Summary;
         }
@@ -269,6 +283,9 @@ impl RunOpts {
             )
             .map_err(|e| format!("--resume {}: {e}", resume.display()))?;
             self.resumed = Some(ckpt);
+            // The original run already wrote its search_space line; a
+            // resumed continuation must not append a second one.
+            aml_telemetry::ledger::mark_search_space_emitted();
         }
 
         if self.trace_out.is_some() || self.events_out.is_some() || self.ledger_out.is_some() {
@@ -329,6 +346,15 @@ impl RunOpts {
             ensure_parent(path, "--crit-out")?;
             aml_telemetry::tracetree::reset();
             aml_telemetry::tracetree::set_active(true);
+        }
+        if let Some(path) = &self.search_out {
+            ensure_parent(path, "--search-out")?;
+            aml_telemetry::searchview::reset();
+            aml_telemetry::searchview::set_active(true);
+            // The collector observes events inside ledger::emit, which only
+            // fires when some sink wants ledger events; GateSink raises that
+            // gate without writing anywhere, so --search-out works alone.
+            aml_telemetry::sink::install(Box::new(aml_telemetry::searchview::GateSink));
         }
         if let Some(addr) = &self.serve {
             let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
@@ -420,6 +446,10 @@ impl RunOpts {
                 "--crit-out" => {
                     let v = value_of(args, &mut i, "--crit-out")?;
                     opts.crit_out = Some(PathBuf::from(v));
+                }
+                "--search-out" => {
+                    let v = value_of(args, &mut i, "--search-out")?;
+                    opts.search_out = Some(PathBuf::from(v));
                 }
                 "--fault-plan" => {
                     let v = value_of(args, &mut i, "--fault-plan")?;
@@ -591,6 +621,22 @@ impl RunOpts {
                 }
                 Err(e) => aml_telemetry::warn(&format!(
                     "could not write --crit-out {}: {e}",
+                    path.display()
+                )),
+            }
+        }
+        if let Some(path) = &self.search_out {
+            // Deactivate first so the report is computed over a frozen
+            // trial set; render_table gives the operator the same view
+            // amlsearch prints from the ledger.
+            aml_telemetry::searchview::set_active(false);
+            match aml_telemetry::searchview::write_json(path) {
+                Ok(report) => {
+                    aml_telemetry::note(&format!("wrote {}", path.display()));
+                    eprint!("{}", report.render_table());
+                }
+                Err(e) => aml_telemetry::warn(&format!(
+                    "could not write --search-out {}: {e}",
                     path.display()
                 )),
             }
@@ -903,6 +949,17 @@ mod tests {
         assert!(parse(&["--profile-out", "--quick"])
             .unwrap_err()
             .contains("--profile-out"));
+    }
+
+    #[test]
+    fn search_out_flag_parses() {
+        let opts = parse(&["--search-out", "/tmp/x/search.json"])
+            .unwrap()
+            .unwrap();
+        assert_eq!(opts.search_out, Some(PathBuf::from("/tmp/x/search.json")));
+        assert!(parse(&["--search-out"])
+            .unwrap_err()
+            .contains("--search-out"));
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Read-side of search telemetry: re-derive the search-observability
+//! report (coverage, rung funnels, fANOVA-lite importance) from a
+//! `ledger.jsonl`, render SVG panels for `amlreport`, and diff two
+//! reports for `amlsearch --compare`.
+//!
+//! The heavy lifting lives in `aml_telemetry::searchview::analyze` —
+//! this module only reconstructs its inputs (the declared
+//! [`SpaceFamily`] descriptors from the once-per-run `search_space`
+//! line, one trial record per `trial_started` line settled by the
+//! matching outcome line) and reuses the identical pure analysis, so
+//! `amlsearch ledger.jsonl` reproduces `--search-out`'s `search.json`
+//! byte for byte.
+
+use crate::minijson::{self, Value};
+use aml_telemetry::searchview::{analyze, DimReport, FamilyReport, RungReport, TrialRec};
+use aml_telemetry::{ParamValue, SearchReport, SpaceDim, SpaceFamily, LEDGER_SCHEMA_VERSION};
+use std::fmt::Write;
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// Numeric field; a JSON `null` (the ledger encoding of a non-finite
+/// float) reads back as NaN.
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+/// Re-type one rendered parameter value. The ledger writes `Int` params
+/// as bare integers and `Float` params via the shortest float form, so
+/// integral numbers read back as `Int` — the distinction only feeds the
+/// grouping signature, which stays internally consistent either way.
+fn param_value(v: &Value) -> ParamValue {
+    match v {
+        Value::Num(n) if n.fract() == 0.0 && n.abs() < 9.0e15 => ParamValue::Int(*n as i64),
+        Value::Num(n) => ParamValue::Float(*n),
+        Value::Str(s) => ParamValue::Cat(s.clone()),
+        _ => ParamValue::Float(f64::NAN),
+    }
+}
+
+/// The typed `params` map of a `trial_started` line; empty for ledgers
+/// written before the field existed (pre-search-observability runs).
+fn parse_params(v: &Value) -> Vec<(String, ParamValue)> {
+    v.get("params")
+        .and_then(Value::as_obj)
+        .map(|members| {
+            members
+                .iter()
+                .map(|(name, value)| (name.clone(), param_value(value)))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn parse_space(v: &Value) -> Result<Vec<SpaceFamily>, String> {
+    v.get("families")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'families' array")?
+        .iter()
+        .map(|f| {
+            Ok(SpaceFamily {
+                family: str_field(f, "family")?,
+                dims: f
+                    .get("dims")
+                    .and_then(Value::as_arr)
+                    .ok_or("family missing 'dims' array")?
+                    .iter()
+                    .map(|d| {
+                        Ok(SpaceDim {
+                            name: str_field(d, "name")?,
+                            kind: str_field(d, "kind")?,
+                            scale: str_field(d, "scale")?,
+                            lo: f64_field(d, "lo")?,
+                            hi: f64_field(d, "hi")?,
+                            choices: d
+                                .get("choices")
+                                .and_then(Value::as_arr)
+                                .ok_or("dim missing 'choices' array")?
+                                .iter()
+                                .map(|c| {
+                                    c.as_str()
+                                        .map(str::to_string)
+                                        .ok_or_else(|| "non-string choice".to_string())
+                                })
+                                .collect::<Result<Vec<_>, String>>()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            })
+        })
+        .collect()
+}
+
+/// Settle the most recent unsettled record for `(trial, rung, family)` —
+/// trial ids repeat across the many searches of one run, so matching
+/// from the back pairs each outcome with its own start (the same rule
+/// as the live collector).
+fn settle(
+    trials: &mut [TrialRec],
+    trial: u64,
+    rung: u64,
+    family: &str,
+    score: Option<f64>,
+    failed: Option<String>,
+) {
+    if let Some(rec) = trials.iter_mut().rev().find(|r| {
+        r.trial == trial
+            && r.rung == rung
+            && r.family == family
+            && r.score.is_none()
+            && r.failed.is_none()
+    }) {
+        rec.score = score;
+        rec.failed = failed;
+    }
+}
+
+/// Parse the text of one `ledger.jsonl` and compute its search report.
+/// The first line must be a `{"type":"ledger", ...}` header with a
+/// supported schema version; unknown event types are skipped (additive
+/// schema changes don't bump the version).
+pub fn parse_search_ledger(text: &str) -> Result<SearchReport, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or("empty ledger file")?;
+    let header = minijson::parse(header_line).map_err(|e| format!("line 1: {e}"))?;
+    if str_field(&header, "type")? != "ledger" {
+        return Err("line 1: not a ledger header".into());
+    }
+    let version = u64_field(&header, "schema_version")?;
+    if version != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported ledger schema_version {version} (expected {LEDGER_SCHEMA_VERSION})"
+        ));
+    }
+    let mut space: Vec<SpaceFamily> = Vec::new();
+    let mut trials: Vec<TrialRec> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = minijson::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let event = str_field(&v, "type").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let parsed: Result<(), String> = (|| {
+            match event.as_str() {
+                // First wins, like the live collector: a resumed run
+                // that accidentally re-emitted keeps the original.
+                "search_space" if space.is_empty() => {
+                    space = parse_space(&v)?;
+                }
+                "trial_started" => trials.push(TrialRec {
+                    trial: u64_field(&v, "trial")?,
+                    rung: u64_field(&v, "rung")?,
+                    family: str_field(&v, "family")?,
+                    params: parse_params(&v),
+                    score: None,
+                    failed: None,
+                }),
+                "trial_finished" => settle(
+                    &mut trials,
+                    u64_field(&v, "trial")?,
+                    u64_field(&v, "rung")?,
+                    &str_field(&v, "family")?,
+                    Some(f64_field(&v, "score")?),
+                    None,
+                ),
+                "trial_failed" => settle(
+                    &mut trials,
+                    u64_field(&v, "trial")?,
+                    u64_field(&v, "rung")?,
+                    &str_field(&v, "family")?,
+                    None,
+                    Some(str_field(&v, "reason").unwrap_or_else(|_| "error".into())),
+                ),
+                _ => {}
+            }
+            Ok(())
+        })();
+        parsed.map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    Ok(analyze(&space, &trials, 0))
+}
+
+/// Optional score field: JSON `null` reads back as `None`.
+fn opt_f64_field(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(None),
+        Some(n) => n
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+/// Parse a rendered `search.json` artifact back into a [`SearchReport`].
+/// Strict, like `critview`: refuses inactive documents (a `/search`
+/// probe of a disarmed collector) and foreign/newer schema versions
+/// loudly instead of guessing. Round-trips byte-for-byte:
+/// `parse_search_json(r.render_json()).render_json() == r.render_json()`.
+pub fn parse_search_json(text: &str) -> Result<SearchReport, String> {
+    let v = minijson::parse(text.trim_end())?;
+    match v.get("active") {
+        Some(Value::Bool(true)) => {}
+        Some(Value::Bool(false)) => {
+            return Err("inactive document: the collector was disarmed (run with --search-out, or point amlsearch at a ledger.jsonl)".into())
+        }
+        _ => return Err("not a search.json document (missing 'active')".into()),
+    }
+    let version = u64_field(&v, "schema_version")?;
+    if version > u64::from(aml_telemetry::SEARCH_SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} is newer than this amlsearch ({})",
+            aml_telemetry::SEARCH_SCHEMA_VERSION
+        ));
+    }
+    let trials = v.get("trials").ok_or("missing 'trials' object")?;
+    let rungs = v
+        .get("rungs")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'rungs' array")?
+        .iter()
+        .map(|r| {
+            Ok(RungReport {
+                rung: u64_field(r, "rung")?,
+                started: u64_field(r, "started")?,
+                finished: u64_field(r, "finished")?,
+                failed: u64_field(r, "failed")?,
+                promoted: u64_field(r, "promoted")?,
+                eliminated: u64_field(r, "eliminated")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let families = v
+        .get("families")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'families' array")?
+        .iter()
+        .map(|f| {
+            Ok(FamilyReport {
+                family: str_field(f, "family")?,
+                configs: u64_field(f, "configs")?,
+                fits: u64_field(f, "fits")?,
+                failed: u64_field(f, "failed")?,
+                best_score: opt_f64_field(f, "best_score")?,
+                mean_score: opt_f64_field(f, "mean_score")?,
+                dims: f
+                    .get("dims")
+                    .and_then(Value::as_arr)
+                    .ok_or("family missing 'dims' array")?
+                    .iter()
+                    .map(parse_dim_report)
+                    .collect::<Result<Vec<_>, String>>()?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(SearchReport {
+        started: u64_field(trials, "started")?,
+        finished: u64_field(trials, "finished")?,
+        failed: u64_field(trials, "failed")?,
+        rungs,
+        families,
+        dropped: u64_field(&v, "dropped")?,
+    })
+}
+
+fn parse_dim_report(d: &Value) -> Result<DimReport, String> {
+    Ok(DimReport {
+        name: str_field(d, "name")?,
+        kind: str_field(d, "kind")?,
+        scale: str_field(d, "scale")?,
+        lo: f64_field(d, "lo")?,
+        hi: f64_field(d, "hi")?,
+        choices: d
+            .get("choices")
+            .and_then(Value::as_arr)
+            .ok_or("dim missing 'choices' array")?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string choice".to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        bins: u64_field(d, "bins")? as usize,
+        hist: d
+            .get("hist")
+            .and_then(Value::as_arr)
+            .ok_or("dim missing 'hist' array")?
+            .iter()
+            .map(|c| c.as_u64().ok_or_else(|| "non-integer hist count".into()))
+            .collect::<Result<Vec<_>, String>>()?,
+        visited: u64_field(d, "visited")? as usize,
+        coverage: f64_field(d, "coverage")?,
+        importance: f64_field(d, "importance")?,
+        points: d
+            .get("points")
+            .and_then(Value::as_arr)
+            .ok_or("dim missing 'points' array")?
+            .iter()
+            .map(|p| match p.as_arr() {
+                Some([t, s]) => Ok((
+                    t.as_f64().ok_or("non-numeric point position")?,
+                    s.as_f64().ok_or("non-numeric point score")?,
+                )),
+                _ => Err("point is not a [position, score] pair".to_string()),
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    })
+}
+
+/// Parse either artifact the search pipeline produces: a `ledger.jsonl`
+/// (the report is recomputed through [`analyze`]) or a rendered
+/// `search.json` (the report is read back verbatim), told apart by the
+/// first line's JSON shape.
+pub fn parse_search_artifact(text: &str) -> Result<SearchReport, String> {
+    let first = text.lines().next().unwrap_or("");
+    let looks_rendered = minijson::parse(first)
+        .ok()
+        .is_some_and(|v| v.get("active").is_some());
+    if looks_rendered {
+        parse_search_json(text)
+    } else {
+        parse_search_ledger(text)
+    }
+}
+
+/// Hyperparameter importance as a self-contained inline SVG: one
+/// horizontal bar per `family.dimension`, sorted by importance, the
+/// faded background showing the dimension's coverage. Same
+/// self-containment contract as the rest of `amlreport` (no scripts,
+/// no external assets).
+pub fn render_importance_svg(report: &SearchReport, max_rows: usize) -> String {
+    const W: f64 = 640.0;
+    const BAR: f64 = 18.0;
+    const GAP: f64 = 5.0;
+    const LEFT: f64 = 10.0;
+    let mut rows: Vec<(String, f64, f64)> = report
+        .families
+        .iter()
+        .flat_map(|f| {
+            f.dims
+                .iter()
+                .map(move |d| (format!("{}.{}", f.family, d.name), d.importance, d.coverage))
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    rows.truncate(max_rows.max(1));
+    let n = rows.len().max(1);
+    let height = n as f64 * (BAR + GAP) + GAP;
+    let mut out = String::with_capacity(2048);
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {height}\" width=\"{W}\" height=\"{height}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">"
+    );
+    if rows.is_empty() {
+        let _ = write!(
+            out,
+            "<text x=\"{LEFT}\" y=\"{}\" font-size=\"12\">no search telemetry recorded</text>",
+            GAP + BAR * 0.7
+        );
+        out.push_str("</svg>");
+        return out;
+    }
+    let scale = W - 2.0 * LEFT;
+    for (i, (name, importance, coverage)) in rows.iter().enumerate() {
+        let y = GAP + i as f64 * (BAR + GAP);
+        let cov_w = (coverage * scale).max(1.0);
+        let imp_w = (importance * scale).max(1.0);
+        let _ = write!(
+            out,
+            "<rect x=\"{LEFT}\" y=\"{y:.1}\" width=\"{cov_w:.1}\" height=\"{BAR}\" \
+             fill=\"#7aa2d4\" opacity=\"0.25\"/>\
+             <rect x=\"{LEFT}\" y=\"{y:.1}\" width=\"{imp_w:.1}\" height=\"{BAR}\" \
+             fill=\"#d49a6a\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\">\
+             {} — importance {:.3}, coverage {:.0}%</text>",
+            LEFT + 4.0,
+            y + BAR * 0.7,
+            crate::amlreport::esc(name),
+            importance,
+            coverage * 100.0,
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// One dimension's `(position, rung-top score)` scatter as a small
+/// self-contained SVG panel: x is the normalized position in the
+/// declared range, y the score. The panels flow inline in `amlreport`.
+pub fn render_dim_scatter_svg(family: &str, dim: &DimReport) -> String {
+    const W: f64 = 220.0;
+    const H: f64 = 140.0;
+    const PAD: f64 = 10.0;
+    const TOP: f64 = 24.0;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <rect x=\"0\" y=\"0\" width=\"{W}\" height=\"{H}\" fill=\"#fbfbfb\" stroke=\"#d5dbe0\"/>\
+         <text x=\"{PAD}\" y=\"16\" font-size=\"11\" font-family=\"monospace\">{} ({}, {})</text>",
+        crate::amlreport::esc(&format!("{family}.{}", dim.name)),
+        crate::amlreport::esc(&dim.kind),
+        crate::amlreport::esc(&dim.scale),
+    );
+    if dim.points.is_empty() {
+        let _ = write!(
+            out,
+            "<text x=\"{PAD}\" y=\"{:.1}\" font-size=\"11\">no scored configurations</text>",
+            H / 2.0
+        );
+        out.push_str("</svg>");
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for (_, s) in &dim.points {
+        lo = lo.min(*s);
+        hi = hi.max(*s);
+    }
+    if !(hi - lo).is_finite() || hi - lo < 1e-9 {
+        // A flat (or single-point) score range: center the points.
+        lo -= 0.5;
+        hi += 0.5;
+    }
+    for (t, s) in &dim.points {
+        let x = PAD + t * (W - 2.0 * PAD);
+        let y = H - PAD - (s - lo) / (hi - lo) * (H - PAD - TOP);
+        let _ = write!(
+            out,
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"2.5\" fill=\"#2f6fb4\" opacity=\"0.6\"/>"
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Text diff of two reports for `amlsearch --compare`: the figures
+/// someone checks when changing the sampler or the search budget.
+pub fn render_compare(a: &SearchReport, b: &SearchReport) -> String {
+    let mut out = String::from("search compare (A -> B):\n");
+    let line = |out: &mut String, label: &str, x: f64, y: f64, unit: &str| {
+        let _ = writeln!(
+            out,
+            "  {label:<24} {x:>10.2}{unit} -> {y:>10.2}{unit} ({:+.1}%)",
+            if x.abs() < f64::EPSILON {
+                0.0
+            } else {
+                (y - x) * 100.0 / x
+            }
+        );
+    };
+    line(
+        &mut out,
+        "fits started",
+        a.started as f64,
+        b.started as f64,
+        "",
+    );
+    line(
+        &mut out,
+        "fits finished",
+        a.finished as f64,
+        b.finished as f64,
+        "",
+    );
+    line(
+        &mut out,
+        "fits failed",
+        a.failed as f64,
+        b.failed as f64,
+        "",
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>10} -> {:>10}",
+        "rungs",
+        a.rungs.len(),
+        b.rungs.len()
+    );
+    for fa in &a.families {
+        let Some(fb) = b.families.iter().find(|f| f.family == fa.family) else {
+            continue;
+        };
+        if let (Some(ba), Some(bb)) = (fa.best_score, fb.best_score) {
+            line(&mut out, &format!("{} best", fa.family), ba, bb, "");
+        }
+        let mean_cov = |dims: &[DimReport]| {
+            if dims.is_empty() {
+                0.0
+            } else {
+                dims.iter().map(|d| d.coverage).sum::<f64>() / dims.len() as f64
+            }
+        };
+        line(
+            &mut out,
+            &format!("{} coverage", fa.family),
+            mean_cov(&fa.dims),
+            mean_cov(&fb.dims),
+            "",
+        );
+        let top = |dims: &[DimReport]| {
+            dims.iter()
+                .max_by(|x, y| {
+                    x.importance
+                        .partial_cmp(&y.importance)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map_or_else(
+                    || "-".to_string(),
+                    |d| format!("{} ({:.3})", d.name, d.importance),
+                )
+        };
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>18} -> {:>18}",
+            format!("{} top dim", fa.family),
+            top(&fa.dims),
+            top(&fb.dims),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knn_space() -> Vec<SpaceFamily> {
+        vec![SpaceFamily {
+            family: "knn".into(),
+            dims: vec![
+                SpaceDim {
+                    name: "k".into(),
+                    kind: "int".into(),
+                    scale: "linear".into(),
+                    lo: 1.0,
+                    hi: 8.0,
+                    choices: vec![],
+                },
+                SpaceDim {
+                    name: "weights".into(),
+                    kind: "cat".into(),
+                    scale: "linear".into(),
+                    lo: 0.0,
+                    hi: 0.0,
+                    choices: vec!["uniform".into(), "distance".into()],
+                },
+            ],
+        }]
+    }
+
+    fn rec(
+        trial: u64,
+        rung: u64,
+        k: i64,
+        weights: &str,
+        score: Option<f64>,
+        failed: Option<&str>,
+    ) -> TrialRec {
+        TrialRec {
+            trial,
+            rung,
+            family: "knn".into(),
+            params: vec![
+                ("k".into(), ParamValue::Int(k)),
+                ("weights".into(), ParamValue::Cat(weights.into())),
+            ],
+            score,
+            failed: failed.map(str::to_string),
+        }
+    }
+
+    fn fixture() -> Vec<TrialRec> {
+        vec![
+            rec(0, 0, 1, "uniform", Some(0.9), None),
+            rec(1, 0, 2, "distance", Some(0.85), None),
+            rec(2, 0, 7, "uniform", Some(0.5), None),
+            rec(3, 0, 8, "distance", None, Some("error")),
+            rec(0, 1, 1, "uniform", Some(0.92), None),
+            rec(1, 1, 2, "distance", Some(0.87), None),
+        ]
+    }
+
+    fn sample_ledger() -> String {
+        let mut out = String::from(
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}\n\
+             {\"type\":\"search_space\",\"families\":[{\"family\":\"knn\",\"dims\":[\
+             {\"name\":\"k\",\"kind\":\"int\",\"scale\":\"linear\",\"lo\":1,\"hi\":8,\"choices\":[]},\
+             {\"name\":\"weights\",\"kind\":\"cat\",\"scale\":\"linear\",\"lo\":0,\"hi\":0,\
+             \"choices\":[\"uniform\",\"distance\"]}]}]}\n",
+        );
+        for r in fixture() {
+            let (k, w) = match (&r.params[0].1, &r.params[1].1) {
+                (ParamValue::Int(k), ParamValue::Cat(w)) => (*k, w.clone()),
+                _ => unreachable!(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"trial_started\",\"trial\":{},\"rung\":{},\"family\":\"knn\",\
+                 \"config\":\"KnnConfig\",\"params\":{{\"k\":{k},\"weights\":\"{w}\"}}}}",
+                r.trial, r.rung
+            );
+            if let Some(score) = r.score {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"trial_finished\",\"trial\":{},\"rung\":{},\"family\":\"knn\",\"score\":{score}}}",
+                    r.trial, r.rung
+                );
+            }
+            if let Some(reason) = &r.failed {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"trial_failed\",\"trial\":{},\"rung\":{},\"family\":\"knn\",\"reason\":\"{reason}\"}}",
+                    r.trial, r.rung
+                );
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ledger_reproduces_the_collector_report_byte_for_byte() {
+        let from_ledger = parse_search_ledger(&sample_ledger()).unwrap();
+        let from_collector = analyze(&knn_space(), &fixture(), 0);
+        assert_eq!(from_ledger.render_json(), from_collector.render_json());
+        assert_eq!(from_ledger.started, 6);
+        assert_eq!(from_ledger.finished, 5);
+        assert_eq!(from_ledger.failed, 1);
+    }
+
+    #[test]
+    fn rendered_artifact_round_trips_byte_for_byte() {
+        let report = analyze(&knn_space(), &fixture(), 0);
+        let json = report.render_json();
+        let back = parse_search_json(&json).unwrap();
+        assert_eq!(back.render_json(), json);
+        assert_eq!(back.started, report.started);
+        assert_eq!(back.families.len(), report.families.len());
+    }
+
+    #[test]
+    fn artifact_dispatch_tells_ledgers_and_rendered_reports_apart() {
+        let from_ledger = parse_search_artifact(&sample_ledger()).unwrap();
+        let json = from_ledger.render_json();
+        let from_json = parse_search_artifact(&json).unwrap();
+        assert_eq!(from_json.render_json(), json);
+    }
+
+    #[test]
+    fn inactive_and_future_artifacts_are_rejected() {
+        let err = parse_search_json("{\"active\":false}\n").unwrap_err();
+        assert!(err.contains("inactive"), "{err}");
+        let report = analyze(&knn_space(), &fixture(), 0);
+        let future = report
+            .render_json()
+            .replace("\"schema_version\":1", "\"schema_version\":999");
+        let err = parse_search_json(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn unknown_event_types_and_missing_params_are_tolerated() {
+        let mut text = sample_ledger();
+        text.push_str("{\"type\":\"mystery_event\",\"x\":1}\n");
+        // A pre-params trial_started line still counts as a fit.
+        text.push_str(
+            "{\"type\":\"trial_started\",\"trial\":9,\"rung\":0,\"family\":\"knn\",\"config\":\"c\"}\n",
+        );
+        let report = parse_search_ledger(&text).unwrap();
+        assert_eq!(report.started, 7);
+    }
+
+    #[test]
+    fn parser_rejects_foreign_and_future_documents() {
+        assert!(parse_search_ledger("").is_err());
+        assert!(parse_search_ledger("{\"type\":\"events\"}").is_err());
+        let bumped = sample_ledger().replace("\"schema_version\":1", "\"schema_version\":99");
+        let err = parse_search_ledger(&bumped).unwrap_err();
+        assert!(err.contains("schema_version 99"), "{err}");
+        let err = parse_search_ledger(
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}\n{oops",
+        )
+        .unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+    }
+
+    #[test]
+    fn param_values_re_type_from_their_rendering() {
+        let v = minijson::parse("{\"a\":3,\"b\":0.05,\"c\":\"gini\"}").unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(param_value(&obj[0].1), ParamValue::Int(3));
+        assert_eq!(param_value(&obj[1].1), ParamValue::Float(0.05));
+        assert_eq!(param_value(&obj[2].1), ParamValue::Cat("gini".into()));
+    }
+
+    #[test]
+    fn importance_svg_draws_sorted_bars() {
+        let report = analyze(&knn_space(), &fixture(), 0);
+        let svg = render_importance_svg(&report, 16);
+        assert!(svg.starts_with("<svg"), "{svg}");
+        // Two rects per dimension row: coverage (faded) + importance.
+        assert_eq!(svg.matches("<rect").count(), 4);
+        // k has higher importance than weights, so it renders first.
+        let k_at = svg.find("knn.k").unwrap();
+        let w_at = svg.find("knn.weights").unwrap();
+        assert!(k_at < w_at, "{svg}");
+        let empty = render_importance_svg(&analyze(&[], &[], 0), 16);
+        assert!(empty.contains("no search telemetry"), "{empty}");
+    }
+
+    #[test]
+    fn scatter_svg_plots_every_point() {
+        let report = analyze(&knn_space(), &fixture(), 0);
+        let dim = &report.families[0].dims[0];
+        let svg = render_dim_scatter_svg("knn", dim);
+        assert!(svg.starts_with("<svg"), "{svg}");
+        assert_eq!(svg.matches("<circle").count(), dim.points.len());
+        assert!(svg.contains("knn.k"), "{svg}");
+        let empty_dim = DimReport {
+            points: vec![],
+            ..dim.clone()
+        };
+        let empty = render_dim_scatter_svg("knn", &empty_dim);
+        assert!(empty.contains("no scored configurations"), "{empty}");
+    }
+
+    #[test]
+    fn compare_reports_deltas_per_family() {
+        let a = analyze(&knn_space(), &fixture(), 0);
+        let mut shifted = fixture();
+        for r in &mut shifted {
+            if let Some(s) = &mut r.score {
+                *s *= 0.5;
+            }
+        }
+        let b = analyze(&knn_space(), &shifted, 0);
+        let text = render_compare(&a, &b);
+        assert!(text.contains("fits started"), "{text}");
+        assert!(text.contains("knn best"), "{text}");
+        assert!(text.contains("-50.0%"), "{text}");
+        assert!(text.contains("knn top dim"), "{text}");
+    }
+}

@@ -10,7 +10,8 @@
 use aml_bench::amlreport;
 use aml_telemetry::sink::RunHeader;
 use aml_telemetry::{
-    EnsembleMember, LedgerEvent, LedgerJsonlSink, Sink, Snapshot, LEDGER_SCHEMA_VERSION,
+    EnsembleMember, LedgerEvent, LedgerJsonlSink, ParamValue, Sink, Snapshot, SpaceDim,
+    SpaceFamily, LEDGER_SCHEMA_VERSION,
 };
 
 #[test]
@@ -31,8 +32,51 @@ fn every_event_line_shape_is_pinned() {
                 rung: 1,
                 family: "forest".into(),
                 config: "ForestConfig { trees: 8 }".into(),
+                params: vec![
+                    ("trees".into(), ParamValue::Int(8)),
+                    ("lr".into(), ParamValue::Float(0.125)),
+                    ("criterion".into(), ParamValue::Cat("gini".into())),
+                ],
             },
-            r#"{"type":"trial_started","trial":4,"rung":1,"family":"forest","config":"ForestConfig { trees: 8 }"}"#,
+            r#"{"type":"trial_started","trial":4,"rung":1,"family":"forest","config":"ForestConfig { trees: 8 }","params":{"trees":8,"lr":0.125,"criterion":"gini"}}"#,
+        ),
+        (
+            // An empty params map still renders the object, so schema-v1
+            // consumers see a stable trailing field.
+            LedgerEvent::TrialStarted {
+                trial: 5,
+                rung: 0,
+                family: "nb".into(),
+                config: "NbConfig".into(),
+                params: vec![],
+            },
+            r#"{"type":"trial_started","trial":5,"rung":0,"family":"nb","config":"NbConfig","params":{}}"#,
+        ),
+        (
+            LedgerEvent::SearchSpace {
+                families: vec![SpaceFamily {
+                    family: "knn".into(),
+                    dims: vec![
+                        SpaceDim {
+                            name: "k".into(),
+                            kind: "int".into(),
+                            scale: "linear".into(),
+                            lo: 1.0,
+                            hi: 25.0,
+                            choices: vec![],
+                        },
+                        SpaceDim {
+                            name: "weights".into(),
+                            kind: "cat".into(),
+                            scale: "linear".into(),
+                            lo: 0.0,
+                            hi: 0.0,
+                            choices: vec!["uniform".into(), "distance".into()],
+                        },
+                    ],
+                }],
+            },
+            r#"{"type":"search_space","families":[{"family":"knn","dims":[{"name":"k","kind":"int","scale":"linear","lo":1,"hi":25,"choices":[]},{"name":"weights","kind":"cat","scale":"linear","lo":0,"hi":0,"choices":["uniform","distance"]}]}]}"#,
         ),
         (
             LedgerEvent::TrialFinished {
@@ -140,11 +184,25 @@ fn ledger_file_round_trips_through_amlreport_parser() {
         git: "abc1234".into(),
     };
     let sink = LedgerJsonlSink::create(&path, &header).unwrap();
+    sink.on_ledger_event(&LedgerEvent::SearchSpace {
+        families: vec![SpaceFamily {
+            family: "forest".into(),
+            dims: vec![SpaceDim {
+                name: "trees".into(),
+                kind: "int".into(),
+                scale: "linear".into(),
+                lo: 4.0,
+                hi: 16.0,
+                choices: vec![],
+            }],
+        }],
+    });
     sink.on_ledger_event(&LedgerEvent::TrialStarted {
         trial: 0,
         rung: 0,
         family: "forest".into(),
         config: "ForestConfig { trees: 8 }".into(),
+        params: vec![("trees".into(), ParamValue::Int(8))],
     });
     sink.on_ledger_event(&LedgerEvent::TrialFinished {
         trial: 0,
@@ -221,6 +279,15 @@ fn ledger_file_round_trips_through_amlreport_parser() {
     assert_eq!(parsed.bands[0].intervals, vec![(0.5, 0.75)]);
     assert_eq!(parsed.curves.len(), 1);
     assert_eq!(parsed.curves[0].2, "pdp");
+
+    // The same file feeds the search-observability parser: the declared
+    // space and the typed params come back out.
+    let search = aml_bench::searchview::parse_search_ledger(&text).unwrap();
+    assert_eq!(search.started, 1);
+    assert_eq!(search.finished, 1);
+    assert_eq!(search.families[0].family, "forest");
+    assert_eq!(search.families[0].dims[0].name, "trees");
+    assert_eq!(search.families[0].dims[0].visited, 1);
 
     std::fs::remove_dir_all(&dir).ok();
 }

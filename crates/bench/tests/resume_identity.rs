@@ -155,6 +155,10 @@ fn resumed_ledger_is_byte_identical_to_uninterrupted_run() {
     // ordering RunOpts::prepare uses.
     let ckpt = aml_core::checkpoint::prepare_resume(WORKLOAD, SEED, &ckpt_b, Some(&ledger_b))
         .expect("resume");
+    // The original run already wrote its once-per-run search_space line;
+    // mark the gate so the continuation doesn't append a second one
+    // (RunOpts::prepare does the same on --resume).
+    aml_telemetry::ledger::mark_search_space_emitted();
     assert_eq!(ckpt.rounds.len(), 2, "two rounds checkpointed");
     assert_eq!(
         fs::metadata(&ledger_b).unwrap().len(),

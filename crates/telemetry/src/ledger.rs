@@ -46,6 +46,57 @@ use std::sync::{Mutex, PoisonError};
 /// pinned by the `ledger_golden` test. Bump on breaking changes only.
 pub const LEDGER_SCHEMA_VERSION: u64 = 1;
 
+/// A typed hyperparameter value as sampled for one trial. Rendered into
+/// the `trial_started` line's trailing `params` object: `Int` as a bare
+/// integer, `Float` via the shortest round-trip form, `Cat` as a string
+/// tag matching one of the dimension's declared `choices`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Integer-valued dimension (tree depth, neighbour count, …).
+    Int(i64),
+    /// Real-valued dimension (regularization strength, smoothing, …).
+    Float(f64),
+    /// Categorical dimension (split criterion, weighting scheme, …).
+    Cat(String),
+}
+
+impl ParamValue {
+    pub(crate) fn to_json(&self) -> String {
+        match self {
+            ParamValue::Int(v) => format!("{v}"),
+            ParamValue::Float(v) => json_f64(*v),
+            ParamValue::Cat(tag) => json_str(tag),
+        }
+    }
+}
+
+/// One declared hyperparameter dimension of a model family, as described
+/// by the once-per-run `search_space` ledger event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceDim {
+    /// Dimension name; matches the key in each trial's `params` map.
+    pub name: String,
+    /// Value kind: `int`, `float`, or `cat`.
+    pub kind: String,
+    /// Sampling scale: `linear` or `log10` (uniform in log-space).
+    pub scale: String,
+    /// Inclusive lower bound of the declared range (0 for `cat`).
+    pub lo: f64,
+    /// Inclusive upper bound of the declared range (0 for `cat`).
+    pub hi: f64,
+    /// Declared category tags (empty for numeric dimensions).
+    pub choices: Vec<String>,
+}
+
+/// The declared search space of one model family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceFamily {
+    /// Model family name (matches `trial_*` lines).
+    pub family: String,
+    /// Declared dimensions in sampling order.
+    pub dims: Vec<SpaceDim>,
+}
+
 /// One member of a selected ensemble.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EnsembleMember {
@@ -73,6 +124,11 @@ pub enum LedgerEvent {
         family: String,
         /// Human-readable hyperparameter dump of the configuration.
         config: String,
+        /// Typed hyperparameter map in the family's declared dimension
+        /// order. Trailing field added without a schema bump (see the
+        /// module docs' versioning policy); joins with the run's
+        /// `search_space` event for range/scale context.
+        params: Vec<(String, ParamValue)>,
     },
     /// A candidate finished training and was scored on the rung's
     /// validation data.
@@ -148,6 +204,14 @@ pub enum LedgerEvent {
         /// Cross-model std of the ALE value per cell.
         std: Vec<f64>,
     },
+    /// The declared search space: every family's hyperparameter
+    /// dimensions with their ranges, scales, and categorical choices.
+    /// Emitted once per run, before the first trial (see
+    /// [`claim_search_space_emission`]).
+    SearchSpace {
+        /// One entry per model family, in registration order.
+        families: Vec<SpaceFamily>,
+    },
     /// Provenance of one computed interpretability curve.
     AleCurveComputed {
         /// Feature index the curve explains.
@@ -197,11 +261,22 @@ impl LedgerEvent {
                 rung,
                 family,
                 config,
-            } => format!(
-                "{{\"type\":\"trial_started\",\"trial\":{trial},\"rung\":{rung},\"family\":{},\"config\":{}}}",
-                json_str(family),
-                json_str(config),
-            ),
+                params,
+            } => {
+                let mut out = format!(
+                    "{{\"type\":\"trial_started\",\"trial\":{trial},\"rung\":{rung},\"family\":{},\"config\":{},\"params\":{{",
+                    json_str(family),
+                    json_str(config),
+                );
+                for (i, (name, value)) in params.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:{}", json_str(name), value.to_json());
+                }
+                out.push_str("}}");
+                out
+            }
             LedgerEvent::TrialFinished {
                 trial,
                 rung,
@@ -288,6 +363,40 @@ impl LedgerEvent {
                     json_f64_array(std),
                 )
             }
+            LedgerEvent::SearchSpace { families } => {
+                let mut out = String::from("{\"type\":\"search_space\",\"families\":[");
+                for (i, fam) in families.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{{\"family\":{},\"dims\":[", json_str(&fam.family));
+                    for (j, d) in fam.dims.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        let mut choices = String::from("[");
+                        for (k, c) in d.choices.iter().enumerate() {
+                            if k > 0 {
+                                choices.push(',');
+                            }
+                            choices.push_str(&json_str(c));
+                        }
+                        choices.push(']');
+                        let _ = write!(
+                            out,
+                            "{{\"name\":{},\"kind\":{},\"scale\":{},\"lo\":{},\"hi\":{},\"choices\":{choices}}}",
+                            json_str(&d.name),
+                            json_str(&d.kind),
+                            json_str(&d.scale),
+                            json_f64(d.lo),
+                            json_f64(d.hi),
+                        );
+                    }
+                    out.push_str("]}");
+                }
+                out.push_str("]}");
+                out
+            }
             LedgerEvent::AleCurveComputed {
                 feature,
                 model,
@@ -322,6 +431,7 @@ pub(crate) fn set_active(on: bool) {
 /// allocates.
 pub fn emit(event: &LedgerEvent) {
     if active() {
+        crate::searchview::observe(event);
         crate::sink::emit_ledger_event(event);
     }
 }
@@ -332,8 +442,39 @@ pub fn emit(event: &LedgerEvent) {
 #[inline]
 pub fn emit_with(f: impl FnOnce() -> LedgerEvent) {
     if active() {
-        crate::sink::emit_ledger_event(&f());
+        let event = f();
+        crate::searchview::observe(&event);
+        crate::sink::emit_ledger_event(&event);
     }
+}
+
+/// Whether this run's `search_space` event has already been emitted.
+/// The search loop runs once per strategy/round within a workload, but
+/// the declared space never changes — one descriptor line per run keeps
+/// the ledger lean and the 1-vs-N-worker sorted-line identity intact.
+static SEARCH_SPACE_EMITTED: AtomicBool = AtomicBool::new(false);
+
+/// Claim the right to emit this run's single `search_space` event.
+/// Returns `true` exactly once per run (until [`reset_search_space_gate`]).
+/// Callers must only claim while [`active`] — claiming with no sink
+/// listening would silently swallow the event for the armed run.
+pub fn claim_search_space_emission() -> bool {
+    SEARCH_SPACE_EMITTED
+        .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Mark the `search_space` event as already emitted without claiming it —
+/// the `--resume` path: the checkpointed run's ledger already carries the
+/// line, and appending a second copy would break resume byte-identity.
+pub fn mark_search_space_emitted() {
+    SEARCH_SPACE_EMITTED.store(true, Ordering::Relaxed);
+}
+
+/// Re-arm the once-per-run `search_space` gate; called when sinks finish
+/// so the next run in the same process gets its own descriptor line.
+pub fn reset_search_space_gate() {
+    SEARCH_SPACE_EMITTED.store(false, Ordering::Relaxed);
 }
 
 /// Process-wide feedback-round sequence counter (see [`next_round`]).
@@ -455,6 +596,70 @@ mod tests {
         }
         .to_json_line();
         assert!(line.contains("\"score\":null"), "{line}");
+    }
+
+    #[test]
+    fn trial_started_params_render_as_trailing_typed_map() {
+        let line = LedgerEvent::TrialStarted {
+            trial: 7,
+            rung: 0,
+            family: "knn".into(),
+            config: "KnnConfig { k: 5 }".into(),
+            params: vec![
+                ("k".into(), ParamValue::Int(5)),
+                ("weights".into(), ParamValue::Cat("distance".into())),
+                ("smoothing".into(), ParamValue::Float(1e-7)),
+            ],
+        }
+        .to_json_line();
+        assert_eq!(
+            line,
+            "{\"type\":\"trial_started\",\"trial\":7,\"rung\":0,\"family\":\"knn\",\"config\":\"KnnConfig { k: 5 }\",\"params\":{\"k\":5,\"weights\":\"distance\",\"smoothing\":0.0000001}}"
+        );
+    }
+
+    #[test]
+    fn search_space_line_describes_every_dimension() {
+        let line = LedgerEvent::SearchSpace {
+            families: vec![SpaceFamily {
+                family: "knn".into(),
+                dims: vec![
+                    SpaceDim {
+                        name: "k".into(),
+                        kind: "int".into(),
+                        scale: "linear".into(),
+                        lo: 1.0,
+                        hi: 25.0,
+                        choices: vec![],
+                    },
+                    SpaceDim {
+                        name: "weights".into(),
+                        kind: "cat".into(),
+                        scale: "linear".into(),
+                        lo: 0.0,
+                        hi: 0.0,
+                        choices: vec!["uniform".into(), "distance".into()],
+                    },
+                ],
+            }],
+        }
+        .to_json_line();
+        assert_eq!(
+            line,
+            "{\"type\":\"search_space\",\"families\":[{\"family\":\"knn\",\"dims\":[{\"name\":\"k\",\"kind\":\"int\",\"scale\":\"linear\",\"lo\":1,\"hi\":25,\"choices\":[]},{\"name\":\"weights\",\"kind\":\"cat\",\"scale\":\"linear\",\"lo\":0,\"hi\":0,\"choices\":[\"uniform\",\"distance\"]}]}]}"
+        );
+    }
+
+    #[test]
+    fn search_space_gate_claims_once_until_reset() {
+        let _guard = crate::test_lock::hold();
+        reset_search_space_gate();
+        assert!(claim_search_space_emission());
+        assert!(!claim_search_space_emission(), "second claim must fail");
+        reset_search_space_gate();
+        assert!(claim_search_space_emission(), "reset re-arms the gate");
+        mark_search_space_emitted();
+        reset_search_space_gate();
     }
 
     #[test]

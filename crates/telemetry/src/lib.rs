@@ -82,6 +82,7 @@ pub mod progress;
 pub mod registry;
 pub mod resource;
 pub mod sandbox;
+pub mod searchview;
 pub mod serve;
 pub mod sink;
 pub mod span;
@@ -91,10 +92,14 @@ pub mod tracetree;
 pub use alloc::AllocStats;
 pub use crit::{CritReport, CRIT_SCHEMA_VERSION};
 pub use history::{HistoryRecord, HISTORY_SCHEMA_VERSION};
-pub use ledger::{EnsembleMember, LedgerEvent, LedgerJsonlSink, LEDGER_SCHEMA_VERSION};
+pub use ledger::{
+    EnsembleMember, LedgerEvent, LedgerJsonlSink, ParamValue, SpaceDim, SpaceFamily,
+    LEDGER_SCHEMA_VERSION,
+};
 pub use manifest::{json_string_literal, Manifest};
 pub use progress::{note, report, warn, Progress};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};
+pub use searchview::{SearchReport, SEARCH_SCHEMA_VERSION};
 pub use sink::{JsonlSink, RunHeader, Sink, SpanEvent};
 pub use span::{current_depth, span, span_labeled, Span};
 pub use trace::ChromeTraceSink;

@@ -372,6 +372,10 @@ pub fn start(addr: &str, header: &RunHeader) -> std::io::Result<SocketAddr> {
         .name("aml-telemetry-serve".into())
         .spawn(move || serve_loop(listener, stop_seen, state))?;
     reset_status();
+    // The live plane answers /search from the search collector; arm it
+    // here (without clearing — `--search-out` may have armed and reset
+    // it already during flag preparation).
+    crate::searchview::set_active(true);
     crate::sink::install(Box::new(RingSink));
     *server_slot().lock().unwrap_or_else(PoisonError::into_inner) = Some(Server {
         addr: bound,
@@ -463,7 +467,14 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
 fn count_request(path: &str) {
     if matches!(
         path,
-        "/metrics" | "/healthz" | "/runs" | "/events" | "/history" | "/dashboard" | "/crit"
+        "/metrics"
+            | "/healthz"
+            | "/runs"
+            | "/events"
+            | "/history"
+            | "/dashboard"
+            | "/crit"
+            | "/search"
     ) {
         crate::counter_add_labeled("serve.requests", path, 1);
     }
@@ -504,6 +515,11 @@ fn route(
         ),
         "/history" => ("200 OK", "application/json", history_json(query)),
         "/crit" => ("200 OK", "application/json", crate::crit::live_json()),
+        "/search" => (
+            "200 OK",
+            "application/json",
+            crate::searchview::live_json(),
+        ),
         "/dashboard" => (
             "200 OK",
             "text/html; charset=utf-8",
@@ -512,7 +528,7 @@ fn route(
         _ => (
             "404 Not Found",
             "text/plain",
-            "not found (try /metrics, /healthz, /runs, /events, /history, /crit, /dashboard)\n"
+            "not found (try /metrics, /healthz, /runs, /events, /history, /crit, /search, /dashboard)\n"
                 .into(),
         ),
     }
@@ -882,6 +898,14 @@ mod tests {
         assert!(crit.contains("application/json"), "{crit}");
         assert!(crit.contains("{\"active\":false}"), "{crit}");
 
+        // start() armed the search collector, so /search answers live —
+        // the emitted ledger event above flowed into it.
+        let search = http_get(addr, "/search");
+        assert!(search.contains("application/json"), "{search}");
+        assert!(search.contains("\"active\":true"), "{search}");
+        assert!(search.contains("\"schema_version\":1"), "{search}");
+        assert!(search.contains("\"families\":["), "{search}");
+
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
@@ -900,6 +924,10 @@ mod tests {
             metrics.contains("serve_requests{key=\"/crit\"} 1"),
             "{metrics}"
         );
+        assert!(
+            metrics.contains("serve_requests{key=\"/search\"} 1"),
+            "{metrics}"
+        );
         assert!(!metrics.contains("\"/nope\""), "{metrics}");
 
         stop();
@@ -907,7 +935,10 @@ mod tests {
         assert!(bound_addr().is_none());
         assert!(TcpStream::connect(addr).is_err() || http_get_err(addr));
 
-        // Drain the RingSink installed by start().
+        // Drain the RingSink installed by start() and disarm the search
+        // collector it armed.
+        crate::searchview::set_active(false);
+        crate::searchview::reset();
         crate::sink::finish(&Snapshot::default());
         set_level(TelemetryLevel::Off);
         crate::global().reset();

@@ -270,6 +270,9 @@ pub fn flush_installed() -> std::io::Result<()> {
 pub fn finish(snapshot: &Snapshot) -> Vec<(String, std::io::Result<()>)> {
     ACTIVE.store(false, Ordering::Release);
     crate::ledger::set_active(false);
+    // Re-arm the once-per-run search-space descriptor so the next run in
+    // this process (tests, perfgate repeats) gets its own line.
+    crate::ledger::reset_search_space_gate();
     let drained: Vec<Box<dyn Sink>> =
         std::mem::take(&mut *sinks().lock().unwrap_or_else(PoisonError::into_inner));
     drained
