@@ -37,7 +37,7 @@
 
 use crate::minijson::{self, Value};
 use crate::report::BenchReport;
-use aml_telemetry::{CritReport, SearchReport, LEDGER_SCHEMA_VERSION};
+use aml_telemetry::{CritReport, QualityReport, SearchReport, LEDGER_SCHEMA_VERSION};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -1026,6 +1026,67 @@ fn section_search_space(out: &mut String, searches: &[SearchReport]) {
     }
 }
 
+/// Model/data-quality plane: per-round accuracy/calibration table plus
+/// the confusion heat grid, reliability diagram and drift bars from
+/// [`crate::qualityview`]. One quality report per ledger input,
+/// recomputed from its `dataset_profile` / `model_diagnostics` lines.
+fn section_quality(out: &mut String, qualities: &[QualityReport]) {
+    out.push_str("<h2>Model quality</h2>");
+    let active: Vec<&QualityReport> = qualities.iter().filter(|q| !q.rounds.is_empty()).collect();
+    if active.is_empty() {
+        out.push_str(
+            "<p class=\"note\">No quality telemetry in the given ledgers \
+             (older runs predate the dataset_profile event).</p>",
+        );
+        return;
+    }
+    for q in active {
+        out.push_str(
+            "<table><tr><th>round</th><th>strategy</th><th>rows</th><th>acc</th>\
+             <th>bal acc</th><th>macro F1</th><th>brier</th><th>ECE</th>\
+             <th>ALE band</th><th>PSI mean</th></tr>",
+        );
+        for r in &q.rounds {
+            let _ = write!(
+                out,
+                "<tr><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+                 <td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td></tr>",
+                r.round,
+                esc(&r.strategy),
+                r.rows,
+                sig(r.accuracy),
+                sig(r.balanced_accuracy),
+                sig(r.macro_f1),
+                sig(r.brier),
+                sig(r.ece),
+                sig(r.ale_band_width),
+                r.psi_mean.map(sig).unwrap_or_else(|| "—".into()),
+            );
+        }
+        out.push_str("</table>");
+        // The standalone SVG helpers carry an xmlns for browser viewing;
+        // inline it is redundant and would break the no-`http` contract.
+        if let Some(diag) = &q.final_diag {
+            let svg = crate::qualityview::render_confusion_svg(diag)
+                .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+            out.push_str(&svg);
+            let svg = crate::qualityview::render_reliability_svg(&diag.reliability)
+                .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+            out.push_str(&svg);
+        }
+        let svg = crate::qualityview::render_drift_svg(&q.drift)
+            .replace(" xmlns=\"http://www.w3.org/2000/svg\"", "");
+        out.push_str(&svg);
+        if q.dropped > 0 {
+            let _ = write!(
+                out,
+                "<p class=\"note\">{} quality event(s) dropped at the collector cap.</p>",
+                q.dropped
+            );
+        }
+    }
+}
+
 /// Render the full report. Pure: input structs in, one HTML string out.
 /// The page references no external assets (the self-containment tests
 /// assert there is no `http` substring anywhere in the output).
@@ -1034,6 +1095,7 @@ pub fn render_html(
     benches: &[BenchReport],
     crits: &[CritReport],
     searches: &[SearchReport],
+    qualities: &[QualityReport],
     title: &str,
 ) -> String {
     let mut out = String::with_capacity(64 * 1024);
@@ -1061,6 +1123,7 @@ pub fn render_html(
     section_perf(&mut out, benches);
     section_crit(&mut out, crits);
     section_search_space(&mut out, searches);
+    section_quality(&mut out, qualities);
     out.push_str("</body></html>");
     out
 }
@@ -1322,9 +1385,17 @@ fn section_compare_bands(out: &mut String, a: &LedgerData, b: &LedgerData) {
 }
 
 /// Render a cross-run diff of two ledgers (the bin's `--compare` mode).
-/// Same self-containment contract as [`render_html`]: no scripts, no
+/// `qa`/`qb` are the runs' recomputed quality reports; when both carry
+/// rounds, the header surfaces the final-accuracy and ECE deltas. Same
+/// self-containment contract as [`render_html`]: no scripts, no
 /// external assets, one HTML string out.
-pub fn render_compare_html(a: &LedgerData, b: &LedgerData, title: &str) -> String {
+pub fn render_compare_html(
+    a: &LedgerData,
+    b: &LedgerData,
+    qa: Option<&QualityReport>,
+    qb: Option<&QualityReport>,
+    title: &str,
+) -> String {
     let mut out = String::with_capacity(32 * 1024);
     let _ = write!(
         out,
@@ -1340,6 +1411,22 @@ pub fn render_compare_html(a: &LedgerData, b: &LedgerData, title: &str) -> Strin
         esc(&b.run_id),
         LEDGER_SCHEMA_VERSION
     );
+    if let (Some(ra), Some(rb)) = (
+        qa.and_then(|q| q.rounds.last()),
+        qb.and_then(|q| q.rounds.last()),
+    ) {
+        let _ = write!(
+            out,
+            "<p class=\"note\">Final accuracy: A {} &#8594; B {} ({}). \
+             ECE: A {} &#8594; B {} ({}).</p>",
+            sig(ra.accuracy),
+            sig(rb.accuracy),
+            delta(ra.accuracy, rb.accuracy),
+            sig(ra.ece),
+            sig(rb.ece),
+            delta(ra.ece, rb.ece),
+        );
+    }
     section_compare_summary(&mut out, a, b);
     section_compare_rounds(&mut out, a, b);
     section_compare_ensembles(&mut out, a, b);
@@ -1370,6 +1457,10 @@ mod tests {
             r#"{"type":"round_completed","round":2,"strategy":"Random","acc_mean":0.75,"acc_min":0.7,"acc_max":0.8,"points_added":40,"regions":0,"ale_std_mean":0,"ale_std_max":0}"#,
             r#"{"type":"region_suggested","feature":0,"name":"pkt_size","threshold":0.05,"intervals":[[0.2,0.4],[0.7,0.9]],"grid":[0,0.25,0.5,0.75,1],"mean":[0.1,0.3,0.2,0.4,0.1],"std":[0.01,0.08,0.02,0.09,0.01]}"#,
             r#"{"type":"ale_curve","feature":0,"model":"forest","method":"ale","grid_points":5,"rows":200}"#,
+            r#"{"type":"dataset_profile","round":0,"split":"train","rows":4,"class_counts":[2,2],"features":[{"name":"pkt_size","count":4,"mean":0.4,"std":0.2,"min":0.1,"max":0.9,"log10":false,"lo":0,"hi":1,"bins":[2,1,0,1]}]}"#,
+            r#"{"type":"model_diagnostics","round":0,"strategy":"Within-ALE","rows":2,"classes":["a","b"],"confusion":[[1,0],[1,0]],"brier":0.4,"bin_count":[0,0,0,0,0,0,0,2,0,0],"bin_conf_sum":[0,0,0,0,0,0,0,1.5,0,0],"bin_hit":[0,0,0,0,0,0,0,1,0,0],"ale_band_width":0.3}"#,
+            r#"{"type":"dataset_profile","round":1,"split":"train","rows":6,"class_counts":[3,3],"features":[{"name":"pkt_size","count":6,"mean":0.5,"std":0.3,"min":0.1,"max":0.95,"log10":false,"lo":0,"hi":1,"bins":[2,1,0,3]}]}"#,
+            r#"{"type":"model_diagnostics","round":1,"strategy":"Within-ALE","rows":2,"classes":["a","b"],"confusion":[[1,0],[0,1]],"brier":0.1,"bin_count":[0,0,0,0,0,0,0,0,2,0],"bin_conf_sum":[0,0,0,0,0,0,0,0,1.7,0],"bin_hit":[0,0,0,0,0,0,0,0,2,0],"ale_band_width":0.1}"#,
             r#"{"type":"some_future_event","payload":42}"#,
         ]
         .join("\n")
@@ -1500,18 +1591,20 @@ mod tests {
     fn report_is_self_contained_and_has_all_sections() {
         let l = parse_ledger(&sample_ledger_text()).unwrap();
         let s = crate::searchview::parse_search_ledger(&sample_ledger_text()).unwrap();
+        let q = crate::qualityview::parse_quality_ledger(&sample_ledger_text()).unwrap();
         let html = render_html(
             &[l],
             &[sample_bench()],
             &[sample_crit()],
             &[s],
+            &[q],
             "test report",
         );
         // Single file, no external references of any kind.
         assert!(!html.contains("http"), "external reference in report");
         assert!(!html.contains("<script"), "no scripts allowed");
         assert!(html.len() < 2 * 1024 * 1024, "report too large");
-        // All eight sections render.
+        // All nine sections render.
         for heading in [
             "Runs",
             "Search",
@@ -1521,6 +1614,7 @@ mod tests {
             "Perf",
             "Critical path",
             "Search space",
+            "Model quality",
         ] {
             assert!(html.contains(heading), "missing section {heading}");
         }
@@ -1546,15 +1640,21 @@ mod tests {
         assert!(html.contains("forest.trees"));
         assert!(html.contains("importance"));
         assert!(html.contains("rung 0:"));
+        // The quality section carries the calibration table and panels.
+        assert!(html.contains("ECE"));
+        assert!(html.contains("reliability (confidence vs accuracy)"));
+        assert!(html.contains("confusion (row = true class)"));
+        assert!(html.contains("drift vs previous_round"));
     }
 
     #[test]
     fn empty_inputs_still_render_a_valid_page() {
-        let html = render_html(&[], &[], &[], &[], "empty");
+        let html = render_html(&[], &[], &[], &[], &[], "empty");
         assert!(html.contains("No ledgers given"));
         assert!(html.contains("No BENCH records given"));
         assert!(html.contains("No crit.json reports given"));
         assert!(html.contains("No search telemetry"));
+        assert!(html.contains("No quality telemetry"));
         assert!(html.contains("</html>"));
         assert!(!html.contains("http"));
     }
@@ -1591,7 +1691,12 @@ mod tests {
     fn compare_report_is_self_contained_and_shows_the_drift() {
         let a = parse_ledger(&sample_ledger_text()).unwrap();
         let b = parse_ledger(&shifted_ledger_text()).unwrap();
-        let html = render_compare_html(&a, &b, "A vs B");
+        let qa = crate::qualityview::parse_quality_ledger(&sample_ledger_text()).unwrap();
+        let qb = crate::qualityview::parse_quality_ledger(&shifted_ledger_text()).unwrap();
+        let html = render_compare_html(&a, &b, Some(&qa), Some(&qb), "A vs B");
+        // The header surfaces the quality deltas up front.
+        assert!(html.contains("Final accuracy: A"), "missing quality header");
+        assert!(html.contains("ECE: A"), "missing ECE header");
         // Same self-containment contract as the single-run report.
         assert!(!html.contains("http"), "external reference in compare");
         assert!(!html.contains("<script"), "no scripts allowed");
@@ -1626,7 +1731,11 @@ mod tests {
         let header =
             "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}";
         let l = parse_ledger(header).unwrap();
-        let html = render_compare_html(&l, &l, "empty vs empty");
+        let html = render_compare_html(&l, &l, None, None, "empty vs empty");
+        assert!(
+            !html.contains("Final accuracy: A"),
+            "no quality header without reports"
+        );
         assert!(html.contains("Neither run recorded feedback rounds"));
         assert!(html.contains("Neither run recorded an ensemble selection"));
         assert!(html.contains("Neither run suggested regions"));

@@ -1,0 +1,126 @@
+//! `amlquality` — inspect model/data-quality telemetry.
+//!
+//! Recomputes the quality report (dataset profiles, PSI drift, confusion
+//! matrix, reliability/ECE calibration) from any `ledger.jsonl` — or
+//! reads back a rendered `quality.json` artifact — and prints the
+//! human-readable table, the pinned JSON (`--json`, byte-identical to
+//! `--quality-out`'s `quality.json` for runs without `--quality-ref`),
+//! or — with `--compare A B` — the accuracy/calibration/drift delta
+//! someone checks when changing a strategy or the data mix.
+//!
+//! Exit codes: 0 ok, 1 input failed to parse, 2 usage error.
+
+use aml_bench::qualityview::{parse_quality_artifact, render_compare};
+use aml_telemetry::QualityReport;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+amlquality — print model/data-quality reports from ledger artifacts
+
+usage:
+  amlquality INPUT...
+  amlquality --compare A.jsonl B.jsonl
+  amlquality --json INPUT
+
+  INPUT                   ledger.jsonl files written by a bench binary's
+                          --ledger-out flag, or quality.json artifacts
+                          written by --quality-out (told apart by shape)
+  --compare               diff two artifacts: final accuracy, balanced
+                          accuracy, macro F1, Brier, ECE, and per-feature
+                          PSI drift
+  --json                  emit the pinned quality.json instead of the
+                          table (byte-identical to --quality-out when the
+                          run used no --quality-ref baseline)
+
+exit codes: 0 ok, 1 an input failed to parse, 2 usage error";
+
+struct Opts {
+    compare: bool,
+    json: bool,
+    inputs: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        compare: false,
+        json: false,
+        inputs: Vec::new(),
+    };
+    for arg in args {
+        match arg.as_str() {
+            "--compare" => opts.compare = true,
+            "--json" => opts.json = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            path => opts.inputs.push(PathBuf::from(path)),
+        }
+    }
+    if opts.compare && opts.inputs.len() != 2 {
+        return Err(format!(
+            "--compare expects exactly two inputs, got {}",
+            opts.inputs.len()
+        ));
+    }
+    if opts.inputs.is_empty() {
+        return Err("expected at least one ledger.jsonl input".into());
+    }
+    Ok(opts)
+}
+
+fn load(path: &Path) -> Result<QualityReport, String> {
+    std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))
+        .and_then(|text| {
+            parse_quality_artifact(&text).map_err(|e| format!("{}: {e}", path.display()))
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return;
+    }
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if opts.compare {
+        match (load(&opts.inputs[0]), load(&opts.inputs[1])) {
+            (Ok(a), Ok(b)) => print!("{}", render_compare(&a, &b)),
+            (a, b) => {
+                for result in [a, b] {
+                    if let Err(msg) = result {
+                        eprintln!("error: {msg}");
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut failed = false;
+    for path in &opts.inputs {
+        match load(path) {
+            Ok(report) => {
+                if opts.inputs.len() > 1 {
+                    println!("== {} ==", path.display());
+                }
+                if opts.json {
+                    print!("{}", report.render_json());
+                } else {
+                    print!("{}", report.render_table());
+                }
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -15,9 +15,10 @@
 
 use aml_bench::amlreport::{parse_ledger, render_compare_html, render_html, LedgerData};
 use aml_bench::critview::parse_crit;
+use aml_bench::qualityview::parse_quality_ledger;
 use aml_bench::report::BenchReport;
 use aml_bench::searchview::parse_search_ledger;
-use aml_telemetry::{CritReport, SearchReport};
+use aml_telemetry::{CritReport, QualityReport, SearchReport};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
@@ -134,7 +135,16 @@ fn run_compare(opts: &Opts) -> i32 {
             return 1;
         }
     };
-    let html = render_compare_html(&a, &b, &title);
+    // Quality reports feed the header's final-acc/ECE deltas; ledgers
+    // without quality events simply omit that header line.
+    let quality = |path: &Path| {
+        std::fs::read_to_string(path)
+            .ok()
+            .and_then(|text| parse_quality_ledger(&text).ok())
+            .filter(|q| !q.rounds.is_empty())
+    };
+    let (qa, qb) = (quality(&opts.inputs[0]), quality(&opts.inputs[1]));
+    let html = render_compare_html(&a, &b, qa.as_ref(), qb.as_ref(), &title);
     if let Err(e) = std::fs::write(&opts.out, &html) {
         eprintln!("error: cannot write {}: {e}", opts.out.display());
         return 1;
@@ -170,6 +180,7 @@ fn main() {
     let mut benches: Vec<BenchReport> = Vec::new();
     let mut crits: Vec<CritReport> = Vec::new();
     let mut searches: Vec<SearchReport> = Vec::new();
+    let mut qualities: Vec<QualityReport> = Vec::new();
     let mut failed = false;
     for path in &opts.inputs {
         let result: Result<(), String> = if is_bench_record(path) {
@@ -177,16 +188,19 @@ fn main() {
         } else if is_crit_record(path) {
             load_crit(path).map(|c| crits.push(c))
         } else {
-            // Each ledger feeds two sections: the event-level parse and
-            // the recomputed search-observability report.
+            // Each ledger feeds three sections: the event-level parse
+            // plus the recomputed search and quality reports.
             std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))
                 .and_then(|text| {
                     let l = parse_ledger(&text).map_err(|e| format!("{}: {e}", path.display()))?;
                     let s = parse_search_ledger(&text)
                         .map_err(|e| format!("{}: {e}", path.display()))?;
+                    let q = parse_quality_ledger(&text)
+                        .map_err(|e| format!("{}: {e}", path.display()))?;
                     ledgers.push(l);
                     searches.push(s);
+                    qualities.push(q);
                     Ok(())
                 })
         };
@@ -199,7 +213,14 @@ fn main() {
         std::process::exit(1);
     }
 
-    let html = render_html(&ledgers, &benches, &crits, &searches, &opts.title);
+    let html = render_html(
+        &ledgers,
+        &benches,
+        &crits,
+        &searches,
+        &qualities,
+        &opts.title,
+    );
     if let Err(e) = std::fs::write(&opts.out, &html) {
         eprintln!("error: cannot write {}: {e}", opts.out.display());
         std::process::exit(1);

@@ -25,9 +25,11 @@
 use aml_bench::amlreport::{parse_ledger, LedgerData};
 use aml_bench::critview::parse_crit;
 use aml_bench::gate::{
-    compare, gate_against_history, history_baseline, parse_history, GateConfig, GateOutcome,
+    compare, gate_against_history, gate_quality_against_history, history_baseline, parse_history,
+    GateConfig, GateOutcome,
 };
 use aml_bench::minijson::Value;
+use aml_bench::qualityview::parse_quality_artifact;
 use aml_bench::report::{median_report, BenchReport};
 use aml_telemetry::history::DEFAULT_HISTORY_PATH;
 use aml_telemetry::{CritReport, HistoryRecord};
@@ -80,6 +82,19 @@ compare / against-history options:
                           contribution land in the --json verdict under
                           \"crit\", table mode appends the crit table.
                           An unreadable file warns and is skipped
+  --gate-quality          (against-history only) additionally gate model
+                          quality — final balanced accuracy (a *drop*
+                          regresses) and ECE — against the history
+                          medians; metrics absent on either side pass
+                          vacuously
+  --quality PATH          quality artifact supplying the new run's
+                          final-accuracy/ECE measurements for
+                          --gate-quality: a ledger.jsonl (run mode writes
+                          one to <out>/<workload>/ledger.jsonl) or a
+                          --quality-out quality.json
+  --acc-scale F           multiply the new run's final accuracy by F
+                          before gating (test hook: --acc-scale 0.5 must
+                          trip --gate-quality)
 
 exit codes: 0 pass, 1 regression or run failure, 2 usage error";
 
@@ -214,6 +229,9 @@ struct AgainstOpts {
     cfg: GateConfig,
     json: bool,
     crit: Option<PathBuf>,
+    gate_quality: bool,
+    quality: Option<PathBuf>,
+    acc_scale: f64,
 }
 
 fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
@@ -224,6 +242,9 @@ fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
         cfg: GateConfig::default(),
         json: false,
         crit: None,
+        gate_quality: false,
+        quality: None,
+        acc_scale: 1.0,
     };
     let mut i = 0;
     while i < args.len() {
@@ -237,6 +258,11 @@ fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
             "--history" => opts.history = PathBuf::from(str_value(args, &mut i, "--history")?),
             "--json" => opts.json = true,
             "--crit" => opts.crit = Some(PathBuf::from(str_value(args, &mut i, "--crit")?)),
+            "--gate-quality" => opts.gate_quality = true,
+            "--quality" => {
+                opts.quality = Some(PathBuf::from(str_value(args, &mut i, "--quality")?))
+            }
+            "--acc-scale" => opts.acc_scale = float_value(args, &mut i, "--acc-scale")?,
             "--tolerance" => opts.cfg.tolerance_pct = float_value(args, &mut i, "--tolerance")?,
             "--abs-floor-ms" => {
                 opts.cfg.abs_floor_s = float_value(args, &mut i, "--abs-floor-ms")? / 1e3;
@@ -250,10 +276,47 @@ fn parse_against(args: &[String]) -> Result<AgainstOpts, String> {
     if opts.cfg.tolerance_pct < 0.0 || opts.cfg.abs_floor_s < 0.0 || opts.cfg.scale_new <= 0.0 {
         return Err("--tolerance/--abs-floor-ms must be >= 0 and --scale > 0".into());
     }
+    if opts.acc_scale <= 0.0 {
+        return Err("--acc-scale must be > 0".into());
+    }
+    if opts.quality.is_some() && !opts.gate_quality {
+        return Err("--quality requires --gate-quality".into());
+    }
     if opts.reports.is_empty() {
         return Err("--against-history expects at least one BENCH report path".into());
     }
     Ok(opts)
+}
+
+/// The new run's quality measurements for `--gate-quality`, from a
+/// `--quality` artifact (ledger.jsonl or quality.json). Problems warn
+/// and return nothing — the quality gate then passes vacuously rather
+/// than failing on a missing artifact. Balanced accuracy is the
+/// measurement because the history's `final_acc` is the experiment
+/// loop's balanced-accuracy mean — the gate must compare like to like.
+fn quality_measurements(path: &Path) -> (Option<f64>, Option<f64>) {
+    let attempt = std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| parse_quality_artifact(&text));
+    match attempt {
+        Ok(report) => match report.rounds.last() {
+            Some(last) => (
+                Some(last.balanced_accuracy).filter(|a| a.is_finite()),
+                Some(last.ece).filter(|e| e.is_finite()),
+            ),
+            None => {
+                eprintln!(
+                    "perfgate: warning: --quality {}: no quality rounds recorded",
+                    path.display()
+                );
+                (None, None)
+            }
+        },
+        Err(e) => {
+            eprintln!("perfgate: warning: --quality {}: {e}", path.display());
+            (None, None)
+        }
+    }
 }
 
 fn run_against(opts: AgainstOpts) -> i32 {
@@ -264,6 +327,12 @@ fn run_against(opts: AgainstOpts) -> i32 {
     // One --crit artifact attaches to every verdict printed (CI gates one
     // report at a time, where this is unambiguous).
     let crit = opts.crit.as_deref().and_then(load_crit);
+    // The new run's quality measurements, when --gate-quality was given
+    // with a --quality artifact; absent measurements pass vacuously.
+    let (quality_acc, quality_ece) = match (opts.gate_quality, &opts.quality) {
+        (true, Some(path)) => quality_measurements(path),
+        _ => (None, None),
+    };
     let mut failed = false;
     for path in &opts.reports {
         let report = match BenchReport::load(path) {
@@ -282,14 +351,20 @@ fn run_against(opts: AgainstOpts) -> i32 {
             top_span_total_s: report.top_span_total_s,
             peak_rss_bytes: 0,
             alloc_peak_bytes: report.alloc.as_ref().map_or(0, |a| a.peak_bytes),
-            final_acc: None,
+            final_acc: quality_acc.map(|a| a * opts.acc_scale),
             trials_finished: 0,
             trials_failed: 0,
             rounds: 0,
+            ece: quality_ece,
         };
         match history_baseline(&records, &report.workload, opts.n) {
             Some(baseline) => {
-                let outcome = gate_against_history(&baseline, &new, &opts.cfg);
+                let mut outcome = gate_against_history(&baseline, &new, &opts.cfg);
+                if opts.gate_quality {
+                    outcome
+                        .diffs
+                        .extend(gate_quality_against_history(&baseline, &new, &opts.cfg).diffs);
+                }
                 if opts.json {
                     println!(
                         "{}",
@@ -665,6 +740,13 @@ fn history_from_gate_run(
         .and_then(|l| l.rounds.last())
         .map(|r| r.acc_mean)
         .filter(|a| a.is_finite());
+    // The same ledger carries the quality events; recompute ECE from it
+    // so gate runs feed the quality gate's history medians too.
+    let ece = std::fs::read_to_string(ledger_path)
+        .ok()
+        .and_then(|text| parse_quality_artifact(&text).ok())
+        .and_then(|q| q.rounds.last().map(|r| r.ece))
+        .filter(|e| e.is_finite());
     HistoryRecord {
         workload: workload.to_string(),
         seed: median.seed,
@@ -678,6 +760,7 @@ fn history_from_gate_run(
         trials_finished: ledger.as_ref().map_or(0, |l| l.finished.len() as u64),
         trials_failed: ledger.as_ref().map_or(0, |l| l.failed.len() as u64),
         rounds: ledger.as_ref().map_or(0, |l| l.rounds.len() as u64),
+        ece,
     }
 }
 

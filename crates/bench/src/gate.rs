@@ -331,6 +331,9 @@ pub fn parse_history(text: &str) -> Vec<HistoryRecord> {
                 trials_finished: v.get("trials_finished")?.as_u64()?,
                 trials_failed: v.get("trials_failed")?.as_u64()?,
                 rounds: v.get("rounds")?.as_u64()?,
+                // Trailing field, absent from records written before the
+                // quality plane existed: those parse as None.
+                ece: v.get("ece").and_then(Value::as_f64),
             })
         })
         .collect()
@@ -350,6 +353,12 @@ pub struct HistoryBaseline {
     pub peak_rss_bytes: f64,
     /// Median peak live heap, bytes.
     pub alloc_peak_bytes: f64,
+    /// Median final-round accuracy over window records that carry one;
+    /// `None` when no record in the window does.
+    pub final_acc: Option<f64>,
+    /// Median Expected Calibration Error over window records that carry
+    /// one; `None` when no record in the window does.
+    pub ece: Option<f64>,
 }
 
 /// Distill the last `n` records for `workload` into per-metric medians
@@ -371,12 +380,25 @@ pub fn history_baseline(
         xs.sort_by(f64::total_cmp);
         percentile(&xs, 0.5)
     };
+    // Quality medians span only the window records that measured them
+    // (runs without feedback rounds, or written before the quality
+    // plane, contribute nothing rather than dragging the median to 0).
+    let opt_median = |field: &dyn Fn(&HistoryRecord) -> Option<f64>| {
+        let mut xs: Vec<f64> = tail.iter().filter_map(|r| field(r)).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(f64::total_cmp);
+        Some(percentile(&xs, 0.5))
+    };
     Some(HistoryBaseline {
         n_used: tail.len(),
         wall_time_s: median(&|r| r.wall_time_s),
         top_span_total_s: median(&|r| r.top_span_total_s),
         peak_rss_bytes: median(&|r| r.peak_rss_bytes as f64),
         alloc_peak_bytes: median(&|r| r.alloc_peak_bytes as f64),
+        final_acc: opt_median(&|r| r.final_acc),
+        ece: opt_median(&|r| r.ece),
     })
 }
 
@@ -424,6 +446,55 @@ pub fn gate_against_history(
             cfg,
             mem_floor,
         ));
+    }
+    GateOutcome {
+        diffs,
+        unmatched: Vec::new(),
+    }
+}
+
+/// Accuracy and calibration move on a 0–1 scale; a swing below half a
+/// point of accuracy (or ECE) is noise, not signal.
+pub const QUALITY_ABS_FLOOR: f64 = 0.005;
+
+/// Gate a fresh run's **model quality** against the rolling-median
+/// baseline (`perfgate --gate-quality`): `final_acc` regresses when the
+/// new run scores *lower* than the history median (direction inverted
+/// vs the timing gate — bigger is better), `ece` when it scores
+/// *higher* (calibration error — smaller is better). Both use
+/// [`GateConfig::tolerance_pct`] plus the [`QUALITY_ABS_FLOOR`];
+/// `scale_new` does not apply (it injects a *timing* slowdown). Metrics
+/// the history or the new run never measured are skipped, so the gate
+/// passes vacuously on an empty or quality-free history.
+pub fn gate_quality_against_history(
+    baseline: &HistoryBaseline,
+    new: &HistoryRecord,
+    cfg: &GateConfig,
+) -> GateOutcome {
+    let mut diffs = Vec::new();
+    if let (Some(old), Some(new_acc)) = (baseline.final_acc, new.final_acc) {
+        // Inverted: regression = the new accuracy DROPPING past both
+        // the relative tolerance and the absolute floor.
+        let (delta_pct, regressed) = if old <= 0.0 {
+            (None, false)
+        } else {
+            let pct = (new_acc - old) / old * 100.0;
+            (
+                Some(pct),
+                -pct > cfg.tolerance_pct && (old - new_acc) > QUALITY_ABS_FLOOR,
+            )
+        };
+        diffs.push(MetricDiff {
+            metric: "final_acc".to_string(),
+            old,
+            new: new_acc,
+            delta_pct,
+            regressed,
+        });
+    }
+    if let (Some(old), Some(new_ece)) = (baseline.ece, new.ece) {
+        // Same direction as timing: more calibration error is worse.
+        diffs.push(diff_metric("ece", old, new_ece, cfg, QUALITY_ABS_FLOOR));
     }
     GateOutcome {
         diffs,
@@ -623,6 +694,7 @@ mod tests {
             trials_finished: 10,
             trials_failed: 0,
             rounds: 3,
+            ece: Some(0.05),
         }
     }
 
@@ -736,6 +808,86 @@ mod tests {
         assert_eq!(v.get("history_n").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("pass").unwrap(), &Value::Bool(true));
         assert_eq!(v.get("regressions").unwrap().as_u64(), Some(0));
+    }
+
+    #[test]
+    fn quality_gate_inverts_direction_for_accuracy() {
+        let records = vec![
+            history_record("w", 1, 10.0, 0),
+            history_record("w", 2, 10.0, 0),
+            history_record("w", 3, 10.0, 0),
+        ];
+        let baseline = history_baseline(&records, "w", 3).unwrap();
+        assert_eq!(baseline.final_acc, Some(0.9));
+        assert_eq!(baseline.ece, Some(0.05));
+        let cfg = GateConfig::default();
+
+        // Same quality as the median: passes.
+        let same = history_record("w", 4, 10.0, 0);
+        assert!(gate_quality_against_history(&baseline, &same, &cfg).passed());
+
+        // Accuracy IMPROVING by a lot must not trip the inverted gate.
+        let mut better = history_record("w", 5, 10.0, 0);
+        better.final_acc = Some(0.99);
+        assert!(gate_quality_against_history(&baseline, &better, &cfg).passed());
+
+        // Accuracy dropping 20% regresses; the delta renders negative.
+        let mut worse = history_record("w", 6, 10.0, 0);
+        worse.final_acc = Some(0.72);
+        let outcome = gate_quality_against_history(&baseline, &worse, &cfg);
+        assert!(!outcome.passed());
+        let acc = &outcome.diffs[0];
+        assert_eq!(acc.metric, "final_acc");
+        assert!(acc.regressed);
+        assert!(acc.delta_pct.unwrap() < -19.0, "{:?}", acc.delta_pct);
+
+        // ECE doubling regresses in the normal direction...
+        let mut blurry = history_record("w", 7, 10.0, 0);
+        blurry.ece = Some(0.12);
+        let outcome = gate_quality_against_history(&baseline, &blurry, &cfg);
+        assert!(!outcome.passed());
+        assert_eq!(outcome.diffs[1].metric, "ece");
+        assert!(outcome.diffs[1].regressed);
+        // ...but a sub-floor absolute wobble never does, even when the
+        // relative change is large.
+        let mut wobble = history_record("w", 8, 10.0, 0);
+        wobble.ece = Some(0.0545);
+        assert!(gate_quality_against_history(&baseline, &wobble, &cfg).passed());
+    }
+
+    #[test]
+    fn quality_gate_passes_vacuously_without_measurements() {
+        // History written before the quality plane: no final_acc, no ece.
+        let mut old = history_record("w", 1, 10.0, 0);
+        old.final_acc = None;
+        old.ece = None;
+        let baseline = history_baseline(&[old], "w", 1).unwrap();
+        assert_eq!(baseline.final_acc, None);
+        assert_eq!(baseline.ece, None);
+        let outcome = gate_quality_against_history(
+            &baseline,
+            &history_record("w", 2, 10.0, 0),
+            &GateConfig::default(),
+        );
+        assert!(outcome.passed());
+        assert!(outcome.diffs.is_empty(), "{:?}", outcome.diffs);
+    }
+
+    #[test]
+    fn quality_medians_skip_records_without_measurements() {
+        let mut a = history_record("w", 1, 10.0, 0);
+        a.final_acc = Some(0.8);
+        a.ece = None;
+        let mut b = history_record("w", 2, 10.0, 0);
+        b.final_acc = Some(0.9);
+        b.ece = Some(0.03);
+        let mut c = history_record("w", 3, 10.0, 0);
+        c.final_acc = None;
+        c.ece = Some(0.07);
+        let baseline = history_baseline(&[a, b, c], "w", 3).unwrap();
+        // Median of [0.8, 0.9] (nearest-rank) and [0.03, 0.07].
+        assert_eq!(baseline.final_acc, Some(0.8));
+        assert_eq!(baseline.ece, Some(0.03));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod amlreport;
 pub mod critview;
 pub mod gate;
 pub mod minijson;
+pub mod qualityview;
 pub mod report;
 pub mod searchview;
 
@@ -112,6 +113,17 @@ pub struct RunOpts {
     /// served live at `/search` with `--serve`, and read by the
     /// `amlsearch` bin (which recomputes the same report from a ledger).
     pub search_out: Option<PathBuf>,
+    /// Collect the model/data-quality plane (dataset profiles, PSI drift,
+    /// confusion/calibration diagnostics) during the run and write
+    /// `quality.json` here at the end; also printed as a table on stderr,
+    /// served live at `/quality` with `--serve`, and read by the
+    /// `amlquality` bin (which recomputes the same report from a ledger).
+    pub quality_out: Option<PathBuf>,
+    /// Drift baseline for the quality plane (`--quality-ref`): a previous
+    /// run's `quality.json` whose latest train profile anchors the PSI
+    /// drift scores. Without it each round drifts against the previous
+    /// round.
+    pub quality_ref: Option<PathBuf>,
     /// Deterministic fault plan (`--fault-plan`), installed process-wide
     /// by [`RunOpts::prepare`]. `None` keeps every fault hook inert.
     pub fault_plan: Option<aml_faults::FaultPlan>,
@@ -173,6 +185,14 @@ options:
                           fANOVA-lite hyperparameter importance) and write
                           search.json; printed as a table on stderr, served
                           live at /search, and read by the `amlsearch` bin
+  --quality-out PATH      collect the model/data-quality plane (per-feature
+                          dataset profiles, PSI drift, confusion matrix,
+                          reliability/ECE calibration) and write quality.json;
+                          printed as a table on stderr, served live at
+                          /quality, and read by the `amlquality` bin
+  --quality-ref PATH      drift baseline: a previous run's quality.json whose
+                          latest train profile anchors the PSI scores (the
+                          default drifts each round against the previous one)
   --fault-plan SPEC       inject deterministic faults, e.g.
                           trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1
   --max-trial-time MS     wall-clock budget per AutoML trial; over-budget
@@ -206,6 +226,8 @@ impl RunOpts {
             profile_out: None,
             crit_out: None,
             search_out: None,
+            quality_out: None,
+            quality_ref: None,
             fault_plan: None,
             max_trial_time: None,
             min_trials: 1,
@@ -258,7 +280,8 @@ impl RunOpts {
             || self.serve.is_some()
             || self.profile_out.is_some()
             || self.crit_out.is_some()
-            || self.search_out.is_some();
+            || self.search_out.is_some()
+            || self.quality_out.is_some();
         if wants_export && self.telemetry == TelemetryLevel::Off {
             self.telemetry = TelemetryLevel::Summary;
         }
@@ -356,6 +379,25 @@ impl RunOpts {
             // gate without writing anywhere, so --search-out works alone.
             aml_telemetry::sink::install(Box::new(aml_telemetry::searchview::GateSink));
         }
+        if let Some(path) = &self.quality_out {
+            ensure_parent(path, "--quality-out")?;
+            aml_telemetry::quality::reset();
+            if let Some(ref_path) = &self.quality_ref {
+                let text = std::fs::read_to_string(ref_path).map_err(|e| {
+                    format!("cannot read --quality-ref {}: {e}", ref_path.display())
+                })?;
+                let reference = qualityview::load_reference(&text)
+                    .map_err(|e| format!("--quality-ref {}: {e}", ref_path.display()))?;
+                aml_telemetry::quality::set_reference(reference);
+            }
+            aml_telemetry::quality::set_active(true);
+            // Same off-is-free arrangement as --search-out: the collector
+            // observes events inside ledger::emit, and GateSink raises the
+            // ledger gate without writing anywhere.
+            aml_telemetry::sink::install(Box::new(aml_telemetry::quality::GateSink));
+        } else if self.quality_ref.is_some() {
+            return Err("--quality-ref requires --quality-out".into());
+        }
         if let Some(addr) = &self.serve {
             let header = aml_telemetry::RunHeader::new(&self.workload, self.seed);
             let bound = aml_telemetry::serve::start(addr, &header)
@@ -450,6 +492,14 @@ impl RunOpts {
                 "--search-out" => {
                     let v = value_of(args, &mut i, "--search-out")?;
                     opts.search_out = Some(PathBuf::from(v));
+                }
+                "--quality-out" => {
+                    let v = value_of(args, &mut i, "--quality-out")?;
+                    opts.quality_out = Some(PathBuf::from(v));
+                }
+                "--quality-ref" => {
+                    let v = value_of(args, &mut i, "--quality-ref")?;
+                    opts.quality_ref = Some(PathBuf::from(v));
                 }
                 "--fault-plan" => {
                     let v = value_of(args, &mut i, "--fault-plan")?;
@@ -641,6 +691,21 @@ impl RunOpts {
                 )),
             }
         }
+        if let Some(path) = &self.quality_out {
+            // Deactivate first so the report reduces a frozen event store;
+            // render_table mirrors what amlquality prints from the ledger.
+            aml_telemetry::quality::set_active(false);
+            match aml_telemetry::quality::write_json(path) {
+                Ok(report) => {
+                    aml_telemetry::note(&format!("wrote {}", path.display()));
+                    eprint!("{}", report.render_table());
+                }
+                Err(e) => aml_telemetry::warn(&format!(
+                    "could not write --quality-out {}: {e}",
+                    path.display()
+                )),
+            }
+        }
         aml_telemetry::serve::stop();
     }
 
@@ -676,6 +741,7 @@ impl RunOpts {
             trials_finished: summary.as_ref().map_or(0, |s| s.trials_finished),
             trials_failed: summary.as_ref().map_or(0, |s| s.trials_failed),
             rounds: summary.as_ref().map_or(0, |s| s.rounds),
+            ece: summary.as_ref().and_then(|s| s.ece),
         }
     }
 }
@@ -960,6 +1026,43 @@ mod tests {
         assert!(parse(&["--search-out"])
             .unwrap_err()
             .contains("--search-out"));
+    }
+
+    #[test]
+    fn quality_flags_parse() {
+        let opts = parse(&[
+            "--quality-out",
+            "/tmp/x/quality.json",
+            "--quality-ref",
+            "/tmp/x/baseline.json",
+        ])
+        .unwrap()
+        .unwrap();
+        assert_eq!(opts.quality_out, Some(PathBuf::from("/tmp/x/quality.json")));
+        assert_eq!(
+            opts.quality_ref,
+            Some(PathBuf::from("/tmp/x/baseline.json"))
+        );
+        // Parsing alone never touches the level; prepare() bumps it.
+        assert_eq!(opts.telemetry, TelemetryLevel::Off);
+        assert!(parse(&["--quality-out"])
+            .unwrap_err()
+            .contains("--quality-out"));
+        assert!(parse(&["--quality-ref", "--quick"])
+            .unwrap_err()
+            .contains("--quality-ref"));
+    }
+
+    #[test]
+    fn quality_ref_without_quality_out_is_a_usage_error() {
+        let mut opts = parse(&["--quality-ref", "/tmp/x/baseline.json"])
+            .unwrap()
+            .unwrap();
+        opts.out_dir = std::env::temp_dir().join("aml_quality_ref_alone_test");
+        let err = opts.prepare().unwrap_err();
+        assert!(err.contains("--quality-ref requires"), "{err}");
+        aml_telemetry::set_level(TelemetryLevel::Off);
+        std::fs::remove_dir_all(&opts.out_dir).ok();
     }
 
     #[test]

@@ -1,0 +1,765 @@
+//! Read-side of the quality plane: recompute the model/data-quality
+//! report from a `ledger.jsonl`, read back a rendered `quality.json`,
+//! load a drift baseline for `--quality-ref`, render the SVG panels for
+//! `amlreport`, and diff two reports for `amlquality --compare`.
+//!
+//! The heavy lifting lives in `aml_telemetry::quality::report_from_events`
+//! — this module only reconstructs its inputs (the `dataset_profile` and
+//! `model_diagnostics` ledger lines) and reuses the identical pure
+//! reduction, so `amlquality ledger.jsonl` reproduces `--quality-out`'s
+//! `quality.json` byte for byte (when the run used no `--quality-ref`;
+//! a baseline changes the drift section by design).
+
+use crate::minijson::{self, Value};
+use aml_telemetry::quality::{
+    report_from_events, DriftReport, FinalDiagnostics, QualityReport, Reliability, RoundQuality,
+    SplitProfile,
+};
+use aml_telemetry::{
+    FeatureProfile, LedgerEvent, QualityReference, LEDGER_SCHEMA_VERSION, QUALITY_SCHEMA_VERSION,
+};
+use std::fmt::Write;
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field '{key}'"))
+}
+
+/// Numeric field; a JSON `null` (the ledger encoding of a non-finite
+/// float) reads back as NaN.
+fn f64_field(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(f64::NAN),
+        Some(n) => n
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+/// Optional field: JSON `null` reads back as `None`.
+fn opt_f64_field(v: &Value, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(None),
+        Some(n) => n
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+        None => Err(format!("missing field '{key}'")),
+    }
+}
+
+fn bool_field(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(format!("missing or non-boolean field '{key}'")),
+    }
+}
+
+fn u64_array_field(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing '{key}' array"))?
+        .iter()
+        .map(|c| {
+            c.as_u64()
+                .ok_or_else(|| format!("non-integer entry in '{key}'"))
+        })
+        .collect()
+}
+
+fn f64_array_field(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing '{key}' array"))?
+        .iter()
+        .map(|c| match c {
+            Value::Null => Ok(f64::NAN),
+            n => n
+                .as_f64()
+                .ok_or_else(|| format!("non-numeric entry in '{key}'")),
+        })
+        .collect()
+}
+
+fn parse_feature_profile(v: &Value) -> Result<FeatureProfile, String> {
+    Ok(FeatureProfile {
+        name: str_field(v, "name")?,
+        count: u64_field(v, "count")?,
+        mean: f64_field(v, "mean")?,
+        std: f64_field(v, "std")?,
+        min: f64_field(v, "min")?,
+        max: f64_field(v, "max")?,
+        log10: bool_field(v, "log10")?,
+        lo: f64_field(v, "lo")?,
+        hi: f64_field(v, "hi")?,
+        bins: u64_array_field(v, "bins")?,
+    })
+}
+
+fn parse_features(v: &Value, key: &str) -> Result<Vec<FeatureProfile>, String> {
+    v.get(key)
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("missing '{key}' array"))?
+        .iter()
+        .map(parse_feature_profile)
+        .collect()
+}
+
+fn parse_confusion(v: &Value) -> Result<Vec<Vec<u64>>, String> {
+    v.get("confusion")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'confusion' array")?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or("confusion row is not an array")?
+                .iter()
+                .map(|c| {
+                    c.as_u64()
+                        .ok_or_else(|| "non-integer confusion count".to_string())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Parse the text of one `ledger.jsonl` and recompute its quality
+/// report (no drift baseline — the recompute matches a run without
+/// `--quality-ref`). The first line must be a `{"type":"ledger", ...}`
+/// header with a supported schema version; unknown event types are
+/// skipped (additive schema changes don't bump the version).
+pub fn parse_quality_ledger(text: &str) -> Result<QualityReport, String> {
+    let mut lines = text.lines().enumerate();
+    let (_, header_line) = lines.next().ok_or("empty ledger file")?;
+    let header = minijson::parse(header_line).map_err(|e| format!("line 1: {e}"))?;
+    if str_field(&header, "type")? != "ledger" {
+        return Err("line 1: not a ledger header".into());
+    }
+    let version = u64_field(&header, "schema_version")?;
+    if version != LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "unsupported ledger schema_version {version} (expected {LEDGER_SCHEMA_VERSION})"
+        ));
+    }
+    let mut events: Vec<LedgerEvent> = Vec::new();
+    for (idx, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = minijson::parse(line).map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let event = str_field(&v, "type").map_err(|e| format!("line {}: {e}", idx + 1))?;
+        let parsed: Result<(), String> = (|| {
+            match event.as_str() {
+                "dataset_profile" => events.push(LedgerEvent::DatasetProfile {
+                    round: u64_field(&v, "round")?,
+                    split: str_field(&v, "split")?,
+                    rows: u64_field(&v, "rows")?,
+                    class_counts: u64_array_field(&v, "class_counts")?,
+                    features: parse_features(&v, "features")?,
+                }),
+                "model_diagnostics" => events.push(LedgerEvent::ModelDiagnostics {
+                    round: u64_field(&v, "round")?,
+                    strategy: str_field(&v, "strategy")?,
+                    rows: u64_field(&v, "rows")?,
+                    classes: v
+                        .get("classes")
+                        .and_then(Value::as_arr)
+                        .ok_or("missing 'classes' array")?
+                        .iter()
+                        .map(|c| {
+                            c.as_str()
+                                .map(str::to_string)
+                                .ok_or_else(|| "non-string class name".to_string())
+                        })
+                        .collect::<Result<Vec<_>, String>>()?,
+                    confusion: parse_confusion(&v)?,
+                    brier: f64_field(&v, "brier")?,
+                    bin_count: u64_array_field(&v, "bin_count")?,
+                    bin_conf_sum: f64_array_field(&v, "bin_conf_sum")?,
+                    bin_hit: u64_array_field(&v, "bin_hit")?,
+                    ale_band_width: f64_field(&v, "ale_band_width")?,
+                }),
+                _ => {}
+            }
+            Ok(())
+        })();
+        parsed.map_err(|e| format!("line {}: {e}", idx + 1))?;
+    }
+    Ok(report_from_events(events.iter(), None, 0))
+}
+
+/// Parse a rendered `quality.json` artifact back into a
+/// [`QualityReport`]. Strict, like `searchview`: refuses inactive
+/// documents (a `/quality` probe of a disarmed collector) and
+/// foreign/newer schema versions loudly instead of guessing.
+/// Round-trips byte-for-byte:
+/// `parse_quality_json(r.render_json()).render_json() == r.render_json()`.
+pub fn parse_quality_json(text: &str) -> Result<QualityReport, String> {
+    let v = minijson::parse(text.trim_end())?;
+    match v.get("active") {
+        Some(Value::Bool(true)) => {}
+        Some(Value::Bool(false)) => {
+            return Err("inactive document: the collector was disarmed (run with --quality-out, or point amlquality at a ledger.jsonl)".into())
+        }
+        _ => return Err("not a quality.json document (missing 'active')".into()),
+    }
+    let version = u64_field(&v, "schema_version")?;
+    if version > u64::from(QUALITY_SCHEMA_VERSION) {
+        return Err(format!(
+            "schema_version {version} is newer than this amlquality ({QUALITY_SCHEMA_VERSION})"
+        ));
+    }
+    let rounds = v
+        .get("rounds")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'rounds' array")?
+        .iter()
+        .map(|r| {
+            Ok(RoundQuality {
+                round: u64_field(r, "round")?,
+                strategy: str_field(r, "strategy")?,
+                rows: u64_field(r, "rows")?,
+                accuracy: f64_field(r, "accuracy")?,
+                balanced_accuracy: f64_field(r, "balanced_accuracy")?,
+                macro_f1: f64_field(r, "macro_f1")?,
+                brier: f64_field(r, "brier")?,
+                ece: f64_field(r, "ece")?,
+                ale_band_width: f64_field(r, "ale_band_width")?,
+                psi_mean: opt_f64_field(r, "psi_mean")?,
+                psi_max: opt_f64_field(r, "psi_max")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let final_diag = match v.get("final") {
+        None => return Err("missing 'final' field".into()),
+        Some(Value::Null) => None,
+        Some(d) => Some(FinalDiagnostics {
+            round: u64_field(d, "round")?,
+            classes: d
+                .get("classes")
+                .and_then(Value::as_arr)
+                .ok_or("missing 'classes' array")?
+                .iter()
+                .map(|c| {
+                    c.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "non-string class name".to_string())
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            confusion: parse_confusion(d)?,
+            per_class: d
+                .get("per_class")
+                .and_then(Value::as_arr)
+                .ok_or("missing 'per_class' array")?
+                .iter()
+                .map(|c| {
+                    Ok(aml_telemetry::quality::ClassQuality {
+                        class: str_field(c, "class")?,
+                        support: u64_field(c, "support")?,
+                        precision: f64_field(c, "precision")?,
+                        recall: f64_field(c, "recall")?,
+                        f1: f64_field(c, "f1")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            reliability: {
+                let rel = d.get("reliability").ok_or("missing 'reliability' object")?;
+                Reliability {
+                    count: u64_array_field(rel, "count")?,
+                    confidence: f64_array_field(rel, "confidence")?,
+                    accuracy: f64_array_field(rel, "accuracy")?,
+                }
+            },
+        }),
+    };
+    let drift_v = v.get("drift").ok_or("missing 'drift' object")?;
+    let drift = DriftReport {
+        reference: str_field(drift_v, "reference")?,
+        features: drift_v
+            .get("features")
+            .and_then(Value::as_arr)
+            .ok_or("drift missing 'features' array")?
+            .iter()
+            .map(|f| {
+                Ok(aml_telemetry::quality::FeatureDrift {
+                    name: str_field(f, "name")?,
+                    psi: opt_f64_field(f, "psi")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+    };
+    let profiles = v
+        .get("profiles")
+        .and_then(Value::as_arr)
+        .ok_or("missing 'profiles' array")?
+        .iter()
+        .map(|p| {
+            Ok(SplitProfile {
+                round: u64_field(p, "round")?,
+                split: str_field(p, "split")?,
+                rows: u64_field(p, "rows")?,
+                class_counts: u64_array_field(p, "class_counts")?,
+                features: parse_features(p, "features")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(QualityReport {
+        schema_version: version as u32,
+        rounds,
+        final_diag,
+        drift,
+        profiles,
+        dropped: u64_field(&v, "dropped")?,
+    })
+}
+
+/// Parse either artifact the quality pipeline produces: a
+/// `ledger.jsonl` (the report is recomputed) or a rendered
+/// `quality.json` (the report is read back verbatim), told apart by the
+/// first line's JSON shape.
+pub fn parse_quality_artifact(text: &str) -> Result<QualityReport, String> {
+    let first = text.lines().next().unwrap_or("");
+    let looks_rendered = minijson::parse(first)
+        .ok()
+        .is_some_and(|v| v.get("active").is_some());
+    if looks_rendered {
+        parse_quality_json(text)
+    } else {
+        parse_quality_ledger(text)
+    }
+}
+
+/// Load a drift baseline for `--quality-ref`: the latest train-split
+/// feature profiles embedded in a previous run's `quality.json`. Errors
+/// when the document has no train profile to anchor drift against.
+pub fn load_reference(text: &str) -> Result<QualityReference, String> {
+    let report = parse_quality_json(text)?;
+    let train = report
+        .profiles
+        .iter()
+        .filter(|p| p.split == "train")
+        .max_by_key(|p| p.round)
+        .ok_or("quality.json has no train profile to use as a drift baseline")?;
+    Ok(QualityReference {
+        label: "baseline".to_string(),
+        features: train.features.clone(),
+    })
+}
+
+/// Text diff of two reports for `amlquality --compare`: the figures
+/// someone checks when changing a strategy, a sampler, or the data mix.
+pub fn render_compare(a: &QualityReport, b: &QualityReport) -> String {
+    let mut out = String::from("quality compare (A -> B):\n");
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>10} -> {:>10}",
+        "rounds",
+        a.rounds.len(),
+        b.rounds.len()
+    );
+    let line = |out: &mut String, label: &str, x: f64, y: f64| {
+        let delta = if x.abs() < f64::EPSILON {
+            0.0
+        } else {
+            (y - x) * 100.0 / x
+        };
+        let _ = writeln!(out, "  {label:<24} {x:>10.4} -> {y:>10.4} ({delta:+.1}%)");
+    };
+    if let (Some(ra), Some(rb)) = (a.rounds.last(), b.rounds.last()) {
+        line(&mut out, "final accuracy", ra.accuracy, rb.accuracy);
+        line(
+            &mut out,
+            "final balanced acc",
+            ra.balanced_accuracy,
+            rb.balanced_accuracy,
+        );
+        line(&mut out, "final macro F1", ra.macro_f1, rb.macro_f1);
+        line(&mut out, "final brier", ra.brier, rb.brier);
+        line(&mut out, "final ece", ra.ece, rb.ece);
+        line(
+            &mut out,
+            "final ale band width",
+            ra.ale_band_width,
+            rb.ale_band_width,
+        );
+        if let (Some(pa), Some(pb)) = (ra.psi_mean, rb.psi_mean) {
+            line(&mut out, "final psi mean", pa, pb);
+        }
+    }
+    // Per-feature drift, matched by name.
+    for fa in &a.drift.features {
+        let Some(fb) = b.drift.features.iter().find(|f| f.name == fa.name) else {
+            continue;
+        };
+        if let (Some(pa), Some(pb)) = (fa.psi, fb.psi) {
+            line(&mut out, &format!("psi {}", fa.name), pa, pb);
+        }
+    }
+    out
+}
+
+/// The final round's reliability diagram as a self-contained inline
+/// SVG: the diagonal is perfect calibration, one dot per non-empty
+/// confidence bin (x = mean confidence, y = empirical accuracy), dot
+/// area hinting at the bin's population. Same self-containment contract
+/// as the rest of `amlreport` (no scripts, no external assets).
+pub fn render_reliability_svg(rel: &Reliability) -> String {
+    const W: f64 = 260.0;
+    const H: f64 = 260.0;
+    const PAD: f64 = 24.0;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {H}\" width=\"{W}\" height=\"{H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <rect x=\"0\" y=\"0\" width=\"{W}\" height=\"{H}\" fill=\"#fbfbfb\" stroke=\"#d5dbe0\"/>\
+         <line x1=\"{PAD}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{PAD}\" \
+         stroke=\"#b9c2cc\" stroke-dasharray=\"4 3\"/>\
+         <text x=\"{PAD}\" y=\"16\" font-size=\"11\" font-family=\"monospace\">reliability (confidence vs accuracy)</text>",
+        H - PAD,
+        W - PAD,
+    );
+    let total: u64 = rel.count.iter().sum();
+    if total == 0 {
+        let _ = write!(
+            out,
+            "<text x=\"{PAD}\" y=\"{:.1}\" font-size=\"11\">no predictions recorded</text>",
+            H / 2.0
+        );
+        out.push_str("</svg>");
+        return out;
+    }
+    for (i, &n) in rel.count.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let conf = rel.confidence.get(i).copied().unwrap_or(f64::NAN);
+        let acc = rel.accuracy.get(i).copied().unwrap_or(f64::NAN);
+        if !conf.is_finite() || !acc.is_finite() {
+            continue;
+        }
+        let x = PAD + conf * (W - 2.0 * PAD);
+        let y = H - PAD - acc * (H - 2.0 * PAD);
+        let r = 2.0 + 4.0 * (n as f64 / total as f64).sqrt();
+        let _ = write!(
+            out,
+            "<circle cx=\"{x:.1}\" cy=\"{y:.1}\" r=\"{r:.1}\" fill=\"#2f6fb4\" opacity=\"0.75\"/>"
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// The final confusion matrix as an inline-SVG heat grid: rows are true
+/// classes, columns predictions, cell shade the row-normalized share.
+pub fn render_confusion_svg(diag: &FinalDiagnostics) -> String {
+    const CELL: f64 = 46.0;
+    const LEFT: f64 = 70.0;
+    const TOP: f64 = 40.0;
+    let k = diag.classes.len().max(1);
+    let w = LEFT + k as f64 * CELL + 10.0;
+    let h = TOP + k as f64 * CELL + 10.0;
+    let mut out = String::with_capacity(2048);
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {w:.0} {h:.0}\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <text x=\"8\" y=\"16\" font-size=\"11\" font-family=\"monospace\">confusion (row = true class)</text>"
+    );
+    for (j, name) in diag.classes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\" text-anchor=\"middle\">{}</text>",
+            LEFT + (j as f64 + 0.5) * CELL,
+            TOP - 6.0,
+            crate::amlreport::esc(name),
+        );
+    }
+    for (i, row) in diag.confusion.iter().enumerate() {
+        let support: u64 = row.iter().sum();
+        let _ = write!(
+            out,
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\" text-anchor=\"end\">{}</text>",
+            LEFT - 6.0,
+            TOP + (i as f64 + 0.6) * CELL,
+            crate::amlreport::esc(diag.classes.get(i).map_or("?", String::as_str)),
+        );
+        for (j, &n) in row.iter().enumerate() {
+            let share = if support > 0 {
+                n as f64 / support as f64
+            } else {
+                0.0
+            };
+            let x = LEFT + j as f64 * CELL;
+            let y = TOP + i as f64 * CELL;
+            // Diagonal (correct) cells shade blue, off-diagonal red.
+            let fill = if i == j { "#2f6fb4" } else { "#c0392b" };
+            let _ = write!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{CELL}\" height=\"{CELL}\" \
+                 fill=\"{fill}\" opacity=\"{:.3}\" stroke=\"#d5dbe0\"/>\
+                 <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\" \
+                 text-anchor=\"middle\">{n}</text>",
+                0.08 + 0.85 * share,
+                x + CELL / 2.0,
+                y + CELL * 0.6,
+            );
+        }
+    }
+    out.push_str("</svg>");
+    out
+}
+
+/// Per-feature drift as horizontal PSI bars. The conventional 0.2
+/// "significant shift" threshold is drawn as a reference line when any
+/// bar comes close.
+pub fn render_drift_svg(drift: &DriftReport) -> String {
+    const W: f64 = 420.0;
+    const BAR: f64 = 16.0;
+    const GAP: f64 = 5.0;
+    const LEFT: f64 = 10.0;
+    const TOP: f64 = 22.0;
+    let scored: Vec<(&str, f64)> = drift
+        .features
+        .iter()
+        .filter_map(|f| f.psi.map(|p| (f.name.as_str(), p)))
+        .collect();
+    let n = scored.len().max(1);
+    let h = TOP + n as f64 * (BAR + GAP) + GAP;
+    let mut out = String::with_capacity(1024);
+    let _ = write!(
+        out,
+        "<svg viewBox=\"0 0 {W} {h:.0}\" width=\"{W}\" height=\"{h:.0}\" \
+         xmlns=\"http://www.w3.org/2000/svg\" role=\"img\">\
+         <text x=\"{LEFT}\" y=\"14\" font-size=\"11\" font-family=\"monospace\">drift vs {} (PSI)</text>",
+        crate::amlreport::esc(&drift.reference),
+    );
+    if scored.is_empty() {
+        let _ = write!(
+            out,
+            "<text x=\"{LEFT}\" y=\"{:.1}\" font-size=\"11\">no drift reference</text>",
+            TOP + BAR
+        );
+        out.push_str("</svg>");
+        return out;
+    }
+    let max_psi = scored.iter().map(|(_, p)| *p).fold(0.2f64, f64::max);
+    let scale = (W - 2.0 * LEFT) / max_psi;
+    for (i, (name, psi)) in scored.iter().enumerate() {
+        let y = TOP + i as f64 * (BAR + GAP);
+        let bw = (psi * scale).max(1.0);
+        let fill = if *psi >= 0.2 { "#c0392b" } else { "#5a8f5a" };
+        let _ = write!(
+            out,
+            "<rect x=\"{LEFT}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{BAR}\" fill=\"{fill}\" opacity=\"0.8\"/>\
+             <text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" font-family=\"monospace\">{} {psi:.4}</text>",
+            LEFT + 4.0,
+            y + BAR * 0.75,
+            crate::amlreport::esc(name),
+        );
+    }
+    let threshold_x = LEFT + 0.2 * scale;
+    let _ = write!(
+        out,
+        "<line x1=\"{threshold_x:.1}\" y1=\"{TOP}\" x2=\"{threshold_x:.1}\" y2=\"{h:.1}\" \
+         stroke=\"#c0392b\" stroke-dasharray=\"3 3\" opacity=\"0.6\"/>"
+    );
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aml_telemetry::quality::profile_feature;
+
+    fn sample_events() -> Vec<LedgerEvent> {
+        vec![
+            LedgerEvent::DatasetProfile {
+                round: 0,
+                split: "train".into(),
+                rows: 4,
+                class_counts: vec![2, 2],
+                features: vec![profile_feature("loss", 0.0, 1.0, 4, &[0.1, 0.2, 0.3, 0.9])],
+            },
+            LedgerEvent::DatasetProfile {
+                round: 0,
+                split: "eval".into(),
+                rows: 2,
+                class_counts: vec![1, 1],
+                features: vec![profile_feature("loss", 0.0, 1.0, 4, &[0.15, 0.8])],
+            },
+            LedgerEvent::ModelDiagnostics {
+                round: 0,
+                strategy: "Within-ALE".into(),
+                rows: 2,
+                classes: vec!["ok".into(), "bad".into()],
+                confusion: vec![vec![1, 0], vec![1, 0]],
+                brier: 0.4,
+                bin_count: vec![0, 0, 0, 0, 0, 0, 0, 2, 0, 0],
+                bin_conf_sum: vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.5, 0.0, 0.0],
+                bin_hit: vec![0, 0, 0, 0, 0, 0, 0, 1, 0, 0],
+                ale_band_width: 0.3,
+            },
+            LedgerEvent::DatasetProfile {
+                round: 1,
+                split: "train".into(),
+                rows: 6,
+                class_counts: vec![3, 3],
+                features: vec![profile_feature(
+                    "loss",
+                    0.0,
+                    1.0,
+                    4,
+                    &[0.1, 0.2, 0.3, 0.9, 0.85, 0.95],
+                )],
+            },
+            LedgerEvent::ModelDiagnostics {
+                round: 1,
+                strategy: "Within-ALE".into(),
+                rows: 2,
+                classes: vec!["ok".into(), "bad".into()],
+                confusion: vec![vec![1, 0], vec![0, 1]],
+                brier: 0.1,
+                bin_count: vec![0, 0, 0, 0, 0, 0, 0, 0, 2, 0],
+                bin_conf_sum: vec![0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.7, 0.0],
+                bin_hit: vec![0, 0, 0, 0, 0, 0, 0, 0, 2, 0],
+                ale_band_width: 0.1,
+            },
+        ]
+    }
+
+    fn sample_ledger() -> String {
+        let mut out = String::from(
+            "{\"type\":\"ledger\",\"schema_version\":1,\"run_id\":\"r\",\"workload\":\"w\",\"seed\":1,\"git\":\"g\"}\n",
+        );
+        for e in sample_events() {
+            out.push_str(&e.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    #[test]
+    fn ledger_reproduces_the_collector_report_byte_for_byte() {
+        let from_ledger = parse_quality_ledger(&sample_ledger()).unwrap();
+        let from_events = report_from_events(sample_events().iter(), None, 0);
+        assert_eq!(from_ledger.render_json(), from_events.render_json());
+        assert_eq!(from_ledger.rounds.len(), 2);
+        // Round 1 drifts against round 0's train profile.
+        assert!(from_ledger.rounds[1].psi_mean.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn rendered_artifact_round_trips_byte_for_byte() {
+        let report = report_from_events(sample_events().iter(), None, 0);
+        let json = report.render_json();
+        let back = parse_quality_json(&json).unwrap();
+        assert_eq!(back.render_json(), json);
+        assert_eq!(back.rounds.len(), report.rounds.len());
+        // NaN-bearing reliability bins defeat direct struct equality;
+        // spot-check the parsed structure instead.
+        let diag = back.final_diag.as_ref().unwrap();
+        assert_eq!(diag.confusion, vec![vec![1, 0], vec![0, 1]]);
+        assert_eq!(diag.reliability.count[8], 2);
+    }
+
+    #[test]
+    fn artifact_dispatch_tells_ledgers_and_rendered_reports_apart() {
+        let from_ledger = parse_quality_artifact(&sample_ledger()).unwrap();
+        let json = from_ledger.render_json();
+        let from_json = parse_quality_artifact(&json).unwrap();
+        assert_eq!(from_json.render_json(), json);
+    }
+
+    #[test]
+    fn inactive_and_future_artifacts_are_rejected() {
+        let err = parse_quality_json("{\"active\":false}\n").unwrap_err();
+        assert!(err.contains("inactive"), "{err}");
+        let report = report_from_events(sample_events().iter(), None, 0);
+        let future = report
+            .render_json()
+            .replace("\"schema_version\":1", "\"schema_version\":999");
+        let err = parse_quality_json(&future).unwrap_err();
+        assert!(err.contains("newer"), "{err}");
+        assert!(parse_quality_ledger("").is_err());
+        assert!(parse_quality_ledger("{\"type\":\"events\"}").is_err());
+    }
+
+    #[test]
+    fn reference_loads_the_latest_train_profile() {
+        let report = report_from_events(sample_events().iter(), None, 0);
+        let reference = load_reference(&report.render_json()).unwrap();
+        assert_eq!(reference.label, "baseline");
+        assert_eq!(reference.features.len(), 1);
+        // The latest round's train profile (round 1, 6 rows).
+        assert_eq!(reference.features[0].count, 6);
+        // A document with no train profile refuses to anchor drift.
+        let eval_only = report_from_events(
+            sample_events().iter().filter(
+                |e| !matches!(e, LedgerEvent::DatasetProfile { split, .. } if split == "train"),
+            ),
+            None,
+            0,
+        );
+        let err = load_reference(&eval_only.render_json()).unwrap_err();
+        assert!(err.contains("no train profile"), "{err}");
+    }
+
+    #[test]
+    fn reference_changes_the_drift_section_label() {
+        let report = report_from_events(sample_events().iter(), None, 0);
+        let reference = load_reference(&report.render_json()).unwrap();
+        let against = report_from_events(sample_events().iter(), Some(&reference), 0);
+        assert_eq!(against.drift.reference, "baseline");
+        // The latest train profile IS the baseline → zero drift.
+        assert_eq!(against.drift.features[0].psi, Some(0.0));
+    }
+
+    #[test]
+    fn compare_reports_deltas() {
+        let a = report_from_events(sample_events().iter(), None, 0);
+        let b = report_from_events(sample_events().iter().take(3), None, 0);
+        let text = render_compare(&a, &b);
+        assert!(text.contains("final accuracy"), "{text}");
+        assert!(text.contains("final ece"), "{text}");
+        assert!(text.contains("rounds"), "{text}");
+    }
+
+    #[test]
+    fn svg_panels_are_self_contained() {
+        let report = report_from_events(sample_events().iter(), None, 0);
+        let diag = report.final_diag.as_ref().unwrap();
+        for svg in [
+            render_reliability_svg(&diag.reliability),
+            render_confusion_svg(diag),
+            render_drift_svg(&report.drift),
+        ] {
+            assert!(svg.starts_with("<svg"), "{svg}");
+            assert!(svg.ends_with("</svg>"), "{svg}");
+            assert!(!svg.contains("http://") || svg.contains("xmlns"), "{svg}");
+            assert!(!svg.contains("<script"), "{svg}");
+        }
+        // One dot per non-empty reliability bin.
+        let rel = render_reliability_svg(&diag.reliability);
+        assert_eq!(rel.matches("<circle").count(), 1);
+        // A 2x2 confusion grid renders 4 cells.
+        let conf = render_confusion_svg(diag);
+        assert_eq!(conf.matches("<rect").count(), 4);
+        // Drift with no reference renders the placeholder.
+        let empty = render_drift_svg(&DriftReport {
+            reference: "none".into(),
+            features: vec![],
+        });
+        assert!(empty.contains("no drift reference"), "{empty}");
+    }
+}

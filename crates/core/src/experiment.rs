@@ -380,8 +380,13 @@ pub fn run_strategy(
             .collect::<Result<Vec<f64>>>()?
     };
 
-    // Ledger: one round_completed summarizing this strategy application.
-    aml_telemetry::ledger::emit_with(|| {
+    // Ledger: the quality plane's per-round probes (train/eval dataset
+    // profiles, model diagnostics) plus one round_completed summarizing
+    // this strategy application — all stamped with the SAME round
+    // number. The round counter is untouched when the ledger is
+    // disarmed, so arming telemetry never changes round numbering.
+    if aml_telemetry::ledger::active() {
+        let round = aml_telemetry::ledger::next_round();
         let acc_mean = scores.iter().sum::<f64>() / scores.len() as f64;
         let acc_min = scores.iter().copied().fold(f64::INFINITY, f64::min);
         let acc_max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
@@ -410,8 +415,26 @@ pub fn run_strategy(
             }
             None => (0, 0.0, 0.0),
         };
-        aml_telemetry::LedgerEvent::RoundCompleted {
-            round: aml_telemetry::ledger::next_round(),
+        if let Some(event) = crate::quality::dataset_profile_event(round, "train", &[&augmented])? {
+            aml_telemetry::ledger::emit(&event);
+        }
+        let eval_refs: Vec<&Dataset> = test_sets.iter().collect();
+        if let Some(event) = crate::quality::dataset_profile_event(round, "eval", &eval_refs)? {
+            aml_telemetry::ledger::emit(&event);
+        }
+        // The ALE ±σ band is 2σ wide; its mean width per round is the
+        // quality plane's interpretability-uncertainty trend.
+        if let Some(event) = crate::quality::model_diagnostics_event(
+            round,
+            strategy.name(),
+            &model,
+            test_sets,
+            2.0 * ale_std_mean,
+        )? {
+            aml_telemetry::ledger::emit(&event);
+        }
+        aml_telemetry::ledger::emit(&aml_telemetry::LedgerEvent::RoundCompleted {
+            round,
             strategy: strategy.name().to_string(),
             acc_mean,
             acc_min,
@@ -420,8 +443,8 @@ pub fn run_strategy(
             regions,
             ale_std_mean,
             ale_std_max,
-        }
-    });
+        });
+    }
     aml_telemetry::serve::note_round_done();
 
     Ok(StrategyOutcome {

@@ -44,6 +44,7 @@ pub mod confidence;
 pub mod experiment;
 pub mod feedback;
 pub mod qbc;
+pub mod quality;
 pub mod report;
 pub mod summary;
 pub mod uncertainty;

@@ -34,6 +34,9 @@ struct Totals {
     /// Bit pattern of the last `RoundCompleted.acc_mean`; NaN bits mean
     /// "no round completed yet".
     final_acc_bits: AtomicU64,
+    /// Bit pattern of the last `ModelDiagnostics` round's ECE; NaN bits
+    /// mean "no diagnostics observed yet".
+    final_ece_bits: AtomicU64,
 }
 
 /// The ML-level totals of a run, read from a [`SummaryHandle`].
@@ -47,6 +50,9 @@ pub struct LedgerSummary {
     pub rounds: u64,
     /// Mean accuracy of the last completed feedback round, if any.
     pub final_acc: Option<f64>,
+    /// Expected Calibration Error of the last round's model
+    /// diagnostics, if any were emitted (quality plane armed).
+    pub ece: Option<f64>,
 }
 
 /// Live handle onto the tallies of an installed summary collector.
@@ -60,13 +66,14 @@ pub struct SummaryHandle {
 impl SummaryHandle {
     /// Read the current totals.
     pub fn snapshot(&self) -> LedgerSummary {
-        let bits = self.totals.final_acc_bits.load(Ordering::Relaxed);
-        let acc = f64::from_bits(bits);
+        let acc = f64::from_bits(self.totals.final_acc_bits.load(Ordering::Relaxed));
+        let ece = f64::from_bits(self.totals.final_ece_bits.load(Ordering::Relaxed));
         LedgerSummary {
             trials_finished: self.totals.trials_finished.load(Ordering::Relaxed),
             trials_failed: self.totals.trials_failed.load(Ordering::Relaxed),
             rounds: self.totals.rounds.load(Ordering::Relaxed),
             final_acc: if acc.is_finite() { Some(acc) } else { None },
+            ece: if ece.is_finite() { Some(ece) } else { None },
         }
     }
 }
@@ -94,6 +101,17 @@ impl Sink for SummaryCollector {
                     .final_acc_bits
                     .store(acc_mean.to_bits(), Ordering::Relaxed);
             }
+            LedgerEvent::ModelDiagnostics {
+                bin_count,
+                bin_conf_sum,
+                bin_hit,
+                ..
+            } => {
+                let ece = aml_telemetry::quality::ece_from_bins(bin_count, bin_conf_sum, bin_hit);
+                self.totals
+                    .final_ece_bits
+                    .store(ece.to_bits(), Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -119,6 +137,7 @@ impl Sink for SummaryCollector {
 pub fn install_collector() -> SummaryHandle {
     let totals = Arc::new(Totals {
         final_acc_bits: AtomicU64::new(f64::NAN.to_bits()),
+        final_ece_bits: AtomicU64::new(f64::NAN.to_bits()),
         ..Totals::default()
     });
     aml_telemetry::sink::install(Box::new(SummaryCollector {
@@ -134,6 +153,7 @@ mod tests {
     fn collector_pair() -> (SummaryHandle, SummaryCollector) {
         let totals = Arc::new(Totals {
             final_acc_bits: AtomicU64::new(f64::NAN.to_bits()),
+            final_ece_bits: AtomicU64::new(f64::NAN.to_bits()),
             ..Totals::default()
         });
         (
@@ -154,6 +174,7 @@ mod tests {
                 trials_failed: 0,
                 rounds: 0,
                 final_acc: None,
+                ece: None,
             }
         );
         for trial in 0..3 {
@@ -197,6 +218,22 @@ mod tests {
         assert_eq!(snap.trials_failed, 1);
         assert_eq!(snap.rounds, 2);
         assert_eq!(snap.final_acc, Some(0.91));
+        assert_eq!(snap.ece, None);
+        // A model_diagnostics event fills in the calibration summary.
+        sink.on_ledger_event(&LedgerEvent::ModelDiagnostics {
+            round: 1,
+            strategy: "Within-ALE".into(),
+            rows: 4,
+            classes: vec!["a".into(), "b".into()],
+            confusion: vec![vec![2, 0], vec![1, 1]],
+            brier: 0.2,
+            bin_count: vec![4],
+            bin_conf_sum: vec![3.2],
+            bin_hit: vec![3],
+            ale_band_width: 0.0,
+        });
+        let ece = handle.snapshot().ece.expect("diagnostics set ece");
+        assert!((ece - 0.05).abs() < 1e-12, "{ece}");
     }
 
     #[test]

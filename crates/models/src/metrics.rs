@@ -265,4 +265,56 @@ mod tests {
         assert!(confusion_matrix(&[5], &[0], 2).is_err());
         assert!(log_loss(&[3], &[vec![0.5, 0.5]]).is_err());
     }
+
+    #[test]
+    fn empty_eval_split_is_a_typed_error_not_nan() {
+        // The quality plane feeds eval predictions straight into these;
+        // an empty split must surface as an error the caller can guard,
+        // never as a silent NaN that would poison quality.json.
+        assert!(matches!(
+            accuracy(&[], &[]),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            confusion_matrix(&[], &[], 2),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            balanced_accuracy(&[], &[], 2),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            precision_recall_f1(&[], &[], 2),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            brier_score(&[], &[]),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+        assert!(matches!(
+            log_loss(&[], &[]),
+            Err(ModelError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn absent_class_yields_finite_zeros_and_is_excluded_from_macros() {
+        // Class 2 is declared but absent from eval and never predicted:
+        // its per-class values are exactly 0 (not NaN from 0/0), and the
+        // macro averages only span the present classes.
+        let pr = precision_recall_f1(&[0, 0, 1, 1], &[0, 1, 1, 1], 3).unwrap();
+        assert_eq!(pr.precision[2], 0.0);
+        assert_eq!(pr.recall[2], 0.0);
+        assert_eq!(pr.f1[2], 0.0);
+        assert!(pr.precision.iter().all(|v| v.is_finite()));
+        assert!(pr.recall.iter().all(|v| v.is_finite()));
+        assert!(pr.f1.iter().all(|v| v.is_finite()));
+        assert!(pr.macro_precision.is_finite() && pr.macro_precision > 0.0);
+        assert!(pr.macro_f1.is_finite() && pr.macro_f1 > 0.0);
+        // All declared classes absent (only out-of-range impossible, so:
+        // predictions exist but every class row is empty) cannot happen
+        // with paired inputs; the present == 0 guard still errs rather
+        // than dividing by zero when n_classes is 0.
+        assert!(precision_recall_f1(&[0], &[0], 0).is_err());
+    }
 }

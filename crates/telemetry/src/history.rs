@@ -75,6 +75,11 @@ pub struct HistoryRecord {
     pub trials_failed: u64,
     /// `round_completed` ledger events observed.
     pub rounds: u64,
+    /// Expected Calibration Error of the last feedback round's model
+    /// diagnostics; `None` when the run emitted none (serialized as
+    /// JSON `null`). Trailing field added without a schema bump —
+    /// records written before it simply parse as `None`.
+    pub ece: Option<f64>,
 }
 
 /// Shortest round-trip float; non-finite values become `null` (the
@@ -92,7 +97,7 @@ impl HistoryRecord {
     /// order, pinned by the golden test in `aml-bench`.
     pub fn to_json_line(&self) -> String {
         format!(
-            "{{\"type\":\"history\",\"schema_version\":{HISTORY_SCHEMA_VERSION},\"workload\":{},\"seed\":{},\"git\":{},\"source\":{},\"wall_time_s\":{},\"top_span_total_s\":{},\"peak_rss_bytes\":{},\"alloc_peak_bytes\":{},\"final_acc\":{},\"trials_finished\":{},\"trials_failed\":{},\"rounds\":{}}}",
+            "{{\"type\":\"history\",\"schema_version\":{HISTORY_SCHEMA_VERSION},\"workload\":{},\"seed\":{},\"git\":{},\"source\":{},\"wall_time_s\":{},\"top_span_total_s\":{},\"peak_rss_bytes\":{},\"alloc_peak_bytes\":{},\"final_acc\":{},\"trials_finished\":{},\"trials_failed\":{},\"rounds\":{},\"ece\":{}}}",
             crate::json_string_literal(&self.workload),
             self.seed,
             crate::json_string_literal(&self.git),
@@ -105,6 +110,7 @@ impl HistoryRecord {
             self.trials_finished,
             self.trials_failed,
             self.rounds,
+            self.ece.map_or("null".to_string(), json_f64),
         )
     }
 
@@ -145,6 +151,7 @@ mod tests {
             trials_finished: 120,
             trials_failed: 3,
             rounds: 12,
+            ece: Some(0.05),
         }
     }
 
@@ -155,7 +162,8 @@ mod tests {
             "{\"type\":\"history\",\"schema_version\":1,\"workload\":\"table1_scream\",\
              \"seed\":11,\"git\":\"abc1234\",\"source\":\"run\",\"wall_time_s\":12.5,\
              \"top_span_total_s\":11.25,\"peak_rss_bytes\":73400320,\"alloc_peak_bytes\":0,\
-             \"final_acc\":0.91,\"trials_finished\":120,\"trials_failed\":3,\"rounds\":12}",
+             \"final_acc\":0.91,\"trials_finished\":120,\"trials_failed\":3,\"rounds\":12,\
+             \"ece\":0.05}",
         );
     }
 

@@ -225,6 +225,50 @@ pub enum LedgerEvent {
         /// Number of data rows the curve was computed over.
         rows: u64,
     },
+    /// Per-feature distribution summary of one split (train/eval) at one
+    /// feedback round, feeding the quality plane's drift scores.
+    /// Additive event type, no schema bump (see the versioning policy).
+    DatasetProfile {
+        /// Process-wide round sequence number.
+        round: u64,
+        /// Split name (`train` or `eval`).
+        split: String,
+        /// Rows in the split.
+        rows: u64,
+        /// Rows per class (class balance), class-index order.
+        class_counts: Vec<u64>,
+        /// Per-feature summaries with fixed-edge histograms.
+        features: Vec<crate::quality::FeatureProfile>,
+    },
+    /// Raw model-quality tallies of one feedback round, computed from
+    /// the refit ensemble's eval predictions. Carries only counts and
+    /// sums; accuracy/PRF1/ECE are derived on the read side so a
+    /// recompute from the ledger is byte-identical. Additive event
+    /// type, no schema bump.
+    ModelDiagnostics {
+        /// Process-wide round sequence number.
+        round: u64,
+        /// Strategy applied this round.
+        strategy: String,
+        /// Eval rows the tallies cover.
+        rows: u64,
+        /// Class names, confusion-matrix order.
+        classes: Vec<String>,
+        /// Confusion matrix, `confusion[true][pred]`.
+        confusion: Vec<Vec<u64>>,
+        /// Multiclass Brier score (mean over rows of the squared
+        /// probability-vector error).
+        brier: f64,
+        /// Predictions per reliability confidence bin.
+        bin_count: Vec<u64>,
+        /// Sum of predicted max-probabilities per confidence bin.
+        bin_conf_sum: Vec<f64>,
+        /// Correct predictions per confidence bin.
+        bin_hit: Vec<u64>,
+        /// Mean ALE ±σ band width (2σ) over all grid cells; 0 without
+        /// ALE feedback.
+        ale_band_width: f64,
+    },
 }
 
 /// Format an `f64` for the ledger: shortest round-trip representation
@@ -236,6 +280,19 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+fn json_u64_array(vs: &[u64]) -> String {
+    let mut out = String::with_capacity(2 + vs.len() * 4);
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
 }
 
 fn json_f64_array(vs: &[f64]) -> String {
@@ -408,6 +465,67 @@ impl LedgerEvent {
                 json_str(model),
                 json_str(method),
             ),
+            LedgerEvent::DatasetProfile {
+                round,
+                split,
+                rows,
+                class_counts,
+                features,
+            } => {
+                let mut out = format!(
+                    "{{\"type\":\"dataset_profile\",\"round\":{round},\"split\":{},\"rows\":{rows},\"class_counts\":{},\"features\":[",
+                    json_str(split),
+                    json_u64_array(class_counts),
+                );
+                for (i, f) in features.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&f.to_json());
+                }
+                out.push_str("]}");
+                out
+            }
+            LedgerEvent::ModelDiagnostics {
+                round,
+                strategy,
+                rows,
+                classes,
+                confusion,
+                brier,
+                bin_count,
+                bin_conf_sum,
+                bin_hit,
+                ale_band_width,
+            } => {
+                let mut out = format!(
+                    "{{\"type\":\"model_diagnostics\",\"round\":{round},\"strategy\":{},\"rows\":{rows},\"classes\":[",
+                    json_str(strategy),
+                );
+                for (i, c) in classes.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_str(c));
+                }
+                out.push_str("],\"confusion\":[");
+                for (i, row) in confusion.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&json_u64_array(row));
+                }
+                let _ = write!(
+                    out,
+                    "],\"brier\":{},\"bin_count\":{},\"bin_conf_sum\":{},\"bin_hit\":{},\"ale_band_width\":{}}}",
+                    json_f64(*brier),
+                    json_u64_array(bin_count),
+                    json_f64_array(bin_conf_sum),
+                    json_u64_array(bin_hit),
+                    json_f64(*ale_band_width),
+                );
+                out
+            }
         }
     }
 }
@@ -432,6 +550,7 @@ pub(crate) fn set_active(on: bool) {
 pub fn emit(event: &LedgerEvent) {
     if active() {
         crate::searchview::observe(event);
+        crate::quality::observe(event);
         crate::sink::emit_ledger_event(event);
     }
 }
@@ -444,6 +563,7 @@ pub fn emit_with(f: impl FnOnce() -> LedgerEvent) {
     if active() {
         let event = f();
         crate::searchview::observe(&event);
+        crate::quality::observe(&event);
         crate::sink::emit_ledger_event(&event);
     }
 }

@@ -35,6 +35,12 @@
 //!   one append-only JSONL record per completed run (wall time, peak
 //!   RSS, final accuracy, trial/failure counts) feeding
 //!   `perfgate --against-history` and the dashboard's trend section;
+//! * a **model/data quality plane** ([`quality`], behind
+//!   `--quality-out`): per-feature dataset profiles with fixed-edge
+//!   histograms, PSI drift scores against the previous round or a
+//!   `--quality-ref` baseline, and per-round confusion/calibration
+//!   diagnostics, written as `quality.json` and served live at
+//!   `/quality`;
 //! * a **resource sampler** ([`resource`]): `/proc/self` readings
 //!   published as `proc.*` gauges ([`gauge_set`]), no-op off Linux;
 //! * a **self-time profiler** ([`profile`], behind `--profile-out`):
@@ -79,6 +85,7 @@ pub mod ledger;
 pub mod manifest;
 pub mod profile;
 pub mod progress;
+pub mod quality;
 pub mod registry;
 pub mod resource;
 pub mod sandbox;
@@ -98,6 +105,7 @@ pub use ledger::{
 };
 pub use manifest::{json_string_literal, Manifest};
 pub use progress::{note, report, warn, Progress};
+pub use quality::{FeatureProfile, QualityReference, QualityReport, QUALITY_SCHEMA_VERSION};
 pub use registry::{global, HistSnapshot, Registry, Snapshot, SpanSnapshot};
 pub use searchview::{SearchReport, SEARCH_SCHEMA_VERSION};
 pub use sink::{JsonlSink, RunHeader, Sink, SpanEvent};

@@ -372,10 +372,11 @@ pub fn start(addr: &str, header: &RunHeader) -> std::io::Result<SocketAddr> {
         .name("aml-telemetry-serve".into())
         .spawn(move || serve_loop(listener, stop_seen, state))?;
     reset_status();
-    // The live plane answers /search from the search collector; arm it
-    // here (without clearing — `--search-out` may have armed and reset
-    // it already during flag preparation).
+    // The live plane answers /search and /quality from their collectors;
+    // arm them here (without clearing — `--search-out`/`--quality-out`
+    // may have armed and reset them already during flag preparation).
     crate::searchview::set_active(true);
+    crate::quality::set_active(true);
     crate::sink::install(Box::new(RingSink));
     *server_slot().lock().unwrap_or_else(PoisonError::into_inner) = Some(Server {
         addr: bound,
@@ -475,6 +476,7 @@ fn count_request(path: &str) {
             | "/dashboard"
             | "/crit"
             | "/search"
+            | "/quality"
     ) {
         crate::counter_add_labeled("serve.requests", path, 1);
     }
@@ -505,7 +507,13 @@ fn route(
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
-            render_prometheus(&crate::global().snapshot()),
+            // Registry metrics plus the quality plane's float gauges
+            // (`quality_final_acc`, `quality_ece`, `quality_psi`).
+            format!(
+                "{}{}",
+                render_prometheus(&crate::global().snapshot()),
+                crate::quality::prometheus_gauges(),
+            ),
         ),
         "/healthz" => ("200 OK", "application/json", healthz_json(state)),
         "/runs" => (
@@ -520,6 +528,11 @@ fn route(
             "application/json",
             crate::searchview::live_json(),
         ),
+        "/quality" => (
+            "200 OK",
+            "application/json",
+            crate::quality::live_json(),
+        ),
         "/dashboard" => (
             "200 OK",
             "text/html; charset=utf-8",
@@ -528,7 +541,7 @@ fn route(
         _ => (
             "404 Not Found",
             "text/plain",
-            "not found (try /metrics, /healthz, /runs, /events, /history, /crit, /search, /dashboard)\n"
+            "not found (try /metrics, /healthz, /runs, /events, /history, /crit, /search, /quality, /dashboard)\n"
                 .into(),
         ),
     }
@@ -906,14 +919,46 @@ mod tests {
         assert!(search.contains("\"schema_version\":1"), "{search}");
         assert!(search.contains("\"families\":["), "{search}");
 
+        // start() also armed the quality collector; before any quality
+        // event it serves an active-but-empty report, and a diagnostics
+        // event fills it in live.
+        let quality = http_get(addr, "/quality");
+        assert!(quality.contains("application/json"), "{quality}");
+        assert!(quality.contains("\"active\":true"), "{quality}");
+        assert!(quality.contains("\"rounds\":[]"), "{quality}");
+        crate::ledger::emit_with(|| LedgerEvent::ModelDiagnostics {
+            round: 0,
+            strategy: "Random".into(),
+            rows: 4,
+            classes: vec!["a".into(), "b".into()],
+            confusion: vec![vec![2, 0], vec![0, 2]],
+            brier: 0.1,
+            bin_count: vec![4],
+            bin_conf_sum: vec![3.6],
+            bin_hit: vec![4],
+            ale_band_width: 0.0,
+        });
+        let quality = http_get(addr, "/quality");
+        assert!(quality.contains("\"active\":true"), "{quality}");
+        assert!(quality.contains("\"confusion\":[[2,0],[0,2]]"), "{quality}");
+        let metrics_with_quality = http_get(addr, "/metrics");
+        assert!(
+            metrics_with_quality.contains("quality_final_acc 1"),
+            "{metrics_with_quality}"
+        );
+
         let missing = http_get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
 
-        // Per-route request counters land on /metrics; this second
+        // Per-route request counters land on /metrics; this third
         // /metrics scrape counts itself, unknown paths are not counted.
         let metrics = http_get(addr, "/metrics");
         assert!(
-            metrics.contains("serve_requests{key=\"/metrics\"} 2"),
+            metrics.contains("serve_requests{key=\"/metrics\"} 3"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("serve_requests{key=\"/quality\"} 2"),
             "{metrics}"
         );
         assert!(
@@ -936,9 +981,11 @@ mod tests {
         assert!(TcpStream::connect(addr).is_err() || http_get_err(addr));
 
         // Drain the RingSink installed by start() and disarm the search
-        // collector it armed.
+        // and quality collectors it armed.
         crate::searchview::set_active(false);
         crate::searchview::reset();
+        crate::quality::set_active(false);
+        crate::quality::reset();
         crate::sink::finish(&Snapshot::default());
         set_level(TelemetryLevel::Off);
         crate::global().reset();
