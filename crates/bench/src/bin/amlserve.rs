@@ -1,0 +1,141 @@
+//! `amlserve` — the crash-safe, multi-tenant AutoML run server.
+//!
+//! Two modes share one executable:
+//!
+//! * **server** (default): bind, replay the queue journal, fence
+//!   orphaned workers, serve HTTP until `POST /shutdown` drains;
+//! * **worker** (`--worker <jobdir>`, spawned by the server): run or
+//!   resume one job to completion in an isolated process.
+//!
+//! See `aml_bench::amlserve` for the architecture and DESIGN.md §12 for
+//! the job lifecycle.
+
+use aml_bench::amlserve::{run_server, run_worker, ServerConfig};
+use aml_faults::FaultPlan;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Duration;
+
+const USAGE: &str = "\
+amlserve — crash-safe multi-tenant AutoML run server
+
+USAGE:
+    amlserve [OPTIONS]
+    amlserve --worker <JOBDIR> [--inject-crash]   (internal: run one job)
+
+OPTIONS:
+    --addr ADDR                bind address (default 127.0.0.1:9900; use
+                               port 0 for ephemeral — see <data>/serve.addr)
+    --data DIR                 data directory: queue journal, job dirs,
+                               history store (default target/amlserve)
+    --workers N                worker-pool size (default 2)
+    --queue-cap N              max queued jobs before 429 (default 16)
+    --tenant-max-running N     per-tenant concurrency bound (default 2)
+    --tenant-budget N          per-tenant token budget, 1 token per
+                               feedback round (default 1024)
+    --job-timeout-ms MS        default per-job wall-clock budget
+                               (default 300000)
+    --max-retries N            crash retries per job (default 3)
+    --retry-base-ms MS         first retry backoff, doubles per attempt,
+                               capped at 30s (default 500)
+    --drain-grace-ms MS        graceful-shutdown grace before killing
+                               workers (default 10000)
+    --preempt-after-ms MS      preempt the longest run after MS when a
+                               queued job is starving (default: never)
+    --fault-plan SPEC          deterministic faults, e.g.
+                               worker_crash@0,submit_burst@4
+    --history PATH             history store (default <data>/history.jsonl)
+    --help                     this text
+
+ROUTES:
+    POST /submit        submit a job spec (JSON; optional inline \"csv\")
+    GET  /jobs          all jobs and their states
+    GET  /jobs/<id>     one job: state, ledger tail (?tail=N), result
+    DELETE /jobs/<id>   cooperative cancel at the next round boundary
+    GET  /metrics       Prometheus text (serve.jobs_* counters/gauges)
+    GET  /healthz /history /dashboard
+    POST /shutdown      graceful drain and exit
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--worker") {
+        let Some(dir) = args.get(1) else {
+            eprintln!("--worker requires a job directory");
+            exit(2);
+        };
+        let inject = args.iter().any(|a| a == "--inject-crash");
+        exit(run_worker(std::path::Path::new(dir), inject));
+    }
+
+    let mut cfg = ServerConfig::new("target/amlserve");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> String {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            "--addr" => cfg.addr = value("--addr"),
+            "--data" => cfg.data_dir = PathBuf::from(value("--data")),
+            "--workers" => cfg.workers = parse(&value("--workers"), "--workers"),
+            "--queue-cap" => cfg.queue_cap = parse(&value("--queue-cap"), "--queue-cap"),
+            "--tenant-max-running" => {
+                cfg.tenant_max_running =
+                    parse(&value("--tenant-max-running"), "--tenant-max-running");
+            }
+            "--tenant-budget" => {
+                cfg.tenant_budget = parse(&value("--tenant-budget"), "--tenant-budget");
+            }
+            "--job-timeout-ms" => {
+                cfg.job_timeout =
+                    Duration::from_millis(parse(&value("--job-timeout-ms"), "--job-timeout-ms"));
+            }
+            "--max-retries" => cfg.max_retries = parse(&value("--max-retries"), "--max-retries"),
+            "--retry-base-ms" => {
+                cfg.retry_base =
+                    Duration::from_millis(parse(&value("--retry-base-ms"), "--retry-base-ms"));
+            }
+            "--drain-grace-ms" => {
+                cfg.drain_grace =
+                    Duration::from_millis(parse(&value("--drain-grace-ms"), "--drain-grace-ms"));
+            }
+            "--preempt-after-ms" => {
+                cfg.preempt_after = Some(Duration::from_millis(parse(
+                    &value("--preempt-after-ms"),
+                    "--preempt-after-ms",
+                )));
+            }
+            "--fault-plan" => match FaultPlan::parse(&value("--fault-plan")) {
+                Ok(plan) => cfg.fault_plan = Some(plan),
+                Err(e) => {
+                    eprintln!("--fault-plan: {e}");
+                    exit(2);
+                }
+            },
+            "--history" => cfg.history_path = Some(PathBuf::from(value("--history"))),
+            other => {
+                eprintln!("unknown flag '{other}' (try --help)");
+                exit(2);
+            }
+        }
+    }
+
+    if let Err(e) = run_server(cfg) {
+        eprintln!("amlserve: {e}");
+        exit(1);
+    }
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse '{text}'");
+        exit(2);
+    })
+}

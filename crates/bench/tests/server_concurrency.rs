@@ -1,0 +1,142 @@
+//! Satellite: checkpoint/resume determinism under *concurrency*.
+//!
+//! `resume_identity.rs` proves one interrupted job resumes to a
+//! byte-identical sorted ledger. The run server adds a new axis: N
+//! worker processes checkpointing into sibling directories at the same
+//! time. This test drives the real `amlserve --worker` binary —
+//! process isolation is exactly what makes concurrent ledgers sound,
+//! since the telemetry sink list and the ledger round counter are
+//! process-global — and checks that:
+//!
+//! 1. N jobs run concurrently into sibling dirs without cross-talk;
+//! 2. each job, killed mid-run and resumed (again concurrently),
+//!    reproduces its uninterrupted reference ledger byte-for-byte
+//!    after sorting.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const N_JOBS: usize = 3;
+
+fn worker_exe() -> &'static str {
+    env!("CARGO_BIN_EXE_amlserve")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aml_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Hand-write a job directory the way the server's `/submit` does:
+/// `job.json` with an id and a spec. Each job gets its own seed and
+/// dataset so cross-talk between siblings would be visible as a ledger
+/// diff, not a coincidence.
+fn write_job(root: &Path, idx: usize, round_sleep_ms: u64) -> PathBuf {
+    let id = format!("c{idx}");
+    let dir = root.join(&id);
+    fs::create_dir_all(&dir).unwrap();
+    let job = format!(
+        "{{\"id\":\"{id}\",\"tenant\":\"t\",\"spec\":{{\"name\":\"conc{idx}\",\
+         \"seed\":{seed},\"dataset\":{{\"kind\":\"two_moons\",\"n\":200,\"noise\":0.25,\
+         \"seed\":{dsseed}}},\"rounds\":[\"Without feedback\",\"Uniform\",\"Within-ALE\"],\
+         \"n_candidates\":5,\"round_sleep_ms\":{round_sleep_ms}}}}}",
+        seed = 100 + idx as u64 * 13,
+        dsseed = 7 + idx as u64,
+    );
+    fs::write(dir.join("job.json"), job).unwrap();
+    dir
+}
+
+fn spawn_worker(dir: &Path) -> Child {
+    Command::new(worker_exe())
+        .arg("--worker")
+        .arg(dir)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap()
+}
+
+fn sorted_ledger(dir: &Path) -> Vec<String> {
+    let text = fs::read_to_string(dir.join("ledger.jsonl")).unwrap();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+#[test]
+fn concurrent_sibling_resumes_are_byte_identical() {
+    // Reference: the same three jobs run concurrently, uninterrupted.
+    let ref_root = fresh_dir("serve_conc_ref");
+    let ref_dirs: Vec<PathBuf> = (0..N_JOBS).map(|i| write_job(&ref_root, i, 0)).collect();
+    let mut children: Vec<Child> = ref_dirs.iter().map(|d| spawn_worker(d)).collect();
+    for child in &mut children {
+        let status = child.wait().unwrap();
+        assert_eq!(status.code(), Some(0), "reference worker failed");
+    }
+    let references: Vec<Vec<String>> = ref_dirs.iter().map(|d| sorted_ledger(d)).collect();
+    for (i, r) in references.iter().enumerate() {
+        assert!(!r.is_empty(), "reference ledger {i} empty");
+    }
+
+    // Interrupted: same specs with an inter-round pause, killed as soon
+    // as each has a checkpoint on disk, then resumed — all concurrently.
+    let cut_root = fresh_dir("serve_conc_cut");
+    let cut_dirs: Vec<PathBuf> = (0..N_JOBS).map(|i| write_job(&cut_root, i, 1500)).collect();
+    let mut children: Vec<Option<Child>> = cut_dirs.iter().map(|d| Some(spawn_worker(d))).collect();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while children.iter().any(Option::is_some) {
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for checkpoints"
+        );
+        for (i, slot) in children.iter_mut().enumerate() {
+            let Some(child) = slot.as_mut() else { continue };
+            if cut_dirs[i].join("run.ckpt").exists() {
+                // SIGKILL — no cooperative path, the crash case.
+                child.kill().unwrap();
+                child.wait().unwrap();
+                *slot = None;
+            } else if let Some(status) = child.try_wait().unwrap() {
+                panic!("worker {i} exited before checkpointing: {status:?}");
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Remove the pause for the resume leg (the pause is not part of the
+    // ledger contract) by rewriting job.json with round_sleep_ms 0.
+    for (i, dir) in cut_dirs.iter().enumerate() {
+        let _ = dir; // specs regenerated from scratch, same fields
+        let fresh = write_job(&cut_root, i, 0);
+        assert_eq!(&fresh, dir);
+    }
+    let mut children: Vec<Child> = cut_dirs.iter().map(|d| spawn_worker(d)).collect();
+    for (i, child) in children.iter_mut().enumerate() {
+        let status = child.wait().unwrap();
+        assert_eq!(status.code(), Some(0), "resumed worker {i} failed");
+    }
+
+    for (i, dir) in cut_dirs.iter().enumerate() {
+        assert_eq!(
+            sorted_ledger(dir),
+            references[i],
+            "job {i}: resumed sorted ledger differs from uninterrupted reference"
+        );
+        assert!(dir.join("result.json").exists(), "job {i} missing result");
+    }
+
+    // Sibling isolation: distinct seeds must yield distinct ledgers —
+    // if two jobs had cross-talked through shared state they could
+    // converge; identical ledgers across different seeds would be a
+    // red flag, not a pass.
+    assert_ne!(references[0], references[1]);
+    assert_ne!(references[1], references[2]);
+
+    fs::remove_dir_all(&ref_root).ok();
+    fs::remove_dir_all(&cut_root).ok();
+}

@@ -21,6 +21,15 @@
 //! * `nan_labels@N` — the `N`-th labeling call (0-based) has its
 //!   suggested rows poisoned with NaN feature values, exercising the
 //!   experiment loop's non-finite-row filter.
+//! * `worker_crash@N` — the `N`-th worker process launched by the run
+//!   server (0-based) aborts after checkpointing its first fresh round,
+//!   exercising the server's retry-with-backoff and resume paths. Pure
+//!   lookup ([`FaultPlan::worker_crash_at`]); the server keeps its own
+//!   launch counter.
+//! * `submit_burst@N` — the `N`-th job submission (0-based) is rejected
+//!   with `429 Retry-After` as if the queue were full, exercising
+//!   client-visible backpressure deterministically. Pure lookup
+//!   ([`FaultPlan::submit_burst_at`]).
 //!
 //! Because every site is keyed by a deterministic index (trial ids are
 //! assigned before any parallel work; labeling calls are sequential),
@@ -63,38 +72,79 @@ pub struct FaultPlan {
     pub sink_fail: Vec<u64>,
     /// 0-based labeling-call indices whose rows are NaN-poisoned.
     pub nan_labels: Vec<u64>,
+    /// 0-based run-server worker-launch indices that abort after their
+    /// first fresh round is checkpointed.
+    pub worker_crash: Vec<u64>,
+    /// 0-based run-server submission indices rejected with an injected
+    /// 429 backpressure response.
+    pub submit_burst: Vec<u64>,
 }
+
+/// A malformed `--fault-plan` entry: the offending token plus what was
+/// wrong with it. `Display` renders both, so error surfaces that only
+/// show a string still name the token that failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultParseError {
+    /// The comma-separated plan entry that failed to parse (the whole
+    /// spec when it was empty).
+    pub token: String,
+    /// What was wrong with the token.
+    pub message: String,
+}
+
+impl FaultParseError {
+    fn new(token: impl Into<String>, message: impl Into<String>) -> Self {
+        FaultParseError {
+            token: token.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault-plan entry '{}': {}", self.token, self.message)
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 impl FaultPlan {
     /// Parse a comma-separated plan spec such as
     /// `trial_panic@3,trial_slow@7:500ms,sink_fail@2,nan_labels@1`.
-    /// Empty specs and empty items are rejected.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    /// Empty specs and empty items are rejected with a typed error that
+    /// names the offending token.
+    pub fn parse(spec: &str) -> Result<FaultPlan, FaultParseError> {
         let mut plan = FaultPlan::default();
         if spec.trim().is_empty() {
-            return Err("empty fault plan".into());
+            return Err(FaultParseError::new(spec, "empty fault plan"));
         }
         for item in spec.split(',') {
             let item = item.trim();
             let (site, arg) = item
                 .split_once('@')
-                .ok_or_else(|| format!("fault '{item}': expected SITE@INDEX"))?;
+                .ok_or_else(|| FaultParseError::new(item, "expected SITE@INDEX"))?;
             match site {
-                "trial_panic" => plan.trial_panic.push(parse_index(site, arg)?),
-                "trial_nan" => plan.trial_nan.push(parse_index(site, arg)?),
-                "sink_fail" => plan.sink_fail.push(parse_index(site, arg)?),
-                "nan_labels" => plan.nan_labels.push(parse_index(site, arg)?),
+                "trial_panic" => plan.trial_panic.push(parse_index(item, arg)?),
+                "trial_nan" => plan.trial_nan.push(parse_index(item, arg)?),
+                "sink_fail" => plan.sink_fail.push(parse_index(item, arg)?),
+                "nan_labels" => plan.nan_labels.push(parse_index(item, arg)?),
+                "worker_crash" => plan.worker_crash.push(parse_index(item, arg)?),
+                "submit_burst" => plan.submit_burst.push(parse_index(item, arg)?),
                 "trial_slow" => {
                     let (idx, dur) = arg.split_once(':').ok_or_else(|| {
-                        format!("fault '{item}': trial_slow expects trial_slow@N:DURms")
+                        FaultParseError::new(item, "trial_slow expects trial_slow@N:DURms")
                     })?;
                     plan.trial_slow
-                        .push((parse_index(site, idx)?, parse_duration(item, dur)?));
+                        .push((parse_index(item, idx)?, parse_duration(item, dur)?));
                 }
                 other => {
-                    return Err(format!(
-                        "unknown fault site '{other}' (expected trial_panic, trial_slow, \
-                         trial_nan, sink_fail, or nan_labels)"
+                    return Err(FaultParseError::new(
+                        item,
+                        format!(
+                            "unknown fault site '{other}' (expected trial_panic, trial_slow, \
+                             trial_nan, sink_fail, nan_labels, worker_crash, or submit_burst)"
+                        ),
                     ))
                 }
             }
@@ -106,20 +156,33 @@ impl FaultPlan {
     pub fn is_empty(&self) -> bool {
         self == &FaultPlan::default()
     }
+
+    /// Pure lookup: does the plan crash the `launch`-th worker process
+    /// (0-based)? The run server keeps its own launch counter, so this
+    /// takes the index instead of ticking a global.
+    pub fn worker_crash_at(&self, launch: u64) -> bool {
+        self.worker_crash.contains(&launch)
+    }
+
+    /// Pure lookup: does the plan reject the `submission`-th job
+    /// submission (0-based) with injected backpressure?
+    pub fn submit_burst_at(&self, submission: u64) -> bool {
+        self.submit_burst.contains(&submission)
+    }
 }
 
-fn parse_index(site: &str, arg: &str) -> Result<u64, String> {
+fn parse_index(item: &str, arg: &str) -> Result<u64, FaultParseError> {
     arg.parse()
-        .map_err(|_| format!("fault '{site}@{arg}': index must be a non-negative integer"))
+        .map_err(|_| FaultParseError::new(item, "index must be a non-negative integer"))
 }
 
-fn parse_duration(item: &str, arg: &str) -> Result<Duration, String> {
+fn parse_duration(item: &str, arg: &str) -> Result<Duration, FaultParseError> {
     let ms = arg
         .strip_suffix("ms")
-        .ok_or_else(|| format!("fault '{item}': duration must end in 'ms'"))?;
+        .ok_or_else(|| FaultParseError::new(item, "duration must end in 'ms'"))?;
     ms.parse::<u64>()
         .map(Duration::from_millis)
-        .map_err(|_| format!("fault '{item}': duration must be an integer millisecond count"))
+        .map_err(|_| FaultParseError::new(item, "duration must be an integer millisecond count"))
 }
 
 /// Hot-path gate: true iff a plan is installed.
@@ -220,7 +283,8 @@ mod tests {
     #[test]
     fn parses_the_full_grammar() {
         let plan = FaultPlan::parse(
-            "trial_panic@3,trial_slow@7:500ms,trial_nan@2,sink_fail@2,nan_labels@1",
+            "trial_panic@3,trial_slow@7:500ms,trial_nan@2,sink_fail@2,nan_labels@1,\
+             worker_crash@0,submit_burst@4",
         )
         .unwrap();
         assert_eq!(plan.trial_panic, vec![3]);
@@ -228,7 +292,13 @@ mod tests {
         assert_eq!(plan.trial_nan, vec![2]);
         assert_eq!(plan.sink_fail, vec![2]);
         assert_eq!(plan.nan_labels, vec![1]);
+        assert_eq!(plan.worker_crash, vec![0]);
+        assert_eq!(plan.submit_burst, vec![4]);
         assert!(!plan.is_empty());
+        assert!(plan.worker_crash_at(0));
+        assert!(!plan.worker_crash_at(1));
+        assert!(plan.submit_burst_at(4));
+        assert!(!plan.submit_burst_at(0));
     }
 
     #[test]
@@ -246,6 +316,29 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_error_names_the_offending_token() {
+        let err = FaultPlan::parse("trial_panic@1,bogus@7,sink_fail@0").unwrap_err();
+        assert_eq!(err.token, "bogus@7");
+        assert!(err.message.contains("unknown fault site 'bogus'"), "{err}");
+        let rendered = err.to_string();
+        assert!(
+            rendered.starts_with("bad fault-plan entry 'bogus@7': "),
+            "{rendered}"
+        );
+
+        let err = FaultPlan::parse("trial_slow@3:fast").unwrap_err();
+        assert_eq!(err.token, "trial_slow@3:fast");
+        assert!(err.to_string().contains("duration must end in 'ms'"));
+
+        let err = FaultPlan::parse("trial_panic@x").unwrap_err();
+        assert_eq!(err.token, "trial_panic@x");
+        assert!(err.to_string().contains("non-negative integer"));
+
+        let err = FaultPlan::parse("  ").unwrap_err();
+        assert!(err.to_string().contains("empty fault plan"));
     }
 
     #[test]

@@ -119,17 +119,26 @@ impl HistoryRecord {
     /// never rewritten, so concurrent readers (the `/history` route) only
     /// ever see whole records plus possibly a torn trailing line, which
     /// they skip.
+    ///
+    /// Safe under concurrent writers: the line (newline included) goes
+    /// out as a single `write` on an `O_APPEND` handle, so the kernel
+    /// positions each write atomically at the current end of file and two
+    /// runs finishing together cannot interleave bytes within a line.
+    /// (`writeln!` would issue the body and the newline as separate
+    /// syscalls, which is exactly the interleaving window this avoids.)
     pub fn append(&self, path: &Path) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
             }
         }
+        let mut line = self.to_json_line();
+        line.push('\n');
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
-        writeln!(file, "{}", self.to_json_line())
+        file.write_all(line.as_bytes())
     }
 }
 
@@ -174,6 +183,47 @@ mod tests {
         assert!(rec.to_json_line().contains("\"final_acc\":null"));
         rec.final_acc = Some(f64::NAN);
         assert!(rec.to_json_line().contains("\"final_acc\":null"));
+    }
+
+    #[test]
+    fn concurrent_appends_never_tear_lines() {
+        let dir = std::env::temp_dir().join(format!("aml_history_conc_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("history.jsonl");
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 200;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let path = path.clone();
+                s.spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let mut rec = sample();
+                        rec.seed = w * PER_WRITER + i;
+                        rec.append(&path).unwrap();
+                    }
+                });
+            }
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), (WRITERS * PER_WRITER) as usize);
+        let mut seen = vec![false; (WRITERS * PER_WRITER) as usize];
+        for line in lines {
+            assert!(
+                line.starts_with("{\"type\":\"history\"") && line.ends_with('}'),
+                "torn line: {line}"
+            );
+            let seed: usize = line
+                .split("\"seed\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("unparseable line: {line}"));
+            assert!(!seen[seed], "duplicate seed {seed}");
+            seen[seed] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "missing records");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -246,8 +246,9 @@ fn flush_sse_clients() {
 }
 
 /// Close every `/events` stream: flush what the kernel will take, send
-/// the terminating zero-length chunk (best effort), and drop the
-/// sockets.
+/// the terminating zero-length chunk (best effort), and shut the
+/// sockets down both ways before dropping them, so a blocked reader
+/// observes EOF immediately instead of waiting out a TCP timeout.
 fn close_sse_clients() {
     let mut clients = sse_clients().lock().unwrap_or_else(PoisonError::into_inner);
     for client in clients.drain(..) {
@@ -259,6 +260,7 @@ fn close_sse_clients() {
         }
         let _ = stream.write_all(b"0\r\n\r\n");
         let _ = stream.flush();
+        let _ = stream.shutdown(std::net::Shutdown::Both);
     }
     SSE_CLIENT_COUNT.store(0, Ordering::Relaxed);
 }
@@ -314,7 +316,15 @@ fn history_json(query: Option<&str>) -> String {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .clone();
-    let Ok(text) = std::fs::read_to_string(&path) else {
+    render_history_json(&path, query)
+}
+
+/// The history store at `path` as a JSON array (the `/history` route's
+/// body, factored out so other servers — `amlserve` — can serve a
+/// history file of their own choosing). Same filter semantics as
+/// `/history`: `?workload=NAME` and `?tail=N`.
+pub fn render_history_json(path: &Path, query: Option<&str>) -> String {
+    let Ok(text) = std::fs::read_to_string(path) else {
         return "[]\n".to_string();
     };
     // Records are single-line objects with a pinned field order, so a
@@ -332,6 +342,146 @@ fn history_json(query: Option<&str>) -> String {
         records.drain(..records.len().saturating_sub(keep));
     }
     format!("[{}]\n", records.join(","))
+}
+
+// ---------------------------------------------------------------------
+// Reusable HTTP plumbing (shared with `amlserve`, which layers a
+// read/write job plane on the same std-only socket discipline).
+// ---------------------------------------------------------------------
+
+/// One parsed HTTP/1.1 request: request line, headers, and (when
+/// `Content-Length` says so) the full body.
+#[derive(Debug, Clone, Default)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, `DELETE`, …), as sent.
+    pub method: String,
+    /// Path component of the request target (before any `?`).
+    pub path: String,
+    /// Query string (after `?`), when present.
+    pub query: Option<String>,
+    /// Header name/value pairs in arrival order; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when there is none).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The value of header `name` (case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `key=...` in this request's query string.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        query_param(self.query.as_deref(), key)
+    }
+}
+
+/// Cap on request head bytes (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+
+/// Read one HTTP/1.1 request from `stream`, including a
+/// `Content-Length` body of at most `max_body` bytes. Oversized heads
+/// and bodies, malformed request lines, and connections that close
+/// mid-request all yield `InvalidData` errors — callers answer with a
+/// 4xx and drop the connection. The stream's read timeout bounds how
+/// long a silent client can hold the serving thread.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> std::io::Result<HttpRequest> {
+    use std::io::{Error, ErrorKind};
+    let bad = |msg: &str| Error::new(ErrorKind::InvalidData, msg.to_string());
+
+    let mut buf: Vec<u8> = Vec::with_capacity(2048);
+    let mut chunk = [0u8; 2048];
+    let head_end = loop {
+        if let Some(pos) = find_subslice(&buf, b"\r\n\r\n") {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| bad("empty request line"))?;
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q.to_string())),
+        None => (target, None),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > max_body {
+        return Err(bad("request body too large"));
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(HttpRequest {
+        method: method.to_string(),
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Write one complete HTTP/1.1 response with `Connection: close`.
+/// `extra_headers` lets callers add e.g. `Retry-After`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// The self-contained `/dashboard` page, for servers that reuse it.
+pub fn dashboard_html() -> &'static str {
+    DASHBOARD_HTML
 }
 
 // ---------------------------------------------------------------------
@@ -397,7 +547,9 @@ pub fn bound_addr() -> Option<SocketAddr> {
 }
 
 /// Stop the server (if running) and join its thread. Idempotent; in-
-/// flight responses complete first.
+/// flight responses complete first, and `/events` clients observe EOF
+/// before this returns (the serve thread closes them on its way out;
+/// the extra call here covers a thread that died without cleaning up).
 pub fn stop() {
     let taken = server_slot()
         .lock()
@@ -427,22 +579,19 @@ fn serve_loop(listener: TcpListener, stop: Arc<AtomicBool>, state: Arc<ServerSta
         }
         flush_sse_clients();
     }
+    // Shutdown path: close streaming clients from the serve thread, so
+    // by the time `stop()`'s join returns every `/events` reader has
+    // seen the terminating chunk and EOF.
+    close_sse_clients();
 }
 
 fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
-    // GET requests have no body; the request line fits in one read.
-    let mut buf = [0u8; 2048];
-    let n = stream.read(&mut buf)?;
-    let request = String::from_utf8_lossy(&buf[..n]);
-    let mut parts = request.split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let target = parts.next().unwrap_or("/");
-    let (path, query) = match target.split_once('?') {
-        Some((path, query)) => (path, Some(query)),
-        None => (target, None),
-    };
+    // The live plane is read-only: GET requests carry no body.
+    let req = read_request(&mut stream, 0)?;
+    let (method, path) = (req.method.as_str(), req.path.as_str());
+    let query = req.query.as_deref();
     if method == "GET" {
         count_request(path);
     }
@@ -455,12 +604,7 @@ fn handle_connection(mut stream: TcpStream, state: &ServerState) -> std::io::Res
     } else {
         route(path, query, state)
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len(),
-    )?;
-    stream.flush()
+    write_response(&mut stream, status, content_type, &[], body.as_bytes())
 }
 
 /// Bump the per-route request counter for a known route. Unknown paths
@@ -989,6 +1133,110 @@ mod tests {
         crate::sink::finish(&Snapshot::default());
         set_level(TelemetryLevel::Off);
         crate::global().reset();
+    }
+
+    #[test]
+    fn stop_closes_event_stream_clients_promptly() {
+        let _guard = test_lock::hold();
+        set_level(TelemetryLevel::Summary);
+        let header = RunHeader {
+            run_id: "t-sse".into(),
+            workload: "sse_eof".into(),
+            seed: 1,
+            git: "abc".into(),
+        };
+        let addr = start("127.0.0.1:0", &header).unwrap();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /events HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Reading the prologue proves the serve thread registered us.
+        let mut buf = [0u8; 4096];
+        let n = stream.read(&mut buf).unwrap();
+        assert!(n > 0, "no SSE prologue");
+
+        let started = Instant::now();
+        stop();
+        // The client must observe EOF well within the shutdown deadline,
+        // not hang until a TCP timeout.
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("expected EOF, got error: {e}"),
+            }
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(3),
+            "EOF took {:?}",
+            started.elapsed()
+        );
+
+        crate::searchview::set_active(false);
+        crate::searchview::reset();
+        crate::quality::set_active(false);
+        crate::quality::reset();
+        crate::sink::finish(&Snapshot::default());
+        set_level(TelemetryLevel::Off);
+        crate::global().reset();
+    }
+
+    #[test]
+    fn read_request_parses_method_headers_and_body() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "POST /submit?dry=1 HTTP/1.1\r\nHost: x\r\nX-Tenant: alice\r\nContent-Length: 11\r\n\r\nhello world"
+            )
+            .unwrap();
+            stream.flush().unwrap();
+            // Keep the socket open until the server side finished reading.
+            let mut sink = [0u8; 16];
+            let _ = stream.read(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let req = read_request(&mut stream, 1024).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/submit");
+        assert_eq!(req.query.as_deref(), Some("dry=1"));
+        assert_eq!(req.query_param("dry"), Some("1"));
+        assert_eq!(req.header("x-tenant"), Some("alice"));
+        assert_eq!(req.header("X-Tenant"), Some("alice"));
+        assert_eq!(req.body, b"hello world");
+        drop(stream);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn read_request_rejects_oversized_bodies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            write!(
+                stream,
+                "POST /submit HTTP/1.1\r\nContent-Length: 64\r\n\r\n"
+            )
+            .unwrap();
+            let mut sink = [0u8; 16];
+            let _ = stream.read(&mut sink);
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let err = read_request(&mut stream, 16).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("too large"), "{err}");
+        drop(stream);
+        writer.join().unwrap();
     }
 
     #[test]
